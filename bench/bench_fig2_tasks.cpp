@@ -1,0 +1,69 @@
+// Experiment E2 (paper Figure 2 / §3): the system-design-task space.
+// The paper asserts that "examples of system design methodologies can be
+// found that fit into every subset of this diagram" (co-simulation,
+// co-synthesis, partitioning-within-co-synthesis). The approach registry
+// reimplements one representative per subset; this bench enumerates the
+// coverage.
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.h"
+#include "core/taxonomy.h"
+
+namespace mhs {
+namespace {
+
+std::string subset_name(const std::set<core::DesignTask>& subset) {
+  std::ostringstream os;
+  for (const core::DesignTask t : subset) {
+    if (os.tellp() > 0) os << " + ";
+    os << core::design_task_name(t);
+  }
+  return os.str();
+}
+
+void run() {
+  bench::print_header("E2", "design-activity coverage (Fig. 2)");
+
+  // Subsets consistent with the paper's own structure: partitioning is a
+  // sub-activity of co-synthesis (Fig. 2 nests it), so subsets with
+  // partitioning but no co-synthesis do not occur.
+  using enum core::DesignTask;
+  const std::vector<std::set<core::DesignTask>> meaningful = {
+      {kCoSimulation},
+      {kCoSynthesis},
+      {kCoSimulation, kCoSynthesis},
+      {kCoSynthesis, kPartitioning},
+      {kCoSimulation, kCoSynthesis, kPartitioning},
+  };
+
+  const auto covered = core::covered_task_subsets();
+  TextTable table({"task subset", "covered", "example approaches"});
+  bool all_covered = true;
+  for (const auto& subset : meaningful) {
+    std::ostringstream examples;
+    for (const core::ApproachProfile& a : core::surveyed_approaches()) {
+      if (a.tasks == subset) {
+        if (examples.tellp() > 0) examples << "; ";
+        examples << a.name << " " << a.citation;
+      }
+    }
+    const bool hit = covered.count(subset) != 0;
+    all_covered = all_covered && hit;
+    table.add_row({subset_name(subset), hit ? "yes" : "NO",
+                   examples.str().empty() ? "-" : examples.str()});
+  }
+  std::cout << table;
+  bench::print_claim(
+      "every meaningful subset of {cosim, cosynth, partitioning} is "
+      "populated by a surveyed approach",
+      all_covered);
+}
+
+}  // namespace
+}  // namespace mhs
+
+int main() {
+  mhs::run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Experiment E3 (paper Figure 3): co-simulation interface abstraction
+// levels. The paper claims the pin level "is most accurate for evaluating
+// performance, but is computationally expensive" while the OS message
+// level "is very efficient computationally, but may not be useful for
+// evaluating performance". We stream the same workload through the same
+// synthesized accelerator at all four levels and report simulation cost
+// (events, wall time) against timing fidelity (error vs. pin level).
+#include <iostream>
+
+#include "apps/kernels.h"
+#include "base/stats.h"
+#include "bench_util.h"
+#include "sim/cosim.h"
+
+namespace mhs {
+namespace {
+
+void run() {
+  bench::print_header("E3", "HW/SW interface abstraction levels (Fig. 3)");
+
+  const ir::Cdfg kernel = apps::fir_kernel(8);
+  const hw::ComponentLibrary lib = hw::default_library();
+  hw::HlsConstraints constraints;
+  constraints.goal = hw::HlsGoal::kMinArea;
+  const hw::HlsResult impl = hw::synthesize(kernel, lib, constraints);
+  const auto samples = bench::make_samples(kernel, 64, 101);
+
+  struct Row {
+    sim::InterfaceLevel level;
+    sim::CosimReport report;
+    double wall_us;
+  };
+  std::vector<Row> rows;
+  for (const sim::InterfaceLevel level : sim::kAllInterfaceLevels) {
+    sim::CosimConfig cfg;
+    cfg.level = level;
+    const bench::Stopwatch sw;
+    const sim::CosimReport report = sim::run_cosim(impl, cfg, samples);
+    rows.push_back(Row{level, report, sw.elapsed_us()});
+  }
+  const double truth = rows[0].report.total_cycles;  // pin level
+
+  TextTable table({"level", "sim events", "events/sample", "wall us",
+                   "predicted cycles", "timing error %", "signal toggles",
+                   "checksum"});
+  for (const Row& row : rows) {
+    table.add_row(
+        {sim::interface_level_name(row.level),
+         fmt(row.report.sim_events),
+         fmt(static_cast<double>(row.report.sim_events) /
+                 static_cast<double>(samples.size()),
+             1),
+         fmt(row.wall_us, 1),
+         fmt(row.report.total_cycles, 0),
+         fmt(100.0 * relative_error(row.report.total_cycles, truth), 2),
+         fmt(row.report.signal_transitions),
+         fmt(static_cast<long long>(row.report.checksum))});
+  }
+  std::cout << table;
+
+  bool events_monotone = true;
+  bool error_monotone = true;
+  bool checksums_equal = true;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    events_monotone = events_monotone && rows[i].report.sim_events <=
+                                             rows[i - 1].report.sim_events;
+    checksums_equal = checksums_equal &&
+                      rows[i].report.checksum == rows[0].report.checksum;
+    if (i >= 2) {
+      error_monotone =
+          error_monotone &&
+          relative_error(rows[i].report.total_cycles, truth) >=
+              relative_error(rows[i - 1].report.total_cycles, truth);
+    }
+  }
+  bench::print_claim(
+      "lower levels are more accurate but cost more events; all levels "
+      "agree functionally",
+      events_monotone && error_monotone && checksums_equal);
+}
+
+}  // namespace
+}  // namespace mhs
+
+int main() {
+  mhs::run();
+  return 0;
+}

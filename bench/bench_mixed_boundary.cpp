@@ -1,0 +1,95 @@
+// Experiment E13 (extension): mixed Type I / Type II boundaries.
+//
+// The paper's §2 ends with an open problem: "it is conceivable that a
+// HW/SW system could represent a mixture of Type I and Type II HW/SW
+// boundaries, but to our knowledge, no published work has addressed this
+// situation." This bench addresses it: one silicon budget is spent
+// jointly on instruction-set extensions (a Type I boundary move) and on
+// co-processor offload (a Type II move), and the joint optimum is
+// compared with each pure strategy across a budget sweep.
+//
+// Expected shape: the joint design is never worse than either pure
+// strategy (it searches a superset), and at intermediate budgets it is
+// strictly better than both — the extensions accelerate the tasks that
+// stay in software while the co-processor absorbs the offloadable ones.
+#include <iostream>
+#include <sstream>
+
+#include "apps/workloads.h"
+#include "bench_util.h"
+#include "core/flow.h"
+#include "cosynth/mixed.h"
+
+namespace mhs {
+namespace {
+
+std::string feature_names(const std::vector<cosynth::IsaFeature>& fs) {
+  std::ostringstream os;
+  for (const cosynth::IsaFeature f : fs) {
+    if (os.tellp() > 0) os << ",";
+    os << cosynth::isa_feature_name(f);
+  }
+  return os.str().empty() ? "-" : os.str();
+}
+
+void run() {
+  bench::print_header(
+      "E13", "mixed Type I + Type II boundaries (the paper's §2 open "
+             "problem)");
+
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  // Derive baseline annotations (hardware side) once via the flow's
+  // estimator so the Type II numbers are kernel-accurate.
+  core::FlowConfig flow_cfg;
+  flow_cfg.optimize_kernels = false;
+  const ir::TaskGraph annotated =
+      core::annotate_costs(w.graph, w.kernels, flow_cfg);
+
+  const sw::CpuModel base = sw::reference_cpu();
+  const hw::ComponentLibrary lib = hw::default_library();
+
+  TextTable table({"budget", "strategy", "latency", "ISA features",
+                   "ISA area", "coproc tasks", "coproc area"});
+  bool never_worse = true;
+  bool strictly_better_somewhere = false;
+  for (const double budget :
+       {0.0, 600.0, 1200.0, 2500.0, 3300.0, 4100.0, 5000.0, 10000.0}) {
+    const cosynth::MixedDesign pure1 = cosynth::synthesize_pure_type1(
+        annotated, w.kernels, base, lib, budget);
+    const cosynth::MixedDesign pure2 = cosynth::synthesize_pure_type2(
+        annotated, w.kernels, base, lib, budget);
+    const cosynth::MixedDesign mixed = cosynth::synthesize_mixed(
+        annotated, w.kernels, base, lib, budget);
+
+    auto emit = [&](const char* name, const cosynth::MixedDesign& d) {
+      std::size_t offloaded = 0;
+      for (const bool b : d.mapping) offloaded += b ? 1 : 0;
+      table.add_row({fmt(budget, 0), name, fmt(d.latency, 0),
+                     feature_names(d.features), fmt(d.isa_area, 0),
+                     fmt(offloaded), fmt(d.coproc_area, 0)});
+    };
+    emit("Type I only (ASIP)", pure1);
+    emit("Type II only (coproc)", pure2);
+    emit("mixed (joint)", mixed);
+
+    never_worse = never_worse &&
+                  mixed.latency <= pure1.latency + 1e-6 &&
+                  mixed.latency <= pure2.latency + 1e-6;
+    if (mixed.latency < 0.98 * std::min(pure1.latency, pure2.latency)) {
+      strictly_better_somewhere = true;
+    }
+  }
+  std::cout << table;
+  bench::print_claim(
+      "the joint Type I + Type II design is never worse than either pure "
+      "strategy and strictly better at intermediate budgets",
+      never_worse && strictly_better_somewhere);
+}
+
+}  // namespace
+}  // namespace mhs
+
+int main() {
+  mhs::run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment E14 (design ablation): pipelined co-processor datapaths.
+//
+// The accelerator datapaths behind the paper's Figures 7–9 stream data;
+// this ablation quantifies the central implementation choice mhs::hw
+// offers for them — the initiation interval (II) of a modulo-scheduled
+// pipeline — against the non-pipelined schedules used elsewhere in the
+// suite. Expected shape: the classic area/throughput staircase (small II
+// = many functional units and high throughput; large II = shared units),
+// with every pipelined point dominating back-to-back sequential
+// execution on area-delay product.
+#include <iostream>
+
+#include "apps/kernels.h"
+#include "bench_util.h"
+#include "hw/hls.h"
+#include "hw/pipeline.h"
+
+namespace mhs {
+namespace {
+
+void run() {
+  bench::print_header("E14",
+                      "pipelined datapaths: area vs throughput ablation");
+
+  const ir::Cdfg kernel = apps::dct8_kernel();
+  const hw::ComponentLibrary lib = hw::default_library();
+  const std::size_t samples = 256;
+
+  // Sequential baselines.
+  const hw::Schedule asap = hw::asap_schedule(kernel, lib);
+  const hw::Binding asap_bind = hw::bind(asap);
+  const hw::Controller asap_ctrl(asap, asap_bind);
+  const double asap_area =
+      hw::compute_area(asap, asap_bind, asap_ctrl).total();
+  const std::size_t seq_cycles = asap.num_steps() * samples;
+  std::cout << "kernel: " << kernel.name() << ", " << kernel.num_ops()
+            << " ops; sequential min-latency schedule: "
+            << asap.num_steps() << " cycles/sample, area "
+            << fmt(asap_area, 0) << "\n";
+
+  TextTable table({"II", "mul FUs", "alu FUs", "pipe regs", "area",
+                   "cycles/256 samples", "speedup vs sequential",
+                   "area x cycles (rel)"});
+  bool area_monotone = true;
+  bool cycles_monotone = true;
+  bool adp_always_beats_sequential = true;
+  bool faster_and_smaller_point_exists = false;
+  double prev_area = 1e18;
+  std::size_t prev_cycles = 0;
+  double best_adp = 1e18;
+  std::size_t best_ii = 0;
+  for (const std::size_t ii : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const hw::ModuloSchedule s = hw::modulo_schedule(kernel, lib, ii);
+    const double area = s.area(lib);
+    const std::size_t cycles = s.cycles_for(samples);
+    const double adp = area * static_cast<double>(cycles);
+    if (adp < best_adp) {
+      best_adp = adp;
+      best_ii = ii;
+    }
+    table.add_row(
+        {fmt(ii), fmt(s.fu_requirement()[hw::FuType::kMul]),
+         fmt(s.fu_requirement()[hw::FuType::kAlu]),
+         fmt(s.pipeline_registers()), fmt(area, 0), fmt(cycles),
+         fmt(static_cast<double>(seq_cycles) / static_cast<double>(cycles),
+             2),
+         fmt(adp / (asap_area * static_cast<double>(seq_cycles)), 3)});
+    area_monotone = area_monotone && area <= prev_area + 1e-9;
+    cycles_monotone = cycles_monotone && cycles >= prev_cycles;
+    adp_always_beats_sequential =
+        adp_always_beats_sequential &&
+        adp < asap_area * static_cast<double>(seq_cycles);
+    if (cycles < seq_cycles && area < asap_area) {
+      faster_and_smaller_point_exists = true;
+    }
+    prev_area = area;
+    prev_cycles = cycles;
+  }
+  std::cout << table;
+  std::cout << "best area-delay product at II=" << best_ii << "\n";
+
+  bench::print_claim(
+      "area falls and stream time rises monotonically with II; every "
+      "pipelined point beats the sequential schedule on area-delay "
+      "product, and some point is simultaneously faster AND smaller",
+      area_monotone && cycles_monotone && adp_always_beats_sequential &&
+          faster_and_smaller_point_exists);
+}
+
+}  // namespace
+}  // namespace mhs
+
+int main() {
+  mhs::run();
+  return 0;
+}

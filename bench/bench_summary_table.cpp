@@ -1,0 +1,45 @@
+// Experiment E11 (paper §5): regenerate the paper's comparison of
+// co-design approaches along its four criteria — system type, design
+// tasks, co-simulation abstraction level, and partitioning factors —
+// from the executable registry, with the implementing mhs module per row.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/taxonomy.h"
+
+namespace mhs {
+namespace {
+
+void run() {
+  bench::print_header("E11", "the §5 criteria comparison, regenerated");
+  std::cout << core::comparison_table();
+
+  // Factor-coverage histogram: how many surveyed approaches consider
+  // each §3.3 factor (communication and concurrency are the rare ones,
+  // which is exactly why the paper calls them out for Type II systems).
+  using core::PartitionFactor;
+  TextTable hist({"partitioning factor", "approaches considering it"});
+  for (const PartitionFactor f :
+       {PartitionFactor::kPerformance, PartitionFactor::kImplementationCost,
+        PartitionFactor::kModifiability,
+        PartitionFactor::kNatureOfComputation,
+        PartitionFactor::kConcurrency, PartitionFactor::kCommunication}) {
+    std::size_t count = 0;
+    for (const core::ApproachProfile& a : core::surveyed_approaches()) {
+      if (a.factors.count(f)) ++count;
+    }
+    hist.add_row({core::partition_factor_name(f), fmt(count)});
+  }
+  std::cout << hist;
+
+  bench::print_claim("registry covers 12+ approaches and both system types",
+                     core::surveyed_approaches().size() >= 12);
+}
+
+}  // namespace
+}  // namespace mhs
+
+int main() {
+  mhs::run();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared helpers for the experiment benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/table.h"
+#include "ir/cdfg.h"
+
+namespace mhs::bench {
+
+/// Wall-clock stopwatch (microseconds).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Random sample inputs for a kernel (one vector per sample, cdfg-input
+/// order), reproducible from the seed.
+inline std::vector<std::vector<std::int64_t>> make_samples(
+    const ir::Cdfg& kernel, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::int64_t>> samples;
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<std::int64_t> in;
+    for (std::size_t k = 0; k < kernel.inputs().size(); ++k) {
+      in.push_back(rng.uniform_int(-1000, 1000));
+    }
+    samples.push_back(std::move(in));
+  }
+  return samples;
+}
+
+/// Prints a named experiment header.
+inline void print_header(const std::string& id, const std::string& title) {
+  std::cout << "\n" << banner(id + " — " + title);
+}
+
+/// Prints the qualitative claim being reproduced and whether it held.
+inline void print_claim(const std::string& claim, bool held) {
+  std::cout << "claim: " << claim << "\n"
+            << "held:  " << (held ? "YES" : "NO") << "\n";
+}
+
+}  // namespace mhs::bench

@@ -1,0 +1,91 @@
+// Command-line partitioning of a task graph in the text IR format.
+//
+// Usage:
+//   ./build/examples/partition_from_file [graph.txt] [latency_target]
+//
+// Reads a task graph (file argument, or a built-in demo system when
+// omitted), runs every partitioning strategy, and prints the comparison —
+// the scriptable front door to the library for graphs produced outside
+// C++ (see ir/serialize.h for the format).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "base/table.h"
+#include "cosynth/coproc.h"
+#include "ir/serialize.h"
+
+namespace {
+
+const char* kDemoSystem = R"(# set-top-box video path (demo system)
+taskgraph settop_video
+task demux      sw=2400 hw=900  area=1100 size=960  mod=0.7 par=0.2
+task huffman    sw=5200 hw=1800 area=2400 size=2100 mod=0.6 par=0.2
+task idct       sw=8800 hw=540  area=2100 size=3500 mod=0.1 par=0.95
+task motioncomp sw=7600 hw=620  area=2600 size=3000 mod=0.2 par=0.9
+task deblock    sw=3900 hw=700  area=1500 size=1600 mod=0.4 par=0.7
+task scale      sw=2900 hw=450  area=1200 size=1200 mod=0.3 par=0.8
+task osd        sw=1400 hw=900  area=800  size=560  mod=0.9 par=0.3
+edge 0 1 bytes=1024
+edge 1 2 bytes=768
+edge 2 3 bytes=768
+edge 3 4 bytes=768
+edge 4 5 bytes=768
+edge 5 6 bytes=512
+end
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mhs;
+
+  std::string text = kDemoSystem;
+  if (argc >= 2) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  ir::TaskGraph graph;
+  try {
+    graph = ir::task_graph_from_text(text);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+
+  const double target_fraction =
+      argc >= 3 ? std::stod(argv[2]) : 0.45;
+  const partition::CostModel model(graph, hw::default_library());
+  partition::Objective objective;
+  objective.latency_target = graph.total_sw_cycles() * target_fraction;
+  objective.area_weight = 0.02;
+
+  std::cout << "system: " << graph.name() << " (" << graph.num_tasks()
+            << " tasks, all-SW latency " << fmt(graph.total_sw_cycles(), 0)
+            << " cycles, target " << fmt(objective.latency_target, 0)
+            << ")\n\n";
+
+  TextTable table({"strategy", "tasks in HW", "latency", "HW area",
+                   "speedup", "meets target"});
+  for (const cosynth::CoprocStrategy strategy :
+       {cosynth::CoprocStrategy::kHotSpot, cosynth::CoprocStrategy::kUnload,
+        cosynth::CoprocStrategy::kKl, cosynth::CoprocStrategy::kGclp}) {
+    const cosynth::CoprocDesign d =
+        cosynth::synthesize_coprocessor(model, objective, strategy);
+    const auto& m = d.partition.metrics;
+    table.add_row({cosynth::coproc_strategy_name(strategy),
+                   fmt(m.tasks_in_hw), fmt(m.latency_cycles, 0),
+                   fmt(m.hw_area, 0), fmt(d.speedup(), 2),
+                   m.latency_cycles <= objective.latency_target ? "yes"
+                                                                : "no"});
+  }
+  std::cout << table;
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Behavioural kernels used by the examples, tests, and benchmarks.
+//
+// Each builder returns a Cdfg over 64-bit integers; fixed-point kernels
+// use Q16.16 coefficients baked in as constants. The kernels deliberately
+// span the "nature of computation" axis of §3.3:
+//
+//   dct8        — wide, multiplier-rich, highly parallel (HW-affine)
+//   fir         — MAC chain, moderately parallel
+//   iir_biquad  — short recurrence, moderate
+//   xtea_round  — long dependency chain, control-free crypto (SW-ish)
+//   median5     — compare/select network (benefits from native select)
+//   checksum    — xor/shift/add chain, serial
+#pragma once
+
+#include <cstddef>
+
+#include "ir/cdfg.h"
+
+namespace mhs::apps {
+
+/// N-tap FIR filter: inputs x0..x{taps-1}, Q16.16 low-pass coefficients,
+/// output "y" (Q16.16). Precondition: 1 <= taps <= 64.
+ir::Cdfg fir_kernel(std::size_t taps);
+
+/// Direct-form-I biquad section: inputs x, x1, x2, y1, y2; output "y".
+ir::Cdfg iir_biquad_kernel();
+
+/// 8-point 1-D DCT-II (integer, Q16.16 coefficient matrix): inputs
+/// x0..x7, outputs X0..X7.
+ir::Cdfg dct8_kernel();
+
+/// `rounds` rounds of the XTEA block cipher: inputs v0, v1, k0..k3;
+/// outputs v0_out, v1_out. Precondition: rounds >= 1.
+ir::Cdfg xtea_kernel(std::size_t rounds);
+
+/// 5-element median network: inputs a..e, output "median".
+ir::Cdfg median5_kernel();
+
+/// Fletcher-style checksum over `words` inputs w0..: outputs "ck_a","ck_b".
+ir::Cdfg checksum_kernel(std::size_t words);
+
+/// Sum of absolute differences over `n` pairs (inputs a_i, b_i;
+/// output "sad") — the motion-estimation kernel of video workloads.
+ir::Cdfg sad_kernel(std::size_t n);
+
+/// n x n integer matrix multiply: inputs a{r}{c}, b{r}{c}; outputs
+/// c{r}{c}. Wide and multiplier-rich. Precondition: 1 <= n <= 6.
+ir::Cdfg matmul_kernel(std::size_t n);
+
+/// Sobel gradient magnitude over one 3x3 window: inputs p00..p22,
+/// output "mag" = |gx| + |gy| — the edge-detection inner loop.
+ir::Cdfg sobel3_kernel();
+
+/// Reciprocal-multiply quantizer over `n` coefficients: inputs x0..,
+/// outputs q0.. = clamp((x * recip_i) >> 16, -bound, bound). The
+/// division-free quantization used by image codecs.
+ir::Cdfg quantize_kernel(std::size_t n);
+
+}  // namespace mhs::apps

@@ -1,0 +1,183 @@
+#include "apps/workloads.h"
+
+#include "apps/kernels.h"
+
+namespace mhs::apps {
+
+namespace {
+
+ir::TaskCosts costs(double sw, double hw_speedup, double area,
+                    double modifiability, double parallelism) {
+  ir::TaskCosts c;
+  c.sw_cycles = sw;
+  c.hw_cycles = sw / hw_speedup;
+  c.hw_area = area;
+  c.sw_size = sw * 0.4;
+  c.modifiability = modifiability;
+  c.parallelism = parallelism;
+  return c;
+}
+
+}  // namespace
+
+ir::TaskGraph jpeg_pipeline_graph() {
+  ir::TaskGraph g("jpeg_pipeline");
+  // Stage costs loosely follow profiling folklore for baseline JPEG:
+  // the DCT dominates and parallelizes well; entropy coding is serial
+  // and frequently revised (modifiable).
+  const ir::TaskId cc = g.add_task(
+      "color_convert", costs(3000, 8.0, 900, 0.2, 0.8));
+  const ir::TaskId dct_y = g.add_task("dct_luma",
+                                      costs(9000, 16.0, 1600, 0.1, 0.95));
+  const ir::TaskId dct_c = g.add_task("dct_chroma",
+                                      costs(5000, 16.0, 1600, 0.1, 0.95));
+  const ir::TaskId quant = g.add_task("quantize",
+                                      costs(2200, 6.0, 700, 0.5, 0.7));
+  const ir::TaskId zigzag = g.add_task("zigzag",
+                                       costs(800, 3.0, 300, 0.3, 0.4));
+  const ir::TaskId rle = g.add_task("rle", costs(1500, 2.5, 500, 0.6, 0.2));
+  const ir::TaskId entropy = g.add_task(
+      "entropy_code", costs(4200, 2.0, 1400, 0.9, 0.1));
+  g.add_edge(cc, dct_y, 256);
+  g.add_edge(cc, dct_c, 128);
+  g.add_edge(dct_y, quant, 256);
+  g.add_edge(dct_c, quant, 128);
+  g.add_edge(quant, zigzag, 384);
+  g.add_edge(zigzag, rle, 384);
+  g.add_edge(rle, entropy, 192);
+  g.validate();
+  return g;
+}
+
+KernelBackedWorkload dsp_chain_workload() {
+  KernelBackedWorkload w;
+  w.graph.set_name("dsp_chain");
+  w.kernel_storage.reserve(8);  // pointers below must stay stable
+
+  const ir::TaskId acquire =
+      w.graph.add_task("acquire", costs(600, 2.0, 250, 0.2, 0.2));
+  w.kernel_storage.push_back(fir_kernel(12));
+  const ir::TaskId fir =
+      w.graph.add_task("fir12", ir::TaskCosts{});
+  w.kernel_storage.push_back(dct8_kernel());
+  const ir::TaskId dct = w.graph.add_task("dct8", ir::TaskCosts{});
+  w.kernel_storage.push_back(median5_kernel());
+  const ir::TaskId med = w.graph.add_task("median5", ir::TaskCosts{});
+  w.kernel_storage.push_back(checksum_kernel(8));
+  const ir::TaskId ck = w.graph.add_task("checksum", ir::TaskCosts{});
+  const ir::TaskId report =
+      w.graph.add_task("report", costs(900, 1.5, 300, 0.8, 0.1));
+
+  w.graph.add_edge(acquire, fir, 96);
+  w.graph.add_edge(fir, dct, 64);
+  w.graph.add_edge(dct, med, 64);
+  w.graph.add_edge(med, ck, 64);
+  w.graph.add_edge(ck, report, 16);
+  w.graph.validate();
+
+  w.kernels.assign(w.graph.num_tasks(), nullptr);
+  w.kernels[fir.index()] = &w.kernel_storage[0];
+  w.kernels[dct.index()] = &w.kernel_storage[1];
+  w.kernels[med.index()] = &w.kernel_storage[2];
+  w.kernels[ck.index()] = &w.kernel_storage[3];
+  return w;
+}
+
+ir::ProcessNetwork ekg_monitor_network() {
+  ir::ProcessNetwork net("ekg_monitor");
+  auto proc = [&](const char* name, double sw, double speedup,
+                  double area) {
+    ir::Process p;
+    p.name = name;
+    p.sw_cycles = sw;
+    p.hw_cycles = sw / speedup;
+    p.hw_area = area;
+    return net.add_process(std::move(p));
+  };
+  const auto sampler = proc("sampler", 400, 4.0, 500);
+  const auto filter = proc("baseline_filter", 2600, 12.0, 1500);
+  const auto qrs = proc("qrs_detect", 3400, 10.0, 2100);
+  const auto hr = proc("heart_rate", 900, 3.0, 700);
+  const auto display = proc("display", 1200, 1.5, 900);
+  const auto logger = proc("logger", 700, 1.2, 600);
+  const auto alarm = proc("alarm", 300, 2.0, 350);
+
+  const auto c_sf = net.add_channel("samples", sampler, filter, 4);
+  const auto c_fq = net.add_channel("filtered", filter, qrs, 4);
+  const auto c_qh = net.add_channel("beats", qrs, hr, 2);
+  const auto c_hd = net.add_channel("rate_d", hr, display, 2);
+  const auto c_hl = net.add_channel("rate_l", hr, logger, 2);
+  const auto c_qa = net.add_channel("anomaly", qrs, alarm, 2);
+
+  net.add_transfer(c_sf, 64);
+  net.add_transfer(c_fq, 64);
+  net.add_transfer(c_qh, 16);
+  net.add_transfer(c_hd, 8);
+  net.add_transfer(c_hl, 8);
+  net.add_transfer(c_qa, 4);
+  net.validate();
+  return net;
+}
+
+ir::ProcessNetwork packet_pipeline_network() {
+  ir::ProcessNetwork net("packet_pipeline");
+  auto proc = [&](const char* name, double sw, double speedup,
+                  double area) {
+    ir::Process p;
+    p.name = name;
+    p.sw_cycles = sw;
+    p.hw_cycles = sw / speedup;
+    p.hw_area = area;
+    return net.add_process(std::move(p));
+  };
+  const auto rx = proc("rx", 500, 6.0, 800);
+  const auto checksum = proc("checksum", 1800, 14.0, 1200);
+  const auto classify = proc("classify", 2400, 8.0, 1900);
+  const auto route = proc("route", 1100, 4.0, 1000);
+  const auto tx = proc("tx", 500, 6.0, 800);
+
+  const auto c_rc = net.add_channel("pkt_in", rx, checksum, 8);
+  const auto c_rk = net.add_channel("hdr", rx, classify, 8);
+  const auto c_cr = net.add_channel("ok", checksum, route, 8);
+  const auto c_kr = net.add_channel("class", classify, route, 8);
+  const auto c_rt = net.add_channel("pkt_out", route, tx, 8);
+
+  net.add_transfer(c_rc, 512);
+  net.add_transfer(c_rk, 64);
+  net.add_transfer(c_cr, 512);
+  net.add_transfer(c_kr, 32);
+  net.add_transfer(c_rt, 512);
+  net.validate();
+  return net;
+}
+
+ir::ProcessNetwork worker_farm_network(std::size_t workers,
+                                       double work_cycles,
+                                       double message_bytes) {
+  MHS_CHECK(workers >= 1, "farm needs at least one worker");
+  ir::ProcessNetwork net("farm" + std::to_string(workers));
+  auto proc = [&](std::string name, double sw, double speedup,
+                  double area) {
+    ir::Process p;
+    p.name = std::move(name);
+    p.sw_cycles = sw;
+    p.hw_cycles = sw / speedup;
+    p.hw_area = area;
+    return net.add_process(std::move(p));
+  };
+  const auto src = proc("source", work_cycles * 0.15, 3.0, 400);
+  const auto sink = proc("sink", work_cycles * 0.15, 3.0, 400);
+  for (std::size_t i = 0; i < workers; ++i) {
+    const auto worker = proc("worker" + std::to_string(i),
+                             work_cycles, 10.0, 1200);
+    const auto in = net.add_channel("job" + std::to_string(i), src, worker, 2);
+    const auto out =
+        net.add_channel("res" + std::to_string(i), worker, sink, 2);
+    net.add_transfer(in, message_bytes);
+    net.add_transfer(out, message_bytes);
+  }
+  net.validate();
+  return net;
+}
+
+}  // namespace mhs::apps

@@ -1,0 +1,44 @@
+// System-level workloads: task graphs and process networks that model the
+// embedded applications the paper's example systems run.
+#pragma once
+
+#include "ir/cdfg.h"
+#include "ir/process_network.h"
+#include "ir/task_graph.h"
+
+namespace mhs::apps {
+
+/// A JPEG-style still-image pipeline: color convert → 2×DCT → quantize →
+/// zigzag → RLE → entropy code, with cost annotations typical of the
+/// stages (DCT dominates and is highly parallel).
+ir::TaskGraph jpeg_pipeline_graph();
+
+/// Kernel-backed version of the image pipeline: returns the graph plus a
+/// per-task kernel list for core::run_codesign_flow (tasks without a
+/// behavioural kernel keep annotation-only costs). The caller owns the
+/// returned kernels via the provided storage vector.
+struct KernelBackedWorkload {
+  ir::TaskGraph graph;
+  /// Storage for the kernels; pointers below index into this.
+  std::vector<ir::Cdfg> kernel_storage;
+  /// Per-task kernel (parallel to graph tasks; nullptr = annotation only).
+  std::vector<const ir::Cdfg*> kernels;
+};
+KernelBackedWorkload dsp_chain_workload();
+
+/// An EKG-style patient monitor as a process network: sampler → baseline
+/// filter → QRS detector → heart-rate calculator → {display, logger},
+/// with an alarm path. Computation/communication annotated per process.
+ir::ProcessNetwork ekg_monitor_network();
+
+/// A packet-processing network: rx → {checksum, classify} → route → tx,
+/// with high traffic volumes (communication-dominated).
+ir::ProcessNetwork packet_pipeline_network();
+
+/// Parameterized producer→(N workers)→consumer network with adjustable
+/// available parallelism — the knob of the E9 experiment.
+ir::ProcessNetwork worker_farm_network(std::size_t workers,
+                                       double work_cycles,
+                                       double message_bytes);
+
+}  // namespace mhs::apps

@@ -1,0 +1,25 @@
+#include "base/error.h"
+
+namespace mhs::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(format("precondition", expr, file, line, msg));
+}
+
+void throw_internal(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw InternalError(format("invariant", expr, file, line, msg));
+}
+
+}  // namespace mhs::detail

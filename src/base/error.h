@@ -1,0 +1,72 @@
+// Error handling primitives for the mhs library.
+//
+// The library reports programming errors (violated preconditions, malformed
+// inputs) with exceptions derived from mhs::Error. The MHS_CHECK family is
+// used at public API boundaries; MHS_ASSERT is used for internal invariants
+// and compiles to a cheap check in all build types (co-design runs are far
+// from being bottlenecked by these branches).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mhs {
+
+/// Base class of every exception thrown by the mhs library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a bug in mhs itself).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an optimization problem has no feasible solution.
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_internal(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+
+}  // namespace detail
+
+}  // namespace mhs
+
+/// Validates a documented precondition of a public API; throws
+/// mhs::PreconditionError with location info when `expr` is false.
+#define MHS_CHECK(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::std::ostringstream mhs_check_os_;                                 \
+      mhs_check_os_ << msg;                                               \
+      ::mhs::detail::throw_precondition(#expr, __FILE__, __LINE__,        \
+                                        mhs_check_os_.str());             \
+    }                                                                     \
+  } while (false)
+
+/// Validates an internal invariant; throws mhs::InternalError on failure.
+#define MHS_ASSERT(expr, msg)                                             \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::std::ostringstream mhs_assert_os_;                                \
+      mhs_assert_os_ << msg;                                              \
+      ::mhs::detail::throw_internal(#expr, __FILE__, __LINE__,            \
+                                    mhs_assert_os_.str());                \
+    }                                                                     \
+  } while (false)

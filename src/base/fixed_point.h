@@ -1,0 +1,88 @@
+// Q-format fixed-point arithmetic.
+//
+// The DSP workloads in mhs::apps (FIR, IIR, DCT) operate on fixed-point
+// samples, exactly as the embedded targets the paper discusses would. The
+// type is a thin, checked wrapper over int64 with a compile-time number of
+// fractional bits.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "base/error.h"
+
+namespace mhs {
+
+/// Fixed-point value with `FracBits` fractional bits stored in int64.
+template <int FracBits>
+class Fixed {
+  static_assert(FracBits >= 0 && FracBits < 62,
+                "FracBits must lie in [0, 61]");
+
+ public:
+  static constexpr std::int64_t kOne = std::int64_t{1} << FracBits;
+
+  constexpr Fixed() = default;
+
+  /// Constructs from a raw scaled integer (value = raw / 2^FracBits).
+  static constexpr Fixed from_raw(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  /// Constructs from a double, rounding to nearest.
+  static Fixed from_double(double v) {
+    return from_raw(static_cast<std::int64_t>(
+        v * static_cast<double>(kOne) + (v >= 0 ? 0.5 : -0.5)));
+  }
+
+  /// Constructs from an integer (exact).
+  static constexpr Fixed from_int(std::int64_t v) {
+    return from_raw(v << FracBits);
+  }
+
+  constexpr std::int64_t raw() const { return raw_; }
+  double to_double() const {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+  /// Truncates toward negative infinity.
+  constexpr std::int64_t to_int() const { return raw_ >> FracBits; }
+
+  constexpr Fixed operator+(Fixed o) const { return from_raw(raw_ + o.raw_); }
+  constexpr Fixed operator-(Fixed o) const { return from_raw(raw_ - o.raw_); }
+  constexpr Fixed operator-() const { return from_raw(-raw_); }
+
+  /// Full-precision multiply with rounding of the discarded bits.
+  constexpr Fixed operator*(Fixed o) const {
+    const auto wide = static_cast<__int128>(raw_) * o.raw_;
+    const auto rounded = wide + (static_cast<__int128>(1) << (FracBits - 1));
+    return from_raw(static_cast<std::int64_t>(rounded >> FracBits));
+  }
+
+  /// Division; throws on divide-by-zero.
+  Fixed operator/(Fixed o) const {
+    MHS_CHECK(o.raw_ != 0, "fixed-point divide by zero");
+    const auto wide = static_cast<__int128>(raw_) << FracBits;
+    return from_raw(static_cast<std::int64_t>(wide / o.raw_));
+  }
+
+  constexpr bool operator==(const Fixed&) const = default;
+  constexpr auto operator<=>(const Fixed&) const = default;
+
+  Fixed& operator+=(Fixed o) { raw_ += o.raw_; return *this; }
+  Fixed& operator-=(Fixed o) { raw_ -= o.raw_; return *this; }
+  Fixed& operator*=(Fixed o) { *this = *this * o; return *this; }
+
+  friend std::ostream& operator<<(std::ostream& os, Fixed f) {
+    return os << f.to_double();
+  }
+
+ private:
+  std::int64_t raw_ = 0;
+};
+
+/// The library-wide default DSP sample format: Q16.16.
+using Q16 = Fixed<16>;
+
+}  // namespace mhs

@@ -1,0 +1,48 @@
+// Strongly typed integer identifiers.
+//
+// Graph-heavy EDA code is notoriously easy to break by mixing up node,
+// edge, and resource indices. Id<Tag> makes each identifier its own type
+// while remaining a trivially copyable 32-bit value suitable for vector
+// indexing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mhs {
+
+/// A strongly typed index. `Tag` is an empty struct that names the space.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t value) : value_(value) {}
+
+  static constexpr Id invalid() { return Id(UINT32_MAX); }
+  constexpr bool valid() const { return value_ != UINT32_MAX; }
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr std::size_t index() const { return value_; }
+
+  constexpr bool operator==(const Id&) const = default;
+  constexpr auto operator<=>(const Id&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  std::uint32_t value_ = UINT32_MAX;
+};
+
+}  // namespace mhs
+
+template <typename Tag>
+struct std::hash<mhs::Id<Tag>> {
+  std::size_t operator()(mhs::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,32 @@
+#include "base/stats.h"
+
+namespace mhs {
+
+double quantile(std::vector<double> v, double q) {
+  MHS_CHECK(!v.empty(), "quantile of empty vector");
+  MHS_CHECK(q >= 0.0 && q <= 1.0, "quantile: q=" << q << " out of [0,1]");
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double relative_error(double a, double b, double eps) {
+  const double denom = std::max(std::abs(b), eps);
+  return std::abs(a - b) / denom;
+}
+
+double geometric_mean(const std::vector<double>& v) {
+  MHS_CHECK(!v.empty(), "geometric_mean of empty vector");
+  double log_sum = 0.0;
+  for (const double x : v) {
+    MHS_CHECK(x > 0.0, "geometric_mean: non-positive value " << x);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+}  // namespace mhs

@@ -1,0 +1,59 @@
+// Streaming statistics and small helpers used by estimators and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "base/error.h"
+
+namespace mhs {
+
+/// Online accumulator for mean / variance / min / max (Welford's method).
+class StatAccumulator {
+ public:
+  /// Adds one sample.
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `v` by linear interpolation.
+/// Precondition: v non-empty.
+double quantile(std::vector<double> v, double q);
+
+/// Relative error |a-b| / max(|b|, eps); used to compare estimators.
+double relative_error(double a, double b, double eps = 1e-12);
+
+/// Geometric mean of a non-empty vector of positive values.
+double geometric_mean(const std::vector<double>& v);
+
+}  // namespace mhs

@@ -1,0 +1,80 @@
+#include "base/table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "base/error.h"
+
+namespace mhs {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MHS_CHECK(!headers_.empty(), "TextTable requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MHS_CHECK(row.size() == headers_.size(),
+            "row has " << row.size() << " cells, table has "
+                       << headers_.size() << " columns");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row_values(const std::vector<double>& values,
+                               int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (const double v : values) row.push_back(fmt(v, precision));
+  add_row(std::move(row));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left
+         << row[c] << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  os << '|';
+  for (const std::size_t w : widths) {
+    os << std::string(w + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt(std::size_t value) { return std::to_string(value); }
+std::string fmt(long long value) { return std::to_string(value); }
+
+std::string banner(const std::string& title) {
+  std::string line(title.size() + 8, '=');
+  return line + "\n==  " + title + "  ==\n" + line + "\n";
+}
+
+}  // namespace mhs

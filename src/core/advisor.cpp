@@ -1,0 +1,115 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/table.h"
+
+namespace mhs::core {
+
+namespace {
+
+/// Interface levels ordered from most to least detailed.
+int level_rank(sim::InterfaceLevel level) {
+  switch (level) {
+    case sim::InterfaceLevel::kPin:      return 0;
+    case sim::InterfaceLevel::kRegister: return 1;
+    case sim::InterfaceLevel::kDriver:   return 2;
+    case sim::InterfaceLevel::kMessage:  return 3;
+  }
+  return 3;
+}
+
+}  // namespace
+
+std::vector<Recommendation> recommend(
+    const DesignCharacteristics& c) {
+  std::vector<Recommendation> recs;
+  for (const ApproachProfile& approach : surveyed_approaches()) {
+    Recommendation rec;
+    rec.approach = &approach;
+
+    // Hard requirement: all required tasks covered.
+    bool tasks_ok = true;
+    for (const DesignTask task : c.required_tasks) {
+      if (!approach.tasks.count(task)) tasks_ok = false;
+    }
+    if (!tasks_ok) continue;
+
+    double score = 1.0;
+
+    // System type: a mismatch halves the score (techniques sometimes
+    // transfer across the boundary kind, but not reliably).
+    if (c.system_type && approach.system_type != *c.system_type) {
+      score *= 0.5;
+      rec.gaps.push_back(std::string("targets ") +
+                         system_type_name(approach.system_type) +
+                         " systems");
+    }
+
+    // Co-simulation detail: only meaningful when co-simulation was asked
+    // for. An approach that models interaction *more* abstractly than the
+    // project tolerates loses points proportional to the distance.
+    if (c.required_tasks.count(DesignTask::kCoSimulation) &&
+        c.max_cosim_level) {
+      if (!approach.cosim_level) {
+        score *= 0.6;
+        rec.gaps.push_back("co-simulation level unspecified");
+      } else if (level_rank(*approach.cosim_level) >
+                 level_rank(*c.max_cosim_level)) {
+        const int distance = level_rank(*approach.cosim_level) -
+                             level_rank(*c.max_cosim_level);
+        score *= 1.0 - 0.25 * distance;
+        rec.gaps.push_back(
+            std::string("models interaction only at the ") +
+            sim::interface_level_name(*approach.cosim_level) + " level");
+      }
+    }
+
+    // Partitioning factors: each missing required factor costs a share.
+    if (c.required_tasks.count(DesignTask::kPartitioning) &&
+        !c.required_factors.empty()) {
+      std::size_t missing = 0;
+      for (const PartitionFactor factor : c.required_factors) {
+        if (!approach.factors.count(factor)) {
+          ++missing;
+          rec.gaps.push_back(
+              std::string("does not consider ") +
+              partition_factor_name(factor));
+        }
+      }
+      score *= 1.0 - 0.8 * static_cast<double>(missing) /
+                         static_cast<double>(c.required_factors.size());
+    }
+
+    rec.score = score;
+    recs.push_back(std::move(rec));
+  }
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Recommendation& a, const Recommendation& b) {
+                     return a.score > b.score;
+                   });
+  return recs;
+}
+
+std::string recommendation_table(const std::vector<Recommendation>& recs,
+                                 std::size_t top_n) {
+  TextTable table({"rank", "approach", "score", "mhs implementation",
+                   "gaps"});
+  std::size_t rank = 1;
+  for (const Recommendation& rec : recs) {
+    if (rank > top_n) break;
+    std::ostringstream gaps;
+    for (const std::string& gap : rec.gaps) {
+      if (gaps.tellp() > 0) gaps << "; ";
+      gaps << gap;
+    }
+    table.add_row({fmt(rank), rec.approach->name, fmt(rec.score, 2),
+                   rec.approach->mhs_module,
+                   gaps.str().empty() ? "-" : gaps.str()});
+    ++rank;
+  }
+  return table.str();
+}
+
+}  // namespace mhs::core

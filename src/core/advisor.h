@@ -1,0 +1,53 @@
+// Approach advisor — the paper's §5 criteria, run in reverse.
+//
+// The paper's summary says: "Since HW/SW co-design can mean many things,
+// it is important to determine characteristics of a given approach before
+// evaluating it or comparing it to some other example." The advisor
+// operationalizes that: a designer states the characteristics of the
+// system being designed, and the registry is filtered and ranked by how
+// well each surveyed approach (and its mhs implementation) matches.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/taxonomy.h"
+
+namespace mhs::core {
+
+/// What the designer knows about the system to be designed.
+struct DesignCharacteristics {
+  /// Where the HW/SW boundary is (nullopt = either / undecided).
+  std::optional<SystemType> system_type;
+  /// Activities the methodology must cover.
+  std::set<DesignTask> required_tasks;
+  /// If co-simulation is required: the most abstract interface level the
+  /// project can tolerate (e.g. kRegister means pin or register).
+  std::optional<sim::InterfaceLevel> max_cosim_level;
+  /// Factors that must influence the partition (ignored when
+  /// partitioning is not among the required tasks).
+  std::set<PartitionFactor> required_factors;
+};
+
+/// One ranked recommendation.
+struct Recommendation {
+  const ApproachProfile* approach = nullptr;
+  /// 1.0 = every stated requirement met; fractions show partial fits.
+  double score = 0.0;
+  /// Human-readable reasons for lost points.
+  std::vector<std::string> gaps;
+};
+
+/// Ranks all surveyed approaches against `characteristics`, best first.
+/// Approaches missing a *required task* are excluded entirely; other
+/// mismatches cost score and are explained in `gaps`.
+std::vector<Recommendation> recommend(
+    const DesignCharacteristics& characteristics);
+
+/// Renders recommendations as a text table.
+std::string recommendation_table(const std::vector<Recommendation>& recs,
+                                 std::size_t top_n = 5);
+
+}  // namespace mhs::core

@@ -1,0 +1,152 @@
+#include "core/flow.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/rng.h"
+#include "base/table.h"
+#include "ir/optimize.h"
+#include "sw/estimate.h"
+
+namespace mhs::core {
+
+ir::TaskGraph annotate_costs(const ir::TaskGraph& graph,
+                             const std::vector<const ir::Cdfg*>& kernels,
+                             const FlowConfig& config) {
+  MHS_CHECK(kernels.size() == graph.num_tasks(),
+            "one kernel slot per task required (use nullptr to skip)");
+  ir::TaskGraph annotated = graph;
+  for (const ir::TaskId t : annotated.task_ids()) {
+    const ir::Cdfg* kernel = kernels[t.index()];
+    if (kernel == nullptr) continue;
+    ir::TaskCosts& costs = annotated.task(t).costs;
+
+    const sw::SwEstimate sw_est = sw::estimate_compiled(*kernel, config.cpu);
+    costs.sw_cycles = sw_est.cycles_per_iteration;
+    costs.sw_size = sw_est.code_bytes;
+
+    hw::HlsConstraints constraints;
+    constraints.goal = hw::HlsGoal::kMinArea;
+    const hw::HlsResult impl =
+        hw::synthesize(*kernel, config.library, constraints);
+    costs.hw_cycles = static_cast<double>(impl.latency);
+    costs.hw_area = impl.area.total();
+
+    // Nature of computation: available dataflow parallelism, i.e. how much
+    // wider than its depth the kernel is.
+    std::size_t compute_ops = 0;
+    for (const ir::OpId id : kernel->op_ids()) {
+      if (ir::op_is_compute(kernel->op(id).kind)) ++compute_ops;
+    }
+    const std::size_t depth = std::max<std::size_t>(kernel->depth(), 1);
+    costs.parallelism = std::clamp(
+        (static_cast<double>(compute_ops) / static_cast<double>(depth) -
+         1.0) /
+            3.0,
+        0.0, 1.0);
+  }
+  return annotated;
+}
+
+FlowReport run_codesign_flow(const ir::TaskGraph& graph,
+                             const std::vector<const ir::Cdfg*>& raw_kernels,
+                             const FlowConfig& config) {
+  FlowReport report;
+
+  // Optionally optimize every kernel once; all downstream steps
+  // (estimation, partitioning inputs, HLS validation, co-simulation)
+  // then see the optimized form.
+  std::vector<const ir::Cdfg*> kernels = raw_kernels;
+  if (config.optimize_kernels) {
+    report.optimized_kernels.reserve(raw_kernels.size());
+    for (const ir::Cdfg* kernel : raw_kernels) {
+      report.optimized_kernels.push_back(kernel == nullptr ? ir::Cdfg()
+                                                           : optimize(*kernel));
+    }
+    for (std::size_t i = 0; i < raw_kernels.size(); ++i) {
+      if (raw_kernels[i] != nullptr) {
+        kernels[i] = &report.optimized_kernels[i];
+      }
+    }
+  }
+
+  report.annotated = annotate_costs(graph, kernels, config);
+
+  const partition::CostModel model(report.annotated, config.library,
+                                   config.comm);
+  report.design = cosynth::synthesize_coprocessor(model, config.objective,
+                                                  config.strategy);
+
+  if (config.validate_with_hls) {
+    report.validated_hw_area = cosynth::validate_hw_area(
+        model, report.design.partition.mapping, kernels);
+    const double estimated = report.design.partition.metrics.hw_area;
+    if (report.validated_hw_area > 0.0) {
+      report.area_estimate_ratio = estimated / report.validated_hw_area;
+    }
+  }
+
+  // Co-simulate the largest hardware kernel behind its register interface.
+  if (config.cosimulate) {
+    const ir::Cdfg* largest = nullptr;
+    double largest_cycles = -1.0;
+    for (const ir::TaskId t : report.annotated.task_ids()) {
+      if (!report.design.partition.mapping[t.index()]) continue;
+      if (kernels[t.index()] == nullptr) continue;
+      const double c = report.annotated.task(t).costs.sw_cycles;
+      if (c > largest_cycles) {
+        largest_cycles = c;
+        largest = kernels[t.index()];
+      }
+    }
+    if (largest != nullptr) {
+      hw::HlsConstraints constraints;
+      constraints.goal = hw::HlsGoal::kMinArea;
+      const hw::HlsResult impl =
+          hw::synthesize(*largest, config.library, constraints);
+      Rng rng(config.cosim_seed);
+      std::vector<std::vector<std::int64_t>> samples;
+      for (std::size_t s = 0; s < config.cosim_samples; ++s) {
+        std::vector<std::int64_t> in;
+        for (std::size_t k = 0; k < largest->inputs().size(); ++k) {
+          in.push_back(rng.uniform_int(-128, 127));
+        }
+        samples.push_back(std::move(in));
+      }
+      sim::CosimConfig cosim_cfg;
+      cosim_cfg.level = config.cosim_level;
+      cosim_cfg.cpu = config.cpu;
+      report.cosim = sim::run_cosim(impl, cosim_cfg, samples);
+    }
+  }
+
+  // Summary.
+  std::ostringstream os;
+  const auto& m = report.design.partition.metrics;
+  os << banner("co-design flow: " + graph.name());
+  TextTable table({"metric", "value"});
+  table.add_row({"strategy", report.design.partition.algorithm});
+  table.add_row({"tasks", fmt(report.annotated.num_tasks())});
+  table.add_row({"tasks in HW", fmt(m.tasks_in_hw)});
+  table.add_row({"all-SW latency (cyc)", fmt(report.design.all_sw_latency, 1)});
+  table.add_row({"partitioned latency (cyc)", fmt(m.latency_cycles, 1)});
+  table.add_row({"speedup", fmt(report.design.speedup(), 2)});
+  table.add_row({"HW area (est)", fmt(m.hw_area, 1)});
+  if (config.validate_with_hls) {
+    table.add_row({"HW area (post-HLS sum)", fmt(report.validated_hw_area, 1)});
+    table.add_row({"estimate/HLS ratio", fmt(report.area_estimate_ratio, 2)});
+  }
+  table.add_row({"cross comm (cyc)", fmt(m.cross_comm_cycles, 1)});
+  table.add_row({"SW code (bytes)", fmt(m.sw_code_bytes, 0)});
+  if (report.cosim) {
+    table.add_row({"cosim level",
+                   sim::interface_level_name(report.cosim->level)});
+    table.add_row({"cosim events", fmt(report.cosim->sim_events)});
+    table.add_row({"cosim cycles", fmt(report.cosim->total_cycles, 0)});
+  }
+  os << table.str();
+  report.summary = os.str();
+  return report;
+}
+
+}  // namespace mhs::core

@@ -1,0 +1,77 @@
+// The end-to-end co-design flow (the paper's Figure 2, made executable).
+//
+// One driver that chains every activity the paper catalogs over a single
+// specification:
+//
+//   specify    — a task graph whose tasks carry behavioural kernels,
+//   estimate   — software costs from the compiler/estimator, hardware
+//                costs from high-level synthesis (the §3.2 "unified
+//                understanding of HW and SW functionality"),
+//   partition  — any §4.5-style strategy from mhs::cosynth,
+//   co-synthesize — HLS of every hardware-mapped kernel (area validation),
+//   co-simulate   — ISS + bus + accelerator co-simulation of the largest
+//                hardware kernel behind its synthesized register interface.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cosynth/coproc.h"
+#include "sim/cosim.h"
+
+namespace mhs::core {
+
+/// Flow-wide configuration.
+struct FlowConfig {
+  cosynth::CoprocStrategy strategy = cosynth::CoprocStrategy::kKl;
+  partition::Objective objective;
+  /// Run the ir::optimize pipeline on every kernel before estimation —
+  /// one optimization that shrinks both implementations (§3.2).
+  bool optimize_kernels = true;
+  hw::ComponentLibrary library = hw::default_library();
+  sw::CpuModel cpu = sw::reference_cpu();
+  partition::CommModel comm;
+  /// Push every HW kernel through HLS and cross-check the estimate.
+  bool validate_with_hls = true;
+  /// Co-simulate the largest HW kernel at this level (disabled if the
+  /// partition puts nothing in hardware).
+  bool cosimulate = true;
+  sim::InterfaceLevel cosim_level = sim::InterfaceLevel::kRegister;
+  std::size_t cosim_samples = 8;
+  std::uint64_t cosim_seed = 7;
+};
+
+/// Everything the flow produced.
+struct FlowReport {
+  /// The input graph re-annotated with estimator-derived costs.
+  ir::TaskGraph annotated;
+  /// Optimized kernels (parallel to tasks) when optimize_kernels is set;
+  /// the flow's estimates, synthesis, and co-simulation all used these.
+  std::vector<ir::Cdfg> optimized_kernels;
+  /// The partitioned design with its metrics.
+  cosynth::CoprocDesign design;
+  /// Sum of post-HLS areas of the HW kernels (0 if validation disabled).
+  double validated_hw_area = 0.0;
+  /// Relative gap between the cost model's shared-area estimate and the
+  /// per-kernel post-synthesis sum (sharing makes the estimate smaller).
+  double area_estimate_ratio = 1.0;
+  /// Co-simulation of the largest HW kernel (if any and enabled).
+  std::optional<sim::CosimReport> cosim;
+  /// Human-readable multi-line summary.
+  std::string summary;
+};
+
+/// Runs the whole flow. `kernels[i]` is task i's behavioural kernel; null
+/// entries keep the task's existing cost annotations.
+FlowReport run_codesign_flow(const ir::TaskGraph& graph,
+                             const std::vector<const ir::Cdfg*>& kernels,
+                             const FlowConfig& config);
+
+/// The estimate step alone: returns `graph` with sw/hw costs derived from
+/// the kernels (software: compiled static estimate; hardware: min-area
+/// HLS latency and area; parallelism: width of the kernel's dataflow).
+ir::TaskGraph annotate_costs(const ir::TaskGraph& graph,
+                             const std::vector<const ir::Cdfg*>& kernels,
+                             const FlowConfig& config);
+
+}  // namespace mhs::core

@@ -1,0 +1,77 @@
+// The paper's classification framework (its §2, §3, and §5 criteria).
+//
+// This is the primary contribution of Adams & Thomas DAC'96: a vocabulary
+// for comparing HW/SW co-design approaches. We make it executable — every
+// surveyed approach is profiled along the four criteria of §5, and each
+// profile names the mhs module that reimplements that approach, so the
+// registry doubles as the reproduction's experiment index.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/interface_level.h"
+
+namespace mhs::core {
+
+/// §2: where the HW/SW boundary lies.
+enum class SystemType {
+  kTypeI,   ///< logical boundary: SW executes *on* the HW (abstraction gap)
+  kTypeII,  ///< physical boundary: HW and SW are peer components
+  kMixed,   ///< both boundaries present (the paper notes no published work)
+};
+
+const char* system_type_name(SystemType type);
+
+/// §3: which design activities an approach integrates (Figure 2).
+enum class DesignTask {
+  kCoSimulation,
+  kCoSynthesis,
+  kPartitioning,
+};
+
+const char* design_task_name(DesignTask task);
+
+/// §3.3: the partitioning considerations.
+enum class PartitionFactor {
+  kPerformance,
+  kImplementationCost,
+  kModifiability,
+  kNatureOfComputation,
+  kConcurrency,
+  kCommunication,
+};
+
+const char* partition_factor_name(PartitionFactor factor);
+
+/// §5's four comparison criteria, as one record per approach.
+struct ApproachProfile {
+  std::string name;
+  std::string citation;  ///< reference number in the paper
+  SystemType system_type = SystemType::kTypeI;
+  std::set<DesignTask> tasks;
+  /// Criterion 3: level at which HW/SW interaction is modelled (only when
+  /// kCoSimulation is among the tasks).
+  std::optional<sim::InterfaceLevel> cosim_level;
+  /// Criterion 4: factors considered (only when kPartitioning is present).
+  std::set<PartitionFactor> factors;
+  /// Which mhs module/function reimplements this approach.
+  std::string mhs_module;
+  /// Which paper figure the approach's system class appears in.
+  std::string figure;
+};
+
+/// The approaches surveyed in §4, profiled per the §5 criteria.
+const std::vector<ApproachProfile>& surveyed_approaches();
+
+/// Renders the §5 comparison as an aligned text table (Experiment E11).
+std::string comparison_table();
+
+/// Checks the paper's claim that "examples of system design methodologies
+/// can be found that fit into every subset of this diagram" (Figure 2):
+/// returns the non-empty subsets of design tasks covered by the registry.
+std::set<std::set<DesignTask>> covered_task_subsets();
+
+}  // namespace mhs::core

@@ -1,0 +1,60 @@
+#include "cosynth/coproc.h"
+
+namespace mhs::cosynth {
+
+const char* coproc_strategy_name(CoprocStrategy strategy) {
+  switch (strategy) {
+    case CoprocStrategy::kHotSpot:  return "hot_spot";
+    case CoprocStrategy::kUnload:   return "unload";
+    case CoprocStrategy::kKl:       return "kl";
+    case CoprocStrategy::kAnnealed: return "annealed";
+    case CoprocStrategy::kGclp:     return "gclp";
+  }
+  return "?";
+}
+
+CoprocDesign synthesize_coprocessor(const partition::CostModel& model,
+                                    const partition::Objective& objective,
+                                    CoprocStrategy strategy) {
+  CoprocDesign design;
+  switch (strategy) {
+    case CoprocStrategy::kHotSpot:
+      design.partition = partition::partition_hot_spot(model, objective);
+      break;
+    case CoprocStrategy::kUnload:
+      design.partition = partition::partition_unload(model, objective);
+      break;
+    case CoprocStrategy::kKl:
+      design.partition = partition::partition_kl(model, objective);
+      break;
+    case CoprocStrategy::kAnnealed:
+      design.partition = partition::partition_annealed(model, objective);
+      break;
+    case CoprocStrategy::kGclp:
+      design.partition = partition::partition_gclp(model, objective);
+      break;
+  }
+  design.all_sw_latency =
+      partition::partition_all_sw(model, objective).metrics.latency_cycles;
+  return design;
+}
+
+double validate_hw_area(const partition::CostModel& model,
+                        const partition::Mapping& mapping,
+                        const std::vector<const ir::Cdfg*>& kernels,
+                        hw::HlsGoal goal) {
+  MHS_CHECK(kernels.size() == mapping.size(),
+            "kernel list size mismatches mapping");
+  double total = 0.0;
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    if (!mapping[i] || kernels[i] == nullptr) continue;
+    hw::HlsConstraints constraints;
+    constraints.goal = goal;
+    const hw::HlsResult impl =
+        hw::synthesize(*kernels[i], model.library(), constraints);
+    total += impl.area.total();
+  }
+  return total;
+}
+
+}  // namespace mhs::cosynth

@@ -1,0 +1,56 @@
+// Application-specific co-processor synthesis (the paper's §4.5, Fig. 8).
+//
+// Drives the HW/SW partitioners of mhs::partition as a complete flow:
+// pick a strategy, partition the task graph between the instruction-set
+// processor and the custom co-processor, and report the resulting design
+// with its speedup over all-software and its silicon cost. When the tasks
+// carry behavioural kernels, the hardware side can additionally be pushed
+// through high-level synthesis to validate the area/latency annotations.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hw/hls.h"
+#include "partition/algorithms.h"
+
+namespace mhs::cosynth {
+
+/// Which published partitioning style to run (§4.5's comparison axes).
+enum class CoprocStrategy {
+  kHotSpot,   ///< Henkel/Ernst [17]: all-SW start, move hot spots to HW
+  kUnload,    ///< Gupta & De Micheli [6]: all-HW start, evict to SW
+  kKl,        ///< pass-based move improvement
+  kAnnealed,  ///< simulated annealing
+  kGclp,      ///< Kalavade & Lee constructive mapping
+};
+
+const char* coproc_strategy_name(CoprocStrategy strategy);
+
+/// A synthesized co-processor system.
+struct CoprocDesign {
+  partition::PartitionResult partition;
+  /// Latency of the all-software mapping (the baseline of §4.5).
+  double all_sw_latency = 0.0;
+  double speedup() const {
+    return partition.metrics.latency_cycles > 0.0
+               ? all_sw_latency / partition.metrics.latency_cycles
+               : 1.0;
+  }
+};
+
+/// Runs the chosen strategy over `model` / `objective`.
+CoprocDesign synthesize_coprocessor(const partition::CostModel& model,
+                                    const partition::Objective& objective,
+                                    CoprocStrategy strategy);
+
+/// Synthesizes actual datapaths for every HW-mapped kernel and returns the
+/// summed post-synthesis area — a cross-check of the cost model's shared
+/// estimate. `kernels[i]` describes task i (may be null for tasks without
+/// a behavioural description, which are skipped).
+double validate_hw_area(const partition::CostModel& model,
+                        const partition::Mapping& mapping,
+                        const std::vector<const ir::Cdfg*>& kernels,
+                        hw::HlsGoal goal = hw::HlsGoal::kMinArea);
+
+}  // namespace mhs::cosynth

@@ -1,0 +1,157 @@
+#include "cosynth/mtcoproc.h"
+
+#include <algorithm>
+
+namespace mhs::cosynth {
+
+double mt_hw_area(const ir::ProcessNetwork& net,
+                  const std::vector<bool>& in_hw) {
+  MHS_CHECK(in_hw.size() == net.num_processes(), "mapping size mismatch");
+  double area = 0.0;
+  for (const ir::ProcessId p : net.process_ids()) {
+    if (in_hw[p.index()]) area += net.process(p).hw_area;
+  }
+  return area;
+}
+
+MtCoprocDesign mt_partition_latency_greedy(const ir::ProcessNetwork& net,
+                                           double area_budget,
+                                           const sim::OsCosimConfig& eval) {
+  MHS_CHECK(area_budget >= 0.0, "negative area budget");
+  MtCoprocDesign design;
+  design.in_hw.assign(net.num_processes(), false);
+
+  // Heaviest-first by software cycles; take while the budget allows.
+  std::vector<ir::ProcessId> order = net.process_ids();
+  std::sort(order.begin(), order.end(),
+            [&](ir::ProcessId a, ir::ProcessId b) {
+              return net.process(a).sw_cycles > net.process(b).sw_cycles;
+            });
+  double area = 0.0;
+  for (const ir::ProcessId p : order) {
+    const double a = net.process(p).hw_area;
+    if (area + a <= area_budget) {
+      design.in_hw[p.index()] = true;
+      area += a;
+    }
+  }
+  design.hw_area = area;
+  design.evaluation = sim::run_message_cosim(net, design.in_hw, eval);
+  design.effort = 1;
+  return design;
+}
+
+MtCoprocDesign mt_partition_concurrency_aware(
+    const ir::ProcessNetwork& net, double area_budget,
+    const sim::OsCosimConfig& eval, const opt::AnnealConfig& anneal_config,
+    std::size_t opt_iterations) {
+  MHS_CHECK(net.num_processes() > 0, "empty process network");
+  MHS_CHECK(opt_iterations >= 1, "need at least one evaluation iteration");
+
+  // The optimizer evaluates with fewer iterations than the final report
+  // (startup transients average out; the steady-state ranking is stable).
+  sim::OsCosimConfig opt_eval = eval;
+  opt_eval.iterations = opt_iterations;
+
+  // Seed with the latency-greedy mapping so the anneal refines a sane
+  // starting point instead of random-walking from all-software.
+  std::vector<bool> mapping =
+      mt_partition_latency_greedy(net, area_budget, opt_eval).in_hw;
+  std::vector<bool> best = mapping;
+  std::size_t effort = 0;
+
+  auto energy_of = [&](const std::vector<bool>& m) {
+    ++effort;
+    const sim::OsCosimResult r = sim::run_message_cosim(net, m, opt_eval);
+    double energy = r.makespan;
+    const double area = mt_hw_area(net, m);
+    if (area > area_budget) {
+      // The budget is a hard constraint: make any violation dominate any
+      // achievable makespan gain so the annealer cannot trade into it.
+      energy += (area - area_budget) * 1e6;
+    }
+    if (r.deadlocked) energy *= 100.0;
+    return energy;
+  };
+
+  double current = energy_of(mapping);
+  opt::AnnealConfig cfg = anneal_config;
+  cfg.initial_temperature =
+      std::max(1e-6, current) * 0.1 * anneal_config.initial_temperature;
+
+  // Moves: flip one process, or (to hop between budget-saturated
+  // configurations) swap the sides of two processes in one step.
+  std::vector<std::size_t> last_flips;
+  opt::anneal(
+      cfg, current,
+      [&](Rng& rng) {
+        last_flips.clear();
+        const auto pick = [&] {
+          return static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(net.num_processes()) - 1));
+        };
+        last_flips.push_back(pick());
+        if (net.num_processes() >= 2 && rng.bernoulli(0.4)) {
+          std::size_t second = pick();
+          while (second == last_flips[0]) second = pick();
+          last_flips.push_back(second);
+        }
+        for (const std::size_t i : last_flips) mapping[i] = !mapping[i];
+        const double e = energy_of(mapping);
+        const double delta = e - current;
+        current = e;
+        return delta;
+      },
+      [&] {
+        for (const std::size_t i : last_flips) mapping[i] = !mapping[i];
+        current = energy_of(mapping);
+      },
+      [&] { best = mapping; });
+
+  MtCoprocDesign design;
+  design.in_hw = best;
+  design.hw_area = mt_hw_area(net, best);
+  design.evaluation = sim::run_message_cosim(net, best, eval);
+  design.effort = effort;
+  return design;
+}
+
+MtCoprocDesign mt_partition_exhaustive(const ir::ProcessNetwork& net,
+                                       double area_budget,
+                                       const sim::OsCosimConfig& eval,
+                                       std::size_t opt_iterations) {
+  const std::size_t n = net.num_processes();
+  MHS_CHECK(n >= 1 && n <= 16,
+            "exhaustive partitioning limited to 16 processes; got " << n);
+  sim::OsCosimConfig opt_eval = eval;
+  opt_eval.iterations = opt_iterations;
+
+  std::vector<bool> best(n, false);
+  double best_makespan =
+      sim::run_message_cosim(net, best, opt_eval).makespan;
+  std::size_t effort = 1;
+
+  std::vector<bool> mapping(n);
+  for (std::uint32_t bits = 1; bits < (1u << n); ++bits) {
+    for (std::size_t i = 0; i < n; ++i) {
+      mapping[i] = (bits >> i) & 1;
+    }
+    if (mt_hw_area(net, mapping) > area_budget) continue;
+    ++effort;
+    const sim::OsCosimResult r =
+        sim::run_message_cosim(net, mapping, opt_eval);
+    if (!r.deadlocked && r.makespan < best_makespan) {
+      best_makespan = r.makespan;
+      best = mapping;
+    }
+  }
+
+  MtCoprocDesign design;
+  design.in_hw = best;
+  design.hw_area = mt_hw_area(net, best);
+  design.evaluation = sim::run_message_cosim(net, best, eval);
+  design.effort = effort;
+  return design;
+}
+
+}  // namespace mhs::cosynth

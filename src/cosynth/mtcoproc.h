@@ -1,0 +1,63 @@
+// Multi-threaded co-processor partitioning (the paper's §4.5.1, Fig. 9;
+// Adams & Thomas, "Multiple-Process Behavioral Synthesis" [10]).
+//
+// The co-processor comprises several controller/datapath pairs, so it can
+// host concurrent threads of control. Partitioning a process network then
+// has to weigh *all* the §3.3 factors at once — in particular concurrency
+// (between CPU and co-processor and among co-processor threads) and
+// communication (cross-boundary messages are expensive). Quality is
+// measured by the message-level co-simulator of mhs::sim, the same
+// send/receive/wait machinery the paper's co-simulation reference [3]
+// proposes for this system class.
+#pragma once
+
+#include <vector>
+
+#include "ir/process_network.h"
+#include "opt/anneal.h"
+#include "sim/os_cosim.h"
+
+namespace mhs::cosynth {
+
+/// A partitioned multi-threaded co-processor system.
+struct MtCoprocDesign {
+  /// Process p is a co-processor thread iff in_hw[p.index()].
+  std::vector<bool> in_hw;
+  /// Total area of the hardware threads (sum of per-process hw_area).
+  double hw_area = 0.0;
+  /// Final evaluation by message-level co-simulation.
+  sim::OsCosimResult evaluation;
+  /// Optimization effort (co-simulations run).
+  std::size_t effort = 0;
+};
+
+/// Area of a mapping (sum of hw_area over HW processes).
+double mt_hw_area(const ir::ProcessNetwork& net,
+                  const std::vector<bool>& in_hw);
+
+/// Baseline: move the computationally heaviest processes to hardware
+/// until the area budget is exhausted, ignoring communication and
+/// concurrency structure entirely.
+MtCoprocDesign mt_partition_latency_greedy(const ir::ProcessNetwork& net,
+                                           double area_budget,
+                                           const sim::OsCosimConfig& eval);
+
+/// Communication/concurrency-aware partitioning: simulated annealing whose
+/// energy is the co-simulated makespan (plus an area-budget penalty), i.e.
+/// the optimizer directly sees the §3.3 concurrency and communication
+/// factors through the simulator. The search is seeded with the
+/// latency-greedy mapping, so it refines rather than rediscovers it.
+MtCoprocDesign mt_partition_concurrency_aware(
+    const ir::ProcessNetwork& net, double area_budget,
+    const sim::OsCosimConfig& eval, const opt::AnnealConfig& anneal = {},
+    std::size_t opt_iterations = 24);
+
+/// Exact variant: enumerates every budget-feasible mapping (2^n candidate
+/// sets) and co-simulates each, returning the minimum-makespan partition.
+/// Precondition: net.num_processes() <= 16.
+MtCoprocDesign mt_partition_exhaustive(const ir::ProcessNetwork& net,
+                                       double area_budget,
+                                       const sim::OsCosimConfig& eval,
+                                       std::size_t opt_iterations = 24);
+
+}  // namespace mhs::cosynth

@@ -1,0 +1,356 @@
+#include "cosynth/multiproc.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ir/task_graph_algos.h"
+#include "opt/binpack.h"
+
+namespace mhs::cosynth {
+
+std::vector<PeType> default_pe_catalog() {
+  return {
+      PeType{"econo", 4.0, 300.0},
+      PeType{"standard", 2.0, 700.0},
+      PeType{"fast", 1.0, 1500.0},
+      PeType{"turbo", 0.5, 3600.0},
+  };
+}
+
+double mp_makespan(const ir::TaskGraph& graph,
+                   const std::vector<PeType>& catalog,
+                   const std::vector<std::size_t>& instance_type,
+                   const std::vector<std::size_t>& assignment,
+                   const MpCommModel& comm) {
+  const std::size_t n = graph.num_tasks();
+  MHS_CHECK(assignment.size() == n, "assignment size mismatch");
+  for (const std::size_t inst : assignment) {
+    MHS_CHECK(inst < instance_type.size(), "task assigned to missing PE");
+  }
+  for (const std::size_t t : instance_type) {
+    MHS_CHECK(t < catalog.size(), "PE instance of unknown type");
+  }
+  if (n == 0) return 0.0;
+
+  auto node_delay = [&](ir::TaskId t) {
+    return graph.task(t).costs.sw_cycles *
+           catalog[instance_type[assignment[t.index()]]].slowdown;
+  };
+  auto edge_cost = [&](ir::EdgeId e) {
+    const ir::Edge& edge = graph.edge(e);
+    if (assignment[edge.src.index()] == assignment[edge.dst.index()]) {
+      return 0.0;
+    }
+    return comm.overhead_cycles + edge.bytes / comm.bytes_per_cycle;
+  };
+  const auto priority = ir::b_levels(graph, node_delay, edge_cost);
+
+  std::vector<std::size_t> preds_left(n, 0);
+  for (const ir::EdgeId e : graph.edge_ids()) {
+    ++preds_left[graph.edge(e).dst.index()];
+  }
+  std::vector<double> ready(n, 0.0);
+  std::vector<bool> done(n, false);
+  std::vector<double> pe_free(instance_type.size(), 0.0);
+  std::size_t remaining = n;
+  double makespan = 0.0;
+
+  while (remaining > 0) {
+    // Among ready tasks, run the one that can start earliest on its PE;
+    // tie-break by b-level priority.
+    ir::TaskId best = ir::TaskId::invalid();
+    double best_start = std::numeric_limits<double>::infinity();
+    for (const ir::TaskId t : graph.task_ids()) {
+      if (done[t.index()] || preds_left[t.index()] != 0) continue;
+      const double start =
+          std::max(pe_free[assignment[t.index()]], ready[t.index()]);
+      if (start < best_start - 1e-12 ||
+          (std::abs(start - best_start) <= 1e-12 && best.valid() &&
+           priority[t.index()] > priority[best.index()])) {
+        best_start = start;
+        best = t;
+      }
+    }
+    MHS_ASSERT(best.valid(), "mp scheduler stuck (cycle?)");
+    const double f = best_start + node_delay(best);
+    done[best.index()] = true;
+    pe_free[assignment[best.index()]] = f;
+    makespan = std::max(makespan, f);
+    --remaining;
+    for (const ir::EdgeId e : graph.out_edges(best)) {
+      const ir::TaskId d = graph.edge(e).dst;
+      ready[d.index()] = std::max(ready[d.index()], f + edge_cost(e));
+      --preds_left[d.index()];
+    }
+  }
+  return makespan;
+}
+
+namespace {
+
+/// Shared finishing step: fill cost/makespan/feasible.
+void finalize(const ir::TaskGraph& graph, const std::vector<PeType>& catalog,
+              const MpCommModel& comm, double deadline, MpDesign& design) {
+  design.cost = 0.0;
+  for (const std::size_t t : design.instance_type) {
+    design.cost += catalog[t].cost;
+  }
+  design.makespan = mp_makespan(graph, catalog, design.instance_type,
+                                design.assignment, comm);
+  design.feasible = design.makespan <= deadline + 1e-9;
+}
+
+/// Branch-and-bound search state.
+struct Bnb {
+  const ir::TaskGraph& graph;
+  const std::vector<PeType>& catalog;
+  const MpCommModel& comm;
+  double deadline;
+  std::size_t max_pes;
+
+  std::vector<ir::TaskId> order;        // tasks in decreasing work
+  std::vector<std::size_t> inst_type;   // opened instances
+  std::vector<std::size_t> assignment;  // per task (SIZE_MAX = unassigned)
+  std::vector<double> inst_load;        // reference work assigned, scaled
+
+  MpDesign best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::size_t explored = 0;
+  double min_slowdown = 1.0;
+  double fastest_cp = 0.0;  // critical path at min slowdown (lower bound)
+
+  void search(std::size_t depth, double cost_so_far) {
+    ++explored;
+    MHS_CHECK(explored < 40'000'000, "B&B exploded; reduce problem size");
+    if (cost_so_far >= best_cost - 1e-9) return;
+    if (fastest_cp > deadline + 1e-9) return;  // structurally infeasible
+
+    if (depth == order.size()) {
+      const double makespan = mp_makespan(graph, catalog, inst_type,
+                                          assignment, comm);
+      if (makespan <= deadline + 1e-9) {
+        best.instance_type = inst_type;
+        best.assignment = assignment;
+        best_cost = cost_so_far;
+      }
+      return;
+    }
+
+    const ir::TaskId task = order[depth];
+    const double work = graph.task(task).costs.sw_cycles;
+
+    // Candidate: each open instance (load bound: a PE whose serialized
+    // load already exceeds the deadline can never be on a feasible
+    // schedule), then one new instance per type (skip symmetric duplicates
+    // by only opening a type if no open instance of it is still empty).
+    for (std::size_t i = 0; i < inst_type.size(); ++i) {
+      const double scaled = work * catalog[inst_type[i]].slowdown;
+      if (inst_load[i] + scaled > deadline + 1e-9) continue;
+      assignment[task.index()] = i;
+      inst_load[i] += scaled;
+      search(depth + 1, cost_so_far);
+      inst_load[i] -= scaled;
+      assignment[task.index()] = SIZE_MAX;
+    }
+    if (inst_type.size() < max_pes) {
+      for (std::size_t t = 0; t < catalog.size(); ++t) {
+        bool has_empty_of_type = false;
+        for (std::size_t i = 0; i < inst_type.size(); ++i) {
+          if (inst_type[i] == t && inst_load[i] == 0.0) {
+            has_empty_of_type = true;
+            break;
+          }
+        }
+        if (has_empty_of_type) continue;
+        const double scaled = work * catalog[t].slowdown;
+        if (scaled > deadline + 1e-9) continue;  // can never fit
+        inst_type.push_back(t);
+        inst_load.push_back(scaled);
+        assignment[task.index()] = inst_type.size() - 1;
+        search(depth + 1, cost_so_far + catalog[t].cost);
+        assignment[task.index()] = SIZE_MAX;
+        inst_type.pop_back();
+        inst_load.pop_back();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+MpDesign synthesize_exact(const ir::TaskGraph& graph,
+                          const std::vector<PeType>& catalog,
+                          double deadline, const MpCommModel& comm,
+                          std::size_t max_pes,
+                          std::size_t max_tasks_guard) {
+  MHS_CHECK(!catalog.empty(), "empty PE catalog");
+  MHS_CHECK(deadline > 0.0, "deadline must be positive");
+  MHS_CHECK(graph.num_tasks() <= max_tasks_guard,
+            "exact synthesis limited to " << max_tasks_guard
+                                          << " tasks; got "
+                                          << graph.num_tasks());
+
+  Bnb bnb{graph, catalog, comm, deadline, max_pes,
+          {},   {},      {},   {},       {}};
+  bnb.order = graph.task_ids();
+  std::sort(bnb.order.begin(), bnb.order.end(),
+            [&](ir::TaskId a, ir::TaskId b) {
+              return graph.task(a).costs.sw_cycles >
+                     graph.task(b).costs.sw_cycles;
+            });
+  bnb.assignment.assign(graph.num_tasks(), SIZE_MAX);
+  bnb.min_slowdown = catalog.front().slowdown;
+  for (const PeType& pe : catalog) {
+    bnb.min_slowdown = std::min(bnb.min_slowdown, pe.slowdown);
+  }
+  bnb.fastest_cp = ir::critical_path_length(
+      graph,
+      [&](ir::TaskId t) {
+        return graph.task(t).costs.sw_cycles * bnb.min_slowdown;
+      },
+      ir::zero_edge_delay());
+  bnb.search(0, 0.0);
+
+  MpDesign design = std::move(bnb.best);
+  design.effort = bnb.explored;
+  if (design.assignment.empty()) {
+    // No feasible solution found.
+    design.assignment.assign(graph.num_tasks(), 0);
+    design.instance_type.assign(1, 0);
+    finalize(graph, catalog, comm, deadline, design);
+    design.feasible = false;
+    return design;
+  }
+  finalize(graph, catalog, comm, deadline, design);
+  return design;
+}
+
+MpDesign synthesize_binpack(const ir::TaskGraph& graph,
+                            const std::vector<PeType>& catalog,
+                            double deadline, const MpCommModel& comm) {
+  MHS_CHECK(!catalog.empty(), "empty PE catalog");
+  MHS_CHECK(deadline > 0.0, "deadline must be positive");
+
+  MpDesign design;
+  std::size_t effort = 0;
+  // Utilization margin iteration: pack into shrunken capacity until the
+  // real schedule (with precedence and communication) meets the deadline.
+  for (double margin = 1.0; margin >= 0.05; margin -= 0.05) {
+    ++effort;
+    std::vector<opt::PackItem> items;
+    for (const ir::TaskId t : graph.task_ids()) {
+      items.push_back(
+          opt::PackItem{{graph.task(t).costs.sw_cycles}, t.index()});
+    }
+    std::vector<opt::BinType> bins;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      bins.push_back(opt::BinType{
+          {deadline * margin / catalog[i].slowdown}, catalog[i].cost, i});
+    }
+    const opt::PackResult packed = opt::first_fit_decreasing(items, bins);
+    if (!packed.feasible) continue;
+
+    MpDesign candidate;
+    candidate.assignment.assign(graph.num_tasks(), SIZE_MAX);
+    for (std::size_t b = 0; b < packed.bins.size(); ++b) {
+      candidate.instance_type.push_back(packed.bins[b].type_key);
+      for (const std::size_t key : packed.bins[b].item_keys) {
+        candidate.assignment[key] = b;
+      }
+    }
+    finalize(graph, catalog, comm, deadline, candidate);
+    candidate.effort = effort;
+    if (candidate.feasible) return candidate;
+    design = candidate;  // remember the last (infeasible) attempt
+  }
+  design.effort = effort;
+  return design;
+}
+
+MpDesign synthesize_sensitivity(const ir::TaskGraph& graph,
+                                const std::vector<PeType>& catalog,
+                                double deadline, const MpCommModel& comm) {
+  MHS_CHECK(!catalog.empty(), "empty PE catalog");
+  MHS_CHECK(deadline > 0.0, "deadline must be positive");
+
+  // Fastest type (smallest slowdown) for the feasible seed.
+  std::size_t fastest = 0;
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    if (catalog[i].slowdown < catalog[fastest].slowdown) fastest = i;
+  }
+
+  MpDesign design;
+  design.instance_type.assign(graph.num_tasks(), fastest);
+  design.assignment.resize(graph.num_tasks());
+  for (std::size_t i = 0; i < graph.num_tasks(); ++i) {
+    design.assignment[i] = i;
+  }
+  finalize(graph, catalog, comm, deadline, design);
+  std::size_t effort = 1;
+
+  auto try_apply = [&](MpDesign& candidate) {
+    ++effort;
+    finalize(graph, catalog, comm, deadline, candidate);
+    return candidate.feasible && candidate.cost < design.cost - 1e-9;
+  };
+
+  bool improved = true;
+  while (improved && design.feasible) {
+    improved = false;
+    MpDesign best_candidate;
+    double best_sensitivity = 0.0;
+
+    // Move (a): merge instance A into instance B (drop A).
+    for (std::size_t a = 0; a < design.instance_type.size(); ++a) {
+      for (std::size_t b = 0; b < design.instance_type.size(); ++b) {
+        if (a == b) continue;
+        MpDesign cand = design;
+        for (auto& inst : cand.assignment) {
+          if (inst == a) inst = b;
+        }
+        // Drop instance a; renumber assignments above it.
+        cand.instance_type.erase(cand.instance_type.begin() +
+                                 static_cast<std::ptrdiff_t>(a));
+        for (auto& inst : cand.assignment) {
+          if (inst > a) --inst;
+        }
+        if (try_apply(cand)) {
+          const double slack_used = cand.makespan - design.makespan;
+          const double sensitivity =
+              (design.cost - cand.cost) / std::max(1.0, slack_used);
+          if (sensitivity > best_sensitivity) {
+            best_sensitivity = sensitivity;
+            best_candidate = cand;
+          }
+        }
+      }
+    }
+    // Move (b): downgrade an instance to a cheaper type.
+    for (std::size_t i = 0; i < design.instance_type.size(); ++i) {
+      for (std::size_t t = 0; t < catalog.size(); ++t) {
+        if (catalog[t].cost >= catalog[design.instance_type[i]].cost) {
+          continue;
+        }
+        MpDesign cand = design;
+        cand.instance_type[i] = t;
+        if (try_apply(cand)) {
+          const double slack_used = cand.makespan - design.makespan;
+          const double sensitivity =
+              (design.cost - cand.cost) / std::max(1.0, slack_used);
+          if (sensitivity > best_sensitivity) {
+            best_sensitivity = sensitivity;
+            best_candidate = cand;
+          }
+        }
+      }
+    }
+    if (best_sensitivity > 0.0) {
+      design = best_candidate;
+      improved = true;
+    }
+  }
+  design.effort = effort;
+  return design;
+}
+
+}  // namespace mhs::cosynth

@@ -1,0 +1,88 @@
+// Heterogeneous multiprocessor co-synthesis (the paper's §4.2, Figure 5).
+//
+// Given a task graph with a deadline and a catalog of processing-element
+// types (speed + price), choose how many PEs of which types to buy and map
+// every task onto a PE so that the list-scheduled makespan meets the
+// deadline at minimum total PE cost. Three engines are provided, matching
+// the three approaches the paper contrasts:
+//
+//   synthesize_exact       — branch-and-bound over assignments; optimal,
+//                            like the ILP of Prakash & Parker's SOS [12].
+//   synthesize_binpack     — Beck-style vector bin packing [13] on task
+//                            utilizations with schedule validation.
+//   synthesize_sensitivity — Yen & Wolf style iterative refinement [9]:
+//                            start feasible, repeatedly apply the cost-
+//                            reducing modification with the best
+//                            cost-per-slack sensitivity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/task_graph.h"
+
+namespace mhs::cosynth {
+
+/// A processing-element type available from the catalog.
+struct PeType {
+  std::string name;
+  /// Execution-time multiplier: task time on this PE = sw_cycles * slowdown.
+  double slowdown = 1.0;
+  /// Unit price (same abstract units as hardware area).
+  double cost = 1000.0;
+};
+
+/// A catalog spanning cheap/slow to fast/expensive parts.
+std::vector<PeType> default_pe_catalog();
+
+/// Inter-PE communication pricing (tasks on the same PE communicate free).
+struct MpCommModel {
+  double overhead_cycles = 16.0;
+  double bytes_per_cycle = 8.0;
+};
+
+/// A synthesized multiprocessor design.
+struct MpDesign {
+  /// Catalog index of each opened PE instance.
+  std::vector<std::size_t> instance_type;
+  /// PE instance each task runs on (indexed by TaskId::index()).
+  std::vector<std::size_t> assignment;
+  double cost = 0.0;
+  double makespan = 0.0;
+  bool feasible = false;
+  /// Search effort (nodes explored / packings tried / moves evaluated).
+  std::size_t effort = 0;
+};
+
+/// List-scheduled makespan of `design` (each PE serializes its tasks;
+/// cross-PE edges cost overhead + bytes/bandwidth).
+double mp_makespan(const ir::TaskGraph& graph,
+                   const std::vector<PeType>& catalog,
+                   const std::vector<std::size_t>& instance_type,
+                   const std::vector<std::size_t>& assignment,
+                   const MpCommModel& comm);
+
+/// Exact branch-and-bound synthesis. Practical up to ~12 tasks; throws
+/// PreconditionError beyond `max_tasks_guard` (default 16).
+MpDesign synthesize_exact(const ir::TaskGraph& graph,
+                          const std::vector<PeType>& catalog,
+                          double deadline, const MpCommModel& comm = {},
+                          std::size_t max_pes = 8,
+                          std::size_t max_tasks_guard = 16);
+
+/// Bin-packing synthesis: pack task work (reference cycles) into PE
+/// capacity (deadline / slowdown), then validate with the real schedule,
+/// tightening capacity until feasible.
+MpDesign synthesize_binpack(const ir::TaskGraph& graph,
+                            const std::vector<PeType>& catalog,
+                            double deadline, const MpCommModel& comm = {});
+
+/// Sensitivity-driven refinement from a feasible seed (one fastest PE per
+/// task): repeatedly merge/downgrade/re-map with the best cost saving per
+/// slack consumed while the deadline holds.
+MpDesign synthesize_sensitivity(const ir::TaskGraph& graph,
+                                const std::vector<PeType>& catalog,
+                                double deadline,
+                                const MpCommModel& comm = {});
+
+}  // namespace mhs::cosynth

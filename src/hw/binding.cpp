@@ -1,0 +1,195 @@
+#include "hw/binding.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace mhs::hw {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// Lifetime of an op's value: [def_end, last_use_start]. A value needs a
+/// register iff some user starts at a later step than the producing step
+/// window (i.e. it crosses a control-step boundary).
+struct Lifetime {
+  ir::OpId op;
+  std::size_t begin;  // step at which the value is produced
+  std::size_t end;    // last step at which the value is consumed
+};
+
+}  // namespace
+
+Binding bind(const Schedule& schedule) {
+  const ir::Cdfg& cdfg = schedule.cdfg();
+  const ComponentLibrary& lib = schedule.library();
+  Binding b;
+  b.fu_instance.assign(cdfg.num_ops(), kNone);
+  b.register_of.assign(cdfg.num_ops(), kNone);
+
+  // --- FU binding: left-edge per type ------------------------------------
+  for (std::size_t ti = 0; ti < kNumFuTypes; ++ti) {
+    const FuType type = all_fu_types()[ti];
+    std::vector<ir::OpId> ops;
+    for (const ir::OpId id : cdfg.op_ids()) {
+      const ir::Op& op = cdfg.op(id);
+      if (ir::op_is_compute(op.kind) && fu_for_op(op.kind) == type) {
+        ops.push_back(id);
+      }
+    }
+    std::sort(ops.begin(), ops.end(), [&](ir::OpId a, ir::OpId b) {
+      if (schedule.start_of(a) != schedule.start_of(b)) {
+        return schedule.start_of(a) < schedule.start_of(b);
+      }
+      return a < b;
+    });
+    std::vector<std::size_t> instance_free_at;  // next free step per instance
+    for (const ir::OpId id : ops) {
+      const std::size_t s = schedule.start_of(id);
+      const std::size_t e = s + lib.op_latency(cdfg.op(id).kind);
+      std::size_t chosen = kNone;
+      for (std::size_t i = 0; i < instance_free_at.size(); ++i) {
+        if (instance_free_at[i] <= s) {
+          chosen = i;
+          break;
+        }
+      }
+      if (chosen == kNone) {
+        chosen = instance_free_at.size();
+        instance_free_at.push_back(0);
+      }
+      instance_free_at[chosen] = e;
+      b.fu_instance[id.index()] = chosen;
+    }
+    b.fu_counts[type] = instance_free_at.size();
+  }
+
+  // --- Register allocation: left-edge on value lifetimes ------------------
+  std::vector<Lifetime> lifetimes;
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    if (op.kind == ir::OpKind::kOutput) continue;  // outputs are ports
+    const std::size_t def_end = schedule.end_of(id);
+    std::size_t last_use = def_end;
+    bool crosses = false;
+    for (const ir::OpId user : cdfg.users(id)) {
+      const std::size_t use = schedule.start_of(user);
+      last_use = std::max(last_use, use);
+      if (use > def_end || cdfg.op(user).kind == ir::OpKind::kOutput) {
+        // A same-step chained use could be wired combinationally; any
+        // later use (or an output port, which must hold its value) needs
+        // the value registered.
+        crosses = crosses || use >= def_end;
+      }
+    }
+    // Inputs and constants are assumed latched externally / hardwired.
+    if (op.kind == ir::OpKind::kConst || op.kind == ir::OpKind::kInput) {
+      continue;
+    }
+    if (crosses) {
+      lifetimes.push_back(Lifetime{id, def_end, last_use});
+    }
+  }
+  std::sort(lifetimes.begin(), lifetimes.end(),
+            [](const Lifetime& a, const Lifetime& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.op < b.op;
+            });
+  std::vector<std::size_t> reg_free_at;
+  for (const Lifetime& lt : lifetimes) {
+    std::size_t chosen = kNone;
+    for (std::size_t r = 0; r < reg_free_at.size(); ++r) {
+      if (reg_free_at[r] <= lt.begin) {
+        chosen = r;
+        break;
+      }
+    }
+    if (chosen == kNone) {
+      chosen = reg_free_at.size();
+      reg_free_at.push_back(0);
+    }
+    reg_free_at[chosen] = lt.end + 1;
+    b.register_of[lt.op.index()] = chosen;
+  }
+  b.num_registers = reg_free_at.size();
+
+  // --- Mux cost: distinct sources per FU-instance input port --------------
+  // port_sources[(type, instance, port)] -> set of producing ops/ports.
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
+           std::set<std::uint32_t>>
+      port_sources;
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    if (!ir::op_is_compute(op.kind)) continue;
+    const auto type = static_cast<std::size_t>(fu_for_op(op.kind));
+    const std::size_t inst = b.fu_instance[id.index()];
+    for (std::size_t port = 0; port < op.operands.size(); ++port) {
+      port_sources[{type, inst, port}].insert(op.operands[port].value());
+    }
+  }
+  for (const auto& [key, sources] : port_sources) {
+    if (sources.size() > 1) {
+      b.mux_inputs += sources.size();
+      b.mux_port_sources.push_back(sources.size());
+    }
+  }
+
+  verify_binding(schedule, b);
+  return b;
+}
+
+void verify_binding(const Schedule& schedule, const Binding& binding) {
+  const ir::Cdfg& cdfg = schedule.cdfg();
+  const ComponentLibrary& lib = schedule.library();
+
+  // FU exclusivity.
+  const auto ids = cdfg.op_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const ir::Op& a = cdfg.op(ids[i]);
+    if (!ir::op_is_compute(a.kind)) continue;
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      const ir::Op& bop = cdfg.op(ids[j]);
+      if (!ir::op_is_compute(bop.kind)) continue;
+      if (fu_for_op(a.kind) != fu_for_op(bop.kind)) continue;
+      if (binding.fu_instance[ids[i].index()] !=
+          binding.fu_instance[ids[j].index()]) {
+        continue;
+      }
+      const std::size_t sa = schedule.start_of(ids[i]);
+      const std::size_t ea = sa + lib.op_latency(a.kind);
+      const std::size_t sb = schedule.start_of(ids[j]);
+      const std::size_t eb = sb + lib.op_latency(bop.kind);
+      MHS_ASSERT(ea <= sb || eb <= sa,
+                 "ops " << ids[i] << " and " << ids[j]
+                        << " overlap on one FU instance");
+    }
+  }
+
+  // Register exclusivity: recompute lifetimes and check pairwise.
+  struct Live {
+    std::size_t reg, begin, end;
+  };
+  std::vector<Live> lives;
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const std::size_t reg = binding.register_of[id.index()];
+    if (reg == kNone) continue;
+    const std::size_t begin = schedule.end_of(id);
+    std::size_t end = begin;
+    for (const ir::OpId user : cdfg.users(id)) {
+      end = std::max(end, schedule.start_of(user));
+    }
+    lives.push_back(Live{reg, begin, end});
+  }
+  for (std::size_t i = 0; i < lives.size(); ++i) {
+    for (std::size_t j = i + 1; j < lives.size(); ++j) {
+      if (lives[i].reg != lives[j].reg) continue;
+      MHS_ASSERT(lives[i].end < lives[j].begin ||
+                     lives[j].end < lives[i].begin,
+                 "two live values share register " << lives[i].reg);
+    }
+  }
+}
+
+}  // namespace mhs::hw

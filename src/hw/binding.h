@@ -1,0 +1,47 @@
+// Resource binding: mapping scheduled operations to functional-unit
+// instances and values to registers.
+//
+// FU binding uses the left-edge strategy per FU type (ops sorted by start
+// step, each assigned to the first instance free at that step). Register
+// allocation computes value lifetimes from the schedule and colors the
+// interval graph with the left-edge algorithm, which is optimal for
+// intervals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/schedule.h"
+
+namespace mhs::hw {
+
+/// Result of binding one scheduled CDFG.
+struct Binding {
+  /// FU instance per op (index within its FU type); SIZE_MAX for
+  /// non-compute ops that need no FU.
+  std::vector<std::size_t> fu_instance;
+  /// FU instances actually allocated per type.
+  FuCounts fu_counts;
+  /// Register index per op whose value must be stored across a control-
+  /// step boundary; SIZE_MAX when no register is needed.
+  std::vector<std::size_t> register_of;
+  /// Number of registers allocated.
+  std::size_t num_registers = 0;
+  /// Per FU instance, the number of distinct operation sources feeding
+  /// each input port (drives mux cost). Summed into mux_inputs.
+  std::size_t mux_inputs = 0;
+  /// Source count for each FU input port fed by more than one producer
+  /// (one entry per muxed port); drives controller select-bit cost.
+  std::vector<std::size_t> mux_port_sources;
+};
+
+/// Binds a scheduled CDFG. The binding never uses more FUs of a type than
+/// the schedule's peak usage of that type.
+Binding bind(const Schedule& schedule);
+
+/// Verifies binding invariants; throws InternalError on violation:
+///  * no two ops share an FU instance in overlapping steps,
+///  * no two simultaneously-live values share a register.
+void verify_binding(const Schedule& schedule, const Binding& binding);
+
+}  // namespace mhs::hw

@@ -1,0 +1,52 @@
+#include "hw/component_library.h"
+
+namespace mhs::hw {
+
+const FuType* all_fu_types() {
+  static const FuType kTypes[kNumFuTypes] = {FuType::kAlu, FuType::kMul,
+                                             FuType::kDiv, FuType::kShift};
+  return kTypes;
+}
+
+const char* fu_name(FuType type) {
+  switch (type) {
+    case FuType::kAlu:   return "alu";
+    case FuType::kMul:   return "mul";
+    case FuType::kDiv:   return "div";
+    case FuType::kShift: return "shift";
+  }
+  return "?";
+}
+
+FuType fu_for_op(ir::OpKind kind) {
+  using ir::OpKind;
+  MHS_CHECK(ir::op_is_compute(kind),
+            "fu_for_op on non-compute op " << ir::op_name(kind));
+  switch (kind) {
+    case OpKind::kMul:
+      return FuType::kMul;
+    case OpKind::kDiv:
+      return FuType::kDiv;
+    case OpKind::kShl:
+    case OpKind::kShr:
+      return FuType::kShift;
+    default:
+      return FuType::kAlu;
+  }
+}
+
+std::size_t ComponentLibrary::op_latency(ir::OpKind kind) const {
+  if (!ir::op_is_compute(kind)) return 0;
+  return spec(fu_for_op(kind)).latency;
+}
+
+ComponentLibrary default_library() {
+  ComponentLibrary lib;
+  lib.spec(FuType::kAlu) = FuSpec{120.0, 1};
+  lib.spec(FuType::kMul) = FuSpec{800.0, 2};
+  lib.spec(FuType::kDiv) = FuSpec{1400.0, 8};
+  lib.spec(FuType::kShift) = FuSpec{90.0, 1};
+  return lib;
+}
+
+}  // namespace mhs::hw

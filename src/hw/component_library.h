@@ -1,0 +1,69 @@
+// Register-transfer component library.
+//
+// Characterizes the functional units, registers, multiplexers, and control
+// logic from which mhs::hw builds datapaths. Areas are abstract gate-count
+// units; delays are clock cycles. The default library is loosely modelled
+// on a mid-1990s standard-cell process, which is the technology context of
+// the paper, but every figure/bench depends only on cost *ratios*.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "base/error.h"
+#include "ir/cdfg.h"
+
+namespace mhs::hw {
+
+/// Functional-unit classes the scheduler allocates.
+enum class FuType {
+  kAlu,    ///< add/sub/neg/abs/min/max/compare/select/logic
+  kMul,    ///< multiplier
+  kDiv,    ///< divider
+  kShift,  ///< barrel shifter
+};
+
+inline constexpr std::size_t kNumFuTypes = 4;
+
+/// All FuType values, for iteration.
+const FuType* all_fu_types();
+
+/// Human-readable FU name.
+const char* fu_name(FuType type);
+
+/// Which FU class executes a CDFG compute op.
+/// Precondition: op_is_compute(kind).
+FuType fu_for_op(ir::OpKind kind);
+
+/// Cost/latency characterization of one FU class.
+struct FuSpec {
+  double area = 0.0;
+  /// Latency in cycles (an op occupies the FU for this many steps).
+  std::size_t latency = 1;
+};
+
+/// The component library: FU specs plus storage/steering/control costs.
+struct ComponentLibrary {
+  FuSpec fu[kNumFuTypes];
+  /// Area of one word-wide register.
+  double register_area = 8.0;
+  /// Area of one 2:1 mux leg; an n-input mux costs (n-1) legs.
+  double mux_leg_area = 2.0;
+  /// Controller model: area = base + per_state * states + per_bit * bits.
+  double controller_base_area = 20.0;
+  double controller_area_per_state = 4.0;
+  double controller_area_per_ctrl_bit = 1.0;
+
+  const FuSpec& spec(FuType type) const {
+    return fu[static_cast<std::size_t>(type)];
+  }
+  FuSpec& spec(FuType type) { return fu[static_cast<std::size_t>(type)]; }
+
+  /// Latency of a CDFG op under this library (0 for non-compute ops).
+  std::size_t op_latency(ir::OpKind kind) const;
+};
+
+/// A reasonable default characterization (ALU=1cy, MUL=2cy, DIV=8cy).
+ComponentLibrary default_library();
+
+}  // namespace mhs::hw

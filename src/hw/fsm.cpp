@@ -1,0 +1,101 @@
+#include "hw/fsm.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace mhs::hw {
+
+namespace {
+std::size_t ceil_log2(std::size_t n) {
+  std::size_t bits = 0;
+  std::size_t cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+}  // namespace
+
+Controller::Controller(const Schedule& schedule, const Binding& binding) {
+  const ir::Cdfg& cdfg = schedule.cdfg();
+  const ComponentLibrary& lib = schedule.library();
+
+  // Lay out the control word: FU enables, then register loads, then mux
+  // select fields.
+  std::size_t bit = 0;
+  for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+    fu_bit_base_[t] = bit;
+    bit += binding.fu_counts.count[t];
+  }
+  reg_bit_base_ = bit;
+  bit += binding.num_registers;
+  select_bit_base_ = bit;
+  for (const std::size_t sources : binding.mux_port_sources) {
+    bit += ceil_log2(sources);
+  }
+  num_bits_ = bit;
+
+  words_.assign(schedule.num_steps(), std::vector<bool>(num_bits_, false));
+
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    if (ir::op_is_compute(op.kind)) {
+      const FuType type = fu_for_op(op.kind);
+      const std::size_t inst = binding.fu_instance[id.index()];
+      const std::size_t enable = fu_enable_bit(type, inst);
+      const std::size_t start = schedule.start_of(id);
+      const std::size_t lat = lib.op_latency(op.kind);
+      for (std::size_t s = start; s < start + lat && s < words_.size(); ++s) {
+        words_[s][enable] = true;
+      }
+    }
+    const std::size_t reg = binding.register_of[id.index()];
+    if (reg != std::numeric_limits<std::size_t>::max()) {
+      // The register latches the value on the step it becomes available.
+      const std::size_t latch_step =
+          std::min(schedule.end_of(id),
+                   words_.empty() ? 0 : words_.size() - 1);
+      words_[latch_step][register_load_bit(reg)] = true;
+    }
+  }
+}
+
+const std::vector<bool>& Controller::word(std::size_t state) const {
+  MHS_CHECK(state < words_.size(),
+            "state " << state << " out of range (controller has "
+                     << words_.size() << " states)");
+  return words_[state];
+}
+
+bool Controller::asserted(std::size_t state, std::size_t bit) const {
+  const auto& w = word(state);
+  MHS_CHECK(bit < w.size(), "control bit " << bit << " out of range");
+  return w[bit];
+}
+
+double Controller::area(const ComponentLibrary& lib) const {
+  return lib.controller_base_area +
+         lib.controller_area_per_state * static_cast<double>(num_states()) +
+         lib.controller_area_per_ctrl_bit * static_cast<double>(num_bits_);
+}
+
+std::size_t Controller::fu_enable_bit(FuType type, std::size_t inst) const {
+  return fu_bit_base_[static_cast<std::size_t>(type)] + inst;
+}
+
+std::size_t Controller::register_load_bit(std::size_t reg) const {
+  return reg_bit_base_ + reg;
+}
+
+std::string Controller::dump() const {
+  std::ostringstream os;
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    os << "S" << s << ": ";
+    for (const bool b : words_[s]) os << (b ? '1' : '0');
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mhs::hw

@@ -1,0 +1,51 @@
+// FSM controller generation for synthesized datapaths.
+//
+// The controller is a Moore machine with one state per control step. Each
+// state asserts a control word: one enable bit per FU instance, one load
+// bit per register, and select bits for every multiplexed FU input port.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hw/binding.h"
+#include "hw/schedule.h"
+
+namespace mhs::hw {
+
+/// A generated Moore controller.
+class Controller {
+ public:
+  /// Builds the controller for a scheduled + bound CDFG.
+  Controller(const Schedule& schedule, const Binding& binding);
+
+  std::size_t num_states() const { return words_.size(); }
+  std::size_t num_control_bits() const { return num_bits_; }
+
+  /// Control word asserted in `state` (bit-packed as vector<bool>).
+  const std::vector<bool>& word(std::size_t state) const;
+
+  /// True if control bit `bit` is asserted in `state`.
+  bool asserted(std::size_t state, std::size_t bit) const;
+
+  /// Area under the library's controller model.
+  double area(const ComponentLibrary& lib) const;
+
+  /// Index of the enable bit of FU instance `inst` of `type`.
+  std::size_t fu_enable_bit(FuType type, std::size_t inst) const;
+  /// Index of the load bit of register `reg`.
+  std::size_t register_load_bit(std::size_t reg) const;
+
+  /// Textual dump (one line per state) for debugging and docs.
+  std::string dump() const;
+
+ private:
+  std::vector<std::vector<bool>> words_;
+  std::size_t num_bits_ = 0;
+  std::size_t fu_bit_base_[kNumFuTypes] = {};
+  std::size_t reg_bit_base_ = 0;
+  std::size_t select_bit_base_ = 0;
+};
+
+}  // namespace mhs::hw

@@ -1,0 +1,115 @@
+#include "hw/hls.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mhs::hw {
+
+namespace {
+
+FuCounts single_of_each_used(const ir::Cdfg& cdfg) {
+  FuCounts counts;
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    if (ir::op_is_compute(op.kind)) {
+      counts[fu_for_op(op.kind)] = 1;
+    }
+  }
+  return counts;
+}
+
+Schedule make_schedule(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                       const HlsConstraints& c) {
+  switch (c.goal) {
+    case HlsGoal::kMinLatency:
+      return asap_schedule(cdfg, lib);
+    case HlsGoal::kMinArea:
+      return list_schedule(cdfg, lib, single_of_each_used(cdfg));
+    case HlsGoal::kLatencyConstrained:
+      return force_directed_schedule(cdfg, lib, c.latency_bound);
+    case HlsGoal::kResourceConstrained:
+      return list_schedule(cdfg, lib, c.resources);
+  }
+  MHS_ASSERT(false, "unknown HLS goal");
+  return asap_schedule(cdfg, lib);
+}
+
+}  // namespace
+
+AreaReport compute_area(const Schedule& schedule, const Binding& binding,
+                        const Controller& controller) {
+  const ComponentLibrary& lib = schedule.library();
+  AreaReport area;
+  area.fu = binding.fu_counts.area(lib);
+  area.registers =
+      lib.register_area * static_cast<double>(binding.num_registers);
+  // An n-input mux costs n-1 2:1 legs.
+  double legs = 0.0;
+  for (const std::size_t sources : binding.mux_port_sources) {
+    legs += static_cast<double>(sources - 1);
+  }
+  area.muxes = lib.mux_leg_area * legs;
+  area.controller = controller.area(lib);
+  return area;
+}
+
+HlsResult synthesize(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                     const HlsConstraints& constraints) {
+  Schedule schedule = make_schedule(cdfg, lib, constraints);
+  Binding binding = bind(schedule);
+  Controller controller(schedule, binding);
+  AreaReport area = compute_area(schedule, binding, controller);
+  const std::size_t latency = schedule.num_steps();
+  return HlsResult{std::move(schedule), std::move(binding),
+                   std::move(controller), area, latency};
+}
+
+std::map<std::string, std::int64_t> simulate_datapath(
+    const HlsResult& impl, const std::map<std::string, std::int64_t>& inputs,
+    std::size_t* cycles) {
+  const Schedule& schedule = impl.schedule;
+  const ir::Cdfg& cdfg = schedule.cdfg();
+
+  // Order ops by completion time so that each op sees the operand values
+  // that were committed in earlier cycles (or the same cycle via chaining).
+  std::vector<ir::OpId> order = cdfg.op_ids();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](ir::OpId a, ir::OpId b) {
+                     return schedule.end_of(a) < schedule.end_of(b);
+                   });
+
+  std::vector<std::int64_t> value(cdfg.num_ops(), 0);
+  std::map<std::string, std::int64_t> out;
+  for (const ir::OpId id : order) {
+    const ir::Op& op = cdfg.op(id);
+    switch (op.kind) {
+      case ir::OpKind::kConst:
+        value[id.index()] = op.value;
+        break;
+      case ir::OpKind::kInput: {
+        const auto it = inputs.find(op.name);
+        MHS_CHECK(it != inputs.end(),
+                  "simulate_datapath: missing input '" << op.name << "'");
+        value[id.index()] = it->second;
+        break;
+      }
+      case ir::OpKind::kOutput:
+        value[id.index()] = value[op.operands[0].index()];
+        out[op.name] = value[id.index()];
+        break;
+      default: {
+        std::vector<std::int64_t> args;
+        args.reserve(op.operands.size());
+        for (const ir::OpId o : op.operands) {
+          args.push_back(value[o.index()]);
+        }
+        value[id.index()] = ir::apply_op(op.kind, args);
+        break;
+      }
+    }
+  }
+  if (cycles != nullptr) *cycles = schedule.num_steps();
+  return out;
+}
+
+}  // namespace mhs::hw

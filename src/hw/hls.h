@@ -1,0 +1,74 @@
+// High-level synthesis driver: schedule + bind + controller + area/latency.
+//
+// This is the "behavioural synthesis" substrate the paper's co-processor
+// examples (Figures 7–9) assume: it turns a Cdfg into a datapath/controller
+// implementation with a defensible area and latency, and can simulate that
+// implementation cycle-by-cycle for co-simulation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "hw/binding.h"
+#include "hw/fsm.h"
+#include "hw/schedule.h"
+
+namespace mhs::hw {
+
+/// How the synthesizer should trade latency against area.
+enum class HlsGoal {
+  kMinLatency,          ///< ASAP schedule, as many FUs as needed
+  kMinArea,             ///< single FU of each used type, list-scheduled
+  kLatencyConstrained,  ///< force-directed under a latency bound
+  kResourceConstrained, ///< list scheduling under given FU counts
+};
+
+/// Synthesis constraints.
+struct HlsConstraints {
+  HlsGoal goal = HlsGoal::kMinLatency;
+  /// For kLatencyConstrained: maximum control steps.
+  std::size_t latency_bound = 0;
+  /// For kResourceConstrained: available FU instances.
+  FuCounts resources;
+};
+
+/// Area breakdown of a synthesized implementation.
+struct AreaReport {
+  double fu = 0.0;
+  double registers = 0.0;
+  double muxes = 0.0;
+  double controller = 0.0;
+  double total() const { return fu + registers + muxes + controller; }
+};
+
+/// A complete synthesized implementation of one Cdfg.
+struct HlsResult {
+  Schedule schedule;
+  Binding binding;
+  Controller controller;
+  AreaReport area;
+  /// Latency of one kernel invocation in cycles.
+  std::size_t latency = 0;
+};
+
+/// Synthesizes `cdfg` under `constraints` using `lib`.
+HlsResult synthesize(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                     const HlsConstraints& constraints);
+
+/// Computes the area breakdown of a scheduled+bound implementation.
+AreaReport compute_area(const Schedule& schedule, const Binding& binding,
+                        const Controller& controller);
+
+/// Executes the synthesized implementation cycle-by-cycle: ops fire in
+/// their scheduled control step, results become visible when their FU
+/// latency elapses. Returns the named outputs and sets `*cycles` (if non-
+/// null) to the number of cycles consumed (== schedule.num_steps()).
+///
+/// This is the RTL-level reference used by the co-simulator; by
+/// construction it must agree with ir::Cdfg::evaluate.
+std::map<std::string, std::int64_t> simulate_datapath(
+    const HlsResult& impl, const std::map<std::string, std::int64_t>& inputs,
+    std::size_t* cycles = nullptr);
+
+}  // namespace mhs::hw

@@ -1,0 +1,222 @@
+#include "hw/pipeline.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mhs::hw {
+
+namespace {
+
+std::size_t op_lat(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                   ir::OpId op) {
+  return lib.op_latency(cdfg.op(op).kind);
+}
+
+/// Modulo reservation table: usage[type][slot] over II residue slots.
+struct ReservationTable {
+  std::size_t ii;
+  std::vector<std::array<std::size_t, kNumFuTypes>> slots;
+
+  explicit ReservationTable(std::size_t initiation_interval)
+      : ii(initiation_interval), slots(initiation_interval) {}
+
+  void occupy(FuType type, std::size_t start, std::size_t latency,
+              int delta) {
+    for (std::size_t c = start; c < start + latency; ++c) {
+      auto& count = slots[c % ii][static_cast<std::size_t>(type)];
+      MHS_ASSERT(delta > 0 || count > 0, "reservation underflow");
+      count = static_cast<std::size_t>(static_cast<long long>(count) + delta);
+    }
+  }
+
+  /// Peak usage of `type` if an op of (type, latency) started at `start`.
+  std::size_t peak_after(FuType type, std::size_t start,
+                         std::size_t latency) const {
+    // Copy-free: compute the max over affected slots of usage+1 and over
+    // unaffected slots of usage.
+    std::size_t peak = 0;
+    std::vector<bool> touched(ii, false);
+    for (std::size_t c = start; c < start + latency && c < start + ii; ++c) {
+      touched[c % ii] = true;
+    }
+    const bool wraps_fully = latency >= ii;
+    for (std::size_t s = 0; s < ii; ++s) {
+      std::size_t use = slots[s][static_cast<std::size_t>(type)];
+      if (wraps_fully || touched[s]) {
+        // An op longer than II occupies every slot at least once; longer
+        // still, multiple times — approximate with ceil(latency / ii).
+        use += (latency + ii - 1) / ii;
+      }
+      peak = std::max(peak, use);
+    }
+    return peak;
+  }
+
+  FuCounts requirement() const {
+    FuCounts req;
+    for (std::size_t s = 0; s < ii; ++s) {
+      for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+        req.count[t] = std::max(req.count[t], slots[s][t]);
+      }
+    }
+    return req;
+  }
+};
+
+}  // namespace
+
+ModuloSchedule::ModuloSchedule(const ir::Cdfg& cdfg,
+                               const ComponentLibrary& lib,
+                               std::size_t initiation_interval,
+                               std::vector<std::size_t> start)
+    : cdfg_(&cdfg), lib_(&lib), ii_(initiation_interval),
+      start_(std::move(start)) {
+  MHS_CHECK(ii_ >= 1, "initiation interval must be >= 1");
+  MHS_CHECK(start_.size() == cdfg.num_ops(), "schedule size mismatch");
+
+  ReservationTable table(ii_);
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    const std::size_t lat = op_lat(cdfg, lib, id);
+    latency_ = std::max(latency_, start_[id.index()] + std::max<std::size_t>(lat, 0));
+    if (!ir::op_is_compute(op.kind)) continue;
+    ++registers_;
+    // Ops longer than II occupy their slots once per overlapped iteration.
+    const std::size_t copies = (lat + ii_ - 1) / ii_;
+    const std::size_t span = std::min(lat, ii_);
+    for (std::size_t k = 0; k < copies; ++k) {
+      table.occupy(fu_for_op(op.kind), start_[id.index()], span,
+                   /*delta=*/1);
+    }
+  }
+  requirement_ = table.requirement();
+  latency_ = std::max<std::size_t>(latency_, 1);
+  verify();
+}
+
+double ModuloSchedule::area(const ComponentLibrary& lib) const {
+  double total = requirement_.area(lib);
+  total += lib.register_area * static_cast<double>(registers_);
+  std::size_t ctrl_bits = registers_;
+  for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+    ctrl_bits += requirement_.count[t];
+  }
+  total += lib.controller_base_area +
+           lib.controller_area_per_state * static_cast<double>(ii_) +
+           lib.controller_area_per_ctrl_bit *
+               static_cast<double>(ctrl_bits);
+  return total;
+}
+
+std::size_t ModuloSchedule::cycles_for(std::size_t samples) const {
+  MHS_CHECK(samples >= 1, "need at least one sample");
+  return latency_ + (samples - 1) * ii_;
+}
+
+void ModuloSchedule::verify() const {
+  for (const ir::OpId id : cdfg_->op_ids()) {
+    for (const ir::OpId operand : cdfg_->op(id).operands) {
+      const std::size_t avail =
+          start_[operand.index()] + op_lat(*cdfg_, *lib_, operand);
+      MHS_ASSERT(start_[id.index()] >= avail,
+                 "modulo schedule violates precedence at op " << id);
+    }
+  }
+}
+
+ModuloSchedule modulo_schedule(const ir::Cdfg& cdfg,
+                               const ComponentLibrary& lib,
+                               std::size_t initiation_interval) {
+  MHS_CHECK(initiation_interval >= 1, "initiation interval must be >= 1");
+  const std::size_t ii = initiation_interval;
+
+  // ASAP lower bounds.
+  std::vector<std::size_t> asap(cdfg.num_ops(), 0);
+  for (const ir::OpId id : cdfg.op_ids()) {
+    for (const ir::OpId operand : cdfg.op(id).operands) {
+      asap[id.index()] = std::max(
+          asap[id.index()],
+          asap[operand.index()] + op_lat(cdfg, lib, operand));
+    }
+  }
+
+  // Greedy placement in topological (insertion) order: each compute op
+  // tries the II offsets after its ASAP time and takes the one with the
+  // smallest incremental peak usage of its FU class (earliest on ties, to
+  // keep the fill latency short).
+  ReservationTable table(ii);
+  std::vector<std::size_t> start = asap;
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    std::size_t ready = 0;
+    for (const ir::OpId operand : cdfg.op(id).operands) {
+      ready = std::max(ready,
+                       start[operand.index()] + op_lat(cdfg, lib, operand));
+    }
+    if (!ir::op_is_compute(op.kind)) {
+      start[id.index()] = ready;
+      continue;
+    }
+    const FuType type = fu_for_op(op.kind);
+    const std::size_t lat = lib.op_latency(op.kind);
+    const std::size_t span = std::min(lat, ii);
+    std::size_t best_start = ready;
+    std::size_t best_peak = std::numeric_limits<std::size_t>::max();
+    for (std::size_t offset = 0; offset < ii; ++offset) {
+      const std::size_t candidate = ready + offset;
+      const std::size_t peak = table.peak_after(type, candidate, lat);
+      if (peak < best_peak) {
+        best_peak = peak;
+        best_start = candidate;
+      }
+    }
+    start[id.index()] = best_start;
+    const std::size_t copies = (lat + ii - 1) / ii;
+    for (std::size_t k = 0; k < copies; ++k) {
+      table.occupy(type, best_start, span, 1);
+    }
+  }
+  return ModuloSchedule(cdfg, lib, ii, std::move(start));
+}
+
+std::size_t min_initiation_interval(const ir::Cdfg& cdfg,
+                                    const ComponentLibrary& lib,
+                                    const FuCounts& resources) {
+  // Resource-minimum bound: each FU class needs ceil(opcycles / count).
+  std::size_t mii = 1;
+  std::size_t total_opcycles = 0;
+  for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+    std::size_t opcycles = 0;
+    for (const ir::OpId id : cdfg.op_ids()) {
+      const ir::Op& op = cdfg.op(id);
+      if (ir::op_is_compute(op.kind) &&
+          fu_for_op(op.kind) == all_fu_types()[t]) {
+        opcycles += lib.op_latency(op.kind);
+      }
+    }
+    total_opcycles += opcycles;
+    if (opcycles == 0) continue;
+    if (resources.count[t] == 0) {
+      throw InfeasibleError(std::string("kernel needs ") +
+                            fu_name(all_fu_types()[t]) +
+                            " units but none are provided");
+    }
+    mii = std::max(mii, (opcycles + resources.count[t] - 1) /
+                            resources.count[t]);
+  }
+
+  for (std::size_t ii = mii; ii <= total_opcycles + 1; ++ii) {
+    const ModuloSchedule candidate = modulo_schedule(cdfg, lib, ii);
+    bool fits = true;
+    for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+      if (candidate.fu_requirement().count[t] > resources.count[t]) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) return ii;
+  }
+  throw InfeasibleError("no initiation interval fits the given resources");
+}
+
+}  // namespace mhs::hw

@@ -1,0 +1,72 @@
+// Loop pipelining via modulo scheduling.
+//
+// Streaming kernels (the FIR/DCT accelerators of the paper's co-processor
+// examples) rarely run one sample at a time: a pipelined datapath accepts
+// a new sample every II ("initiation interval") cycles, overlapping
+// consecutive iterations. Because the CDFG kernels are feed-forward (no
+// loop-carried dependences), any II >= 1 is schedulable; what changes is
+// the hardware bill: an FU class used U op-cycles per iteration needs
+// ceil(U / II) instances. Modulo scheduling balances ops across the II
+// residue slots to get close to that bound.
+#pragma once
+
+#include "hw/schedule.h"
+
+namespace mhs::hw {
+
+/// A modulo schedule of one kernel iteration.
+class ModuloSchedule {
+ public:
+  ModuloSchedule(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                 std::size_t initiation_interval,
+                 std::vector<std::size_t> start);
+
+  std::size_t initiation_interval() const { return ii_; }
+  std::size_t start_of(ir::OpId op) const { return start_.at(op.index()); }
+  /// Latency of one iteration (fill time of the pipeline).
+  std::size_t iteration_latency() const { return latency_; }
+  /// FU instances needed: max concurrent use over the II residue slots,
+  /// counting overlapped iterations.
+  const FuCounts& fu_requirement() const { return requirement_; }
+  /// Pipeline registers: one per compute value (stage-registered style).
+  std::size_t pipeline_registers() const { return registers_; }
+  /// Samples per cycle in steady state.
+  double throughput() const { return 1.0 / static_cast<double>(ii_); }
+  /// Steady-state datapath area (FUs + pipeline registers + controller
+  /// with II states).
+  double area(const ComponentLibrary& lib) const;
+
+  /// Cycles to process `samples` samples: fill + (samples-1) * II.
+  std::size_t cycles_for(std::size_t samples) const;
+
+  /// Throws InternalError if precedence or the modulo resource accounting
+  /// is inconsistent.
+  void verify() const;
+
+  const ir::Cdfg& cdfg() const { return *cdfg_; }
+
+ private:
+  const ir::Cdfg* cdfg_;
+  const ComponentLibrary* lib_;
+  std::size_t ii_;
+  std::vector<std::size_t> start_;
+  std::size_t latency_ = 0;
+  FuCounts requirement_;
+  std::size_t registers_ = 0;
+};
+
+/// Modulo-schedules `cdfg` at the given initiation interval, balancing FU
+/// usage across residue slots (slack-limited greedy placement).
+/// Precondition: initiation_interval >= 1.
+ModuloSchedule modulo_schedule(const ir::Cdfg& cdfg,
+                               const ComponentLibrary& lib,
+                               std::size_t initiation_interval);
+
+/// Smallest II whose balanced schedule fits within `resources`; also the
+/// classic resource-minimum bound check. Throws InfeasibleError when even
+/// fully serial operation (II = total op-cycles) does not fit.
+std::size_t min_initiation_interval(const ir::Cdfg& cdfg,
+                                    const ComponentLibrary& lib,
+                                    const FuCounts& resources);
+
+}  // namespace mhs::hw

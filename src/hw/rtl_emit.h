@@ -1,0 +1,39 @@
+// Verilog RTL emission for synthesized implementations.
+//
+// Renders an hw::HlsResult as a synthesizable-style Verilog-2001 module:
+// one always-block FSM (the controller), registered intermediate values,
+// shared functional units with input muxes, and the start/done handshake
+// the StreamPeripheral models. This closes the loop to the paper's world,
+// where behavioural synthesis hands off to logic synthesis via HDL.
+//
+// The emitted text is deterministic (stable names derived from op ids),
+// so golden tests can pin its structure.
+#pragma once
+
+#include <string>
+
+#include "hw/hls.h"
+
+namespace mhs::hw {
+
+/// Options for the Verilog writer.
+struct RtlOptions {
+  /// Module name; sanitized from the kernel name when empty.
+  std::string module_name;
+  /// Data path width in bits.
+  int width = 64;
+  /// Emit per-state commentary (`// state 3: mul_0 active`).
+  bool comments = true;
+};
+
+/// Emits the implementation as one Verilog module with ports:
+///   input  clk, rst, start;
+///   input  signed [W-1:0] in_<name> ...;
+///   output reg done;
+///   output reg signed [W-1:0] out_<name> ...;
+std::string emit_verilog(const HlsResult& impl, const RtlOptions& options = {});
+
+/// Sanitizes an arbitrary kernel/port name into a Verilog identifier.
+std::string sanitize_identifier(const std::string& name);
+
+}  // namespace mhs::hw

@@ -1,0 +1,363 @@
+#include "hw/schedule.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mhs::hw {
+
+namespace {
+
+std::size_t op_lat(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                   ir::OpId op) {
+  return lib.op_latency(cdfg.op(op).kind);
+}
+
+/// ASAP start times as a raw vector (shared by several schedulers).
+std::vector<std::size_t> asap_starts(const ir::Cdfg& cdfg,
+                                     const ComponentLibrary& lib) {
+  std::vector<std::size_t> start(cdfg.num_ops(), 0);
+  for (const ir::OpId id : cdfg.op_ids()) {
+    std::size_t s = 0;
+    for (const ir::OpId operand : cdfg.op(id).operands) {
+      s = std::max(s, start[operand.index()] + op_lat(cdfg, lib, operand));
+    }
+    start[id.index()] = s;
+  }
+  return start;
+}
+
+std::size_t makespan(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                     const std::vector<std::size_t>& start) {
+  std::size_t steps = 1;  // even an empty kernel occupies one step
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const std::size_t lat = op_lat(cdfg, lib, id);
+    // Compute ops occupy [start, start+lat); zero-latency ops (const,
+    // input, output) are wiring and only require their start time to
+    // exist on the timeline.
+    steps = std::max(steps, start[id.index()] + lat);
+  }
+  return steps;
+}
+
+}  // namespace
+
+double FuCounts::area(const ComponentLibrary& lib) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < kNumFuTypes; ++i) {
+    total += static_cast<double>(count[i]) * lib.fu[i].area;
+  }
+  return total;
+}
+
+FuCounts FuCounts::unlimited(std::size_t n) {
+  FuCounts c;
+  c.count.fill(n);
+  return c;
+}
+
+Schedule::Schedule(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                   std::vector<std::size_t> start)
+    : cdfg_(&cdfg), lib_(&lib), start_(std::move(start)) {
+  MHS_CHECK(start_.size() == cdfg.num_ops(),
+            "schedule has " << start_.size() << " entries for "
+                            << cdfg.num_ops() << " ops");
+  num_steps_ = makespan(cdfg, lib, start_);
+  verify();
+}
+
+std::size_t Schedule::end_of(ir::OpId op) const {
+  return start_of(op) + op_lat(*cdfg_, *lib_, op);
+}
+
+std::size_t Schedule::fu_usage(FuType type, std::size_t step) const {
+  std::size_t used = 0;
+  for (const ir::OpId id : cdfg_->op_ids()) {
+    const ir::Op& op = cdfg_->op(id);
+    if (!ir::op_is_compute(op.kind) || fu_for_op(op.kind) != type) continue;
+    const std::size_t s = start_[id.index()];
+    const std::size_t lat = lib_->op_latency(op.kind);
+    if (step >= s && step < s + lat) ++used;
+  }
+  return used;
+}
+
+FuCounts Schedule::peak_usage() const {
+  FuCounts peak;
+  for (std::size_t i = 0; i < kNumFuTypes; ++i) {
+    const FuType type = all_fu_types()[i];
+    for (std::size_t step = 0; step < num_steps_; ++step) {
+      peak.count[i] = std::max(peak.count[i], fu_usage(type, step));
+    }
+  }
+  return peak;
+}
+
+void Schedule::verify() const {
+  for (const ir::OpId id : cdfg_->op_ids()) {
+    for (const ir::OpId operand : cdfg_->op(id).operands) {
+      const std::size_t avail =
+          start_[operand.index()] + op_lat(*cdfg_, *lib_, operand);
+      MHS_ASSERT(start_[id.index()] >= avail,
+                 "op " << id << " starts at " << start_[id.index()]
+                       << " before operand " << operand << " finishes at "
+                       << avail);
+    }
+  }
+}
+
+Schedule asap_schedule(const ir::Cdfg& cdfg, const ComponentLibrary& lib) {
+  return Schedule(cdfg, lib, asap_starts(cdfg, lib));
+}
+
+Schedule alap_schedule(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                       std::size_t latency_bound) {
+  const auto asap = asap_starts(cdfg, lib);
+  const std::size_t min_steps = makespan(cdfg, lib, asap);
+  MHS_CHECK(latency_bound >= min_steps,
+            "latency bound " << latency_bound << " below ASAP latency "
+                             << min_steps);
+
+  // Work backwards: latest start such that all users can still run.
+  const auto ids = cdfg.op_ids();
+  std::vector<std::size_t> start(cdfg.num_ops());
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    const ir::OpId id = *it;
+    const std::size_t lat = op_lat(cdfg, lib, id);
+    // Zero-latency ops (const/input/output) are wiring: they may sit at
+    // the end of the timeline itself.
+    std::size_t latest = latency_bound - lat;
+    for (const ir::OpId user : cdfg.users(id)) {
+      MHS_ASSERT(start[user.index()] >= lat || lat == 0,
+                 "ALAP: user scheduled before operand latency");
+      const std::size_t bound = start[user.index()] >= lat
+                                    ? start[user.index()] - lat
+                                    : 0;
+      latest = std::min(latest, bound);
+    }
+    start[id.index()] = latest;
+  }
+  return Schedule(cdfg, lib, std::move(start));
+}
+
+Schedule list_schedule(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                       const FuCounts& resources) {
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    if (ir::op_is_compute(op.kind)) {
+      MHS_CHECK(resources[fu_for_op(op.kind)] >= 1,
+                "list_schedule: zero " << fu_name(fu_for_op(op.kind))
+                                       << " units but cdfg uses them");
+    }
+  }
+
+  // Priority: b-level in cycles (critical path to any sink).
+  std::vector<double> blevel(cdfg.num_ops(), 0.0);
+  const auto ids = cdfg.op_ids();
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    const ir::OpId id = *it;
+    double succ = 0.0;
+    for (const ir::OpId user : cdfg.users(id)) {
+      succ = std::max(succ, blevel[user.index()]);
+    }
+    blevel[id.index()] =
+        succ + static_cast<double>(std::max<std::size_t>(
+                   op_lat(cdfg, lib, id), ir::op_is_compute(cdfg.op(id).kind)
+                                              ? 1u
+                                              : 0u));
+  }
+
+  constexpr std::size_t kUnscheduled = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> start(cdfg.num_ops(), kUnscheduled);
+  std::size_t scheduled = 0;
+
+  // Zero-latency ops (const/input) are ready at step 0 unconditionally;
+  // outputs are pinned when their operand completes.
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    if (op.kind == ir::OpKind::kConst || op.kind == ir::OpKind::kInput) {
+      start[id.index()] = 0;
+      ++scheduled;
+    }
+  }
+
+  // busy_until[type][instance] would be exact; we only need counts per step.
+  std::vector<std::array<std::size_t, kNumFuTypes>> usage;
+  auto usage_at = [&](std::size_t step) -> std::array<std::size_t, kNumFuTypes>& {
+    if (step >= usage.size()) usage.resize(step + 1, {});
+    return usage[step];
+  };
+
+  std::size_t step = 0;
+  const std::size_t total = cdfg.num_ops();
+  while (scheduled < total) {
+    // Ops whose operands are all complete by `step`, most critical first.
+    std::vector<ir::OpId> ready;
+    for (const ir::OpId id : cdfg.op_ids()) {
+      if (start[id.index()] != kUnscheduled) continue;
+      bool ok = true;
+      for (const ir::OpId operand : cdfg.op(id).operands) {
+        if (start[operand.index()] == kUnscheduled ||
+            start[operand.index()] + op_lat(cdfg, lib, operand) > step) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(id);
+    }
+    std::sort(ready.begin(), ready.end(), [&](ir::OpId a, ir::OpId b) {
+      if (blevel[a.index()] != blevel[b.index()]) {
+        return blevel[a.index()] > blevel[b.index()];
+      }
+      return a < b;
+    });
+
+    for (const ir::OpId id : ready) {
+      const ir::Op& op = cdfg.op(id);
+      if (op.kind == ir::OpKind::kOutput) {
+        start[id.index()] = step;
+        ++scheduled;
+        continue;
+      }
+      const FuType type = fu_for_op(op.kind);
+      const std::size_t lat = lib.op_latency(op.kind);
+      bool fits = true;
+      for (std::size_t s = step; s < step + lat; ++s) {
+        if (usage_at(s)[static_cast<std::size_t>(type)] >= resources[type]) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      for (std::size_t s = step; s < step + lat; ++s) {
+        ++usage_at(s)[static_cast<std::size_t>(type)];
+      }
+      start[id.index()] = step;
+      ++scheduled;
+    }
+    ++step;
+    MHS_ASSERT(step < 16u * total + 16u, "list scheduling failed to converge");
+  }
+  return Schedule(cdfg, lib, std::move(start));
+}
+
+Schedule force_directed_schedule(const ir::Cdfg& cdfg,
+                                 const ComponentLibrary& lib,
+                                 std::size_t latency_bound) {
+  const auto asap = asap_starts(cdfg, lib);
+  const std::size_t min_steps = makespan(cdfg, lib, asap);
+  MHS_CHECK(latency_bound >= min_steps,
+            "latency bound " << latency_bound << " below ASAP latency "
+                             << min_steps);
+
+  const std::size_t n = cdfg.num_ops();
+  std::vector<std::size_t> lo = asap;
+  std::vector<std::size_t> hi(n);
+  {
+    const Schedule alap = alap_schedule(cdfg, lib, latency_bound);
+    for (const ir::OpId id : cdfg.op_ids()) {
+      hi[id.index()] = alap.start_of(id);
+    }
+  }
+
+  std::vector<bool> fixed(n, false);
+  // Non-compute ops do not consume FUs; fix them immediately at ASAP
+  // (outputs are re-tightened by frame propagation as operands fix).
+  std::vector<ir::OpId> compute_ops;
+  for (const ir::OpId id : cdfg.op_ids()) {
+    if (ir::op_is_compute(cdfg.op(id).kind)) {
+      compute_ops.push_back(id);
+    } else {
+      fixed[id.index()] = true;
+    }
+  }
+
+  // Distribution graph: expected FU usage per (type, step), where an op in
+  // frame [lo,hi] contributes lat/(hi-lo+1) to each feasible start window.
+  auto distribution = [&](FuType type, std::size_t step) {
+    double d = 0.0;
+    for (const ir::OpId id : compute_ops) {
+      const ir::Op& op = cdfg.op(id);
+      if (fu_for_op(op.kind) != type) continue;
+      const std::size_t l = lo[id.index()];
+      const std::size_t h = hi[id.index()];
+      const std::size_t lat = lib.op_latency(op.kind);
+      const double p = 1.0 / static_cast<double>(h - l + 1);
+      // Op occupies [s, s+lat) for each candidate start s in [l, h].
+      for (std::size_t s = l; s <= h; ++s) {
+        if (step >= s && step < s + lat) d += p;
+      }
+    }
+    return d;
+  };
+
+  auto propagate_frames = [&]() {
+    // Forward pass: lo respects operand completion.
+    for (const ir::OpId id : cdfg.op_ids()) {
+      std::size_t m = lo[id.index()];
+      for (const ir::OpId operand : cdfg.op(id).operands) {
+        m = std::max(m, lo[operand.index()] + op_lat(cdfg, lib, operand));
+      }
+      lo[id.index()] = m;
+    }
+    // Backward pass: hi respects user starts.
+    const auto ids = cdfg.op_ids();
+    for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+      const ir::OpId id = *it;
+      const std::size_t lat = op_lat(cdfg, lib, id);
+      std::size_t m = hi[id.index()];
+      for (const ir::OpId user : cdfg.users(id)) {
+        const std::size_t bound =
+            hi[user.index()] >= lat ? hi[user.index()] - lat : 0;
+        m = std::min(m, bound);
+      }
+      hi[id.index()] = m;
+      MHS_ASSERT(lo[id.index()] <= hi[id.index()],
+                 "FDS frame collapsed for op " << id);
+    }
+  };
+
+  std::size_t remaining = compute_ops.size();
+  while (remaining > 0) {
+    // Pick the unfixed op/step assignment with minimal self-force
+    // (usage added where the distribution is already lowest).
+    ir::OpId best_op = ir::OpId::invalid();
+    std::size_t best_step = 0;
+    double best_force = std::numeric_limits<double>::infinity();
+    for (const ir::OpId id : compute_ops) {
+      if (fixed[id.index()]) continue;
+      const ir::Op& op = cdfg.op(id);
+      const FuType type = fu_for_op(op.kind);
+      const std::size_t lat = lib.op_latency(op.kind);
+      const std::size_t l = lo[id.index()];
+      const std::size_t h = hi[id.index()];
+      const double p = 1.0 / static_cast<double>(h - l + 1);
+      for (std::size_t s = l; s <= h; ++s) {
+        // Self-force of committing to start s: added usage at the target
+        // steps minus the average the op already contributed.
+        double force = 0.0;
+        for (std::size_t t = s; t < s + lat; ++t) {
+          force += distribution(type, t) - p;
+        }
+        if (force < best_force - 1e-12 ||
+            (std::abs(force - best_force) <= 1e-12 &&
+             (best_op == ir::OpId::invalid() || id < best_op))) {
+          best_force = force;
+          best_op = id;
+          best_step = s;
+        }
+      }
+    }
+    MHS_ASSERT(best_op.valid(), "FDS found no candidate");
+    lo[best_op.index()] = best_step;
+    hi[best_op.index()] = best_step;
+    fixed[best_op.index()] = true;
+    --remaining;
+    propagate_frames();
+  }
+
+  // Outputs and other zero-latency ops: place at earliest feasible step.
+  propagate_frames();
+  return Schedule(cdfg, lib, std::move(lo));
+}
+
+}  // namespace mhs::hw

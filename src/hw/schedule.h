@@ -1,0 +1,89 @@
+// Operation scheduling for high-level synthesis.
+//
+// Implements the classic scheduling algorithms the paper's behavioural-
+// synthesis substrate needs: ASAP, ALAP, resource-constrained list
+// scheduling, and latency-constrained force-directed scheduling (FDS).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "hw/component_library.h"
+#include "ir/cdfg.h"
+
+namespace mhs::hw {
+
+/// Per-FU-type instance counts (resource constraints or allocation result).
+struct FuCounts {
+  std::array<std::size_t, kNumFuTypes> count{};
+
+  std::size_t& operator[](FuType t) {
+    return count[static_cast<std::size_t>(t)];
+  }
+  std::size_t operator[](FuType t) const {
+    return count[static_cast<std::size_t>(t)];
+  }
+
+  /// Total area of these FUs under `lib`.
+  double area(const ComponentLibrary& lib) const;
+
+  /// Unlimited resources (one FU per op is always enough).
+  static FuCounts unlimited(std::size_t n = 1u << 20);
+};
+
+/// A complete schedule of one Cdfg: start control step of every op.
+///
+/// Non-compute ops (const, input) start at step 0 with zero latency;
+/// output ops start when their operand's value is available.
+class Schedule {
+ public:
+  Schedule(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+           std::vector<std::size_t> start);
+
+  std::size_t start_of(ir::OpId op) const { return start_.at(op.index()); }
+  /// First step at which the op's result is available.
+  std::size_t end_of(ir::OpId op) const;
+  /// Total number of control steps (makespan).
+  std::size_t num_steps() const { return num_steps_; }
+
+  /// Number of ops of `type` executing at `step`.
+  std::size_t fu_usage(FuType type, std::size_t step) const;
+
+  /// Maximum concurrent usage per FU type — the FU allocation this
+  /// schedule implies.
+  FuCounts peak_usage() const;
+
+  /// Throws InternalError if precedence or latency is violated.
+  void verify() const;
+
+  const ir::Cdfg& cdfg() const { return *cdfg_; }
+  const ComponentLibrary& library() const { return *lib_; }
+
+ private:
+  const ir::Cdfg* cdfg_;
+  const ComponentLibrary* lib_;
+  std::vector<std::size_t> start_;
+  std::size_t num_steps_ = 0;
+};
+
+/// As-soon-as-possible schedule (unlimited resources, minimum latency).
+Schedule asap_schedule(const ir::Cdfg& cdfg, const ComponentLibrary& lib);
+
+/// As-late-as-possible schedule meeting `latency_bound` steps.
+/// Precondition: latency_bound >= asap latency (throws otherwise).
+Schedule alap_schedule(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                       std::size_t latency_bound);
+
+/// Resource-constrained list scheduling with b-level priority.
+/// Every FU type used by the cdfg must have count >= 1.
+Schedule list_schedule(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
+                       const FuCounts& resources);
+
+/// Latency-constrained force-directed scheduling (Paulin & Knight style):
+/// minimizes peak FU usage subject to the latency bound.
+Schedule force_directed_schedule(const ir::Cdfg& cdfg,
+                                 const ComponentLibrary& lib,
+                                 std::size_t latency_bound);
+
+}  // namespace mhs::hw

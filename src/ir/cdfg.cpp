@@ -1,0 +1,239 @@
+#include "ir/cdfg.h"
+
+#include <algorithm>
+
+namespace mhs::ir {
+
+int op_arity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConst:
+    case OpKind::kInput:
+      return 0;
+    case OpKind::kNeg:
+    case OpKind::kAbs:
+    case OpKind::kOutput:
+      return 1;
+    case OpKind::kSelect:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConst:  return "const";
+    case OpKind::kInput:  return "input";
+    case OpKind::kAdd:    return "add";
+    case OpKind::kSub:    return "sub";
+    case OpKind::kMul:    return "mul";
+    case OpKind::kDiv:    return "div";
+    case OpKind::kShl:    return "shl";
+    case OpKind::kShr:    return "shr";
+    case OpKind::kAnd:    return "and";
+    case OpKind::kOr:     return "or";
+    case OpKind::kXor:    return "xor";
+    case OpKind::kNeg:    return "neg";
+    case OpKind::kAbs:    return "abs";
+    case OpKind::kMin:    return "min";
+    case OpKind::kMax:    return "max";
+    case OpKind::kCmpLt:  return "cmplt";
+    case OpKind::kCmpEq:  return "cmpeq";
+    case OpKind::kSelect: return "select";
+    case OpKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+bool op_is_compute(OpKind kind) {
+  return kind != OpKind::kConst && kind != OpKind::kInput &&
+         kind != OpKind::kOutput;
+}
+
+std::int64_t apply_op(OpKind kind, std::span<const std::int64_t> args) {
+  MHS_CHECK(static_cast<int>(args.size()) == op_arity(kind),
+            "apply_op(" << op_name(kind) << "): wrong arity "
+                        << args.size());
+  const auto shift_amount = [&](std::int64_t s) {
+    MHS_CHECK(s >= 0 && s < 64, "shift amount " << s << " out of [0,64)");
+    return static_cast<int>(s);
+  };
+  switch (kind) {
+    case OpKind::kAdd: return args[0] + args[1];
+    case OpKind::kSub: return args[0] - args[1];
+    case OpKind::kMul: return args[0] * args[1];
+    case OpKind::kDiv:
+      MHS_CHECK(args[1] != 0, "CDFG divide by zero");
+      return args[0] / args[1];
+    case OpKind::kShl:
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(args[0])
+                                       << shift_amount(args[1]));
+    case OpKind::kShr: return args[0] >> shift_amount(args[1]);
+    case OpKind::kAnd: return args[0] & args[1];
+    case OpKind::kOr:  return args[0] | args[1];
+    case OpKind::kXor: return args[0] ^ args[1];
+    case OpKind::kNeg: return -args[0];
+    case OpKind::kAbs: return args[0] < 0 ? -args[0] : args[0];
+    case OpKind::kMin: return std::min(args[0], args[1]);
+    case OpKind::kMax: return std::max(args[0], args[1]);
+    case OpKind::kCmpLt: return args[0] < args[1] ? 1 : 0;
+    case OpKind::kCmpEq: return args[0] == args[1] ? 1 : 0;
+    case OpKind::kSelect: return args[0] != 0 ? args[1] : args[2];
+    case OpKind::kConst:
+    case OpKind::kInput:
+    case OpKind::kOutput:
+      break;
+  }
+  MHS_ASSERT(false, "apply_op on non-compute kind " << op_name(kind));
+  return 0;
+}
+
+OpId Cdfg::push(Op op) {
+  for (const OpId operand : op.operands) check(operand);
+  const OpId id(static_cast<std::uint32_t>(ops_.size()));
+  ops_.push_back(std::move(op));
+  return id;
+}
+
+OpId Cdfg::constant(std::int64_t value) {
+  Op op;
+  op.kind = OpKind::kConst;
+  op.value = value;
+  return push(std::move(op));
+}
+
+OpId Cdfg::input(std::string name) {
+  MHS_CHECK(!name.empty(), "input needs a name");
+  Op op;
+  op.kind = OpKind::kInput;
+  op.name = std::move(name);
+  return push(std::move(op));
+}
+
+OpId Cdfg::unary(OpKind kind, OpId a) {
+  MHS_CHECK(op_arity(kind) == 1 && op_is_compute(kind),
+            "unary() with non-unary kind " << op_name(kind));
+  Op op;
+  op.kind = kind;
+  op.operands = {a};
+  return push(std::move(op));
+}
+
+OpId Cdfg::binary(OpKind kind, OpId a, OpId b) {
+  MHS_CHECK(op_arity(kind) == 2, "binary() with non-binary kind "
+                                     << op_name(kind));
+  Op op;
+  op.kind = kind;
+  op.operands = {a, b};
+  return push(std::move(op));
+}
+
+OpId Cdfg::select(OpId cond, OpId a, OpId b) {
+  Op op;
+  op.kind = OpKind::kSelect;
+  op.operands = {cond, a, b};
+  return push(std::move(op));
+}
+
+OpId Cdfg::output(std::string name, OpId value) {
+  MHS_CHECK(!name.empty(), "output needs a name");
+  Op op;
+  op.kind = OpKind::kOutput;
+  op.operands = {value};
+  op.name = std::move(name);
+  return push(std::move(op));
+}
+
+const Op& Cdfg::op(OpId id) const {
+  check(id);
+  return ops_[id.index()];
+}
+
+std::vector<OpId> Cdfg::op_ids() const {
+  std::vector<OpId> ids;
+  ids.reserve(ops_.size());
+  for (std::uint32_t i = 0; i < ops_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+std::vector<OpId> Cdfg::inputs() const {
+  std::vector<OpId> ids;
+  for (std::uint32_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].kind == OpKind::kInput) ids.emplace_back(i);
+  }
+  return ids;
+}
+
+std::vector<OpId> Cdfg::outputs() const {
+  std::vector<OpId> ids;
+  for (std::uint32_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].kind == OpKind::kOutput) ids.emplace_back(i);
+  }
+  return ids;
+}
+
+std::vector<OpId> Cdfg::users(OpId id) const {
+  check(id);
+  std::vector<OpId> result;
+  for (std::uint32_t i = 0; i < ops_.size(); ++i) {
+    const auto& operands = ops_[i].operands;
+    if (std::find(operands.begin(), operands.end(), id) != operands.end()) {
+      result.emplace_back(i);
+    }
+  }
+  return result;
+}
+
+std::map<std::string, std::int64_t> Cdfg::evaluate(
+    const std::map<std::string, std::int64_t>& in) const {
+  std::vector<std::int64_t> value(ops_.size(), 0);
+  std::map<std::string, std::int64_t> out;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    switch (op.kind) {
+      case OpKind::kConst:
+        value[i] = op.value;
+        break;
+      case OpKind::kInput: {
+        const auto it = in.find(op.name);
+        MHS_CHECK(it != in.end(), "missing input '" << op.name << "'");
+        value[i] = it->second;
+        break;
+      }
+      case OpKind::kOutput:
+        value[i] = value[op.operands[0].index()];
+        out[op.name] = value[i];
+        break;
+      default: {
+        std::vector<std::int64_t> args;
+        args.reserve(op.operands.size());
+        for (const OpId o : op.operands) args.push_back(value[o.index()]);
+        value[i] = apply_op(op.kind, args);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t Cdfg::depth() const {
+  std::vector<std::size_t> d(ops_.size(), 0);
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    std::size_t in_depth = 0;
+    for (const OpId o : op.operands) {
+      in_depth = std::max(in_depth, d[o.index()]);
+    }
+    d[i] = in_depth + (op_is_compute(op.kind) ? 1 : 0);
+    best = std::max(best, d[i]);
+  }
+  return best;
+}
+
+void Cdfg::check(OpId id) const {
+  MHS_CHECK(id.valid() && id.index() < ops_.size(),
+            "invalid op id " << id << " in cdfg '" << name_ << "'");
+}
+
+}  // namespace mhs::ir

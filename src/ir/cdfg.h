@@ -1,0 +1,126 @@
+// Control/data-flow graph (CDFG) — the fine-grained behavioural IR.
+//
+// A Cdfg describes one kernel body as a dataflow DAG over 64-bit integer
+// values. The same Cdfg is the single source specification from which mhs
+// derives both implementations, exactly the "unified understanding of
+// hardware and software functionality" that §3.2 of the paper calls for:
+//   * mhs::hw  schedules/binds it into a datapath + FSM (high-level synth),
+//   * mhs::sw  compiles it to the RISC ISA and runs it on the ISS,
+//   * the built-in evaluator provides the functional reference for both.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "base/ids.h"
+
+namespace mhs::ir {
+
+struct OpTag {};
+/// Identifier of one operation (and of the value it produces).
+using OpId = Id<OpTag>;
+
+/// Operation kinds. Arity is fixed per kind (see op_arity()).
+enum class OpKind {
+  kConst,   ///< literal value, no operands
+  kInput,   ///< named kernel input, no operands
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,     ///< signed division; evaluator traps divide-by-zero
+  kShl,
+  kShr,     ///< arithmetic shift right
+  kAnd,
+  kOr,
+  kXor,
+  kNeg,
+  kAbs,
+  kMin,
+  kMax,
+  kCmpLt,   ///< 1 if a < b else 0 (signed)
+  kCmpEq,   ///< 1 if a == b else 0
+  kSelect,  ///< operands (cond, a, b): cond != 0 ? a : b
+  kOutput,  ///< named kernel output, one operand
+};
+
+/// Number of operands required by `kind`.
+int op_arity(OpKind kind);
+/// Human-readable mnemonic ("add", "mul", ...).
+const char* op_name(OpKind kind);
+/// True for kAdd..kSelect (has a result consumed by other ops).
+bool op_is_compute(OpKind kind);
+
+/// One operation node.
+struct Op {
+  OpKind kind = OpKind::kConst;
+  std::vector<OpId> operands;
+  /// Literal for kConst.
+  std::int64_t value = 0;
+  /// Port name for kInput / kOutput; empty otherwise.
+  std::string name;
+};
+
+/// A dataflow kernel. Append-only; OpIds are dense.
+class Cdfg {
+ public:
+  Cdfg() = default;
+  explicit Cdfg(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Builders. Each returns the id of the value produced.
+  OpId constant(std::int64_t value);
+  OpId input(std::string name);
+  OpId unary(OpKind kind, OpId a);
+  OpId binary(OpKind kind, OpId a, OpId b);
+  OpId select(OpId cond, OpId a, OpId b);
+  OpId output(std::string name, OpId value);
+
+  // Shorthand builders.
+  OpId add(OpId a, OpId b) { return binary(OpKind::kAdd, a, b); }
+  OpId sub(OpId a, OpId b) { return binary(OpKind::kSub, a, b); }
+  OpId mul(OpId a, OpId b) { return binary(OpKind::kMul, a, b); }
+  OpId shr(OpId a, OpId b) { return binary(OpKind::kShr, a, b); }
+  OpId shl(OpId a, OpId b) { return binary(OpKind::kShl, a, b); }
+  OpId band(OpId a, OpId b) { return binary(OpKind::kAnd, a, b); }
+  OpId bxor(OpId a, OpId b) { return binary(OpKind::kXor, a, b); }
+
+  std::size_t num_ops() const { return ops_.size(); }
+  const Op& op(OpId id) const;
+
+  /// All op ids in insertion (and thus topological) order: operands always
+  /// precede their users because builders only accept existing ids.
+  std::vector<OpId> op_ids() const;
+
+  /// Ids of input / output ops in insertion order.
+  std::vector<OpId> inputs() const;
+  std::vector<OpId> outputs() const;
+
+  /// Ops that consume the value of `id`.
+  std::vector<OpId> users(OpId id) const;
+
+  /// Evaluates the kernel on the given named inputs; returns named outputs.
+  /// Throws PreconditionError on a missing input or divide-by-zero.
+  std::map<std::string, std::int64_t> evaluate(
+      const std::map<std::string, std::int64_t>& in) const;
+
+  /// Longest combinational chain in op count (unit-delay depth).
+  std::size_t depth() const;
+
+ private:
+  OpId push(Op op);
+  void check(OpId id) const;
+
+  std::string name_;
+  std::vector<Op> ops_;
+};
+
+/// Applies one operation to evaluated operand values (shared by the Cdfg
+/// evaluator, the ISS reference checker, and the datapath simulator).
+std::int64_t apply_op(OpKind kind, std::span<const std::int64_t> args);
+
+}  // namespace mhs::ir

@@ -1,0 +1,69 @@
+#include "ir/dot.h"
+
+#include <sstream>
+
+namespace mhs::ir {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const TaskGraph& g) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(g.name()) << "\" {\n";
+  for (const TaskId t : g.task_ids()) {
+    const Task& task = g.task(t);
+    os << "  n" << t.value() << " [shape=box,label=\"" << escape(task.name)
+       << "\\nsw=" << task.costs.sw_cycles << " hw=" << task.costs.hw_cycles
+       << "\"];\n";
+  }
+  for (const EdgeId e : g.edge_ids()) {
+    const Edge& edge = g.edge(e);
+    os << "  n" << edge.src.value() << " -> n" << edge.dst.value()
+       << " [label=\"" << edge.bytes << "B\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Cdfg& c) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(c.name()) << "\" {\n";
+  for (const OpId id : c.op_ids()) {
+    const Op& op = c.op(id);
+    os << "  n" << id.value() << " [label=\"" << op_name(op.kind);
+    if (op.kind == OpKind::kConst) os << " " << op.value;
+    if (!op.name.empty()) os << " " << escape(op.name);
+    os << "\"];\n";
+    for (const OpId operand : op.operands) {
+      os << "  n" << operand.value() << " -> n" << id.value() << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const ProcessNetwork& n) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(n.name()) << "\" {\n";
+  for (const ProcessId p : n.process_ids()) {
+    os << "  p" << p.value() << " [shape=box,label=\""
+       << escape(n.process(p).name) << "\"];\n";
+  }
+  for (const ChannelId c : n.channel_ids()) {
+    const Channel& ch = n.channel(c);
+    os << "  p" << ch.producer.value() << " -> p" << ch.consumer.value()
+       << " [label=\"" << escape(ch.name) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mhs::ir

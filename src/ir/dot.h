@@ -1,0 +1,21 @@
+// Graphviz DOT export for the IR types (debugging / documentation aid).
+#pragma once
+
+#include <string>
+
+#include "ir/cdfg.h"
+#include "ir/process_network.h"
+#include "ir/task_graph.h"
+
+namespace mhs::ir {
+
+/// Renders a task graph as a DOT digraph (nodes labelled name + sw/hw cost).
+std::string to_dot(const TaskGraph& g);
+
+/// Renders a CDFG as a DOT digraph (nodes labelled with mnemonics).
+std::string to_dot(const Cdfg& c);
+
+/// Renders a process network (processes as boxes, channels as edges).
+std::string to_dot(const ProcessNetwork& n);
+
+}  // namespace mhs::ir

@@ -1,0 +1,38 @@
+// CDFG optimization passes.
+//
+// A small classic pipeline applied before code generation or synthesis:
+//   * constant folding     — compute ops with constant operands,
+//   * algebraic identities — x+0, x*1, x*0, x-x, shifts by 0, min(x,x)...
+//   * common-subexpression elimination — structurally identical ops merge,
+//   * dead-code elimination — ops unreachable from any output vanish.
+//
+// Because one Cdfg feeds both the compiler (mhs::sw) and high-level
+// synthesis (mhs::hw), a single optimization here shrinks both the
+// software cycle count and the hardware datapath — the co-design payoff
+// of keeping one specification (§3.2 of the paper).
+#pragma once
+
+#include <cstddef>
+
+#include "ir/cdfg.h"
+
+namespace mhs::ir {
+
+/// What the optimizer did (for reports and tests).
+struct OptimizeStats {
+  std::size_t constants_folded = 0;
+  std::size_t identities_applied = 0;
+  std::size_t subexpressions_merged = 0;
+  std::size_t dead_ops_removed = 0;
+  std::size_t ops_before = 0;
+  std::size_t ops_after = 0;
+};
+
+/// Returns an equivalent, usually smaller kernel: identical outputs for
+/// every input assignment on which the original does not trap. A division
+/// whose divisor folds to a constant zero is kept (it still traps), but a
+/// trapping op that becomes unreachable from the outputs is removed, as
+/// in any conventional optimizing compiler.
+Cdfg optimize(const Cdfg& kernel, OptimizeStats* stats = nullptr);
+
+}  // namespace mhs::ir

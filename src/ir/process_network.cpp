@@ -1,0 +1,106 @@
+#include "ir/process_network.h"
+
+namespace mhs::ir {
+
+ProcessId ProcessNetwork::add_process(Process p) {
+  const ProcessId id(static_cast<std::uint32_t>(processes_.size()));
+  processes_.push_back(std::move(p));
+  return id;
+}
+
+ChannelId ProcessNetwork::add_channel(std::string name, ProcessId producer,
+                                      ProcessId consumer,
+                                      std::size_t capacity) {
+  check_process(producer);
+  check_process(consumer);
+  MHS_CHECK(producer != consumer,
+            "channel '" << name << "' connects a process to itself");
+  MHS_CHECK(capacity >= 1, "channel capacity must be >= 1");
+  const ChannelId id(static_cast<std::uint32_t>(channels_.size()));
+  channels_.push_back(Channel{std::move(name), producer, consumer, capacity});
+  return id;
+}
+
+void ProcessNetwork::add_transfer(ChannelId ch, double bytes) {
+  check_channel(ch);
+  MHS_CHECK(bytes >= 0.0, "transfer bytes must be non-negative");
+  const Channel& c = channels_[ch.index()];
+  processes_[c.producer.index()].ops.push_back(
+      ChannelOp{ChannelOp::Kind::kSend, ch, bytes});
+  processes_[c.consumer.index()].ops.push_back(
+      ChannelOp{ChannelOp::Kind::kReceive, ch, bytes});
+}
+
+const Process& ProcessNetwork::process(ProcessId id) const {
+  check_process(id);
+  return processes_[id.index()];
+}
+
+Process& ProcessNetwork::process(ProcessId id) {
+  check_process(id);
+  return processes_[id.index()];
+}
+
+const Channel& ProcessNetwork::channel(ChannelId id) const {
+  check_channel(id);
+  return channels_[id.index()];
+}
+
+std::vector<ProcessId> ProcessNetwork::process_ids() const {
+  std::vector<ProcessId> ids;
+  ids.reserve(processes_.size());
+  for (std::uint32_t i = 0; i < processes_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+std::vector<ChannelId> ProcessNetwork::channel_ids() const {
+  std::vector<ChannelId> ids;
+  ids.reserve(channels_.size());
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+double ProcessNetwork::channel_bytes_per_iteration(ChannelId id) const {
+  check_channel(id);
+  const Channel& c = channels_[id.index()];
+  double bytes = 0.0;
+  for (const ChannelOp& op : processes_[c.producer.index()].ops) {
+    if (op.kind == ChannelOp::Kind::kSend && op.channel == id) {
+      bytes += op.bytes;
+    }
+  }
+  return bytes;
+}
+
+void ProcessNetwork::validate() const {
+  for (std::uint32_t pi = 0; pi < processes_.size(); ++pi) {
+    const Process& p = processes_[pi];
+    MHS_CHECK(p.sw_cycles >= 0.0 && p.hw_cycles >= 0.0 && p.hw_area >= 0.0,
+              "process '" << p.name << "' has negative cost");
+    for (const ChannelOp& op : p.ops) {
+      check_channel(op.channel);
+      const Channel& c = channels_[op.channel.index()];
+      if (op.kind == ChannelOp::Kind::kSend) {
+        MHS_CHECK(c.producer == ProcessId(pi),
+                  "process '" << p.name << "' sends on channel '" << c.name
+                              << "' it does not produce");
+      } else {
+        MHS_CHECK(c.consumer == ProcessId(pi),
+                  "process '" << p.name << "' receives on channel '"
+                              << c.name << "' it does not consume");
+      }
+    }
+  }
+}
+
+void ProcessNetwork::check_process(ProcessId id) const {
+  MHS_CHECK(id.valid() && id.index() < processes_.size(),
+            "invalid process id " << id);
+}
+
+void ProcessNetwork::check_channel(ChannelId id) const {
+  MHS_CHECK(id.valid() && id.index() < channels_.size(),
+            "invalid channel id " << id);
+}
+
+}  // namespace mhs::ir

@@ -1,0 +1,99 @@
+// Communicating-process specification.
+//
+// A ProcessNetwork models the paper's Type II view: concurrent processes
+// that exchange messages over channels (Figure 1b). It is the input to the
+// multi-threaded co-processor partitioner (Figure 9) and to co-simulation
+// at the send/receive/wait abstraction level (Figure 3, top).
+//
+// Each process executes a fixed per-iteration amount of computation and a
+// static sequence of channel operations; this is deliberately a restricted
+// (SDF-like) model so that schedules and partitions can be analyzed exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "base/ids.h"
+
+namespace mhs::ir {
+
+struct ProcessTag {};
+struct ChannelTag {};
+using ProcessId = Id<ProcessTag>;
+using ChannelId = Id<ChannelTag>;
+
+/// One channel operation in a process body.
+struct ChannelOp {
+  enum class Kind { kSend, kReceive } kind = Kind::kSend;
+  ChannelId channel;
+  /// Bytes transferred by this operation.
+  double bytes = 0.0;
+};
+
+/// A sequential process: compute, then perform channel ops, per iteration.
+struct Process {
+  std::string name;
+  /// Cycles of computation per iteration when implemented in software.
+  double sw_cycles = 0.0;
+  /// Cycles of computation per iteration when implemented in hardware.
+  double hw_cycles = 0.0;
+  /// Area of a dedicated hardware (controller + datapath) implementation.
+  double hw_area = 0.0;
+  /// Channel operations executed each iteration, in program order.
+  std::vector<ChannelOp> ops;
+};
+
+/// A point-to-point FIFO channel between two processes.
+struct Channel {
+  std::string name;
+  ProcessId producer;
+  ProcessId consumer;
+  /// FIFO capacity in messages (for co-simulation back-pressure).
+  std::size_t capacity = 1;
+};
+
+/// A static network of processes and channels.
+class ProcessNetwork {
+ public:
+  ProcessNetwork() = default;
+  explicit ProcessNetwork(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  ProcessId add_process(Process p);
+  /// Adds a channel; producer/consumer must already exist.
+  ChannelId add_channel(std::string name, ProcessId producer,
+                        ProcessId consumer, std::size_t capacity = 1);
+
+  /// Appends a send (on the producer) and matching receive (on the
+  /// consumer) of `bytes` over `ch` — the common idiom when building nets.
+  void add_transfer(ChannelId ch, double bytes);
+
+  std::size_t num_processes() const { return processes_.size(); }
+  std::size_t num_channels() const { return channels_.size(); }
+
+  const Process& process(ProcessId id) const;
+  Process& process(ProcessId id);
+  const Channel& channel(ChannelId id) const;
+
+  std::vector<ProcessId> process_ids() const;
+  std::vector<ChannelId> channel_ids() const;
+
+  /// Bytes sent per iteration over channel `id` (sum of producer sends).
+  double channel_bytes_per_iteration(ChannelId id) const;
+
+  /// Checks structural sanity: every send/receive names an existing channel
+  /// whose producer/consumer matches the process performing the op.
+  void validate() const;
+
+ private:
+  void check_process(ProcessId id) const;
+  void check_channel(ChannelId id) const;
+
+  std::string name_;
+  std::vector<Process> processes_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace mhs::ir

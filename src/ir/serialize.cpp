@@ -1,0 +1,258 @@
+#include "ir/serialize.h"
+
+#include <map>
+#include <sstream>
+
+namespace mhs::ir {
+
+namespace {
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// One parsed line: a keyword followed by positional words and key=value
+/// pairs.
+struct Line {
+  std::size_t number = 0;
+  std::string keyword;
+  std::vector<std::string> positional;
+  std::map<std::string, double> values;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  MHS_CHECK(false, "parse error at line " << line << ": " << message);
+  throw InternalError("unreachable");
+}
+
+std::vector<Line> tokenize(const std::string& text) {
+  std::vector<Line> lines;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t number = 0;
+  while (std::getline(in, raw)) {
+    ++number;
+    // Strip comments.
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    std::istringstream ls(raw);
+    Line line;
+    line.number = number;
+    if (!(ls >> line.keyword)) continue;  // blank
+    std::string word;
+    while (ls >> word) {
+      const auto eq = word.find('=');
+      if (eq == std::string::npos) {
+        line.positional.push_back(word);
+        continue;
+      }
+      const std::string key = word.substr(0, eq);
+      const std::string value = word.substr(eq + 1);
+      try {
+        std::size_t used = 0;
+        const double v = std::stod(value, &used);
+        if (used != value.size()) fail(number, "bad number '" + value + "'");
+        if (line.values.count(key)) fail(number, "duplicate key " + key);
+        line.values[key] = v;
+      } catch (const std::invalid_argument&) {
+        fail(number, "bad number '" + value + "'");
+      } catch (const std::out_of_range&) {
+        fail(number, "number out of range '" + value + "'");
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+double take(Line& line, const std::string& key, double fallback,
+            bool required) {
+  const auto it = line.values.find(key);
+  if (it == line.values.end()) {
+    if (required) fail(line.number, "missing key " + key);
+    return fallback;
+  }
+  const double v = it->second;
+  line.values.erase(it);
+  return v;
+}
+
+void expect_consumed(const Line& line) {
+  if (!line.values.empty()) {
+    fail(line.number, "unknown key " + line.values.begin()->first);
+  }
+}
+
+}  // namespace
+
+std::string to_text(const TaskGraph& graph) {
+  std::ostringstream os;
+  os << "taskgraph " << (graph.name().empty() ? "unnamed" : graph.name())
+     << "\n";
+  for (const TaskId t : graph.task_ids()) {
+    const Task& task = graph.task(t);
+    os << "task " << task.name << " sw=" << fmt_double(task.costs.sw_cycles)
+       << " hw=" << fmt_double(task.costs.hw_cycles)
+       << " area=" << fmt_double(task.costs.hw_area)
+       << " size=" << fmt_double(task.costs.sw_size)
+       << " mod=" << fmt_double(task.costs.modifiability)
+       << " par=" << fmt_double(task.costs.parallelism);
+    if (task.period > 0) os << " period=" << fmt_double(task.period);
+    if (task.deadline > 0) os << " deadline=" << fmt_double(task.deadline);
+    os << "\n";
+  }
+  for (const EdgeId e : graph.edge_ids()) {
+    const Edge& edge = graph.edge(e);
+    os << "edge " << edge.src.value() << ' ' << edge.dst.value()
+       << " bytes=" << fmt_double(edge.bytes) << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+TaskGraph task_graph_from_text(const std::string& text) {
+  auto lines = tokenize(text);
+  MHS_CHECK(!lines.empty(), "empty task graph text");
+  MHS_CHECK(lines.front().keyword == "taskgraph" &&
+                lines.front().positional.size() == 1,
+            "text must start with 'taskgraph <name>'");
+  TaskGraph graph(lines.front().positional[0]);
+  bool ended = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    Line& line = lines[i];
+    if (ended) fail(line.number, "content after 'end'");
+    if (line.keyword == "end") {
+      ended = true;
+      continue;
+    }
+    if (line.keyword == "task") {
+      if (line.positional.size() != 1) {
+        fail(line.number, "task needs exactly one name");
+      }
+      Task task;
+      task.name = line.positional[0];
+      task.costs.sw_cycles = take(line, "sw", 0, true);
+      task.costs.hw_cycles = take(line, "hw", 0, true);
+      task.costs.hw_area = take(line, "area", 0, true);
+      task.costs.sw_size = take(line, "size", 0, false);
+      task.costs.modifiability = take(line, "mod", 0, false);
+      task.costs.parallelism = take(line, "par", 0, false);
+      task.period = take(line, "period", 0, false);
+      task.deadline = take(line, "deadline", 0, false);
+      expect_consumed(line);
+      graph.add_task(std::move(task));
+      continue;
+    }
+    if (line.keyword == "edge") {
+      if (line.positional.size() != 2) {
+        fail(line.number, "edge needs two task indices");
+      }
+      std::uint32_t src = 0, dst = 0;
+      try {
+        src = static_cast<std::uint32_t>(std::stoul(line.positional[0]));
+        dst = static_cast<std::uint32_t>(std::stoul(line.positional[1]));
+      } catch (const std::exception&) {
+        fail(line.number, "bad task index");
+      }
+      const double bytes = take(line, "bytes", 0, true);
+      expect_consumed(line);
+      if (src >= graph.num_tasks() || dst >= graph.num_tasks()) {
+        fail(line.number, "edge references an undefined task");
+      }
+      graph.add_edge(TaskId(src), TaskId(dst), bytes);
+      continue;
+    }
+    fail(line.number, "unknown keyword '" + line.keyword + "'");
+  }
+  MHS_CHECK(ended, "missing 'end'");
+  graph.validate();
+  return graph;
+}
+
+std::string to_text(const ProcessNetwork& net) {
+  std::ostringstream os;
+  os << "network " << (net.name().empty() ? "unnamed" : net.name()) << "\n";
+  for (const ProcessId p : net.process_ids()) {
+    const Process& proc = net.process(p);
+    os << "process " << proc.name << " sw=" << fmt_double(proc.sw_cycles)
+       << " hw=" << fmt_double(proc.hw_cycles)
+       << " area=" << fmt_double(proc.hw_area) << "\n";
+  }
+  for (const ChannelId c : net.channel_ids()) {
+    const Channel& ch = net.channel(c);
+    os << "channel " << ch.name << ' ' << ch.producer.value() << ' '
+       << ch.consumer.value() << " cap=" << ch.capacity
+       << " bytes=" << fmt_double(net.channel_bytes_per_iteration(c))
+       << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+ProcessNetwork process_network_from_text(const std::string& text) {
+  auto lines = tokenize(text);
+  MHS_CHECK(!lines.empty(), "empty network text");
+  MHS_CHECK(lines.front().keyword == "network" &&
+                lines.front().positional.size() == 1,
+            "text must start with 'network <name>'");
+  ProcessNetwork net(lines.front().positional[0]);
+  bool ended = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    Line& line = lines[i];
+    if (ended) fail(line.number, "content after 'end'");
+    if (line.keyword == "end") {
+      ended = true;
+      continue;
+    }
+    if (line.keyword == "process") {
+      if (line.positional.size() != 1) {
+        fail(line.number, "process needs exactly one name");
+      }
+      Process proc;
+      proc.name = line.positional[0];
+      proc.sw_cycles = take(line, "sw", 0, true);
+      proc.hw_cycles = take(line, "hw", 0, true);
+      proc.hw_area = take(line, "area", 0, true);
+      expect_consumed(line);
+      net.add_process(std::move(proc));
+      continue;
+    }
+    if (line.keyword == "channel") {
+      if (line.positional.size() != 3) {
+        fail(line.number, "channel needs a name and two process indices");
+      }
+      std::uint32_t producer = 0, consumer = 0;
+      try {
+        producer =
+            static_cast<std::uint32_t>(std::stoul(line.positional[1]));
+        consumer =
+            static_cast<std::uint32_t>(std::stoul(line.positional[2]));
+      } catch (const std::exception&) {
+        fail(line.number, "bad process index");
+      }
+      const double cap = take(line, "cap", 1, false);
+      const double bytes = take(line, "bytes", 0, true);
+      expect_consumed(line);
+      if (producer >= net.num_processes() ||
+          consumer >= net.num_processes()) {
+        fail(line.number, "channel references an undefined process");
+      }
+      if (cap < 1) fail(line.number, "channel capacity must be >= 1");
+      const ChannelId ch =
+          net.add_channel(line.positional[0], ProcessId(producer),
+                          ProcessId(consumer),
+                          static_cast<std::size_t>(cap));
+      net.add_transfer(ch, bytes);
+      continue;
+    }
+    fail(line.number, "unknown keyword '" + line.keyword + "'");
+  }
+  MHS_CHECK(ended, "missing 'end'");
+  net.validate();
+  return net;
+}
+
+}  // namespace mhs::ir

@@ -1,0 +1,140 @@
+#include "ir/task_graph.h"
+
+#include <algorithm>
+
+namespace mhs::ir {
+
+TaskId TaskGraph::add_task(Task task) {
+  const TaskId id(static_cast<std::uint32_t>(tasks_.size()));
+  tasks_.push_back(std::move(task));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+TaskId TaskGraph::add_task(std::string name, TaskCosts costs) {
+  Task t;
+  t.name = std::move(name);
+  t.costs = costs;
+  return add_task(std::move(t));
+}
+
+EdgeId TaskGraph::add_edge(TaskId src, TaskId dst, double bytes) {
+  check_task(src);
+  check_task(dst);
+  MHS_CHECK(src != dst, "self edge on task '" << tasks_[src.index()].name
+                                              << "' is not allowed");
+  MHS_CHECK(bytes >= 0.0, "edge bytes must be non-negative, got " << bytes);
+  const EdgeId id(static_cast<std::uint32_t>(edges_.size()));
+  edges_.push_back(Edge{src, dst, bytes});
+  out_[src.index()].push_back(id);
+  in_[dst.index()].push_back(id);
+  return id;
+}
+
+const Task& TaskGraph::task(TaskId id) const {
+  check_task(id);
+  return tasks_[id.index()];
+}
+
+Task& TaskGraph::task(TaskId id) {
+  check_task(id);
+  return tasks_[id.index()];
+}
+
+const Edge& TaskGraph::edge(EdgeId id) const {
+  check_edge(id);
+  return edges_[id.index()];
+}
+
+Edge& TaskGraph::edge(EdgeId id) {
+  check_edge(id);
+  return edges_[id.index()];
+}
+
+std::span<const EdgeId> TaskGraph::out_edges(TaskId id) const {
+  check_task(id);
+  return out_[id.index()];
+}
+
+std::span<const EdgeId> TaskGraph::in_edges(TaskId id) const {
+  check_task(id);
+  return in_[id.index()];
+}
+
+std::vector<TaskId> TaskGraph::task_ids() const {
+  std::vector<TaskId> ids;
+  ids.reserve(tasks_.size());
+  for (std::uint32_t i = 0; i < tasks_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+std::vector<EdgeId> TaskGraph::edge_ids() const {
+  std::vector<EdgeId> ids;
+  ids.reserve(edges_.size());
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+std::vector<TaskId> TaskGraph::successors(TaskId id) const {
+  std::vector<TaskId> succ;
+  for (const EdgeId e : out_edges(id)) succ.push_back(edges_[e.index()].dst);
+  return succ;
+}
+
+std::vector<TaskId> TaskGraph::predecessors(TaskId id) const {
+  std::vector<TaskId> pred;
+  for (const EdgeId e : in_edges(id)) pred.push_back(edges_[e.index()].src);
+  return pred;
+}
+
+bool TaskGraph::is_dag() const {
+  // Kahn's algorithm: the graph is acyclic iff all nodes can be peeled.
+  std::vector<std::size_t> indegree(tasks_.size());
+  for (const auto& e : edges_) ++indegree[e.dst.index()];
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::size_t peeled = 0;
+  while (!ready.empty()) {
+    const std::size_t n = ready.back();
+    ready.pop_back();
+    ++peeled;
+    for (const EdgeId e : out_[n]) {
+      const std::size_t m = edges_[e.index()].dst.index();
+      if (--indegree[m] == 0) ready.push_back(m);
+    }
+  }
+  return peeled == tasks_.size();
+}
+
+void TaskGraph::validate() const {
+  MHS_CHECK(is_dag(), "task graph '" << name_ << "' contains a cycle");
+}
+
+double TaskGraph::total_traffic_bytes() const {
+  double total = 0.0;
+  for (const auto& e : edges_) total += e.bytes;
+  return total;
+}
+
+double TaskGraph::total_sw_cycles() const {
+  double total = 0.0;
+  for (const auto& t : tasks_) total += t.costs.sw_cycles;
+  return total;
+}
+
+void TaskGraph::check_task(TaskId id) const {
+  MHS_CHECK(id.valid() && id.index() < tasks_.size(),
+            "invalid task id " << id << " (graph has " << tasks_.size()
+                               << " tasks)");
+}
+
+void TaskGraph::check_edge(EdgeId id) const {
+  MHS_CHECK(id.valid() && id.index() < edges_.size(),
+            "invalid edge id " << id << " (graph has " << edges_.size()
+                               << " edges)");
+}
+
+}  // namespace mhs::ir

@@ -1,0 +1,131 @@
+// Task-graph intermediate representation.
+//
+// A TaskGraph is the coarse-grained system specification used throughout
+// mhs: nodes are tasks (coarse computations), edges are data transfers.
+// Each task carries the cost annotations that the paper's partitioning
+// discussion (§3.3) identifies as the inputs to a HW/SW partitioning
+// decision: software cycles, hardware latency, hardware area, code size,
+// modifiability, and nature-of-computation (parallelism affinity).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "base/ids.h"
+
+namespace mhs::ir {
+
+struct TaskTag {};
+struct EdgeTag {};
+
+/// Identifier of a task (node) within one TaskGraph.
+using TaskId = Id<TaskTag>;
+/// Identifier of a data-transfer edge within one TaskGraph.
+using EdgeId = Id<EdgeTag>;
+
+/// Per-task implementation-cost annotations (§3.3 partitioning factors).
+struct TaskCosts {
+  /// Execution time, in cycles, on the reference instruction-set processor.
+  double sw_cycles = 0.0;
+  /// Execution latency, in cycles, as a dedicated hardware block.
+  double hw_cycles = 0.0;
+  /// Silicon cost (abstract area units) of the dedicated hardware block.
+  double hw_area = 0.0;
+  /// Code size, in bytes, of the software implementation.
+  double sw_size = 0.0;
+  /// Likelihood in [0,1] that this function changes after deployment
+  /// ("modifiability" consideration of §3.3).
+  double modifiability = 0.0;
+  /// Internal data parallelism in [0,1] ("nature of computation" of §3.3);
+  /// 1 means highly parallel and thus HW-affine.
+  double parallelism = 0.0;
+};
+
+/// A coarse-grained computation node.
+struct Task {
+  std::string name;
+  TaskCosts costs;
+  /// Invocation period in cycles (0 = aperiodic / invoked by predecessors).
+  double period = 0.0;
+  /// Relative deadline in cycles (0 = none).
+  double deadline = 0.0;
+};
+
+/// A directed data transfer between two tasks.
+struct Edge {
+  TaskId src;
+  TaskId dst;
+  /// Payload moved per activation, in bytes; drives the communication
+  /// factor of §3.3 and all bus/interface traffic models.
+  double bytes = 0.0;
+};
+
+/// Directed acyclic graph of tasks and data transfers.
+///
+/// Tasks and edges are append-only; ids are dense and stable, so clients
+/// may index side tables by TaskId::index() / EdgeId::index().
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Adds a task and returns its id.
+  TaskId add_task(Task task);
+
+  /// Convenience overload building the Task in place.
+  TaskId add_task(std::string name, TaskCosts costs);
+
+  /// Adds a data-transfer edge. Precondition: both ids are valid tasks and
+  /// src != dst. Does NOT check acyclicity; call validate() after building.
+  EdgeId add_edge(TaskId src, TaskId dst, double bytes);
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const Task& task(TaskId id) const;
+  Task& task(TaskId id);
+  const Edge& edge(EdgeId id) const;
+  Edge& edge(EdgeId id);
+
+  /// Edges leaving / entering a task.
+  std::span<const EdgeId> out_edges(TaskId id) const;
+  std::span<const EdgeId> in_edges(TaskId id) const;
+
+  /// All task ids in insertion order.
+  std::vector<TaskId> task_ids() const;
+  /// All edge ids in insertion order.
+  std::vector<EdgeId> edge_ids() const;
+
+  /// Direct successor / predecessor task ids.
+  std::vector<TaskId> successors(TaskId id) const;
+  std::vector<TaskId> predecessors(TaskId id) const;
+
+  /// Throws PreconditionError if the graph contains a cycle.
+  void validate() const;
+
+  /// True if the edge relation is acyclic.
+  bool is_dag() const;
+
+  /// Sum of bytes over all edges.
+  double total_traffic_bytes() const;
+
+  /// Sum of sw_cycles over all tasks (the all-software serial latency).
+  double total_sw_cycles() const;
+
+ private:
+  void check_task(TaskId id) const;
+  void check_edge(EdgeId id) const;
+
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace mhs::ir

@@ -1,0 +1,178 @@
+#include "ir/task_graph_algos.h"
+
+#include <algorithm>
+
+namespace mhs::ir {
+
+std::vector<TaskId> topological_order(const TaskGraph& g) {
+  g.validate();
+  std::vector<std::size_t> indegree(g.num_tasks());
+  for (const EdgeId e : g.edge_ids()) ++indegree[g.edge(e).dst.index()];
+
+  std::vector<TaskId> order;
+  order.reserve(g.num_tasks());
+  std::vector<TaskId> ready;
+  for (const TaskId t : g.task_ids()) {
+    if (indegree[t.index()] == 0) ready.push_back(t);
+  }
+  // Pop the smallest id for a deterministic order.
+  while (!ready.empty()) {
+    auto it = std::min_element(ready.begin(), ready.end());
+    const TaskId n = *it;
+    ready.erase(it);
+    order.push_back(n);
+    for (const EdgeId e : g.out_edges(n)) {
+      const TaskId m = g.edge(e).dst;
+      if (--indegree[m.index()] == 0) ready.push_back(m);
+    }
+  }
+  MHS_ASSERT(order.size() == g.num_tasks(), "topological sort lost tasks");
+  return order;
+}
+
+std::vector<double> t_levels(const TaskGraph& g, const DelayFn& node_delay,
+                             const EdgeDelayFn& edge_delay) {
+  std::vector<double> tl(g.num_tasks(), 0.0);
+  for (const TaskId v : topological_order(g)) {
+    for (const EdgeId e : g.in_edges(v)) {
+      const TaskId u = g.edge(e).src;
+      tl[v.index()] = std::max(
+          tl[v.index()], tl[u.index()] + node_delay(u) + edge_delay(e));
+    }
+  }
+  return tl;
+}
+
+std::vector<double> b_levels(const TaskGraph& g, const DelayFn& node_delay,
+                             const EdgeDelayFn& edge_delay) {
+  std::vector<double> bl(g.num_tasks(), 0.0);
+  const auto order = topological_order(g);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId v = *it;
+    double best_succ = 0.0;
+    for (const EdgeId e : g.out_edges(v)) {
+      const TaskId w = g.edge(e).dst;
+      best_succ = std::max(best_succ, edge_delay(e) + bl[w.index()]);
+    }
+    bl[v.index()] = node_delay(v) + best_succ;
+  }
+  return bl;
+}
+
+double critical_path_length(const TaskGraph& g, const DelayFn& node_delay,
+                            const EdgeDelayFn& edge_delay) {
+  if (g.num_tasks() == 0) return 0.0;
+  const auto bl = b_levels(g, node_delay, edge_delay);
+  return *std::max_element(bl.begin(), bl.end());
+}
+
+std::vector<TaskId> critical_path(const TaskGraph& g,
+                                  const DelayFn& node_delay,
+                                  const EdgeDelayFn& edge_delay) {
+  if (g.num_tasks() == 0) return {};
+  const auto bl = b_levels(g, node_delay, edge_delay);
+
+  // Start at a source with the maximal b-level, then greedily follow the
+  // successor whose (edge + b-level) realizes the current b-level.
+  TaskId cur = TaskId::invalid();
+  double best = -1.0;
+  for (const TaskId s : sources(g)) {
+    if (bl[s.index()] > best) {
+      best = bl[s.index()];
+      cur = s;
+    }
+  }
+  std::vector<TaskId> path;
+  while (cur.valid()) {
+    path.push_back(cur);
+    TaskId next = TaskId::invalid();
+    const double remaining = bl[cur.index()] - node_delay(cur);
+    double best_diff = 1e-6;
+    for (const EdgeId e : g.out_edges(cur)) {
+      const TaskId w = g.edge(e).dst;
+      const double diff =
+          std::abs(edge_delay(e) + bl[w.index()] - remaining);
+      if (diff < best_diff) {
+        best_diff = diff;
+        next = w;
+      }
+    }
+    cur = next;
+  }
+  return path;
+}
+
+std::size_t num_weak_components(const TaskGraph& g) {
+  const std::size_t n = g.num_tasks();
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const EdgeId e : g.edge_ids()) {
+    const auto a = find(g.edge(e).src.index());
+    const auto b = find(g.edge(e).dst.index());
+    if (a != b) parent[a] = b;
+  }
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (find(i) == i) ++count;
+  }
+  return count;
+}
+
+std::size_t width_estimate(const TaskGraph& g) {
+  if (g.num_tasks() == 0) return 0;
+  // ASAP level of each task under unit delays.
+  const auto tl = t_levels(
+      g, [](TaskId) { return 1.0; }, [](EdgeId) { return 0.0; });
+  std::vector<std::size_t> level_count;
+  for (const double t : tl) {
+    const auto level = static_cast<std::size_t>(t);
+    if (level >= level_count.size()) level_count.resize(level + 1, 0);
+    ++level_count[level];
+  }
+  return *std::max_element(level_count.begin(), level_count.end());
+}
+
+std::vector<TaskId> sources(const TaskGraph& g) {
+  std::vector<TaskId> out;
+  for (const TaskId t : g.task_ids()) {
+    if (g.in_edges(t).empty()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TaskId> sinks(const TaskGraph& g) {
+  std::vector<TaskId> out;
+  for (const TaskId t : g.task_ids()) {
+    if (g.out_edges(t).empty()) out.push_back(t);
+  }
+  return out;
+}
+
+DelayFn sw_delay(const TaskGraph& g) {
+  return [&g](TaskId t) { return g.task(t).costs.sw_cycles; };
+}
+
+DelayFn hw_delay(const TaskGraph& g) {
+  return [&g](TaskId t) { return g.task(t).costs.hw_cycles; };
+}
+
+EdgeDelayFn zero_edge_delay() {
+  return [](EdgeId) { return 0.0; };
+}
+
+EdgeDelayFn bus_edge_delay(const TaskGraph& g, double bytes_per_cycle) {
+  MHS_CHECK(bytes_per_cycle > 0.0,
+            "bus_edge_delay: bytes_per_cycle must be positive");
+  return [&g, bytes_per_cycle](EdgeId e) {
+    return g.edge(e).bytes / bytes_per_cycle;
+  };
+}
+
+}  // namespace mhs::ir

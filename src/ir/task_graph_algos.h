@@ -1,0 +1,57 @@
+// Graph algorithms over TaskGraph used by schedulers and partitioners.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ir/task_graph.h"
+
+namespace mhs::ir {
+
+/// Per-task delay function (e.g. SW cycles, HW cycles, or mapping-aware).
+using DelayFn = std::function<double(TaskId)>;
+/// Per-edge delay function (communication cost of the transfer).
+using EdgeDelayFn = std::function<double(EdgeId)>;
+
+/// Returns a topological order of all tasks.
+/// Precondition: graph is a DAG (throws otherwise).
+std::vector<TaskId> topological_order(const TaskGraph& g);
+
+/// Earliest start times: t_level[v] = longest path length from any source
+/// to v, excluding v's own delay.
+std::vector<double> t_levels(const TaskGraph& g, const DelayFn& node_delay,
+                             const EdgeDelayFn& edge_delay);
+
+/// b_level[v] = longest path length from v to any sink, including v's delay.
+std::vector<double> b_levels(const TaskGraph& g, const DelayFn& node_delay,
+                             const EdgeDelayFn& edge_delay);
+
+/// Length of the longest (critical) path through the graph.
+double critical_path_length(const TaskGraph& g, const DelayFn& node_delay,
+                            const EdgeDelayFn& edge_delay);
+
+/// Tasks on one critical path, in topological order.
+std::vector<TaskId> critical_path(const TaskGraph& g,
+                                  const DelayFn& node_delay,
+                                  const EdgeDelayFn& edge_delay);
+
+/// Number of weakly connected components.
+std::size_t num_weak_components(const TaskGraph& g);
+
+/// Maximum anti-chain size estimate: the peak number of tasks that are
+/// simultaneously ready under an unbounded-resource ASAP schedule with
+/// unit delays. Used as a cheap parallelism metric by generators/tests.
+std::size_t width_estimate(const TaskGraph& g);
+
+/// Source tasks (no predecessors) and sink tasks (no successors).
+std::vector<TaskId> sources(const TaskGraph& g);
+std::vector<TaskId> sinks(const TaskGraph& g);
+
+/// Convenience delay functions.
+DelayFn sw_delay(const TaskGraph& g);
+DelayFn hw_delay(const TaskGraph& g);
+EdgeDelayFn zero_edge_delay();
+/// Edge delay = bytes / bytes_per_cycle.
+EdgeDelayFn bus_edge_delay(const TaskGraph& g, double bytes_per_cycle);
+
+}  // namespace mhs::ir

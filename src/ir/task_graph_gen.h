@@ -1,0 +1,50 @@
+// Synthetic task-graph generation (TGFF-style).
+//
+// The paper's example systems are driven by applications with tunable
+// parallelism, communication volume, and hardware affinity. This generator
+// produces layered random DAGs, pipelines, fork-join graphs, and trees with
+// randomized but reproducible cost annotations.
+#pragma once
+
+#include "base/rng.h"
+#include "ir/task_graph.h"
+
+namespace mhs::ir {
+
+/// Shape of a generated graph.
+enum class GraphShape {
+  kLayered,   ///< TGFF-like layered random DAG
+  kPipeline,  ///< linear chain
+  kForkJoin,  ///< source → parallel branches → sink
+  kTree,      ///< in-tree reducing toward a single sink
+};
+
+/// Parameters of the random task-graph generator.
+struct TaskGraphGenConfig {
+  GraphShape shape = GraphShape::kLayered;
+  /// Total number of tasks (>= 1). For fork-join, branch count is
+  /// num_tasks - 2; for trees the generator rounds to a full reduction.
+  std::size_t num_tasks = 10;
+  /// Layer width for kLayered (mean tasks per layer, >= 1).
+  double width = 3.0;
+  /// Probability of an edge between adjacent-layer task pairs (kLayered).
+  double edge_prob = 0.5;
+
+  /// Mean software cycles per task (lognormal-ish spread via multiplier).
+  double mean_sw_cycles = 1000.0;
+  /// Spread multiplier: costs drawn uniformly in [mean/spread, mean*spread].
+  double cost_spread = 3.0;
+  /// HW speedup drawn uniformly in [min_hw_speedup, max_hw_speedup]:
+  /// hw_cycles = sw_cycles / speedup.
+  double min_hw_speedup = 2.0;
+  double max_hw_speedup = 20.0;
+  /// HW area is proportional to sw_cycles * area_per_cycle * (0.5..1.5).
+  double area_per_cycle = 0.05;
+  /// Mean bytes per edge.
+  double mean_edge_bytes = 64.0;
+};
+
+/// Generates a random task graph; deterministic for a given (config, rng).
+TaskGraph generate_task_graph(const TaskGraphGenConfig& config, Rng& rng);
+
+}  // namespace mhs::ir

@@ -1,0 +1,45 @@
+#include "opt/anneal.h"
+
+namespace mhs::opt {
+
+AnnealStats anneal(const AnnealConfig& config, double initial_energy,
+                   const std::function<double(Rng&)>& propose,
+                   const std::function<void()>& undo,
+                   const std::function<void()>& commit_best) {
+  MHS_CHECK(config.initial_temperature > 0.0, "temperature must be > 0");
+  MHS_CHECK(config.cooling_rate > 0.0 && config.cooling_rate < 1.0,
+            "cooling rate must lie in (0,1)");
+  MHS_CHECK(propose && undo && commit_best, "annealing callbacks required");
+
+  Rng rng(config.seed);
+  double energy = initial_energy;
+  double best = initial_energy;
+  double temperature = config.initial_temperature;
+  AnnealStats stats;
+  stats.best_energy = best;
+  commit_best();
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    for (std::size_t m = 0; m < config.moves_per_round; ++m) {
+      ++stats.proposed;
+      const double delta = propose(rng);
+      const bool accept =
+          delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature);
+      if (!accept) {
+        undo();
+        continue;
+      }
+      ++stats.accepted;
+      energy += delta;
+      if (energy < best - 1e-12) {
+        best = energy;
+        stats.best_energy = best;
+        commit_best();
+      }
+    }
+    temperature *= config.cooling_rate;
+  }
+  return stats;
+}
+
+}  // namespace mhs::opt

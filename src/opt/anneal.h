@@ -1,0 +1,43 @@
+// Generic simulated-annealing engine.
+//
+// Drives any combinatorial state through propose/accept/undo callbacks.
+// Used by the HW/SW partitioners and by the Yen–Wolf style co-synthesis
+// refinement loops.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "base/error.h"
+#include "base/rng.h"
+
+namespace mhs::opt {
+
+/// Annealing schedule and budget.
+struct AnnealConfig {
+  double initial_temperature = 1.0;
+  double cooling_rate = 0.95;       ///< temperature *= rate per round
+  std::size_t moves_per_round = 64; ///< proposals at each temperature
+  std::size_t rounds = 60;
+  std::uint64_t seed = 1;
+};
+
+/// Statistics of one annealing run.
+struct AnnealStats {
+  std::size_t proposed = 0;
+  std::size_t accepted = 0;
+  double best_energy = 0.0;
+};
+
+/// Minimizes an energy via simulated annealing.
+///
+/// `propose` mutates the state in place and returns the energy delta it
+/// caused (new - old). `undo` reverts the last proposal. `commit_best` is
+/// called whenever a new global best is reached so the caller can snapshot
+/// the state. `initial_energy` seeds the bookkeeping.
+AnnealStats anneal(const AnnealConfig& config, double initial_energy,
+                   const std::function<double(Rng&)>& propose,
+                   const std::function<void()>& undo,
+                   const std::function<void()>& commit_best);
+
+}  // namespace mhs::opt

@@ -1,0 +1,139 @@
+#include "opt/binpack.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mhs::opt {
+
+namespace {
+
+double max_dim(const std::vector<double>& v) {
+  double m = 0.0;
+  for (const double x : v) m = std::max(m, x);
+  return m;
+}
+
+bool fits(const PackedBin& bin, const std::vector<double>& capacity,
+          const PackItem& item) {
+  for (std::size_t d = 0; d < item.size.size(); ++d) {
+    if (bin.used[d] + item.size[d] > capacity[d] + 1e-9) return false;
+  }
+  return true;
+}
+
+void place(PackedBin& bin, const PackItem& item) {
+  for (std::size_t d = 0; d < item.size.size(); ++d) {
+    bin.used[d] += item.size[d];
+  }
+  bin.item_keys.push_back(item.key);
+}
+
+/// Residual headroom of `bin` after hypothetically placing `item`
+/// (smaller = tighter fit).
+double residual_after(const PackedBin& bin,
+                      const std::vector<double>& capacity,
+                      const PackItem& item) {
+  double residual = 0.0;
+  for (std::size_t d = 0; d < item.size.size(); ++d) {
+    residual = std::max(residual,
+                        capacity[d] - (bin.used[d] + item.size[d]));
+  }
+  return residual;
+}
+
+PackResult pack(const std::vector<PackItem>& items,
+                const std::vector<BinType>& types, bool best_fit) {
+  MHS_CHECK(!types.empty(), "bin packing needs at least one bin type");
+  const std::size_t dims = types.front().capacity.size();
+  for (const BinType& t : types) {
+    MHS_CHECK(t.capacity.size() == dims, "bin dimensionality mismatch");
+  }
+  for (const PackItem& item : items) {
+    MHS_CHECK(item.size.size() == dims, "item dimensionality mismatch");
+  }
+
+  // Cheapest-first type order for opening new bins.
+  std::vector<std::size_t> type_order(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) type_order[i] = i;
+  std::sort(type_order.begin(), type_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (types[a].cost != types[b].cost) {
+                return types[a].cost < types[b].cost;
+              }
+              return a < b;
+            });
+
+  // Decreasing max-dimension item order.
+  std::vector<std::size_t> item_order(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) item_order[i] = i;
+  std::sort(item_order.begin(), item_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double ma = max_dim(items[a].size);
+              const double mb = max_dim(items[b].size);
+              if (ma != mb) return ma > mb;
+              return a < b;
+            });
+
+  PackResult result;
+  std::vector<std::size_t> bin_type_index;  // parallel to result.bins
+  for (const std::size_t ii : item_order) {
+    const PackItem& item = items[ii];
+    std::size_t chosen = SIZE_MAX;
+    double best_residual = std::numeric_limits<double>::infinity();
+    for (std::size_t b = 0; b < result.bins.size(); ++b) {
+      const auto& capacity = types[bin_type_index[b]].capacity;
+      if (!fits(result.bins[b], capacity, item)) continue;
+      if (!best_fit) {
+        chosen = b;
+        break;
+      }
+      const double residual =
+          residual_after(result.bins[b], capacity, item);
+      if (residual < best_residual) {
+        best_residual = residual;
+        chosen = b;
+      }
+    }
+    if (chosen == SIZE_MAX) {
+      // Open the cheapest new bin type that can hold the item.
+      for (const std::size_t ti : type_order) {
+        bool ok = true;
+        for (std::size_t d = 0; d < dims; ++d) {
+          if (item.size[d] > types[ti].capacity[d] + 1e-9) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        PackedBin bin;
+        bin.type_key = types[ti].key;
+        bin.used.assign(dims, 0.0);
+        result.bins.push_back(std::move(bin));
+        bin_type_index.push_back(ti);
+        result.total_cost += types[ti].cost;
+        chosen = result.bins.size() - 1;
+        break;
+      }
+    }
+    if (chosen == SIZE_MAX) {
+      result.feasible = false;
+      continue;
+    }
+    place(result.bins[chosen], item);
+  }
+  return result;
+}
+
+}  // namespace
+
+PackResult first_fit_decreasing(const std::vector<PackItem>& items,
+                                const std::vector<BinType>& types) {
+  return pack(items, types, /*best_fit=*/false);
+}
+
+PackResult best_fit_decreasing(const std::vector<PackItem>& items,
+                               const std::vector<BinType>& types) {
+  return pack(items, types, /*best_fit=*/true);
+}
+
+}  // namespace mhs::opt

@@ -1,0 +1,57 @@
+// Vector bin packing.
+//
+// First-fit-decreasing and best-fit-decreasing heuristics for packing
+// d-dimensional items into typed bins. This is the optimization core of
+// the Beck-style heterogeneous-multiprocessor synthesis ([13] in the
+// paper): tasks are items (dimensions = utilization of each shared
+// resource), processors are bins.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/error.h"
+
+namespace mhs::opt {
+
+/// A d-dimensional item to pack.
+struct PackItem {
+  std::vector<double> size;
+  /// Caller-visible identity (e.g. task index).
+  std::size_t key = 0;
+};
+
+/// A bin type that may be instantiated any number of times.
+struct BinType {
+  std::vector<double> capacity;
+  double cost = 1.0;
+  std::size_t key = 0;  ///< caller identity (e.g. processor model index)
+};
+
+/// One opened bin in the packing result.
+struct PackedBin {
+  std::size_t type_key = 0;
+  std::vector<std::size_t> item_keys;
+  std::vector<double> used;  ///< per-dimension fill
+};
+
+/// Result of a packing run.
+struct PackResult {
+  std::vector<PackedBin> bins;
+  double total_cost = 0.0;
+  bool feasible = true;  ///< false if some item fits in no bin type
+};
+
+/// Packs items into bins, opening new bins greedily so as to minimize
+/// total bin cost. Items are sorted by decreasing max-dimension
+/// (first-fit-decreasing); each item goes into the first open bin that
+/// holds it, else into a new bin of the cheapest type that fits it.
+PackResult first_fit_decreasing(const std::vector<PackItem>& items,
+                                const std::vector<BinType>& types);
+
+/// Like FFD but chooses, among open bins that fit, the one whose residual
+/// capacity (max dimension) is smallest (best-fit-decreasing).
+PackResult best_fit_decreasing(const std::vector<PackItem>& items,
+                               const std::vector<BinType>& types);
+
+}  // namespace mhs::opt

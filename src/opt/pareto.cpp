@@ -1,0 +1,52 @@
+#include "opt/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/error.h"
+
+namespace mhs::opt {
+
+bool dominates(const DesignPoint& a, const DesignPoint& b) {
+  const bool no_worse =
+      a.objective1 <= b.objective1 && a.objective2 <= b.objective2;
+  const bool better =
+      a.objective1 < b.objective1 || a.objective2 < b.objective2;
+  return no_worse && better;
+}
+
+std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              if (a.objective1 != b.objective1) {
+                return a.objective1 < b.objective1;
+              }
+              return a.objective2 < b.objective2;
+            });
+  std::vector<DesignPoint> front;
+  double best2 = std::numeric_limits<double>::infinity();
+  for (const DesignPoint& p : points) {
+    if (p.objective2 < best2 - 1e-12) {
+      front.push_back(p);
+      best2 = p.objective2;
+    }
+  }
+  return front;
+}
+
+double hypervolume(const std::vector<DesignPoint>& front, double ref1,
+                   double ref2) {
+  const auto clean = pareto_front(front);
+  double volume = 0.0;
+  double prev1 = ref1;
+  // Sweep right-to-left in objective1; each point contributes a rectangle.
+  for (auto it = clean.rbegin(); it != clean.rend(); ++it) {
+    MHS_CHECK(it->objective1 <= ref1 && it->objective2 <= ref2,
+              "reference point does not bound the front");
+    volume += (prev1 - it->objective1) * (ref2 - it->objective2);
+    prev1 = it->objective1;
+  }
+  return volume;
+}
+
+}  // namespace mhs::opt

@@ -1,0 +1,32 @@
+// Pareto-front utilities for design-space exploration reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mhs::opt {
+
+/// One design point in (cost, latency)-style two-objective space.
+/// Lower is better in both objectives.
+struct DesignPoint {
+  double objective1 = 0.0;
+  double objective2 = 0.0;
+  std::size_t key = 0;  ///< caller identity
+};
+
+/// Returns true if `a` dominates `b` (no worse in both, better in one).
+bool dominates(const DesignPoint& a, const DesignPoint& b);
+
+/// Filters `points` down to its Pareto-optimal subset, sorted by
+/// objective1 ascending. Duplicate-coordinate points keep the first.
+std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points);
+
+/// Hypervolume indicator of a front w.r.t. a reference point (both
+/// objectives minimized; reference must dominate-be-dominated-by none,
+/// i.e. lie above/right of every point). Larger = richer trade-off space.
+/// This quantifies the paper's claim that Type II systems expose "a
+/// greater set of HW/SW trade-offs" (Experiment E1).
+double hypervolume(const std::vector<DesignPoint>& front, double ref1,
+                   double ref2);
+
+}  // namespace mhs::opt

@@ -1,0 +1,284 @@
+#include "partition/algorithms.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ir/task_graph_algos.h"
+
+namespace mhs::partition {
+
+namespace {
+
+PartitionResult finish(std::string name, const CostModel& model,
+                       const Objective& objective, Mapping mapping,
+                       std::size_t evaluations) {
+  PartitionResult r;
+  r.algorithm = std::move(name);
+  r.metrics = model.evaluate(mapping, objective);
+  r.mapping = std::move(mapping);
+  r.evaluations = evaluations + 1;
+  return r;
+}
+
+}  // namespace
+
+PartitionResult partition_all_sw(const CostModel& model,
+                                 const Objective& objective) {
+  return finish("all_sw", model, objective,
+                Mapping(model.graph().num_tasks(), false), 0);
+}
+
+PartitionResult partition_all_hw(const CostModel& model,
+                                 const Objective& objective) {
+  return finish("all_hw", model, objective,
+                Mapping(model.graph().num_tasks(), true), 0);
+}
+
+PartitionResult partition_hot_spot(const CostModel& model,
+                                   const Objective& objective) {
+  MHS_CHECK(objective.latency_target > 0.0,
+            "partition_hot_spot needs a latency target");
+  const std::size_t n = model.graph().num_tasks();
+  Mapping mapping(n, false);
+  std::size_t evals = 0;
+
+  Metrics current = model.evaluate(mapping, objective);
+  ++evals;
+  while (current.latency_cycles > objective.latency_target) {
+    // Candidate: SW task whose move to HW buys the most latency per area.
+    std::size_t best = SIZE_MAX;
+    double best_ratio = 0.0;
+    Metrics best_metrics;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (mapping[t]) continue;
+      mapping[t] = true;
+      const Metrics m = model.evaluate(mapping, objective);
+      ++evals;
+      mapping[t] = false;
+      const double gain = current.latency_cycles - m.latency_cycles;
+      const double added_area = std::max(1e-9, m.hw_area - current.hw_area);
+      const double ratio = gain / added_area;
+      if (gain > 1e-9 && ratio > best_ratio) {
+        best_ratio = ratio;
+        best = t;
+        best_metrics = m;
+      }
+    }
+    if (best == SIZE_MAX) break;  // no move reduces latency: stuck
+    mapping[best] = true;
+    current = best_metrics;
+  }
+  return finish("hot_spot", model, objective, std::move(mapping), evals);
+}
+
+PartitionResult partition_unload(const CostModel& model,
+                                 const Objective& objective) {
+  MHS_CHECK(objective.latency_target > 0.0,
+            "partition_unload needs a latency target");
+  const std::size_t n = model.graph().num_tasks();
+  Mapping mapping(n, true);
+  std::size_t evals = 0;
+
+  Metrics current = model.evaluate(mapping, objective);
+  ++evals;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::size_t best = SIZE_MAX;
+    double best_saving = 0.0;
+    Metrics best_metrics;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!mapping[t]) continue;
+      mapping[t] = false;
+      const Metrics m = model.evaluate(mapping, objective);
+      ++evals;
+      mapping[t] = true;
+      if (m.latency_cycles > objective.latency_target) continue;
+      const double saving = current.hw_area - m.hw_area;
+      if (saving > best_saving + 1e-9) {
+        best_saving = saving;
+        best = t;
+        best_metrics = m;
+      }
+    }
+    if (best != SIZE_MAX) {
+      mapping[best] = false;
+      current = best_metrics;
+      improved = true;
+    }
+  }
+  return finish("unload", model, objective, std::move(mapping), evals);
+}
+
+PartitionResult partition_kl(const CostModel& model,
+                             const Objective& objective, Mapping start) {
+  const std::size_t n = model.graph().num_tasks();
+  Mapping mapping = start.empty() ? Mapping(n, false) : std::move(start);
+  MHS_CHECK(mapping.size() == n, "start mapping size mismatch");
+  std::size_t evals = 0;
+
+  double current = model.evaluate(mapping, objective).energy;
+  ++evals;
+  bool pass_improved = true;
+  std::size_t passes = 0;
+  while (pass_improved && passes < 24) {
+    ++passes;
+    pass_improved = false;
+    std::vector<bool> locked(n, false);
+    std::vector<std::size_t> move_seq;
+    std::vector<double> energy_seq;
+    Mapping work = mapping;
+    double work_energy = current;
+
+    // Greedy sequence of best single-task flips with locking.
+    for (std::size_t step = 0; step < n; ++step) {
+      std::size_t best = SIZE_MAX;
+      double best_energy = std::numeric_limits<double>::infinity();
+      for (std::size_t t = 0; t < n; ++t) {
+        if (locked[t]) continue;
+        work[t] = !work[t];
+        const double e = model.evaluate(work, objective).energy;
+        ++evals;
+        work[t] = !work[t];
+        if (e < best_energy) {
+          best_energy = e;
+          best = t;
+        }
+      }
+      if (best == SIZE_MAX) break;
+      work[best] = !work[best];
+      locked[best] = true;
+      work_energy = best_energy;
+      move_seq.push_back(best);
+      energy_seq.push_back(work_energy);
+    }
+
+    // Roll back to the best prefix of the move sequence.
+    std::size_t best_prefix = 0;
+    double best_energy = current;
+    for (std::size_t k = 0; k < energy_seq.size(); ++k) {
+      if (energy_seq[k] < best_energy - 1e-12) {
+        best_energy = energy_seq[k];
+        best_prefix = k + 1;
+      }
+    }
+    if (best_prefix > 0) {
+      for (std::size_t k = 0; k < best_prefix; ++k) {
+        mapping[move_seq[k]] = !mapping[move_seq[k]];
+      }
+      current = best_energy;
+      pass_improved = true;
+    }
+  }
+  return finish("kl", model, objective, std::move(mapping), evals);
+}
+
+PartitionResult partition_annealed(const CostModel& model,
+                                   const Objective& objective,
+                                   const opt::AnnealConfig& anneal_config) {
+  const std::size_t n = model.graph().num_tasks();
+  MHS_CHECK(n > 0, "cannot partition an empty graph");
+  Mapping mapping(n, false);
+  Mapping best = mapping;
+  std::size_t evals = 0;
+  double energy = model.evaluate(mapping, objective).energy;
+  ++evals;
+
+  // Scale the initial temperature to a few percent of the problem's
+  // energy magnitude: hot enough to cross barriers from single-task
+  // flips, cold enough to settle within the configured schedule.
+  opt::AnnealConfig cfg = anneal_config;
+  cfg.initial_temperature = std::max(1e-6, std::abs(energy)) * 0.05 *
+                            anneal_config.initial_temperature;
+
+  std::size_t last_flip = 0;
+  const double pre_flip_energy = energy;
+  (void)pre_flip_energy;
+  double current_energy = energy;
+  const auto stats = opt::anneal(
+      cfg, energy,
+      /*propose=*/
+      [&](Rng& rng) {
+        last_flip = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        mapping[last_flip] = !mapping[last_flip];
+        const double e = model.evaluate(mapping, objective).energy;
+        ++evals;
+        const double delta = e - current_energy;
+        current_energy = e;
+        return delta;
+      },
+      /*undo=*/
+      [&] {
+        mapping[last_flip] = !mapping[last_flip];
+        const double e = model.evaluate(mapping, objective).energy;
+        ++evals;
+        current_energy = e;
+      },
+      /*commit_best=*/[&] { best = mapping; });
+  (void)stats;
+  return finish("annealed", model, objective, std::move(best), evals);
+}
+
+PartitionResult partition_gclp(const CostModel& model,
+                               const Objective& objective) {
+  const ir::TaskGraph& g = model.graph();
+  const std::size_t n = g.num_tasks();
+  Mapping mapping(n, false);
+  std::vector<bool> decided(n, false);
+  std::size_t evals = 0;
+
+  // Normalizers for the local-phase terms.
+  double max_speedup = 1e-9;
+  double max_area = 1e-9;
+  for (const ir::TaskId t : g.task_ids()) {
+    const auto& c = g.task(t).costs;
+    max_speedup = std::max(max_speedup,
+                           c.sw_cycles / std::max(1e-9, c.hw_cycles));
+    max_area = std::max(max_area, c.hw_area);
+  }
+
+  for (const ir::TaskId t : ir::topological_order(g)) {
+    // Global criticality: how far the projected latency (undecided tasks
+    // assumed software) overshoots the target.
+    const double projected =
+        model.schedule_latency(mapping, objective.consider_concurrency,
+                               objective.consider_communication);
+    ++evals;
+    double gc = 0.5;
+    if (objective.latency_target > 0.0) {
+      gc = std::clamp(
+          (projected - objective.latency_target) / objective.latency_target,
+          0.0, 1.0);
+    }
+
+    const auto& c = g.task(t).costs;
+    const double speedup_norm =
+        (c.sw_cycles / std::max(1e-9, c.hw_cycles)) / max_speedup;
+    const double area_norm = c.hw_area / max_area;
+
+    // Communication affinity: prefer the side of already-decided heavy
+    // neighbours (§3.3 "this favors partitions that localize
+    // communication").
+    double comm_pull = 0.0;
+    if (objective.consider_communication) {
+      double to_hw = 0.0;
+      double to_sw = 0.0;
+      for (const ir::EdgeId e : g.in_edges(t)) {
+        const ir::TaskId s = g.edge(e).src;
+        if (!decided[s.index()]) continue;
+        (mapping[s.index()] ? to_hw : to_sw) += g.edge(e).bytes;
+      }
+      const double total = to_hw + to_sw;
+      if (total > 0.0) comm_pull = (to_hw - to_sw) / total;  // in [-1, 1]
+    }
+
+    const double score_hw =
+        gc * speedup_norm - (1.0 - gc) * area_norm + 0.25 * comm_pull;
+    mapping[t.index()] = score_hw > 0.0;
+    decided[t.index()] = true;
+  }
+  return finish("gclp", model, objective, std::move(mapping), evals);
+}
+
+}  // namespace mhs::partition

@@ -1,0 +1,72 @@
+// HW/SW partitioning algorithms.
+//
+// Implements the partitioning styles the paper surveys in §4.5:
+//
+//   partition_hot_spot  — Henkel/Ernst COSYMA style [17]: start all-SW and
+//                         move performance-critical regions into hardware
+//                         until the latency target is met.
+//   partition_unload    — Gupta & De Micheli style [6]: start all-HW and
+//                         move non-critical functions to software to cut
+//                         cost while performance permits.
+//   partition_kl        — Kernighan–Lin/FM-style pass-based improvement
+//                         with single-task moves and best-prefix rollback.
+//   partition_annealed  — simulated annealing over random task flips.
+//   partition_gclp      — Kalavade & Lee GCLP style: map tasks in
+//                         topological order, steering each decision by a
+//                         global criticality vs. local cost trade-off.
+//
+// All algorithms optimize the scalar energy of a CostModel Objective and
+// report the metrics of their final mapping plus how many cost-model
+// evaluations they spent (the comparison axes of the E8 benchmark).
+#pragma once
+
+#include <string>
+
+#include "opt/anneal.h"
+#include "partition/cost_model.h"
+
+namespace mhs::partition {
+
+/// Outcome of one partitioning run.
+struct PartitionResult {
+  std::string algorithm;
+  Mapping mapping;
+  Metrics metrics;
+  /// Cost-model evaluations consumed (optimization effort proxy).
+  std::size_t evaluations = 0;
+};
+
+/// Trivial baselines.
+PartitionResult partition_all_sw(const CostModel& model,
+                                 const Objective& objective);
+PartitionResult partition_all_hw(const CostModel& model,
+                                 const Objective& objective);
+
+/// Henkel/Ernst style: all-SW start; repeatedly move the SW task with the
+/// best latency-gain-per-area ratio into HW until the latency target is
+/// met (or no move helps). Requires objective.latency_target > 0.
+PartitionResult partition_hot_spot(const CostModel& model,
+                                   const Objective& objective);
+
+/// Gupta & De Micheli style: all-HW start; repeatedly move to SW the task
+/// whose eviction saves the most area while the latency target still
+/// holds. Requires objective.latency_target > 0.
+PartitionResult partition_unload(const CostModel& model,
+                                 const Objective& objective);
+
+/// Pass-based single-task-move improvement (KL/FM flavor) from a given
+/// starting mapping (defaults to all-SW when `start` is empty).
+PartitionResult partition_kl(const CostModel& model,
+                             const Objective& objective,
+                             Mapping start = {});
+
+/// Simulated annealing over random flips.
+PartitionResult partition_annealed(const CostModel& model,
+                                   const Objective& objective,
+                                   const opt::AnnealConfig& anneal = {});
+
+/// GCLP-style constructive mapping in topological order.
+PartitionResult partition_gclp(const CostModel& model,
+                               const Objective& objective);
+
+}  // namespace mhs::partition

@@ -1,0 +1,107 @@
+// HW/SW partitioning cost model.
+//
+// Turns a task graph plus a mapping (each task in hardware or software)
+// into the metrics §3.3 of the paper identifies as partitioning factors:
+//
+//   performance      — end-to-end latency of a list schedule where software
+//                      tasks serialize on one CPU and hardware tasks run
+//                      concurrently ("concurrency" factor),
+//   implementation   — hardware area with resource sharing (via the
+//   cost               incremental estimator) plus software code size,
+//   communication    — cross-boundary traffic priced by the bus model,
+//   modifiability    — penalty for freezing change-prone functions in HW,
+//   nature of        — task parallelism annotations feed the HW latency
+//   computation        numbers (parallel tasks gain more from HW).
+//
+// Each factor can be disabled to reproduce the E10 ablation: an optimizer
+// working under a crippled objective is scored against the full model.
+#pragma once
+
+#include <vector>
+
+#include "hw/estimate.h"
+#include "ir/task_graph.h"
+
+namespace mhs::partition {
+
+/// A mapping: task t is in hardware iff mapping[t.index()] is true.
+using Mapping = std::vector<bool>;
+
+/// Communication pricing between mapped tasks.
+struct CommModel {
+  /// Cross-boundary transfer: fixed overhead + bytes/bandwidth.
+  double cross_overhead_cycles = 24.0;
+  double cross_bytes_per_cycle = 4.0;
+  /// HW-to-HW transfers over dedicated wiring.
+  double hwhw_overhead_cycles = 1.0;
+  double hwhw_bytes_per_cycle = 16.0;
+  /// SW-to-SW transfers are in-memory (free at this granularity).
+};
+
+/// Objective weights, constraints, and the E10 ablation toggles.
+struct Objective {
+  double latency_weight = 1.0;
+  double area_weight = 0.05;
+  double sw_size_weight = 0.0;
+  double modifiability_weight = 0.0;
+
+  /// Soft latency constraint: energies get a large penalty per cycle over.
+  double latency_target = 0.0;  ///< 0 = no target
+  double latency_penalty_weight = 50.0;
+  /// Soft area budget, same mechanism.
+  double area_budget = 0.0;  ///< 0 = no budget
+  double area_penalty_weight = 50.0;
+
+  // Ablation toggles (§3.3 factors). Disabling a factor removes it from
+  // the model the optimizer sees; the full model keeps all of them.
+  bool consider_communication = true;
+  bool consider_concurrency = true;
+  bool consider_modifiability = true;
+};
+
+/// Metrics of one (graph, mapping) pair.
+struct Metrics {
+  double latency_cycles = 0.0;
+  double hw_area = 0.0;
+  double sw_code_bytes = 0.0;
+  double cross_comm_cycles = 0.0;
+  double modifiability_penalty = 0.0;
+  std::size_t tasks_in_hw = 0;
+  /// Scalarized objective value (lower is better).
+  double energy = 0.0;
+};
+
+/// The cost model. Holds the component library used for shared-area
+/// estimation and the communication pricing.
+class CostModel {
+ public:
+  CostModel(const ir::TaskGraph& graph, hw::ComponentLibrary lib,
+            CommModel comm = {});
+
+  /// Evaluates a mapping under `objective`.
+  Metrics evaluate(const Mapping& mapping, const Objective& objective) const;
+
+  /// End-to-end latency of the mapped graph (list schedule; SW serialized
+  /// on one CPU, HW concurrent unless `hw_concurrent` is false).
+  double schedule_latency(const Mapping& mapping, bool hw_concurrent,
+                          bool price_communication) const;
+
+  /// Shared hardware area of the tasks mapped to HW.
+  double hardware_area(const Mapping& mapping) const;
+
+  const ir::TaskGraph& graph() const { return *graph_; }
+  const hw::ComponentLibrary& library() const { return lib_; }
+  const CommModel& comm() const { return comm_; }
+
+  /// Delay of edge `e` given the endpoint sides.
+  double edge_delay(ir::EdgeId e, bool src_hw, bool dst_hw) const;
+
+ private:
+  const ir::TaskGraph* graph_;
+  hw::ComponentLibrary lib_;
+  CommModel comm_;
+  /// Precomputed per-task hardware profiles for the shared-area estimate.
+  std::vector<hw::HwProfile> profiles_;
+};
+
+}  // namespace mhs::partition

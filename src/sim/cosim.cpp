@@ -1,0 +1,213 @@
+#include "sim/cosim.h"
+
+#include <cmath>
+
+#include "sim/peripheral.h"
+
+namespace mhs::sim {
+
+namespace {
+
+std::vector<std::string> kernel_input_names(const hw::HlsResult& impl) {
+  std::vector<std::string> names;
+  const ir::Cdfg& cdfg = impl.schedule.cdfg();
+  for (const ir::OpId id : cdfg.inputs()) names.push_back(cdfg.op(id).name);
+  return names;
+}
+
+std::vector<std::string> kernel_output_names(const hw::HlsResult& impl) {
+  std::vector<std::string> names;
+  const ir::Cdfg& cdfg = impl.schedule.cdfg();
+  for (const ir::OpId id : cdfg.outputs()) names.push_back(cdfg.op(id).name);
+  return names;
+}
+
+/// ISS-in-the-loop co-simulation (kPin and kRegister).
+CosimReport run_iss_levels(const hw::HlsResult& impl,
+                           const CosimConfig& config,
+                           const std::vector<std::vector<std::int64_t>>&
+                               samples) {
+  Simulator sim;
+  BusModel bus(sim, config.bus, config.level);
+  StreamPeripheral periph(sim, impl, config.level);
+
+  DriverSpec spec;
+  spec.num_inputs = periph.num_inputs();
+  spec.num_outputs = periph.num_outputs();
+  spec.samples = samples.size();
+  spec.use_irq = config.use_irq;
+  spec.background_unroll = config.background_unroll;
+  const Driver driver = generate_driver(spec);
+
+  sw::Iss iss(config.cpu);
+  iss.load_program(driver.code);
+  if (driver.isr_entry) iss.set_isr(*driver.isr_entry);
+  periph.set_irq_callback([&iss] { iss.raise_irq(); });
+
+  // MMIO window: every CPU access to the peripheral crosses the bus.
+  iss.add_mmio(
+      spec.periph_base, spec.periph_base + PeripheralLayout::kSize - 1,
+      [&](std::uint64_t addr) {
+        bus.access(addr, /*is_write=*/false);
+        return periph.reg_read(addr - spec.periph_base);
+      },
+      [&](std::uint64_t addr, std::int64_t value) {
+        bus.access(addr, /*is_write=*/true);
+        periph.reg_write(addr - spec.periph_base, value);
+      });
+
+  // Pre-load the sample data.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    MHS_CHECK(samples[i].size() == spec.num_inputs,
+              "sample " << i << " has " << samples[i].size()
+                        << " inputs, kernel expects " << spec.num_inputs);
+    for (std::size_t k = 0; k < spec.num_inputs; ++k) {
+      iss.write_word(spec.in_buffer + 8 * (i * spec.num_inputs + k),
+                     samples[i][k]);
+    }
+  }
+
+  // Lock-step execution: the ISS leads; the simulator carries bus and
+  // peripheral activity. MMIO stalls advance simulated time inside step(),
+  // instruction time is added afterwards.
+  double sw_time = 0.0;
+  while (!iss.halted()) {
+    const Time busy_before = bus.busy_cycles();
+    const std::uint64_t instr_cycles = iss.step();
+    const Time stall = bus.busy_cycles() - busy_before;
+    sw_time += static_cast<double>(instr_cycles) * config.cpu.clock_scale +
+               static_cast<double>(stall);
+    const Time target = static_cast<Time>(std::llround(sw_time));
+    if (target > sim.now()) sim.advance_to(target);
+    MHS_CHECK(sw_time < static_cast<double>(config.max_sw_cycles),
+              "co-simulation exceeded " << config.max_sw_cycles
+                                        << " cycles — driver livelock?");
+  }
+
+  CosimReport report;
+  report.level = config.level;
+  report.total_cycles = static_cast<double>(sim.now());
+  report.sim_events = sim.events_processed();
+  report.sw_instructions = iss.total_instructions();
+  report.bus_accesses = bus.total_accesses();
+  report.bus_busy_cycles = bus.busy_cycles();
+  report.signal_transitions =
+      bus.addr_pins().transitions() + bus.data_pins().transitions() +
+      bus.strobe_pin().transitions() + bus.rw_pin().transitions() +
+      bus.ack_pin().transitions();
+  report.background_units = iss.reg(driver.background_counter_reg);
+  report.hw_activations = periph.activations();
+  const std::size_t num_outputs = spec.num_outputs;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    for (std::size_t m = 0; m < num_outputs; ++m) {
+      report.checksum +=
+          iss.read_word(spec.out_buffer + 8 * (i * num_outputs + m));
+    }
+  }
+  return report;
+}
+
+/// Driver-call-level co-simulation: analytic software, evented hardware.
+CosimReport run_driver_level(const hw::HlsResult& impl,
+                             const CosimConfig& config,
+                             const std::vector<std::vector<std::int64_t>>&
+                                 samples) {
+  Simulator sim;
+  BusModel bus(sim, config.bus, config.level);
+  StreamPeripheral periph(sim, impl, config.level);
+  const std::size_t num_inputs = periph.num_inputs();
+  const std::size_t num_outputs = periph.num_outputs();
+
+  CosimReport report;
+  report.level = config.level;
+  for (const auto& sample : samples) {
+    MHS_CHECK(sample.size() == num_inputs, "sample input arity mismatch");
+    // write_block driver call: inputs cross the bus as one block.
+    for (std::size_t k = 0; k < num_inputs; ++k) {
+      periph.reg_write(PeripheralLayout::kInputBase + 8 * k, sample[k]);
+    }
+    bus.block_transfer(PeripheralLayout::kInputBase, 8 * num_inputs,
+                       /*is_write=*/true);
+    sim.advance_to(sim.now() + config.driver_call_sw_cycles);
+    periph.reg_write(PeripheralLayout::kCtrl, 1);
+    // wait driver call: block until the completion event has fired.
+    sim.advance_to(sim.now() + periph.latency());
+    MHS_ASSERT(periph.done(), "peripheral not done after latency");
+    periph.reg_write(PeripheralLayout::kStatus, 0);
+    // read_block driver call.
+    bus.block_transfer(PeripheralLayout::kOutputBase, 8 * num_outputs,
+                       /*is_write=*/false);
+    sim.advance_to(sim.now() + config.driver_call_sw_cycles);
+    for (std::size_t m = 0; m < num_outputs; ++m) {
+      report.checksum +=
+          periph.reg_read(PeripheralLayout::kOutputBase + 8 * m);
+    }
+  }
+  report.total_cycles = static_cast<double>(sim.now());
+  report.sim_events = sim.events_processed();
+  report.bus_accesses = bus.total_accesses();
+  report.bus_busy_cycles = bus.busy_cycles();
+  report.hw_activations = periph.activations();
+  return report;
+}
+
+/// Message-level co-simulation: send / compute / receive, evaluated
+/// functionally. No bus, no device model — the Coumeri/Thomas [3] style.
+CosimReport run_message_level(const hw::HlsResult& impl,
+                              const CosimConfig& config,
+                              const std::vector<std::vector<std::int64_t>>&
+                                  samples) {
+  Simulator sim;
+  BusModel bus(sim, config.bus, config.level);
+  const ir::Cdfg& cdfg = impl.schedule.cdfg();
+  const auto in_names = kernel_input_names(impl);
+  const auto out_names = kernel_output_names(impl);
+
+  CosimReport report;
+  report.level = config.level;
+  std::uint64_t activations = 0;
+  for (const auto& sample : samples) {
+    MHS_CHECK(sample.size() == in_names.size(),
+              "sample input arity mismatch");
+    bus.message(8 * in_names.size());  // send
+    // The receive completes once the consumer has produced the result;
+    // computation time is folded into the rendezvous rather than being a
+    // separately simulated device activation.
+    sim.advance_to(sim.now() + impl.latency);
+    bus.message(8 * out_names.size());  // receive
+    std::map<std::string, std::int64_t> in;
+    for (std::size_t k = 0; k < in_names.size(); ++k) {
+      in[in_names[k]] = sample[k];
+    }
+    const auto out = cdfg.evaluate(in);
+    for (const auto& name : out_names) report.checksum += out.at(name);
+    ++activations;
+  }
+  report.total_cycles = static_cast<double>(sim.now());
+  report.sim_events = sim.events_processed();
+  report.bus_accesses = bus.total_accesses();
+  report.bus_busy_cycles = bus.busy_cycles();
+  report.hw_activations = activations;
+  return report;
+}
+
+}  // namespace
+
+CosimReport run_cosim(const hw::HlsResult& impl, const CosimConfig& config,
+                      const std::vector<std::vector<std::int64_t>>&
+                          sample_inputs) {
+  MHS_CHECK(!sample_inputs.empty(), "co-simulation needs at least 1 sample");
+  switch (config.level) {
+    case InterfaceLevel::kPin:
+    case InterfaceLevel::kRegister:
+      return run_iss_levels(impl, config, sample_inputs);
+    case InterfaceLevel::kDriver:
+      return run_driver_level(impl, config, sample_inputs);
+    case InterfaceLevel::kMessage:
+      return run_message_level(impl, config, sample_inputs);
+  }
+  MHS_ASSERT(false, "unknown interface level");
+  return {};
+}
+
+}  // namespace mhs::sim

@@ -1,0 +1,68 @@
+#include "sim/dma.h"
+
+#include <algorithm>
+
+namespace mhs::sim {
+
+DmaEngine::DmaEngine(Simulator& sim, BusModel& bus, DmaMemoryPort memory,
+                     StreamPeripheral& device, std::size_t burst_bytes)
+    : sim_(&sim),
+      bus_(&bus),
+      memory_(std::move(memory)),
+      device_(&device),
+      burst_bytes_(burst_bytes) {
+  MHS_CHECK(burst_bytes_ >= 8 && burst_bytes_ % 8 == 0,
+            "burst size must be a positive multiple of 8 bytes");
+  MHS_CHECK(memory_.read && memory_.write, "DMA memory port incomplete");
+}
+
+void DmaEngine::start(DmaDirection direction, std::uint64_t mem_addr,
+                      std::uint64_t dev_offset, std::size_t bytes) {
+  MHS_CHECK(!busy_, "DMA started while busy");
+  MHS_CHECK(bytes > 0 && bytes % 8 == 0,
+            "DMA length must be a positive multiple of 8 bytes");
+  MHS_CHECK(mem_addr % 8 == 0 && dev_offset % 8 == 0,
+            "DMA addresses must be 8-byte aligned");
+  busy_ = true;
+  direction_ = direction;
+  mem_addr_ = mem_addr;
+  dev_offset_ = dev_offset;
+  remaining_ = bytes;
+  issue_next_burst();
+}
+
+void DmaEngine::move_words(std::uint64_t mem_addr, std::uint64_t dev_offset,
+                           std::size_t bytes) {
+  for (std::size_t off = 0; off < bytes; off += 8) {
+    if (direction_ == DmaDirection::kMemToDevice) {
+      device_->reg_write(dev_offset + off, memory_.read(mem_addr + off));
+    } else {
+      memory_.write(mem_addr + off, device_->reg_read(dev_offset + off));
+    }
+  }
+}
+
+void DmaEngine::issue_next_burst() {
+  if (remaining_ == 0) {
+    busy_ = false;
+    ++transfers_;
+    if (on_complete_) on_complete_();
+    return;
+  }
+  const std::size_t chunk = std::min(remaining_, burst_bytes_);
+  ++bursts_;
+  const BusModel::Reservation slot = bus_->reserve(sim_->now(), chunk);
+  const std::uint64_t mem_addr = mem_addr_;
+  const std::uint64_t dev_offset = dev_offset_;
+  mem_addr_ += chunk;
+  dev_offset_ += chunk;
+  remaining_ -= chunk;
+  // Data lands (and the next burst arbitration starts) when the
+  // reservation completes.
+  sim_->schedule_at(slot.completed, [this, mem_addr, dev_offset, chunk] {
+    move_words(mem_addr, dev_offset, chunk);
+    issue_next_burst();
+  });
+}
+
+}  // namespace mhs::sim

@@ -1,0 +1,76 @@
+// DMA engine: a second bus master that streams blocks between CPU memory
+// and the accelerator's register file without CPU involvement.
+//
+// The engine competes with the CPU for the system bus through
+// BusModel::reserve (burst-level arbitration) and raises a completion
+// callback — the hardware substrate behind "exploiting concurrency among
+// asynchronously running HW and SW components" (§3.3) at the I/O level:
+// while the DMA moves data, the processor computes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/bus.h"
+#include "sim/peripheral.h"
+
+namespace mhs::sim {
+
+/// Transfer direction.
+enum class DmaDirection {
+  kMemToDevice,  ///< CPU memory -> peripheral input registers
+  kDeviceToMem,  ///< peripheral output registers -> CPU memory
+};
+
+/// Word-granular memory access callbacks (provided by the ISS or a test).
+struct DmaMemoryPort {
+  std::function<std::int64_t(std::uint64_t)> read;
+  std::function<void(std::uint64_t, std::int64_t)> write;
+};
+
+/// The DMA engine.
+class DmaEngine {
+ public:
+  /// `burst_bytes` is the bus reservation granularity: smaller bursts
+  /// interleave more fairly with CPU traffic, larger bursts are cheaper.
+  DmaEngine(Simulator& sim, BusModel& bus, DmaMemoryPort memory,
+            StreamPeripheral& device, std::size_t burst_bytes = 32);
+
+  /// Starts a transfer of `bytes` (must be a multiple of 8).
+  ///   kMemToDevice: mem[mem_addr..] -> device inputs [dev_offset..]
+  ///   kDeviceToMem: device outputs [dev_offset..] -> mem[mem_addr..]
+  /// Precondition: engine idle.
+  void start(DmaDirection direction, std::uint64_t mem_addr,
+             std::uint64_t dev_offset, std::size_t bytes);
+
+  /// Fires once per completed transfer.
+  void set_completion_callback(std::function<void()> fn) {
+    on_complete_ = std::move(fn);
+  }
+
+  bool busy() const { return busy_; }
+  std::uint64_t transfers_completed() const { return transfers_; }
+  std::uint64_t bursts_issued() const { return bursts_; }
+
+ private:
+  void issue_next_burst();
+  void move_words(std::uint64_t mem_addr, std::uint64_t dev_offset,
+                  std::size_t bytes);
+
+  Simulator* sim_;
+  BusModel* bus_;
+  DmaMemoryPort memory_;
+  StreamPeripheral* device_;
+  std::size_t burst_bytes_;
+
+  bool busy_ = false;
+  DmaDirection direction_ = DmaDirection::kMemToDevice;
+  std::uint64_t mem_addr_ = 0;
+  std::uint64_t dev_offset_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t bursts_ = 0;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace mhs::sim

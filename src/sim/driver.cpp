@@ -1,0 +1,137 @@
+#include "sim/driver.h"
+
+#include "base/error.h"
+#include "sim/peripheral.h"
+
+namespace mhs::sim {
+
+namespace {
+
+// Register conventions inside generated drivers.
+constexpr std::uint8_t kCounter = 1;   // remaining samples
+constexpr std::uint8_t kInPtr = 2;     // current sample input pointer
+constexpr std::uint8_t kOutPtr = 3;    // current sample output pointer
+constexpr std::uint8_t kTmp = 4;       // data shuttle
+constexpr std::uint8_t kOne = 5;       // constant 1
+constexpr std::uint8_t kStatusTmp = 6; // STATUS / flag value
+constexpr std::uint8_t kBackground = 7;// background work counter
+constexpr std::uint8_t kCtrlVal = 8;   // value written to CTRL
+
+using sw::Instr;
+using sw::Opcode;
+
+Instr li(std::uint8_t rd, std::int64_t imm) {
+  return Instr{Opcode::kLi, rd, 0, 0, imm};
+}
+Instr ld(std::uint8_t rd, std::int64_t addr) {
+  return Instr{Opcode::kLd, rd, sw::kZeroReg, 0, addr};
+}
+Instr st(std::uint8_t rs2, std::int64_t addr) {
+  return Instr{Opcode::kSt, 0, sw::kZeroReg, rs2, addr};
+}
+Instr addi(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm) {
+  return Instr{Opcode::kAddi, rd, rs1, 0, imm};
+}
+
+}  // namespace
+
+Driver generate_driver(const DriverSpec& spec) {
+  MHS_CHECK(spec.samples >= 1, "driver needs at least one sample");
+  MHS_CHECK(spec.num_inputs >= 1, "driver needs at least one input");
+  MHS_CHECK(spec.num_outputs >= 1, "driver needs at least one output");
+
+  const auto pb = static_cast<std::int64_t>(spec.periph_base);
+  const auto ctrl = pb + static_cast<std::int64_t>(PeripheralLayout::kCtrl);
+  const auto status =
+      pb + static_cast<std::int64_t>(PeripheralLayout::kStatus);
+  const auto in_reg = [&](std::size_t k) {
+    return pb + static_cast<std::int64_t>(PeripheralLayout::kInputBase) +
+           static_cast<std::int64_t>(8 * k);
+  };
+  const auto out_reg = [&](std::size_t m) {
+    return pb + static_cast<std::int64_t>(PeripheralLayout::kOutputBase) +
+           static_cast<std::int64_t>(8 * m);
+  };
+
+  Driver driver;
+  std::vector<Instr>& code = driver.code;
+
+  // Prologue.
+  code.push_back(li(kCounter, static_cast<std::int64_t>(spec.samples)));
+  code.push_back(li(kInPtr, static_cast<std::int64_t>(spec.in_buffer)));
+  code.push_back(li(kOutPtr, static_cast<std::int64_t>(spec.out_buffer)));
+  code.push_back(li(kOne, 1));
+  code.push_back(li(kBackground, 0));
+  // CTRL value: GO, plus IRQ_EN for interrupt-driven operation.
+  code.push_back(li(kCtrlVal, spec.use_irq ? 3 : 1));
+  if (spec.use_irq) {
+    code.push_back(st(sw::kZeroReg, static_cast<std::int64_t>(spec.flag_addr)));
+  }
+
+  const std::size_t loop_top = code.size();
+
+  // Copy this sample's inputs into the device registers.
+  for (std::size_t k = 0; k < spec.num_inputs; ++k) {
+    code.push_back(Instr{Opcode::kLd, kTmp, kInPtr, 0,
+                         static_cast<std::int64_t>(8 * k)});
+    code.push_back(st(kTmp, in_reg(k)));
+  }
+  // Start the device.
+  code.push_back(st(kCtrlVal, ctrl));
+
+  if (!spec.use_irq) {
+    // Polling wait: ld STATUS; test DONE bit; branch back while clear.
+    const std::size_t wait_top = code.size();
+    code.push_back(ld(kStatusTmp, status));
+    code.push_back(
+        Instr{Opcode::kAnd, kStatusTmp, kStatusTmp, kOne, 0});
+    code.push_back(Instr{Opcode::kBeq, 0, kStatusTmp, sw::kZeroReg,
+                         static_cast<std::int64_t>(wait_top)});
+  } else {
+    // Interrupt wait: do background work, then check the in-memory flag.
+    const std::size_t wait_top = code.size();
+    for (std::size_t u = 0; u < spec.background_unroll; ++u) {
+      code.push_back(addi(kBackground, kBackground, 1));
+    }
+    code.push_back(
+        ld(kStatusTmp, static_cast<std::int64_t>(spec.flag_addr)));
+    code.push_back(Instr{Opcode::kBeq, 0, kStatusTmp, sw::kZeroReg,
+                         static_cast<std::int64_t>(wait_top)});
+    // Clear the flag for the next sample.
+    code.push_back(st(sw::kZeroReg, static_cast<std::int64_t>(spec.flag_addr)));
+  }
+
+  // Acknowledge completion (clears DONE).
+  code.push_back(st(sw::kZeroReg, status));
+
+  // Copy outputs back to memory.
+  for (std::size_t m = 0; m < spec.num_outputs; ++m) {
+    code.push_back(ld(kTmp, out_reg(m)));
+    code.push_back(Instr{Opcode::kSt, 0, kOutPtr, kTmp,
+                         static_cast<std::int64_t>(8 * m)});
+  }
+
+  // Advance pointers, decrement counter, loop.
+  code.push_back(addi(kInPtr, kInPtr,
+                      static_cast<std::int64_t>(8 * spec.num_inputs)));
+  code.push_back(addi(kOutPtr, kOutPtr,
+                      static_cast<std::int64_t>(8 * spec.num_outputs)));
+  code.push_back(addi(kCounter, kCounter, -1));
+  code.push_back(Instr{Opcode::kBne, 0, kCounter, sw::kZeroReg,
+                       static_cast<std::int64_t>(loop_top)});
+  code.push_back(Instr{Opcode::kHalt, 0, 0, 0, 0});
+
+  if (spec.use_irq) {
+    // ISR: set the completion flag and return. Uses scratch registers so
+    // that it never clobbers main-thread state.
+    driver.isr_entry = code.size();
+    code.push_back(li(sw::kScratch0, 1));
+    code.push_back(
+        st(sw::kScratch0, static_cast<std::int64_t>(spec.flag_addr)));
+    code.push_back(Instr{Opcode::kIret, 0, 0, 0, 0});
+  }
+  driver.background_counter_reg = kBackground;
+  return driver;
+}
+
+}  // namespace mhs::sim

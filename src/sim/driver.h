@@ -1,0 +1,55 @@
+// Software driver generation for the accelerator peripheral.
+//
+// Emits the ISA routines an embedded CPU runs to operate a StreamPeripheral:
+// copy a sample's inputs to the device, start it, wait (by polling STATUS
+// over the bus, or by taking the completion interrupt while doing
+// background work), then copy the outputs back. The polling/interrupt
+// choice is exactly the driver-style decision Chinook-class interface
+// co-synthesis makes (§4.1 of the paper); mhs::cosynth selects between
+// these generated drivers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sw/codegen.h"
+#include "sw/isa.h"
+
+namespace mhs::sim {
+
+/// Default MMIO base of the accelerator.
+inline constexpr std::uint64_t kPeripheralBase = 0x10000;
+
+/// Parameters of a generated driver program.
+struct DriverSpec {
+  std::uint64_t periph_base = kPeripheralBase;
+  std::size_t num_inputs = 1;
+  std::size_t num_outputs = 1;
+  /// Number of samples to stream through the device.
+  std::size_t samples = 16;
+  /// false: poll STATUS over the bus. true: enable the completion
+  /// interrupt and wait on an in-memory flag set by the ISR.
+  bool use_irq = false;
+  /// Memory buffers (sample-major: sample i's inputs at in_buffer+i*K*8).
+  std::uint64_t in_buffer = 0x1000;
+  std::uint64_t out_buffer = 0x2000;
+  /// Completion flag written by the ISR (interrupt-driven mode).
+  std::uint64_t flag_addr = 0x4000;
+  /// Units of background work attempted per wait-loop iteration (the CPU
+  /// cycles freed by interrupt-driven I/O show up as completed units).
+  std::size_t background_unroll = 0;
+};
+
+/// A generated driver.
+struct Driver {
+  std::vector<sw::Instr> code;
+  /// Entry of the interrupt service routine (interrupt-driven drivers).
+  std::optional<std::size_t> isr_entry;
+  /// Register accumulating background work units (x7).
+  std::size_t background_counter_reg = 7;
+};
+
+/// Generates the driver program for `spec`.
+Driver generate_driver(const DriverSpec& spec);
+
+}  // namespace mhs::sim

@@ -1,0 +1,22 @@
+// The four HW/SW interface abstraction levels of the paper's Figure 3.
+#pragma once
+
+namespace mhs::sim {
+
+/// Abstraction level at which HW/SW interaction is modelled (Fig. 3).
+/// Lower levels are more timing-accurate and more expensive to simulate.
+enum class InterfaceLevel {
+  kPin,       ///< activity on CPU pins / bus wires (Becker et al. [4])
+  kRegister,  ///< register reads/writes + interrupts
+  kDriver,    ///< device-driver calls (block granularity)
+  kMessage,   ///< OS send/receive/wait (Thomas et al. [2], Coumeri [3])
+};
+
+inline constexpr InterfaceLevel kAllInterfaceLevels[] = {
+    InterfaceLevel::kPin, InterfaceLevel::kRegister, InterfaceLevel::kDriver,
+    InterfaceLevel::kMessage};
+
+/// Human-readable level name.
+const char* interface_level_name(InterfaceLevel level);
+
+}  // namespace mhs::sim

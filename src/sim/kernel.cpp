@@ -1,0 +1,51 @@
+#include "sim/kernel.h"
+
+#include <utility>
+
+namespace mhs::sim {
+
+void Simulator::schedule(Time delay, EventFn fn) {
+  MHS_CHECK(fn != nullptr, "scheduling a null event");
+  MHS_CHECK(delay <= UINT64_MAX - now_, "event time overflow");
+  queue_.push(Entry{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_at(Time t, EventFn fn) {
+  MHS_CHECK(t >= now_, "schedule_at(" << t << ") in the past (now=" << now_
+                                      << ")");
+  MHS_CHECK(fn != nullptr, "scheduling a null event");
+  queue_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::run_one() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the closure must be moved out via the
+  // usual const_cast idiom (safe: the entry is popped immediately after).
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  MHS_ASSERT(entry.time >= now_, "event queue went backwards");
+  now_ = entry.time;
+  ++events_processed_;
+  entry.fn();
+  return true;
+}
+
+void Simulator::run(Time until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    run_one();
+  }
+  if (queue_.empty() && until != UINT64_MAX && until > now_) {
+    now_ = until;
+  }
+}
+
+void Simulator::advance_to(Time t) {
+  MHS_CHECK(t >= now_, "advance_to(" << t << ") in the past (now=" << now_
+                                     << ")");
+  while (!queue_.empty() && queue_.top().time <= t) {
+    run_one();
+  }
+  now_ = t;
+}
+
+}  // namespace mhs::sim

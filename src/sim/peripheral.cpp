@@ -1,0 +1,95 @@
+#include "sim/peripheral.h"
+
+namespace mhs::sim {
+
+StreamPeripheral::StreamPeripheral(Simulator& sim, const hw::HlsResult& impl,
+                                   InterfaceLevel level)
+    : sim_(&sim), impl_(&impl), level_(level) {
+  const ir::Cdfg& cdfg = impl.schedule.cdfg();
+  for (const ir::OpId id : cdfg.inputs()) {
+    input_names_.push_back(cdfg.op(id).name);
+  }
+  for (const ir::OpId id : cdfg.outputs()) {
+    output_names_.push_back(cdfg.op(id).name);
+  }
+  input_regs_.assign(input_names_.size(), 0);
+  output_regs_.assign(output_names_.size(), 0);
+}
+
+std::int64_t StreamPeripheral::reg_read(std::uint64_t offset) {
+  if (offset == PeripheralLayout::kCtrl) {
+    return irq_enabled_ ? 2 : 0;
+  }
+  if (offset == PeripheralLayout::kStatus) {
+    return (done_ ? 1 : 0) | (busy_ ? 2 : 0);
+  }
+  if (offset >= PeripheralLayout::kInputBase &&
+      offset < PeripheralLayout::kInputBase + 8 * input_regs_.size()) {
+    return input_regs_[(offset - PeripheralLayout::kInputBase) / 8];
+  }
+  if (offset >= PeripheralLayout::kOutputBase &&
+      offset < PeripheralLayout::kOutputBase + 8 * output_regs_.size()) {
+    // Reading an output clears DONE once all outputs are consumed; the
+    // simple policy (clear on STATUS-after-read) is: reading any output
+    // leaves DONE set, software clears it by writing STATUS.
+    return output_regs_[(offset - PeripheralLayout::kOutputBase) / 8];
+  }
+  MHS_CHECK(false, "peripheral register read at invalid offset 0x"
+                       << std::hex << offset);
+  return 0;
+}
+
+void StreamPeripheral::reg_write(std::uint64_t offset, std::int64_t value) {
+  if (offset == PeripheralLayout::kCtrl) {
+    irq_enabled_ = (value & 2) != 0;
+    if ((value & 1) != 0) start();
+    return;
+  }
+  if (offset == PeripheralLayout::kStatus) {
+    // Writing STATUS acknowledges completion.
+    done_ = false;
+    return;
+  }
+  if (offset >= PeripheralLayout::kInputBase &&
+      offset < PeripheralLayout::kInputBase + 8 * input_regs_.size()) {
+    MHS_CHECK(!busy_, "peripheral input written while busy");
+    input_regs_[(offset - PeripheralLayout::kInputBase) / 8] = value;
+    return;
+  }
+  MHS_CHECK(false, "peripheral register write at invalid offset 0x"
+                       << std::hex << offset);
+}
+
+void StreamPeripheral::start() {
+  MHS_CHECK(!busy_, "peripheral started while busy");
+  busy_ = true;
+  done_ = false;
+  ++activations_;
+  const std::uint64_t gen = ++generation_;
+
+  // Compute the functional result from the synthesized datapath.
+  std::map<std::string, std::int64_t> in;
+  for (std::size_t i = 0; i < input_names_.size(); ++i) {
+    in[input_names_[i]] = input_regs_[i];
+  }
+  auto out = hw::simulate_datapath(*impl_, in);
+
+  const Time latency = impl_->latency;
+  if (level_ == InterfaceLevel::kPin) {
+    // Pin/RTL-accurate mode: one event per controller state transition.
+    for (Time s = 1; s < latency; ++s) {
+      sim_->schedule(s, [] { /* FSM state advance */ });
+    }
+  }
+  sim_->schedule(latency, [this, gen, out = std::move(out)] {
+    if (gen != generation_) return;  // superseded by a reset/restart
+    for (std::size_t j = 0; j < output_names_.size(); ++j) {
+      output_regs_[j] = out.at(output_names_[j]);
+    }
+    busy_ = false;
+    done_ = true;
+    if (irq_enabled_ && irq_) irq_();
+  });
+}
+
+}  // namespace mhs::sim

@@ -1,0 +1,74 @@
+// Memory-mapped hardware accelerator model.
+//
+// Wraps a synthesized implementation (hw::HlsResult) behind the register
+// interface an embedded CPU would see: write the kernel inputs, set the GO
+// bit, poll STATUS or take the completion interrupt, read the outputs.
+// Functionality comes from the synthesized datapath simulation, latency
+// from the synthesized schedule — hardware behaviour and timing are both
+// derived from the same specification the software is compiled from.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/hls.h"
+#include "sim/interface_level.h"
+#include "sim/kernel.h"
+
+namespace mhs::sim {
+
+/// Register map (byte offsets from the peripheral base address).
+struct PeripheralLayout {
+  static constexpr std::uint64_t kCtrl = 0x00;    ///< bit0 GO, bit1 IRQ_EN
+  static constexpr std::uint64_t kStatus = 0x08;  ///< bit0 DONE, bit1 BUSY
+  static constexpr std::uint64_t kInputBase = 0x40;   ///< input i at +8*i
+  static constexpr std::uint64_t kOutputBase = 0x200; ///< output j at +8*j
+  static constexpr std::uint64_t kSize = 0x400;   ///< bytes of address space
+};
+
+/// The accelerator model.
+class StreamPeripheral {
+ public:
+  /// `impl` must outlive the peripheral.
+  StreamPeripheral(Simulator& sim, const hw::HlsResult& impl,
+                   InterfaceLevel level);
+
+  /// Register-file access (offsets per PeripheralLayout). Writing GO with
+  /// inputs loaded starts a computation; DONE rises (and the IRQ callback
+  /// fires, when enabled) after the synthesized latency.
+  std::int64_t reg_read(std::uint64_t offset);
+  void reg_write(std::uint64_t offset, std::int64_t value);
+
+  /// Called (once per completion) when IRQ_EN is set and work completes.
+  void set_irq_callback(std::function<void()> fn) { irq_ = std::move(fn); }
+
+  bool busy() const { return busy_; }
+  bool done() const { return done_; }
+  std::uint64_t activations() const { return activations_; }
+
+  /// Latency of one activation in cycles.
+  Time latency() const { return impl_->latency; }
+
+  std::size_t num_inputs() const { return input_names_.size(); }
+  std::size_t num_outputs() const { return output_names_.size(); }
+
+ private:
+  void start();
+
+  Simulator* sim_;
+  const hw::HlsResult* impl_;
+  InterfaceLevel level_;
+  std::vector<std::string> input_names_;
+  std::vector<std::string> output_names_;
+  std::vector<std::int64_t> input_regs_;
+  std::vector<std::int64_t> output_regs_;
+  bool irq_enabled_ = false;
+  bool busy_ = false;
+  bool done_ = false;
+  std::uint64_t activations_ = 0;
+  std::uint64_t generation_ = 0;  // guards stale completion events
+  std::function<void()> irq_;
+};
+
+}  // namespace mhs::sim

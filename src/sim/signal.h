@@ -1,0 +1,57 @@
+// Signals: typed state with change notification, for pin/RTL-level models.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace mhs::sim {
+
+/// A named, typed signal. Writes take effect immediately; observers are
+/// notified on value changes (edge semantics). Pin-level models build CPU
+/// bus interfaces out of these.
+template <typename T>
+class Signal {
+ public:
+  explicit Signal(Simulator& sim, std::string name, T initial = T{})
+      : sim_(&sim), name_(std::move(name)), value_(initial) {}
+
+  const std::string& name() const { return name_; }
+  const T& read() const { return value_; }
+
+  /// Writes the signal now; fires observers if the value changed.
+  void write(const T& v) {
+    if (v == value_) return;
+    value_ = v;
+    ++transitions_;
+    for (const auto& fn : observers_) fn(value_);
+  }
+
+  /// Schedules a write `delay` cycles from now.
+  void write_after(Time delay, T v) {
+    sim_->schedule(delay, [this, v] { write(v); });
+  }
+
+  /// Registers a change observer (called with the new value).
+  void on_change(std::function<void(const T&)> fn) {
+    observers_.push_back(std::move(fn));
+  }
+
+  /// Number of value transitions — the "signal activity" the paper's
+  /// Figure 3 names as the lowest co-simulation abstraction level.
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  T value_;
+  std::uint64_t transitions_ = 0;
+  std::vector<std::function<void(const T&)>> observers_;
+};
+
+using Wire = Signal<bool>;
+using Bus64 = Signal<std::uint64_t>;
+
+}  // namespace mhs::sim

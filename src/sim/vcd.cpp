@@ -1,0 +1,85 @@
+#include "sim/vcd.h"
+
+#include <bitset>
+#include <sstream>
+
+namespace mhs::sim {
+
+VcdTracer::VcdTracer(Simulator& sim, std::string timescale)
+    : sim_(&sim), timescale_(std::move(timescale)) {}
+
+std::string VcdTracer::next_id() {
+  // VCD identifiers are short printable strings; base-94 over '!'..'~'.
+  std::string id;
+  std::size_t n = id_counter_++;
+  do {
+    id.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n != 0);
+  return id;
+}
+
+void VcdTracer::trace(Wire& wire) {
+  const std::size_t index = signals_.size();
+  signals_.push_back(SignalInfo{wire.name(), next_id(), 1,
+                                wire.read() ? 1u : 0u});
+  wire.on_change([this, index](const bool& v) {
+    record(index, v ? 1u : 0u);
+  });
+}
+
+void VcdTracer::trace(Bus64& bus) {
+  const std::size_t index = signals_.size();
+  signals_.push_back(SignalInfo{bus.name(), next_id(), 64, bus.read()});
+  bus.on_change([this, index](const std::uint64_t& v) {
+    record(index, v);
+  });
+}
+
+void VcdTracer::record(std::size_t index, std::uint64_t value) {
+  changes_.push_back(Change{sim_->now(), index, value});
+}
+
+std::string VcdTracer::str() const {
+  std::ostringstream os;
+  os << "$date mhs simulation $end\n"
+     << "$version mhs::sim::VcdTracer $end\n"
+     << "$timescale " << timescale_ << " $end\n"
+     << "$scope module mhs $end\n";
+  for (const SignalInfo& s : signals_) {
+    // Dots in hierarchical names become underscores for viewer sanity.
+    std::string name = s.name;
+    for (char& c : name) {
+      if (c == '.' || c == ' ') c = '_';
+    }
+    os << "$var wire " << s.width << ' ' << s.id << ' ' << name
+       << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  auto emit_value = [&](const SignalInfo& s, std::uint64_t value) {
+    if (s.width == 1) {
+      os << (value ? '1' : '0') << s.id << '\n';
+    } else {
+      os << 'b' << std::bitset<64>(value) << ' ' << s.id << '\n';
+    }
+  };
+
+  os << "$dumpvars\n";
+  for (const SignalInfo& s : signals_) emit_value(s, s.initial);
+  os << "$end\n";
+
+  Time current = 0;
+  bool emitted_time = false;
+  for (const Change& change : changes_) {
+    if (!emitted_time || change.time != current) {
+      os << '#' << change.time << '\n';
+      current = change.time;
+      emitted_time = true;
+    }
+    emit_value(signals_[change.signal], change.value);
+  }
+  return os.str();
+}
+
+}  // namespace mhs::sim

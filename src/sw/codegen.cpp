@@ -1,0 +1,317 @@
+#include "sw/codegen.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mhs::sw {
+
+namespace {
+
+constexpr std::uint32_t kNoVReg = std::numeric_limits<std::uint32_t>::max();
+
+/// Virtual instruction: like Instr but with 32-bit virtual register ids.
+struct VInstr {
+  Opcode op = Opcode::kNop;
+  std::uint32_t rd = kNoVReg;
+  std::uint32_t rs1 = kNoVReg;
+  std::uint32_t rs2 = kNoVReg;
+  std::int64_t imm = 0;
+};
+
+/// True when the instruction reads its rd as well as writing it.
+bool reads_rd(Opcode op) { return op == Opcode::kCmovnz; }
+
+/// Emission context while lowering the CDFG to virtual code.
+struct Lowering {
+  std::vector<VInstr> body;
+  std::uint32_t next_vreg = 0;
+
+  std::uint32_t fresh() { return next_vreg++; }
+
+  std::uint32_t emit_li(std::int64_t imm) {
+    const std::uint32_t v = fresh();
+    body.push_back(VInstr{Opcode::kLi, v, kNoVReg, kNoVReg, imm});
+    return v;
+  }
+  std::uint32_t emit_ld(std::int64_t addr) {
+    const std::uint32_t v = fresh();
+    body.push_back(VInstr{Opcode::kLd, v, kNoVReg, kNoVReg, addr});
+    return v;
+  }
+  void emit_st(std::uint32_t src, std::int64_t addr) {
+    body.push_back(VInstr{Opcode::kSt, kNoVReg, kNoVReg, src, addr});
+  }
+  std::uint32_t emit_rrr(Opcode op, std::uint32_t a, std::uint32_t b) {
+    const std::uint32_t v = fresh();
+    body.push_back(VInstr{op, v, a, b, 0});
+    return v;
+  }
+  std::uint32_t emit_mv(std::uint32_t a) {
+    const std::uint32_t v = fresh();
+    body.push_back(VInstr{Opcode::kAddi, v, a, kNoVReg, 0});
+    return v;
+  }
+  /// cmovnz dest, cond, val — dest is read-modify-write.
+  void emit_cmov(std::uint32_t dest, std::uint32_t cond, std::uint32_t val) {
+    body.push_back(VInstr{Opcode::kCmovnz, dest, cond, val, 0});
+  }
+};
+
+std::uint32_t lower_op(Lowering& ctx, const ir::Cdfg& cdfg, ir::OpId id,
+                       const std::vector<std::uint32_t>& vreg_of) {
+  const ir::Op& op = cdfg.op(id);
+  auto arg = [&](std::size_t i) { return vreg_of[op.operands[i].index()]; };
+  using ir::OpKind;
+  switch (op.kind) {
+    case OpKind::kAdd: return ctx.emit_rrr(Opcode::kAdd, arg(0), arg(1));
+    case OpKind::kSub: return ctx.emit_rrr(Opcode::kSub, arg(0), arg(1));
+    case OpKind::kMul: return ctx.emit_rrr(Opcode::kMul, arg(0), arg(1));
+    case OpKind::kDiv: return ctx.emit_rrr(Opcode::kDiv, arg(0), arg(1));
+    case OpKind::kShl: return ctx.emit_rrr(Opcode::kShl, arg(0), arg(1));
+    case OpKind::kShr: return ctx.emit_rrr(Opcode::kShr, arg(0), arg(1));
+    case OpKind::kAnd: return ctx.emit_rrr(Opcode::kAnd, arg(0), arg(1));
+    case OpKind::kOr:  return ctx.emit_rrr(Opcode::kOr, arg(0), arg(1));
+    case OpKind::kXor: return ctx.emit_rrr(Opcode::kXor, arg(0), arg(1));
+    case OpKind::kCmpLt: return ctx.emit_rrr(Opcode::kSlt, arg(0), arg(1));
+    case OpKind::kCmpEq: return ctx.emit_rrr(Opcode::kSeq, arg(0), arg(1));
+    case OpKind::kNeg: {
+      const std::uint32_t zero = ctx.emit_li(0);
+      return ctx.emit_rrr(Opcode::kSub, zero, arg(0));
+    }
+    case OpKind::kAbs: {
+      // neg = 0 - a; isneg = a < 0; v = a; if (isneg) v = neg
+      const std::uint32_t zero = ctx.emit_li(0);
+      const std::uint32_t neg = ctx.emit_rrr(Opcode::kSub, zero, arg(0));
+      const std::uint32_t isneg = ctx.emit_rrr(Opcode::kSlt, arg(0), zero);
+      const std::uint32_t v = ctx.emit_mv(arg(0));
+      ctx.emit_cmov(v, isneg, neg);
+      return v;
+    }
+    case OpKind::kMin: {
+      const std::uint32_t c = ctx.emit_rrr(Opcode::kSlt, arg(0), arg(1));
+      const std::uint32_t v = ctx.emit_mv(arg(1));
+      ctx.emit_cmov(v, c, arg(0));
+      return v;
+    }
+    case OpKind::kMax: {
+      const std::uint32_t c = ctx.emit_rrr(Opcode::kSlt, arg(0), arg(1));
+      const std::uint32_t v = ctx.emit_mv(arg(0));
+      ctx.emit_cmov(v, c, arg(1));
+      return v;
+    }
+    case OpKind::kSelect: {
+      const std::uint32_t v = ctx.emit_mv(arg(2));
+      ctx.emit_cmov(v, arg(0), arg(1));
+      return v;
+    }
+    case OpKind::kConst:
+    case OpKind::kInput:
+    case OpKind::kOutput:
+      break;
+  }
+  MHS_ASSERT(false, "lower_op on non-compute op");
+  return kNoVReg;
+}
+
+/// Live interval of a virtual register over the body instruction indices.
+struct Interval {
+  std::uint32_t vreg = 0;
+  std::size_t start = 0;
+  std::size_t end = 0;
+};
+
+/// Allocation result per vreg: physical register or spill slot.
+struct Placement {
+  bool spilled = false;
+  std::uint8_t reg = 0;
+  std::size_t slot = 0;  // spill slot index when spilled
+};
+
+}  // namespace
+
+Program compile(const ir::Cdfg& cdfg, const CodegenOptions& options) {
+  MHS_CHECK(options.allocatable_regs >= 1 &&
+                options.allocatable_regs <= kMaxAllocatableRegs,
+            "allocatable_regs=" << options.allocatable_regs
+                                << " out of [1," << kMaxAllocatableRegs
+                                << "]");
+  MHS_CHECK(options.iterations >= 1, "iterations must be >= 1");
+
+  Program program;
+
+  // ---- Assign input/output addresses (in op order) -----------------------
+  {
+    std::uint64_t addr = kInputBase;
+    for (const ir::OpId id : cdfg.inputs()) {
+      program.input_addr[cdfg.op(id).name] = addr;
+      addr += 8;
+    }
+    addr = kOutputBase;
+    for (const ir::OpId id : cdfg.outputs()) {
+      program.output_addr[cdfg.op(id).name] = addr;
+      addr += 8;
+    }
+  }
+
+  // ---- Lower to virtual three-address code --------------------------------
+  Lowering ctx;
+  std::vector<std::uint32_t> vreg_of(cdfg.num_ops(), kNoVReg);
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    switch (op.kind) {
+      case ir::OpKind::kConst:
+        vreg_of[id.index()] = ctx.emit_li(op.value);
+        break;
+      case ir::OpKind::kInput:
+        vreg_of[id.index()] = ctx.emit_ld(
+            static_cast<std::int64_t>(program.input_addr.at(op.name)));
+        break;
+      case ir::OpKind::kOutput:
+        ctx.emit_st(vreg_of[op.operands[0].index()],
+                    static_cast<std::int64_t>(
+                        program.output_addr.at(op.name)));
+        break;
+      default:
+        vreg_of[id.index()] = lower_op(ctx, cdfg, id, vreg_of);
+        break;
+    }
+  }
+
+  // ---- Live intervals ------------------------------------------------------
+  const std::size_t num_vregs = ctx.next_vreg;
+  std::vector<Interval> intervals(num_vregs);
+  std::vector<bool> seen(num_vregs, false);
+  for (std::size_t i = 0; i < ctx.body.size(); ++i) {
+    const VInstr& vi = ctx.body[i];
+    auto touch = [&](std::uint32_t v) {
+      if (v == kNoVReg) return;
+      if (!seen[v]) {
+        seen[v] = true;
+        intervals[v] = Interval{v, i, i};
+      } else {
+        intervals[v].end = i;
+      }
+    };
+    touch(vi.rd);
+    touch(vi.rs1);
+    touch(vi.rs2);
+  }
+
+  // ---- Linear scan with furthest-end spilling -----------------------------
+  std::vector<Placement> place(num_vregs);
+  {
+    std::vector<Interval> order(intervals);
+    std::sort(order.begin(), order.end(),
+              [](const Interval& a, const Interval& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.vreg < b.vreg;
+              });
+    std::vector<std::uint8_t> free_regs;
+    for (std::size_t r = options.allocatable_regs; r >= 1; --r) {
+      free_regs.push_back(static_cast<std::uint8_t>(r));
+    }
+    std::vector<Interval> active;  // sorted by end ascending
+    std::size_t next_slot = 0;
+    for (const Interval& cur : order) {
+      if (!seen[cur.vreg]) continue;  // vreg never materialized
+      // Expire intervals that ended before cur starts.
+      for (auto it = active.begin(); it != active.end();) {
+        if (it->end < cur.start) {
+          free_regs.push_back(place[it->vreg].reg);
+          it = active.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (free_regs.empty()) {
+        // Spill the active interval with the furthest end, or cur itself.
+        auto furthest = std::max_element(
+            active.begin(), active.end(),
+            [](const Interval& a, const Interval& b) { return a.end < b.end; });
+        if (furthest != active.end() && furthest->end > cur.end) {
+          place[cur.vreg].spilled = false;
+          place[cur.vreg].reg = place[furthest->vreg].reg;
+          place[furthest->vreg] = Placement{true, 0, next_slot++};
+          *furthest = cur;
+          std::sort(active.begin(), active.end(),
+                    [](const Interval& a, const Interval& b) {
+                      return a.end < b.end;
+                    });
+        } else {
+          place[cur.vreg] = Placement{true, 0, next_slot++};
+        }
+      } else {
+        place[cur.vreg].spilled = false;
+        place[cur.vreg].reg = free_regs.back();
+        free_regs.pop_back();
+        active.push_back(cur);
+      }
+    }
+    program.num_spills = next_slot;
+  }
+
+  // ---- Rewrite to physical code with spill fills/stores -------------------
+  std::vector<Instr> body;
+  auto slot_addr = [](std::size_t slot) {
+    return static_cast<std::int64_t>(kSpillBase + 8 * slot);
+  };
+  for (const VInstr& vi : ctx.body) {
+    std::uint8_t scratch_pool[3] = {kScratch0, kScratch1, kScratch2};
+    std::size_t scratch_used = 0;
+    auto src_reg = [&](std::uint32_t v) -> std::uint8_t {
+      MHS_ASSERT(v != kNoVReg, "missing source vreg");
+      if (!place[v].spilled) return place[v].reg;
+      MHS_ASSERT(scratch_used < 3, "ran out of scratch registers");
+      const std::uint8_t s = scratch_pool[scratch_used++];
+      body.push_back(Instr{Opcode::kLd, s, kZeroReg, 0,
+                           slot_addr(place[v].slot)});
+      return s;
+    };
+
+    Instr out;
+    out.op = vi.op;
+    out.imm = vi.imm;
+    // Sources first (including rd for read-modify-write ops).
+    std::uint8_t rd_phys = 0;
+    bool rd_spilled = false;
+    std::size_t rd_slot = 0;
+    if (vi.rd != kNoVReg) {
+      rd_spilled = place[vi.rd].spilled;
+      rd_slot = place[vi.rd].slot;
+      if (reads_rd(vi.op)) {
+        rd_phys = src_reg(vi.rd);
+      } else if (rd_spilled) {
+        MHS_ASSERT(scratch_used < 3, "ran out of scratch registers");
+        rd_phys = scratch_pool[scratch_used++];
+      } else {
+        rd_phys = place[vi.rd].reg;
+      }
+    }
+    if (vi.rs1 != kNoVReg) out.rs1 = src_reg(vi.rs1);
+    if (vi.rs2 != kNoVReg) out.rs2 = src_reg(vi.rs2);
+    out.rd = rd_phys;
+    body.push_back(out);
+    if (vi.rd != kNoVReg && rd_spilled) {
+      body.push_back(
+          Instr{Opcode::kSt, 0, kZeroReg, rd_phys, slot_addr(rd_slot)});
+    }
+  }
+
+  // ---- Loop wrapper --------------------------------------------------------
+  std::vector<Instr>& code = program.code;
+  if (options.iterations > 1) {
+    code.push_back(Instr{Opcode::kLi, kLoopReg, 0, 0,
+                         static_cast<std::int64_t>(options.iterations)});
+    const std::int64_t body_start = static_cast<std::int64_t>(code.size());
+    code.insert(code.end(), body.begin(), body.end());
+    code.push_back(Instr{Opcode::kAddi, kLoopReg, kLoopReg, 0, -1});
+    code.push_back(Instr{Opcode::kBne, 0, kLoopReg, kZeroReg, body_start});
+  } else {
+    code = std::move(body);
+  }
+  code.push_back(Instr{Opcode::kHalt, 0, 0, 0, 0});
+  program.code_bytes = encoded_size(code);
+  return program;
+}
+
+}  // namespace mhs::sw

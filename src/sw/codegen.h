@@ -1,0 +1,51 @@
+// CDFG-to-ISA code generation.
+//
+// Compiles a dataflow kernel to straight-line (branch-free) machine code
+// with linear-scan register allocation and spilling, optionally wrapped in
+// a counted loop. Together with the evaluator in ir::Cdfg and the datapath
+// simulator in mhs::hw, this closes the paper's §3.2 requirement of "a
+// unified understanding of hardware and software functionality": one
+// specification, two executable implementations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/cdfg.h"
+#include "sw/isa.h"
+
+namespace mhs::sw {
+
+/// Memory map of compiled kernels (byte addresses, 8-byte aligned words).
+inline constexpr std::uint64_t kInputBase = 0x1000;
+inline constexpr std::uint64_t kOutputBase = 0x2000;
+inline constexpr std::uint64_t kSpillBase = 0x3000;
+
+/// Code-generation options.
+struct CodegenOptions {
+  /// Number of times the kernel body executes (loop wrapper when > 1).
+  std::size_t iterations = 1;
+  /// Size of the allocatable register pool (1..kMaxAllocatableRegs).
+  /// Lowering this forces spills; used by tests and the ASIP experiments.
+  std::size_t allocatable_regs = kMaxAllocatableRegs;
+};
+
+/// A compiled kernel.
+struct Program {
+  std::vector<Instr> code;
+  /// Byte address of each named kernel input / output.
+  std::map<std::string, std::uint64_t> input_addr;
+  std::map<std::string, std::uint64_t> output_addr;
+  /// Static code size in bytes.
+  std::size_t code_bytes = 0;
+  /// Number of values the allocator had to spill to memory.
+  std::size_t num_spills = 0;
+};
+
+/// Compiles `cdfg` to machine code.
+/// Precondition: 1 <= options.allocatable_regs <= kMaxAllocatableRegs.
+Program compile(const ir::Cdfg& cdfg, const CodegenOptions& options = {});
+
+}  // namespace mhs::sw

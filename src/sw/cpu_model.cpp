@@ -1,0 +1,91 @@
+#include "sw/cpu_model.h"
+
+namespace mhs::sw {
+
+std::size_t CpuModel::cycles_for(const Instr& instr, bool taken) const {
+  switch (instr.op) {
+    case Opcode::kMul:
+      return mul_cycles;
+    case Opcode::kDiv:
+      return div_cycles;
+    case Opcode::kLd:
+    case Opcode::kSt:
+      return mem_cycles;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+      return taken ? branch_taken_cycles : branch_not_taken_cycles;
+    case Opcode::kJmp:
+      return branch_taken_cycles;
+    default:
+      return alu_cycles;
+  }
+}
+
+CpuModel reference_cpu() {
+  CpuModel cpu;
+  cpu.name = "ref32";
+  return cpu;
+}
+
+std::vector<CpuModel> processor_catalog() {
+  std::vector<CpuModel> cpus;
+
+  CpuModel tiny;
+  tiny.name = "micro8";
+  tiny.alu_cycles = 2;
+  tiny.mul_cycles = 16;
+  tiny.div_cycles = 64;
+  tiny.mem_cycles = 4;
+  tiny.branch_taken_cycles = 3;
+  tiny.branch_not_taken_cycles = 2;
+  tiny.clock_scale = 4.0;
+  tiny.cost = 250.0;
+  cpus.push_back(tiny);
+
+  CpuModel small;
+  small.name = "econo16";
+  small.alu_cycles = 1;
+  small.mul_cycles = 8;
+  small.div_cycles = 40;
+  small.mem_cycles = 3;
+  small.clock_scale = 2.0;
+  small.cost = 600.0;
+  cpus.push_back(small);
+
+  cpus.push_back(reference_cpu());  // cost 1000, scale 1.0
+
+  CpuModel fast;
+  fast.name = "turbo32";
+  fast.alu_cycles = 1;
+  fast.mul_cycles = 2;
+  fast.div_cycles = 10;
+  fast.mem_cycles = 1;
+  fast.clock_scale = 0.75;
+  fast.cost = 2200.0;
+  cpus.push_back(fast);
+
+  CpuModel dsp;
+  dsp.name = "dsp64";
+  dsp.alu_cycles = 1;
+  dsp.mul_cycles = 1;  // single-cycle MAC-style multiplier
+  dsp.div_cycles = 20;
+  dsp.mem_cycles = 1;
+  dsp.clock_scale = 1.0;
+  dsp.cost = 1800.0;
+  cpus.push_back(dsp);
+
+  CpuModel wide;
+  wide.name = "super64";
+  wide.alu_cycles = 1;
+  wide.mul_cycles = 1;
+  wide.div_cycles = 6;
+  wide.mem_cycles = 1;
+  wide.branch_taken_cycles = 1;
+  wide.clock_scale = 0.5;
+  wide.cost = 4500.0;
+  cpus.push_back(wide);
+
+  return cpus;
+}
+
+}  // namespace mhs::sw

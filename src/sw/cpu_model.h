@@ -1,0 +1,43 @@
+// Processor timing models.
+//
+// A CpuModel gives the per-opcode cycle costs of one processor plus its
+// unit price — the characterization that the heterogeneous-multiprocessor
+// co-synthesis of §4.2 selects from ("a library of available micro-
+// processors, each characterized in terms of processing speed and cost").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sw/isa.h"
+
+namespace mhs::sw {
+
+/// Timing and cost characterization of one processor.
+struct CpuModel {
+  std::string name = "cpu";
+  /// Cycles per opcode class.
+  std::size_t alu_cycles = 1;      ///< add/sub/logic/shift/slt/seq/cmov/li
+  std::size_t mul_cycles = 4;
+  std::size_t div_cycles = 16;
+  std::size_t mem_cycles = 2;      ///< ld/st (cache-hit cost)
+  std::size_t branch_taken_cycles = 2;
+  std::size_t branch_not_taken_cycles = 1;
+  /// Relative clock: cycles of the reference clock per cycle of this CPU
+  /// (1.0 = reference speed; 2.0 = half speed).
+  double clock_scale = 1.0;
+  /// Unit price in the same abstract units as hardware area.
+  double cost = 1000.0;
+
+  /// Cycle cost of one instruction (branch cost uses `taken`).
+  std::size_t cycles_for(const Instr& instr, bool taken) const;
+};
+
+/// Reference CPU (the default target of the code generator).
+CpuModel reference_cpu();
+
+/// A small catalog of processors spanning ~8x in speed and price, used by
+/// the Figure 5 multiprocessor-synthesis experiments.
+std::vector<CpuModel> processor_catalog();
+
+}  // namespace mhs::sw

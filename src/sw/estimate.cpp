@@ -1,0 +1,77 @@
+#include "sw/estimate.h"
+
+namespace mhs::sw {
+
+double static_program_cycles(const std::vector<Instr>& code,
+                             const CpuModel& cpu, double taken_fraction) {
+  MHS_CHECK(taken_fraction >= 0.0 && taken_fraction <= 1.0,
+            "taken_fraction out of [0,1]");
+  double cycles = 0.0;
+  for (const Instr& i : code) {
+    switch (i.op) {
+      case Opcode::kBeq:
+      case Opcode::kBne:
+        cycles += taken_fraction *
+                      static_cast<double>(cpu.branch_taken_cycles) +
+                  (1.0 - taken_fraction) *
+                      static_cast<double>(cpu.branch_not_taken_cycles);
+        break;
+      default:
+        cycles += static_cast<double>(cpu.cycles_for(i, true));
+        break;
+    }
+  }
+  return cycles;
+}
+
+SwEstimate estimate_compiled(const ir::Cdfg& cdfg, const CpuModel& cpu,
+                             const CodegenOptions& options) {
+  CodegenOptions body_opts = options;
+  body_opts.iterations = 1;  // cost one invocation; callers scale
+  const Program p = compile(cdfg, body_opts);
+  SwEstimate est;
+  // The single-iteration program ends in kHalt, which a looping deployment
+  // would not execute per iteration; exclude it.
+  std::vector<Instr> body(p.code.begin(), p.code.end() - 1);
+  est.cycles_per_iteration =
+      static_program_cycles(body, cpu) * cpu.clock_scale;
+  est.code_bytes = static_cast<double>(p.code_bytes);
+  return est;
+}
+
+SwEstimate estimate_quick(const ir::Cdfg& cdfg, const CpuModel& cpu) {
+  const double alu = static_cast<double>(cpu.alu_cycles);
+  const double mul = static_cast<double>(cpu.mul_cycles);
+  const double divc = static_cast<double>(cpu.div_cycles);
+  const double mem = static_cast<double>(cpu.mem_cycles);
+
+  double cycles = 0.0;
+  double instrs = 0.0;
+  for (const ir::OpId id : cdfg.op_ids()) {
+    using ir::OpKind;
+    const ir::Op& op = cdfg.op(id);
+    double c = 0.0;
+    double n = 1.0;
+    switch (op.kind) {
+      case OpKind::kConst:  c = alu; break;            // li
+      case OpKind::kInput:  c = mem; break;            // ld
+      case OpKind::kOutput: c = mem; break;            // st
+      case OpKind::kMul:    c = mul; break;
+      case OpKind::kDiv:    c = divc; break;
+      case OpKind::kNeg:    c = 2 * alu; n = 2; break; // li + sub
+      case OpKind::kAbs:    c = 5 * alu; n = 5; break; // li+sub+slt+mv+cmov
+      case OpKind::kMin:
+      case OpKind::kMax:    c = 3 * alu; n = 3; break; // slt+mv+cmov
+      case OpKind::kSelect: c = 2 * alu; n = 2; break; // mv+cmov
+      default:              c = alu; break;            // single ALU op
+    }
+    cycles += c;
+    instrs += n;
+  }
+  SwEstimate est;
+  est.cycles_per_iteration = cycles * cpu.clock_scale;
+  est.code_bytes = instrs * 4.0;
+  return est;
+}
+
+}  // namespace mhs::sw

@@ -1,0 +1,41 @@
+// Static software cost estimation.
+//
+// Partitioners need software execution-time and code-size numbers for many
+// candidate mappings without running the ISS each time. Two estimators are
+// provided: an exact one that compiles the kernel and statically sums
+// instruction costs (cheap, and exact for the branch-free code our code
+// generator emits), and a quick one that works directly on CDFG op counts
+// without invoking the code generator at all.
+#pragma once
+
+#include "ir/cdfg.h"
+#include "sw/codegen.h"
+#include "sw/cpu_model.h"
+
+namespace mhs::sw {
+
+/// Software cost estimate for one kernel on one processor.
+struct SwEstimate {
+  /// Cycles per kernel invocation, in reference-clock cycles.
+  double cycles_per_iteration = 0.0;
+  /// Static code size in bytes.
+  double code_bytes = 0.0;
+};
+
+/// Compiles the kernel and statically accumulates per-instruction costs.
+/// Exact for straight-line kernel bodies (no data-dependent control flow).
+SwEstimate estimate_compiled(const ir::Cdfg& cdfg, const CpuModel& cpu,
+                             const CodegenOptions& options = {});
+
+/// Coarse estimate from CDFG op counts only (no code generation): each op
+/// is costed by its expansion size on the target. Fast enough to call in
+/// inner partitioning loops; typically within ~25% of estimate_compiled.
+SwEstimate estimate_quick(const ir::Cdfg& cdfg, const CpuModel& cpu);
+
+/// Statically sums the cycle cost of an existing program, assuming every
+/// conditional branch is taken `taken_fraction` of the time.
+double static_program_cycles(const std::vector<Instr>& code,
+                             const CpuModel& cpu,
+                             double taken_fraction = 0.5);
+
+}  // namespace mhs::sw

@@ -1,0 +1,201 @@
+#include "sw/iss.h"
+
+namespace mhs::sw {
+
+Iss::Iss(CpuModel model) : model_(std::move(model)) {
+  histogram_.assign(static_cast<std::size_t>(Opcode::kIret) + 1, 0);
+}
+
+void Iss::load_program(std::vector<Instr> code) {
+  code_ = std::move(code);
+  reset();
+}
+
+void Iss::reset() {
+  for (auto& r : regs_) r = 0;
+  pc_ = 0;
+  halted_ = code_.empty();
+  irq_pending_ = false;
+  in_isr_ = false;
+  saved_pc_ = 0;
+  total_cycles_ = 0;
+  total_instructions_ = 0;
+  std::fill(histogram_.begin(), histogram_.end(), 0);
+}
+
+void Iss::write_word(std::uint64_t addr, std::int64_t value) {
+  MHS_CHECK(addr % 8 == 0, "unaligned word write at 0x" << std::hex << addr);
+  if (const MmioRange* range = find_mmio(addr)) {
+    range->write(addr, value);
+    return;
+  }
+  memory_[addr >> 3] = value;
+}
+
+std::int64_t Iss::read_word(std::uint64_t addr) {
+  MHS_CHECK(addr % 8 == 0, "unaligned word read at 0x" << std::hex << addr);
+  if (const MmioRange* range = find_mmio(addr)) {
+    return range->read(addr);
+  }
+  const auto it = memory_.find(addr >> 3);
+  return it == memory_.end() ? 0 : it->second;
+}
+
+void Iss::add_mmio(std::uint64_t lo, std::uint64_t hi,
+                   std::function<std::int64_t(std::uint64_t)> read,
+                   std::function<void(std::uint64_t, std::int64_t)> write) {
+  MHS_CHECK(lo <= hi, "MMIO range inverted");
+  for (const MmioRange& r : mmio_) {
+    MHS_CHECK(hi < r.lo || lo > r.hi,
+              "MMIO range [0x" << std::hex << lo << ",0x" << hi
+                               << "] overlaps existing range");
+  }
+  mmio_.push_back(MmioRange{lo, hi, std::move(read), std::move(write)});
+}
+
+const Iss::MmioRange* Iss::find_mmio(std::uint64_t addr) const {
+  for (const MmioRange& r : mmio_) {
+    if (addr >= r.lo && addr <= r.hi) return &r;
+  }
+  return nullptr;
+}
+
+std::int64_t Iss::reg(std::size_t r) const {
+  MHS_CHECK(r < kNumRegisters, "register x" << r << " out of range");
+  return r == kZeroReg ? 0 : regs_[r];
+}
+
+void Iss::set_reg(std::size_t r, std::int64_t value) {
+  MHS_CHECK(r < kNumRegisters, "register x" << r << " out of range");
+  if (r != kZeroReg) regs_[r] = value;
+}
+
+std::uint64_t Iss::step() {
+  if (halted_) return 0;
+
+  // Interrupt entry happens at instruction boundaries.
+  if (irq_pending_ && irq_enabled_ && !in_isr_) {
+    irq_pending_ = false;
+    in_isr_ = true;
+    saved_pc_ = pc_;
+    pc_ = isr_pc_;
+    total_cycles_ += kIrqEntryCycles;
+    return kIrqEntryCycles;
+  }
+
+  MHS_CHECK(pc_ < code_.size(),
+            "pc " << pc_ << " fell off the program (size " << code_.size()
+                  << ")");
+  const Instr& i = code_[pc_];
+  ++histogram_[static_cast<std::size_t>(i.op)];
+  ++total_instructions_;
+  bool taken = false;
+  std::size_t next_pc = pc_ + 1;
+
+  auto rs1 = [&] { return reg(i.rs1); };
+  auto rs2 = [&] { return reg(i.rs2); };
+
+  switch (i.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      halted_ = true;
+      next_pc = pc_;
+      break;
+    case Opcode::kLi:
+      set_reg(i.rd, i.imm);
+      break;
+    case Opcode::kAdd: set_reg(i.rd, rs1() + rs2()); break;
+    case Opcode::kSub: set_reg(i.rd, rs1() - rs2()); break;
+    case Opcode::kMul: set_reg(i.rd, rs1() * rs2()); break;
+    case Opcode::kDiv:
+      MHS_CHECK(rs2() != 0, "ISS divide by zero at pc " << pc_);
+      set_reg(i.rd, rs1() / rs2());
+      break;
+    case Opcode::kShl:
+      set_reg(i.rd, static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(rs1())
+                        << (static_cast<std::uint64_t>(rs2()) & 63)));
+      break;
+    case Opcode::kShr:
+      set_reg(i.rd, rs1() >> (static_cast<std::uint64_t>(rs2()) & 63));
+      break;
+    case Opcode::kAnd: set_reg(i.rd, rs1() & rs2()); break;
+    case Opcode::kOr:  set_reg(i.rd, rs1() | rs2()); break;
+    case Opcode::kXor: set_reg(i.rd, rs1() ^ rs2()); break;
+    case Opcode::kSlt: set_reg(i.rd, rs1() < rs2() ? 1 : 0); break;
+    case Opcode::kSeq: set_reg(i.rd, rs1() == rs2() ? 1 : 0); break;
+    case Opcode::kAddi: set_reg(i.rd, rs1() + i.imm); break;
+    case Opcode::kCmovnz:
+      if (rs1() != 0) set_reg(i.rd, rs2());
+      break;
+    case Opcode::kLd:
+      set_reg(i.rd, read_word(static_cast<std::uint64_t>(rs1() + i.imm)));
+      break;
+    case Opcode::kSt:
+      write_word(static_cast<std::uint64_t>(rs1() + i.imm), rs2());
+      break;
+    case Opcode::kBeq:
+      taken = rs1() == rs2();
+      if (taken) next_pc = static_cast<std::size_t>(i.imm);
+      break;
+    case Opcode::kBne:
+      taken = rs1() != rs2();
+      if (taken) next_pc = static_cast<std::size_t>(i.imm);
+      break;
+    case Opcode::kJmp:
+      taken = true;
+      next_pc = static_cast<std::size_t>(i.imm);
+      break;
+    case Opcode::kIret:
+      MHS_CHECK(in_isr_, "iret outside interrupt handler at pc " << pc_);
+      in_isr_ = false;
+      next_pc = saved_pc_;
+      pc_ = next_pc;
+      total_cycles_ += kIretCycles;
+      return kIretCycles;
+  }
+
+  pc_ = next_pc;
+  const std::uint64_t cycles = model_.cycles_for(i, taken);
+  total_cycles_ += cycles;
+  return cycles;
+}
+
+RunResult Iss::run(std::uint64_t max_cycles) {
+  RunResult result;
+  while (!halted_) {
+    if (max_cycles != 0 && result.cycles >= max_cycles) break;
+    const std::uint64_t before_instr = total_instructions_;
+    result.cycles += step();
+    result.instructions += total_instructions_ - before_instr;
+  }
+  result.halted = halted_;
+  return result;
+}
+
+std::map<std::string, std::int64_t> run_program(
+    Iss& iss, const Program& program,
+    const std::map<std::string, std::int64_t>& inputs,
+    std::uint64_t max_cycles, double* cycles) {
+  iss.load_program(program.code);
+  for (const auto& [name, addr] : program.input_addr) {
+    const auto it = inputs.find(name);
+    MHS_CHECK(it != inputs.end(), "run_program: missing input '" << name
+                                                                 << "'");
+    iss.write_word(addr, it->second);
+  }
+  const RunResult r = iss.run(max_cycles);
+  MHS_CHECK(r.halted, "program did not halt within " << max_cycles
+                                                     << " cycles");
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, addr] : program.output_addr) {
+    out[name] = iss.read_word(addr);
+  }
+  if (cycles != nullptr) {
+    *cycles = static_cast<double>(r.cycles) * iss.model().clock_scale;
+  }
+  return out;
+}
+
+}  // namespace mhs::sw

@@ -1,0 +1,123 @@
+// Cycle-counting instruction-set simulator.
+//
+// Executes ISA programs under a CpuModel, with memory-mapped I/O hooks and
+// a single external interrupt line. The MMIO hooks and the interrupt line
+// are the attachment points the co-simulation backplane (mhs::sim) uses to
+// couple this software world to the hardware world, at the "register
+// reads/writes" and "interrupts" abstraction levels of the paper's Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sw/codegen.h"
+#include "sw/cpu_model.h"
+#include "sw/isa.h"
+
+namespace mhs::sw {
+
+/// Outcome of a run() call.
+struct RunResult {
+  std::uint64_t cycles = 0;        ///< cycles consumed (CPU clock)
+  std::uint64_t instructions = 0;  ///< instructions retired
+  bool halted = false;             ///< reached kHalt (vs. hit the limit)
+};
+
+/// The instruction-set simulator.
+class Iss {
+ public:
+  explicit Iss(CpuModel model = reference_cpu());
+
+  /// Loads a program and resets pc/registers (memory is preserved so that
+  /// callers can pre-load inputs before or after).
+  void load_program(std::vector<Instr> code);
+
+  /// Resets registers, pc, cycle counters, and interrupt state.
+  void reset();
+
+  /// Word-granular memory access (byte addresses, must be 8-byte aligned).
+  void write_word(std::uint64_t addr, std::int64_t value);
+  std::int64_t read_word(std::uint64_t addr);
+
+  /// Registers an MMIO range [lo, hi] (byte addresses). Loads in range call
+  /// `read`; stores call `write`. Ranges must not overlap existing ones.
+  void add_mmio(std::uint64_t lo, std::uint64_t hi,
+                std::function<std::int64_t(std::uint64_t)> read,
+                std::function<void(std::uint64_t, std::int64_t)> write);
+
+  /// Interrupt control. When the line is raised and interrupts are enabled
+  /// and the CPU is not already in a handler, the next instruction boundary
+  /// vectors to `isr`. kIret returns to the interrupted instruction.
+  void set_isr(std::size_t isr_pc) { isr_pc_ = isr_pc; }
+  void set_irq_enabled(bool enabled) { irq_enabled_ = enabled; }
+  void raise_irq() { irq_pending_ = true; }
+  bool in_isr() const { return in_isr_; }
+
+  /// Executes at most `max_cycles` CPU cycles (0 = unlimited). Returns the
+  /// totals accumulated by this call.
+  RunResult run(std::uint64_t max_cycles = 0);
+
+  /// Executes exactly one instruction (or one interrupt entry).
+  /// Returns the cycles it consumed; 0 when already halted.
+  std::uint64_t step();
+
+  bool halted() const { return halted_; }
+  std::size_t pc() const { return pc_; }
+  std::int64_t reg(std::size_t r) const;
+  void set_reg(std::size_t r, std::int64_t value);
+
+  const CpuModel& model() const { return model_; }
+  /// Total cycles since the last reset, in CPU clock ticks.
+  std::uint64_t total_cycles() const { return total_cycles_; }
+  /// Total cycles scaled to the reference clock (cycles * clock_scale).
+  double total_reference_cycles() const {
+    return static_cast<double>(total_cycles_) * model_.clock_scale;
+  }
+  std::uint64_t total_instructions() const { return total_instructions_; }
+
+  /// Per-opcode retired-instruction histogram (indexed by Opcode).
+  const std::vector<std::uint64_t>& opcode_histogram() const {
+    return histogram_;
+  }
+
+ private:
+  struct MmioRange {
+    std::uint64_t lo, hi;
+    std::function<std::int64_t(std::uint64_t)> read;
+    std::function<void(std::uint64_t, std::int64_t)> write;
+  };
+  const MmioRange* find_mmio(std::uint64_t addr) const;
+
+  CpuModel model_;
+  std::vector<Instr> code_;
+  std::unordered_map<std::uint64_t, std::int64_t> memory_;
+  std::vector<MmioRange> mmio_;
+  std::int64_t regs_[kNumRegisters] = {};
+  std::size_t pc_ = 0;
+  bool halted_ = true;
+
+  std::size_t isr_pc_ = 0;
+  bool irq_enabled_ = true;
+  bool irq_pending_ = false;
+  bool in_isr_ = false;
+  std::size_t saved_pc_ = 0;
+  /// Cycle cost of interrupt entry / return.
+  static constexpr std::uint64_t kIrqEntryCycles = 4;
+  static constexpr std::uint64_t kIretCycles = 2;
+
+  std::uint64_t total_cycles_ = 0;
+  std::uint64_t total_instructions_ = 0;
+  std::vector<std::uint64_t> histogram_;
+};
+
+/// Convenience: loads `program`, writes `inputs` to their addresses, runs
+/// to completion (throwing if `max_cycles` is exceeded), and returns the
+/// named outputs. Sets *cycles to reference-clock cycles when non-null.
+std::map<std::string, std::int64_t> run_program(
+    Iss& iss, const Program& program,
+    const std::map<std::string, std::int64_t>& inputs,
+    std::uint64_t max_cycles = 100'000'000, double* cycles = nullptr);
+
+}  // namespace mhs::sw

@@ -1,0 +1,122 @@
+// Unit tests for mhs::core — the taxonomy/criteria framework and the
+// end-to-end co-design flow.
+#include <gtest/gtest.h>
+
+#include "apps/workloads.h"
+#include "core/flow.h"
+#include "core/taxonomy.h"
+
+namespace mhs::core {
+namespace {
+
+TEST(Taxonomy, NamesAreStable) {
+  EXPECT_STREQ(system_type_name(SystemType::kTypeI), "Type I");
+  EXPECT_STREQ(system_type_name(SystemType::kTypeII), "Type II");
+  EXPECT_STREQ(design_task_name(DesignTask::kPartitioning), "partitioning");
+  EXPECT_STREQ(partition_factor_name(PartitionFactor::kCommunication),
+               "communication");
+}
+
+TEST(Taxonomy, RegistryCoversThePaperSurvey) {
+  const auto& approaches = surveyed_approaches();
+  EXPECT_GE(approaches.size(), 12u);
+  // Both system types appear.
+  bool type1 = false, type2 = false;
+  for (const ApproachProfile& a : approaches) {
+    type1 = type1 || a.system_type == SystemType::kTypeI;
+    type2 = type2 || a.system_type == SystemType::kTypeII;
+    // Criterion 3 only applies to co-simulating approaches.
+    if (a.cosim_level.has_value()) {
+      EXPECT_TRUE(a.tasks.count(DesignTask::kCoSimulation)) << a.name;
+    }
+    // Criterion 4 only applies to partitioning approaches.
+    if (!a.factors.empty()) {
+      EXPECT_TRUE(a.tasks.count(DesignTask::kPartitioning)) << a.name;
+    }
+    EXPECT_FALSE(a.mhs_module.empty()) << a.name;
+  }
+  EXPECT_TRUE(type1);
+  EXPECT_TRUE(type2);
+}
+
+TEST(Taxonomy, Figure2ClaimEveryTaskSubsetPopulated) {
+  // The paper: "Examples of system design methodologies can be found that
+  // fit into every subset of this diagram." Our registry covers the
+  // subsets that include at least one task and are consistent with the
+  // paper's own constraint that partitioning occurs within co-synthesis.
+  const auto covered = covered_task_subsets();
+  using enum DesignTask;
+  EXPECT_TRUE(covered.count({kCoSimulation}));
+  EXPECT_TRUE(covered.count({kCoSynthesis}));
+  EXPECT_TRUE(covered.count({kCoSimulation, kCoSynthesis}));
+  EXPECT_TRUE(covered.count({kCoSynthesis, kPartitioning}));
+  EXPECT_TRUE(
+      covered.count({kCoSimulation, kCoSynthesis, kPartitioning}));
+}
+
+TEST(Taxonomy, AdamsThomasConsidersAllFactorsButModifiability) {
+  // §4.5.1: "considers all the factors outlined in Section 3.3 except
+  // for modifiability."
+  for (const ApproachProfile& a : surveyed_approaches()) {
+    if (a.citation != "[10]") continue;
+    EXPECT_EQ(a.factors.size(), 5u);
+    EXPECT_FALSE(a.factors.count(PartitionFactor::kModifiability));
+    return;
+  }
+  FAIL() << "reference [10] missing from registry";
+}
+
+TEST(Taxonomy, ComparisonTableRenders) {
+  const std::string table = comparison_table();
+  EXPECT_NE(table.find("Chinook"), std::string::npos);
+  EXPECT_NE(table.find("Type II"), std::string::npos);
+  EXPECT_NE(table.find("cosynth::synthesize_exact"), std::string::npos);
+}
+
+TEST(Flow, AnnotateDerivesCostsFromKernels) {
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  FlowConfig cfg;
+  const ir::TaskGraph annotated =
+      annotate_costs(w.graph, w.kernels, cfg);
+  for (const ir::TaskId t : annotated.task_ids()) {
+    if (w.kernels[t.index()] == nullptr) continue;
+    const ir::TaskCosts& c = annotated.task(t).costs;
+    EXPECT_GT(c.sw_cycles, 0.0) << annotated.task(t).name;
+    EXPECT_GT(c.hw_cycles, 0.0);
+    EXPECT_GT(c.hw_area, 0.0);
+    EXPECT_LT(c.hw_cycles, c.sw_cycles);  // synthesized HW is faster
+  }
+  // dct8 is wider than checksum: more dataflow parallelism.
+  EXPECT_GT(annotated.task(ir::TaskId(2)).costs.parallelism,
+            annotated.task(ir::TaskId(4)).costs.parallelism);
+}
+
+TEST(Flow, EndToEndProducesConsistentReport) {
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  FlowConfig cfg;
+  cfg.objective.latency_target =
+      0.0;  // pure energy optimization via KL
+  cfg.objective.area_weight = 0.02;
+  const FlowReport report = run_codesign_flow(w.graph, w.kernels, cfg);
+  EXPECT_EQ(report.annotated.num_tasks(), w.graph.num_tasks());
+  EXPECT_GE(report.design.speedup(), 1.0);
+  EXPECT_FALSE(report.summary.empty());
+  EXPECT_NE(report.summary.find("speedup"), std::string::npos);
+  if (report.design.partition.metrics.tasks_in_hw > 0) {
+    EXPECT_GT(report.validated_hw_area, 0.0);
+    ASSERT_TRUE(report.cosim.has_value());
+    EXPECT_GT(report.cosim->total_cycles, 0.0);
+  }
+}
+
+TEST(Flow, KernelArityChecked) {
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  FlowConfig cfg;
+  std::vector<const ir::Cdfg*> short_list(w.graph.num_tasks() - 1,
+                                          nullptr);
+  EXPECT_THROW(annotate_costs(w.graph, short_list, cfg),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mhs::core

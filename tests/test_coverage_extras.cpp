@@ -1,0 +1,129 @@
+// Focused tests for corners not exercised elsewhere: static program
+// costing with branch fractions, controller register-load bits, annealing
+// statistics, pin-level interrupt co-simulation, and flow edge cases.
+#include <gtest/gtest.h>
+
+#include "apps/kernels.h"
+#include "apps/workloads.h"
+#include "core/flow.h"
+#include "hw/fsm.h"
+#include "opt/anneal.h"
+#include "sim/cosim.h"
+#include "sw/estimate.h"
+
+namespace mhs {
+namespace {
+
+TEST(SwEstimateExtras, TakenFractionInterpolatesBranchCost) {
+  const std::vector<sw::Instr> code = {
+      sw::Instr{sw::Opcode::kBne, 0, 1, 0, 0},
+  };
+  const sw::CpuModel cpu = sw::reference_cpu();  // taken 2, not-taken 1
+  EXPECT_DOUBLE_EQ(sw::static_program_cycles(code, cpu, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sw::static_program_cycles(code, cpu, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(sw::static_program_cycles(code, cpu, 0.5), 1.5);
+  EXPECT_THROW(sw::static_program_cycles(code, cpu, 1.5),
+               PreconditionError);
+}
+
+TEST(ControllerExtras, RegisterLoadBitsAssertAtValueCompletion) {
+  // a+b completes at step 1 but its consumer (the final add) cannot
+  // start before the multiply finishes at step 2 — the sum must be held
+  // in a register across that gap, and the controller must assert the
+  // register's load bit somewhere.
+  ir::Cdfg c("regs");
+  const ir::OpId a = c.input("a");
+  const ir::OpId b = c.input("b");
+  const ir::OpId sum = c.add(a, b);
+  const ir::OpId prod = c.mul(a, b);
+  c.output("y", c.add(sum, prod));
+  const hw::ComponentLibrary lib = hw::default_library();
+  const hw::Schedule s = hw::asap_schedule(c, lib);
+  const hw::Binding bind = hw::bind(s);
+  ASSERT_NE(bind.register_of[sum.index()],
+            std::numeric_limits<std::size_t>::max());
+  const hw::Controller ctrl(s, bind);
+  const std::size_t load_bit =
+      ctrl.register_load_bit(bind.register_of[sum.index()]);
+  bool asserted_somewhere = false;
+  for (std::size_t state = 0; state < ctrl.num_states(); ++state) {
+    asserted_somewhere =
+        asserted_somewhere || ctrl.asserted(state, load_bit);
+  }
+  EXPECT_TRUE(asserted_somewhere);
+  EXPECT_THROW(ctrl.word(ctrl.num_states()), PreconditionError);
+  EXPECT_THROW(ctrl.asserted(0, ctrl.num_control_bits()),
+               PreconditionError);
+}
+
+TEST(AnnealExtras, StatsCountProposalsAndAcceptances) {
+  int x = 0;
+  int last = 0;
+  opt::AnnealConfig cfg;
+  cfg.rounds = 10;
+  cfg.moves_per_round = 20;
+  const opt::AnnealStats stats = opt::anneal(
+      cfg, 0.0,
+      [&](Rng& rng) {
+        last = rng.bernoulli(0.5) ? 1 : -1;
+        x += last;
+        return static_cast<double>(x * x - (x - last) * (x - last));
+      },
+      [&] { x -= last; }, [] {});
+  EXPECT_EQ(stats.proposed, 200u);
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_LE(stats.accepted, stats.proposed);
+}
+
+TEST(CosimExtras, IrqDriverWorksAtPinLevel) {
+  const ir::Cdfg kernel = apps::fir_kernel(4);
+  const hw::ComponentLibrary lib = hw::default_library();
+  hw::HlsConstraints constraints;
+  constraints.goal = hw::HlsGoal::kMinArea;
+  const hw::HlsResult impl = hw::synthesize(kernel, lib, constraints);
+
+  std::vector<std::vector<std::int64_t>> samples;
+  for (int s = 0; s < 4; ++s) {
+    samples.push_back({s << 16, (s + 1) << 16, 0, 0});
+  }
+  sim::CosimConfig polling;
+  polling.level = sim::InterfaceLevel::kPin;
+  polling.use_irq = false;
+  sim::CosimConfig irq = polling;
+  irq.use_irq = true;
+  irq.background_unroll = 2;
+  const sim::CosimReport a = sim::run_cosim(impl, polling, samples);
+  const sim::CosimReport b = sim::run_cosim(impl, irq, samples);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_GT(b.background_units, 0);
+  EXPECT_GT(a.signal_transitions, 0u);
+  EXPECT_GT(b.signal_transitions, 0u);
+}
+
+TEST(FlowExtras, AllSoftwarePartitionSkipsCosim) {
+  // With a huge area weight nothing goes to hardware; the flow must not
+  // attempt HLS validation or co-simulation.
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  core::FlowConfig cfg;
+  cfg.objective.area_weight = 1e9;
+  const core::FlowReport report =
+      core::run_codesign_flow(w.graph, w.kernels, cfg);
+  EXPECT_EQ(report.design.partition.metrics.tasks_in_hw, 0u);
+  EXPECT_FALSE(report.cosim.has_value());
+  EXPECT_DOUBLE_EQ(report.validated_hw_area, 0.0);
+}
+
+TEST(FlowExtras, CosimLevelIsConfigurable) {
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  core::FlowConfig cfg;
+  cfg.objective.area_weight = 0.001;  // plenty of hardware
+  cfg.cosim_level = sim::InterfaceLevel::kMessage;
+  const core::FlowReport report =
+      core::run_codesign_flow(w.graph, w.kernels, cfg);
+  if (report.cosim) {
+    EXPECT_EQ(report.cosim->level, sim::InterfaceLevel::kMessage);
+  }
+}
+
+}  // namespace
+}  // namespace mhs

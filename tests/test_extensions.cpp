@@ -1,0 +1,173 @@
+// Tests for the extension features: mixed Type I/II co-design (the
+// paper's §2 open problem) and the §5 approach advisor.
+#include <gtest/gtest.h>
+
+#include "apps/workloads.h"
+#include "core/advisor.h"
+#include "core/flow.h"
+#include "cosynth/mixed.h"
+
+namespace mhs {
+namespace {
+
+struct MixedFixture : public ::testing::Test {
+  void SetUp() override {
+    workload = apps::dsp_chain_workload();
+    core::FlowConfig cfg;
+    cfg.optimize_kernels = false;
+    annotated = core::annotate_costs(workload.graph, workload.kernels, cfg);
+  }
+  apps::KernelBackedWorkload workload;
+  ir::TaskGraph annotated;
+  sw::CpuModel base = sw::reference_cpu();
+  hw::ComponentLibrary lib = hw::default_library();
+};
+
+TEST_F(MixedFixture, ZeroBudgetIsAllSoftwareBaseCpu) {
+  const cosynth::MixedDesign d = cosynth::synthesize_mixed(
+      annotated, workload.kernels, base, lib, 0.0);
+  EXPECT_TRUE(d.features.empty());
+  for (const bool b : d.mapping) EXPECT_FALSE(b);
+  EXPECT_DOUBLE_EQ(d.total_area(), 0.0);
+  EXPECT_GT(d.latency, 0.0);
+}
+
+TEST_F(MixedFixture, RespectsSiliconBudget) {
+  for (const double budget : {500.0, 1500.0, 4000.0, 9000.0}) {
+    const cosynth::MixedDesign d = cosynth::synthesize_mixed(
+        annotated, workload.kernels, base, lib, budget);
+    EXPECT_LE(d.total_area(), budget + 1e-6) << "budget " << budget;
+  }
+}
+
+TEST_F(MixedFixture, LatencyMonotoneInBudget) {
+  double prev = 1e18;
+  for (const double budget : {0.0, 1000.0, 2500.0, 4000.0, 8000.0}) {
+    const cosynth::MixedDesign d = cosynth::synthesize_mixed(
+        annotated, workload.kernels, base, lib, budget);
+    EXPECT_LE(d.latency, prev + 1e-6) << "budget " << budget;
+    prev = d.latency;
+  }
+}
+
+TEST_F(MixedFixture, JointNeverWorseThanPureStrategies) {
+  for (const double budget : {600.0, 2500.0, 4100.0, 8000.0}) {
+    const cosynth::MixedDesign mixed = cosynth::synthesize_mixed(
+        annotated, workload.kernels, base, lib, budget);
+    const cosynth::MixedDesign p1 = cosynth::synthesize_pure_type1(
+        annotated, workload.kernels, base, lib, budget);
+    const cosynth::MixedDesign p2 = cosynth::synthesize_pure_type2(
+        annotated, workload.kernels, base, lib, budget);
+    EXPECT_LE(mixed.latency, p1.latency + 1e-6) << "budget " << budget;
+    EXPECT_LE(mixed.latency, p2.latency + 1e-6) << "budget " << budget;
+  }
+}
+
+TEST_F(MixedFixture, SynergyExistsAtIntermediateBudget) {
+  // At ~4100 area units the joint design buys ISA features AND offloads,
+  // beating both pure strategies strictly (the E13 crossover).
+  const double budget = 4100.0;
+  const cosynth::MixedDesign mixed = cosynth::synthesize_mixed(
+      annotated, workload.kernels, base, lib, budget);
+  const cosynth::MixedDesign p1 = cosynth::synthesize_pure_type1(
+      annotated, workload.kernels, base, lib, budget);
+  const cosynth::MixedDesign p2 = cosynth::synthesize_pure_type2(
+      annotated, workload.kernels, base, lib, budget);
+  EXPECT_LT(mixed.latency, p1.latency);
+  EXPECT_LT(mixed.latency, p2.latency);
+  EXPECT_FALSE(mixed.features.empty());
+  std::size_t offloaded = 0;
+  for (const bool b : mixed.mapping) offloaded += b ? 1 : 0;
+  EXPECT_GT(offloaded, 0u);
+}
+
+TEST_F(MixedFixture, PureStrategiesAreWhatTheyClaim) {
+  const double budget = 5000.0;
+  const cosynth::MixedDesign p1 = cosynth::synthesize_pure_type1(
+      annotated, workload.kernels, base, lib, budget);
+  for (const bool b : p1.mapping) EXPECT_FALSE(b);
+  const cosynth::MixedDesign p2 = cosynth::synthesize_pure_type2(
+      annotated, workload.kernels, base, lib, budget);
+  EXPECT_TRUE(p2.features.empty());
+}
+
+TEST(Advisor, RequiredTasksAreHardFilters) {
+  core::DesignCharacteristics c;
+  c.required_tasks = {core::DesignTask::kCoSimulation,
+                      core::DesignTask::kCoSynthesis,
+                      core::DesignTask::kPartitioning};
+  const auto recs = core::recommend(c);
+  ASSERT_FALSE(recs.empty());
+  for (const core::Recommendation& rec : recs) {
+    for (const core::DesignTask task : c.required_tasks) {
+      EXPECT_TRUE(rec.approach->tasks.count(task)) << rec.approach->name;
+    }
+  }
+  // Only Kalavade/Lee covers all three in the registry.
+  EXPECT_EQ(recs.size(), 1u);
+}
+
+TEST(Advisor, SystemTypeMismatchCostsScore) {
+  core::DesignCharacteristics c;
+  c.required_tasks = {core::DesignTask::kCoSynthesis};
+  c.system_type = core::SystemType::kTypeII;
+  const auto recs = core::recommend(c);
+  ASSERT_GE(recs.size(), 2u);
+  // Best recommendations are Type II approaches with score 1.
+  EXPECT_EQ(recs.front().approach->system_type, core::SystemType::kTypeII);
+  EXPECT_DOUBLE_EQ(recs.front().score, 1.0);
+  // Some Type I approach must appear later with a reduced score.
+  bool saw_type1 = false;
+  for (const auto& rec : recs) {
+    if (rec.approach->system_type == core::SystemType::kTypeI) {
+      saw_type1 = true;
+      EXPECT_LT(rec.score, 1.0);
+      EXPECT_FALSE(rec.gaps.empty());
+    }
+  }
+  EXPECT_TRUE(saw_type1);
+}
+
+TEST(Advisor, CosimDetailRequirementPenalizesAbstractModels) {
+  core::DesignCharacteristics c;
+  c.required_tasks = {core::DesignTask::kCoSimulation};
+  c.max_cosim_level = sim::InterfaceLevel::kRegister;
+  const auto recs = core::recommend(c);
+  ASSERT_FALSE(recs.empty());
+  // Becker's pin-level co-simulation satisfies a register-level need.
+  double becker_score = -1.0;
+  double coumeri_score = -1.0;
+  for (const auto& rec : recs) {
+    if (rec.approach->citation == "[4]") becker_score = rec.score;
+    if (rec.approach->citation == "[3]") coumeri_score = rec.score;
+  }
+  EXPECT_GT(becker_score, coumeri_score);
+}
+
+TEST(Advisor, FactorRequirementsFavorAdamsThomas) {
+  // A design that needs concurrency and communication to drive the
+  // partition should rank the multi-process synthesis work first —
+  // exactly the paper's §4.5.1 positioning.
+  core::DesignCharacteristics c;
+  c.required_tasks = {core::DesignTask::kCoSynthesis,
+                      core::DesignTask::kPartitioning};
+  c.system_type = core::SystemType::kTypeII;
+  c.required_factors = {core::PartitionFactor::kConcurrency,
+                        core::PartitionFactor::kCommunication};
+  const auto recs = core::recommend(c);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs.front().approach->citation, "[10]");
+  EXPECT_DOUBLE_EQ(recs.front().score, 1.0);
+}
+
+TEST(Advisor, TableRenders) {
+  core::DesignCharacteristics c;
+  c.required_tasks = {core::DesignTask::kCoSynthesis};
+  const auto recs = core::recommend(c);
+  const std::string table = core::recommendation_table(recs, 3);
+  EXPECT_NE(table.find("rank"), std::string::npos);
+  EXPECT_NE(table.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mhs

@@ -1,0 +1,313 @@
+// Unit tests for mhs::ir — task graphs, algorithms, generator, CDFG,
+// process networks, DOT export.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "ir/cdfg.h"
+#include "ir/dot.h"
+#include "ir/process_network.h"
+#include "ir/task_graph.h"
+#include "ir/task_graph_algos.h"
+#include "ir/task_graph_gen.h"
+
+namespace mhs::ir {
+namespace {
+
+TaskGraph diamond() {
+  // a -> b, a -> c, b -> d, c -> d
+  TaskGraph g("diamond");
+  const TaskId a = g.add_task("a", TaskCosts{10, 2, 100, 4, 0, 0});
+  const TaskId b = g.add_task("b", TaskCosts{20, 4, 200, 8, 0, 0});
+  const TaskId c = g.add_task("c", TaskCosts{30, 5, 300, 12, 0, 0});
+  const TaskId d = g.add_task("d", TaskCosts{40, 8, 400, 16, 0, 0});
+  g.add_edge(a, b, 8);
+  g.add_edge(a, c, 8);
+  g.add_edge(b, d, 8);
+  g.add_edge(c, d, 8);
+  return g;
+}
+
+TEST(TaskGraph, BuildAndQuery) {
+  TaskGraph g = diamond();
+  EXPECT_EQ(g.num_tasks(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.task(TaskId(0)).name, "a");
+  EXPECT_EQ(g.successors(TaskId(0)).size(), 2u);
+  EXPECT_EQ(g.predecessors(TaskId(3)).size(), 2u);
+  EXPECT_TRUE(g.in_edges(TaskId(0)).empty());
+  EXPECT_TRUE(g.out_edges(TaskId(3)).empty());
+  EXPECT_DOUBLE_EQ(g.total_traffic_bytes(), 32.0);
+  EXPECT_DOUBLE_EQ(g.total_sw_cycles(), 100.0);
+}
+
+TEST(TaskGraph, RejectsBadEdges) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", {});
+  EXPECT_THROW(g.add_edge(a, a, 1.0), PreconditionError);       // self loop
+  EXPECT_THROW(g.add_edge(a, TaskId(9), 1.0), PreconditionError);
+  EXPECT_THROW(g.add_edge(a, TaskId::invalid(), 1.0), PreconditionError);
+}
+
+TEST(TaskGraph, DetectsCycles) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", {});
+  const TaskId b = g.add_task("b", {});
+  g.add_edge(a, b, 1.0);
+  g.add_edge(b, a, 1.0);
+  EXPECT_FALSE(g.is_dag());
+  EXPECT_THROW(g.validate(), PreconditionError);
+}
+
+TEST(TaskGraphAlgos, TopologicalOrderRespectsEdges) {
+  TaskGraph g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i].index()] = i;
+  for (const EdgeId e : g.edge_ids()) {
+    EXPECT_LT(pos[g.edge(e).src.index()], pos[g.edge(e).dst.index()]);
+  }
+}
+
+TEST(TaskGraphAlgos, CriticalPathSwDelays) {
+  TaskGraph g = diamond();
+  // a(10) -> c(30) -> d(40) = 80 with zero edge cost.
+  EXPECT_DOUBLE_EQ(
+      critical_path_length(g, sw_delay(g), zero_edge_delay()), 80.0);
+  const auto path = critical_path(g, sw_delay(g), zero_edge_delay());
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(g.task(path[0]).name, "a");
+  EXPECT_EQ(g.task(path[1]).name, "c");
+  EXPECT_EQ(g.task(path[2]).name, "d");
+}
+
+TEST(TaskGraphAlgos, CriticalPathWithEdgeDelays) {
+  TaskGraph g = diamond();
+  // bus delay of 8 bytes at 1 byte/cycle adds 8 per hop: 10+8+30+8+40 = 96.
+  EXPECT_DOUBLE_EQ(
+      critical_path_length(g, sw_delay(g), bus_edge_delay(g, 1.0)), 96.0);
+}
+
+TEST(TaskGraphAlgos, TLevelsAndBLevelsAgreeOnCriticalPath) {
+  TaskGraph g = diamond();
+  const auto tl = t_levels(g, sw_delay(g), zero_edge_delay());
+  const auto bl = b_levels(g, sw_delay(g), zero_edge_delay());
+  double best = 0.0;
+  for (const TaskId t : g.task_ids()) {
+    best = std::max(best, tl[t.index()] + bl[t.index()]);
+  }
+  EXPECT_DOUBLE_EQ(best,
+                   critical_path_length(g, sw_delay(g), zero_edge_delay()));
+}
+
+TEST(TaskGraphAlgos, SourcesSinksComponentsWidth) {
+  TaskGraph g = diamond();
+  EXPECT_EQ(sources(g).size(), 1u);
+  EXPECT_EQ(sinks(g).size(), 1u);
+  EXPECT_EQ(num_weak_components(g), 1u);
+  EXPECT_EQ(width_estimate(g), 2u);  // b and c in parallel
+
+  TaskGraph two;
+  two.add_task("x", {});
+  two.add_task("y", {});
+  EXPECT_EQ(num_weak_components(two), 2u);
+}
+
+class GeneratorShapes : public ::testing::TestWithParam<GraphShape> {};
+
+TEST_P(GeneratorShapes, ProducesValidAnnotatedDag) {
+  Rng rng(42);
+  TaskGraphGenConfig cfg;
+  cfg.shape = GetParam();
+  cfg.num_tasks = 12;
+  const TaskGraph g = generate_task_graph(cfg, rng);
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_GE(g.num_tasks(), 10u);  // trees may round up
+  for (const TaskId t : g.task_ids()) {
+    const TaskCosts& c = g.task(t).costs;
+    EXPECT_GT(c.sw_cycles, 0.0);
+    EXPECT_GT(c.hw_cycles, 0.0);
+    EXPECT_LT(c.hw_cycles, c.sw_cycles);  // speedup >= 2 configured
+    EXPECT_GT(c.hw_area, 0.0);
+    EXPECT_GE(c.parallelism, 0.0);
+    EXPECT_LE(c.parallelism, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, GeneratorShapes,
+                         ::testing::Values(GraphShape::kLayered,
+                                           GraphShape::kPipeline,
+                                           GraphShape::kForkJoin,
+                                           GraphShape::kTree));
+
+TEST(Generator, DeterministicForSeed) {
+  TaskGraphGenConfig cfg;
+  cfg.num_tasks = 15;
+  Rng r1(5), r2(5);
+  const TaskGraph a = generate_task_graph(cfg, r1);
+  const TaskGraph b = generate_task_graph(cfg, r2);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (const TaskId t : a.task_ids()) {
+    EXPECT_DOUBLE_EQ(a.task(t).costs.sw_cycles, b.task(t).costs.sw_cycles);
+  }
+}
+
+TEST(Generator, PipelineIsAChain) {
+  Rng rng(1);
+  TaskGraphGenConfig cfg;
+  cfg.shape = GraphShape::kPipeline;
+  cfg.num_tasks = 6;
+  const TaskGraph g = generate_task_graph(cfg, rng);
+  EXPECT_EQ(g.num_tasks(), 6u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(width_estimate(g), 1u);
+}
+
+TEST(Cdfg, EvaluateArithmetic) {
+  Cdfg c("t");
+  const OpId a = c.input("a");
+  const OpId b = c.input("b");
+  c.output("sum", c.add(a, b));
+  c.output("prod", c.mul(a, b));
+  c.output("min", c.binary(OpKind::kMin, a, b));
+  const auto out = c.evaluate({{"a", 6}, {"b", -7}});
+  EXPECT_EQ(out.at("sum"), -1);
+  EXPECT_EQ(out.at("prod"), -42);
+  EXPECT_EQ(out.at("min"), -7);
+}
+
+TEST(Cdfg, SelectAndCompare) {
+  Cdfg c("sel");
+  const OpId a = c.input("a");
+  const OpId b = c.input("b");
+  const OpId lt = c.binary(OpKind::kCmpLt, a, b);
+  c.output("smaller", c.select(lt, a, b));
+  EXPECT_EQ(c.evaluate({{"a", 3}, {"b", 9}}).at("smaller"), 3);
+  EXPECT_EQ(c.evaluate({{"a", 9}, {"b", 3}}).at("smaller"), 3);
+}
+
+TEST(Cdfg, AbsNegShift) {
+  Cdfg c("u");
+  const OpId a = c.input("a");
+  c.output("abs", c.unary(OpKind::kAbs, a));
+  c.output("neg", c.unary(OpKind::kNeg, a));
+  c.output("shl", c.shl(a, c.constant(4)));
+  const auto out = c.evaluate({{"a", -3}});
+  EXPECT_EQ(out.at("abs"), 3);
+  EXPECT_EQ(out.at("neg"), 3);
+  EXPECT_EQ(out.at("shl"), -48);
+}
+
+TEST(Cdfg, DivByZeroThrows) {
+  Cdfg c("d");
+  c.output("q", c.binary(OpKind::kDiv, c.input("a"), c.input("b")));
+  EXPECT_THROW(c.evaluate({{"a", 1}, {"b", 0}}), PreconditionError);
+}
+
+TEST(Cdfg, MissingInputThrows) {
+  Cdfg c("m");
+  c.output("y", c.input("x"));
+  EXPECT_THROW(c.evaluate({}), PreconditionError);
+}
+
+TEST(Cdfg, UsersAndDepth) {
+  Cdfg c("g");
+  const OpId a = c.input("a");
+  const OpId s = c.add(a, a);
+  const OpId t = c.mul(s, s);
+  c.output("y", t);
+  EXPECT_EQ(c.users(a).size(), 1u);  // the add (uses it twice, one user op)
+  EXPECT_EQ(c.users(s).size(), 1u);
+  EXPECT_EQ(c.depth(), 2u);
+}
+
+TEST(Cdfg, ArityEnforced) {
+  Cdfg c("bad");
+  const OpId a = c.input("a");
+  EXPECT_THROW(c.unary(OpKind::kAdd, a), PreconditionError);
+  EXPECT_THROW(c.binary(OpKind::kNeg, a, a), PreconditionError);
+}
+
+TEST(Cdfg, InsertionOrderIsTopological) {
+  Cdfg c("topo");
+  const OpId a = c.input("a");
+  const OpId b = c.add(a, c.constant(1));
+  c.output("y", b);
+  // Operands always precede users by construction.
+  for (const OpId id : c.op_ids()) {
+    for (const OpId operand : c.op(id).operands) {
+      EXPECT_LT(operand, id);
+    }
+  }
+}
+
+TEST(ProcessNetwork, BuildValidateAndQuery) {
+  ProcessNetwork net("pn");
+  Process p1;
+  p1.name = "prod";
+  p1.sw_cycles = 100;
+  Process p2;
+  p2.name = "cons";
+  p2.sw_cycles = 50;
+  const ProcessId a = net.add_process(p1);
+  const ProcessId b = net.add_process(p2);
+  const ChannelId ch = net.add_channel("data", a, b, 2);
+  net.add_transfer(ch, 32);
+  net.validate();
+  EXPECT_EQ(net.num_processes(), 2u);
+  EXPECT_EQ(net.num_channels(), 1u);
+  EXPECT_DOUBLE_EQ(net.channel_bytes_per_iteration(ch), 32.0);
+  EXPECT_EQ(net.process(a).ops.size(), 1u);
+  EXPECT_EQ(net.process(b).ops.size(), 1u);
+  EXPECT_EQ(net.process(a).ops[0].kind, ChannelOp::Kind::kSend);
+  EXPECT_EQ(net.process(b).ops[0].kind, ChannelOp::Kind::kReceive);
+}
+
+TEST(ProcessNetwork, RejectsMismatchedOps) {
+  ProcessNetwork net("bad");
+  Process p;
+  p.name = "x";
+  const ProcessId a = net.add_process(p);
+  const ProcessId b = net.add_process(p);
+  const ChannelId ch = net.add_channel("c", a, b, 1);
+  // Hand-craft an illegal op: b sends on a channel it only consumes.
+  net.process(b).ops.push_back(
+      ChannelOp{ChannelOp::Kind::kSend, ch, 8.0});
+  EXPECT_THROW(net.validate(), PreconditionError);
+}
+
+TEST(ProcessNetwork, RejectsSelfChannel) {
+  ProcessNetwork net("self");
+  Process p;
+  p.name = "x";
+  const ProcessId a = net.add_process(p);
+  EXPECT_THROW(net.add_channel("c", a, a, 1), PreconditionError);
+}
+
+TEST(Dot, ExportsAllThreeIrs) {
+  const TaskGraph g = diamond();
+  const std::string gd = to_dot(g);
+  EXPECT_NE(gd.find("digraph"), std::string::npos);
+  EXPECT_NE(gd.find("\"a\\nsw=10"), std::string::npos);
+
+  Cdfg c("k");
+  c.output("y", c.add(c.input("a"), c.constant(2)));
+  const std::string cd = to_dot(c);
+  EXPECT_NE(cd.find("input a"), std::string::npos);
+  EXPECT_NE(cd.find("const 2"), std::string::npos);
+
+  ProcessNetwork net("pn");
+  Process p;
+  p.name = "prod";
+  const ProcessId a = net.add_process(p);
+  p.name = "cons";
+  const ProcessId b = net.add_process(p);
+  net.add_channel("ch", a, b, 1);
+  const std::string nd = to_dot(net);
+  EXPECT_NE(nd.find("prod"), std::string::npos);
+  EXPECT_NE(nd.find("ch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mhs::ir

@@ -1,0 +1,142 @@
+// Tests for loop pipelining (hw/pipeline).
+#include <gtest/gtest.h>
+
+#include "apps/kernels.h"
+#include "hw/pipeline.h"
+
+namespace mhs::hw {
+namespace {
+
+TEST(Pipeline, RequirementMatchesResourceBoundAtIiOne) {
+  // At II=1 every op-cycle needs its own FU instance.
+  const ir::Cdfg c = apps::fir_kernel(4);
+  const ComponentLibrary lib = default_library();
+  const ModuloSchedule s = modulo_schedule(c, lib, 1);
+  std::size_t mul_opcycles = 0;
+  for (const ir::OpId id : c.op_ids()) {
+    if (c.op(id).kind == ir::OpKind::kMul) {
+      mul_opcycles += lib.op_latency(ir::OpKind::kMul);
+    }
+  }
+  EXPECT_EQ(s.fu_requirement()[FuType::kMul], mul_opcycles);
+  EXPECT_DOUBLE_EQ(s.throughput(), 1.0);
+}
+
+TEST(Pipeline, RequirementMonotoneNonIncreasingInIi) {
+  const ir::Cdfg c = apps::dct8_kernel();
+  const ComponentLibrary lib = default_library();
+  FuCounts prev = FuCounts::unlimited();
+  for (const std::size_t ii : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const ModuloSchedule s = modulo_schedule(c, lib, ii);
+    for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+      EXPECT_LE(s.fu_requirement().count[t], prev.count[t])
+          << "II " << ii << " type " << t;
+    }
+    prev = s.fu_requirement();
+  }
+}
+
+TEST(Pipeline, AreaThroughputTradeoff) {
+  const ir::Cdfg c = apps::dct8_kernel();
+  const ComponentLibrary lib = default_library();
+  const ModuloSchedule fast = modulo_schedule(c, lib, 2);
+  const ModuloSchedule slow = modulo_schedule(c, lib, 32);
+  EXPECT_GT(fast.throughput(), slow.throughput());
+  EXPECT_GT(fast.area(lib), slow.area(lib));
+}
+
+TEST(Pipeline, CyclesForSamplesIsFillPlusDrain) {
+  const ir::Cdfg c = apps::fir_kernel(8);
+  const ComponentLibrary lib = default_library();
+  const ModuloSchedule s = modulo_schedule(c, lib, 4);
+  EXPECT_EQ(s.cycles_for(1), s.iteration_latency());
+  EXPECT_EQ(s.cycles_for(10), s.iteration_latency() + 9 * 4);
+  EXPECT_THROW(s.cycles_for(0), PreconditionError);
+}
+
+TEST(Pipeline, PipeliningBeatsSequentialForStreams) {
+  // Processing 64 samples: a pipelined datapath at II=4 versus running
+  // the non-pipelined min-latency schedule back to back.
+  const ir::Cdfg c = apps::dct8_kernel();
+  const ComponentLibrary lib = default_library();
+  const ModuloSchedule pipe = modulo_schedule(c, lib, 4);
+  const Schedule seq = asap_schedule(c, lib);
+  const std::size_t samples = 64;
+  EXPECT_LT(pipe.cycles_for(samples), seq.num_steps() * samples);
+}
+
+TEST(Pipeline, MinIiRespectsResources) {
+  const ir::Cdfg c = apps::dct8_kernel();
+  const ComponentLibrary lib = default_library();
+  FuCounts res;
+  res[FuType::kAlu] = 4;
+  res[FuType::kMul] = 4;
+  res[FuType::kShift] = 4;
+  res[FuType::kDiv] = 1;
+  const std::size_t ii = min_initiation_interval(c, lib, res);
+  const ModuloSchedule s = modulo_schedule(c, lib, ii);
+  for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+    EXPECT_LE(s.fu_requirement().count[t], res.count[t]);
+  }
+  // The resource bound: 64 muls x 2 cycles / 4 units = 32.
+  EXPECT_GE(ii, 32u);
+}
+
+TEST(Pipeline, MinIiShrinksWithMoreResources) {
+  const ir::Cdfg c = apps::dct8_kernel();
+  const ComponentLibrary lib = default_library();
+  FuCounts small;
+  small[FuType::kAlu] = 2;
+  small[FuType::kMul] = 2;
+  small[FuType::kShift] = 2;
+  small[FuType::kDiv] = 1;
+  FuCounts big;
+  big[FuType::kAlu] = 16;
+  big[FuType::kMul] = 16;
+  big[FuType::kShift] = 16;
+  big[FuType::kDiv] = 1;
+  EXPECT_GT(min_initiation_interval(c, lib, small),
+            min_initiation_interval(c, lib, big));
+}
+
+TEST(Pipeline, MissingResourceClassIsInfeasible) {
+  const ir::Cdfg c = apps::dct8_kernel();
+  const ComponentLibrary lib = default_library();
+  FuCounts res;  // all zero
+  EXPECT_THROW(min_initiation_interval(c, lib, res), InfeasibleError);
+}
+
+class PipelineIiSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PipelineIiSweep, SchedulesVerifyAcrossKernelsAndIis) {
+  const std::size_t ii = GetParam();
+  const ComponentLibrary lib = default_library();
+  const ir::Cdfg kernels[] = {apps::fir_kernel(6), apps::dct8_kernel(),
+                              apps::median5_kernel(),
+                              apps::checksum_kernel(5)};
+  for (const ir::Cdfg& c : kernels) {
+    const ModuloSchedule s = modulo_schedule(c, lib, ii);  // self-verifies
+    EXPECT_GE(s.iteration_latency(), 1u) << c.name();
+    for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+      // Never below the resource-minimum bound.
+      std::size_t opcycles = 0;
+      for (const ir::OpId id : c.op_ids()) {
+        if (ir::op_is_compute(c.op(id).kind) &&
+            fu_for_op(c.op(id).kind) == all_fu_types()[t]) {
+          opcycles += lib.op_latency(c.op(id).kind);
+        }
+      }
+      if (opcycles > 0) {
+        EXPECT_GE(s.fu_requirement().count[t],
+                  (opcycles + ii - 1) / ii)
+            << c.name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineIiSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace mhs::hw

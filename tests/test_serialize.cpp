@@ -1,0 +1,139 @@
+// Tests for the text serialization of task graphs and process networks.
+#include <gtest/gtest.h>
+
+#include "apps/workloads.h"
+#include "base/rng.h"
+#include "ir/serialize.h"
+#include "ir/task_graph_gen.h"
+
+namespace mhs::ir {
+namespace {
+
+TEST(SerializeTaskGraph, RoundTripPreservesEverything) {
+  Rng rng(9);
+  TaskGraphGenConfig cfg;
+  cfg.num_tasks = 12;
+  const TaskGraph original = generate_task_graph(cfg, rng);
+  const TaskGraph parsed = task_graph_from_text(to_text(original));
+
+  ASSERT_EQ(parsed.num_tasks(), original.num_tasks());
+  ASSERT_EQ(parsed.num_edges(), original.num_edges());
+  EXPECT_EQ(parsed.name(), original.name());
+  for (const TaskId t : original.task_ids()) {
+    const Task& a = original.task(t);
+    const Task& b = parsed.task(t);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_NEAR(a.costs.sw_cycles, b.costs.sw_cycles,
+                1e-4 * a.costs.sw_cycles + 1e-9);
+    EXPECT_NEAR(a.costs.hw_cycles, b.costs.hw_cycles,
+                1e-4 * a.costs.hw_cycles + 1e-9);
+    EXPECT_NEAR(a.costs.hw_area, b.costs.hw_area,
+                1e-4 * a.costs.hw_area + 1e-9);
+    EXPECT_NEAR(a.costs.modifiability, b.costs.modifiability, 1e-4);
+    EXPECT_NEAR(a.costs.parallelism, b.costs.parallelism, 1e-4);
+  }
+  for (const EdgeId e : original.edge_ids()) {
+    EXPECT_EQ(parsed.edge(e).src, original.edge(e).src);
+    EXPECT_EQ(parsed.edge(e).dst, original.edge(e).dst);
+    EXPECT_NEAR(parsed.edge(e).bytes, original.edge(e).bytes,
+                1e-4 * original.edge(e).bytes + 1e-9);
+  }
+}
+
+TEST(SerializeTaskGraph, ParsesHandWrittenText) {
+  const char* text = R"(# a two-stage pipeline
+taskgraph demo
+task producer sw=100 hw=20 area=500 mod=0.3
+task consumer sw=200 hw=25 area=700 par=0.9 deadline=500
+edge 0 1 bytes=64
+end
+)";
+  const TaskGraph g = task_graph_from_text(text);
+  EXPECT_EQ(g.name(), "demo");
+  ASSERT_EQ(g.num_tasks(), 2u);
+  EXPECT_DOUBLE_EQ(g.task(TaskId(0)).costs.sw_cycles, 100.0);
+  EXPECT_DOUBLE_EQ(g.task(TaskId(0)).costs.modifiability, 0.3);
+  EXPECT_DOUBLE_EQ(g.task(TaskId(1)).deadline, 500.0);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(EdgeId(0)).bytes, 64.0);
+}
+
+TEST(SerializeTaskGraph, RejectsMalformedInput) {
+  EXPECT_THROW(task_graph_from_text(""), PreconditionError);
+  EXPECT_THROW(task_graph_from_text("taskgraph g\n"), PreconditionError);
+  EXPECT_THROW(task_graph_from_text("taskgraph g\ntask t\nend\n"),
+               PreconditionError);  // missing required keys
+  EXPECT_THROW(
+      task_graph_from_text(
+          "taskgraph g\ntask t sw=1 hw=1 area=1 bogus=2\nend\n"),
+      PreconditionError);  // unknown key
+  EXPECT_THROW(
+      task_graph_from_text("taskgraph g\ntask t sw=x hw=1 area=1\nend\n"),
+      PreconditionError);  // bad number
+  EXPECT_THROW(
+      task_graph_from_text(
+          "taskgraph g\ntask t sw=1 hw=1 area=1\nedge 0 5 bytes=1\nend\n"),
+      PreconditionError);  // dangling edge
+  EXPECT_THROW(
+      task_graph_from_text("taskgraph g\nend\ntask t sw=1 hw=1 area=1\n"),
+      PreconditionError);  // content after end
+}
+
+TEST(SerializeTaskGraph, RejectsCyclicGraphs) {
+  const char* text =
+      "taskgraph g\n"
+      "task a sw=1 hw=1 area=1\n"
+      "task b sw=1 hw=1 area=1\n"
+      "edge 0 1 bytes=1\n"
+      "edge 1 0 bytes=1\n"
+      "end\n";
+  EXPECT_THROW(task_graph_from_text(text), PreconditionError);
+}
+
+TEST(SerializeNetwork, RoundTripPreservesStructure) {
+  const ProcessNetwork original = apps::ekg_monitor_network();
+  const ProcessNetwork parsed =
+      process_network_from_text(to_text(original));
+  ASSERT_EQ(parsed.num_processes(), original.num_processes());
+  ASSERT_EQ(parsed.num_channels(), original.num_channels());
+  for (const ProcessId p : original.process_ids()) {
+    EXPECT_EQ(parsed.process(p).name, original.process(p).name);
+    EXPECT_NEAR(parsed.process(p).sw_cycles,
+                original.process(p).sw_cycles, 1e-6);
+  }
+  for (const ChannelId c : original.channel_ids()) {
+    EXPECT_EQ(parsed.channel(c).producer, original.channel(c).producer);
+    EXPECT_EQ(parsed.channel(c).consumer, original.channel(c).consumer);
+    EXPECT_EQ(parsed.channel(c).capacity, original.channel(c).capacity);
+    EXPECT_NEAR(parsed.channel_bytes_per_iteration(c),
+                original.channel_bytes_per_iteration(c), 1e-6);
+  }
+  parsed.validate();
+}
+
+TEST(SerializeNetwork, ParsesHandWrittenText) {
+  const char* text = R"(network demo
+process src sw=100 hw=10 area=200
+process dst sw=50 hw=5 area=100
+channel data 0 1 cap=4 bytes=128
+end
+)";
+  const ProcessNetwork net = process_network_from_text(text);
+  EXPECT_EQ(net.num_processes(), 2u);
+  ASSERT_EQ(net.num_channels(), 1u);
+  EXPECT_EQ(net.channel(ChannelId(0)).capacity, 4u);
+  EXPECT_DOUBLE_EQ(net.channel_bytes_per_iteration(ChannelId(0)), 128.0);
+}
+
+TEST(SerializeNetwork, RejectsMalformedInput) {
+  EXPECT_THROW(process_network_from_text("network n\nchannel c 0 1 "
+                                         "bytes=1\nend\n"),
+               PreconditionError);  // undefined processes
+  EXPECT_THROW(process_network_from_text(
+                   "network n\nprocess p sw=1 hw=1 area=1\nprocess q sw=1 "
+                   "hw=1 area=1\nchannel c 0 1 cap=0 bytes=1\nend\n"),
+               PreconditionError);  // zero capacity
+}
+
+}  // namespace
+}  // namespace mhs::ir

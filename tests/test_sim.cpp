@@ -1,0 +1,388 @@
+// Unit tests for mhs::sim — event kernel, signals, bus model, peripheral,
+// driver generation, the co-simulation backplane at all four levels, and
+// the message-level process-network co-simulator.
+#include <gtest/gtest.h>
+
+#include "apps/kernels.h"
+#include "apps/workloads.h"
+#include "base/rng.h"
+#include "base/stats.h"
+#include "sim/bus.h"
+#include "sim/cosim.h"
+#include "sim/driver.h"
+#include "sim/kernel.h"
+#include "sim/os_cosim.h"
+#include "sim/peripheral.h"
+#include "sim/signal.h"
+
+namespace mhs::sim {
+namespace {
+
+TEST(Kernel, EventsRunInTimeThenInsertionOrder) {
+  Simulator sim;
+  std::vector<int> log;
+  sim.schedule(10, [&] { log.push_back(2); });
+  sim.schedule(5, [&] { log.push_back(1); });
+  sim.schedule(10, [&] { log.push_back(3); });  // same time, later insert
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 10u);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Kernel, NestedSchedulingAndDeltaEvents) {
+  Simulator sim;
+  std::vector<int> log;
+  sim.schedule(1, [&] {
+    log.push_back(1);
+    sim.schedule(0, [&] { log.push_back(2); });  // same-time delta
+    sim.schedule(4, [&] { log.push_back(3); });
+  });
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 5u);
+}
+
+TEST(Kernel, AdvanceToFiresDueEventsOnly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(20, [&] { ++fired; });
+  sim.advance_to(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15u);
+  EXPECT_THROW(sim.advance_to(5), PreconditionError);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, RunUntilBoundsTime) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(100, [&] { ++fired; });
+  sim.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Signal, EdgeSemanticsAndObservers) {
+  Simulator sim;
+  Wire w(sim, "w");
+  int edges = 0;
+  w.on_change([&](const bool&) { ++edges; });
+  w.write(true);
+  w.write(true);  // no change, no edge
+  w.write(false);
+  EXPECT_EQ(edges, 2);
+  EXPECT_EQ(w.transitions(), 2u);
+}
+
+TEST(Signal, ScheduledWrite) {
+  Simulator sim;
+  Bus64 sig(sim, "data", 0);
+  sig.write_after(7, 42);
+  EXPECT_EQ(sig.read(), 0u);
+  sim.run();
+  EXPECT_EQ(sig.read(), 42u);
+  EXPECT_EQ(sim.now(), 7u);
+}
+
+TEST(Bus, WordCostConsistentAcrossLevels) {
+  Simulator sim;
+  const BusConfig cfg;
+  BusModel pin(sim, cfg, InterfaceLevel::kPin);
+  // arbitration(1) + address(1) + wait(1) + data(1).
+  EXPECT_EQ(pin.word_cost(), 4u);
+}
+
+TEST(Bus, BlockCostLadderIsMonotoneOptimistic) {
+  Simulator sim;
+  const BusConfig cfg;
+  const std::size_t bytes = 64;
+  BusModel pin(sim, cfg, InterfaceLevel::kPin);
+  BusModel reg(sim, cfg, InterfaceLevel::kRegister);
+  BusModel drv(sim, cfg, InterfaceLevel::kDriver);
+  // Pin is the ground truth; register omits per-word re-arbitration;
+  // driver omits wait states and address phases too.
+  EXPECT_GT(pin.block_cost(bytes), reg.block_cost(bytes));
+  EXPECT_GT(reg.block_cost(bytes), drv.block_cost(bytes));
+}
+
+TEST(Bus, PinAccessGeneratesHandshakeEventsAndToggles) {
+  Simulator sim;
+  BusModel bus(sim, BusConfig{}, InterfaceLevel::kPin);
+  const Time cost = bus.access(0x1000, /*is_write=*/true);
+  EXPECT_EQ(cost, bus.word_cost());
+  EXPECT_GE(sim.events_processed(), 4u);  // one per bus cycle
+  EXPECT_GE(bus.strobe_pin().transitions(), 2u);  // up and down
+  EXPECT_EQ(bus.total_accesses(), 1u);
+}
+
+TEST(Bus, RegisterAccessIsOneEvent) {
+  Simulator sim;
+  BusModel bus(sim, BusConfig{}, InterfaceLevel::kRegister);
+  bus.access(0x1000, false);
+  EXPECT_EQ(sim.events_processed(), 1u);
+  EXPECT_EQ(bus.strobe_pin().transitions(), 0u);  // no pin activity
+}
+
+hw::HlsResult make_impl(const ir::Cdfg& kernel) {
+  static hw::ComponentLibrary lib = hw::default_library();
+  hw::HlsConstraints constraints;
+  constraints.goal = hw::HlsGoal::kMinArea;
+  return hw::synthesize(kernel, lib, constraints);
+}
+
+TEST(Peripheral, RegisterProtocolRoundTrip) {
+  const ir::Cdfg kernel = apps::median5_kernel();
+  Simulator sim;
+  const hw::HlsResult impl = make_impl(kernel);
+  StreamPeripheral periph(sim, impl, InterfaceLevel::kRegister);
+  ASSERT_EQ(periph.num_inputs(), 5u);
+  ASSERT_EQ(periph.num_outputs(), 1u);
+
+  const std::int64_t vals[5] = {9, 1, 7, 3, 5};
+  for (std::size_t i = 0; i < 5; ++i) {
+    periph.reg_write(PeripheralLayout::kInputBase + 8 * i, vals[i]);
+  }
+  periph.reg_write(PeripheralLayout::kCtrl, 1);  // GO
+  EXPECT_TRUE(periph.busy());
+  EXPECT_EQ(periph.reg_read(PeripheralLayout::kStatus) & 1, 0);
+  sim.run();
+  EXPECT_FALSE(periph.busy());
+  EXPECT_EQ(periph.reg_read(PeripheralLayout::kStatus) & 1, 1);
+  EXPECT_EQ(periph.reg_read(PeripheralLayout::kOutputBase), 5);  // median
+  periph.reg_write(PeripheralLayout::kStatus, 0);  // ack
+  EXPECT_EQ(periph.reg_read(PeripheralLayout::kStatus) & 1, 0);
+  EXPECT_EQ(periph.activations(), 1u);
+}
+
+TEST(Peripheral, CompletionTakesSynthesizedLatency) {
+  const ir::Cdfg kernel = apps::fir_kernel(4);
+  Simulator sim;
+  const hw::HlsResult impl = make_impl(kernel);
+  StreamPeripheral periph(sim, impl, InterfaceLevel::kRegister);
+  for (std::size_t i = 0; i < periph.num_inputs(); ++i) {
+    periph.reg_write(PeripheralLayout::kInputBase + 8 * i, 1 << 16);
+  }
+  periph.reg_write(PeripheralLayout::kCtrl, 1);
+  sim.run();
+  EXPECT_EQ(sim.now(), impl.latency);
+}
+
+TEST(Peripheral, IrqFiresWhenEnabled) {
+  const ir::Cdfg kernel = apps::fir_kernel(4);
+  Simulator sim;
+  const hw::HlsResult impl = make_impl(kernel);
+  StreamPeripheral periph(sim, impl, InterfaceLevel::kRegister);
+  int irqs = 0;
+  periph.set_irq_callback([&] { ++irqs; });
+  for (std::size_t i = 0; i < periph.num_inputs(); ++i) {
+    periph.reg_write(PeripheralLayout::kInputBase + 8 * i, 0);
+  }
+  periph.reg_write(PeripheralLayout::kCtrl, 3);  // GO | IRQ_EN
+  sim.run();
+  EXPECT_EQ(irqs, 1);
+}
+
+TEST(Peripheral, GuardsMisuse) {
+  const ir::Cdfg kernel = apps::fir_kernel(4);
+  Simulator sim;
+  const hw::HlsResult impl = make_impl(kernel);
+  StreamPeripheral periph(sim, impl, InterfaceLevel::kRegister);
+  EXPECT_THROW(periph.reg_read(0x3F8), PreconditionError);
+  periph.reg_write(PeripheralLayout::kCtrl, 1);
+  EXPECT_THROW(periph.reg_write(PeripheralLayout::kCtrl, 1),
+               PreconditionError);  // start while busy
+  EXPECT_THROW(periph.reg_write(PeripheralLayout::kInputBase, 1),
+               PreconditionError);  // write input while busy
+}
+
+TEST(Driver, PollingDriverShape) {
+  DriverSpec spec;
+  spec.num_inputs = 2;
+  spec.num_outputs = 1;
+  spec.samples = 4;
+  const Driver d = generate_driver(spec);
+  EXPECT_FALSE(d.isr_entry.has_value());
+  EXPECT_GT(d.code.size(), 10u);
+  EXPECT_EQ(d.code.back().op, sw::Opcode::kHalt);
+}
+
+TEST(Driver, IrqDriverHasIsr) {
+  DriverSpec spec;
+  spec.use_irq = true;
+  const Driver d = generate_driver(spec);
+  ASSERT_TRUE(d.isr_entry.has_value());
+  EXPECT_EQ(d.code.back().op, sw::Opcode::kIret);
+}
+
+std::vector<std::vector<std::int64_t>> random_samples(
+    const ir::Cdfg& kernel, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::int64_t>> samples;
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<std::int64_t> in;
+    for (std::size_t k = 0; k < kernel.inputs().size(); ++k) {
+      in.push_back(rng.uniform_int(-1000, 1000));
+    }
+    samples.push_back(std::move(in));
+  }
+  return samples;
+}
+
+std::int64_t reference_checksum(const ir::Cdfg& kernel,
+                                const std::vector<std::vector<std::int64_t>>&
+                                    samples) {
+  std::int64_t sum = 0;
+  for (const auto& s : samples) {
+    std::map<std::string, std::int64_t> in;
+    std::size_t k = 0;
+    for (const ir::OpId id : kernel.inputs()) {
+      in[kernel.op(id).name] = s[k++];
+    }
+    for (const auto& [name, value] : kernel.evaluate(in)) sum += value;
+  }
+  return sum;
+}
+
+class CosimLevels : public ::testing::TestWithParam<InterfaceLevel> {};
+
+TEST_P(CosimLevels, FunctionalChecksumMatchesReference) {
+  const ir::Cdfg kernel = apps::fir_kernel(6);
+  const hw::HlsResult impl = make_impl(kernel);
+  const auto samples = random_samples(kernel, 8, 21);
+  CosimConfig cfg;
+  cfg.level = GetParam();
+  const CosimReport report = run_cosim(impl, cfg, samples);
+  EXPECT_EQ(report.checksum, reference_checksum(kernel, samples))
+      << interface_level_name(GetParam());
+  EXPECT_GT(report.total_cycles, 0.0);
+  EXPECT_EQ(report.hw_activations, samples.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, CosimLevels,
+                         ::testing::Values(InterfaceLevel::kPin,
+                                           InterfaceLevel::kRegister,
+                                           InterfaceLevel::kDriver,
+                                           InterfaceLevel::kMessage));
+
+TEST(Cosim, AbstractionLadderEventsDecreaseAccuracyDegrades) {
+  const ir::Cdfg kernel = apps::fir_kernel(6);
+  const hw::HlsResult impl = make_impl(kernel);
+  const auto samples = random_samples(kernel, 12, 33);
+
+  std::map<InterfaceLevel, CosimReport> reports;
+  for (const InterfaceLevel level : kAllInterfaceLevels) {
+    CosimConfig cfg;
+    cfg.level = level;
+    reports[level] = run_cosim(impl, cfg, samples);
+  }
+
+  // Simulation cost: strictly decreasing event counts down the ladder.
+  EXPECT_GT(reports[InterfaceLevel::kPin].sim_events,
+            reports[InterfaceLevel::kRegister].sim_events);
+  EXPECT_GT(reports[InterfaceLevel::kRegister].sim_events,
+            reports[InterfaceLevel::kDriver].sim_events);
+  EXPECT_GE(reports[InterfaceLevel::kDriver].sim_events,
+            reports[InterfaceLevel::kMessage].sim_events);
+
+  // Timing accuracy: pin is ground truth; error grows up the ladder.
+  const double truth = reports[InterfaceLevel::kPin].total_cycles;
+  const double err_reg =
+      relative_error(reports[InterfaceLevel::kRegister].total_cycles, truth);
+  const double err_drv =
+      relative_error(reports[InterfaceLevel::kDriver].total_cycles, truth);
+  const double err_msg =
+      relative_error(reports[InterfaceLevel::kMessage].total_cycles, truth);
+  EXPECT_LT(err_reg, err_drv);
+  EXPECT_LT(err_drv, err_msg);
+
+  // Pin level observes real signal activity; others do not.
+  EXPECT_GT(reports[InterfaceLevel::kPin].signal_transitions, 0u);
+  EXPECT_EQ(reports[InterfaceLevel::kRegister].signal_transitions, 0u);
+}
+
+TEST(Cosim, IrqDriverEnablesBackgroundWork) {
+  const ir::Cdfg kernel = apps::dct8_kernel();
+  const hw::HlsResult impl = make_impl(kernel);
+  const auto samples = random_samples(kernel, 6, 55);
+
+  CosimConfig polling;
+  polling.level = InterfaceLevel::kRegister;
+  polling.use_irq = false;
+  const CosimReport poll_report = run_cosim(impl, polling, samples);
+
+  CosimConfig irq;
+  irq.level = InterfaceLevel::kRegister;
+  irq.use_irq = true;
+  irq.background_unroll = 4;
+  const CosimReport irq_report = run_cosim(impl, irq, samples);
+
+  // Functionality identical.
+  EXPECT_EQ(poll_report.checksum, irq_report.checksum);
+  // Polling does no background work; interrupts free the CPU for it.
+  EXPECT_EQ(poll_report.background_units, 0);
+  EXPECT_GT(irq_report.background_units, 0);
+  // Polling hammers the bus while waiting.
+  EXPECT_GT(poll_report.bus_accesses, irq_report.bus_accesses);
+}
+
+TEST(OsCosim, ProducerConsumerCompletesAndCountsMessages) {
+  const ir::ProcessNetwork net = apps::worker_farm_network(2, 1000, 64);
+  OsCosimConfig cfg;
+  cfg.iterations = 10;
+  const std::vector<bool> all_sw(net.num_processes(), false);
+  const OsCosimResult r = run_message_cosim(net, all_sw, cfg);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_GT(r.makespan, 0.0);
+  for (const std::uint64_t m : r.channel_messages) {
+    EXPECT_EQ(m, 10u);
+  }
+  EXPECT_GT(r.cpu_busy_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(r.hw_busy_cycles, 0.0);
+}
+
+TEST(OsCosim, HardwareMappingExploitsConcurrency) {
+  const ir::ProcessNetwork net = apps::worker_farm_network(4, 4000, 32);
+  OsCosimConfig cfg;
+  cfg.iterations = 12;
+  const std::vector<bool> all_sw(net.num_processes(), false);
+  std::vector<bool> workers_hw(net.num_processes(), false);
+  for (const ir::ProcessId p : net.process_ids()) {
+    if (net.process(p).name.rfind("worker", 0) == 0) {
+      workers_hw[p.index()] = true;
+    }
+  }
+  const OsCosimResult sw = run_message_cosim(net, all_sw, cfg);
+  const OsCosimResult hw = run_message_cosim(net, workers_hw, cfg);
+  EXPECT_FALSE(sw.deadlocked);
+  EXPECT_FALSE(hw.deadlocked);
+  // Hardware workers run concurrently and each is 10x faster.
+  EXPECT_LT(hw.makespan, sw.makespan / 2.0);
+  EXPECT_GT(hw.hw_busy_cycles, 0.0);
+  EXPECT_GT(hw.cross_comm_cycles, 0.0);
+}
+
+TEST(OsCosim, CrossBoundaryTrafficIsPricier) {
+  const ir::ProcessNetwork net = apps::packet_pipeline_network();
+  OsCosimConfig cfg;
+  cfg.iterations = 8;
+  // Mapping that splits the heavy rx->checksum edge across the boundary.
+  std::vector<bool> split(net.num_processes(), false);
+  split[1] = true;  // checksum in HW
+  const OsCosimResult r = run_message_cosim(net, split, cfg);
+  EXPECT_GT(r.cross_comm_cycles, 0.0);
+  EXPECT_LE(r.cross_comm_cycles, r.comm_cycles);
+}
+
+TEST(OsCosim, MappingSizeValidated) {
+  const ir::ProcessNetwork net = apps::ekg_monitor_network();
+  OsCosimConfig cfg;
+  EXPECT_THROW(run_message_cosim(net, std::vector<bool>(2, false), cfg),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mhs::sim
