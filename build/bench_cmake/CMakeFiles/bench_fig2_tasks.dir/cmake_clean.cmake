@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_tasks"
+  "../bench/bench_fig2_tasks.pdb"
+  "CMakeFiles/bench_fig2_tasks.dir/bench_fig2_tasks.cpp.o"
+  "CMakeFiles/bench_fig2_tasks.dir/bench_fig2_tasks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

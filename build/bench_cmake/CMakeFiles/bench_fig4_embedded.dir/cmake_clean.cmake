@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_embedded"
+  "../bench/bench_fig4_embedded.pdb"
+  "CMakeFiles/bench_fig4_embedded.dir/bench_fig4_embedded.cpp.o"
+  "CMakeFiles/bench_fig4_embedded.dir/bench_fig4_embedded.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_embedded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

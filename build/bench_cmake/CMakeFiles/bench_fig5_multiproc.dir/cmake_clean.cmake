@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_multiproc"
+  "../bench/bench_fig5_multiproc.pdb"
+  "CMakeFiles/bench_fig5_multiproc.dir/bench_fig5_multiproc.cpp.o"
+  "CMakeFiles/bench_fig5_multiproc.dir/bench_fig5_multiproc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_multiproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

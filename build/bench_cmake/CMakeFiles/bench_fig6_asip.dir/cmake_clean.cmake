@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_asip"
+  "../bench/bench_fig6_asip.pdb"
+  "CMakeFiles/bench_fig6_asip.dir/bench_fig6_asip.cpp.o"
+  "CMakeFiles/bench_fig6_asip.dir/bench_fig6_asip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_asip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_sfu"
+  "../bench/bench_fig7_sfu.pdb"
+  "CMakeFiles/bench_fig7_sfu.dir/bench_fig7_sfu.cpp.o"
+  "CMakeFiles/bench_fig7_sfu.dir/bench_fig7_sfu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

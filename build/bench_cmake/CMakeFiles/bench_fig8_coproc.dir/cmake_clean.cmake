@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_coproc"
+  "../bench/bench_fig8_coproc.pdb"
+  "CMakeFiles/bench_fig8_coproc.dir/bench_fig8_coproc.cpp.o"
+  "CMakeFiles/bench_fig8_coproc.dir/bench_fig8_coproc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_coproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_mtcoproc"
+  "../bench/bench_fig9_mtcoproc.pdb"
+  "CMakeFiles/bench_fig9_mtcoproc.dir/bench_fig9_mtcoproc.cpp.o"
+  "CMakeFiles/bench_fig9_mtcoproc.dir/bench_fig9_mtcoproc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mtcoproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

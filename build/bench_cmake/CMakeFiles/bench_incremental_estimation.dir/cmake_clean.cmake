@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_incremental_estimation"
+  "../bench/bench_incremental_estimation.pdb"
+  "CMakeFiles/bench_incremental_estimation.dir/bench_incremental_estimation.cpp.o"
+  "CMakeFiles/bench_incremental_estimation.dir/bench_incremental_estimation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mixed_boundary"
+  "../bench/bench_mixed_boundary.pdb"
+  "CMakeFiles/bench_mixed_boundary.dir/bench_mixed_boundary.cpp.o"
+  "CMakeFiles/bench_mixed_boundary.dir/bench_mixed_boundary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

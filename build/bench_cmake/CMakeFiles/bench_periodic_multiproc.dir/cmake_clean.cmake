@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_periodic_multiproc"
+  "../bench/bench_periodic_multiproc.pdb"
+  "CMakeFiles/bench_periodic_multiproc.dir/bench_periodic_multiproc.cpp.o"
+  "CMakeFiles/bench_periodic_multiproc.dir/bench_periodic_multiproc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_periodic_multiproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

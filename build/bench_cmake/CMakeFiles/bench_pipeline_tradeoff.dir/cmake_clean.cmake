@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pipeline_tradeoff"
+  "../bench/bench_pipeline_tradeoff.pdb"
+  "CMakeFiles/bench_pipeline_tradeoff.dir/bench_pipeline_tradeoff.cpp.o"
+  "CMakeFiles/bench_pipeline_tradeoff.dir/bench_pipeline_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

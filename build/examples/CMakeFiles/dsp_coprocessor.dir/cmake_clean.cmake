@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_coprocessor.dir/dsp_coprocessor.cpp.o"
+  "CMakeFiles/dsp_coprocessor.dir/dsp_coprocessor.cpp.o.d"
+  "dsp_coprocessor"
+  "dsp_coprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_coprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

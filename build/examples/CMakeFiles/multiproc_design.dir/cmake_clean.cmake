@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiproc_design.dir/multiproc_design.cpp.o"
+  "CMakeFiles/multiproc_design.dir/multiproc_design.cpp.o.d"
+  "multiproc_design"
+  "multiproc_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiproc_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

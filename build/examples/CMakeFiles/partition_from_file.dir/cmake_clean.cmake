@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_from_file.dir/partition_from_file.cpp.o"
+  "CMakeFiles/partition_from_file.dir/partition_from_file.cpp.o.d"
+  "partition_from_file"
+  "partition_from_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_from_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

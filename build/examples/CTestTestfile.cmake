@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;10;mhs_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_embedded_controller "/root/repo/build/examples/embedded_controller")
+set_tests_properties(example_embedded_controller PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;mhs_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dsp_coprocessor "/root/repo/build/examples/dsp_coprocessor")
+set_tests_properties(example_dsp_coprocessor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;mhs_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multiproc_design "/root/repo/build/examples/multiproc_design")
+set_tests_properties(example_multiproc_design PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;mhs_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_design_advisor "/root/repo/build/examples/design_advisor")
+set_tests_properties(example_design_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;mhs_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_partition_from_file "/root/repo/build/examples/partition_from_file")
+set_tests_properties(example_partition_from_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;mhs_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/kernels.cpp" "src/apps/CMakeFiles/mhs_apps.dir/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/mhs_apps.dir/kernels.cpp.o.d"
+  "/root/repo/src/apps/workloads.cpp" "src/apps/CMakeFiles/mhs_apps.dir/workloads.cpp.o" "gcc" "src/apps/CMakeFiles/mhs_apps.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mhs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mhs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

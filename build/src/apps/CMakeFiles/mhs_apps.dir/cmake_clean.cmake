@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhs_apps.dir/kernels.cpp.o"
+  "CMakeFiles/mhs_apps.dir/kernels.cpp.o.d"
+  "CMakeFiles/mhs_apps.dir/workloads.cpp.o"
+  "CMakeFiles/mhs_apps.dir/workloads.cpp.o.d"
+  "libmhs_apps.a"
+  "libmhs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

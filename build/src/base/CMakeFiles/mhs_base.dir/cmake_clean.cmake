@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhs_base.dir/error.cpp.o"
+  "CMakeFiles/mhs_base.dir/error.cpp.o.d"
+  "CMakeFiles/mhs_base.dir/rng.cpp.o"
+  "CMakeFiles/mhs_base.dir/rng.cpp.o.d"
+  "CMakeFiles/mhs_base.dir/stats.cpp.o"
+  "CMakeFiles/mhs_base.dir/stats.cpp.o.d"
+  "CMakeFiles/mhs_base.dir/table.cpp.o"
+  "CMakeFiles/mhs_base.dir/table.cpp.o.d"
+  "libmhs_base.a"
+  "libmhs_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhs_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

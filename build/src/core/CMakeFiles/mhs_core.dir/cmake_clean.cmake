@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhs_core.dir/advisor.cpp.o"
+  "CMakeFiles/mhs_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/mhs_core.dir/flow.cpp.o"
+  "CMakeFiles/mhs_core.dir/flow.cpp.o.d"
+  "CMakeFiles/mhs_core.dir/taxonomy.cpp.o"
+  "CMakeFiles/mhs_core.dir/taxonomy.cpp.o.d"
+  "libmhs_core.a"
+  "libmhs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

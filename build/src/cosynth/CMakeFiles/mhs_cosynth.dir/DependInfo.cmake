@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosynth/asip.cpp" "src/cosynth/CMakeFiles/mhs_cosynth.dir/asip.cpp.o" "gcc" "src/cosynth/CMakeFiles/mhs_cosynth.dir/asip.cpp.o.d"
+  "/root/repo/src/cosynth/coproc.cpp" "src/cosynth/CMakeFiles/mhs_cosynth.dir/coproc.cpp.o" "gcc" "src/cosynth/CMakeFiles/mhs_cosynth.dir/coproc.cpp.o.d"
+  "/root/repo/src/cosynth/impl_select.cpp" "src/cosynth/CMakeFiles/mhs_cosynth.dir/impl_select.cpp.o" "gcc" "src/cosynth/CMakeFiles/mhs_cosynth.dir/impl_select.cpp.o.d"
+  "/root/repo/src/cosynth/interface_synth.cpp" "src/cosynth/CMakeFiles/mhs_cosynth.dir/interface_synth.cpp.o" "gcc" "src/cosynth/CMakeFiles/mhs_cosynth.dir/interface_synth.cpp.o.d"
+  "/root/repo/src/cosynth/mixed.cpp" "src/cosynth/CMakeFiles/mhs_cosynth.dir/mixed.cpp.o" "gcc" "src/cosynth/CMakeFiles/mhs_cosynth.dir/mixed.cpp.o.d"
+  "/root/repo/src/cosynth/mtcoproc.cpp" "src/cosynth/CMakeFiles/mhs_cosynth.dir/mtcoproc.cpp.o" "gcc" "src/cosynth/CMakeFiles/mhs_cosynth.dir/mtcoproc.cpp.o.d"
+  "/root/repo/src/cosynth/multiproc.cpp" "src/cosynth/CMakeFiles/mhs_cosynth.dir/multiproc.cpp.o" "gcc" "src/cosynth/CMakeFiles/mhs_cosynth.dir/multiproc.cpp.o.d"
+  "/root/repo/src/cosynth/periodic.cpp" "src/cosynth/CMakeFiles/mhs_cosynth.dir/periodic.cpp.o" "gcc" "src/cosynth/CMakeFiles/mhs_cosynth.dir/periodic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/mhs_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mhs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mhs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/mhs_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mhs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mhs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhs_cosynth.dir/asip.cpp.o"
+  "CMakeFiles/mhs_cosynth.dir/asip.cpp.o.d"
+  "CMakeFiles/mhs_cosynth.dir/coproc.cpp.o"
+  "CMakeFiles/mhs_cosynth.dir/coproc.cpp.o.d"
+  "CMakeFiles/mhs_cosynth.dir/impl_select.cpp.o"
+  "CMakeFiles/mhs_cosynth.dir/impl_select.cpp.o.d"
+  "CMakeFiles/mhs_cosynth.dir/interface_synth.cpp.o"
+  "CMakeFiles/mhs_cosynth.dir/interface_synth.cpp.o.d"
+  "CMakeFiles/mhs_cosynth.dir/mixed.cpp.o"
+  "CMakeFiles/mhs_cosynth.dir/mixed.cpp.o.d"
+  "CMakeFiles/mhs_cosynth.dir/mtcoproc.cpp.o"
+  "CMakeFiles/mhs_cosynth.dir/mtcoproc.cpp.o.d"
+  "CMakeFiles/mhs_cosynth.dir/multiproc.cpp.o"
+  "CMakeFiles/mhs_cosynth.dir/multiproc.cpp.o.d"
+  "CMakeFiles/mhs_cosynth.dir/periodic.cpp.o"
+  "CMakeFiles/mhs_cosynth.dir/periodic.cpp.o.d"
+  "libmhs_cosynth.a"
+  "libmhs_cosynth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhs_cosynth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

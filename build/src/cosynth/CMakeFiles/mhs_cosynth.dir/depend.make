@@ -1,0 +1,2 @@
+# Empty dependencies file for mhs_cosynth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/binding.cpp" "src/hw/CMakeFiles/mhs_hw.dir/binding.cpp.o" "gcc" "src/hw/CMakeFiles/mhs_hw.dir/binding.cpp.o.d"
+  "/root/repo/src/hw/component_library.cpp" "src/hw/CMakeFiles/mhs_hw.dir/component_library.cpp.o" "gcc" "src/hw/CMakeFiles/mhs_hw.dir/component_library.cpp.o.d"
+  "/root/repo/src/hw/estimate.cpp" "src/hw/CMakeFiles/mhs_hw.dir/estimate.cpp.o" "gcc" "src/hw/CMakeFiles/mhs_hw.dir/estimate.cpp.o.d"
+  "/root/repo/src/hw/fsm.cpp" "src/hw/CMakeFiles/mhs_hw.dir/fsm.cpp.o" "gcc" "src/hw/CMakeFiles/mhs_hw.dir/fsm.cpp.o.d"
+  "/root/repo/src/hw/hls.cpp" "src/hw/CMakeFiles/mhs_hw.dir/hls.cpp.o" "gcc" "src/hw/CMakeFiles/mhs_hw.dir/hls.cpp.o.d"
+  "/root/repo/src/hw/pipeline.cpp" "src/hw/CMakeFiles/mhs_hw.dir/pipeline.cpp.o" "gcc" "src/hw/CMakeFiles/mhs_hw.dir/pipeline.cpp.o.d"
+  "/root/repo/src/hw/rtl_emit.cpp" "src/hw/CMakeFiles/mhs_hw.dir/rtl_emit.cpp.o" "gcc" "src/hw/CMakeFiles/mhs_hw.dir/rtl_emit.cpp.o.d"
+  "/root/repo/src/hw/schedule.cpp" "src/hw/CMakeFiles/mhs_hw.dir/schedule.cpp.o" "gcc" "src/hw/CMakeFiles/mhs_hw.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mhs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mhs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

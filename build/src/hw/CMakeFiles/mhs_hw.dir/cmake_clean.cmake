@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhs_hw.dir/binding.cpp.o"
+  "CMakeFiles/mhs_hw.dir/binding.cpp.o.d"
+  "CMakeFiles/mhs_hw.dir/component_library.cpp.o"
+  "CMakeFiles/mhs_hw.dir/component_library.cpp.o.d"
+  "CMakeFiles/mhs_hw.dir/estimate.cpp.o"
+  "CMakeFiles/mhs_hw.dir/estimate.cpp.o.d"
+  "CMakeFiles/mhs_hw.dir/fsm.cpp.o"
+  "CMakeFiles/mhs_hw.dir/fsm.cpp.o.d"
+  "CMakeFiles/mhs_hw.dir/hls.cpp.o"
+  "CMakeFiles/mhs_hw.dir/hls.cpp.o.d"
+  "CMakeFiles/mhs_hw.dir/pipeline.cpp.o"
+  "CMakeFiles/mhs_hw.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mhs_hw.dir/rtl_emit.cpp.o"
+  "CMakeFiles/mhs_hw.dir/rtl_emit.cpp.o.d"
+  "CMakeFiles/mhs_hw.dir/schedule.cpp.o"
+  "CMakeFiles/mhs_hw.dir/schedule.cpp.o.d"
+  "libmhs_hw.a"
+  "libmhs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

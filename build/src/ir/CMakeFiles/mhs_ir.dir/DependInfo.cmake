@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/cdfg.cpp" "src/ir/CMakeFiles/mhs_ir.dir/cdfg.cpp.o" "gcc" "src/ir/CMakeFiles/mhs_ir.dir/cdfg.cpp.o.d"
+  "/root/repo/src/ir/dot.cpp" "src/ir/CMakeFiles/mhs_ir.dir/dot.cpp.o" "gcc" "src/ir/CMakeFiles/mhs_ir.dir/dot.cpp.o.d"
+  "/root/repo/src/ir/optimize.cpp" "src/ir/CMakeFiles/mhs_ir.dir/optimize.cpp.o" "gcc" "src/ir/CMakeFiles/mhs_ir.dir/optimize.cpp.o.d"
+  "/root/repo/src/ir/process_network.cpp" "src/ir/CMakeFiles/mhs_ir.dir/process_network.cpp.o" "gcc" "src/ir/CMakeFiles/mhs_ir.dir/process_network.cpp.o.d"
+  "/root/repo/src/ir/serialize.cpp" "src/ir/CMakeFiles/mhs_ir.dir/serialize.cpp.o" "gcc" "src/ir/CMakeFiles/mhs_ir.dir/serialize.cpp.o.d"
+  "/root/repo/src/ir/task_graph.cpp" "src/ir/CMakeFiles/mhs_ir.dir/task_graph.cpp.o" "gcc" "src/ir/CMakeFiles/mhs_ir.dir/task_graph.cpp.o.d"
+  "/root/repo/src/ir/task_graph_algos.cpp" "src/ir/CMakeFiles/mhs_ir.dir/task_graph_algos.cpp.o" "gcc" "src/ir/CMakeFiles/mhs_ir.dir/task_graph_algos.cpp.o.d"
+  "/root/repo/src/ir/task_graph_gen.cpp" "src/ir/CMakeFiles/mhs_ir.dir/task_graph_gen.cpp.o" "gcc" "src/ir/CMakeFiles/mhs_ir.dir/task_graph_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/mhs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

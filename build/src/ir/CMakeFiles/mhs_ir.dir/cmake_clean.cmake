@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhs_ir.dir/cdfg.cpp.o"
+  "CMakeFiles/mhs_ir.dir/cdfg.cpp.o.d"
+  "CMakeFiles/mhs_ir.dir/dot.cpp.o"
+  "CMakeFiles/mhs_ir.dir/dot.cpp.o.d"
+  "CMakeFiles/mhs_ir.dir/optimize.cpp.o"
+  "CMakeFiles/mhs_ir.dir/optimize.cpp.o.d"
+  "CMakeFiles/mhs_ir.dir/process_network.cpp.o"
+  "CMakeFiles/mhs_ir.dir/process_network.cpp.o.d"
+  "CMakeFiles/mhs_ir.dir/serialize.cpp.o"
+  "CMakeFiles/mhs_ir.dir/serialize.cpp.o.d"
+  "CMakeFiles/mhs_ir.dir/task_graph.cpp.o"
+  "CMakeFiles/mhs_ir.dir/task_graph.cpp.o.d"
+  "CMakeFiles/mhs_ir.dir/task_graph_algos.cpp.o"
+  "CMakeFiles/mhs_ir.dir/task_graph_algos.cpp.o.d"
+  "CMakeFiles/mhs_ir.dir/task_graph_gen.cpp.o"
+  "CMakeFiles/mhs_ir.dir/task_graph_gen.cpp.o.d"
+  "libmhs_ir.a"
+  "libmhs_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhs_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/anneal.cpp" "src/opt/CMakeFiles/mhs_opt.dir/anneal.cpp.o" "gcc" "src/opt/CMakeFiles/mhs_opt.dir/anneal.cpp.o.d"
+  "/root/repo/src/opt/binpack.cpp" "src/opt/CMakeFiles/mhs_opt.dir/binpack.cpp.o" "gcc" "src/opt/CMakeFiles/mhs_opt.dir/binpack.cpp.o.d"
+  "/root/repo/src/opt/knapsack.cpp" "src/opt/CMakeFiles/mhs_opt.dir/knapsack.cpp.o" "gcc" "src/opt/CMakeFiles/mhs_opt.dir/knapsack.cpp.o.d"
+  "/root/repo/src/opt/pareto.cpp" "src/opt/CMakeFiles/mhs_opt.dir/pareto.cpp.o" "gcc" "src/opt/CMakeFiles/mhs_opt.dir/pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/mhs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhs_opt.dir/anneal.cpp.o"
+  "CMakeFiles/mhs_opt.dir/anneal.cpp.o.d"
+  "CMakeFiles/mhs_opt.dir/binpack.cpp.o"
+  "CMakeFiles/mhs_opt.dir/binpack.cpp.o.d"
+  "CMakeFiles/mhs_opt.dir/knapsack.cpp.o"
+  "CMakeFiles/mhs_opt.dir/knapsack.cpp.o.d"
+  "CMakeFiles/mhs_opt.dir/pareto.cpp.o"
+  "CMakeFiles/mhs_opt.dir/pareto.cpp.o.d"
+  "libmhs_opt.a"
+  "libmhs_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhs_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhs_partition.dir/algorithms.cpp.o"
+  "CMakeFiles/mhs_partition.dir/algorithms.cpp.o.d"
+  "CMakeFiles/mhs_partition.dir/cost_model.cpp.o"
+  "CMakeFiles/mhs_partition.dir/cost_model.cpp.o.d"
+  "libmhs_partition.a"
+  "libmhs_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhs_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus.cpp" "src/sim/CMakeFiles/mhs_sim.dir/bus.cpp.o" "gcc" "src/sim/CMakeFiles/mhs_sim.dir/bus.cpp.o.d"
+  "/root/repo/src/sim/cosim.cpp" "src/sim/CMakeFiles/mhs_sim.dir/cosim.cpp.o" "gcc" "src/sim/CMakeFiles/mhs_sim.dir/cosim.cpp.o.d"
+  "/root/repo/src/sim/dma.cpp" "src/sim/CMakeFiles/mhs_sim.dir/dma.cpp.o" "gcc" "src/sim/CMakeFiles/mhs_sim.dir/dma.cpp.o.d"
+  "/root/repo/src/sim/driver.cpp" "src/sim/CMakeFiles/mhs_sim.dir/driver.cpp.o" "gcc" "src/sim/CMakeFiles/mhs_sim.dir/driver.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/mhs_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/mhs_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/os_cosim.cpp" "src/sim/CMakeFiles/mhs_sim.dir/os_cosim.cpp.o" "gcc" "src/sim/CMakeFiles/mhs_sim.dir/os_cosim.cpp.o.d"
+  "/root/repo/src/sim/peripheral.cpp" "src/sim/CMakeFiles/mhs_sim.dir/peripheral.cpp.o" "gcc" "src/sim/CMakeFiles/mhs_sim.dir/peripheral.cpp.o.d"
+  "/root/repo/src/sim/system_cosim.cpp" "src/sim/CMakeFiles/mhs_sim.dir/system_cosim.cpp.o" "gcc" "src/sim/CMakeFiles/mhs_sim.dir/system_cosim.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/mhs_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/mhs_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/mhs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/mhs_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mhs_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mhs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mhs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mhs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

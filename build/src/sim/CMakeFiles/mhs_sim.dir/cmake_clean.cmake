@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhs_sim.dir/bus.cpp.o"
+  "CMakeFiles/mhs_sim.dir/bus.cpp.o.d"
+  "CMakeFiles/mhs_sim.dir/cosim.cpp.o"
+  "CMakeFiles/mhs_sim.dir/cosim.cpp.o.d"
+  "CMakeFiles/mhs_sim.dir/dma.cpp.o"
+  "CMakeFiles/mhs_sim.dir/dma.cpp.o.d"
+  "CMakeFiles/mhs_sim.dir/driver.cpp.o"
+  "CMakeFiles/mhs_sim.dir/driver.cpp.o.d"
+  "CMakeFiles/mhs_sim.dir/kernel.cpp.o"
+  "CMakeFiles/mhs_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/mhs_sim.dir/os_cosim.cpp.o"
+  "CMakeFiles/mhs_sim.dir/os_cosim.cpp.o.d"
+  "CMakeFiles/mhs_sim.dir/peripheral.cpp.o"
+  "CMakeFiles/mhs_sim.dir/peripheral.cpp.o.d"
+  "CMakeFiles/mhs_sim.dir/system_cosim.cpp.o"
+  "CMakeFiles/mhs_sim.dir/system_cosim.cpp.o.d"
+  "CMakeFiles/mhs_sim.dir/vcd.cpp.o"
+  "CMakeFiles/mhs_sim.dir/vcd.cpp.o.d"
+  "libmhs_sim.a"
+  "libmhs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

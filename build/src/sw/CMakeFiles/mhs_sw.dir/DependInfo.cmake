@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sw/codegen.cpp" "src/sw/CMakeFiles/mhs_sw.dir/codegen.cpp.o" "gcc" "src/sw/CMakeFiles/mhs_sw.dir/codegen.cpp.o.d"
+  "/root/repo/src/sw/cpu_model.cpp" "src/sw/CMakeFiles/mhs_sw.dir/cpu_model.cpp.o" "gcc" "src/sw/CMakeFiles/mhs_sw.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/sw/estimate.cpp" "src/sw/CMakeFiles/mhs_sw.dir/estimate.cpp.o" "gcc" "src/sw/CMakeFiles/mhs_sw.dir/estimate.cpp.o.d"
+  "/root/repo/src/sw/isa.cpp" "src/sw/CMakeFiles/mhs_sw.dir/isa.cpp.o" "gcc" "src/sw/CMakeFiles/mhs_sw.dir/isa.cpp.o.d"
+  "/root/repo/src/sw/iss.cpp" "src/sw/CMakeFiles/mhs_sw.dir/iss.cpp.o" "gcc" "src/sw/CMakeFiles/mhs_sw.dir/iss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mhs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mhs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

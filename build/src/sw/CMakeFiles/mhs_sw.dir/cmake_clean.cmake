@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhs_sw.dir/codegen.cpp.o"
+  "CMakeFiles/mhs_sw.dir/codegen.cpp.o.d"
+  "CMakeFiles/mhs_sw.dir/cpu_model.cpp.o"
+  "CMakeFiles/mhs_sw.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/mhs_sw.dir/estimate.cpp.o"
+  "CMakeFiles/mhs_sw.dir/estimate.cpp.o.d"
+  "CMakeFiles/mhs_sw.dir/isa.cpp.o"
+  "CMakeFiles/mhs_sw.dir/isa.cpp.o.d"
+  "CMakeFiles/mhs_sw.dir/iss.cpp.o"
+  "CMakeFiles/mhs_sw.dir/iss.cpp.o.d"
+  "libmhs_sw.a"
+  "libmhs_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhs_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmhs_sw.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosynth.dir/test_cosynth.cpp.o"
+  "CMakeFiles/test_cosynth.dir/test_cosynth.cpp.o.d"
+  "test_cosynth"
+  "test_cosynth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosynth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

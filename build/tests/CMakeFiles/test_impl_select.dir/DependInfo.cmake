@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_impl_select.cpp" "tests/CMakeFiles/test_impl_select.dir/test_impl_select.cpp.o" "gcc" "tests/CMakeFiles/test_impl_select.dir/test_impl_select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mhs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosynth/CMakeFiles/mhs_cosynth.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/mhs_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/mhs_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mhs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mhs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mhs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mhs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mhs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

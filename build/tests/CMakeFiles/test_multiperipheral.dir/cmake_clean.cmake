@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiperipheral.dir/test_multiperipheral.cpp.o"
+  "CMakeFiles/test_multiperipheral.dir/test_multiperipheral.cpp.o.d"
+  "test_multiperipheral"
+  "test_multiperipheral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiperipheral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw.dir/test_sw.cpp.o"
+  "CMakeFiles/test_sw.dir/test_sw.cpp.o.d"
+  "test_sw"
+  "test_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

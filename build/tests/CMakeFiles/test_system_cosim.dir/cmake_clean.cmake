@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_cosim.dir/test_system_cosim.cpp.o"
+  "CMakeFiles/test_system_cosim.dir/test_system_cosim.cpp.o.d"
+  "test_system_cosim"
+  "test_system_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

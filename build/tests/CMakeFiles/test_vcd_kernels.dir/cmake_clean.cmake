@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcd_kernels.dir/test_vcd_kernels.cpp.o"
+  "CMakeFiles/test_vcd_kernels.dir/test_vcd_kernels.cpp.o.d"
+  "test_vcd_kernels"
+  "test_vcd_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcd_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
