@@ -30,7 +30,8 @@ void run() {
   // partition, so the factor weights actually steer which tasks cross.
   partition::Objective sizing;
   const double all_hw_area =
-      partition::partition_all_hw(model, sizing).metrics.hw_area;
+      partition::run(partition::Strategy::kAllHw, model, sizing)
+          .metrics.hw_area;
 
   partition::Objective full;
   full.area_weight = 0.02;
@@ -69,7 +70,7 @@ void run() {
   double full_mod = 0.0, nomod_mod = 0.0;
   for (const Variant& v : variants) {
     const partition::PartitionResult r =
-        partition::partition_kl(model, v.objective);
+        partition::run(partition::Strategy::kKl, model, v.objective);
     // Score under the FULL model regardless of what the optimizer saw.
     const partition::Metrics m = model.evaluate(r.mapping, full);
     std::size_t cut = 0;
@@ -117,7 +118,8 @@ void run() {
   partition::Objective full2;
   full2.area_weight = 0.02;
   full2.area_budget =
-      0.9 * partition::partition_all_hw(model2, full2).metrics.hw_area;
+      0.9 * partition::run(partition::Strategy::kAllHw, model2, full2)
+                .metrics.hw_area;
   full2.area_penalty_weight = 100.0;
   partition::Objective blind2 = full2;
   blind2.consider_concurrency = false;
@@ -125,9 +127,9 @@ void run() {
   TextTable table2({"optimizer sees", "tasks in HW", "true latency",
                     "true energy"});
   const partition::PartitionResult rf2 =
-      partition::partition_kl(model2, full2);
+      partition::run(partition::Strategy::kKl, model2, full2);
   const partition::PartitionResult rb2 =
-      partition::partition_kl(model2, blind2);
+      partition::run(partition::Strategy::kKl, model2, blind2);
   const partition::Metrics mf2 = model2.evaluate(rf2.mapping, full2);
   const partition::Metrics mb2 = model2.evaluate(rb2.mapping, full2);
   table2.add_row({"full model", fmt(mf2.tasks_in_hw),

@@ -48,9 +48,10 @@ void run() {
     partition::Objective obj;
     obj.area_weight = 0.01;
     obj.latency_target = all_sw_latency * fraction;
-    const partition::PartitionResult r =
-        fraction == 1.0 ? partition::partition_all_sw(model, obj)
-                        : partition::partition_hot_spot(model, obj);
+    const partition::PartitionResult r = partition::run(
+        fraction == 1.0 ? partition::Strategy::kAllSw
+                        : partition::Strategy::kHotSpot,
+        model, obj);
     t2.add_row({fmt(obj.latency_target, 0), fmt(r.metrics.tasks_in_hw),
                 fmt(cpu_cost + r.metrics.hw_area, 0),
                 fmt(r.metrics.latency_cycles, 0),

@@ -40,8 +40,8 @@ void run() {
   apps::KernelBackedWorkload w = apps::dsp_chain_workload();
   // Derive baseline annotations (hardware side) once via the flow's
   // estimator so the Type II numbers are kernel-accurate.
-  core::FlowConfig flow_cfg;
-  flow_cfg.optimize_kernels = false;
+  const core::FlowConfig flow_cfg =
+      core::FlowConfig::defaults().without_kernel_optimization();
   const ir::TaskGraph annotated =
       core::annotate_costs(w.graph, w.kernels, flow_cfg);
 

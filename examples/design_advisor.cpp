@@ -46,8 +46,8 @@ int main() {
             << "         jointly:\n\n";
 
   apps::KernelBackedWorkload w = apps::dsp_chain_workload();
-  core::FlowConfig flow_cfg;
-  flow_cfg.optimize_kernels = false;
+  const core::FlowConfig flow_cfg =
+      core::FlowConfig::defaults().without_kernel_optimization();
   const ir::TaskGraph annotated =
       core::annotate_costs(w.graph, w.kernels, flow_cfg);
 

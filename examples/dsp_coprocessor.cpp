@@ -30,19 +30,15 @@ int main() {
   for (const cosynth::CoprocStrategy strategy :
        {cosynth::CoprocStrategy::kHotSpot, cosynth::CoprocStrategy::kKl,
         cosynth::CoprocStrategy::kGclp}) {
-    core::FlowConfig cfg;
-    cfg.strategy = strategy;
-    cfg.objective.area_weight = 0.02;
-    cfg.objective.latency_target =
-        strategy == cosynth::CoprocStrategy::kHotSpot
-            ? 0.5 * workload.graph.total_sw_cycles()
-            : 0.0;
+    core::FlowConfig cfg = core::FlowConfig::defaults()
+                               .with_strategy(strategy)
+                               .with_area_weight(0.02);
     // The hot-spot strategy needs a target; estimate one from the
-    // annotated costs on the first pass.
+    // annotated costs on a first pass.
     if (strategy == cosynth::CoprocStrategy::kHotSpot) {
       const ir::TaskGraph annotated =
           core::annotate_costs(workload.graph, workload.kernels, cfg);
-      cfg.objective.latency_target = annotated.total_sw_cycles() * 0.5;
+      cfg = cfg.with_latency_target(annotated.total_sw_cycles() * 0.5);
     }
     const core::FlowReport report =
         core::run_codesign_flow(workload.graph, workload.kernels, cfg);

@@ -1,0 +1,144 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "base/error.h"
+
+namespace mhs {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  slots_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t slot =
+      next_slot_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
+  {
+    std::lock_guard<std::mutex> lock(slots_[slot]->mutex);
+    slots_[slot]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // Empty critical section: orders the counter updates before the
+    // notify so a waiter that just evaluated its predicate cannot miss it.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  work_ready_.notify_one();
+  all_done_.notify_all();
+}
+
+std::function<void()> ThreadPool::take_task(std::size_t self) {
+  {
+    Slot& own = *slots_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return task;
+    }
+  }
+  for (std::size_t k = 1; k < slots_.size(); ++k) {
+    Slot& victim = *slots_[(self + k) % slots_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      std::function<void()> task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::run_task(std::function<void()> task) {
+  task();
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    all_done_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t slot) {
+  while (true) {
+    std::function<void()> task = take_task(slot);
+    if (task) {
+      run_task(std::move(task));
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    work_ready_.wait(lock, [this] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  while (true) {
+    std::function<void()> task = take_task(0);
+    if (task) {
+      run_task(std::move(task));
+      continue;
+    }
+    if (pending_.load(std::memory_order_acquire) == 0) return;
+    // Tasks are in flight on workers; sleep until one finishes or new
+    // work shows up to steal.
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    all_done_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0 ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (pending_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (slots_.size() == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  MHS_CHECK(pending_.load(std::memory_order_acquire) == 0,
+            "parallel_for is not reentrant (a batch is already running)");
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&body, &error_mutex, &first_error, i] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mhs

@@ -1,0 +1,87 @@
+// Work-stealing thread pool.
+//
+// Executes batches of coarse-grained independent tasks (one HW/SW
+// partitioning run each, in the explorer's case) across all cores. Every
+// executor — the N-1 spawned workers plus the thread that calls
+// parallel_for/wait_idle — owns a deque: tasks are submitted round-robin,
+// an executor pops its own deque from the back (LIFO, cache-warm) and
+// steals from the front of a victim's deque (FIFO, oldest first) when its
+// own runs dry. With num_threads == 1 no worker threads are spawned and
+// everything runs inline on the caller.
+//
+// The pool is agnostic to task ordering: callers that need deterministic
+// results (the explorer does) must make each task independent and merge by
+// index, never by completion order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mhs {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` executors total (the calling
+  /// thread counts as one; `num_threads - 1` workers are spawned).
+  /// 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executors (workers + the caller slot).
+  std::size_t num_threads() const { return slots_.size(); }
+
+  /// Enqueues one task. Tasks may run on any executor, in any order.
+  void submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n), the calling thread included in
+  /// the work. Returns when all iterations finished; rethrows the first
+  /// exception any iteration threw. Not reentrant: do not call from
+  /// inside a pool task, and do not run two batches concurrently.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Blocks until every submitted task finished, executing tasks on the
+  /// calling thread while it waits.
+  void wait_idle();
+
+  /// Tasks executed by an executor other than the deque they were
+  /// submitted to (observability; scheduling-dependent).
+  std::size_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Pops from slot `self`'s back, else steals from another slot's
+  /// front. Returns an empty function when every deque is empty.
+  std::function<void()> take_task(std::size_t self);
+  void run_task(std::function<void()> task);
+  void worker_loop(std::size_t slot);
+
+  std::vector<std::unique_ptr<Slot>> slots_;  // slot 0 belongs to the caller
+  std::vector<std::thread> workers_;          // worker k owns slot k + 1
+  std::atomic<std::size_t> next_slot_{0};
+  std::atomic<std::size_t> queued_{0};   // tasks sitting in deques
+  std::atomic<std::size_t> pending_{0};  // queued + currently executing
+  std::atomic<std::size_t> steals_{0};
+  bool stop_ = false;  // guarded by sleep_mutex_
+
+  std::mutex sleep_mutex_;
+  std::condition_variable work_ready_;  // workers sleep here
+  std::condition_variable all_done_;    // wait_idle sleeps here
+};
+
+}  // namespace mhs

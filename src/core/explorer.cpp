@@ -1,0 +1,258 @@
+#include "core/explorer.h"
+
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <sstream>
+
+#include "base/table.h"
+#include "ir/optimize.h"
+
+namespace mhs::core {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// One flow-configuration variant's shared state: the annotated graph,
+/// the cost model over it, and the variant's evaluation cache. Built at
+/// most once per batch, on whichever thread needs it first.
+struct Explorer::Context {
+  std::once_flag once;
+  ir::TaskGraph annotated;
+  /// Keeps shared optimized kernels alive for this context's lifetime.
+  std::vector<std::shared_ptr<const ir::Cdfg>> keepalive;
+  std::optional<partition::CostModel> model;
+  std::unique_ptr<partition::EvalCache> cache;
+};
+
+Explorer::Explorer(const ir::TaskGraph& graph,
+                   std::vector<const ir::Cdfg*> kernels, Options options)
+    : graph_(graph),
+      kernels_(std::move(kernels)),
+      options_(options),
+      pool_(options.num_threads),
+      optimized_kernels_(options.cache_shards) {
+  MHS_CHECK(kernels_.size() == graph_.num_tasks(),
+            "one kernel slot per task required (use nullptr to skip)");
+}
+
+Explorer::Explorer(const ir::TaskGraph& graph,
+                   std::vector<const ir::Cdfg*> kernels)
+    : Explorer(graph, std::move(kernels), Options{}) {}
+
+Explorer::Explorer(const ir::TaskGraph& graph, Options options)
+    : Explorer(graph,
+               std::vector<const ir::Cdfg*>(graph.num_tasks(), nullptr),
+               options) {}
+
+Explorer::Explorer(const ir::TaskGraph& graph)
+    : Explorer(graph, Options{}) {}
+
+Explorer::~Explorer() = default;
+
+Explorer::Context& Explorer::context(
+    const FlowConfig& config, std::size_t config_index,
+    std::vector<std::unique_ptr<Context>>& contexts) {
+  Context& ctx = *contexts[config_index];
+  std::call_once(ctx.once, [&] {
+    std::vector<const ir::Cdfg*> kernels = kernels_;
+    if (config.optimize_kernels) {
+      for (std::size_t i = 0; i < kernels.size(); ++i) {
+        if (kernels[i] == nullptr) continue;
+        const ir::Cdfg* original = kernels[i];
+        std::shared_ptr<const ir::Cdfg> optimized =
+            options_.memoize
+                ? optimized_kernels_.get_or_compute(
+                      original,
+                      [&] {
+                        return std::make_shared<const ir::Cdfg>(
+                            ir::optimize(*original));
+                      })
+                : std::make_shared<const ir::Cdfg>(ir::optimize(*original));
+        kernels[i] = optimized.get();
+        ctx.keepalive.push_back(std::move(optimized));
+      }
+    }
+    ctx.annotated = annotate_costs(
+        graph_, kernels, config,
+        options_.memoize ? &estimate_cache_ : nullptr);
+    ctx.model.emplace(ctx.annotated, config.library, config.comm);
+    if (options_.memoize) {
+      ctx.cache = std::make_unique<partition::EvalCache>(options_.cache_shards);
+      ctx.model->set_cache(ctx.cache.get());
+    }
+  });
+  return ctx;
+}
+
+PointResult Explorer::evaluate_point(
+    const DesignPoint& point, std::size_t index,
+    const std::vector<FlowConfig>& configs,
+    std::vector<std::unique_ptr<Context>>& contexts) {
+  PointResult result;
+  result.index = index;
+  result.strategy = point.strategy;
+  result.config_index = point.config_index;
+  const double start_ms = now_ms();
+  try {
+    MHS_CHECK(point.config_index < configs.size(),
+              "design point references config " << point.config_index
+                                                << " but only "
+                                                << configs.size()
+                                                << " configs were given");
+    Context& ctx =
+        context(configs[point.config_index], point.config_index, contexts);
+    result.partition =
+        partition::run(point.strategy, *ctx.model, point.objective,
+                       point.options);
+    const partition::Mapping all_sw(ctx.annotated.num_tasks(), false);
+    result.all_sw_latency = ctx.model->schedule_latency(
+        all_sw, point.objective.consider_concurrency,
+        point.objective.consider_communication);
+    result.speedup = result.partition.metrics.latency_cycles > 0.0
+                         ? result.all_sw_latency /
+                               result.partition.metrics.latency_cycles
+                         : 1.0;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  result.wall_ms = now_ms() - start_ms;
+  return result;
+}
+
+std::vector<std::size_t> pareto_indices(
+    const std::vector<PointResult>& points) {
+  const auto dominates = [](const PointResult& a, const PointResult& b) {
+    const auto& ma = a.partition.metrics;
+    const auto& mb = b.partition.metrics;
+    const double ea = static_cast<double>(a.partition.evaluations);
+    const double eb = static_cast<double>(b.partition.evaluations);
+    const bool no_worse = ma.latency_cycles <= mb.latency_cycles &&
+                          ma.hw_area <= mb.hw_area && ea <= eb;
+    const bool better = ma.latency_cycles < mb.latency_cycles ||
+                        ma.hw_area < mb.hw_area || ea < eb;
+    return no_worse && better;
+  };
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].error.empty()) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j == i || !points[j].error.empty()) continue;
+      dominated = dominates(points[j], points[i]);
+    }
+    if (!dominated) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+ExploreReport Explorer::explore(const std::vector<FlowConfig>& configs,
+                                const std::vector<DesignPoint>& points) {
+  ExploreReport report;
+  report.threads = pool_.num_threads();
+  const double batch_start_ms = now_ms();
+
+  std::vector<std::unique_ptr<Context>> contexts;
+  contexts.reserve(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    contexts.push_back(std::make_unique<Context>());
+  }
+
+  std::vector<PointResult> results(points.size());
+  pool_.parallel_for(points.size(), [&](std::size_t i) {
+    results[i] = evaluate_point(points[i], i, configs, contexts);
+  });
+
+  report.points = std::move(results);
+  report.frontier = pareto_indices(report.points);
+  for (const std::size_t idx : report.frontier) {
+    report.points[idx].on_frontier = true;
+  }
+  report.wall_ms = now_ms() - batch_start_ms;
+
+  for (const std::unique_ptr<Context>& ctx : contexts) {
+    if (ctx->model.has_value()) ++report.contexts_built;
+    if (ctx->cache != nullptr) {
+      const partition::EvalCache::Stats stats = ctx->cache->stats();
+      report.cost_cache_hits += stats.hits;
+      report.cost_cache_misses += stats.misses;
+    }
+  }
+  const std::size_t cost_total =
+      report.cost_cache_hits + report.cost_cache_misses;
+  report.cost_cache_hit_rate =
+      cost_total == 0 ? 0.0
+                      : static_cast<double>(report.cost_cache_hits) /
+                            static_cast<double>(cost_total);
+  report.estimate_cache_hits = estimate_cache_.hits();
+  report.estimate_cache_misses = estimate_cache_.misses();
+
+  // Summary.
+  std::ostringstream os;
+  os << banner("design-space exploration (" + graph_.name() + ")");
+  TextTable table({"#", "strategy", "cfg", "in HW", "latency", "area",
+                   "evals", "speedup", "ms", "pareto"});
+  for (const PointResult& p : report.points) {
+    if (!p.error.empty()) {
+      table.add_row({fmt(p.index), partition::strategy_name(p.strategy),
+                     fmt(p.config_index), "-", "error", "-", "-", "-",
+                     fmt(p.wall_ms, 2), "-"});
+      continue;
+    }
+    const auto& m = p.partition.metrics;
+    table.add_row({fmt(p.index), partition::strategy_name(p.strategy),
+                   fmt(p.config_index), fmt(m.tasks_in_hw),
+                   fmt(m.latency_cycles, 1), fmt(m.hw_area, 1),
+                   fmt(p.partition.evaluations), fmt(p.speedup, 2),
+                   fmt(p.wall_ms, 2), p.on_frontier ? "*" : ""});
+  }
+  os << table.str();
+  os << "points: " << report.points.size() << "  frontier: "
+     << report.frontier.size() << "  threads: " << report.threads
+     << "  wall: " << fmt(report.wall_ms, 1) << " ms\n"
+     << "cost cache: " << report.cost_cache_hits << " hits / "
+     << report.cost_cache_misses << " misses ("
+     << fmt(100.0 * report.cost_cache_hit_rate, 1) << "% hit rate)\n"
+     << "estimate cache: " << report.estimate_cache_hits << " hits / "
+     << report.estimate_cache_misses << " misses; variants annotated: "
+     << report.contexts_built << "\n";
+  report.summary = os.str();
+  return report;
+}
+
+std::vector<DesignPoint> Explorer::cross_product(
+    std::size_t num_configs,
+    const std::vector<partition::Strategy>& strategies,
+    const std::vector<partition::Objective>& objectives) {
+  std::vector<DesignPoint> points;
+  points.reserve(num_configs * strategies.size() * objectives.size());
+  for (std::size_t c = 0; c < num_configs; ++c) {
+    for (const partition::Objective& objective : objectives) {
+      for (const partition::Strategy strategy : strategies) {
+        DesignPoint point;
+        point.strategy = strategy;
+        point.objective = objective;
+        point.config_index = c;
+        points.push_back(point);
+      }
+    }
+  }
+  return points;
+}
+
+ExploreReport Explorer::sweep(
+    const std::vector<FlowConfig>& configs,
+    const std::vector<partition::Strategy>& strategies,
+    const std::vector<partition::Objective>& objectives) {
+  return explore(configs,
+                 cross_product(configs.size(), strategies, objectives));
+}
+
+}  // namespace mhs::core

@@ -1,0 +1,172 @@
+// Parallel design-space exploration engine.
+//
+// The paper's §4.5 frames partitioning as a search through a large design
+// space under many competing factors. The Explorer makes that search the
+// first-class workload: a batch of design points — the cross product of
+// partitioning strategies, objectives, and flow-configuration variants
+// over one specification — is fanned across all cores by a work-stealing
+// thread pool, every point runs estimate → partition → co-synthesize, and
+// the results are merged deterministically (ordered by point index,
+// independent of thread scheduling) into a Pareto frontier over
+// (latency, area, evaluations).
+//
+// Two memoization layers make the sweep cheap:
+//   * a KernelEstimateCache shares per-kernel compile/HLS estimates
+//     between configuration variants (annotation runs once per variant,
+//     estimators once per kernel per environment);
+//   * a partition::EvalCache per variant shares schedule-latency and
+//     hardware-area evaluations between every strategy/objective pair
+//     exploring that variant's annotated graph.
+// Cached and uncached runs produce bit-identical results; the
+// ExploreReport quantifies the reuse (hit rates) and the per-point wall
+// time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/concurrent_cache.h"
+#include "base/thread_pool.h"
+#include "core/flow.h"
+
+namespace mhs::core {
+
+/// One point of the design space: which algorithm, scored how, over
+/// which flow-configuration variant.
+struct DesignPoint {
+  partition::Strategy strategy = partition::Strategy::kKl;
+  partition::Objective objective;
+  /// Index into the `configs` batch passed to Explorer::explore.
+  std::size_t config_index = 0;
+  /// Per-strategy knobs (annealing schedule, KL start mapping).
+  partition::PartitionOptions options;
+};
+
+/// Outcome of one design point.
+struct PointResult {
+  std::size_t index = 0;  ///< position in the input batch
+  partition::Strategy strategy = partition::Strategy::kKl;
+  std::size_t config_index = 0;
+  partition::PartitionResult partition;
+  /// All-software baseline latency under the same variant (for speedup).
+  double all_sw_latency = 0.0;
+  double speedup = 1.0;
+  /// Wall-clock time this point took (scheduling-dependent; excluded
+  /// from determinism guarantees).
+  double wall_ms = 0.0;
+  /// True iff the point is on the (latency, area, evaluations) frontier.
+  bool on_frontier = false;
+  /// Non-empty iff the point failed (e.g. a strategy that requires a
+  /// latency target ran under an objective without one). Failed points
+  /// carry no metrics and never reach the frontier.
+  std::string error;
+};
+
+/// Everything one explore() produced. Deterministic apart from the wall
+/// times and cache statistics: points are ordered by batch index and the
+/// frontier is computed after the deterministic merge, so the mappings,
+/// metrics, and frontier are identical for every thread count.
+struct ExploreReport {
+  std::vector<PointResult> points;  ///< one per input point, index order
+  /// Indices (into `points`) of the Pareto-optimal points, ascending.
+  /// Dominance is over (latency_cycles, hw_area, evaluations), all
+  /// minimized.
+  std::vector<std::size_t> frontier;
+
+  std::size_t threads = 1;
+  double wall_ms = 0.0;  ///< whole-batch wall time
+  /// Cost-model memoization totals across all configuration variants.
+  std::size_t cost_cache_hits = 0;
+  std::size_t cost_cache_misses = 0;
+  double cost_cache_hit_rate = 0.0;
+  /// Per-kernel estimator memoization (shared across variants).
+  std::size_t estimate_cache_hits = 0;
+  std::size_t estimate_cache_misses = 0;
+  /// Configuration variants actually annotated (≤ configs.size()).
+  std::size_t contexts_built = 0;
+  /// Human-readable table of every point plus the cache statistics.
+  std::string summary;
+};
+
+/// The exploration engine. Construct once per specification (task graph
+/// plus optional behavioural kernels), then explore() batches of points.
+/// An Explorer instance may be reused across batches: its caches persist,
+/// so later batches start warm.
+class Explorer {
+ public:
+  struct Options {
+    /// Total threads (the calling thread included); 0 = all cores.
+    std::size_t num_threads = 0;
+    /// Memoize cost-model and estimator work. Off recomputes everything
+    /// per point — only useful for measuring the caches themselves.
+    bool memoize = true;
+    /// Shards per concurrent cache (contention knob).
+    std::size_t cache_shards = 32;
+  };
+
+  /// `kernels[i]` is task i's behavioural kernel (nullptr = keep the
+  /// task's existing cost annotations). Kernels must outlive the
+  /// Explorer. The graph is copied.
+  Explorer(const ir::TaskGraph& graph, std::vector<const ir::Cdfg*> kernels,
+           Options options);
+  Explorer(const ir::TaskGraph& graph, std::vector<const ir::Cdfg*> kernels);
+  /// Annotation-only specification (no kernels).
+  Explorer(const ir::TaskGraph& graph, Options options);
+  explicit Explorer(const ir::TaskGraph& graph);
+  ~Explorer();
+
+  Explorer(const Explorer&) = delete;
+  Explorer& operator=(const Explorer&) = delete;
+
+  /// Evaluates every point of the batch. `configs` is the pool of
+  /// flow-configuration variants the points reference by index; each
+  /// variant is annotated at most once, on whichever thread needs it
+  /// first. Every point's failure is reported in-band (PointResult::
+  /// error) rather than aborting the batch.
+  ExploreReport explore(const std::vector<FlowConfig>& configs,
+                        const std::vector<DesignPoint>& points);
+
+  /// Convenience: explore the full cross product
+  /// configs × objectives × strategies.
+  ExploreReport sweep(const std::vector<FlowConfig>& configs,
+                      const std::vector<partition::Strategy>& strategies,
+                      const std::vector<partition::Objective>& objectives);
+
+  /// The cross product in deterministic order (config-major, then
+  /// objective, then strategy).
+  static std::vector<DesignPoint> cross_product(
+      std::size_t num_configs,
+      const std::vector<partition::Strategy>& strategies,
+      const std::vector<partition::Objective>& objectives);
+
+  std::size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  struct Context;
+
+  /// Returns the lazily built context for one configuration variant
+  /// (thread-safe; built exactly once).
+  Context& context(const FlowConfig& config, std::size_t config_index,
+                   std::vector<std::unique_ptr<Context>>& contexts);
+  PointResult evaluate_point(const DesignPoint& point, std::size_t index,
+                             const std::vector<FlowConfig>& configs,
+                             std::vector<std::unique_ptr<Context>>& contexts);
+
+  ir::TaskGraph graph_;
+  std::vector<const ir::Cdfg*> kernels_;
+  Options options_;
+  ThreadPool pool_;
+  /// ir::optimize results shared across variants (keyed by kernel
+  /// identity; optimization is deterministic).
+  ConcurrentCache<const ir::Cdfg*, std::shared_ptr<const ir::Cdfg>>
+      optimized_kernels_;
+  KernelEstimateCache estimate_cache_;
+};
+
+/// Computes the indices of the (latency, area, evaluations)-Pareto-optimal
+/// results among `points` (failed points excluded), ascending. Exposed for
+/// tests.
+std::vector<std::size_t> pareto_indices(const std::vector<PointResult>& points);
+
+}  // namespace mhs::core

@@ -10,40 +10,99 @@
 
 namespace mhs::core {
 
+namespace {
+
+/// Signature of the estimation environment: two kernels estimated under
+/// equal signatures yield equal results, so the signature is a sound
+/// KernelEstimateCache key component. Hashes every CPU and library field
+/// the estimators read.
+std::uint64_t estimate_env_signature(const sw::CpuModel& cpu,
+                                     const hw::ComponentLibrary& lib) {
+  std::size_t seed = 0;
+  const auto mix_double = [&seed](double v) {
+    hash_combine(seed, std::hash<double>{}(v));
+  };
+  const auto mix_size = [&seed](std::size_t v) {
+    hash_combine(seed, std::hash<std::size_t>{}(v));
+  };
+  mix_size(cpu.alu_cycles);
+  mix_size(cpu.mul_cycles);
+  mix_size(cpu.div_cycles);
+  mix_size(cpu.mem_cycles);
+  mix_size(cpu.branch_taken_cycles);
+  mix_size(cpu.branch_not_taken_cycles);
+  mix_double(cpu.clock_scale);
+  for (std::size_t i = 0; i < hw::kNumFuTypes; ++i) {
+    mix_double(lib.fu[i].area);
+    mix_size(lib.fu[i].latency);
+  }
+  mix_double(lib.register_area);
+  mix_double(lib.mux_leg_area);
+  mix_double(lib.controller_base_area);
+  mix_double(lib.controller_area_per_state);
+  mix_double(lib.controller_area_per_ctrl_bit);
+  return seed;
+}
+
+/// The per-kernel estimator work of annotate_costs (compiled SW estimate,
+/// min-area HLS, dataflow-parallelism annotation).
+KernelEstimateCache::Entry estimate_kernel(const ir::Cdfg& kernel,
+                                           const FlowConfig& config) {
+  KernelEstimateCache::Entry entry;
+
+  const sw::SwEstimate sw_est = sw::estimate_compiled(kernel, config.cpu);
+  entry.sw_cycles = sw_est.cycles_per_iteration;
+  entry.sw_size = sw_est.code_bytes;
+
+  hw::HlsConstraints constraints;
+  constraints.goal = hw::HlsGoal::kMinArea;
+  const hw::HlsResult impl =
+      hw::synthesize(kernel, config.library, constraints);
+  entry.hw_cycles = static_cast<double>(impl.latency);
+  entry.hw_area = impl.area.total();
+
+  // Nature of computation: available dataflow parallelism, i.e. how much
+  // wider than its depth the kernel is.
+  std::size_t compute_ops = 0;
+  for (const ir::OpId id : kernel.op_ids()) {
+    if (ir::op_is_compute(kernel.op(id).kind)) ++compute_ops;
+  }
+  const std::size_t depth = std::max<std::size_t>(kernel.depth(), 1);
+  entry.parallelism = std::clamp(
+      (static_cast<double>(compute_ops) / static_cast<double>(depth) - 1.0) /
+          3.0,
+      0.0, 1.0);
+  return entry;
+}
+
+}  // namespace
+
 ir::TaskGraph annotate_costs(const ir::TaskGraph& graph,
                              const std::vector<const ir::Cdfg*>& kernels,
-                             const FlowConfig& config) {
+                             const FlowConfig& config,
+                             KernelEstimateCache* cache) {
   MHS_CHECK(kernels.size() == graph.num_tasks(),
             "one kernel slot per task required (use nullptr to skip)");
+  const std::uint64_t env =
+      cache == nullptr ? 0 : estimate_env_signature(config.cpu, config.library);
   ir::TaskGraph annotated = graph;
   for (const ir::TaskId t : annotated.task_ids()) {
     const ir::Cdfg* kernel = kernels[t.index()];
     if (kernel == nullptr) continue;
+
+    const KernelEstimateCache::Entry entry =
+        cache == nullptr
+            ? estimate_kernel(*kernel, config)
+            : cache->table().get_or_compute(
+                  KernelEstimateCache::Key{kernel, env},
+                  [&] { return estimate_kernel(*kernel, config); });
+
     ir::TaskCosts& costs = annotated.task(t).costs;
-
-    const sw::SwEstimate sw_est = sw::estimate_compiled(*kernel, config.cpu);
-    costs.sw_cycles = sw_est.cycles_per_iteration;
-    costs.sw_size = sw_est.code_bytes;
-
-    hw::HlsConstraints constraints;
-    constraints.goal = hw::HlsGoal::kMinArea;
-    const hw::HlsResult impl =
-        hw::synthesize(*kernel, config.library, constraints);
-    costs.hw_cycles = static_cast<double>(impl.latency);
-    costs.hw_area = impl.area.total();
-
-    // Nature of computation: available dataflow parallelism, i.e. how much
-    // wider than its depth the kernel is.
-    std::size_t compute_ops = 0;
-    for (const ir::OpId id : kernel->op_ids()) {
-      if (ir::op_is_compute(kernel->op(id).kind)) ++compute_ops;
-    }
-    const std::size_t depth = std::max<std::size_t>(kernel->depth(), 1);
-    costs.parallelism = std::clamp(
-        (static_cast<double>(compute_ops) / static_cast<double>(depth) -
-         1.0) /
-            3.0,
-        0.0, 1.0);
+    costs.sw_cycles = entry.sw_cycles;
+    costs.sw_size = entry.sw_size;
+    costs.hw_cycles = entry.hw_cycles;
+    costs.hw_area = entry.hw_area;
+    costs.parallelism = entry.parallelism;
   }
   return annotated;
 }

@@ -13,15 +13,69 @@
 //                hardware kernel behind its synthesized register interface.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
+#include "base/concurrent_cache.h"
 #include "cosynth/coproc.h"
 #include "sim/cosim.h"
 
 namespace mhs::core {
 
+struct FlowConfig;
+
+/// Thread-safe memo of annotate_costs' per-kernel estimator work (the
+/// compiled software estimate, the min-area HLS run, and the parallelism
+/// annotation). Keyed by kernel identity plus a signature of the
+/// CPU/library characterization, so repeated flows — or explorer
+/// configuration variants — over the same kernels skip re-estimating.
+class KernelEstimateCache {
+ public:
+  KernelEstimateCache() = default;
+
+  std::size_t hits() const { return cache_.hits(); }
+  std::size_t misses() const { return cache_.misses(); }
+  std::size_t size() const { return cache_.size(); }
+
+  /// One task's estimator-derived annotation.
+  struct Entry {
+    double sw_cycles = 0.0;
+    double sw_size = 0.0;
+    double hw_cycles = 0.0;
+    double hw_area = 0.0;
+    double parallelism = 0.0;
+  };
+
+  struct Key {
+    const void* kernel = nullptr;  ///< kernel object identity
+    std::uint64_t env = 0;         ///< CPU + library signature
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::size_t seed = std::hash<const void*>{}(key.kernel);
+      hash_combine(seed, std::hash<std::uint64_t>{}(key.env));
+      return seed;
+    }
+  };
+
+  /// The underlying memo table (used by annotate_costs).
+  ConcurrentCache<Key, Entry, KeyHash>& table() { return cache_; }
+
+ private:
+  ConcurrentCache<Key, Entry, KeyHash> cache_{16};
+};
+
 /// Flow-wide configuration.
+///
+/// Configure either by mutating fields or through the fluent builder:
+///   auto cfg = FlowConfig::defaults()
+///                  .with_strategy(cosynth::CoprocStrategy::kGclp)
+///                  .with_latency_target(5000.0)
+///                  .without_cosim();
+/// Every with_/without_ method returns a modified copy, so a base config
+/// can be forked into variants (the explorer's typical input).
 struct FlowConfig {
   cosynth::CoprocStrategy strategy = cosynth::CoprocStrategy::kKl;
   partition::Objective objective;
@@ -39,6 +93,68 @@ struct FlowConfig {
   sim::InterfaceLevel cosim_level = sim::InterfaceLevel::kRegister;
   std::size_t cosim_samples = 8;
   std::uint64_t cosim_seed = 7;
+
+  /// The default configuration, as a fluent-chain anchor.
+  static FlowConfig defaults() { return {}; }
+
+  FlowConfig with_strategy(cosynth::CoprocStrategy s) const {
+    FlowConfig c = *this;
+    c.strategy = s;
+    return c;
+  }
+  FlowConfig with_objective(const partition::Objective& o) const {
+    FlowConfig c = *this;
+    c.objective = o;
+    return c;
+  }
+  /// Sets objective.latency_target (0 = unconstrained).
+  FlowConfig with_latency_target(double cycles) const {
+    FlowConfig c = *this;
+    c.objective.latency_target = cycles;
+    return c;
+  }
+  /// Sets objective.area_weight.
+  FlowConfig with_area_weight(double weight) const {
+    FlowConfig c = *this;
+    c.objective.area_weight = weight;
+    return c;
+  }
+  FlowConfig with_library(const hw::ComponentLibrary& lib) const {
+    FlowConfig c = *this;
+    c.library = lib;
+    return c;
+  }
+  FlowConfig with_cpu(const sw::CpuModel& model) const {
+    FlowConfig c = *this;
+    c.cpu = model;
+    return c;
+  }
+  FlowConfig with_comm(const partition::CommModel& model) const {
+    FlowConfig c = *this;
+    c.comm = model;
+    return c;
+  }
+  FlowConfig without_kernel_optimization() const {
+    FlowConfig c = *this;
+    c.optimize_kernels = false;
+    return c;
+  }
+  FlowConfig without_hls_validation() const {
+    FlowConfig c = *this;
+    c.validate_with_hls = false;
+    return c;
+  }
+  FlowConfig without_cosim() const {
+    FlowConfig c = *this;
+    c.cosimulate = false;
+    return c;
+  }
+  FlowConfig with_cosim_level(sim::InterfaceLevel level) const {
+    FlowConfig c = *this;
+    c.cosimulate = true;
+    c.cosim_level = level;
+    return c;
+  }
 };
 
 /// Everything the flow produced.
@@ -70,8 +186,12 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
 /// The estimate step alone: returns `graph` with sw/hw costs derived from
 /// the kernels (software: compiled static estimate; hardware: min-area
 /// HLS latency and area; parallelism: width of the kernel's dataflow).
+/// With a non-null `cache`, per-kernel estimates are memoized across
+/// calls — callers re-annotating the same kernels (repeated flows, the
+/// explorer's configuration variants) pay the estimators once.
 ir::TaskGraph annotate_costs(const ir::TaskGraph& graph,
                              const std::vector<const ir::Cdfg*>& kernels,
-                             const FlowConfig& config);
+                             const FlowConfig& config,
+                             KernelEstimateCache* cache = nullptr);
 
 }  // namespace mhs::core

@@ -2,40 +2,14 @@
 
 namespace mhs::cosynth {
 
-const char* coproc_strategy_name(CoprocStrategy strategy) {
-  switch (strategy) {
-    case CoprocStrategy::kHotSpot:  return "hot_spot";
-    case CoprocStrategy::kUnload:   return "unload";
-    case CoprocStrategy::kKl:       return "kl";
-    case CoprocStrategy::kAnnealed: return "annealed";
-    case CoprocStrategy::kGclp:     return "gclp";
-  }
-  return "?";
-}
-
 CoprocDesign synthesize_coprocessor(const partition::CostModel& model,
                                     const partition::Objective& objective,
                                     CoprocStrategy strategy) {
   CoprocDesign design;
-  switch (strategy) {
-    case CoprocStrategy::kHotSpot:
-      design.partition = partition::partition_hot_spot(model, objective);
-      break;
-    case CoprocStrategy::kUnload:
-      design.partition = partition::partition_unload(model, objective);
-      break;
-    case CoprocStrategy::kKl:
-      design.partition = partition::partition_kl(model, objective);
-      break;
-    case CoprocStrategy::kAnnealed:
-      design.partition = partition::partition_annealed(model, objective);
-      break;
-    case CoprocStrategy::kGclp:
-      design.partition = partition::partition_gclp(model, objective);
-      break;
-  }
+  design.partition = partition::run(strategy, model, objective);
   design.all_sw_latency =
-      partition::partition_all_sw(model, objective).metrics.latency_cycles;
+      partition::run(partition::Strategy::kAllSw, model, objective)
+          .metrics.latency_cycles;
   return design;
 }
 

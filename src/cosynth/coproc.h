@@ -17,15 +17,14 @@
 namespace mhs::cosynth {
 
 /// Which published partitioning style to run (§4.5's comparison axes).
-enum class CoprocStrategy {
-  kHotSpot,   ///< Henkel/Ernst [17]: all-SW start, move hot spots to HW
-  kUnload,    ///< Gupta & De Micheli [6]: all-HW start, evict to SW
-  kKl,        ///< pass-based move improvement
-  kAnnealed,  ///< simulated annealing
-  kGclp,      ///< Kalavade & Lee constructive mapping
-};
+/// An alias of the partition-layer strategy enum: co-processor synthesis
+/// selects its algorithm through the same partition::run dispatcher as
+/// every other consumer.
+using CoprocStrategy = partition::Strategy;
 
-const char* coproc_strategy_name(CoprocStrategy strategy);
+inline const char* coproc_strategy_name(CoprocStrategy strategy) {
+  return partition::strategy_name(strategy);
+}
 
 /// A synthesized co-processor system.
 struct CoprocDesign {

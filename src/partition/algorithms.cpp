@@ -22,20 +22,20 @@ PartitionResult finish(std::string name, const CostModel& model,
 
 }  // namespace
 
-PartitionResult partition_all_sw(const CostModel& model,
-                                 const Objective& objective) {
+static PartitionResult all_sw_impl(const CostModel& model,
+                                   const Objective& objective) {
   return finish("all_sw", model, objective,
                 Mapping(model.graph().num_tasks(), false), 0);
 }
 
-PartitionResult partition_all_hw(const CostModel& model,
-                                 const Objective& objective) {
+static PartitionResult all_hw_impl(const CostModel& model,
+                                   const Objective& objective) {
   return finish("all_hw", model, objective,
                 Mapping(model.graph().num_tasks(), true), 0);
 }
 
-PartitionResult partition_hot_spot(const CostModel& model,
-                                   const Objective& objective) {
+static PartitionResult hot_spot_impl(const CostModel& model,
+                                     const Objective& objective) {
   MHS_CHECK(objective.latency_target > 0.0,
             "partition_hot_spot needs a latency target");
   const std::size_t n = model.graph().num_tasks();
@@ -71,8 +71,8 @@ PartitionResult partition_hot_spot(const CostModel& model,
   return finish("hot_spot", model, objective, std::move(mapping), evals);
 }
 
-PartitionResult partition_unload(const CostModel& model,
-                                 const Objective& objective) {
+static PartitionResult unload_impl(const CostModel& model,
+                                   const Objective& objective) {
   MHS_CHECK(objective.latency_target > 0.0,
             "partition_unload needs a latency target");
   const std::size_t n = model.graph().num_tasks();
@@ -110,8 +110,8 @@ PartitionResult partition_unload(const CostModel& model,
   return finish("unload", model, objective, std::move(mapping), evals);
 }
 
-PartitionResult partition_kl(const CostModel& model,
-                             const Objective& objective, Mapping start) {
+static PartitionResult kl_impl(const CostModel& model,
+                               const Objective& objective, Mapping start) {
   const std::size_t n = model.graph().num_tasks();
   Mapping mapping = start.empty() ? Mapping(n, false) : std::move(start);
   MHS_CHECK(mapping.size() == n, "start mapping size mismatch");
@@ -173,9 +173,9 @@ PartitionResult partition_kl(const CostModel& model,
   return finish("kl", model, objective, std::move(mapping), evals);
 }
 
-PartitionResult partition_annealed(const CostModel& model,
-                                   const Objective& objective,
-                                   const opt::AnnealConfig& anneal_config) {
+static PartitionResult annealed_impl(const CostModel& model,
+                                     const Objective& objective,
+                                     const opt::AnnealConfig& anneal_config) {
   const std::size_t n = model.graph().num_tasks();
   MHS_CHECK(n > 0, "cannot partition an empty graph");
   Mapping mapping(n, false);
@@ -220,8 +220,8 @@ PartitionResult partition_annealed(const CostModel& model,
   return finish("annealed", model, objective, std::move(best), evals);
 }
 
-PartitionResult partition_gclp(const CostModel& model,
-                               const Objective& objective) {
+static PartitionResult gclp_impl(const CostModel& model,
+                                 const Objective& objective) {
   const ir::TaskGraph& g = model.graph();
   const std::size_t n = g.num_tasks();
   Mapping mapping(n, false);
@@ -279,6 +279,75 @@ PartitionResult partition_gclp(const CostModel& model,
     decided[t.index()] = true;
   }
   return finish("gclp", model, objective, std::move(mapping), evals);
+}
+
+const char* strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kAllSw:    return "all_sw";
+    case Strategy::kAllHw:    return "all_hw";
+    case Strategy::kHotSpot:  return "hot_spot";
+    case Strategy::kUnload:   return "unload";
+    case Strategy::kKl:       return "kl";
+    case Strategy::kAnnealed: return "annealed";
+    case Strategy::kGclp:     return "gclp";
+  }
+  return "?";
+}
+
+PartitionResult run(Strategy strategy, const CostModel& model,
+                    const Objective& objective,
+                    const PartitionOptions& options) {
+  switch (strategy) {
+    case Strategy::kAllSw:    return all_sw_impl(model, objective);
+    case Strategy::kAllHw:    return all_hw_impl(model, objective);
+    case Strategy::kHotSpot:  return hot_spot_impl(model, objective);
+    case Strategy::kUnload:   return unload_impl(model, objective);
+    case Strategy::kKl:       return kl_impl(model, objective, options.start);
+    case Strategy::kAnnealed: return annealed_impl(model, objective,
+                                                   options.anneal);
+    case Strategy::kGclp:     return gclp_impl(model, objective);
+  }
+  MHS_CHECK(false, "unknown partitioning strategy");
+}
+
+PartitionResult partition_all_sw(const CostModel& model,
+                                 const Objective& objective) {
+  return run(Strategy::kAllSw, model, objective);
+}
+
+PartitionResult partition_all_hw(const CostModel& model,
+                                 const Objective& objective) {
+  return run(Strategy::kAllHw, model, objective);
+}
+
+PartitionResult partition_hot_spot(const CostModel& model,
+                                   const Objective& objective) {
+  return run(Strategy::kHotSpot, model, objective);
+}
+
+PartitionResult partition_unload(const CostModel& model,
+                                 const Objective& objective) {
+  return run(Strategy::kUnload, model, objective);
+}
+
+PartitionResult partition_kl(const CostModel& model,
+                             const Objective& objective, Mapping start) {
+  PartitionOptions options;
+  options.start = std::move(start);
+  return run(Strategy::kKl, model, objective, options);
+}
+
+PartitionResult partition_annealed(const CostModel& model,
+                                   const Objective& objective,
+                                   const opt::AnnealConfig& anneal) {
+  PartitionOptions options;
+  options.anneal = anneal;
+  return run(Strategy::kAnnealed, model, objective, options);
+}
+
+PartitionResult partition_gclp(const CostModel& model,
+                               const Objective& objective) {
+  return run(Strategy::kGclp, model, objective);
 }
 
 }  // namespace mhs::partition

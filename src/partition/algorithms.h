@@ -18,6 +18,11 @@
 // All algorithms optimize the scalar energy of a CostModel Objective and
 // report the metrics of their final mapping plus how many cost-model
 // evaluations they spent (the comparison axes of the E8 benchmark).
+//
+// `run(Strategy, ...)` is the preferred entry point: every consumer
+// (core::Explorer, core::flow, cosynth::coproc, the benches) selects an
+// algorithm through this one enum-driven dispatcher; the per-algorithm
+// free functions remain as thin wrappers around it.
 #pragma once
 
 #include <string>
@@ -27,6 +32,41 @@
 
 namespace mhs::partition {
 
+/// Every partitioning algorithm selectable through run().
+enum class Strategy {
+  kAllSw,     ///< baseline: everything on the processor
+  kAllHw,     ///< baseline: everything in custom hardware
+  kHotSpot,   ///< Henkel/Ernst [17]: all-SW start, move hot spots to HW
+  kUnload,    ///< Gupta & De Micheli [6]: all-HW start, evict to SW
+  kKl,        ///< pass-based move improvement
+  kAnnealed,  ///< simulated annealing
+  kGclp,      ///< Kalavade & Lee constructive mapping
+};
+
+/// All strategies, for iteration (the baselines first).
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kAllSw, Strategy::kAllHw,  Strategy::kHotSpot, Strategy::kUnload,
+    Strategy::kKl,    Strategy::kAnnealed, Strategy::kGclp};
+
+/// The §4.5 search strategies (no trivial baselines) — what a
+/// design-space sweep typically crosses with its objectives.
+inline constexpr Strategy kSearchStrategies[] = {
+    Strategy::kHotSpot, Strategy::kUnload, Strategy::kKl, Strategy::kAnnealed,
+    Strategy::kGclp};
+
+/// Stable lower_snake name of a strategy (matches
+/// PartitionResult::algorithm).
+const char* strategy_name(Strategy strategy);
+
+/// Per-strategy knobs for run(). Strategies ignore options that do not
+/// concern them.
+struct PartitionOptions {
+  /// Starting mapping for kKl (empty = all-SW).
+  Mapping start;
+  /// Schedule/seed for kAnnealed.
+  opt::AnnealConfig anneal;
+};
+
 /// Outcome of one partitioning run.
 struct PartitionResult {
   std::string algorithm;
@@ -35,6 +75,13 @@ struct PartitionResult {
   /// Cost-model evaluations consumed (optimization effort proxy).
   std::size_t evaluations = 0;
 };
+
+/// The one enum-driven entry point: runs `strategy` over
+/// `model`/`objective`. kHotSpot and kUnload require
+/// objective.latency_target > 0.
+PartitionResult run(Strategy strategy, const CostModel& model,
+                    const Objective& objective,
+                    const PartitionOptions& options = {});
 
 /// Trivial baselines.
 PartitionResult partition_all_sw(const CostModel& model,

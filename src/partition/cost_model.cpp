@@ -7,6 +7,25 @@
 
 namespace mhs::partition {
 
+namespace {
+
+/// Packs a mapping into 64-bit words for use as a cache key. `tag`
+/// selects the cached quantity: bit 0 = hw_concurrent, bit 1 =
+/// price_communication for latency entries; 4 marks an area entry.
+EvalCache::Key make_key(const Mapping& mapping, std::uint32_t tag) {
+  EvalCache::Key key;
+  key.tag = tag;
+  key.words.assign((mapping.size() + 63) / 64, 0);
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    if (mapping[i]) key.words[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  return key;
+}
+
+constexpr std::uint32_t kAreaTag = 4;
+
+}  // namespace
+
 CostModel::CostModel(const ir::TaskGraph& graph, hw::ComponentLibrary lib,
                      CommModel comm)
     : graph_(&graph), lib_(lib), comm_(comm) {
@@ -31,6 +50,21 @@ double CostModel::edge_delay(ir::EdgeId e, bool src_hw, bool dst_hw) const {
 double CostModel::schedule_latency(const Mapping& mapping,
                                    bool hw_concurrent,
                                    bool price_communication) const {
+  if (cache_ == nullptr) {
+    return schedule_latency_uncached(mapping, hw_concurrent,
+                                     price_communication);
+  }
+  const std::uint32_t tag = (hw_concurrent ? 1u : 0u) |
+                            (price_communication ? 2u : 0u);
+  return cache_->values_.get_or_compute(make_key(mapping, tag), [&] {
+    return schedule_latency_uncached(mapping, hw_concurrent,
+                                     price_communication);
+  });
+}
+
+double CostModel::schedule_latency_uncached(const Mapping& mapping,
+                                            bool hw_concurrent,
+                                            bool price_communication) const {
   const ir::TaskGraph& g = *graph_;
   MHS_CHECK(mapping.size() == g.num_tasks(), "mapping/task-count mismatch");
   const std::size_t n = g.num_tasks();
@@ -119,6 +153,13 @@ double CostModel::schedule_latency(const Mapping& mapping,
 }
 
 double CostModel::hardware_area(const Mapping& mapping) const {
+  if (cache_ == nullptr) return hardware_area_uncached(mapping);
+  return cache_->values_.get_or_compute(
+      make_key(mapping, kAreaTag),
+      [&] { return hardware_area_uncached(mapping); });
+}
+
+double CostModel::hardware_area_uncached(const Mapping& mapping) const {
   std::vector<hw::HwProfile> residents;
   for (std::size_t i = 0; i < mapping.size(); ++i) {
     if (mapping[i]) residents.push_back(profiles_[i]);

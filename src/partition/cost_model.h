@@ -17,8 +17,10 @@
 // working under a crippled objective is scored against the full model.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "base/concurrent_cache.h"
 #include "hw/estimate.h"
 #include "ir/task_graph.h"
 
@@ -26,6 +28,56 @@ namespace mhs::partition {
 
 /// A mapping: task t is in hardware iff mapping[t.index()] is true.
 using Mapping = std::vector<bool>;
+
+/// Thread-safe memoization of CostModel's expensive sub-evaluations
+/// (schedule latency and shared hardware area), keyed by the packed
+/// mapping bits. Objective weights are applied *after* the cached terms,
+/// so one cache serves every objective evaluated over the same annotated
+/// graph — the dominant sharing in a design-space sweep.
+///
+/// A cache is only valid for CostModels built over the same graph
+/// annotation, library, and communication model; the explorer keeps one
+/// per configuration variant. Attach with CostModel::set_cache().
+class EvalCache {
+ public:
+  explicit EvalCache(std::size_t shards = 32) : values_(shards) {}
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    double hit_rate() const {
+      return hits + misses == 0
+                 ? 0.0
+                 : static_cast<double>(hits) /
+                       static_cast<double>(hits + misses);
+    }
+  };
+  Stats stats() const { return {values_.hits(), values_.misses()}; }
+  std::size_t size() const { return values_.size(); }
+  void clear() { values_.clear(); }
+
+  /// Packed mapping plus a tag discriminating which quantity is cached
+  /// (area, or latency under one of the flag combinations).
+  struct Key {
+    std::vector<std::uint64_t> words;
+    std::uint32_t tag = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::size_t seed = key.tag;
+      for (const std::uint64_t w : key.words) {
+        hash_combine(seed, std::hash<std::uint64_t>{}(w));
+      }
+      return seed;
+    }
+  };
+
+ private:
+  friend class CostModel;
+
+  ConcurrentCache<Key, double, KeyHash> values_;
+};
 
 /// Communication pricing between mapped tasks.
 struct CommModel {
@@ -89,6 +141,14 @@ class CostModel {
   /// Shared hardware area of the tasks mapped to HW.
   double hardware_area(const Mapping& mapping) const;
 
+  /// Attaches (or detaches, with nullptr) a memoization cache consulted
+  /// by schedule_latency and hardware_area. The cache is not owned and
+  /// must outlive the model; it must only ever be shared between models
+  /// over the identical graph annotation, library, and comm model.
+  /// Cached runs return bit-identical results to uncached runs.
+  void set_cache(EvalCache* cache) { cache_ = cache; }
+  EvalCache* cache() const { return cache_; }
+
   const ir::TaskGraph& graph() const { return *graph_; }
   const hw::ComponentLibrary& library() const { return lib_; }
   const CommModel& comm() const { return comm_; }
@@ -97,9 +157,14 @@ class CostModel {
   double edge_delay(ir::EdgeId e, bool src_hw, bool dst_hw) const;
 
  private:
+  double schedule_latency_uncached(const Mapping& mapping, bool hw_concurrent,
+                                   bool price_communication) const;
+  double hardware_area_uncached(const Mapping& mapping) const;
+
   const ir::TaskGraph* graph_;
   hw::ComponentLibrary lib_;
   CommModel comm_;
+  EvalCache* cache_ = nullptr;
   /// Precomputed per-task hardware profiles for the shared-area estimate.
   std::vector<hw::HwProfile> profiles_;
 };

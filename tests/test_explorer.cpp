@@ -1,0 +1,320 @@
+// Unit tests for mhs::core::Explorer — deterministic parallel design-space
+// exploration with memoized cost evaluation — plus the partition::run
+// dispatcher and the base concurrency primitives it builds on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.h"
+#include "base/concurrent_cache.h"
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "core/explorer.h"
+#include "ir/task_graph_gen.h"
+
+namespace mhs::core {
+namespace {
+
+ir::TaskGraph make_graph(std::size_t tasks = 12) {
+  Rng rng(41);
+  ir::TaskGraphGenConfig cfg;
+  cfg.num_tasks = tasks;
+  return ir::generate_task_graph(cfg, rng);
+}
+
+std::vector<partition::Objective> make_objectives(const ir::TaskGraph& g) {
+  partition::Objective constrained;
+  constrained.latency_target = 0.5 * g.total_sw_cycles();
+  constrained.area_weight = 0.02;
+  partition::Objective area_hungry = constrained;
+  area_hungry.area_weight = 0.2;
+  return {constrained, area_hungry};
+}
+
+std::vector<partition::Strategy> search_strategies() {
+  return {partition::Strategy::kHotSpot, partition::Strategy::kUnload,
+          partition::Strategy::kKl, partition::Strategy::kAnnealed,
+          partition::Strategy::kGclp};
+}
+
+/// Field-exact equality of the deterministic parts of two reports
+/// (wall times and cache statistics are scheduling-dependent and
+/// deliberately excluded).
+void expect_reports_identical(const ExploreReport& a,
+                              const ExploreReport& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const PointResult& pa = a.points[i];
+    const PointResult& pb = b.points[i];
+    EXPECT_EQ(pa.index, pb.index);
+    EXPECT_EQ(pa.strategy, pb.strategy);
+    EXPECT_EQ(pa.config_index, pb.config_index);
+    EXPECT_EQ(pa.error, pb.error);
+    EXPECT_EQ(pa.partition.algorithm, pb.partition.algorithm);
+    EXPECT_EQ(pa.partition.mapping, pb.partition.mapping);
+    EXPECT_EQ(pa.partition.evaluations, pb.partition.evaluations);
+    // Bit-identical metrics, not just approximately equal.
+    EXPECT_EQ(pa.partition.metrics.latency_cycles,
+              pb.partition.metrics.latency_cycles);
+    EXPECT_EQ(pa.partition.metrics.hw_area, pb.partition.metrics.hw_area);
+    EXPECT_EQ(pa.partition.metrics.energy, pb.partition.metrics.energy);
+    EXPECT_EQ(pa.all_sw_latency, pb.all_sw_latency);
+    EXPECT_EQ(pa.speedup, pb.speedup);
+    EXPECT_EQ(pa.on_frontier, pb.on_frontier);
+  }
+  EXPECT_EQ(a.frontier, b.frontier);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> seen(257);
+  pool.parallel_for(seen.size(), [&](std::size_t i) {
+    seen[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const std::atomic<int>& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::size_t sum = 0;
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+  EXPECT_EQ(pool.steals(), 0u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(
+                   16,
+                   [](std::size_t i) {
+                     if (i == 7) throw Error("task failed");
+                   }),
+               Error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdleDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ConcurrentCache, MemoizesAndCounts) {
+  ConcurrentCache<int, int> cache(4);
+  int computed = 0;
+  const auto compute = [&computed](int key) {
+    return [&computed, key] {
+      ++computed;
+      return key * key;
+    };
+  };
+  EXPECT_EQ(cache.get_or_compute(5, compute(5)), 25);
+  EXPECT_EQ(cache.get_or_compute(5, compute(5)), 25);
+  EXPECT_EQ(cache.get_or_compute(6, compute(6)), 36);
+  EXPECT_EQ(computed, 2);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  int out = 0;
+  EXPECT_TRUE(cache.lookup(6, &out));
+  EXPECT_EQ(out, 36);
+  EXPECT_FALSE(cache.lookup(7, &out));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ConcurrentCache, ConcurrentHammerStaysConsistent) {
+  ConcurrentCache<int, int> cache(8);
+  ThreadPool pool(4);
+  std::atomic<int> wrong{0};
+  pool.parallel_for(512, [&](std::size_t i) {
+    const int key = static_cast<int>(i % 13);
+    const int value =
+        cache.get_or_compute(key, [key] { return key * 1000; });
+    if (value != key * 1000) wrong.fetch_add(1);
+  });
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(cache.size(), 13u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 512u);
+}
+
+TEST(PartitionRun, DispatcherMatchesWrappers) {
+  const ir::TaskGraph g = make_graph();
+  const partition::CostModel model(g, hw::default_library());
+  partition::Objective obj;
+  obj.latency_target = 0.5 * g.total_sw_cycles();
+
+  const partition::PartitionResult via_run =
+      partition::run(partition::Strategy::kHotSpot, model, obj);
+  const partition::PartitionResult via_wrapper =
+      partition::partition_hot_spot(model, obj);
+  EXPECT_EQ(via_run.algorithm, "hot_spot");
+  EXPECT_EQ(via_run.mapping, via_wrapper.mapping);
+  EXPECT_EQ(via_run.metrics.energy, via_wrapper.metrics.energy);
+  EXPECT_EQ(via_run.evaluations, via_wrapper.evaluations);
+
+  for (const partition::Strategy s : partition::kAllStrategies) {
+    const partition::PartitionResult r = partition::run(s, model, obj);
+    EXPECT_EQ(r.algorithm, partition::strategy_name(s));
+    EXPECT_EQ(r.mapping.size(), g.num_tasks());
+  }
+}
+
+TEST(Explorer, DeterministicAcrossThreadCounts) {
+  const ir::TaskGraph g = make_graph();
+  const std::vector<FlowConfig> configs = {FlowConfig::defaults()};
+  const std::vector<DesignPoint> points = Explorer::cross_product(
+      configs.size(), search_strategies(), make_objectives(g));
+  ASSERT_EQ(points.size(), 10u);
+
+  std::vector<ExploreReport> reports;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    Explorer::Options options;
+    options.num_threads = threads;
+    Explorer explorer(g, options);
+    reports.push_back(explorer.explore(configs, points));
+    EXPECT_EQ(reports.back().threads, threads);
+  }
+  expect_reports_identical(reports[0], reports[1]);
+  expect_reports_identical(reports[0], reports[2]);
+  EXPECT_FALSE(reports[0].frontier.empty());
+}
+
+TEST(Explorer, CachedEvaluationsAreBitIdenticalToUncached) {
+  const ir::TaskGraph g = make_graph();
+  const std::vector<FlowConfig> configs = {FlowConfig::defaults()};
+  const std::vector<DesignPoint> points = Explorer::cross_product(
+      configs.size(), search_strategies(), make_objectives(g));
+
+  Explorer::Options uncached_options;
+  uncached_options.num_threads = 1;
+  uncached_options.memoize = false;
+  Explorer uncached(g, uncached_options);
+  const ExploreReport plain = uncached.explore(configs, points);
+  EXPECT_EQ(plain.cost_cache_hits + plain.cost_cache_misses, 0u);
+
+  Explorer::Options cached_options;
+  cached_options.num_threads = 1;
+  Explorer cached(g, cached_options);
+  const ExploreReport memo = cached.explore(configs, points);
+  EXPECT_GT(memo.cost_cache_hits, 0u);
+
+  expect_reports_identical(plain, memo);
+}
+
+TEST(Explorer, EmptyBatchAndSinglePoint) {
+  const ir::TaskGraph g = make_graph();
+  Explorer::Options options;
+  options.num_threads = 2;
+  Explorer explorer(g, options);
+
+  const ExploreReport empty = explorer.explore({FlowConfig::defaults()}, {});
+  EXPECT_TRUE(empty.points.empty());
+  EXPECT_TRUE(empty.frontier.empty());
+  EXPECT_EQ(empty.contexts_built, 0u);
+
+  DesignPoint point;
+  point.strategy = partition::Strategy::kKl;
+  point.objective = make_objectives(g)[0];
+  const ExploreReport one =
+      explorer.explore({FlowConfig::defaults()}, {point});
+  ASSERT_EQ(one.points.size(), 1u);
+  EXPECT_TRUE(one.points[0].error.empty());
+  EXPECT_TRUE(one.points[0].on_frontier);
+  ASSERT_EQ(one.frontier, std::vector<std::size_t>{0});
+
+  // A single point must agree exactly with a direct dispatcher call
+  // (the graph has no kernels, so annotation leaves it unchanged).
+  const FlowConfig cfg = FlowConfig::defaults();
+  const partition::CostModel model(g, cfg.library, cfg.comm);
+  const partition::PartitionResult direct =
+      partition::run(point.strategy, model, point.objective);
+  EXPECT_EQ(one.points[0].partition.mapping, direct.mapping);
+  EXPECT_EQ(one.points[0].partition.metrics.energy, direct.metrics.energy);
+}
+
+TEST(Explorer, PointFailuresAreReportedInBand) {
+  const ir::TaskGraph g = make_graph();
+  Explorer::Options options;
+  options.num_threads = 2;
+  Explorer explorer(g, options);
+
+  DesignPoint needs_target;
+  needs_target.strategy = partition::Strategy::kHotSpot;
+  // No latency target: the hot-spot mover must refuse.
+  DesignPoint fine;
+  fine.strategy = partition::Strategy::kGclp;
+  fine.objective = make_objectives(g)[0];
+
+  const ExploreReport report =
+      explorer.explore({FlowConfig::defaults()}, {needs_target, fine});
+  ASSERT_EQ(report.points.size(), 2u);
+  EXPECT_FALSE(report.points[0].error.empty());
+  EXPECT_FALSE(report.points[0].on_frontier);
+  EXPECT_TRUE(report.points[1].error.empty());
+  // Only the successful point is frontier-eligible.
+  ASSERT_EQ(report.frontier, std::vector<std::size_t>{1});
+}
+
+TEST(Explorer, KernelEstimatesSharedAcrossConfigVariants) {
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  Explorer::Options options;
+  options.num_threads = 2;
+  Explorer explorer(w.graph, w.kernels, options);
+
+  // Two variants with identical estimation environments: the second
+  // context's annotation must be served from the kernel-estimate cache.
+  const std::vector<FlowConfig> configs = {
+      FlowConfig::defaults().without_cosim(),
+      FlowConfig::defaults().without_cosim().with_area_weight(0.2)};
+  partition::Objective obj;
+  obj.latency_target = 0.6 * w.graph.total_sw_cycles();
+  const ExploreReport report =
+      explorer.sweep(configs, {partition::Strategy::kKl}, {obj});
+
+  ASSERT_EQ(report.points.size(), 2u);
+  EXPECT_TRUE(report.points[0].error.empty());
+  EXPECT_TRUE(report.points[1].error.empty());
+  EXPECT_EQ(report.contexts_built, 2u);
+  EXPECT_GT(report.estimate_cache_hits, 0u);
+  // Identical environments ⇒ identical annotations ⇒ identical results.
+  EXPECT_EQ(report.points[0].partition.mapping,
+            report.points[1].partition.mapping);
+  EXPECT_EQ(report.points[0].partition.metrics.latency_cycles,
+            report.points[1].partition.metrics.latency_cycles);
+}
+
+TEST(Explorer, ParetoIndicesMinimizeAllThreeObjectives) {
+  const auto mk = [](double latency, double area, std::size_t evals) {
+    PointResult p;
+    p.partition.metrics.latency_cycles = latency;
+    p.partition.metrics.hw_area = area;
+    p.partition.evaluations = evals;
+    return p;
+  };
+  std::vector<PointResult> pts = {
+      mk(100, 10, 5),   // 0: optimal corner
+      mk(100, 10, 9),   // 1: dominated by 0 (more evals)
+      mk(50, 20, 9),    // 2: non-dominated (best latency)
+      mk(200, 5, 9),    // 3: non-dominated (best area)
+      mk(200, 20, 20),  // 4: dominated by everything
+  };
+  EXPECT_EQ(pareto_indices(pts), (std::vector<std::size_t>{0, 2, 3}));
+  // Failed points never reach the frontier.
+  pts[2].error = "boom";
+  EXPECT_EQ(pareto_indices(pts), (std::vector<std::size_t>{0, 3}));
+}
+
+}  // namespace
+}  // namespace mhs::core
