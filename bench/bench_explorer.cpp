@@ -17,6 +17,7 @@
 //     at 1, 2, 4, and 8 threads, and matches the naive baseline.
 #include <iomanip>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +25,8 @@
 #include "apps/workloads.h"
 #include "bench_util.h"
 #include "core/explorer.h"
+#include "ir/optimize.h"
+#include "obs/obs.h"
 
 namespace mhs {
 namespace {
@@ -177,5 +180,57 @@ int main() {
       "bit-identical Pareto frontier at 1/2/4/8 threads matching the naive "
       "results",
       speedup_at_4 >= 2.0 && frontiers_identical && matches_naive);
+
+  // Estimate-cache soundness under content-hash keying: the two flow
+  // variants look up each kernel once per context (2K lookups); the key
+  // is (content hash, environment signature), and both variants share one
+  // environment, so the expected miss count is exactly the number of
+  // distinct kernel bodies across {optimized} ∪ {original}. Asserted on
+  // the 1-thread run, where hit/miss counts are race-free.
+  std::size_t num_kernels = 0;
+  std::set<std::uint64_t> unique_bodies;
+  for (const ir::Cdfg* kernel : workload.kernels) {
+    if (kernel == nullptr) continue;
+    ++num_kernels;
+    unique_bodies.insert(ir::content_hash(ir::optimize(*kernel)));
+    unique_bodies.insert(ir::content_hash(*kernel));
+  }
+  const std::size_t expected_misses = unique_bodies.size();
+  const std::size_t expected_hits = 2 * num_kernels - expected_misses;
+  const core::ExploreReport& single = runs.front().report;
+  std::cout << "\nestimate cache (1 thread): "
+            << single.estimate_cache_hits << " hits / "
+            << single.estimate_cache_misses << " misses; expected "
+            << expected_hits << " / " << expected_misses
+            << " from content hashing\n";
+  bench::print_claim(
+      "content-hash keying estimates each distinct kernel body exactly "
+      "once (misses = unique bodies, hits = remaining lookups)",
+      single.estimate_cache_misses == expected_misses &&
+          single.estimate_cache_hits == expected_hits);
+
+  // Observability overhead: a traced 4-thread sweep must reproduce the
+  // untraced frontier bit-for-bit (tracing never perturbs results).
+  obs::Registry registry;
+  core::ExploreReport traced_report;
+  double traced_ms = 0.0;
+  {
+    core::Explorer::Options options;
+    options.num_threads = 4;
+    core::Explorer explorer(workload.graph, workload.kernels, options);
+    obs::ScopedRegistry scope(registry);
+    bench::Stopwatch watch;
+    traced_report = explorer.explore(configs, points);
+    traced_ms = watch.elapsed_us() / 1000.0;
+  }
+  std::cout << "\ntraced explorer at 4 threads: " << fmt(traced_ms, 1)
+            << " ms (untraced: " << fmt(four.wall_ms, 1) << " ms); "
+            << registry.num_events() << " spans, "
+            << registry.counter("explorer.points") << " points counted\n";
+  bench::print_claim(
+      "tracing-enabled sweep is bit-identical to the untraced frontier "
+      "and counts every design point",
+      frontier_signature(traced_report) == reference &&
+          registry.counter("explorer.points") == points.size());
   return 0;
 }

@@ -12,7 +12,7 @@
 
 #include "apps/kernels.h"
 #include "bench_util.h"
-#include "cosynth/asip.h"
+#include "cosynth/run.h"
 
 namespace mhs {
 namespace {
@@ -47,8 +47,12 @@ void run() {
     const char* name = apps_set == &media ? "media(dct+fir)" : "crypto(xtea)";
     double prev = 0.99;
     for (const double budget : {0.0, 400.0, 1000.0, 2000.0, 4000.0}) {
+      cosynth::Request request;
+      request.apps = *apps_set;
+      request.cpu = base;
+      request.area_budget = budget;
       const cosynth::AsipDesign d =
-          cosynth::synthesize_asip(*apps_set, base, budget);
+          *cosynth::run(cosynth::Target::kAsip, request).asip;
       monotone = monotone && d.speedup() >= prev - 1e-9;
       prev = d.speedup();
       table.add_row({name, fmt(budget, 0), feature_list(d.features),

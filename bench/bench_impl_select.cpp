@@ -11,7 +11,7 @@
 
 #include "apps/kernels.h"
 #include "bench_util.h"
-#include "cosynth/impl_select.h"
+#include "cosynth/run.h"
 
 namespace mhs {
 namespace {
@@ -53,8 +53,11 @@ void run() {
   double prev = 1e300;
   for (const double budget :
        {2000.0, 4000.0, 8000.0, 16000.0, 40000.0, 120000.0}) {
+    cosynth::Request request;
+    request.menus = menus;
+    request.area_budget = budget;
     const cosynth::ImplSelection s =
-        cosynth::select_implementations(menus, budget);
+        *cosynth::run(cosynth::Target::kImplSelect, request).impl_select;
     if (!s.feasible) {
       table.add_row({fmt(budget, 0), "no", "-", "-", "-", "-", "-",
                      fmt(s.explored)});

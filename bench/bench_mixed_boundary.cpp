@@ -64,7 +64,7 @@ void run() {
     auto emit = [&](const char* name, const cosynth::MixedDesign& d) {
       std::size_t offloaded = 0;
       for (const bool b : d.mapping) offloaded += b ? 1 : 0;
-      table.add_row({fmt(budget, 0), name, fmt(d.latency, 0),
+      table.add_row({fmt(budget, 0), name, fmt(d.latency(), 0),
                      feature_names(d.features), fmt(d.isa_area, 0),
                      fmt(offloaded), fmt(d.coproc_area, 0)});
     };
@@ -73,9 +73,9 @@ void run() {
     emit("mixed (joint)", mixed);
 
     never_worse = never_worse &&
-                  mixed.latency <= pure1.latency + 1e-6 &&
-                  mixed.latency <= pure2.latency + 1e-6;
-    if (mixed.latency < 0.98 * std::min(pure1.latency, pure2.latency)) {
+                  mixed.latency() <= pure1.latency() + 1e-6 &&
+                  mixed.latency() <= pure2.latency() + 1e-6;
+    if (mixed.latency() < 0.98 * std::min(pure1.latency(), pure2.latency())) {
       strictly_better_somewhere = true;
     }
   }

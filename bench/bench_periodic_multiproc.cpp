@@ -16,6 +16,7 @@
 #include "base/rng.h"
 #include "bench_util.h"
 #include "cosynth/periodic.h"
+#include "cosynth/run.h"
 #include "ir/task_graph_gen.h"
 
 namespace mhs {
@@ -52,8 +53,11 @@ void run() {
     for (const ir::TaskId t : g.task_ids()) {
       total_util += g.task(t).costs.sw_cycles / g.task(t).period;
     }
+    cosynth::Request request;
+    request.graph = &g;
+    request.catalog = catalog;
     const cosynth::MpDesign design =
-        cosynth::synthesize_periodic(g, catalog);
+        *cosynth::run(cosynth::Target::kMultiprocPeriodic, request).multiproc;
     if (!design.feasible) {
       table.add_row({fmt(load, 2), fmt(total_util, 2), "no", "-", "-",
                      "-", "-", "-", "-"});

@@ -76,7 +76,7 @@ int main() {
   design.add_row({"offloaded tasks (Type II)",
                   offloaded.empty() ? "-" : offloaded});
   design.add_row({"co-processor area", fmt(mixed.coproc_area, 0)});
-  design.add_row({"end-to-end latency (cyc)", fmt(mixed.latency, 0)});
+  design.add_row({"end-to-end latency (cyc)", fmt(mixed.latency_cycles, 0)});
   design.add_row({"feature subsets explored",
                   fmt(mixed.feature_subsets_tried)});
   std::cout << design << "\n";

@@ -11,7 +11,7 @@
 #include "apps/kernels.h"
 #include "base/rng.h"
 #include "base/table.h"
-#include "cosynth/interface_synth.h"
+#include "cosynth/run.h"
 #include "hw/rtl_emit.h"
 #include "sim/bus.h"
 #include "sim/cosim.h"
@@ -45,12 +45,15 @@ int main() {
   TextTable table({"intent", "driver", "base addr", "cycles/sample",
                    "bus accesses", "background units"});
   for (const double latency_weight : {1.0, 0.15}) {
-    cosynth::InterfaceRequirements reqs;
-    reqs.latency_weight = latency_weight;
-    reqs.background_unroll = 6;
     cosynth::AddressMapAllocator alloc;
+    cosynth::Request request;
+    request.impl = &impl;
+    request.samples = &samples;
+    request.allocator = &alloc;
+    request.interface_reqs.latency_weight = latency_weight;
+    request.interface_reqs.background_unroll = 6;
     const cosynth::InterfaceDesign design =
-        cosynth::synthesize_interface(impl, reqs, samples, alloc);
+        *cosynth::run(cosynth::Target::kInterface, request).iface;
     const auto& chosen = design.candidates[design.selected];
     std::ostringstream addr;
     addr << "0x" << std::hex << design.base_address;

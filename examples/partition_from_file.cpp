@@ -12,7 +12,7 @@
 #include <sstream>
 
 #include "base/table.h"
-#include "cosynth/coproc.h"
+#include "cosynth/run.h"
 #include "ir/serialize.h"
 
 namespace {
@@ -74,11 +74,15 @@ int main(int argc, char** argv) {
 
   TextTable table({"strategy", "tasks in HW", "latency", "HW area",
                    "speedup", "meets target"});
+  cosynth::Request request;
+  request.model = &model;
+  request.objective = objective;
   for (const cosynth::CoprocStrategy strategy :
        {cosynth::CoprocStrategy::kHotSpot, cosynth::CoprocStrategy::kUnload,
         cosynth::CoprocStrategy::kKl, cosynth::CoprocStrategy::kGclp}) {
+    request.strategy = strategy;
     const cosynth::CoprocDesign d =
-        cosynth::synthesize_coprocessor(model, objective, strategy);
+        *cosynth::run(cosynth::Target::kCoprocessor, request).coprocessor;
     const auto& m = d.partition.metrics;
     table.add_row({cosynth::coproc_strategy_name(strategy),
                    fmt(m.tasks_in_hw), fmt(m.latency_cycles, 0),

@@ -9,18 +9,38 @@
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
+//
+// Set MHS_TRACE=/path/to/trace.json to record an observability trace of
+// the run (Chrome trace_event JSON — load it in chrome://tracing or
+// https://ui.perfetto.dev). The example validates the exported JSON and
+// fails if it does not parse.
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "base/table.h"
 #include "hw/hls.h"
 #include "ir/cdfg.h"
+#include "obs/obs.h"
 #include "sw/estimate.h"
 #include "sw/iss.h"
 
 int main() {
   using namespace mhs;
 
+  // Optional tracing: installing the registry turns every instrumented
+  // layer on; leaving it out keeps the run at zero overhead.
+  const char* trace_path = std::getenv("MHS_TRACE");
+  std::unique_ptr<obs::Registry> registry;
+  std::unique_ptr<obs::ScopedRegistry> scope;
+  if (trace_path != nullptr) {
+    registry = std::make_unique<obs::Registry>();
+    scope = std::make_unique<obs::ScopedRegistry>(*registry);
+  }
+
   // ---- 1. Specify: y = max(a*b + c, (a - c) << 2) ------------------------
+  obs::Span specify_span("specify", "quickstart");
   ir::Cdfg kernel("quickstart");
   const ir::OpId a = kernel.input("a");
   const ir::OpId b = kernel.input("b");
@@ -33,8 +53,10 @@ int main() {
       {"a", 7}, {"b", -3}, {"c", 100}};
   const auto reference = kernel.evaluate(inputs);
   std::cout << "reference result: y = " << reference.at("y") << "\n\n";
+  specify_span = obs::Span();  // close the phase
 
   // ---- 2. Software implementation ----------------------------------------
+  obs::Span sw_span("software", "quickstart");
   const sw::Program program = sw::compile(kernel);
   std::cout << "compiled software (" << program.code.size()
             << " instructions, " << program.code_bytes << " bytes):\n"
@@ -43,14 +65,19 @@ int main() {
   double sw_cycles = 0.0;
   const auto sw_result =
       sw::run_program(iss, program, inputs, 1'000'000, &sw_cycles);
+  obs::count("quickstart.sw_instructions", program.code.size());
+  sw_span = obs::Span();
 
   // ---- 3. Hardware implementation ----------------------------------------
+  obs::Span hw_span("hardware", "quickstart");
   const hw::ComponentLibrary lib = hw::default_library();
   hw::HlsConstraints constraints;
   constraints.goal = hw::HlsGoal::kMinArea;
   const hw::HlsResult impl = hw::synthesize(kernel, lib, constraints);
   std::size_t hw_cycles = 0;
   const auto hw_result = hw::simulate_datapath(impl, inputs, &hw_cycles);
+  obs::count("quickstart.hw_cycles", hw_cycles);
+  hw_span = obs::Span();
 
   // ---- 4. Compare ---------------------------------------------------------
   TextTable table({"implementation", "y", "cycles", "cost"});
@@ -67,5 +94,22 @@ int main() {
   const bool agree = sw_result == reference && hw_result == reference;
   std::cout << (agree ? "all implementations agree\n"
                       : "IMPLEMENTATIONS DISAGREE\n");
+
+  // ---- 5. Export + self-validate the trace (when enabled) ----------------
+  if (registry != nullptr) {
+    const std::string json = registry->chrome_trace_json();
+    if (!obs::json_is_valid(json)) {
+      std::cerr << "exported trace is not valid JSON\n";
+      return 1;
+    }
+    std::ofstream out(trace_path);
+    out << json;
+    if (!out) {
+      std::cerr << "failed to write trace to " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "\n" << registry->summary().table();
+    std::cout << "trace written to " << trace_path << "\n";
+  }
   return agree ? 0 : 1;
 }

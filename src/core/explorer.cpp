@@ -7,6 +7,7 @@
 
 #include "base/table.h"
 #include "ir/optimize.h"
+#include "obs/obs.h"
 
 namespace mhs::core {
 
@@ -62,6 +63,11 @@ Explorer::Context& Explorer::context(
     std::vector<std::unique_ptr<Context>>& contexts) {
   Context& ctx = *contexts[config_index];
   std::call_once(ctx.once, [&] {
+    obs::Span span;
+    if (obs::enabled()) {
+      span = obs::Span("annotate[" + std::to_string(config_index) + "]",
+                       "explorer");
+    }
     std::vector<const ir::Cdfg*> kernels = kernels_;
     if (config.optimize_kernels) {
       for (std::size_t i = 0; i < kernels.size(); ++i) {
@@ -100,6 +106,16 @@ PointResult Explorer::evaluate_point(
   result.index = index;
   result.strategy = point.strategy;
   result.config_index = point.config_index;
+  // Per-point span, tagged with the batch index (the thread tag is
+  // stamped by the registry). Name and args are only built when a sink
+  // is installed, so disabled runs pay one branch.
+  obs::Span span;
+  if (obs::enabled()) {
+    span = obs::Span("point[" + std::to_string(index) + "]", "explorer");
+    span.arg("batch_index", std::to_string(index));
+    span.arg("strategy", partition::strategy_name(point.strategy));
+    span.arg("config", std::to_string(point.config_index));
+  }
   const double start_ms = now_ms();
   try {
     MHS_CHECK(point.config_index < configs.size(),
@@ -157,6 +173,11 @@ ExploreReport Explorer::explore(const std::vector<FlowConfig>& configs,
                                 const std::vector<DesignPoint>& points) {
   ExploreReport report;
   report.threads = pool_.num_threads();
+  obs::Span batch_span("explore", "explorer");
+  // The estimate cache persists across batches; counters report this
+  // batch's delta.
+  const std::size_t estimate_hits_before = estimate_cache_.hits();
+  const std::size_t estimate_misses_before = estimate_cache_.misses();
   const double batch_start_ms = now_ms();
 
   std::vector<std::unique_ptr<Context>> contexts;
@@ -194,6 +215,15 @@ ExploreReport Explorer::explore(const std::vector<FlowConfig>& configs,
   report.estimate_cache_hits = estimate_cache_.hits();
   report.estimate_cache_misses = estimate_cache_.misses();
 
+  // Surface the cache reuse as obs counters (no-ops when disabled).
+  obs::count("explorer.points", points.size());
+  obs::count("explorer.eval_cache.hits", report.cost_cache_hits);
+  obs::count("explorer.eval_cache.misses", report.cost_cache_misses);
+  obs::count("explorer.estimate_cache.hits",
+             report.estimate_cache_hits - estimate_hits_before);
+  obs::count("explorer.estimate_cache.misses",
+             report.estimate_cache_misses - estimate_misses_before);
+
   // Summary.
   std::ostringstream os;
   os << banner("design-space exploration (" + graph_.name() + ")");
@@ -224,6 +254,24 @@ ExploreReport Explorer::explore(const std::vector<FlowConfig>& configs,
      << report.estimate_cache_misses << " misses; variants annotated: "
      << report.contexts_built << "\n";
   report.summary = os.str();
+
+  // The unified envelope: Pareto-optimal designs in the common shape.
+  report.report.title = "design-space exploration (" + graph_.name() + ")";
+  for (const std::size_t idx : report.frontier) {
+    const PointResult& p = report.points[idx];
+    DesignSummary d;
+    d.target = "point#" + std::to_string(idx) + " (" +
+               partition::strategy_name(p.strategy) + ", cfg " +
+               std::to_string(p.config_index) + ")";
+    d.latency = p.partition.metrics.latency_cycles;
+    d.area = p.partition.metrics.hw_area;
+    d.detail = p.partition.algorithm + ": " +
+               fmt(p.partition.metrics.tasks_in_hw) + " tasks in HW, " +
+               fmt(p.speedup, 2) + "x over all-SW";
+    report.report.designs.push_back(std::move(d));
+  }
+  report.report.wall_ms = report.wall_ms;
+  report.report.capture_obs();
   return report;
 }
 

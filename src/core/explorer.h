@@ -87,6 +87,9 @@ struct ExploreReport {
   std::size_t contexts_built = 0;
   /// Human-readable table of every point plus the cache statistics.
   std::string summary;
+  /// The unified report envelope: the frontier designs in the common
+  /// shape plus the obs summary when a registry was installed.
+  Report report;
 };
 
 /// The exploration engine. Construct once per specification (task graph

@@ -1,11 +1,13 @@
 #include "core/flow.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "base/rng.h"
 #include "base/table.h"
 #include "ir/optimize.h"
+#include "obs/obs.h"
 #include "sw/estimate.h"
 
 namespace mhs::core {
@@ -94,7 +96,7 @@ ir::TaskGraph annotate_costs(const ir::TaskGraph& graph,
         cache == nullptr
             ? estimate_kernel(*kernel, config)
             : cache->table().get_or_compute(
-                  KernelEstimateCache::Key{kernel, env},
+                  KernelEstimateCache::Key{ir::content_hash(*kernel), env},
                   [&] { return estimate_kernel(*kernel, config); });
 
     ir::TaskCosts& costs = annotated.task(t).costs;
@@ -111,71 +113,91 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
                              const std::vector<const ir::Cdfg*>& raw_kernels,
                              const FlowConfig& config) {
   FlowReport report;
+  const auto flow_start = std::chrono::steady_clock::now();
 
-  // Optionally optimize every kernel once; all downstream steps
-  // (estimation, partitioning inputs, HLS validation, co-simulation)
-  // then see the optimized form.
+  // Phase 1 — specify: optionally optimize every kernel once; all
+  // downstream steps (estimation, partitioning inputs, HLS validation,
+  // co-simulation) then see the optimized form.
   std::vector<const ir::Cdfg*> kernels = raw_kernels;
-  if (config.optimize_kernels) {
-    report.optimized_kernels.reserve(raw_kernels.size());
-    for (const ir::Cdfg* kernel : raw_kernels) {
-      report.optimized_kernels.push_back(kernel == nullptr ? ir::Cdfg()
-                                                           : optimize(*kernel));
-    }
-    for (std::size_t i = 0; i < raw_kernels.size(); ++i) {
-      if (raw_kernels[i] != nullptr) {
-        kernels[i] = &report.optimized_kernels[i];
+  {
+    obs::Span phase("specify", "flow");
+    if (config.optimize_kernels) {
+      report.optimized_kernels.reserve(raw_kernels.size());
+      for (const ir::Cdfg* kernel : raw_kernels) {
+        report.optimized_kernels.push_back(
+            kernel == nullptr ? ir::Cdfg() : optimize(*kernel));
+      }
+      for (std::size_t i = 0; i < raw_kernels.size(); ++i) {
+        if (raw_kernels[i] != nullptr) {
+          kernels[i] = &report.optimized_kernels[i];
+        }
       }
     }
   }
 
-  report.annotated = annotate_costs(graph, kernels, config);
+  // Phase 2 — estimate.
+  {
+    obs::Span phase("estimate", "flow");
+    report.annotated = annotate_costs(graph, kernels, config);
+  }
 
+  // Phase 3 — partition.
   const partition::CostModel model(report.annotated, config.library,
                                    config.comm);
-  report.design = cosynth::synthesize_coprocessor(model, config.objective,
-                                                  config.strategy);
+  {
+    obs::Span phase("partition", "flow");
+    report.design = cosynth::synthesize_coprocessor(model, config.objective,
+                                                    config.strategy);
+  }
 
-  if (config.validate_with_hls) {
-    report.validated_hw_area = cosynth::validate_hw_area(
-        model, report.design.partition.mapping, kernels);
-    const double estimated = report.design.partition.metrics.hw_area;
-    if (report.validated_hw_area > 0.0) {
-      report.area_estimate_ratio = estimated / report.validated_hw_area;
+  // Phase 4 — co-synthesize: HLS of every HW-mapped kernel.
+  {
+    obs::Span phase("cosynth", "flow");
+    if (config.validate_with_hls) {
+      report.validated_hw_area = cosynth::validate_hw_area(
+          model, report.design.partition.mapping, kernels);
+      const double estimated = report.design.partition.metrics.hw_area;
+      if (report.validated_hw_area > 0.0) {
+        report.area_estimate_ratio = estimated / report.validated_hw_area;
+      }
     }
   }
 
-  // Co-simulate the largest hardware kernel behind its register interface.
-  if (config.cosimulate) {
-    const ir::Cdfg* largest = nullptr;
-    double largest_cycles = -1.0;
-    for (const ir::TaskId t : report.annotated.task_ids()) {
-      if (!report.design.partition.mapping[t.index()]) continue;
-      if (kernels[t.index()] == nullptr) continue;
-      const double c = report.annotated.task(t).costs.sw_cycles;
-      if (c > largest_cycles) {
-        largest_cycles = c;
-        largest = kernels[t.index()];
-      }
-    }
-    if (largest != nullptr) {
-      hw::HlsConstraints constraints;
-      constraints.goal = hw::HlsGoal::kMinArea;
-      const hw::HlsResult impl =
-          hw::synthesize(*largest, config.library, constraints);
-      Rng rng(config.cosim_seed);
-      std::vector<std::vector<std::int64_t>> samples;
-      for (std::size_t s = 0; s < config.cosim_samples; ++s) {
-        std::vector<std::int64_t> in;
-        for (std::size_t k = 0; k < largest->inputs().size(); ++k) {
-          in.push_back(rng.uniform_int(-128, 127));
+  // Phase 5 — co-simulate the largest hardware kernel behind its
+  // register interface.
+  {
+    obs::Span phase("cosim", "flow");
+    if (config.cosimulate) {
+      const ir::Cdfg* largest = nullptr;
+      double largest_cycles = -1.0;
+      for (const ir::TaskId t : report.annotated.task_ids()) {
+        if (!report.design.partition.mapping[t.index()]) continue;
+        if (kernels[t.index()] == nullptr) continue;
+        const double c = report.annotated.task(t).costs.sw_cycles;
+        if (c > largest_cycles) {
+          largest_cycles = c;
+          largest = kernels[t.index()];
         }
-        samples.push_back(std::move(in));
       }
-      sim::CosimConfig cosim_cfg;
-      cosim_cfg.level = config.cosim_level;
-      cosim_cfg.cpu = config.cpu;
-      report.cosim = sim::run_cosim(impl, cosim_cfg, samples);
+      if (largest != nullptr) {
+        hw::HlsConstraints constraints;
+        constraints.goal = hw::HlsGoal::kMinArea;
+        const hw::HlsResult impl =
+            hw::synthesize(*largest, config.library, constraints);
+        Rng rng(config.cosim_seed);
+        std::vector<std::vector<std::int64_t>> samples;
+        for (std::size_t s = 0; s < config.cosim_samples; ++s) {
+          std::vector<std::int64_t> in;
+          for (std::size_t k = 0; k < largest->inputs().size(); ++k) {
+            in.push_back(rng.uniform_int(-128, 127));
+          }
+          samples.push_back(std::move(in));
+        }
+        sim::CosimConfig cosim_cfg;
+        cosim_cfg.level = config.cosim_level;
+        cosim_cfg.cpu = config.cpu;
+        report.cosim = sim::run_cosim(impl, cosim_cfg, samples);
+      }
     }
   }
 
@@ -205,6 +227,15 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
   }
   os << table.str();
   report.summary = os.str();
+
+  // The unified envelope.
+  report.report.title = "co-design flow: " + graph.name();
+  report.report.add_design("coprocessor", report.design);
+  report.report.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - flow_start)
+          .count();
+  report.report.capture_obs();
   return report;
 }
 

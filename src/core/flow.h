@@ -18,6 +18,7 @@
 #include <string>
 
 #include "base/concurrent_cache.h"
+#include "core/report.h"
 #include "cosynth/coproc.h"
 #include "sim/cosim.h"
 
@@ -27,9 +28,13 @@ struct FlowConfig;
 
 /// Thread-safe memo of annotate_costs' per-kernel estimator work (the
 /// compiled software estimate, the min-area HLS run, and the parallelism
-/// annotation). Keyed by kernel identity plus a signature of the
-/// CPU/library characterization, so repeated flows — or explorer
-/// configuration variants — over the same kernels skip re-estimating.
+/// annotation). Keyed by a content hash of the kernel's CDFG plus a
+/// signature of the CPU/library characterization, so repeated flows — or
+/// explorer configuration variants — over the same kernels skip
+/// re-estimating. Content keying (rather than the kernel's address)
+/// makes entries stable across runs, immune to a kernel being freed
+/// mid-sweep, and shared between distinct kernel objects with equal
+/// bodies.
 class KernelEstimateCache {
  public:
   KernelEstimateCache() = default;
@@ -48,13 +53,13 @@ class KernelEstimateCache {
   };
 
   struct Key {
-    const void* kernel = nullptr;  ///< kernel object identity
-    std::uint64_t env = 0;         ///< CPU + library signature
+    std::uint64_t kernel = 0;  ///< ir::content_hash of the kernel CDFG
+    std::uint64_t env = 0;     ///< CPU + library signature
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& key) const {
-      std::size_t seed = std::hash<const void*>{}(key.kernel);
+      std::size_t seed = std::hash<std::uint64_t>{}(key.kernel);
       hash_combine(seed, std::hash<std::uint64_t>{}(key.env));
       return seed;
     }
@@ -175,6 +180,10 @@ struct FlowReport {
   std::optional<sim::CosimReport> cosim;
   /// Human-readable multi-line summary.
   std::string summary;
+  /// The unified report envelope: the synthesized design in the common
+  /// shape plus the obs summary (per-phase timings and counters) when a
+  /// registry was installed during the run.
+  Report report;
 };
 
 /// Runs the whole flow. `kernels[i]` is task i's behavioural kernel; null

@@ -1,0 +1,28 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "base/table.h"
+
+namespace mhs::core {
+
+void Report::capture_obs() {
+  if (const obs::Registry* r = obs::registry()) obs = r->summary();
+}
+
+std::string Report::str() const {
+  std::ostringstream os;
+  os << banner(title);
+  if (!designs.empty()) {
+    TextTable table({"design", "latency (cyc)", "area"});
+    for (const DesignSummary& d : designs) {
+      table.add_row({d.target, fmt(d.latency, 1), fmt(d.area, 1)});
+    }
+    os << table.str();
+  }
+  os << "wall: " << fmt(wall_ms, 1) << " ms\n";
+  if (!obs.empty()) os << obs.table();
+  return os.str();
+}
+
+}  // namespace mhs::core

@@ -1,7 +1,9 @@
 #include "cosynth/asip.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "base/table.h"
 #include "opt/knapsack.h"
 
 namespace mhs::cosynth {
@@ -178,6 +180,28 @@ ReconfigSfuDesign synthesize_sfu_reconfigurable(
   }
   design.area_used = slot_area * reconfig_area_overhead;
   return design;
+}
+
+std::string AsipDesign::summary() const {
+  std::ostringstream os;
+  os << "asip: " << features.size() << " ISA features [";
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (i > 0) os << " ";
+    os << isa_feature_name(features[i]);
+  }
+  os << "], " << fmt(base_cycles, 1) << " -> " << fmt(asip_cycles, 1)
+     << " weighted cyc (" << fmt(speedup(), 2) << "x), area "
+     << fmt(area_used, 1);
+  return os.str();
+}
+
+std::string ReconfigSfuDesign::summary() const {
+  std::ostringstream os;
+  os << "reconfigurable sfu: " << per_app_feature.size() << " apps, "
+     << fmt(base_cycles, 1) << " -> " << fmt(sfu_cycles, 1)
+     << " weighted cyc (" << fmt(speedup(), 2) << "x), area "
+     << fmt(area_used, 1);
+  return os.str();
 }
 
 }  // namespace mhs::cosynth

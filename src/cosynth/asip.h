@@ -71,6 +71,11 @@ struct AsipDesign {
   double speedup() const {
     return asip_cycles > 0.0 ? base_cycles / asip_cycles : 1.0;
   }
+
+  // Common *Design shape (see core/report.h).
+  double latency() const { return asip_cycles; }
+  double area() const { return area_used; }
+  std::string summary() const;
 };
 
 /// Picks the feature subset maximizing weighted cycle savings under
@@ -97,6 +102,11 @@ struct ReconfigSfuDesign {
   double speedup() const {
     return sfu_cycles > 0.0 ? base_cycles / sfu_cycles : 1.0;
   }
+
+  // Common *Design shape (see core/report.h).
+  double latency() const { return sfu_cycles; }
+  double area() const { return area_used; }
+  std::string summary() const;
 };
 ReconfigSfuDesign synthesize_sfu_reconfigurable(
     const std::vector<WeightedKernel>& apps, const sw::CpuModel& base,

@@ -1,6 +1,19 @@
 #include "cosynth/coproc.h"
 
+#include <sstream>
+
+#include "base/table.h"
+
 namespace mhs::cosynth {
+
+std::string CoprocDesign::summary() const {
+  std::ostringstream os;
+  os << partition.algorithm << ": " << partition.metrics.tasks_in_hw
+     << " tasks in HW, latency " << fmt(latency(), 1) << " cyc ("
+     << fmt(speedup(), 2) << "x over all-SW), area " << fmt(area(), 1)
+     << ", " << fmt(partition.evaluations) << " evaluations";
+  return os.str();
+}
 
 CoprocDesign synthesize_coprocessor(const partition::CostModel& model,
                                     const partition::Objective& objective,

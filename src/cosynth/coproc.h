@@ -36,6 +36,11 @@ struct CoprocDesign {
                ? all_sw_latency / partition.metrics.latency_cycles
                : 1.0;
   }
+
+  // Common *Design shape (see core/report.h).
+  double latency() const { return partition.metrics.latency_cycles; }
+  double area() const { return partition.metrics.hw_area; }
+  std::string summary() const;
 };
 
 /// Runs the chosen strategy over `model` / `objective`.

@@ -3,8 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
+
+#include "base/table.h"
 
 namespace mhs::cosynth {
+
+std::string ImplSelection::summary() const {
+  std::ostringstream os;
+  os << "impl select: " << (feasible ? "feasible" : "infeasible") << ", "
+     << chosen.size() << " menus, weighted cycles "
+     << fmt(total_weighted_cycles, 1) << ", area " << fmt(total_area, 1)
+     << ", " << fmt(explored) << " nodes explored";
+  return os.str();
+}
 
 ImplMenu build_impl_menu(const ir::Cdfg& kernel,
                          const hw::ComponentLibrary& lib,

@@ -49,7 +49,15 @@ struct ImplSelection {
   double total_weighted_cycles = 0.0;
   std::size_t explored = 0;
   bool feasible = false;
+
+  // Common *Design shape (see core/report.h).
+  double latency() const { return total_weighted_cycles; }
+  double area() const { return total_area; }
+  std::string summary() const;
 };
+
+/// The common *Design spelling of the selection result.
+using ImplSelectDesign = ImplSelection;
 
 /// Picks one variant per menu minimizing total weighted cycles under
 /// `area_budget` (exact depth-first branch and bound).

@@ -1,8 +1,21 @@
 #include "cosynth/interface_synth.h"
 
+#include <sstream>
+
+#include "base/table.h"
 #include "sim/peripheral.h"
 
 namespace mhs::cosynth {
+
+std::string InterfaceDesign::summary() const {
+  std::ostringstream os;
+  const bool irq =
+      selected < candidates.size() && candidates[selected].use_irq;
+  os << "interface: " << (irq ? "irq" : "polling") << " driver at 0x"
+     << std::hex << base_address << std::dec << ", " << fmt(latency(), 1)
+     << " cyc/sample";
+  return os.str();
+}
 
 AddressMapAllocator::AddressMapAllocator(std::uint64_t window_base,
                                          std::uint64_t window_size)

@@ -51,6 +51,16 @@ struct InterfaceDesign {
   std::size_t selected = 0;
   /// The generated driver routine.
   sim::Driver driver;
+
+  // Common *Design shape (see core/report.h). Interface glue spends no
+  // datapath silicon, so area() is 0.
+  double latency() const {
+    return selected < candidates.size()
+               ? candidates[selected].cycles_per_sample
+               : 0.0;
+  }
+  double area() const { return 0.0; }
+  std::string summary() const;
 };
 
 /// Address-map allocator: packs peripherals into a flat MMIO window.

@@ -1,8 +1,22 @@
 #include "cosynth/mixed.h"
 
 #include <algorithm>
+#include <sstream>
+
+#include "base/table.h"
 
 namespace mhs::cosynth {
+
+std::string MixedDesign::summary() const {
+  std::ostringstream os;
+  std::size_t in_hw = 0;
+  for (const bool hw : mapping) in_hw += hw ? 1 : 0;
+  os << "mixed type I/II: " << features.size() << " ISA features + "
+     << in_hw << " offloaded tasks, latency " << fmt(latency_cycles, 1)
+     << " cyc, area " << fmt(total_area(), 1) << " (isa "
+     << fmt(isa_area, 1) << " + coproc " << fmt(coproc_area, 1) << ")";
+  return os.str();
+}
 
 namespace {
 
@@ -86,7 +100,7 @@ MixedDesign evaluate_feature_subset(
     design.mapping.assign(graph.num_tasks(), false);
   }
   design.coproc_area = model.hardware_area(design.mapping);
-  design.latency = model.schedule_latency(design.mapping, true, true);
+  design.latency_cycles = model.schedule_latency(design.mapping, true, true);
   return design;
 }
 
@@ -123,8 +137,8 @@ MixedDesign synthesize_mixed(const ir::TaskGraph& graph,
         evaluate_feature_subset(graph, kernels, base_cpu, lib, features,
                                 silicon_budget, comm, /*allow_offload=*/true);
     evals += candidate.partition_evaluations;
-    if (!have_best || candidate.latency < best.latency - 1e-9 ||
-        (std::abs(candidate.latency - best.latency) <= 1e-9 &&
+    if (!have_best || candidate.latency_cycles < best.latency_cycles - 1e-9 ||
+        (std::abs(candidate.latency_cycles - best.latency_cycles) <= 1e-9 &&
          candidate.total_area() < best.total_area())) {
       best = std::move(candidate);
       have_best = true;
@@ -162,7 +176,7 @@ MixedDesign synthesize_pure_type1(const ir::TaskGraph& graph,
     MixedDesign candidate = evaluate_feature_subset(
         graph, kernels, base_cpu, lib, features, silicon_budget, comm,
         /*allow_offload=*/false);
-    if (!have_best || candidate.latency < best.latency - 1e-9) {
+    if (!have_best || candidate.latency_cycles < best.latency_cycles - 1e-9) {
       best = std::move(candidate);
       have_best = true;
     }

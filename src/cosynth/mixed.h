@@ -34,7 +34,7 @@ struct MixedDesign {
   /// Type II side: task mapping (true = on the co-processor).
   partition::Mapping mapping;
   /// End-to-end latency under the full cost model.
-  double latency = 0.0;
+  double latency_cycles = 0.0;
   /// Silicon spent on ISA extensions / on the co-processor.
   double isa_area = 0.0;
   double coproc_area = 0.0;
@@ -42,6 +42,11 @@ struct MixedDesign {
   /// Joint-search effort: (feature subsets tried, cost-model evals).
   std::size_t feature_subsets_tried = 0;
   std::size_t partition_evaluations = 0;
+
+  // Common *Design shape (see core/report.h).
+  double latency() const { return latency_cycles; }
+  double area() const { return total_area(); }
+  std::string summary() const;
 };
 
 /// Jointly spends `silicon_budget` on ISA features and co-processor

@@ -1,8 +1,21 @@
 #include "cosynth/mtcoproc.h"
 
 #include <algorithm>
+#include <sstream>
+
+#include "base/table.h"
 
 namespace mhs::cosynth {
+
+std::string MtCoprocDesign::summary() const {
+  std::ostringstream os;
+  std::size_t hw_threads = 0;
+  for (const bool b : in_hw) hw_threads += b ? 1 : 0;
+  os << "mt coproc: " << hw_threads << " HW threads, makespan "
+     << fmt(evaluation.makespan, 1) << " cyc, area " << fmt(hw_area, 1)
+     << ", " << fmt(effort) << " co-simulations";
+  return os.str();
+}
 
 double mt_hw_area(const ir::ProcessNetwork& net,
                   const std::vector<bool>& in_hw) {

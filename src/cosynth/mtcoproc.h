@@ -29,6 +29,11 @@ struct MtCoprocDesign {
   sim::OsCosimResult evaluation;
   /// Optimization effort (co-simulations run).
   std::size_t effort = 0;
+
+  // Common *Design shape (see core/report.h).
+  double latency() const { return evaluation.makespan; }
+  double area() const { return hw_area; }
+  std::string summary() const;
 };
 
 /// Area of a mapping (sum of hw_area over HW processes).

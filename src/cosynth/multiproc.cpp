@@ -2,11 +2,21 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 
+#include "base/table.h"
 #include "ir/task_graph_algos.h"
 #include "opt/binpack.h"
 
 namespace mhs::cosynth {
+
+std::string MpDesign::summary() const {
+  std::ostringstream os;
+  os << "multiproc: " << (feasible ? "feasible" : "infeasible") << ", "
+     << instance_type.size() << " PEs, makespan " << fmt(makespan, 1)
+     << " cyc, cost " << fmt(cost, 1) << ", effort " << fmt(effort);
+  return os.str();
+}
 
 std::vector<PeType> default_pe_catalog() {
   return {

@@ -52,7 +52,16 @@ struct MpDesign {
   bool feasible = false;
   /// Search effort (nodes explored / packings tried / moves evaluated).
   std::size_t effort = 0;
+
+  // Common *Design shape (see core/report.h): PE cost is in the same
+  // abstract silicon units as hardware area.
+  double latency() const { return makespan; }
+  double area() const { return cost; }
+  std::string summary() const;
 };
+
+/// The common *Design spelling of the multiprocessor result.
+using MultiprocDesign = MpDesign;
 
 /// List-scheduled makespan of `design` (each PE serializes its tasks;
 /// cross-PE edges cost overhead + bytes/bandwidth).

@@ -236,4 +236,36 @@ void Cdfg::check(OpId id) const {
             "invalid op id " << id << " in cdfg '" << name_ << "'");
 }
 
+std::uint64_t content_hash(const Cdfg& cdfg) {
+  // FNV-1a over a canonical byte stream of the op list. Ops are stored in
+  // insertion (topological) order and OpIds are dense, so the stream is a
+  // faithful serialization of the dataflow structure.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  };
+  const auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(v >> (8 * i)));
+  };
+  const auto mix_str = [&](const std::string& s) {
+    mix_u64(s.size());
+    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+  };
+  mix_u64(cdfg.num_ops());
+  for (const OpId id : cdfg.op_ids()) {
+    const Op& op = cdfg.op(id);
+    mix_u64(static_cast<std::uint64_t>(op.kind));
+    mix_u64(op.operands.size());
+    for (const OpId operand : op.operands) mix_u64(operand.index());
+    if (op.kind == OpKind::kConst) {
+      mix_u64(static_cast<std::uint64_t>(op.value));
+    }
+    if (op.kind == OpKind::kInput || op.kind == OpKind::kOutput) {
+      mix_str(op.name);
+    }
+  }
+  return h;
+}
+
 }  // namespace mhs::ir

@@ -123,4 +123,11 @@ class Cdfg {
 /// evaluator, the ISS reference checker, and the datapath simulator).
 std::int64_t apply_op(OpKind kind, std::span<const std::int64_t> args);
 
+/// Stable content hash of a kernel: op kinds, operand wiring, constant
+/// values, and port names (the graph's display name is excluded). Equal
+/// content hashes equal across runs and processes (FNV-1a, no std::hash),
+/// so the value is a sound cache identity — unlike the object's address,
+/// which changes between runs and dangles if the kernel is freed.
+std::uint64_t content_hash(const Cdfg& cdfg);
+
 }  // namespace mhs::ir

@@ -1,0 +1,388 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <sstream>
+
+#include "base/table.h"
+
+namespace mhs::obs {
+
+namespace {
+
+std::atomic<Registry*> g_registry{nullptr};
+
+}  // namespace
+
+void set_registry(Registry* registry) {
+  g_registry.store(registry, std::memory_order_release);
+}
+
+Registry* registry() { return g_registry.load(std::memory_order_acquire); }
+
+// ---------------------------------------------------------------- Registry
+
+Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Registry::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint32_t Registry::thread_id_locked() {
+  const std::thread::id self = std::this_thread::get_id();
+  const auto it = thread_ids_.find(self);
+  if (it != thread_ids_.end()) return it->second;
+  const std::uint32_t id = static_cast<std::uint32_t>(thread_ids_.size());
+  thread_ids_.emplace(self, id);
+  return id;
+}
+
+void Registry::record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.tid = thread_id_locked();
+  events_.push_back(std::move(event));
+}
+
+void Registry::count(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+std::size_t Registry::num_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<SpanEvent> Registry::events() const {
+  std::vector<SpanEvent> copy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copy = events_;
+  }
+  std::sort(copy.begin(), copy.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.name < b.name;
+            });
+  return copy;
+}
+
+Summary Registry::summary() const {
+  Summary summary;
+  std::map<std::pair<std::string, std::string>, SpanStat> groups;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const SpanEvent& e : events_) {
+      SpanStat& stat = groups[{e.category, e.name}];
+      if (stat.count == 0) {
+        stat.category = e.category;
+        stat.name = e.name;
+        stat.min_us = std::numeric_limits<double>::infinity();
+      }
+      ++stat.count;
+      stat.total_us += e.dur_us;
+      stat.min_us = std::min(stat.min_us, e.dur_us);
+      stat.max_us = std::max(stat.max_us, e.dur_us);
+    }
+    for (const auto& [name, value] : counters_) {
+      summary.counters.push_back({name, value});
+    }
+  }
+  for (auto& [key, stat] : groups) {
+    if (stat.count == 0) stat.min_us = 0.0;
+    summary.spans.push_back(std::move(stat));
+  }
+  return summary;
+}
+
+std::string Summary::table() const {
+  std::ostringstream os;
+  if (!spans.empty()) {
+    TextTable timings({"category", "span", "count", "total ms", "mean ms",
+                       "min ms", "max ms"});
+    for (const SpanStat& s : spans) {
+      const double mean_us =
+          s.count == 0 ? 0.0 : s.total_us / static_cast<double>(s.count);
+      timings.add_row({s.category, s.name, fmt(s.count),
+                       fmt(s.total_us / 1000.0, 3), fmt(mean_us / 1000.0, 3),
+                       fmt(s.min_us / 1000.0, 3), fmt(s.max_us / 1000.0, 3)});
+    }
+    os << timings.str();
+  }
+  if (!counters.empty()) {
+    TextTable totals({"counter", "value"});
+    for (const CounterStat& c : counters) {
+      totals.add_row({c.name, fmt(static_cast<std::size_t>(c.value))});
+    }
+    os << totals.str();
+  }
+  return os.str();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Registry::chrome_trace_json() const {
+  const std::vector<SpanEvent> sorted = events();
+  Summary agg = summary();
+
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : sorted) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.category) << "\",\"ph\":\"X\",\"ts\":" << e.start_us
+       << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << json_escape(e.args[i].first) << "\":\""
+           << json_escape(e.args[i].second) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  // Counters as Chrome counter events, stamped at the end of the trace so
+  // they show the final totals.
+  const double end_ts = now_us();
+  for (const CounterStat& c : agg.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(c.name)
+       << "\",\"ph\":\"C\",\"ts\":" << end_ts
+       << ",\"pid\":1,\"tid\":0,\"args\":{\"value\":" << c.value << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+// -------------------------------------------------------------------- Span
+
+Span::Span(const char* name, const char* category) : registry_(registry()) {
+  if (registry_ == nullptr) return;
+  event_.name = name;
+  event_.category = category;
+  event_.start_us = registry_->now_us();
+}
+
+Span::Span(std::string name, const char* category) : registry_(registry()) {
+  if (registry_ == nullptr) return;
+  event_.name = std::move(name);
+  event_.category = category;
+  event_.start_us = registry_->now_us();
+}
+
+Span::Span(Span&& other) noexcept
+    : registry_(other.registry_), event_(std::move(other.event_)) {
+  other.registry_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    finish();
+    registry_ = other.registry_;
+    event_ = std::move(other.event_);
+    other.registry_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::arg(const char* key, std::string value) {
+  if (registry_ == nullptr) return;
+  event_.args.emplace_back(key, std::move(value));
+}
+
+void Span::finish() {
+  if (registry_ == nullptr) return;
+  event_.dur_us = registry_->now_us() - event_.start_us;
+  registry_->record(std::move(event_));
+  registry_ = nullptr;
+}
+
+Span::~Span() { finish(); }
+
+// ----------------------------------------------------------- JSON checker
+
+namespace {
+
+/// Recursive-descent JSON parser that only checks well-formedness.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool check() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (depth_ > 256 || pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object() {
+    ++depth_;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; --depth_; return true; }
+    while (true) {
+      skip_ws();
+      if (peek() != '"' || !string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++depth_;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; --depth_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          if (pos_ + 4 >= text_.size()) return false;
+          for (int k = 1; k <= 4; ++k) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + k]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    if (peek() == '0') {
+      ++pos_;  // leading zero: no further integer digits allowed
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool json_is_valid(std::string_view text) {
+  return JsonChecker(text).check();
+}
+
+}  // namespace mhs::obs

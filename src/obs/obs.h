@@ -1,0 +1,183 @@
+// Flow-wide observability: tracing spans, monotonic counters, and a
+// thread-safe registry that aggregates them.
+//
+// Every hot layer of the co-design flow (core::Flow phases, the
+// Explorer's design points, partition::run strategies, sim::run_cosim)
+// is instrumented with RAII Spans and Counters that report to a single
+// process-wide Registry. The registry exports two views:
+//
+//   * chrome_trace_json() — Chrome trace_event JSON, loadable in
+//     chrome://tracing or https://ui.perfetto.dev, showing where wall
+//     time went per thread;
+//   * summary() — deterministic per-(category, name) aggregates (span
+//     counts/totals and counter values) rendered as a plain-text table,
+//     the piece core::Report embeds.
+//
+// Instrumentation is a no-op behind a null sink: no registry is
+// installed by default, Span/count() check one relaxed atomic load and
+// bail, so a tracing-disabled run pays nothing measurable (the
+// bench_explorer budget is <= 2% overhead). Install a sink with
+// ScopedRegistry (or set_registry) to start recording. Recorded content
+// is deterministic modulo the timestamp and duration values: the same
+// run produces the same span names, categories, args, and counter
+// totals regardless of thread scheduling.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mhs::obs {
+
+/// One completed span, as recorded by ~Span.
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  double start_us = 0.0;  ///< microseconds since registry creation
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;  ///< dense per-registry thread id
+  /// Extra key/value annotations (batch index, strategy, ...).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Aggregate of all spans sharing one (category, name).
+struct SpanStat {
+  std::string category;
+  std::string name;
+  std::size_t count = 0;
+  double total_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// One monotonic counter's final value.
+struct CounterStat {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// The deterministic aggregate view of a registry: span groups sorted by
+/// (category, name) and counters sorted by name. This is what
+/// core::Report embeds.
+struct Summary {
+  std::vector<SpanStat> spans;
+  std::vector<CounterStat> counters;
+  bool empty() const { return spans.empty() && counters.empty(); }
+  /// Plain-text rendering (one table for timings, one for counters).
+  std::string table() const;
+};
+
+/// Thread-safe sink for spans and counters.
+class Registry {
+ public:
+  Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Records one completed span, stamping the calling thread's id.
+  void record(SpanEvent event);
+  /// Adds `delta` to the named monotonic counter.
+  void count(std::string_view name, std::uint64_t delta);
+
+  /// Microseconds elapsed since this registry was constructed.
+  double now_us() const;
+
+  std::size_t num_events() const;
+  std::uint64_t counter(std::string_view name) const;  ///< 0 if absent
+  /// All recorded events, sorted by (start_us, tid, name).
+  std::vector<SpanEvent> events() const;
+
+  Summary summary() const;
+
+  /// Chrome trace_event JSON: spans as "ph":"X" complete events,
+  /// counters as trailing "ph":"C" counter events. Load the string (saved
+  /// to a .json file) in chrome://tracing or Perfetto.
+  std::string chrome_trace_json() const;
+
+ private:
+  std::uint32_t thread_id_locked();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> events_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::thread::id, std::uint32_t> thread_ids_;
+};
+
+/// Installs `registry` as the process-wide sink (nullptr disables all
+/// instrumentation — the default).
+void set_registry(Registry* registry);
+/// The installed sink, or nullptr when tracing is disabled.
+Registry* registry();
+/// True iff a sink is installed (one relaxed atomic load).
+inline bool enabled() { return registry() != nullptr; }
+
+/// RAII installation of a registry (restores the previous sink, so
+/// scopes nest).
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry& r) : previous_(registry()) {
+    set_registry(&r);
+  }
+  ~ScopedRegistry() { set_registry(previous_); }
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* previous_;
+};
+
+/// RAII span: captures the sink and start time at construction, records
+/// a SpanEvent at destruction. When no sink is installed at construction
+/// the span is inert (no allocation, no clock read).
+class Span {
+ public:
+  /// Inert span (also what the const char* form degrades to when
+  /// tracing is disabled).
+  Span() = default;
+  /// Static-name span; cheapest form for fixed instrumentation points.
+  Span(const char* name, const char* category);
+  /// Dynamic-name span; build the string behind an enabled() check so
+  /// disabled runs never pay for the formatting.
+  Span(std::string name, const char* category);
+  ~Span();
+
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value annotation (no-op when inert).
+  void arg(const char* key, std::string value);
+
+  bool active() const { return registry_ != nullptr; }
+
+ private:
+  void finish();
+
+  Registry* registry_ = nullptr;
+  SpanEvent event_;
+};
+
+/// Adds `delta` to a monotonic counter on the installed sink (no-op when
+/// tracing is disabled).
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (Registry* r = registry()) r->count(name, delta);
+}
+
+/// Minimal JSON well-formedness check (objects, arrays, strings, numbers,
+/// booleans, null; rejects trailing garbage). Used by the tests and the
+/// tier-2 trace validation to assert exported traces parse.
+bool json_is_valid(std::string_view text);
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string json_escape(std::string_view text);
+
+}  // namespace mhs::obs

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "ir/task_graph_algos.h"
+#include "obs/obs.h"
 
 namespace mhs::partition {
 
@@ -294,9 +295,11 @@ const char* strategy_name(Strategy strategy) {
   return "?";
 }
 
-PartitionResult run(Strategy strategy, const CostModel& model,
-                    const Objective& objective,
-                    const PartitionOptions& options) {
+namespace {
+
+PartitionResult dispatch(Strategy strategy, const CostModel& model,
+                         const Objective& objective,
+                         const PartitionOptions& options) {
   switch (strategy) {
     case Strategy::kAllSw:    return all_sw_impl(model, objective);
     case Strategy::kAllHw:    return all_hw_impl(model, objective);
@@ -308,6 +311,25 @@ PartitionResult run(Strategy strategy, const CostModel& model,
     case Strategy::kGclp:     return gclp_impl(model, objective);
   }
   MHS_CHECK(false, "unknown partitioning strategy");
+}
+
+}  // namespace
+
+PartitionResult run(Strategy strategy, const CostModel& model,
+                    const Objective& objective,
+                    const PartitionOptions& options) {
+  obs::Span span(strategy_name(strategy), "partition");
+  PartitionResult result = dispatch(strategy, model, objective, options);
+  // Per-strategy iteration/move effort, as monotonic counters.
+  if (obs::enabled()) {
+    const std::string prefix = std::string("partition.") + result.algorithm;
+    obs::count(prefix + ".runs", 1);
+    obs::count(prefix + ".evaluations", result.evaluations);
+    std::size_t moves = 0;
+    for (const bool hw : result.mapping) moves += hw ? 1 : 0;
+    obs::count(prefix + ".tasks_moved_to_hw", moves);
+  }
+  return result;
 }
 
 PartitionResult partition_all_sw(const CostModel& model,

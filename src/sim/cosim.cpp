@@ -1,7 +1,10 @@
 #include "sim/cosim.h"
 
+#include <chrono>
 #include <cmath>
 
+#include "base/table.h"
+#include "obs/obs.h"
 #include "sim/peripheral.h"
 
 namespace mhs::sim {
@@ -193,10 +196,12 @@ CosimReport run_message_level(const hw::HlsResult& impl,
 
 }  // namespace
 
-CosimReport run_cosim(const hw::HlsResult& impl, const CosimConfig& config,
-                      const std::vector<std::vector<std::int64_t>>&
-                          sample_inputs) {
-  MHS_CHECK(!sample_inputs.empty(), "co-simulation needs at least 1 sample");
+namespace {
+
+CosimReport dispatch_cosim(const hw::HlsResult& impl,
+                           const CosimConfig& config,
+                           const std::vector<std::vector<std::int64_t>>&
+                               sample_inputs) {
   switch (config.level) {
     case InterfaceLevel::kPin:
     case InterfaceLevel::kRegister:
@@ -208,6 +213,33 @@ CosimReport run_cosim(const hw::HlsResult& impl, const CosimConfig& config,
   }
   MHS_ASSERT(false, "unknown interface level");
   return {};
+}
+
+}  // namespace
+
+CosimReport run_cosim(const hw::HlsResult& impl, const CosimConfig& config,
+                      const std::vector<std::vector<std::int64_t>>&
+                          sample_inputs) {
+  MHS_CHECK(!sample_inputs.empty(), "co-simulation needs at least 1 sample");
+  obs::Span span(interface_level_name(config.level), "cosim");
+  const auto start = std::chrono::steady_clock::now();
+  CosimReport report = dispatch_cosim(impl, config, sample_inputs);
+  if (obs::enabled()) {
+    obs::count("cosim.runs", 1);
+    obs::count("cosim.events", report.sim_events);
+    obs::count("cosim.bus_accesses", report.bus_accesses);
+    obs::count("cosim.samples", sample_inputs.size());
+    // Simulation throughput: simulated cycles per wall-clock second.
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (wall_s > 0.0) {
+      span.arg("sim_cycles_per_wall_s",
+               fmt(report.total_cycles / wall_s, 0));
+    }
+    span.arg("level", interface_level_name(config.level));
+  }
+  return report;
 }
 
 }  // namespace mhs::sim

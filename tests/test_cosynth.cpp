@@ -3,6 +3,8 @@
 // co-processor flow, and multi-threaded co-processor partitioning.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "apps/kernels.h"
 #include "apps/workloads.h"
 #include "base/rng.h"
@@ -11,6 +13,7 @@
 #include "cosynth/interface_synth.h"
 #include "cosynth/mtcoproc.h"
 #include "cosynth/multiproc.h"
+#include "cosynth/run.h"
 #include "ir/task_graph_gen.h"
 
 namespace mhs::cosynth {
@@ -325,6 +328,178 @@ TEST(MtCoproc, ConcurrencyAwareNoWorseThanGreedy) {
   EXPECT_LE(aware.evaluation.makespan,
             greedy.evaluation.makespan * 1.02);
   EXPECT_GT(aware.effort, greedy.effort);
+}
+
+
+// -- The cosynth::run(Target, ...) dispatcher: bit-identical to the
+// legacy per-target free functions.
+
+TEST(RunDispatcher, TargetNamesAreStableAndDistinct) {
+  std::set<std::string> names;
+  for (const Target t : kAllTargets) names.insert(target_name(t));
+  EXPECT_EQ(names.size(), std::size(kAllTargets));
+  EXPECT_STREQ(target_name(Target::kCoprocessor), "coprocessor");
+  EXPECT_STREQ(target_name(Target::kMultiprocPeriodic),
+               "multiproc_periodic");
+}
+
+TEST(RunDispatcher, CoprocessorParity) {
+  const ir::TaskGraph g = apps::jpeg_pipeline_graph();
+  const partition::CostModel model(g, hw::default_library());
+  Request req;
+  req.model = &model;
+  req.objective.latency_target = g.total_sw_cycles() * 0.5;
+  req.strategy = CoprocStrategy::kKl;
+  const Result r = run(Target::kCoprocessor, req);
+  const CoprocDesign legacy =
+      synthesize_coprocessor(model, req.objective, req.strategy);
+  ASSERT_TRUE(r.coprocessor.has_value());
+  EXPECT_EQ(r.coprocessor->partition.mapping, legacy.partition.mapping);
+  EXPECT_EQ(r.coprocessor->partition.algorithm, legacy.partition.algorithm);
+  EXPECT_EQ(r.coprocessor->partition.evaluations,
+            legacy.partition.evaluations);
+  EXPECT_DOUBLE_EQ(r.coprocessor->all_sw_latency, legacy.all_sw_latency);
+  EXPECT_DOUBLE_EQ(r.latency(), legacy.latency());
+  EXPECT_DOUBLE_EQ(r.area(), legacy.area());
+  EXPECT_EQ(r.summary(), legacy.summary());
+}
+
+TEST(RunDispatcher, AsipParity) {
+  std::vector<ir::Cdfg> storage;
+  storage.push_back(apps::dct8_kernel());
+  storage.push_back(apps::xtea_kernel(8));
+  Request req;
+  req.apps = {{&storage[0], 1.0, "dct8"}, {&storage[1], 2.0, "xtea8"}};
+  req.cpu = sw::reference_cpu();
+  req.area_budget = 2500.0;
+  const Result r = run(Target::kAsip, req);
+  const AsipDesign legacy =
+      synthesize_asip(req.apps, req.cpu, req.area_budget);
+  ASSERT_TRUE(r.asip.has_value());
+  EXPECT_EQ(r.asip->features, legacy.features);
+  EXPECT_DOUBLE_EQ(r.asip->area_used, legacy.area_used);
+  EXPECT_DOUBLE_EQ(r.asip->base_cycles, legacy.base_cycles);
+  EXPECT_DOUBLE_EQ(r.asip->asip_cycles, legacy.asip_cycles);
+  EXPECT_DOUBLE_EQ(r.latency(), legacy.latency());
+  EXPECT_EQ(r.summary(), legacy.summary());
+}
+
+TEST(RunDispatcher, MixedParity) {
+  const ir::TaskGraph g = small_graph(21, 6);
+  const std::vector<const ir::Cdfg*> kernels(g.num_tasks(), nullptr);
+  Request req;
+  req.graph = &g;
+  req.kernels = &kernels;
+  req.cpu = sw::reference_cpu();
+  req.library = hw::default_library();
+  req.area_budget = 2000.0;
+  const Result r = run(Target::kMixed, req);
+  const MixedDesign legacy =
+      synthesize_mixed(g, kernels, req.cpu, req.library, req.area_budget,
+                       req.comm);
+  ASSERT_TRUE(r.mixed.has_value());
+  EXPECT_EQ(r.mixed->features, legacy.features);
+  EXPECT_EQ(r.mixed->mapping, legacy.mapping);
+  EXPECT_DOUBLE_EQ(r.mixed->latency_cycles, legacy.latency_cycles);
+  EXPECT_DOUBLE_EQ(r.mixed->isa_area, legacy.isa_area);
+  EXPECT_DOUBLE_EQ(r.mixed->coproc_area, legacy.coproc_area);
+  EXPECT_EQ(r.mixed->feature_subsets_tried, legacy.feature_subsets_tried);
+  EXPECT_EQ(r.mixed->partition_evaluations, legacy.partition_evaluations);
+  EXPECT_DOUBLE_EQ(r.area(), legacy.area());
+  EXPECT_EQ(r.summary(), legacy.summary());
+}
+
+TEST(RunDispatcher, InterfaceParity) {
+  const ir::Cdfg kernel = apps::fir_kernel(6);
+  hw::HlsConstraints constraints;
+  constraints.goal = hw::HlsGoal::kMinArea;
+  const hw::HlsResult impl =
+      hw::synthesize(kernel, hw::default_library(), constraints);
+  Rng rng(17);
+  std::vector<std::vector<std::int64_t>> samples;
+  for (int s = 0; s < 6; ++s) {
+    std::vector<std::int64_t> in;
+    for (std::size_t k = 0; k < kernel.inputs().size(); ++k) {
+      in.push_back(rng.uniform_int(-100, 100));
+    }
+    samples.push_back(in);
+  }
+  Request req;
+  req.impl = &impl;
+  req.samples = &samples;
+  // Fresh allocators starting at the same base keep the address maps
+  // comparable.
+  AddressMapAllocator alloc_run;
+  AddressMapAllocator alloc_legacy;
+  req.allocator = &alloc_run;
+  const Result r = run(Target::kInterface, req);
+  const InterfaceDesign legacy = synthesize_interface(
+      impl, req.interface_reqs, samples, alloc_legacy);
+  ASSERT_TRUE(r.iface.has_value());
+  EXPECT_EQ(r.iface->base_address, legacy.base_address);
+  EXPECT_EQ(r.iface->selected, legacy.selected);
+  ASSERT_EQ(r.iface->candidates.size(), legacy.candidates.size());
+  for (std::size_t i = 0; i < legacy.candidates.size(); ++i) {
+    EXPECT_EQ(r.iface->candidates[i].use_irq, legacy.candidates[i].use_irq);
+    EXPECT_DOUBLE_EQ(r.iface->candidates[i].score,
+                     legacy.candidates[i].score);
+    EXPECT_EQ(r.iface->candidates[i].report.checksum,
+              legacy.candidates[i].report.checksum);
+  }
+  EXPECT_EQ(r.iface->driver.code.size(), legacy.driver.code.size());
+  EXPECT_DOUBLE_EQ(r.latency(), legacy.latency());
+  EXPECT_EQ(r.summary(), legacy.summary());
+}
+
+TEST(RunDispatcher, ImplSelectParity) {
+  Request req;
+  req.menus = {
+      {"fir", 2.0, {{"min_area", 100.0, 900.0}, {"fast", 400.0, 300.0}}},
+      {"dct", 1.0, {{"min_area", 250.0, 1200.0}, {"fast", 700.0, 500.0}}},
+  };
+  req.area_budget = 900.0;
+  const Result r = run(Target::kImplSelect, req);
+  const ImplSelection legacy =
+      select_implementations(req.menus, req.area_budget);
+  ASSERT_TRUE(r.impl_select.has_value());
+  EXPECT_EQ(r.impl_select->chosen, legacy.chosen);
+  EXPECT_DOUBLE_EQ(r.impl_select->total_area, legacy.total_area);
+  EXPECT_DOUBLE_EQ(r.impl_select->total_weighted_cycles,
+                   legacy.total_weighted_cycles);
+  EXPECT_EQ(r.impl_select->explored, legacy.explored);
+  EXPECT_EQ(r.impl_select->feasible, legacy.feasible);
+  EXPECT_DOUBLE_EQ(r.latency(), legacy.latency());
+  EXPECT_EQ(r.summary(), legacy.summary());
+}
+
+TEST(RunDispatcher, MultiprocPeriodicParity) {
+  ir::TaskGraph g = small_graph(22, 8);
+  Rng rng(23);
+  for (const ir::TaskId t : g.task_ids()) {
+    g.task(t).period = g.task(t).costs.sw_cycles * rng.uniform(4.0, 20.0);
+  }
+  Request req;
+  req.graph = &g;  // empty catalog: dispatcher supplies the default
+  const Result r = run(Target::kMultiprocPeriodic, req);
+  const MpDesign legacy = synthesize_periodic(g, default_pe_catalog());
+  ASSERT_TRUE(r.multiproc.has_value());
+  EXPECT_EQ(r.multiproc->instance_type, legacy.instance_type);
+  EXPECT_EQ(r.multiproc->assignment, legacy.assignment);
+  EXPECT_DOUBLE_EQ(r.multiproc->cost, legacy.cost);
+  EXPECT_DOUBLE_EQ(r.multiproc->makespan, legacy.makespan);
+  EXPECT_EQ(r.multiproc->feasible, legacy.feasible);
+  EXPECT_EQ(r.multiproc->effort, legacy.effort);
+  EXPECT_DOUBLE_EQ(r.latency(), legacy.latency());
+  EXPECT_DOUBLE_EQ(r.area(), legacy.area());
+  EXPECT_EQ(r.summary(), legacy.summary());
+}
+
+TEST(RunDispatcher, MissingRequiredInputsAreChecked) {
+  Request empty;
+  EXPECT_THROW(run(Target::kCoprocessor, empty), PreconditionError);
+  EXPECT_THROW(run(Target::kMixed, empty), PreconditionError);
+  EXPECT_THROW(run(Target::kInterface, empty), PreconditionError);
+  EXPECT_THROW(run(Target::kMultiprocPeriodic, empty), PreconditionError);
 }
 
 }  // namespace

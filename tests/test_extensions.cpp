@@ -29,7 +29,7 @@ TEST_F(MixedFixture, ZeroBudgetIsAllSoftwareBaseCpu) {
   EXPECT_TRUE(d.features.empty());
   for (const bool b : d.mapping) EXPECT_FALSE(b);
   EXPECT_DOUBLE_EQ(d.total_area(), 0.0);
-  EXPECT_GT(d.latency, 0.0);
+  EXPECT_GT(d.latency(), 0.0);
 }
 
 TEST_F(MixedFixture, RespectsSiliconBudget) {
@@ -45,8 +45,8 @@ TEST_F(MixedFixture, LatencyMonotoneInBudget) {
   for (const double budget : {0.0, 1000.0, 2500.0, 4000.0, 8000.0}) {
     const cosynth::MixedDesign d = cosynth::synthesize_mixed(
         annotated, workload.kernels, base, lib, budget);
-    EXPECT_LE(d.latency, prev + 1e-6) << "budget " << budget;
-    prev = d.latency;
+    EXPECT_LE(d.latency(), prev + 1e-6) << "budget " << budget;
+    prev = d.latency();
   }
 }
 
@@ -58,8 +58,8 @@ TEST_F(MixedFixture, JointNeverWorseThanPureStrategies) {
         annotated, workload.kernels, base, lib, budget);
     const cosynth::MixedDesign p2 = cosynth::synthesize_pure_type2(
         annotated, workload.kernels, base, lib, budget);
-    EXPECT_LE(mixed.latency, p1.latency + 1e-6) << "budget " << budget;
-    EXPECT_LE(mixed.latency, p2.latency + 1e-6) << "budget " << budget;
+    EXPECT_LE(mixed.latency(), p1.latency() + 1e-6) << "budget " << budget;
+    EXPECT_LE(mixed.latency(), p2.latency() + 1e-6) << "budget " << budget;
   }
 }
 
@@ -73,8 +73,8 @@ TEST_F(MixedFixture, SynergyExistsAtIntermediateBudget) {
       annotated, workload.kernels, base, lib, budget);
   const cosynth::MixedDesign p2 = cosynth::synthesize_pure_type2(
       annotated, workload.kernels, base, lib, budget);
-  EXPECT_LT(mixed.latency, p1.latency);
-  EXPECT_LT(mixed.latency, p2.latency);
+  EXPECT_LT(mixed.latency(), p1.latency());
+  EXPECT_LT(mixed.latency(), p2.latency());
   EXPECT_FALSE(mixed.features.empty());
   std::size_t offloaded = 0;
   for (const bool b : mixed.mapping) offloaded += b ? 1 : 0;

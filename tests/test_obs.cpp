@@ -1,0 +1,367 @@
+// Tests for mhs::obs — the flow-wide observability layer: span
+// recording/nesting, cross-thread counter aggregation, Chrome-trace JSON
+// export + well-formedness, the disabled-sink no-op guarantee, and the
+// core::Report envelope the flow and explorer fill in.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "apps/workloads.h"
+#include "core/explorer.h"
+#include "core/flow.h"
+#include "core/report.h"
+#include "obs/obs.h"
+
+namespace mhs::obs {
+namespace {
+
+TEST(Obs, DisabledByDefaultAndSpansInert) {
+  ASSERT_EQ(registry(), nullptr);
+  EXPECT_FALSE(enabled());
+  Span span("orphan", "test");
+  EXPECT_FALSE(span.active());
+  span.arg("key", "value");  // must be a no-op, not a crash
+  count("orphan.counter", 5);  // likewise
+  // Nothing was recorded anywhere: installing a fresh registry afterwards
+  // sees an empty world.
+  Registry r;
+  EXPECT_EQ(r.num_events(), 0u);
+  EXPECT_EQ(r.counter("orphan.counter"), 0u);
+}
+
+TEST(Obs, UninstalledRegistryRecordsNothing) {
+  Registry r;  // constructed but never installed
+  { Span span("ignored", "test"); }
+  count("ignored", 1);
+  EXPECT_EQ(r.num_events(), 0u);
+  EXPECT_EQ(r.counter("ignored"), 0u);
+}
+
+TEST(Obs, SpanRecordsNameCategoryAndDuration) {
+  Registry r;
+  {
+    ScopedRegistry scope(r);
+    Span span("work", "test");
+    EXPECT_TRUE(span.active());
+  }
+  ASSERT_EQ(r.num_events(), 1u);
+  const std::vector<SpanEvent> events = r.events();
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_GE(events[0].start_us, 0.0);
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST(Obs, NestedSpansBothRecordedInnerWithinOuter) {
+  Registry r;
+  {
+    ScopedRegistry scope(r);
+    Span outer("outer", "test");
+    {
+      Span inner("inner", "test");
+    }
+  }
+  ASSERT_EQ(r.num_events(), 2u);
+  const std::vector<SpanEvent> events = r.events();  // (start, tid, name)
+  // The outer span starts first but finishes last; sorting by start time
+  // puts it first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_LE(events[0].start_us, events[1].start_us);
+  EXPECT_GE(events[0].start_us + events[0].dur_us,
+            events[1].start_us + events[1].dur_us);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST(Obs, SpanMoveTransfersOwnershipWithoutDoubleRecord) {
+  Registry r;
+  {
+    ScopedRegistry scope(r);
+    Span span;
+    EXPECT_FALSE(span.active());
+    if (enabled()) {
+      span = Span(std::string("dynamic[") + "7]", "test");
+      span.arg("index", "7");
+    }
+    EXPECT_TRUE(span.active());
+    Span moved(std::move(span));
+    EXPECT_FALSE(span.active());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(moved.active());
+  }
+  ASSERT_EQ(r.num_events(), 1u);
+  const SpanEvent event = r.events()[0];
+  EXPECT_EQ(event.name, "dynamic[7]");
+  ASSERT_EQ(event.args.size(), 1u);
+  EXPECT_EQ(event.args[0].first, "index");
+  EXPECT_EQ(event.args[0].second, "7");
+}
+
+TEST(Obs, CountersAggregateAcrossThreads) {
+  Registry r;
+  {
+    ScopedRegistry scope(r);
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kPerThread = 1000;
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([] {
+        for (std::size_t i = 0; i < kPerThread; ++i) count("shared", 1);
+        count("per_thread_once", 3);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(r.counter("shared"), kThreads * kPerThread);
+    EXPECT_EQ(r.counter("per_thread_once"), kThreads * 3u);
+  }
+}
+
+TEST(Obs, SpansFromDistinctThreadsGetDistinctTids) {
+  Registry r;
+  {
+    ScopedRegistry scope(r);
+    Span main_span("main", "test");
+    std::thread worker([] { Span span("worker", "test"); });
+    worker.join();
+  }
+  ASSERT_EQ(r.num_events(), 2u);
+  const std::vector<SpanEvent> events = r.events();
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(Obs, SummaryAggregatesByCategoryAndName) {
+  Registry r;
+  {
+    ScopedRegistry scope(r);
+    for (int i = 0; i < 3; ++i) Span span("kl", "partition");
+    Span other("estimate", "flow");
+    count("cache.hits", 41);
+    count("cache.hits", 1);
+  }
+  const Summary s = r.summary();
+  ASSERT_EQ(s.spans.size(), 2u);
+  // Sorted by (category, name): flow/estimate before partition/kl.
+  EXPECT_EQ(s.spans[0].category, "flow");
+  EXPECT_EQ(s.spans[0].name, "estimate");
+  EXPECT_EQ(s.spans[0].count, 1u);
+  EXPECT_EQ(s.spans[1].category, "partition");
+  EXPECT_EQ(s.spans[1].name, "kl");
+  EXPECT_EQ(s.spans[1].count, 3u);
+  EXPECT_GE(s.spans[1].max_us, s.spans[1].min_us);
+  EXPECT_GE(s.spans[1].total_us, s.spans[1].max_us);
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].name, "cache.hits");
+  EXPECT_EQ(s.counters[0].value, 42u);
+  // The plain-text rendering mentions every aggregate.
+  const std::string table = s.table();
+  EXPECT_NE(table.find("kl"), std::string::npos);
+  EXPECT_NE(table.find("estimate"), std::string::npos);
+  EXPECT_NE(table.find("cache.hits"), std::string::npos);
+  EXPECT_NE(table.find("42"), std::string::npos);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(Summary{}.empty());
+}
+
+TEST(Obs, ChromeTraceJsonIsWellFormedAndEscaped) {
+  Registry r;
+  {
+    ScopedRegistry scope(r);
+    Span span("name with \"quotes\" and \\slashes\\", "cat\negory");
+    span.arg("key", "line1\nline2\ttabbed");
+    count("counter/with\"quote", 7);
+  }
+  const std::string json = r.chrome_trace_json();
+  EXPECT_TRUE(json_is_valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(Obs, JsonValidatorAcceptsValidDocuments) {
+  EXPECT_TRUE(json_is_valid("{}"));
+  EXPECT_TRUE(json_is_valid("[]"));
+  EXPECT_TRUE(json_is_valid("  {\"a\": [1, -2.5e3, true, false, null]} "));
+  EXPECT_TRUE(json_is_valid("{\"s\": \"\\\"\\\\\\n\\u0041\"}"));
+  EXPECT_TRUE(json_is_valid("[[[{\"deep\": []}]]]"));
+}
+
+TEST(Obs, JsonValidatorRejectsMalformedDocuments) {
+  EXPECT_FALSE(json_is_valid(""));
+  EXPECT_FALSE(json_is_valid("{"));
+  EXPECT_FALSE(json_is_valid("{\"a\":}"));
+  EXPECT_FALSE(json_is_valid("[1,]"));
+  EXPECT_FALSE(json_is_valid("{\"a\": 1} trailing"));
+  EXPECT_FALSE(json_is_valid("{'single': 1}"));
+  EXPECT_FALSE(json_is_valid("{\"bad\": \"\\q\"}"));
+  EXPECT_FALSE(json_is_valid("{\"bad\": \"\\u12g4\"}"));
+  EXPECT_FALSE(json_is_valid("01"));
+  EXPECT_FALSE(json_is_valid("nul"));
+}
+
+TEST(Obs, JsonEscapeRoundTripsThroughValidator) {
+  const std::string nasty = "\"\\\n\r\t\x01 plain";
+  const std::string doc = "{\"k\": \"" + json_escape(nasty) + "\"}";
+  EXPECT_TRUE(json_is_valid(doc)) << doc;
+}
+
+TEST(Obs, ScopedRegistryRestoresPreviousSink) {
+  Registry outer_r;
+  {
+    ScopedRegistry outer(outer_r);
+    EXPECT_EQ(registry(), &outer_r);
+    {
+      Registry inner_r;
+      ScopedRegistry inner(inner_r);
+      EXPECT_EQ(registry(), &inner_r);
+      count("where", 1);
+      EXPECT_EQ(inner_r.counter("where"), 1u);
+      EXPECT_EQ(outer_r.counter("where"), 0u);
+    }
+    EXPECT_EQ(registry(), &outer_r);
+  }
+  EXPECT_EQ(registry(), nullptr);
+}
+
+// -- End-to-end: the instrumented flow and explorer.
+
+TEST(ObsFlow, CodesignFlowEmitsAllFivePhaseSpans) {
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  core::FlowConfig config;
+  config.cosim_samples = 2;
+  Registry r;
+  core::FlowReport report;
+  {
+    ScopedRegistry scope(r);
+    report = core::run_codesign_flow(w.graph, w.kernels, config);
+  }
+  const Summary s = r.summary();
+  for (const char* phase :
+       {"specify", "estimate", "partition", "cosynth", "cosim"}) {
+    bool found = false;
+    for (const SpanStat& span : s.spans) {
+      if (span.category == "flow" && span.name == phase) found = true;
+    }
+    EXPECT_TRUE(found) << "missing flow phase span: " << phase;
+  }
+  // The partition phase ran a strategy underneath, with its counters.
+  EXPECT_GE(r.counter("partition." +
+                      std::string(partition::strategy_name(config.strategy)) +
+                      ".runs"),
+            1u);
+  // Co-simulation ran and counted its events.
+  ASSERT_TRUE(report.cosim.has_value());
+  EXPECT_EQ(r.counter("cosim.events"), report.cosim->sim_events);
+  EXPECT_EQ(r.counter("cosim.samples"), config.cosim_samples);
+  // The trace export is valid Chrome trace JSON.
+  const std::string json = r.chrome_trace_json();
+  EXPECT_TRUE(json_is_valid(json));
+  for (const char* phase :
+       {"specify", "estimate", "partition", "cosynth", "cosim"}) {
+    EXPECT_NE(json.find(std::string("\"") + phase + "\""),
+              std::string::npos)
+        << phase;
+  }
+  // The flow's Report envelope embeds the summary and the design.
+  EXPECT_FALSE(report.report.obs.empty());
+  ASSERT_EQ(report.report.designs.size(), 1u);
+  EXPECT_EQ(report.report.designs[0].target, "coprocessor");
+  EXPECT_GT(report.report.wall_ms, 0.0);
+  const std::string rendered = report.report.str();
+  EXPECT_NE(rendered.find("coprocessor"), std::string::npos);
+}
+
+TEST(ObsFlow, DisabledRunProducesIdenticalDesign) {
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  core::FlowConfig config;
+  config.cosim_samples = 2;
+  const core::FlowReport plain =
+      core::run_codesign_flow(w.graph, w.kernels, config);
+  Registry r;
+  core::FlowReport traced;
+  {
+    ScopedRegistry scope(r);
+    traced = core::run_codesign_flow(w.graph, w.kernels, config);
+  }
+  // Tracing must not perturb results.
+  EXPECT_EQ(plain.design.partition.mapping, traced.design.partition.mapping);
+  EXPECT_DOUBLE_EQ(plain.design.latency(), traced.design.latency());
+  EXPECT_DOUBLE_EQ(plain.design.area(), traced.design.area());
+  // And the untraced run carries an empty obs summary.
+  EXPECT_TRUE(plain.report.obs.empty());
+  EXPECT_FALSE(traced.report.obs.empty());
+}
+
+TEST(ObsFlow, ExplorerEmitsPointSpansAndCacheCounters) {
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  core::Explorer::Options options;
+  options.num_threads = 2;
+  core::Explorer explorer(w.graph, w.kernels, options);
+  const std::vector<core::FlowConfig> configs = {
+      core::FlowConfig::defaults(),
+      core::FlowConfig::defaults().without_kernel_optimization()};
+  const std::vector<partition::Strategy> strategies = {
+      partition::Strategy::kHotSpot, partition::Strategy::kKl};
+  const std::vector<partition::Objective> objectives = {{}};
+  Registry r;
+  core::ExploreReport report;
+  {
+    ScopedRegistry scope(r);
+    report = explorer.sweep(configs, strategies, objectives);
+  }
+  EXPECT_EQ(r.counter("explorer.points"), report.points.size());
+  // The estimate cache saw one lookup per (kernel, config) pair; the obs
+  // counters mirror the report's totals for a fresh explorer.
+  EXPECT_EQ(r.counter("explorer.estimate_cache.hits"),
+            report.estimate_cache_hits);
+  EXPECT_EQ(r.counter("explorer.estimate_cache.misses"),
+            report.estimate_cache_misses);
+  EXPECT_EQ(r.counter("explorer.eval_cache.hits"), report.cost_cache_hits);
+  EXPECT_EQ(r.counter("explorer.eval_cache.misses"),
+            report.cost_cache_misses);
+  EXPECT_GT(r.counter("explorer.estimate_cache.hits") +
+                r.counter("explorer.estimate_cache.misses"),
+            0u);
+  // Per-point spans are tagged with batch index and strategy args.
+  const std::vector<SpanEvent> events = r.events();
+  std::size_t point_spans = 0;
+  for (const SpanEvent& event : events) {
+    if (event.category != "explorer" ||
+        event.name.rfind("point[", 0) != 0) {
+      continue;
+    }
+    ++point_spans;
+    bool has_batch = false;
+    bool has_strategy = false;
+    for (const auto& [key, value] : event.args) {
+      if (key == "batch_index") has_batch = true;
+      if (key == "strategy") has_strategy = true;
+    }
+    EXPECT_TRUE(has_batch && has_strategy) << event.name;
+  }
+  EXPECT_EQ(point_spans, report.points.size());
+  // The explorer's Report envelope lists the frontier designs.
+  EXPECT_EQ(report.report.designs.size(), report.frontier.size());
+  EXPECT_FALSE(report.report.obs.empty());
+  EXPECT_TRUE(json_is_valid(r.chrome_trace_json()));
+}
+
+TEST(ObsReport, AddDesignCapturesCommonShape) {
+  core::Report report;
+  report.title = "unit";
+  struct FakeDesign {
+    double latency() const { return 123.0; }
+    double area() const { return 4.5; }
+    std::string summary() const { return "fake detail"; }
+  };
+  report.add_design("fake", FakeDesign{});
+  ASSERT_EQ(report.designs.size(), 1u);
+  EXPECT_EQ(report.designs[0].target, "fake");
+  EXPECT_DOUBLE_EQ(report.designs[0].latency, 123.0);
+  EXPECT_DOUBLE_EQ(report.designs[0].area, 4.5);
+  const std::string text = report.str();
+  EXPECT_NE(text.find("unit"), std::string::npos);
+  EXPECT_NE(text.find("fake"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mhs::obs
