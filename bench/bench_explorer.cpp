@@ -63,7 +63,10 @@ std::string frontier_signature(const core::ExploreReport& report) {
 
 int main() {
   using namespace mhs;
-  bench::print_header("bench_explorer",
+  // The Reporter's registry is installed only around the traced run at
+  // the end — the untraced runs must stay untraced for the overhead and
+  // bit-identity claims to mean anything.
+  bench::Reporter rep("bench_explorer",
                       "parallel memoized design-space exploration");
 
   apps::KernelBackedWorkload workload = apps::dsp_chain_workload();
@@ -94,7 +97,7 @@ int main() {
 
   // Naive baseline: one full co-design flow per point, exactly what a
   // caller looping over run_codesign_flow would pay.
-  bench::Stopwatch naive_watch;
+  obs::Stopwatch naive_watch;
   std::vector<partition::PartitionResult> naive_results;
   naive_results.reserve(points.size());
   for (const core::DesignPoint& point : points) {
@@ -119,7 +122,7 @@ int main() {
     core::Explorer::Options options;
     options.num_threads = threads;
     core::Explorer explorer(workload.graph, workload.kernels, options);
-    bench::Stopwatch watch;
+    obs::Stopwatch watch;
     Run run;
     run.report = explorer.explore(configs, points);
     run.wall_ms = watch.elapsed_us() / 1000.0;
@@ -175,7 +178,14 @@ int main() {
   std::cout << "explorer at 4 threads: " << fmt(four.wall_ms, 1)
             << " ms vs naive " << fmt(naive_ms, 1) << " ms ("
             << fmt(speedup_at_4, 2) << "x)\n";
-  bench::print_claim(
+  rep.metric("naive_ms", naive_ms, "ms", bench::Direction::kLowerIsBetter);
+  for (const Run& run : runs) {
+    rep.metric("explorer_ms_" + fmt(run.threads) + "t", run.wall_ms, "ms",
+               bench::Direction::kLowerIsBetter);
+  }
+  rep.metric("speedup_at_4t", speedup_at_4, "x",
+             bench::Direction::kHigherIsBetter);
+  rep.claim(
       ">=2x wall-clock vs the naive per-point flow at 4 threads, with a "
       "bit-identical Pareto frontier at 1/2/4/8 threads matching the naive "
       "results",
@@ -203,15 +213,17 @@ int main() {
             << single.estimate_cache_misses << " misses; expected "
             << expected_hits << " / " << expected_misses
             << " from content hashing\n";
-  bench::print_claim(
+  rep.claim(
       "content-hash keying estimates each distinct kernel body exactly "
       "once (misses = unique bodies, hits = remaining lookups)",
       single.estimate_cache_misses == expected_misses &&
           single.estimate_cache_hits == expected_hits);
 
   // Observability overhead: a traced 4-thread sweep must reproduce the
-  // untraced frontier bit-for-bit (tracing never perturbs results).
-  obs::Registry registry;
+  // untraced frontier bit-for-bit (tracing never perturbs results). The
+  // traced run records into the Reporter's registry, so the spans,
+  // counters, and the explorer.point_us histogram land in the JSON.
+  obs::Registry& registry = rep.registry();
   core::ExploreReport traced_report;
   double traced_ms = 0.0;
   {
@@ -219,7 +231,7 @@ int main() {
     options.num_threads = 4;
     core::Explorer explorer(workload.graph, workload.kernels, options);
     obs::ScopedRegistry scope(registry);
-    bench::Stopwatch watch;
+    obs::Stopwatch watch;
     traced_report = explorer.explore(configs, points);
     traced_ms = watch.elapsed_us() / 1000.0;
   }
@@ -227,7 +239,8 @@ int main() {
             << " ms (untraced: " << fmt(four.wall_ms, 1) << " ms); "
             << registry.num_events() << " spans, "
             << registry.counter("explorer.points") << " points counted\n";
-  bench::print_claim(
+  rep.metric("traced_ms", traced_ms, "ms", bench::Direction::kLowerIsBetter);
+  rep.claim(
       "tracing-enabled sweep is bit-identical to the untraced frontier "
       "and counts every design point",
       frontier_signature(traced_report) == reference &&

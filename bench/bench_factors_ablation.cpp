@@ -16,7 +16,8 @@ namespace mhs {
 namespace {
 
 void run() {
-  bench::print_header("E10", "partitioning-factor ablation (§3.3)");
+  bench::Reporter rep("bench_factors_ablation",
+                      "E10: partitioning-factor ablation (§3.3)");
 
   Rng rng(28);
   ir::TaskGraphGenConfig gen;
@@ -138,7 +139,7 @@ void run() {
                   fmt(mb2.latency_cycles, 0), fmt(mb2.energy, 0)});
   std::cout << "\nfork-join workload (concurrency factor):\n" << table2;
 
-  bench::print_claim(
+  rep.claim(
       "each §3.3 factor matters on the workload that stresses it: the "
       "comm-blind optimizer scatters a pipeline, the concurrency-blind "
       "one underbuys hardware for a fork-join, the modifiability-blind "

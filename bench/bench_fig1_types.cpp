@@ -20,7 +20,8 @@ namespace mhs {
 namespace {
 
 void run() {
-  bench::print_header("E1", "Type I vs Type II trade-off spaces (Fig. 1)");
+  bench::Reporter rep("bench_fig1_types",
+                      "E1: Type I vs Type II trade-off spaces (Fig. 1)");
   const ir::TaskGraph g = apps::jpeg_pipeline_graph();
   const partition::CostModel model(g, hw::default_library());
   const double all_sw_latency = g.total_sw_cycles();
@@ -73,7 +74,14 @@ void run() {
   summary.add_row({"Type II", fmt(front2.size()), fmt(hv2, 0)});
   std::cout << summary;
 
-  bench::print_claim(
+  rep.metric("type1_pareto_points", static_cast<double>(front1.size()),
+             "points");
+  rep.metric("type2_pareto_points", static_cast<double>(front2.size()),
+             "points", bench::Direction::kHigherIsBetter);
+  rep.metric("type1_hypervolume", hv1, "cost*cycles");
+  rep.metric("type2_hypervolume", hv2, "cost*cycles",
+             bench::Direction::kHigherIsBetter);
+  rep.claim(
       "a movable Type II boundary yields a denser Pareto front than "
       "processor choice alone",
       front2.size() >= front1.size() && hv2 > 0.0);

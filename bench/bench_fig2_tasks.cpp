@@ -23,7 +23,8 @@ std::string subset_name(const std::set<core::DesignTask>& subset) {
 }
 
 void run() {
-  bench::print_header("E2", "design-activity coverage (Fig. 2)");
+  bench::Reporter rep("bench_fig2_tasks",
+                      "E2: design-activity coverage (Fig. 2)");
 
   // Subsets consistent with the paper's own structure: partitioning is a
   // sub-activity of co-synthesis (Fig. 2 nests it), so subsets with
@@ -54,7 +55,12 @@ void run() {
                    examples.str().empty() ? "-" : examples.str()});
   }
   std::cout << table;
-  bench::print_claim(
+  rep.metric("meaningful_subsets", static_cast<double>(meaningful.size()),
+             "subsets");
+  rep.metric("surveyed_approaches",
+             static_cast<double>(core::surveyed_approaches().size()),
+             "approaches", bench::Direction::kHigherIsBetter);
+  rep.claim(
       "every meaningful subset of {cosim, cosynth, partitioning} is "
       "populated by a surveyed approach",
       all_covered);

@@ -16,7 +16,11 @@ namespace mhs {
 namespace {
 
 void run() {
-  bench::print_header("E3", "HW/SW interface abstraction levels (Fig. 3)");
+  bench::Reporter rep("bench_fig3_cosim_levels",
+                      "E3: HW/SW interface abstraction levels (Fig. 3)");
+  // Record into the bench report: per-level histograms (event wait,
+  // bus grant wait) and counters land in BENCH_*.json.
+  obs::ScopedRegistry scope(rep.registry());
 
   const ir::Cdfg kernel = apps::fir_kernel(8);
   const hw::ComponentLibrary lib = hw::default_library();
@@ -34,7 +38,7 @@ void run() {
   for (const sim::InterfaceLevel level : sim::kAllInterfaceLevels) {
     sim::CosimConfig cfg;
     cfg.level = level;
-    const bench::Stopwatch sw;
+    const obs::Stopwatch sw;
     const sim::CosimReport report = sim::run_cosim(impl, cfg, samples);
     rows.push_back(Row{level, report, sw.elapsed_us()});
   }
@@ -58,6 +62,18 @@ void run() {
   }
   std::cout << table;
 
+  // Where the simulated cycles went, per level (self-normalizing).
+  for (const Row& row : rows) {
+    std::cout << row.report.profile.table();
+    rep.metric(std::string("events_") +
+                   sim::interface_level_name(row.level),
+               static_cast<double>(row.report.sim_events), "events",
+               bench::Direction::kLowerIsBetter);
+    rep.metric(std::string("wall_us_") +
+                   sim::interface_level_name(row.level),
+               row.wall_us, "us", bench::Direction::kLowerIsBetter);
+  }
+
   bool events_monotone = true;
   bool error_monotone = true;
   bool checksums_equal = true;
@@ -73,7 +89,7 @@ void run() {
               relative_error(rows[i - 1].report.total_cycles, truth);
     }
   }
-  bench::print_claim(
+  rep.claim(
       "lower levels are more accurate but cost more events; all levels "
       "agree functionally",
       events_monotone && error_monotone && checksums_equal);

@@ -20,8 +20,9 @@ namespace mhs {
 namespace {
 
 void run() {
-  bench::print_header("E4",
-                      "embedded microprocessor co-design (Fig. 4, §4.1)");
+  bench::Reporter rep("bench_fig4_embedded",
+                      "E4: embedded microprocessor co-design (Fig. 4, §4.1)");
+  obs::ScopedRegistry scope(rep.registry());
 
   const ir::Cdfg kernel = apps::fir_kernel(8);
   const hw::ComponentLibrary lib = hw::default_library();
@@ -41,6 +42,7 @@ void run() {
     const sim::CosimReport r = sim::run_cosim(impl, cfg, samples);
     if (level == sim::InterfaceLevel::kPin) {
       pin_events = r.sim_events;
+      std::cout << r.profile.table();  // pin-level cycle attribution
     } else {
       register_events = r.sim_events;
     }
@@ -77,7 +79,15 @@ void run() {
   }
   std::cout << drivers;
 
-  bench::print_claim(
+  rep.metric("pin_events", static_cast<double>(pin_events), "events",
+             bench::Direction::kLowerIsBetter);
+  rep.metric("register_events", static_cast<double>(register_events),
+             "events", bench::Direction::kLowerIsBetter);
+  rep.metric("pin_over_register_events",
+             static_cast<double>(pin_events) /
+                 static_cast<double>(register_events),
+             "ratio");
+  rep.claim(
       "modelling pin activity costs several times more events than the "
       "register level; driver synthesis picks polling for latency and "
       "interrupts for background throughput",

@@ -19,8 +19,9 @@ namespace mhs {
 namespace {
 
 void run() {
-  bench::print_header("E5", "heterogeneous multiprocessor synthesis "
-                            "(Fig. 5, §4.2)");
+  bench::Reporter rep("bench_fig5_multiproc",
+                      "E5: heterogeneous multiprocessor synthesis "
+                      "(Fig. 5, §4.2)");
 
   Rng rng(55);
   ir::TaskGraphGenConfig gen;
@@ -48,17 +49,17 @@ void run() {
     };
     std::vector<Entry> entries;
     {
-      const bench::Stopwatch sw;
+      const obs::Stopwatch sw;
       auto d = cosynth::synthesize_exact(g, catalog, deadline);
       entries.push_back({"exact (SOS)", std::move(d), sw.elapsed_us()});
     }
     {
-      const bench::Stopwatch sw;
+      const obs::Stopwatch sw;
       auto d = cosynth::synthesize_binpack(g, catalog, deadline);
       entries.push_back({"bin pack (Beck)", std::move(d), sw.elapsed_us()});
     }
     {
-      const bench::Stopwatch sw;
+      const obs::Stopwatch sw;
       auto d = cosynth::synthesize_sensitivity(g, catalog, deadline);
       entries.push_back(
           {"sensitivity (Yen/Wolf)", std::move(d), sw.elapsed_us()});
@@ -83,7 +84,9 @@ void run() {
     }
   }
   std::cout << table;
-  bench::print_claim(
+  rep.metric("final_exact_cost", prev_exact_cost, "cost",
+             bench::Direction::kLowerIsBetter);
+  rep.claim(
       "exact search is the cost floor; heuristics trail it; tighter "
       "deadlines cost more",
       exact_always_min && cost_rises);

@@ -27,7 +27,7 @@ std::string feature_list(const std::vector<cosynth::IsaFeature>& fs) {
 }
 
 void run() {
-  bench::print_header("E6", "ASIP synthesis (Fig. 6, §4.3)");
+  bench::Reporter rep("bench_fig6_asip", "E6: ASIP synthesis (Fig. 6, §4.3)");
 
   std::vector<ir::Cdfg> storage;
   storage.push_back(apps::dct8_kernel());
@@ -68,7 +68,11 @@ void run() {
       !media_small.features.empty() &&
       media_small.features[0] == cosynth::IsaFeature::kFastMul;
 
-  bench::print_claim(
+  rep.metric("media_small_area_used", media_small.area_used, "area",
+             bench::Direction::kLowerIsBetter);
+  rep.metric("media_small_speedup", media_small.speedup(), "x",
+             bench::Direction::kHigherIsBetter);
+  rep.claim(
       "speedup grows monotonically with area budget and the first "
       "extension matches the dominant op class",
       monotone && mul_first);

@@ -16,8 +16,9 @@ namespace mhs {
 namespace {
 
 void run() {
-  bench::print_header("E7", "special-purpose FUs: static vs reconfigurable "
-                            "(Fig. 7, §4.4)");
+  bench::Reporter rep("bench_fig7_sfu",
+                      "E7: special-purpose FUs: static vs reconfigurable "
+                      "(Fig. 7, §4.4)");
 
   // Two applications whose hot spots want the two most expensive units:
   // the DCT wants the fast multiplier (area 900), the division chain the
@@ -69,7 +70,7 @@ void run() {
     }
   }
   std::cout << table;
-  bench::print_claim(
+  rep.claim(
       "under tight budgets the reprogrammable slot outperforms any "
       "affordable static FU set on a multi-application workload",
       reconfig_wins_somewhere);

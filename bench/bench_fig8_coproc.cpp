@@ -22,7 +22,8 @@ namespace mhs {
 namespace {
 
 void run() {
-  bench::print_header("E8", "co-processor partitioning (Fig. 8, §4.5)");
+  bench::Reporter rep("bench_fig8_coproc",
+                      "E8: co-processor partitioning (Fig. 8, §4.5)");
 
   const ir::TaskGraph jpeg = apps::jpeg_pipeline_graph();
   Rng rng(88);
@@ -77,7 +78,12 @@ void run() {
   std::cout << "all-HW area reference (jpeg): " << fmt(all_hw_area, 0)
             << "\n";
 
-  bench::print_claim(
+  rep.metric("hot_spot_area", hot_spot_area, "area",
+             bench::Direction::kLowerIsBetter);
+  rep.metric("unload_area", unload_area, "area",
+             bench::Direction::kLowerIsBetter);
+  rep.metric("all_hw_area", all_hw_area, "area");
+  rep.claim(
       "both directional partitioners meet the target with far less "
       "hardware than all-HW",
       all_meet_target && hot_spot_area < all_hw_area &&

@@ -56,8 +56,9 @@ ir::ProcessNetwork decoy_farm(std::size_t workers) {
 }
 
 void run() {
-  bench::print_header("E9", "multi-threaded co-processor partitioning "
-                            "(Fig. 9, §4.5.1)");
+  bench::Reporter rep("bench_fig9_mtcoproc",
+                      "E9: multi-threaded co-processor partitioning "
+                      "(Fig. 9, §4.5.1)");
 
   sim::OsCosimConfig eval;
   eval.iterations = 48;
@@ -110,7 +111,11 @@ void run() {
             << (ekg_design.evaluation.deadlocked ? "yes" : "no")
             << ", hw area " << fmt(ekg_design.hw_area, 0) << "\n";
 
-  bench::print_claim(
+  rep.metric("ekg_makespan", ekg_design.evaluation.makespan, "cycles",
+             bench::Direction::kLowerIsBetter);
+  rep.metric("ekg_hw_area", ekg_design.hw_area, "area",
+             bench::Direction::kLowerIsBetter);
+  rep.claim(
       "the concurrency/communication-aware partitioner is never worse and "
       "pulls ahead as parallelism grows; partitions verify deadlock-free",
       aware_never_worse && aware_strictly_better_at_scale &&

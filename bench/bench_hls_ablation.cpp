@@ -22,7 +22,9 @@ namespace mhs {
 namespace {
 
 void run() {
-  bench::print_header("E17", "HLS scheduler ablation");
+  bench::Reporter rep("bench_hls_ablation", "E17: HLS scheduler ablation");
+  // Captures the hls.schedule_len histogram and hls.syntheses counter.
+  obs::ScopedRegistry scope(rep.registry());
 
   const hw::ComponentLibrary lib = hw::default_library();
   const ir::Cdfg kernels[] = {apps::fir_kernel(16), apps::dct8_kernel(),
@@ -88,7 +90,7 @@ void run() {
                   best_adp < asap_stream_adp;
   }
   std::cout << table;
-  bench::print_claim(
+  rep.claim(
       "ASAP = latency floor / FU-area ceiling; min-area the reverse; FDS "
       "within its bound at lower FU area; pipelining wins ADP on streams",
       shapes_hold);

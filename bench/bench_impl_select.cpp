@@ -17,8 +17,9 @@ namespace mhs {
 namespace {
 
 void run() {
-  bench::print_header("E18", "implementation selection under a shared "
-                            "silicon budget");
+  bench::Reporter rep("bench_impl_select",
+                      "E18: implementation selection under a shared "
+                      "silicon budget");
 
   const hw::ComponentLibrary lib = hw::default_library();
   const std::size_t samples = 64;
@@ -87,7 +88,9 @@ void run() {
     }
   }
   std::cout << table;
-  bench::print_claim(
+  rep.metric("final_weighted_cycles", prev, "cycles",
+             bench::Direction::kLowerIsBetter);
+  rep.claim(
       "selections always fit the budget; weighted time falls "
       "monotonically; the hot kernel is squeezed to min-area when tight "
       "and gets the full II=1 pipeline when the budget allows",

@@ -77,7 +77,8 @@ void BM_FromScratchMove(benchmark::State& state) {
 BENCHMARK(BM_FromScratchMove)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 
 void verify_exactness() {
-  bench::print_header("E12", "incremental HW estimation ([18])");
+  bench::Reporter rep("bench_incremental_estimation",
+                      "E12: incremental HW estimation ([18])");
   Rng rng(7);
   const auto profiles = make_profiles(64, 7);
   const hw::ComponentLibrary lib = hw::default_library();
@@ -104,7 +105,9 @@ void verify_exactness() {
   table.add_row({"random add/remove steps", "2000"});
   table.add_row({"max relative error vs from-scratch", fmt(max_err, 12)});
   std::cout << table;
-  bench::print_claim(
+  rep.metric("max_relative_error", max_err, "fraction",
+             bench::Direction::kLowerIsBetter);
+  rep.claim(
       "incremental estimate is exact; per-move cost is flat in resident "
       "count (see BM_IncrementalMove vs BM_FromScratchMove timings below)",
       max_err < 1e-12);

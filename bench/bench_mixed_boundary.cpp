@@ -33,9 +33,10 @@ std::string feature_names(const std::vector<cosynth::IsaFeature>& fs) {
 }
 
 void run() {
-  bench::print_header(
-      "E13", "mixed Type I + Type II boundaries (the paper's §2 open "
-             "problem)");
+  bench::Reporter rep(
+      "bench_mixed_boundary",
+      "E13: mixed Type I + Type II boundaries (the paper's §2 open "
+      "problem)");
 
   apps::KernelBackedWorkload w = apps::dsp_chain_workload();
   // Derive baseline annotations (hardware side) once via the flow's
@@ -80,7 +81,7 @@ void run() {
     }
   }
   std::cout << table;
-  bench::print_claim(
+  rep.claim(
       "the joint Type I + Type II design is never worse than either pure "
       "strategy and strictly better at intermediate budgets",
       never_worse && strictly_better_somewhere);

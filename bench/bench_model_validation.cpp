@@ -48,7 +48,8 @@ double rank_correlation(std::vector<double> a, std::vector<double> b) {
 }
 
 void run() {
-  bench::print_header("E16", "analytic model vs full-system co-simulation");
+  bench::Reporter rep("bench_model_validation",
+                      "E16: analytic model vs full-system co-simulation");
 
   Rng rng(1606);
   TextTable table({"graph", "mappings", "mean |err| %", "max |err| %",
@@ -99,7 +100,11 @@ void run() {
             << fmt(100.0 * uncontended_err.mean(), 2) << " % ("
             << uncontended_err.count() << " runs)\n";
 
-  bench::print_claim(
+  rep.metric("contended_mean_err_pct", 100.0 * contended_err.mean(), "%",
+             bench::Direction::kLowerIsBetter);
+  rep.metric("uncontended_mean_err_pct", 100.0 * uncontended_err.mean(),
+             "%", bench::Direction::kLowerIsBetter);
+  rep.claim(
       "the analytic model ranks designs like the co-simulation (rank "
       "correlation > 0.9) with <10% mean latency error",
       all_corr_high && all_mean_small);

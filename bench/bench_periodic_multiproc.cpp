@@ -36,8 +36,9 @@ ir::TaskGraph periodic_set(std::uint64_t seed, double load_scale) {
 }
 
 void run() {
-  bench::print_header("E15", "periodic multiprocessor synthesis with RM "
-                            "analysis (extends Fig. 5)");
+  bench::Reporter rep("bench_periodic_multiproc",
+                      "E15: periodic multiprocessor synthesis with RM "
+                      "analysis (extends Fig. 5)");
 
   const auto catalog = cosynth::default_pe_catalog();
   TextTable table({"load scale", "total util (ref PE)", "feasible",
@@ -92,7 +93,9 @@ void run() {
                    beyond ? "yes" : "no"});
   }
   std::cout << table;
-  bench::print_claim(
+  rep.metric("final_cost", prev_cost, "cost",
+             bench::Direction::kLowerIsBetter);
+  rep.claim(
       "all returned designs pass exact RM analysis; cost rises with load; "
       "exact analysis admits utilizations the Liu-Layland bound rejects",
       all_rm_ok && cost_monotone && some_beyond_ll);

@@ -19,8 +19,8 @@ namespace mhs {
 namespace {
 
 void run() {
-  bench::print_header("E14",
-                      "pipelined datapaths: area vs throughput ablation");
+  bench::Reporter rep("bench_pipeline_tradeoff",
+                      "E14: pipelined datapaths: area vs throughput ablation");
 
   const ir::Cdfg kernel = apps::dct8_kernel();
   const hw::ComponentLibrary lib = hw::default_library();
@@ -79,7 +79,10 @@ void run() {
   std::cout << table;
   std::cout << "best area-delay product at II=" << best_ii << "\n";
 
-  bench::print_claim(
+  rep.metric("best_adp_ii", static_cast<double>(best_ii), "cycles");
+  rep.metric("best_adp", best_adp, "area*cycles",
+             bench::Direction::kLowerIsBetter);
+  rep.claim(
       "area falls and stream time rises monotonically with II; every "
       "pipelined point beats the sequential schedule on area-delay "
       "product, and some point is simultaneously faster AND smaller",

@@ -11,7 +11,8 @@ namespace mhs {
 namespace {
 
 void run() {
-  bench::print_header("E11", "the §5 criteria comparison, regenerated");
+  bench::Reporter rep("bench_summary_table",
+                      "E11: the §5 criteria comparison, regenerated");
   std::cout << core::comparison_table();
 
   // Factor-coverage histogram: how many surveyed approaches consider
@@ -32,8 +33,11 @@ void run() {
   }
   std::cout << hist;
 
-  bench::print_claim("registry covers 12+ approaches and both system types",
-                     core::surveyed_approaches().size() >= 12);
+  rep.metric("surveyed_approaches",
+             static_cast<double>(core::surveyed_approaches().size()),
+             "approaches", bench::Direction::kHigherIsBetter);
+  rep.claim("registry covers 12+ approaches and both system types",
+            core::surveyed_approaches().size() >= 12);
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 #include "core/explorer.h"
 
-#include <chrono>
+#include <cmath>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -10,16 +10,6 @@
 #include "obs/obs.h"
 
 namespace mhs::core {
-
-namespace {
-
-double now_ms() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 /// One flow-configuration variant's shared state: the annotated graph,
 /// the cost model over it, and the variant's evaluation cache. Built at
@@ -116,7 +106,7 @@ PointResult Explorer::evaluate_point(
     span.arg("strategy", partition::strategy_name(point.strategy));
     span.arg("config", std::to_string(point.config_index));
   }
-  const double start_ms = now_ms();
+  const obs::Stopwatch watch;
   try {
     MHS_CHECK(point.config_index < configs.size(),
               "design point references config " << point.config_index
@@ -139,7 +129,12 @@ PointResult Explorer::evaluate_point(
   } catch (const std::exception& e) {
     result.error = e.what();
   }
-  result.wall_ms = now_ms() - start_ms;
+  // One clock read feeds both the result's wall time and the per-point
+  // eval-latency histogram.
+  const double elapsed_us = watch.elapsed_us();
+  result.wall_ms = elapsed_us / 1000.0;
+  obs::observe("explorer.point_us",
+               static_cast<std::uint64_t>(std::llround(elapsed_us)));
   return result;
 }
 
@@ -173,12 +168,11 @@ ExploreReport Explorer::explore(const std::vector<FlowConfig>& configs,
                                 const std::vector<DesignPoint>& points) {
   ExploreReport report;
   report.threads = pool_.num_threads();
-  obs::Span batch_span("explore", "explorer");
   // The estimate cache persists across batches; counters report this
   // batch's delta.
   const std::size_t estimate_hits_before = estimate_cache_.hits();
   const std::size_t estimate_misses_before = estimate_cache_.misses();
-  const double batch_start_ms = now_ms();
+  const obs::Stopwatch watch;
 
   std::vector<std::unique_ptr<Context>> contexts;
   contexts.reserve(configs.size());
@@ -196,7 +190,18 @@ ExploreReport Explorer::explore(const std::vector<FlowConfig>& configs,
   for (const std::size_t idx : report.frontier) {
     report.points[idx].on_frontier = true;
   }
-  report.wall_ms = now_ms() - batch_start_ms;
+  // One measurement feeds both the report's wall time and the batch
+  // span, so the two can never disagree.
+  const double batch_us = watch.elapsed_us();
+  report.wall_ms = batch_us / 1000.0;
+  if (obs::Registry* r = obs::registry()) {
+    obs::SpanEvent batch_span;
+    batch_span.name = "explore";
+    batch_span.category = "explorer";
+    batch_span.start_us = watch.start_us() - r->epoch_us();
+    batch_span.dur_us = batch_us;
+    r->record(std::move(batch_span));
+  }
 
   for (const std::unique_ptr<Context>& ctx : contexts) {
     if (ctx->model.has_value()) ++report.contexts_built;
@@ -216,6 +221,7 @@ ExploreReport Explorer::explore(const std::vector<FlowConfig>& configs,
   report.estimate_cache_misses = estimate_cache_.misses();
 
   // Surface the cache reuse as obs counters (no-ops when disabled).
+  obs::gauge("explorer.cost_cache.hit_rate", report.cost_cache_hit_rate);
   obs::count("explorer.points", points.size());
   obs::count("explorer.eval_cache.hits", report.cost_cache_hits);
   obs::count("explorer.eval_cache.misses", report.cost_cache_misses);

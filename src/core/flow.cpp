@@ -1,7 +1,6 @@
 #include "core/flow.h"
 
 #include <algorithm>
-#include <chrono>
 #include <sstream>
 
 #include "base/rng.h"
@@ -113,7 +112,7 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
                              const std::vector<const ir::Cdfg*>& raw_kernels,
                              const FlowConfig& config) {
   FlowReport report;
-  const auto flow_start = std::chrono::steady_clock::now();
+  const obs::Stopwatch flow_watch;
 
   // Phase 1 — specify: optionally optimize every kernel once; all
   // downstream steps (estimation, partitioning inputs, HLS validation,
@@ -231,10 +230,19 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
   // The unified envelope.
   report.report.title = "co-design flow: " + graph.name();
   report.report.add_design("coprocessor", report.design);
-  report.report.wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - flow_start)
-          .count();
+  if (report.cosim) report.report.profiles.push_back(report.cosim->profile);
+  // One clock read closes the flow: the report's wall time and the root
+  // "flow" span are both derived from it, so they can never disagree.
+  const double flow_us = flow_watch.elapsed_us();
+  report.report.wall_ms = flow_us / 1000.0;
+  if (obs::Registry* r = obs::registry()) {
+    obs::SpanEvent root;
+    root.name = "flow";
+    root.category = "flow";
+    root.start_us = flow_watch.start_us() - r->epoch_us();
+    root.dur_us = flow_us;
+    r->record(std::move(root));
+  }
   report.report.capture_obs();
   return report;
 }

@@ -21,6 +21,9 @@ std::string Report::str() const {
     os << table.str();
   }
   os << "wall: " << fmt(wall_ms, 1) << " ms\n";
+  for (const obs::Profile& p : profiles) {
+    if (!p.empty()) os << p.table();
+  }
   if (!obs.empty()) os << obs.table();
   return os.str();
 }

@@ -36,6 +36,10 @@ struct Report {
   /// Aggregated span timings and counter totals observed during the run
   /// (empty when no obs::Registry was installed).
   obs::Summary obs;
+  /// Cycle-attribution breakdowns from any co-simulations the run
+  /// performed (filled registry or not; rendered as self-normalizing
+  /// tables by str()).
+  std::vector<obs::Profile> profiles;
   double wall_ms = 0.0;
 
   /// Adds any design exposing the common latency()/area()/summary()

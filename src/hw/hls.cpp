@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace mhs::hw {
 
 namespace {
@@ -60,6 +62,8 @@ HlsResult synthesize(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
   Controller controller(schedule, binding);
   AreaReport area = compute_area(schedule, binding, controller);
   const std::size_t latency = schedule.num_steps();
+  obs::count("hls.syntheses");
+  obs::observe("hls.schedule_len", latency);
   return HlsResult{std::move(schedule), std::move(binding),
                    std::move(controller), area, latency};
 }

@@ -1,0 +1,247 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mhs::obs {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : as_object()) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser. Grammar is strict RFC-8259: no NaN/Infinity,
+/// no comments, no trailing commas, no leading zeros, nesting capped at
+/// 256 levels.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    std::optional<JsonValue> result = value();
+    if (!result) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return result;
+  }
+
+ private:
+  std::optional<JsonValue> value() {
+    if (depth_ > 256 || pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      std::optional<std::string> s = string();
+      if (!s) return std::nullopt;
+      return JsonValue(std::move(*s));
+    }
+    if (c == 't') {
+      if (!literal("true")) return std::nullopt;
+      return JsonValue(true);
+    }
+    if (c == 'f') {
+      if (!literal("false")) return std::nullopt;
+      return JsonValue(false);
+    }
+    if (c == 'n') {
+      if (!literal("null")) return std::nullopt;
+      return JsonValue();
+    }
+    return number();
+  }
+
+  std::optional<JsonValue> object() {
+    ++depth_;
+    ++pos_;  // '{'
+    JsonValue::Object members;
+    skip_ws();
+    if (peek() == '}') { ++pos_; --depth_; return JsonValue(std::move(members)); }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return std::nullopt;
+      std::optional<std::string> key = string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (peek() != ':') return std::nullopt;
+      ++pos_;
+      skip_ws();
+      std::optional<JsonValue> member = value();
+      if (!member) return std::nullopt;
+      members.emplace_back(std::move(*key), std::move(*member));
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; --depth_; return JsonValue(std::move(members)); }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array() {
+    ++depth_;
+    ++pos_;  // '['
+    JsonValue::Array items;
+    skip_ws();
+    if (peek() == ']') { ++pos_; --depth_; return JsonValue(std::move(items)); }
+    while (true) {
+      skip_ws();
+      std::optional<JsonValue> item = value();
+      if (!item) return std::nullopt;
+      items.push_back(std::move(*item));
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; --depth_; return JsonValue(std::move(items)); }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return out; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int k = 1; k <= 4; ++k) {
+              const char h = text_[pos_ + k];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                return std::nullopt;
+              }
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         std::isdigit(static_cast<unsigned char>(h))
+                             ? h - '0'
+                             : std::tolower(h) - 'a' + 10);
+            }
+            pos_ += 4;
+            // UTF-8 encode the code point (surrogates pass through as
+            // three-byte sequences; pairing is not reconstructed).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return std::nullopt;  // \q and friends
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return std::nullopt;  // raw control character inside a string
+      } else {
+        out += c;
+      }
+      ++pos_;
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return std::nullopt;
+    if (peek() == '0') {
+      ++pos_;  // leading zero: no further integer digits allowed
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return std::nullopt;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return std::nullopt;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue(std::strtod(token.c_str(), nullptr));
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  return JsonParser(text).parse();
+}
+
+bool json_is_valid(std::string_view text) {
+  return json_parse(text).has_value();
+}
+
+}  // namespace mhs::obs

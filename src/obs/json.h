@@ -1,0 +1,85 @@
+// Minimal JSON support for the observability and benchmark pipelines.
+//
+// Three pieces, shared by trace export, the bench Reporter, and the
+// bench_report aggregator:
+//
+//   * json_escape()   — escapes a string for embedding in a JSON literal;
+//   * json_parse()    — a strict recursive-descent parser producing a
+//                       JsonValue tree (rejects NaN/Infinity, trailing
+//                       garbage, raw control characters, bad escapes,
+//                       leading zeros, and nesting deeper than 256);
+//   * json_is_valid() — well-formedness check, defined as "json_parse
+//                       succeeds", so the validator and the parser can
+//                       never disagree about what is legal.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace mhs::obs {
+
+/// One parsed JSON value. Objects preserve source key order; duplicate
+/// keys are kept as-is (find() returns the first).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : value_(nullptr) {}
+  explicit JsonValue(bool b) : value_(b) {}
+  explicit JsonValue(double n) : value_(n) {}
+  explicit JsonValue(std::string s) : value_(std::move(s)) {}
+  explicit JsonValue(Array a) : value_(std::move(a)) {}
+  explicit JsonValue(Object o) : value_(std::move(o)) {}
+
+  Kind kind() const { return static_cast<Kind>(value_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_bool() const { return kind() == Kind::kBool; }
+  bool is_number() const { return kind() == Kind::kNumber; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_array() const { return kind() == Kind::kArray; }
+  bool is_object() const { return kind() == Kind::kObject; }
+
+  /// Typed accessors; preconditions match the kind.
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Lenient accessors used by the bench-report reader: return the
+  /// default when the value has a different kind.
+  double number_or(double fallback) const {
+    return is_number() ? as_number() : fallback;
+  }
+  bool bool_or(bool fallback) const { return is_bool() ? as_bool() : fallback; }
+  std::string string_or(std::string fallback) const {
+    return is_string() ? as_string() : std::move(fallback);
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Parses `text` as one JSON document. std::nullopt on any syntax error.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+/// Minimal JSON well-formedness check (objects, arrays, strings, numbers,
+/// booleans, null; rejects trailing garbage, NaN/Infinity, and raw control
+/// characters). Used by the tests and the tier-2 trace validation to
+/// assert exported traces parse.
+bool json_is_valid(std::string_view text);
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string json_escape(std::string_view text);
+
+}  // namespace mhs::obs

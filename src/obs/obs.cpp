@@ -1,10 +1,11 @@
 #include "obs/obs.h"
 
 #include <algorithm>
-#include <cctype>
+#include <bit>
 #include <limits>
 #include <sstream>
 
+#include "base/error.h"
 #include "base/table.h"
 
 namespace mhs::obs {
@@ -13,7 +14,19 @@ namespace {
 
 std::atomic<Registry*> g_registry{nullptr};
 
+std::chrono::steady_clock::time_point clock_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
 }  // namespace
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - clock_epoch())
+      .count();
+}
 
 void set_registry(Registry* registry) {
   g_registry.store(registry, std::memory_order_release);
@@ -21,15 +34,153 @@ void set_registry(Registry* registry) {
 
 Registry* registry() { return g_registry.load(std::memory_order_acquire); }
 
+// --------------------------------------------------------------- Histogram
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t b) {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t b) {
+  if (b == 0) return 0;
+  if (b == 64) return UINT64_MAX;
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::percentile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Fractional 0-based rank of the requested quantile; walk the buckets
+  // and interpolate linearly inside the one containing it. Every input
+  // is an integer, so the result is a pure function of the bucket counts.
+  const double rank = q * static_cast<double>(total - 1);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const double n =
+        static_cast<double>(buckets_[b].load(std::memory_order_relaxed));
+    if (n == 0.0) continue;
+    if (rank < cumulative + n) {
+      const double t = (rank - cumulative) / n;
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      return lo + t * (hi - lo);
+    }
+    cumulative += n;
+  }
+  // rank == count-1 exactly: the largest non-empty bucket's upper edge.
+  for (std::size_t b = kNumBuckets; b-- > 0;) {
+    if (buckets_[b].load(std::memory_order_relaxed) != 0) {
+      return static_cast<double>(bucket_hi(b));
+    }
+  }
+  return 0.0;
+}
+
+HistStat Histogram::stat(std::string name) const {
+  HistStat s;
+  s.name = std::move(name);
+  s.count = count();
+  s.sum = sum();
+  s.min = s.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = percentile(0.50);
+  s.p90 = percentile(0.90);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+// ----------------------------------------------------------------- Profile
+
+const char* Profile::category_name(Category c) {
+  switch (c) {
+    case kSwExecute:      return "sw execute";
+    case kBus:            return "bus transfer";
+    case kDma:            return "dma";
+    case kPeripheralWait: return "peripheral wait";
+    case kIdle:           return "idle";
+    case kNumCategories:  break;
+  }
+  return "?";
+}
+
+void Profile::attribute(Category c, std::uint64_t cycles) {
+  MHS_CHECK(c < kIdle, "idle is derived at finalize(), not attributed");
+  cycles_[c] += cycles;
+}
+
+void Profile::finalize(std::uint64_t total_cycles) {
+  std::uint64_t claimed = 0;
+  for (std::size_t c = 0; c < kIdle; ++c) claimed += cycles_[c];
+  if (claimed > total_cycles) {
+    // Rounding overshoot (e.g. scaled ISS cycles): shave deterministically,
+    // kSwExecute first, so the exact-sum invariant always holds.
+    std::uint64_t excess = claimed - total_cycles;
+    for (std::size_t c = 0; c < kIdle && excess > 0; ++c) {
+      const std::uint64_t cut = std::min(excess, cycles_[c]);
+      cycles_[c] -= cut;
+      excess -= cut;
+    }
+    claimed = total_cycles;
+  }
+  cycles_[kIdle] = total_cycles - claimed;
+  total_ = total_cycles;
+}
+
+double Profile::fraction(Category c) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(cycles_[c]) /
+                           static_cast<double>(total_);
+}
+
+std::uint64_t Profile::attributed() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : cycles_) sum += c;
+  return sum;
+}
+
+std::string Profile::table() const {
+  std::ostringstream os;
+  if (!name_.empty()) os << "cycle attribution: " << name_ << "\n";
+  TextTable breakdown({"activity", "cycles", "share %"});
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    const auto cat = static_cast<Category>(c);
+    breakdown.add_row({category_name(cat),
+                       fmt(static_cast<std::size_t>(cycles_[c])),
+                       fmt(100.0 * fraction(cat), 1)});
+  }
+  breakdown.add_row({"total", fmt(static_cast<std::size_t>(total_)), "100.0"});
+  os << breakdown.str();
+  return os.str();
+}
+
 // ---------------------------------------------------------------- Registry
 
-Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
+Registry::Registry() : epoch_us_(obs::now_us()) {}
 
-double Registry::now_us() const {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
-}
+double Registry::now_us() const { return obs::now_us() - epoch_us_; }
 
 std::uint32_t Registry::thread_id_locked() {
   const std::thread::id self = std::this_thread::get_id();
@@ -54,6 +205,32 @@ void Registry::count(std::string_view name, std::uint64_t delta) {
   } else {
     counters_.emplace(std::string(name), delta);
   }
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = hists_.find(name);
+  if (it != hists_.end()) return *it->second;
+  return *hists_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+void Registry::gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    GaugeStat& g = it->second;
+    g.value = value;
+    g.min = std::min(g.min, value);
+    g.max = std::max(g.max, value);
+    ++g.updates;
+    return;
+  }
+  GaugeStat g;
+  g.name = std::string(name);
+  g.value = g.min = g.max = value;
+  g.updates = 1;
+  gauges_.emplace(g.name, g);
 }
 
 std::size_t Registry::num_events() const {
@@ -102,6 +279,12 @@ Summary Registry::summary() const {
     for (const auto& [name, value] : counters_) {
       summary.counters.push_back({name, value});
     }
+    for (const auto& [name, hist] : hists_) {
+      summary.hists.push_back(hist->stat(name));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      summary.gauges.push_back(gauge);
+    }
   }
   for (auto& [key, stat] : groups) {
     if (stat.count == 0) stat.min_us = 0.0;
@@ -131,30 +314,26 @@ std::string Summary::table() const {
     }
     os << totals.str();
   }
-  return os.str();
-}
-
-std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+  if (!hists.empty()) {
+    TextTable dists({"histogram", "count", "mean", "p50", "p90", "p99",
+                     "min", "max"});
+    for (const HistStat& h : hists) {
+      dists.add_row({h.name, fmt(h.count), fmt(h.mean(), 1), fmt(h.p50, 1),
+                     fmt(h.p90, 1), fmt(h.p99, 1),
+                     fmt(static_cast<std::size_t>(h.min)),
+                     fmt(static_cast<std::size_t>(h.max))});
     }
+    os << dists.str();
   }
-  return out;
+  if (!gauges.empty()) {
+    TextTable vals({"gauge", "value", "min", "max", "updates"});
+    for (const GaugeStat& g : gauges) {
+      vals.add_row({g.name, fmt(g.value, 3), fmt(g.min, 3), fmt(g.max, 3),
+                    fmt(static_cast<std::size_t>(g.updates))});
+    }
+    os << vals.str();
+  }
+  return os.str();
 }
 
 std::string Registry::chrome_trace_json() const {
@@ -183,8 +362,8 @@ std::string Registry::chrome_trace_json() const {
     }
     os << "}";
   }
-  // Counters as Chrome counter events, stamped at the end of the trace so
-  // they show the final totals.
+  // Counters, histogram percentiles, and gauges as Chrome counter events,
+  // stamped at the end of the trace so they show the final totals.
   const double end_ts = now_us();
   for (const CounterStat& c : agg.counters) {
     if (!first) os << ",";
@@ -192,6 +371,21 @@ std::string Registry::chrome_trace_json() const {
     os << "{\"name\":\"" << json_escape(c.name)
        << "\",\"ph\":\"C\",\"ts\":" << end_ts
        << ",\"pid\":1,\"tid\":0,\"args\":{\"value\":" << c.value << "}}";
+  }
+  for (const HistStat& h : agg.hists) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(h.name)
+       << "\",\"ph\":\"C\",\"ts\":" << end_ts
+       << ",\"pid\":1,\"tid\":0,\"args\":{\"p50\":" << h.p50
+       << ",\"p90\":" << h.p90 << ",\"p99\":" << h.p99 << "}}";
+  }
+  for (const GaugeStat& g : agg.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(g.name)
+       << "\",\"ph\":\"C\",\"ts\":" << end_ts
+       << ",\"pid\":1,\"tid\":0,\"args\":{\"value\":" << g.value << "}}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
   return os.str();
@@ -241,148 +435,5 @@ void Span::finish() {
 }
 
 Span::~Span() { finish(); }
-
-// ----------------------------------------------------------- JSON checker
-
-namespace {
-
-/// Recursive-descent JSON parser that only checks well-formedness.
-class JsonChecker {
- public:
-  explicit JsonChecker(std::string_view text) : text_(text) {}
-
-  bool check() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool value() {
-    if (depth_ > 256 || pos_ >= text_.size()) return false;
-    const char c = text_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string();
-    if (c == 't') return literal("true");
-    if (c == 'f') return literal("false");
-    if (c == 'n') return literal("null");
-    return number();
-  }
-
-  bool object() {
-    ++depth_;
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') { ++pos_; --depth_; return true; }
-    while (true) {
-      skip_ws();
-      if (peek() != '"' || !string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; --depth_; return true; }
-      return false;
-    }
-  }
-
-  bool array() {
-    ++depth_;
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') { ++pos_; --depth_; return true; }
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; --depth_; return true; }
-      return false;
-    }
-  }
-
-  bool string() {
-    ++pos_;  // '"'
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') { ++pos_; return true; }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_];
-        if (esc == 'u') {
-          if (pos_ + 4 >= text_.size()) return false;
-          for (int k = 1; k <= 4; ++k) {
-            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + k]))) {
-              return false;
-            }
-          }
-          pos_ += 4;
-        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
-                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
-          return false;
-        }
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        return false;  // raw control character inside a string
-      }
-      ++pos_;
-    }
-    return false;  // unterminated
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
-    if (peek() == '0') {
-      ++pos_;  // leading zero: no further integer digits allowed
-    } else {
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    if (peek() == '.') {
-      ++pos_;
-      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  int depth_ = 0;
-};
-
-}  // namespace
-
-bool json_is_valid(std::string_view text) {
-  return JsonChecker(text).check();
-}
 
 }  // namespace mhs::obs

@@ -22,6 +22,9 @@ BusModel::BusModel(Simulator& sim, BusConfig config, InterfaceLevel level)
       rw_(sim, "bus.rw"),
       ack_(sim, "bus.ack") {
   MHS_CHECK(config_.width_bytes >= 1, "bus width must be >= 1 byte");
+  if (obs::Registry* r = obs::registry()) {
+    grant_wait_hist_ = &r->histogram("bus.grant_wait_cycles");
+  }
 }
 
 std::size_t BusModel::words_for(std::size_t bytes) const {
@@ -84,6 +87,7 @@ Time BusModel::access(std::uint64_t addr, bool is_write) {
   // DMA burst) to release the bus before this access starts.
   const Time start = std::max(t0, free_at_);
   const Time wait = start - t0;
+  record_grant_wait(wait);
   Time cost = 0;
   switch (level_) {
     case InterfaceLevel::kPin:
@@ -112,6 +116,7 @@ BusModel::Reservation BusModel::reserve(Time earliest, std::size_t bytes) {
   ++total_accesses_;
   total_bytes_ += bytes;
   const Time granted = std::max(earliest, free_at_);
+  record_grant_wait(granted - earliest);
   const Time cost = block_cost(bytes);
   free_at_ = granted + cost;
   busy_cycles_ += cost;
@@ -126,6 +131,7 @@ Time BusModel::block_transfer(std::uint64_t addr, std::size_t bytes,
   const Time t0 = sim_->now();
   const Time start = std::max(t0, free_at_);
   const Time wait = start - t0;
+  record_grant_wait(wait);
   const Time cost = block_cost(bytes);
   switch (level_) {
     case InterfaceLevel::kPin: {

@@ -86,9 +86,16 @@ class BusModel {
   std::size_t words_for(std::size_t bytes) const;
   void emit_pin_handshake(std::uint64_t addr, bool is_write, Time offset);
 
+  void record_grant_wait(Time wait) {
+    if (grant_wait_hist_ != nullptr) grant_wait_hist_->record(wait);
+  }
+
   Simulator* sim_;
   BusConfig config_;
   InterfaceLevel level_;
+  /// "bus.grant_wait_cycles" histogram; non-null iff a registry was
+  /// installed when the bus was constructed.
+  obs::Histogram* grant_wait_hist_ = nullptr;
   std::uint64_t total_accesses_ = 0;
   std::uint64_t total_bytes_ = 0;
   Time busy_cycles_ = 0;

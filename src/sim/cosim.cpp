@@ -1,6 +1,5 @@
 #include "sim/cosim.h"
 
-#include <chrono>
 #include <cmath>
 
 #include "base/table.h"
@@ -107,6 +106,30 @@ CosimReport run_iss_levels(const hw::HlsResult& impl,
           iss.read_word(spec.out_buffer + 8 * (i * num_outputs + m));
     }
   }
+
+  // Cycle attribution: instruction execution (scaled to the reference
+  // clock) and bus transfers claim their cycles; the sub-cycle rounding
+  // remainder is idle. Peripheral computation overlaps the CPU's
+  // polling/background work at these levels, so it claims no cycles of
+  // its own.
+  report.profile = obs::Profile(interface_level_name(config.level));
+  report.profile.attribute(
+      obs::Profile::kSwExecute,
+      static_cast<std::uint64_t>(std::llround(iss.total_reference_cycles())));
+  report.profile.attribute(obs::Profile::kBus, bus.busy_cycles());
+  report.profile.finalize(sim.now());
+
+  // Instruction mix: surface the ISS's per-opcode retirement histogram
+  // as counters so the mix appears in Report summaries.
+  if (obs::enabled()) {
+    const std::vector<std::uint64_t>& mix = iss.opcode_histogram();
+    for (std::size_t op = 0; op < mix.size(); ++op) {
+      if (mix[op] == 0) continue;
+      obs::count(std::string("iss.op.") +
+                     sw::opcode_name(static_cast<sw::Opcode>(op)),
+                 mix[op]);
+    }
+  }
   return report;
 }
 
@@ -123,6 +146,8 @@ CosimReport run_driver_level(const hw::HlsResult& impl,
 
   CosimReport report;
   report.level = config.level;
+  Time sw_cycles = 0;
+  Time peripheral_wait = 0;
   for (const auto& sample : samples) {
     MHS_CHECK(sample.size() == num_inputs, "sample input arity mismatch");
     // write_block driver call: inputs cross the bus as one block.
@@ -132,15 +157,18 @@ CosimReport run_driver_level(const hw::HlsResult& impl,
     bus.block_transfer(PeripheralLayout::kInputBase, 8 * num_inputs,
                        /*is_write=*/true);
     sim.advance_to(sim.now() + config.driver_call_sw_cycles);
+    sw_cycles += config.driver_call_sw_cycles;
     periph.reg_write(PeripheralLayout::kCtrl, 1);
     // wait driver call: block until the completion event has fired.
     sim.advance_to(sim.now() + periph.latency());
+    peripheral_wait += periph.latency();
     MHS_ASSERT(periph.done(), "peripheral not done after latency");
     periph.reg_write(PeripheralLayout::kStatus, 0);
     // read_block driver call.
     bus.block_transfer(PeripheralLayout::kOutputBase, 8 * num_outputs,
                        /*is_write=*/false);
     sim.advance_to(sim.now() + config.driver_call_sw_cycles);
+    sw_cycles += config.driver_call_sw_cycles;
     for (std::size_t m = 0; m < num_outputs; ++m) {
       report.checksum +=
           periph.reg_read(PeripheralLayout::kOutputBase + 8 * m);
@@ -151,6 +179,11 @@ CosimReport run_driver_level(const hw::HlsResult& impl,
   report.bus_accesses = bus.total_accesses();
   report.bus_busy_cycles = bus.busy_cycles();
   report.hw_activations = periph.activations();
+  report.profile = obs::Profile(interface_level_name(config.level));
+  report.profile.attribute(obs::Profile::kSwExecute, sw_cycles);
+  report.profile.attribute(obs::Profile::kBus, bus.busy_cycles());
+  report.profile.attribute(obs::Profile::kPeripheralWait, peripheral_wait);
+  report.profile.finalize(sim.now());
   return report;
 }
 
@@ -191,6 +224,11 @@ CosimReport run_message_level(const hw::HlsResult& impl,
   report.bus_accesses = bus.total_accesses();
   report.bus_busy_cycles = bus.busy_cycles();
   report.hw_activations = activations;
+  report.profile = obs::Profile(interface_level_name(config.level));
+  report.profile.attribute(obs::Profile::kBus, bus.busy_cycles());
+  report.profile.attribute(obs::Profile::kPeripheralWait,
+                           static_cast<Time>(impl.latency) * activations);
+  report.profile.finalize(sim.now());
   return report;
 }
 
@@ -222,7 +260,7 @@ CosimReport run_cosim(const hw::HlsResult& impl, const CosimConfig& config,
                           sample_inputs) {
   MHS_CHECK(!sample_inputs.empty(), "co-simulation needs at least 1 sample");
   obs::Span span(interface_level_name(config.level), "cosim");
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   CosimReport report = dispatch_cosim(impl, config, sample_inputs);
   if (obs::enabled()) {
     obs::count("cosim.runs", 1);
@@ -230,12 +268,11 @@ CosimReport run_cosim(const hw::HlsResult& impl, const CosimConfig& config,
     obs::count("cosim.bus_accesses", report.bus_accesses);
     obs::count("cosim.samples", sample_inputs.size());
     // Simulation throughput: simulated cycles per wall-clock second.
-    const double wall_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    const double wall_s = watch.elapsed_us() / 1e6;
     if (wall_s > 0.0) {
-      span.arg("sim_cycles_per_wall_s",
-               fmt(report.total_cycles / wall_s, 0));
+      const double throughput = report.total_cycles / wall_s;
+      span.arg("sim_cycles_per_wall_s", fmt(throughput, 0));
+      obs::gauge("cosim.cycles_per_wall_s", throughput);
     }
     span.arg("level", interface_level_name(config.level));
   }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "hw/hls.h"
+#include "obs/obs.h"
 #include "sim/bus.h"
 #include "sim/driver.h"
 #include "sw/iss.h"
@@ -63,6 +64,11 @@ struct CosimReport {
   std::int64_t background_units = 0;
   /// HW activations observed.
   std::uint64_t hw_activations = 0;
+  /// Where the simulated cycles went: every cycle of total_cycles
+  /// attributed to exactly one activity class (SW execution, bus, DMA,
+  /// peripheral wait, idle). Always filled, registry or not; embedded in
+  /// core::Report when the flow co-simulates.
+  obs::Profile profile;
 };
 
 /// Streams `sample_inputs` through the accelerator `impl` under `config`.

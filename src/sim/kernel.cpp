@@ -4,17 +4,23 @@
 
 namespace mhs::sim {
 
+Simulator::Simulator() {
+  if (obs::Registry* r = obs::registry()) {
+    event_wait_hist_ = &r->histogram("sim.event_wait_cycles");
+  }
+}
+
 void Simulator::schedule(Time delay, EventFn fn) {
   MHS_CHECK(fn != nullptr, "scheduling a null event");
   MHS_CHECK(delay <= UINT64_MAX - now_, "event time overflow");
-  queue_.push(Entry{now_ + delay, next_seq_++, std::move(fn)});
+  queue_.push(Entry{now_ + delay, now_, next_seq_++, std::move(fn)});
 }
 
 void Simulator::schedule_at(Time t, EventFn fn) {
   MHS_CHECK(t >= now_, "schedule_at(" << t << ") in the past (now=" << now_
                                       << ")");
   MHS_CHECK(fn != nullptr, "scheduling a null event");
-  queue_.push(Entry{t, next_seq_++, std::move(fn)});
+  queue_.push(Entry{t, now_, next_seq_++, std::move(fn)});
 }
 
 bool Simulator::run_one() {
@@ -26,6 +32,11 @@ bool Simulator::run_one() {
   MHS_ASSERT(entry.time >= now_, "event queue went backwards");
   now_ = entry.time;
   ++events_processed_;
+  // Per-event service time: simulated cycles the event sat in the queue
+  // between scheduling and firing.
+  if (event_wait_hist_ != nullptr) {
+    event_wait_hist_->record(entry.time - entry.scheduled_at);
+  }
   entry.fn();
   return true;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/error.h"
+#include "obs/obs.h"
 
 namespace mhs::sim {
 
@@ -25,7 +26,12 @@ using EventFn = std::function<void()>;
 /// The event-driven simulator.
 class Simulator {
  public:
-  Simulator() = default;
+  /// Captures the installed obs registry (like obs::Span does): when
+  /// tracing is enabled, every executed event records its queue wait —
+  /// cycles between scheduling and firing — into the
+  /// "sim.event_wait_cycles" histogram. With no registry installed the
+  /// per-event cost is a single null check.
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -59,6 +65,7 @@ class Simulator {
  private:
   struct Entry {
     Time time;
+    Time scheduled_at;  ///< now() when the event was enqueued
     std::uint64_t seq;
     EventFn fn;
   };
@@ -73,6 +80,8 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  /// Non-null iff a registry was installed at construction.
+  obs::Histogram* event_wait_hist_ = nullptr;
 };
 
 }  // namespace mhs::sim

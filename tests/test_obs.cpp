@@ -4,14 +4,18 @@
 // core::Report envelope the flow and explorer fill in.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "apps/kernels.h"
 #include "apps/workloads.h"
+#include "base/rng.h"
 #include "core/explorer.h"
 #include "core/flow.h"
 #include "core/report.h"
 #include "obs/obs.h"
+#include "sim/cosim.h"
 
 namespace mhs::obs {
 namespace {
@@ -343,6 +347,387 @@ TEST(ObsFlow, ExplorerEmitsPointSpansAndCacheCounters) {
   EXPECT_EQ(report.report.designs.size(), report.frontier.size());
   EXPECT_FALSE(report.report.obs.empty());
   EXPECT_TRUE(json_is_valid(r.chrome_trace_json()));
+}
+
+// -- Histograms and gauges.
+
+TEST(ObsHistogram, BucketGeometry) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(UINT64_MAX), 64u);
+  EXPECT_EQ(Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Histogram::bucket_hi(0), 0u);
+  for (std::size_t b = 1; b < Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lo(b)), b);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_hi(b)), b);
+    EXPECT_EQ(Histogram::bucket_lo(b), Histogram::bucket_hi(b - 1) + 1);
+  }
+}
+
+TEST(ObsHistogram, CountSumMinMaxAndEmptyStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  const HistStat empty = h.stat("empty");
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.min, 0u);
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  for (const std::uint64_t v : {7u, 3u, 100u, 3u}) h.record(v);
+  const HistStat s = h.stat("vals");
+  EXPECT_EQ(s.name, "vals");
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 113u);
+  EXPECT_EQ(s.min, 3u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 113.0 / 4.0);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+}
+
+TEST(ObsHistogram, PercentilesAreInterpolatedFromBuckets) {
+  // A single sample: every percentile is the lower edge of its bucket
+  // (rank 0, interpolation weight 0).
+  Histogram single;
+  single.record(8);
+  EXPECT_DOUBLE_EQ(single.percentile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(single.percentile(0.99), 8.0);
+  // All zeros live in the exact bucket {0}.
+  Histogram zeros;
+  for (int i = 0; i < 5; ++i) zeros.record(0);
+  EXPECT_DOUBLE_EQ(zeros.percentile(0.9), 0.0);
+  // Eight samples of 8 (bucket [8, 15]): p50 rank = 0.5 * 7 = 3.5, so
+  // the interpolated value is lo + (3.5 / 8) * (hi - lo).
+  Histogram repeated;
+  for (int i = 0; i < 8; ++i) repeated.record(8);
+  EXPECT_DOUBLE_EQ(repeated.percentile(0.5), 8.0 + (3.5 / 8.0) * 7.0);
+  // The top quantile interpolates the last rank (7 of 8) the same way.
+  EXPECT_DOUBLE_EQ(repeated.percentile(1.0), 8.0 + (7.0 / 8.0) * 7.0);
+}
+
+TEST(ObsHistogram, MergeIsBitIdenticalAcrossThreadCounts) {
+  // One fixed multiset of samples, recorded through 1/2/4/8 threads into
+  // a registry histogram. Every exported statistic must be bit-identical
+  // (not just close): the histogram is a pure function of the recorded
+  // multiset, independent of interleaving.
+  constexpr std::size_t kSamples = 4096;
+  std::vector<std::uint64_t> values;
+  Rng rng(99);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    values.push_back(static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)));
+  }
+  std::vector<HistStat> stats;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    Registry r;
+    ScopedRegistry scope(r);
+    Histogram& h = r.histogram("merge.test");
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&h, &values, t, threads] {
+        for (std::size_t i = t; i < values.size(); i += threads) {
+          h.record(values[i]);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    stats.push_back(h.stat("merge.test"));
+    // The registry's summary carries the same percentiles.
+    const Summary s = r.summary();
+    ASSERT_EQ(s.hists.size(), 1u);
+    EXPECT_EQ(s.hists[0].count, kSamples);
+    EXPECT_EQ(s.hists[0].p50, stats.back().p50);
+  }
+  for (const HistStat& s : stats) {
+    EXPECT_EQ(s.count, stats[0].count);
+    EXPECT_EQ(s.sum, stats[0].sum);
+    EXPECT_EQ(s.min, stats[0].min);
+    EXPECT_EQ(s.max, stats[0].max);
+    // Bit-identical doubles, hence EXPECT_EQ rather than NEAR.
+    EXPECT_EQ(s.p50, stats[0].p50);
+    EXPECT_EQ(s.p90, stats[0].p90);
+    EXPECT_EQ(s.p99, stats[0].p99);
+  }
+}
+
+TEST(ObsGauge, LastWriteWinsAndRangeTracked) {
+  Registry r;
+  {
+    ScopedRegistry scope(r);
+    gauge("speed", 3.0);
+    gauge("speed", 1.0);
+    gauge("speed", 2.0);
+  }
+  const Summary s = r.summary();
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].name, "speed");
+  EXPECT_DOUBLE_EQ(s.gauges[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(s.gauges[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(s.gauges[0].max, 3.0);
+  EXPECT_EQ(s.gauges[0].updates, 3u);
+  // Gauges ride into the summary table and the Chrome trace.
+  EXPECT_NE(s.table().find("speed"), std::string::npos);
+  EXPECT_TRUE(json_is_valid(r.chrome_trace_json()));
+  EXPECT_NE(r.chrome_trace_json().find("speed"), std::string::npos);
+  // And the free function is a no-op without a sink.
+  gauge("orphan", 1.0);
+  EXPECT_TRUE(Registry().summary().gauges.empty());
+}
+
+TEST(ObsHistogram, ObserveLandsInSummaryWithPercentiles) {
+  Registry r;
+  {
+    ScopedRegistry scope(r);
+    for (std::uint64_t v = 1; v <= 100; ++v) observe("latency", v);
+  }
+  const Summary s = r.summary();
+  ASSERT_EQ(s.hists.size(), 1u);
+  EXPECT_EQ(s.hists[0].name, "latency");
+  EXPECT_EQ(s.hists[0].count, 100u);
+  EXPECT_EQ(s.hists[0].sum, 5050u);
+  EXPECT_EQ(s.hists[0].min, 1u);
+  EXPECT_EQ(s.hists[0].max, 100u);
+  EXPECT_GT(s.hists[0].p50, 0.0);
+  EXPECT_LE(s.hists[0].p90, s.hists[0].p99);
+  const std::string table = s.table();
+  EXPECT_NE(table.find("latency"), std::string::npos);
+  EXPECT_NE(table.find("p50"), std::string::npos);
+  // Histogram percentiles export as Chrome counter events.
+  const std::string json = r.chrome_trace_json();
+  EXPECT_TRUE(json_is_valid(json));
+  EXPECT_NE(json.find("latency"), std::string::npos);
+}
+
+// -- JSON parser edge cases.
+
+TEST(ObsJson, RejectsNaNAndInfinity) {
+  EXPECT_FALSE(json_is_valid("NaN"));
+  EXPECT_FALSE(json_is_valid("Infinity"));
+  EXPECT_FALSE(json_is_valid("-Infinity"));
+  EXPECT_FALSE(json_is_valid("{\"a\": NaN}"));
+  EXPECT_FALSE(json_is_valid("[Infinity]"));
+  EXPECT_FALSE(json_is_valid("{\"a\": nan}"));
+}
+
+TEST(ObsJson, NumberGrammarEdges) {
+  EXPECT_TRUE(json_is_valid("0"));
+  EXPECT_TRUE(json_is_valid("-0"));
+  EXPECT_TRUE(json_is_valid("0.5"));
+  EXPECT_TRUE(json_is_valid("1e5"));
+  EXPECT_TRUE(json_is_valid("1E+5"));
+  EXPECT_TRUE(json_is_valid("-1.25e-3"));
+  EXPECT_FALSE(json_is_valid("+1"));
+  EXPECT_FALSE(json_is_valid("1."));
+  EXPECT_FALSE(json_is_valid(".5"));
+  EXPECT_FALSE(json_is_valid("1e"));
+  EXPECT_FALSE(json_is_valid("-"));
+  EXPECT_FALSE(json_is_valid("0x10"));
+}
+
+TEST(ObsJson, EscapesAndNestedArrays) {
+  EXPECT_TRUE(json_is_valid("\"\\u0000\""));
+  EXPECT_TRUE(json_is_valid("\"\\b\\f\\n\\r\\t\\/\\\\\\\"\""));
+  EXPECT_FALSE(json_is_valid("\"\\x41\""));
+  EXPECT_FALSE(json_is_valid("\"unterminated"));
+  // Deeply nested arrays with mixed values parse and navigate.
+  const std::optional<JsonValue> v =
+      json_parse("[[1, [2, [3, {\"k\": [true, null, \"s\"]}]]], []]");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_array());
+  ASSERT_EQ(v->as_array().size(), 2u);
+  const JsonValue& deep =
+      v->as_array()[0].as_array()[1].as_array()[1].as_array()[1];
+  const JsonValue* k = deep.find("k");
+  ASSERT_NE(k, nullptr);
+  ASSERT_TRUE(k->is_array());
+  EXPECT_TRUE(k->as_array()[0].as_bool());
+  EXPECT_EQ(k->as_array()[2].as_string(), "s");
+}
+
+// -- Cycle-attribution profiles.
+
+TEST(ObsProfile, FinalizeDerivesIdleAndHoldsExactSum) {
+  Profile p("unit");
+  p.attribute(Profile::kSwExecute, 10);
+  p.attribute(Profile::kBus, 5);
+  p.finalize(20);
+  EXPECT_EQ(p.cycles(Profile::kSwExecute), 10u);
+  EXPECT_EQ(p.cycles(Profile::kBus), 5u);
+  EXPECT_EQ(p.cycles(Profile::kIdle), 5u);
+  EXPECT_EQ(p.attributed(), p.total());
+  EXPECT_EQ(p.total(), 20u);
+  EXPECT_DOUBLE_EQ(p.fraction(Profile::kSwExecute), 0.5);
+  const std::string table = p.table();
+  EXPECT_NE(table.find("cycle attribution: unit"), std::string::npos);
+  EXPECT_NE(table.find("sw execute"), std::string::npos);
+  EXPECT_NE(table.find("100.0"), std::string::npos);
+}
+
+TEST(ObsProfile, OvershootIsShavedDeterministically) {
+  // Rounding overshoot: claimed 15 > total 12; the excess 3 comes out of
+  // kSwExecute first, idle stays 0 and the sum is exact.
+  Profile p;
+  p.attribute(Profile::kSwExecute, 10);
+  p.attribute(Profile::kBus, 5);
+  p.finalize(12);
+  EXPECT_EQ(p.cycles(Profile::kSwExecute), 7u);
+  EXPECT_EQ(p.cycles(Profile::kBus), 5u);
+  EXPECT_EQ(p.cycles(Profile::kIdle), 0u);
+  EXPECT_EQ(p.attributed(), 12u);
+  EXPECT_EQ(p.total(), 12u);
+}
+
+namespace {
+std::vector<std::vector<std::int64_t>> profile_samples(
+    const ir::Cdfg& kernel, std::size_t n) {
+  Rng rng(404);
+  std::vector<std::vector<std::int64_t>> samples;
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<std::int64_t> in;
+    for (std::size_t k = 0; k < kernel.inputs().size(); ++k) {
+      in.push_back(rng.uniform_int(-1000, 1000));
+    }
+    samples.push_back(std::move(in));
+  }
+  return samples;
+}
+}  // namespace
+
+TEST(ObsProfile, PinLevelCosimAttributionSumsToTotalCycles) {
+  // Fig. 4 configuration: the FIR accelerator co-simulated at pin level.
+  // Every simulated cycle must be attributed to exactly one class.
+  const ir::Cdfg kernel = apps::fir_kernel(8);
+  const hw::ComponentLibrary lib = hw::default_library();
+  hw::HlsConstraints constraints;
+  constraints.goal = hw::HlsGoal::kMinArea;
+  const hw::HlsResult impl = hw::synthesize(kernel, lib, constraints);
+  const auto samples = profile_samples(kernel, 8);
+  for (const sim::InterfaceLevel level :
+       {sim::InterfaceLevel::kPin, sim::InterfaceLevel::kRegister,
+        sim::InterfaceLevel::kDriver}) {
+    sim::CosimConfig cfg;
+    cfg.level = level;
+    const sim::CosimReport r = sim::run_cosim(impl, cfg, samples);
+    ASSERT_GT(r.total_cycles, 0.0);
+    EXPECT_EQ(r.profile.total(),
+              static_cast<std::uint64_t>(r.total_cycles))
+        << sim::interface_level_name(level);
+    EXPECT_EQ(r.profile.attributed(), r.profile.total())
+        << sim::interface_level_name(level);
+    // ISS-backed levels charge software execution; every level moves data.
+    if (level != sim::InterfaceLevel::kDriver) {
+      EXPECT_GT(r.profile.cycles(Profile::kSwExecute), 0u)
+          << sim::interface_level_name(level);
+    }
+    EXPECT_GT(r.profile.cycles(Profile::kBus), 0u)
+        << sim::interface_level_name(level);
+  }
+}
+
+TEST(ObsProfile, FlowEmbedsCosimProfileInReport) {
+  // Fig. 8-style flow with co-simulation enabled: the CosimReport's
+  // profile lands in core::Report::profiles and renders in str().
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  core::FlowConfig config;
+  config.cosim_samples = 2;
+  const core::FlowReport report =
+      core::run_codesign_flow(w.graph, w.kernels, config);
+  ASSERT_TRUE(report.cosim.has_value());
+  ASSERT_EQ(report.report.profiles.size(), 1u);
+  const Profile& p = report.report.profiles[0];
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.attributed(), p.total());
+  EXPECT_EQ(p.total(),
+            static_cast<std::uint64_t>(report.cosim->total_cycles));
+  EXPECT_NE(report.report.str().find("cycle attribution"),
+            std::string::npos);
+}
+
+TEST(ObsProfile, IssOpcodeCountersSumToRetiredInstructions) {
+  const ir::Cdfg kernel = apps::fir_kernel(8);
+  const hw::ComponentLibrary lib = hw::default_library();
+  hw::HlsConstraints constraints;
+  const hw::HlsResult impl = hw::synthesize(kernel, lib, constraints);
+  const auto samples = profile_samples(kernel, 4);
+  sim::CosimConfig cfg;
+  cfg.level = sim::InterfaceLevel::kRegister;
+  Registry r;
+  sim::CosimReport report;
+  {
+    ScopedRegistry scope(r);
+    report = sim::run_cosim(impl, cfg, samples);
+  }
+  ASSERT_GT(report.sw_instructions, 0u);
+  std::uint64_t op_total = 0;
+  std::size_t op_kinds = 0;
+  for (const CounterStat& c : r.summary().counters) {
+    if (c.name.rfind("iss.op.", 0) == 0) {
+      op_total += c.value;
+      ++op_kinds;
+    }
+  }
+  EXPECT_GT(op_kinds, 1u);
+  EXPECT_EQ(op_total, report.sw_instructions);
+}
+
+TEST(ObsFlow, WallTimeDerivedFromRootFlowSpan) {
+  // Satellite (f): the report's wall time and the root "flow" span come
+  // from the same two clock reads, so they agree exactly.
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  core::FlowConfig config;
+  config.cosim_samples = 2;
+  Registry r;
+  core::FlowReport report;
+  {
+    ScopedRegistry scope(r);
+    report = core::run_codesign_flow(w.graph, w.kernels, config);
+  }
+  const SpanEvent* root = nullptr;
+  const std::vector<SpanEvent> events = r.events();
+  for (const SpanEvent& e : events) {
+    if (e.category == "flow" && e.name == "flow") root = &e;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_DOUBLE_EQ(report.report.wall_ms, root->dur_us / 1000.0);
+}
+
+TEST(ObsFlow, ExplorerWallTimeDerivedFromExploreSpan) {
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  core::Explorer explorer(w.graph, w.kernels, {});
+  const std::vector<core::FlowConfig> configs = {core::FlowConfig::defaults()};
+  const std::vector<partition::Strategy> strategies = {
+      partition::Strategy::kHotSpot};
+  const std::vector<partition::Objective> objectives = {{}};
+  Registry r;
+  core::ExploreReport report;
+  {
+    ScopedRegistry scope(r);
+    report = explorer.sweep(configs, strategies, objectives);
+  }
+  const SpanEvent* batch = nullptr;
+  const std::vector<SpanEvent> events = r.events();
+  for (const SpanEvent& e : events) {
+    if (e.category == "explorer" && e.name == "explore") batch = &e;
+  }
+  ASSERT_NE(batch, nullptr);
+  EXPECT_DOUBLE_EQ(report.wall_ms, batch->dur_us / 1000.0);
+  // The per-point latency histogram recorded one sample per point.
+  const Summary s = r.summary();
+  bool found = false;
+  for (const HistStat& h : s.hists) {
+    if (h.name == "explorer.point_us") {
+      found = true;
+      EXPECT_EQ(h.count, report.points.size());
+    }
+  }
+  EXPECT_TRUE(found);
+  // The cache hit-rate gauge was set.
+  bool gauge_found = false;
+  for (const GaugeStat& g : s.gauges) {
+    if (g.name == "explorer.cost_cache.hit_rate") gauge_found = true;
+  }
+  EXPECT_TRUE(gauge_found);
 }
 
 TEST(ObsReport, AddDesignCapturesCommonShape) {
