@@ -1,0 +1,76 @@
+# Tier-2 sanitizer gate (driven by the `sanitize_core` ctest).
+#
+# Configures a nested build of this source tree with
+# MHS_SANITIZE=address,undefined, builds the core test suites plus one
+# bench and the bench_report tool, then runs them all under the
+# instrumented binaries. Any ASan/UBSan finding (leak, OOB, UB) makes a
+# suite exit non-zero and fails the test.
+#
+# Inputs (via -D):
+#   SOURCE_DIR - repository root
+#   WORK_DIR   - scratch directory for the nested build
+if(NOT SOURCE_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR "run_sanitized.cmake needs -DSOURCE_DIR and -DWORK_DIR")
+endif()
+
+set(build_dir "${WORK_DIR}/build")
+file(MAKE_DIRECTORY "${build_dir}")
+
+# The suites that exercise the memory-heavy subsystems: containers and
+# threading (base), the IR and its serializers, the JSON parser (obs),
+# the new verifier/lints (analysis + lint CLI), and the multi-threaded
+# explorer. A full-tree sanitized build would take far longer on the
+# single-core CI box for little extra coverage.
+set(suites test_base test_ir test_obs test_analysis test_lint_cli
+           test_explorer)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S "${SOURCE_DIR}" -B "${build_dir}"
+          -DMHS_SANITIZE=address,undefined
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE config_rc)
+if(NOT config_rc EQUAL 0)
+  message(FATAL_ERROR "sanitized configure failed with ${config_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build "${build_dir}"
+          --target ${suites} bench_fig2_tasks bench_report
+  RESULT_VARIABLE build_rc)
+if(NOT build_rc EQUAL 0)
+  message(FATAL_ERROR "sanitized build failed with ${build_rc}")
+endif()
+
+foreach(suite IN LISTS suites)
+  execute_process(
+    COMMAND "${build_dir}/tests/${suite}"
+    RESULT_VARIABLE suite_rc)
+  if(NOT suite_rc EQUAL 0)
+    message(FATAL_ERROR "${suite} failed under ASan/UBSan (rc=${suite_rc})")
+  endif()
+endforeach()
+
+# One real bench run plus the report checker, sanitized end to end: the
+# Reporter -> JSON file -> bench_report parse/validate round trip.
+set(json_dir "${WORK_DIR}/bench_json")
+file(REMOVE_RECURSE "${json_dir}")
+file(MAKE_DIRECTORY "${json_dir}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "MHS_BENCH_OUT=${json_dir}"
+          "MHS_GIT_REV=sanitize" "${build_dir}/bench/bench_fig2_tasks"
+          --benchmark_min_time=1x
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "sanitized bench_fig2_tasks failed (rc=${bench_rc})")
+endif()
+execute_process(
+  COMMAND "${build_dir}/src/apps/bench_report/bench_report" --check
+          "${json_dir}"
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR
+      "sanitized bench_report --check failed (rc=${check_rc})")
+endif()
+
+message(STATUS "sanitize_core: all suites ASan/UBSan-clean")

@@ -1,0 +1,50 @@
+// export_ir — regenerate the serialized IR artifacts in examples/ir/.
+//
+// Writes the stock workloads and kernels in the ir/serialize.h text
+// format. The checked-in copies under examples/ir/ were produced by this
+// binary; every one of them is covered by a `lint_example_*` ctest that
+// runs mhs_lint over it and requires a clean exit.
+//
+//   export_ir [output-dir]     # default: current directory
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "apps/kernels.h"
+#include "apps/workloads.h"
+#include "ir/serialize.h"
+
+namespace {
+
+bool write_file(const std::string& dir, const std::string& name,
+                const std::string& text) {
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "export_ir: cannot write " << path << "\n";
+    return false;
+  }
+  out << text;
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mhs;
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  bool ok = true;
+  ok &= write_file(dir, "jpeg_pipeline.tg",
+                   ir::to_text(apps::jpeg_pipeline_graph()));
+  ok &= write_file(dir, "ekg_monitor.pn",
+                   ir::to_text(apps::ekg_monitor_network()));
+  ok &= write_file(dir, "packet_pipeline.pn",
+                   ir::to_text(apps::packet_pipeline_network()));
+  ok &= write_file(dir, "fir8.cdfg", ir::to_text(apps::fir_kernel(8)));
+  ok &= write_file(dir, "dct8.cdfg", ir::to_text(apps::dct8_kernel()));
+  ok &= write_file(dir, "checksum16.cdfg",
+                   ir::to_text(apps::checksum_kernel(16)));
+  return ok ? 0 : 1;
+}

@@ -19,6 +19,7 @@
 #include <iostream>
 #include <memory>
 
+#include "analysis/lint.h"
 #include "base/table.h"
 #include "hw/hls.h"
 #include "ir/cdfg.h"
@@ -48,6 +49,16 @@ int main() {
   const ir::OpId mac = kernel.add(kernel.mul(a, b), c);
   const ir::OpId shifted = kernel.shl(kernel.sub(a, c), kernel.constant(2));
   kernel.output("y", kernel.binary(ir::OpKind::kMax, mac, shifted));
+
+  // Static analysis at the strict bar: the specification must carry no
+  // errors AND no warnings (dead ops, unused inputs) before either
+  // implementation is derived from it.
+  const analysis::Diagnostics diags = analysis::analyze_cdfg(kernel);
+  if (!diags.clean()) {
+    std::cerr << "kernel is not lint-clean:\n" << diags.str();
+    return 1;
+  }
+  std::cout << "analysis: kernel is lint-clean (strict)\n";
 
   const std::map<std::string, std::int64_t> inputs = {
       {"a", 7}, {"b", -3}, {"c", 100}};

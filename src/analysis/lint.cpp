@@ -1,0 +1,217 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "analysis/verify.h"
+
+namespace mhs::analysis {
+
+namespace {
+
+DiagLocation op_loc(std::size_t id, std::string name = {}) {
+  DiagLocation loc;
+  loc.kind = "op";
+  loc.id = static_cast<std::int64_t>(id);
+  loc.name = std::move(name);
+  return loc;
+}
+
+}  // namespace
+
+Diagnostics lint_cdfg(const ir::Cdfg& cdfg) {
+  Diagnostics diags;
+  const std::size_t n = cdfg.num_ops();
+
+  // Backward liveness: a value is live iff some output transitively
+  // consumes it. Ops are stored def-before-use, so one reverse sweep
+  // reaches the fixed point.
+  std::vector<bool> live(n, false);
+  for (const ir::OpId out : cdfg.outputs()) live[out.index()] = true;
+  for (std::size_t i = n; i-- > 0;) {
+    if (!live[i]) continue;
+    for (const ir::OpId operand :
+         cdfg.op(ir::OpId(static_cast<std::uint32_t>(i))).operands) {
+      live[operand.index()] = true;
+    }
+  }
+
+  if (cdfg.outputs().empty()) {
+    DiagLocation loc;
+    loc.kind = "kernel";
+    loc.name = cdfg.name();
+    diags.add("CDFG102", Severity::kWarn, loc,
+              "kernel has no outputs; every op is dead");
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (live[i]) continue;
+    const ir::Op& op = cdfg.op(ir::OpId(static_cast<std::uint32_t>(i)));
+    if (op.kind == ir::OpKind::kInput) {
+      std::ostringstream os;
+      os << "input '" << op.name << "' is never used";
+      diags.add("CDFG101", Severity::kWarn, op_loc(i, op.name), os.str());
+    } else if (ir::op_is_compute(op.kind)) {
+      std::ostringstream os;
+      os << "dead " << ir::op_name(op.kind)
+         << ": its result can never reach an output";
+      diags.add("CDFG100", Severity::kWarn, op_loc(i), os.str());
+    }
+    // Dead constants are subsumed by the dead op that consumed them (or
+    // are themselves harmless literals); stay quiet to keep the signal
+    // ratio of CDFG100 high.
+  }
+  return diags;
+}
+
+Diagnostics lint_task_graph(const ir::TaskGraph& graph) {
+  Diagnostics diags;
+  const std::size_t n = graph.num_tasks();
+
+  std::map<std::string, std::size_t> first_by_name;
+  for (const ir::TaskId t : graph.task_ids()) {
+    const ir::Task& task = graph.task(t);
+    DiagLocation loc;
+    loc.kind = "task";
+    loc.id = static_cast<std::int64_t>(t.index());
+    loc.name = task.name;
+
+    const auto [it, inserted] = first_by_name.emplace(task.name, t.index());
+    if (!inserted) {
+      std::ostringstream os;
+      os << "duplicate task name (first used by task " << it->second << ")";
+      diags.add("TG101", Severity::kWarn, loc, os.str());
+    }
+
+    // Reachability: in this IR data only moves along edges, so a task
+    // with no edges at all is unreachable from (and cannot feed) the
+    // rest of a multi-task system.
+    if (n > 1 && graph.in_edges(t).empty() && graph.out_edges(t).empty()) {
+      diags.add("TG100", Severity::kWarn, loc,
+                "task has no edges; it is disconnected from the rest of "
+                "the graph");
+    }
+
+    if (task.deadline > 0.0) {
+      const double best_case =
+          std::min(task.costs.sw_cycles, task.costs.hw_cycles);
+      if (task.deadline < best_case) {
+        std::ostringstream os;
+        os << "deadline " << task.deadline
+           << " is tighter than the best-case implementation latency "
+           << best_case << "; no mapping can meet it";
+        diags.add("TG102", Severity::kWarn, loc, os.str());
+      }
+    }
+  }
+
+  for (const ir::EdgeId e : graph.edge_ids()) {
+    const ir::Edge& edge = graph.edge(e);
+    if (edge.bytes == 0.0) {
+      DiagLocation loc;
+      loc.kind = "edge";
+      loc.id = static_cast<std::int64_t>(e.index());
+      std::ostringstream os;
+      os << "edge " << edge.src.index() << " -> " << edge.dst.index()
+         << " transfers zero bytes (precedence only)";
+      diags.add("TG103", Severity::kNote, loc, os.str());
+    }
+  }
+  return diags;
+}
+
+Diagnostics lint_network(const ir::ProcessNetwork& net) {
+  Diagnostics diags;
+  const std::size_t num_chans = net.num_channels();
+
+  std::vector<std::size_t> sends(num_chans, 0);
+  std::vector<std::size_t> receives(num_chans, 0);
+  for (const ir::ProcessId p : net.process_ids()) {
+    for (const ir::ChannelOp& op : net.process(p).ops) {
+      if (op.kind == ir::ChannelOp::Kind::kSend) {
+        ++sends[op.channel.index()];
+      } else {
+        ++receives[op.channel.index()];
+      }
+    }
+  }
+
+  for (const ir::ChannelId c : net.channel_ids()) {
+    const ir::Channel& ch = net.channel(c);
+    DiagLocation loc;
+    loc.kind = "channel";
+    loc.id = static_cast<std::int64_t>(c.index());
+    loc.name = ch.name;
+    if (sends[c.index()] == 0 && receives[c.index()] == 0) {
+      diags.add("PN102", Severity::kWarn, loc,
+                "channel is declared but no process sends or receives on "
+                "it (unconnected port)");
+    } else if (receives[c.index()] == 0) {
+      diags.add("PN100", Severity::kWarn, loc,
+                "channel is written but never read; the FIFO fills and "
+                "the producer deadlocks");
+    } else if (sends[c.index()] == 0) {
+      diags.add("PN101", Severity::kWarn, loc,
+                "channel is read but never written; the consumer blocks "
+                "forever");
+    }
+  }
+
+  if (net.num_processes() > 1) {
+    for (const ir::ProcessId p : net.process_ids()) {
+      const ir::Process& proc = net.process(p);
+      if (!proc.ops.empty()) continue;
+      DiagLocation loc;
+      loc.kind = "process";
+      loc.id = static_cast<std::int64_t>(p.index());
+      loc.name = proc.name;
+      diags.add("PN103", Severity::kWarn, loc,
+                "process performs no channel operations; it is isolated "
+                "from the rest of the network");
+    }
+  }
+  return diags;
+}
+
+Diagnostics analyze_cdfg(const ir::Cdfg& cdfg) {
+  Diagnostics diags = verify_cdfg(cdfg);
+  if (!diags.has_errors()) diags.merge(lint_cdfg(cdfg));
+  return diags;
+}
+
+Diagnostics analyze_task_graph(const ir::TaskGraph& graph) {
+  Diagnostics diags = verify_task_graph(graph);
+  if (!diags.has_errors()) diags.merge(lint_task_graph(graph));
+  return diags;
+}
+
+Diagnostics analyze_network(const ir::ProcessNetwork& net) {
+  Diagnostics diags = verify_network(net);
+  if (!diags.has_errors()) diags.merge(lint_network(net));
+  return diags;
+}
+
+Diagnostics verify(const ir::Cdfg& cdfg) { return analyze_cdfg(cdfg); }
+
+Diagnostics verify(const ir::TaskGraph& graph) {
+  return analyze_task_graph(graph);
+}
+
+Diagnostics verify(const ir::ProcessNetwork& net) {
+  return analyze_network(net);
+}
+
+Diagnostics verify(const hw::HlsResult& impl) { return verify_hls(impl); }
+
+bool apply_gate(const std::string& stage, LintLevel level,
+                const Diagnostics& diags) {
+  if (level == LintLevel::kStrict && diags.has_errors()) {
+    throw VerifyFailure(stage, diags);
+  }
+  return diags.has_errors();
+}
+
+}  // namespace mhs::analysis
+

@@ -1,0 +1,168 @@
+#include "apps/mhs_lint/lint_lib.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/lint.h"
+#include "analysis/verify.h"
+#include "base/error.h"
+#include "ir/serialize.h"
+#include "obs/json.h"
+
+namespace mhs::apps {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: mhs_lint [--json] [--strict] <file>...\n"
+    "       mhs_lint --check-json <file>...\n"
+    "\n"
+    "Verifies and lints serialized IR artifacts (taskgraph, network, or\n"
+    "cdfg text format). Exit 0 when no errors, 1 when any error\n"
+    "diagnostic (or any warning with --strict), 2 on usage/IO/parse\n"
+    "failure.\n"
+    "\n"
+    "  --json        print findings as a JSON array instead of text\n"
+    "  --strict      treat warnings as failures\n"
+    "  --check-json  instead of IR, check each file is well-formed JSON\n"
+    "                (reports line and column of the first syntax error)\n";
+
+bool read_file(const std::string& path, std::string* text, std::ostream& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err << "mhs_lint: cannot read " << path << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *text = buffer.str();
+  return true;
+}
+
+/// Loads one artifact structurally and analyzes it. Returns false (with
+/// a message on `err`) when the text does not even tokenize.
+bool analyze_file(const std::string& path, const std::string& text,
+                  analysis::Diagnostics* diags, std::ostream& err) {
+  const ArtifactKind kind = sniff_artifact(text);
+  try {
+    switch (kind) {
+      case ArtifactKind::kTaskGraph:
+        diags->merge(analysis::analyze_task_graph(
+            ir::task_graph_from_text(text, /*validate=*/false)));
+        return true;
+      case ArtifactKind::kNetwork:
+        diags->merge(analysis::analyze_network(
+            ir::process_network_from_text(text, /*validate=*/false)));
+        return true;
+      case ArtifactKind::kCdfg:
+        diags->merge(analysis::analyze_cdfg(ir::cdfg_from_text(text)));
+        return true;
+      case ArtifactKind::kUnknown:
+        err << "mhs_lint: " << path
+            << ": unrecognized artifact (expected a file starting with "
+               "'taskgraph', 'network', or 'cdfg')\n";
+        return false;
+    }
+  } catch (const Error& e) {
+    err << "mhs_lint: " << path << ": " << e.what() << "\n";
+    return false;
+  }
+  return false;
+}
+
+int check_json_files(const std::vector<std::string>& files, std::ostream& out,
+                     std::ostream& err) {
+  if (files.empty()) {
+    err << kUsage;
+    return 2;
+  }
+  int exit_code = 0;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!read_file(path, &text, err)) {
+      exit_code = 2;
+      continue;
+    }
+    obs::JsonError error;
+    if (obs::json_parse(text, &error)) {
+      out << path << ": valid JSON\n";
+    } else {
+      out << path << ": " << error.str() << "\n";
+      if (exit_code == 0) exit_code = 1;
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+
+ArtifactKind sniff_artifact(const std::string& text) {
+  std::istringstream in(text);
+  std::string keyword;
+  // Skip comment and blank lines; the first real token decides.
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    if (!(tokens >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "taskgraph") return ArtifactKind::kTaskGraph;
+    if (keyword == "network") return ArtifactKind::kNetwork;
+    if (keyword == "cdfg") return ArtifactKind::kCdfg;
+    return ArtifactKind::kUnknown;
+  }
+  return ArtifactKind::kUnknown;
+}
+
+int run_lint(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  bool json = false;
+  bool strict = false;
+  bool check_json = false;
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--check-json") {
+      check_json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      out << kUsage;
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "mhs_lint: unknown option " << arg << "\n" << kUsage;
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (check_json) {
+    return check_json_files(files, out, err);
+  }
+  if (files.empty()) {
+    err << kUsage;
+    return 2;
+  }
+
+  analysis::Diagnostics diags;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!read_file(path, &text, err)) return 2;
+    if (!analyze_file(path, text, &diags, err)) return 2;
+  }
+
+  if (json) {
+    out << diags.json() << "\n";
+  } else if (diags.empty()) {
+    out << "clean: no findings\n";
+  } else {
+    out << diags.str();
+  }
+
+  if (diags.has_errors()) return 1;
+  if (strict && !diags.clean()) return 1;
+  return 0;
+}
+
+}  // namespace mhs::apps

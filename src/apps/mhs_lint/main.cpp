@@ -1,0 +1,10 @@
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/mhs_lint/lint_lib.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return mhs::apps::run_lint(args, std::cout, std::cerr);
+}

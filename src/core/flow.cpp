@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/lint.h"
+#include "analysis/verify.h"
 #include "base/rng.h"
 #include "base/table.h"
 #include "ir/optimize.h"
@@ -113,21 +115,47 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
                              const FlowConfig& config) {
   FlowReport report;
   const obs::Stopwatch flow_watch;
+  const bool gates_on = config.lint_level != analysis::LintLevel::kOff;
+  analysis::Diagnostics& diagnostics = report.report.diagnostics;
+
+  // Gate 1 — after compile/ingest: the specification hand-off. The task
+  // graph must be a DAG for every downstream phase, so graph errors are
+  // fatal at any gated level; a structurally broken kernel is fatal at
+  // strict and dropped (its task keeps its existing annotations) at warn,
+  // before the optimizer or the estimators can trip over it.
+  std::vector<const ir::Cdfg*> kernels = raw_kernels;
+  if (gates_on) {
+    obs::Span gate("verify.compile", "analysis");
+    const analysis::Diagnostics graph_diags = analysis::verify(graph);
+    diagnostics.merge(graph_diags);
+    if (graph_diags.has_errors()) {
+      throw analysis::VerifyFailure("compile", diagnostics);
+    }
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      if (kernels[i] == nullptr) continue;
+      const analysis::Diagnostics kernel_diags = analysis::verify(*kernels[i]);
+      diagnostics.merge(kernel_diags);
+      if (analysis::apply_gate("compile", config.lint_level, kernel_diags)) {
+        kernels[i] = nullptr;  // warn level: unusable kernel, skip it
+      }
+    }
+  }
 
   // Phase 1 — specify: optionally optimize every kernel once; all
   // downstream steps (estimation, partitioning inputs, HLS validation,
   // co-simulation) then see the optimized form.
-  std::vector<const ir::Cdfg*> kernels = raw_kernels;
   {
     obs::Span phase("specify", "flow");
     if (config.optimize_kernels) {
-      report.optimized_kernels.reserve(raw_kernels.size());
-      for (const ir::Cdfg* kernel : raw_kernels) {
+      // Iterates the post-gate kernel list: a kernel the compile gate
+      // dropped must not reach the optimizer either.
+      report.optimized_kernels.reserve(kernels.size());
+      for (const ir::Cdfg* kernel : kernels) {
         report.optimized_kernels.push_back(
             kernel == nullptr ? ir::Cdfg() : optimize(*kernel));
       }
-      for (std::size_t i = 0; i < raw_kernels.size(); ++i) {
-        if (raw_kernels[i] != nullptr) {
+      for (std::size_t i = 0; i < kernels.size(); ++i) {
+        if (kernels[i] != nullptr) {
           kernels[i] = &report.optimized_kernels[i];
         }
       }
@@ -147,6 +175,18 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
     obs::Span phase("partition", "flow");
     report.design = cosynth::synthesize_coprocessor(model, config.objective,
                                                     config.strategy);
+  }
+
+  // Gate 2 — after partition: the annotated graph the partitioner worked
+  // on is the next hand-off (to HLS validation and co-simulation). Its
+  // structure was verified at gate 1; this re-lints the estimator-derived
+  // annotations (an estimator emitting NaN costs surfaces here).
+  if (gates_on) {
+    obs::Span gate("verify.partition", "analysis");
+    const analysis::Diagnostics partition_diags =
+        analysis::verify(report.annotated);
+    diagnostics.merge(partition_diags);
+    analysis::apply_gate("partition", config.lint_level, partition_diags);
   }
 
   // Phase 4 — co-synthesize: HLS of every HW-mapped kernel.
@@ -183,6 +223,15 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
         constraints.goal = hw::HlsGoal::kMinArea;
         const hw::HlsResult impl =
             hw::synthesize(*largest, config.library, constraints);
+        // Gate 3 — after HLS: the synthesized schedule/binding is about
+        // to drive the cycle-accurate co-simulation; a value read before
+        // its producing cycle or an over-committed FU would corrupt it.
+        if (gates_on) {
+          obs::Span gate("verify.hls", "analysis");
+          const analysis::Diagnostics hls_diags = analysis::verify(impl);
+          diagnostics.merge(hls_diags);
+          analysis::apply_gate("hls", config.lint_level, hls_diags);
+        }
         Rng rng(config.cosim_seed);
         std::vector<std::vector<std::int64_t>> samples;
         for (std::size_t s = 0; s < config.cosim_samples; ++s) {

@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/diag.h"
 #include "base/concurrent_cache.h"
 #include "core/report.h"
 #include "cosynth/coproc.h"
@@ -98,6 +99,18 @@ struct FlowConfig {
   sim::InterfaceLevel cosim_level = sim::InterfaceLevel::kRegister;
   std::size_t cosim_samples = 8;
   std::uint64_t cosim_seed = 7;
+  /// Analysis gates: the flow runs analysis::verify() on its IR hand-offs
+  /// (after compile/ingest, after partition, after HLS) and records the
+  /// findings in FlowReport::report.diagnostics.
+  ///   kOff    — gates skipped entirely;
+  ///   kWarn   — findings recorded; a kernel with structural errors is
+  ///             dropped from estimation/synthesis (its task keeps its
+  ///             existing annotations);
+  ///   kStrict — any ERROR finding aborts the flow with a
+  ///             VerifyFailure carrying the diagnostic list.
+  /// A structurally broken *task graph* always aborts regardless of
+  /// level: no downstream phase can consume a cyclic graph.
+  analysis::LintLevel lint_level = analysis::LintLevel::kWarn;
 
   /// The default configuration, as a fluent-chain anchor.
   static FlowConfig defaults() { return {}; }
@@ -158,6 +171,11 @@ struct FlowConfig {
     FlowConfig c = *this;
     c.cosimulate = true;
     c.cosim_level = level;
+    return c;
+  }
+  FlowConfig with_lint_level(analysis::LintLevel level) const {
+    FlowConfig c = *this;
+    c.lint_level = level;
     return c;
   }
 };

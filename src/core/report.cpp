@@ -21,6 +21,7 @@ std::string Report::str() const {
     os << table.str();
   }
   os << "wall: " << fmt(wall_ms, 1) << " ms\n";
+  if (!diagnostics.empty()) os << diagnostics.str();
   for (const obs::Profile& p : profiles) {
     if (!p.empty()) os << p.table();
   }

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/diag.h"
 #include "obs/obs.h"
 
 namespace mhs::core {
@@ -40,6 +41,11 @@ struct Report {
   /// performed (filled registry or not; rendered as self-normalizing
   /// tables by str()).
   std::vector<obs::Profile> profiles;
+  /// Findings of the analysis gates the run passed through (empty when
+  /// FlowConfig.lint_level / Request.lint_level is kOff). At kStrict a
+  /// gate throws analysis::VerifyFailure instead of returning a Report
+  /// with error diagnostics.
+  analysis::Diagnostics diagnostics;
   double wall_ms = 0.0;
 
   /// Adds any design exposing the common latency()/area()/summary()

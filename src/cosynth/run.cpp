@@ -1,8 +1,59 @@
 #include "cosynth/run.h"
 
+#include "analysis/verify.h"
 #include "obs/obs.h"
 
 namespace mhs::cosynth {
+
+namespace {
+
+/// Pre-dispatch analysis gate: verifies every IR input the chosen target
+/// will read. Returns the findings; throws analysis::VerifyFailure on
+/// any ERROR finding (a dispatcher cannot skip a broken input the way
+/// the flow skips a broken kernel).
+analysis::Diagnostics gate_request(Target target, const Request& request) {
+  analysis::Diagnostics diags;
+  switch (target) {
+    case Target::kCoprocessor:
+      if (request.model != nullptr) {
+        diags.merge(analysis::verify(request.model->graph()));
+      }
+      break;
+    case Target::kAsip:
+      for (const WeightedKernel& app : request.apps) {
+        if (app.kernel != nullptr) diags.merge(analysis::verify(*app.kernel));
+      }
+      break;
+    case Target::kMixed:
+      if (request.graph != nullptr) {
+        diags.merge(analysis::verify(*request.graph));
+      }
+      if (request.kernels != nullptr) {
+        for (const ir::Cdfg* kernel : *request.kernels) {
+          if (kernel != nullptr) diags.merge(analysis::verify(*kernel));
+        }
+      }
+      break;
+    case Target::kInterface:
+      if (request.impl != nullptr) {
+        diags.merge(analysis::verify(*request.impl));
+      }
+      break;
+    case Target::kImplSelect:
+      break;  // menus carry no IR
+    case Target::kMultiprocPeriodic:
+      if (request.graph != nullptr) {
+        diags.merge(analysis::verify(*request.graph));
+      }
+      break;
+  }
+  if (diags.has_errors()) {
+    throw analysis::VerifyFailure(target_name(target), diags);
+  }
+  return diags;
+}
+
+}  // namespace
 
 const char* target_name(Target target) {
   switch (target) {
@@ -56,6 +107,10 @@ Result run(Target target, const Request& request) {
   obs::Span span(target_name(target), "cosynth");
   Result result;
   result.target = target;
+  if (request.lint_level != analysis::LintLevel::kOff) {
+    obs::Span gate("verify.request", "analysis");
+    result.diagnostics = gate_request(target, request);
+  }
   switch (target) {
     case Target::kCoprocessor:
       MHS_CHECK(request.model != nullptr,

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diag.h"
 #include "cosynth/asip.h"
 #include "cosynth/coproc.h"
 #include "cosynth/impl_select.h"
@@ -83,6 +84,14 @@ struct Request {
 
   // -- kMultiprocPeriodic: empty catalog = default_pe_catalog().
   std::vector<PeType> catalog;
+
+  /// Analysis gate over the request's IR inputs (graphs, kernels, HLS
+  /// implementations), run before dispatching to the target. At kOff the
+  /// gate is skipped; otherwise findings land in Result::diagnostics and
+  /// any ERROR finding aborts with analysis::VerifyFailure — unlike the
+  /// flow, cosynth::run cannot skip a broken input, so warn and strict
+  /// differ only in whether *this* dispatcher or a later consumer fails.
+  analysis::LintLevel lint_level = analysis::LintLevel::kWarn;
 };
 
 /// Outcome of run(): exactly the member matching `target` is engaged.
@@ -91,6 +100,9 @@ struct Request {
 /// not switch on the target.
 struct Result {
   Target target = Target::kCoprocessor;
+  /// Findings of the pre-dispatch analysis gate (warnings only: errors
+  /// throw instead).
+  analysis::Diagnostics diagnostics;
   std::optional<CoprocDesign> coprocessor;
   std::optional<AsipDesign> asip;
   std::optional<MixedDesign> mixed;

@@ -88,6 +88,12 @@ std::int64_t apply_op(OpKind kind, std::span<const std::int64_t> args) {
   return 0;
 }
 
+Cdfg Cdfg::from_ops(std::string name, std::vector<Op> ops) {
+  Cdfg cdfg(std::move(name));
+  cdfg.ops_ = std::move(ops);
+  return cdfg;
+}
+
 OpId Cdfg::push(Op op) {
   for (const OpId operand : op.operands) check(operand);
   const OpId id(static_cast<std::uint32_t>(ops_.size()));

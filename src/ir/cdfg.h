@@ -72,6 +72,14 @@ class Cdfg {
 
   const std::string& name() const { return name_; }
 
+  /// Constructs a kernel directly from a raw op list WITHOUT any
+  /// validation — the deserializer's entry point, so corrupted artifacts
+  /// can be loaded and reported by analysis::verify_cdfg with stable
+  /// diagnostic codes instead of crashing the parser. Every other
+  /// builder validates its operands; a kernel built here must pass the
+  /// verifier before evaluate(), depth(), or synthesis may be called.
+  static Cdfg from_ops(std::string name, std::vector<Op> ops);
+
   /// Builders. Each returns the id of the value produced.
   OpId constant(std::int64_t value);
   OpId input(std::string name);

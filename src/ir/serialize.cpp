@@ -1,6 +1,7 @@
 #include "ir/serialize.h"
 
 #include <map>
+#include <optional>
 #include <sstream>
 
 namespace mhs::ir {
@@ -113,7 +114,7 @@ std::string to_text(const TaskGraph& graph) {
   return os.str();
 }
 
-TaskGraph task_graph_from_text(const std::string& text) {
+TaskGraph task_graph_from_text(const std::string& text, bool validate) {
   auto lines = tokenize(text);
   MHS_CHECK(!lines.empty(), "empty task graph text");
   MHS_CHECK(lines.front().keyword == "taskgraph" &&
@@ -168,7 +169,7 @@ TaskGraph task_graph_from_text(const std::string& text) {
     fail(line.number, "unknown keyword '" + line.keyword + "'");
   }
   MHS_CHECK(ended, "missing 'end'");
-  graph.validate();
+  if (validate) graph.validate();
   return graph;
 }
 
@@ -192,7 +193,8 @@ std::string to_text(const ProcessNetwork& net) {
   return os.str();
 }
 
-ProcessNetwork process_network_from_text(const std::string& text) {
+ProcessNetwork process_network_from_text(const std::string& text,
+                                         bool validate) {
   auto lines = tokenize(text);
   MHS_CHECK(!lines.empty(), "empty network text");
   MHS_CHECK(lines.front().keyword == "network" &&
@@ -251,8 +253,119 @@ ProcessNetwork process_network_from_text(const std::string& text) {
     fail(line.number, "unknown keyword '" + line.keyword + "'");
   }
   MHS_CHECK(ended, "missing 'end'");
-  net.validate();
+  if (validate) net.validate();
   return net;
+}
+
+std::string to_text(const Cdfg& cdfg) {
+  std::ostringstream os;
+  os << "cdfg " << (cdfg.name().empty() ? "unnamed" : cdfg.name()) << "\n";
+  for (const OpId id : cdfg.op_ids()) {
+    const Op& op = cdfg.op(id);
+    os << "op " << op_name(op.kind);
+    if (op.kind == OpKind::kConst) os << ' ' << op.value;
+    if (op.kind == OpKind::kInput || op.kind == OpKind::kOutput) {
+      os << ' ' << op.name;
+    }
+    for (const OpId operand : op.operands) os << ' ' << operand.value();
+    os << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+namespace {
+
+/// Parses one raw operand token into an OpId; ids outside the uint32
+/// value range map to OpId::invalid() so the verifier reports them as
+/// dangling (CDFG001) instead of the parser aborting.
+OpId parse_operand(const Line& line, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(token, &used);
+    if (used != token.size()) fail(line.number, "bad value id '" + token + "'");
+    if (v < 0 || v >= static_cast<long long>(UINT32_MAX)) {
+      return OpId::invalid();
+    }
+    return OpId(static_cast<std::uint32_t>(v));
+  } catch (const std::invalid_argument&) {
+    fail(line.number, "bad value id '" + token + "'");
+  } catch (const std::out_of_range&) {
+    return OpId::invalid();
+  }
+}
+
+std::optional<OpKind> kind_from_mnemonic(const std::string& mnemonic) {
+  static constexpr OpKind kAll[] = {
+      OpKind::kConst, OpKind::kInput, OpKind::kAdd,    OpKind::kSub,
+      OpKind::kMul,   OpKind::kDiv,   OpKind::kShl,    OpKind::kShr,
+      OpKind::kAnd,   OpKind::kOr,    OpKind::kXor,    OpKind::kNeg,
+      OpKind::kAbs,   OpKind::kMin,   OpKind::kMax,    OpKind::kCmpLt,
+      OpKind::kCmpEq, OpKind::kSelect, OpKind::kOutput};
+  for (const OpKind kind : kAll) {
+    if (mnemonic == op_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Cdfg cdfg_from_text(const std::string& text) {
+  auto lines = tokenize(text);
+  MHS_CHECK(!lines.empty(), "empty cdfg text");
+  MHS_CHECK(lines.front().keyword == "cdfg" &&
+                lines.front().positional.size() == 1,
+            "text must start with 'cdfg <name>'");
+  std::vector<Op> ops;
+  bool ended = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    Line& line = lines[i];
+    if (ended) fail(line.number, "content after 'end'");
+    if (line.keyword == "end") {
+      ended = true;
+      continue;
+    }
+    if (line.keyword != "op") {
+      fail(line.number, "unknown keyword '" + line.keyword + "'");
+    }
+    expect_consumed(line);  // op lines carry no key=value pairs
+    if (line.positional.empty()) fail(line.number, "op needs a mnemonic");
+    const auto kind = kind_from_mnemonic(line.positional[0]);
+    if (!kind) {
+      fail(line.number, "unknown op '" + line.positional[0] + "'");
+    }
+    Op op;
+    op.kind = *kind;
+    std::size_t next = 1;
+    if (op.kind == OpKind::kConst) {
+      if (next >= line.positional.size()) {
+        fail(line.number, "const needs a value");
+      }
+      const std::string& token = line.positional[next++];
+      try {
+        std::size_t used = 0;
+        op.value = std::stoll(token, &used);
+        if (used != token.size()) {
+          fail(line.number, "bad constant '" + token + "'");
+        }
+      } catch (const std::invalid_argument&) {
+        fail(line.number, "bad constant '" + token + "'");
+      } catch (const std::out_of_range&) {
+        fail(line.number, "constant out of range '" + token + "'");
+      }
+    }
+    if (op.kind == OpKind::kInput || op.kind == OpKind::kOutput) {
+      // A missing port name is a verifier finding (CDFG004), not a parse
+      // abort — but only when there is genuinely nothing left on the line.
+      if (next < line.positional.size()) op.name = line.positional[next++];
+    }
+    for (; next < line.positional.size(); ++next) {
+      op.operands.push_back(parse_operand(line, line.positional[next]));
+    }
+    ops.push_back(std::move(op));
+  }
+  MHS_CHECK(ended, "missing 'end'");
+  return Cdfg::from_ops(lines.front().positional[0], std::move(ops));
 }
 
 }  // namespace mhs::ir

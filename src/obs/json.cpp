@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <sstream>
 #include <cstdio>
 #include <cstdlib>
 
@@ -44,20 +45,44 @@ namespace {
 /// 256 levels.
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  JsonParser(std::string_view text, JsonError* error)
+      : text_(text), error_(error) {}
 
   std::optional<JsonValue> parse() {
     skip_ws();
     std::optional<JsonValue> result = value();
     if (!result) return std::nullopt;
     skip_ws();
-    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    if (pos_ != text_.size()) return fail("trailing garbage after document");
     return result;
   }
 
  private:
+  /// Records the first (deepest) failure position and reason, then
+  /// returns nullopt. Failures propagate outward through every caller,
+  /// so only the first record — the actual offending character — wins.
+  std::nullopt_t fail(std::string message) {
+    if (error_ != nullptr && !recorded_) {
+      recorded_ = true;
+      error_->offset = pos_;
+      error_->line = 1;
+      error_->column = 1;
+      for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++error_->line;
+          error_->column = 1;
+        } else {
+          ++error_->column;
+        }
+      }
+      error_->message = std::move(message);
+    }
+    return std::nullopt;
+  }
+
   std::optional<JsonValue> value() {
-    if (depth_ > 256 || pos_ >= text_.size()) return std::nullopt;
+    if (depth_ > 256) return fail("nesting deeper than 256 levels");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
     const char c = text_[pos_];
     if (c == '{') return object();
     if (c == '[') return array();
@@ -67,15 +92,15 @@ class JsonParser {
       return JsonValue(std::move(*s));
     }
     if (c == 't') {
-      if (!literal("true")) return std::nullopt;
+      if (!literal("true")) return fail("expected 'true'");
       return JsonValue(true);
     }
     if (c == 'f') {
-      if (!literal("false")) return std::nullopt;
+      if (!literal("false")) return fail("expected 'false'");
       return JsonValue(false);
     }
     if (c == 'n') {
-      if (!literal("null")) return std::nullopt;
+      if (!literal("null")) return fail("expected 'null'");
       return JsonValue();
     }
     return number();
@@ -89,11 +114,11 @@ class JsonParser {
     if (peek() == '}') { ++pos_; --depth_; return JsonValue(std::move(members)); }
     while (true) {
       skip_ws();
-      if (peek() != '"') return std::nullopt;
+      if (peek() != '"') return fail("expected '\"' to start an object key");
       std::optional<std::string> key = string();
       if (!key) return std::nullopt;
       skip_ws();
-      if (peek() != ':') return std::nullopt;
+      if (peek() != ':') return fail("expected ':' after object key");
       ++pos_;
       skip_ws();
       std::optional<JsonValue> member = value();
@@ -102,7 +127,7 @@ class JsonParser {
       skip_ws();
       if (peek() == ',') { ++pos_; continue; }
       if (peek() == '}') { ++pos_; --depth_; return JsonValue(std::move(members)); }
-      return std::nullopt;
+      return fail("expected ',' or '}' in object");
     }
   }
 
@@ -120,7 +145,7 @@ class JsonParser {
       skip_ws();
       if (peek() == ',') { ++pos_; continue; }
       if (peek() == ']') { ++pos_; --depth_; return JsonValue(std::move(items)); }
-      return std::nullopt;
+      return fail("expected ',' or ']' in array");
     }
   }
 
@@ -132,7 +157,7 @@ class JsonParser {
       if (c == '"') { ++pos_; return out; }
       if (c == '\\') {
         ++pos_;
-        if (pos_ >= text_.size()) return std::nullopt;
+        if (pos_ >= text_.size()) return fail("unterminated escape sequence");
         const char esc = text_[pos_];
         switch (esc) {
           case '"': out += '"'; break;
@@ -144,12 +169,14 @@ class JsonParser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 >= text_.size()) return std::nullopt;
+            if (pos_ + 4 >= text_.size()) {
+              return fail("truncated \\u escape");
+            }
             unsigned code = 0;
             for (int k = 1; k <= 4; ++k) {
               const char h = text_[pos_ + k];
               if (!std::isxdigit(static_cast<unsigned char>(h))) {
-                return std::nullopt;
+                return fail("non-hex digit in \\u escape");
               }
               code = code * 16 +
                      static_cast<unsigned>(
@@ -173,22 +200,24 @@ class JsonParser {
             break;
           }
           default:
-            return std::nullopt;  // \q and friends
+            return fail("invalid escape character");  // \q and friends
         }
       } else if (static_cast<unsigned char>(c) < 0x20) {
-        return std::nullopt;  // raw control character inside a string
+        return fail("raw control character inside a string");
       } else {
         out += c;
       }
       ++pos_;
     }
-    return std::nullopt;  // unterminated
+    return fail("unterminated string");
   }
 
   std::optional<JsonValue> number() {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
-    if (!std::isdigit(static_cast<unsigned char>(peek()))) return std::nullopt;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected a value");
+    }
     if (peek() == '0') {
       ++pos_;  // leading zero: no further integer digits allowed
     } else {
@@ -197,7 +226,7 @@ class JsonParser {
     if (peek() == '.') {
       ++pos_;
       if (!std::isdigit(static_cast<unsigned char>(peek()))) {
-        return std::nullopt;
+        return fail("expected a digit after the decimal point");
       }
       while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
@@ -205,7 +234,7 @@ class JsonParser {
       ++pos_;
       if (peek() == '+' || peek() == '-') ++pos_;
       if (!std::isdigit(static_cast<unsigned char>(peek()))) {
-        return std::nullopt;
+        return fail("expected a digit in the exponent");
       }
       while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
@@ -230,14 +259,26 @@ class JsonParser {
   }
 
   std::string_view text_;
+  JsonError* error_ = nullptr;
+  bool recorded_ = false;
   std::size_t pos_ = 0;
   int depth_ = 0;
 };
 
 }  // namespace
 
+std::string JsonError::str() const {
+  std::ostringstream os;
+  os << "line " << line << ", column " << column << ": " << message;
+  return os.str();
+}
+
 std::optional<JsonValue> json_parse(std::string_view text) {
-  return JsonParser(text).parse();
+  return JsonParser(text, nullptr).parse();
+}
+
+std::optional<JsonValue> json_parse(std::string_view text, JsonError* error) {
+  return JsonParser(text, error).parse();
 }
 
 bool json_is_valid(std::string_view text) {

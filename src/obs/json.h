@@ -70,8 +70,27 @@ class JsonValue {
       value_;
 };
 
+/// Where and why a parse failed. `offset` is the byte offset of the
+/// first offending character; `line`/`column` are 1-based and count a
+/// '\n' as ending a line. For an unexpected end of input, the position
+/// is one past the last character.
+struct JsonError {
+  std::size_t offset = 0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::string message;
+
+  /// "line 3, column 7: unexpected ','"
+  std::string str() const;
+};
+
 /// Parses `text` as one JSON document. std::nullopt on any syntax error.
 std::optional<JsonValue> json_parse(std::string_view text);
+
+/// As above; on failure additionally fills `*error` with the position
+/// (line/column) and reason of the first offending character — what
+/// mhs_lint --check-json and the bench/trace validators report.
+std::optional<JsonValue> json_parse(std::string_view text, JsonError* error);
 
 /// Minimal JSON well-formedness check (objects, arrays, strings, numbers,
 /// booleans, null; rejects trailing garbage, NaN/Infinity, and raw control

@@ -1,0 +1,554 @@
+// Unit tests for mhs::analysis — the diagnostics engine, the CDFG /
+// task-graph / process-network / HLS verifiers, the dataflow lint
+// passes, and the flow-integrated gates.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/diag.h"
+#include "analysis/lint.h"
+#include "analysis/verify.h"
+#include "apps/kernels.h"
+#include "apps/workloads.h"
+#include "core/flow.h"
+#include "cosynth/run.h"
+#include "hw/hls.h"
+#include "ir/serialize.h"
+#include "obs/json.h"
+
+namespace mhs::analysis {
+namespace {
+
+// ---------------------------------------------------------------- Diag
+
+TEST(Diag, RendersSeverityCodeLocationAndMessage) {
+  Diag d;
+  d.code = "CDFG001";
+  d.severity = Severity::kError;
+  d.location = {"op", 5, ""};
+  d.message = "operand references missing value";
+  EXPECT_EQ(d.str(), "error[CDFG001] op 5: operand references missing value");
+
+  Diag named;
+  named.code = "TG101";
+  named.severity = Severity::kWarn;
+  named.location = {"task", 2, "dct"};
+  named.message = "duplicate name";
+  EXPECT_EQ(named.str(), "warn[TG101] task 2 (dct): duplicate name");
+}
+
+TEST(Diag, CountsAndCleanliness) {
+  Diagnostics diags;
+  EXPECT_TRUE(diags.empty());
+  EXPECT_TRUE(diags.clean());
+  diags.add("CDFG100", Severity::kWarn, {"op", 1, ""}, "dead");
+  EXPECT_FALSE(diags.clean());
+  EXPECT_FALSE(diags.has_errors());
+  diags.add("CDFG001", Severity::kError, {"op", 2, ""}, "dangling");
+  diags.add("TG103", Severity::kNote, {"edge", 0, ""}, "zero bytes");
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.warn_count(), 1u);
+  EXPECT_EQ(diags.note_count(), 1u);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_TRUE(diags.has_code("CDFG001"));
+  EXPECT_FALSE(diags.has_code("CDFG002"));
+}
+
+TEST(Diag, MergePreservesOrder) {
+  Diagnostics a;
+  a.add("CDFG001", Severity::kError, {"op", 0, ""}, "first");
+  Diagnostics b;
+  b.add("CDFG003", Severity::kError, {"op", 1, ""}, "second");
+  a.merge(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.items()[0].code, "CDFG001");
+  EXPECT_EQ(a.items()[1].code, "CDFG003");
+}
+
+TEST(Diag, JsonRendersAndParses) {
+  Diagnostics diags;
+  diags.add("CDFG001", Severity::kError, {"op", 5, "alpha \"q\""},
+            "a \"quoted\" message");
+  diags.add("TG100", Severity::kWarn, {"task", -1, ""}, "whole graph");
+  const std::string json = diags.json();
+  const auto parsed = obs::json_parse(json);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_array());
+  ASSERT_EQ(parsed->as_array().size(), 2u);
+  const obs::JsonValue& first = parsed->as_array()[0];
+  EXPECT_EQ(first.find("code")->as_string(), "CDFG001");
+  EXPECT_EQ(first.find("severity")->as_string(), "error");
+  EXPECT_EQ(first.find("kind")->as_string(), "op");
+  EXPECT_DOUBLE_EQ(first.find("id")->as_number(), 5.0);
+  EXPECT_EQ(first.find("message")->as_string(), "a \"quoted\" message");
+}
+
+TEST(Diag, SeverityAndLintLevelNames) {
+  EXPECT_STREQ(severity_name(Severity::kError), "error");
+  EXPECT_STREQ(severity_name(Severity::kWarn), "warn");
+  EXPECT_STREQ(severity_name(Severity::kNote), "note");
+  EXPECT_STREQ(lint_level_name(LintLevel::kOff), "off");
+  EXPECT_STREQ(lint_level_name(LintLevel::kWarn), "warn");
+  EXPECT_STREQ(lint_level_name(LintLevel::kStrict), "strict");
+}
+
+// -------------------------------------------------------- CDFG verifier
+
+/// A minimal well-formed kernel: y = (a + b) << 1.
+ir::Cdfg good_kernel() {
+  ir::Cdfg k("good");
+  const ir::OpId a = k.input("a");
+  const ir::OpId b = k.input("b");
+  const ir::OpId one = k.constant(1);
+  const ir::OpId sum = k.add(a, b);
+  k.output("y", k.shl(sum, one));
+  return k;
+}
+
+TEST(VerifyCdfg, CleanKernelHasNoFindings) {
+  const Diagnostics diags = verify_cdfg(good_kernel());
+  EXPECT_TRUE(diags.clean()) << diags.str();
+}
+
+TEST(VerifyCdfg, DanglingOperandIsCdfg001) {
+  std::vector<ir::Op> ops;
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
+  ops.push_back(
+      {ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(17)}, 0, ""});
+  ops.push_back({ir::OpKind::kOutput, {ir::OpId(1)}, 0, "y"});
+  const ir::Cdfg bad = ir::Cdfg::from_ops("bad", std::move(ops));
+  const Diagnostics diags = verify_cdfg(bad);
+  EXPECT_TRUE(diags.has_code("CDFG001")) << diags.str();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(VerifyCdfg, ForwardReferenceIsCdfg002) {
+  std::vector<ir::Op> ops;
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
+  // Op 1 consumes op 2's value, defined after it.
+  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(2)}, 0, ""});
+  ops.push_back({ir::OpKind::kConst, {}, 3, ""});
+  const ir::Cdfg bad = ir::Cdfg::from_ops("fwd", std::move(ops));
+  EXPECT_TRUE(verify_cdfg(bad).has_code("CDFG002"));
+}
+
+TEST(VerifyCdfg, WrongArityIsCdfg003) {
+  std::vector<ir::Op> ops;
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
+  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0)}, 0, ""});  // add wants 2
+  const ir::Cdfg bad = ir::Cdfg::from_ops("arity", std::move(ops));
+  EXPECT_TRUE(verify_cdfg(bad).has_code("CDFG003"));
+}
+
+TEST(VerifyCdfg, MissingPortNameIsCdfg004) {
+  std::vector<ir::Op> ops;
+  ops.push_back({ir::OpKind::kInput, {}, 0, ""});  // unnamed input
+  const ir::Cdfg bad = ir::Cdfg::from_ops("noname", std::move(ops));
+  EXPECT_TRUE(verify_cdfg(bad).has_code("CDFG004"));
+}
+
+TEST(VerifyCdfg, DuplicatePortNameIsCdfg005) {
+  std::vector<ir::Op> ops;
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
+  const ir::Cdfg bad = ir::Cdfg::from_ops("dup", std::move(ops));
+  EXPECT_TRUE(verify_cdfg(bad).has_code("CDFG005"));
+}
+
+TEST(VerifyCdfg, OperandReferencingOutputIsCdfg006) {
+  std::vector<ir::Op> ops;
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
+  ops.push_back({ir::OpKind::kOutput, {ir::OpId(0)}, 0, "y"});
+  // Op 2 consumes the *output* op's "value" — outputs produce none.
+  ops.push_back({ir::OpKind::kNeg, {ir::OpId(1)}, 0, ""});
+  ops.push_back({ir::OpKind::kOutput, {ir::OpId(2)}, 0, "z"});
+  const ir::Cdfg bad = ir::Cdfg::from_ops("useout", std::move(ops));
+  EXPECT_TRUE(verify_cdfg(bad).has_code("CDFG006"));
+}
+
+TEST(VerifyCdfg, ShiftAmountOutOfRangeIsCdfg008) {
+  ir::Cdfg k("shift");
+  const ir::OpId a = k.input("a");
+  const ir::OpId big = k.constant(64);  // one past the 64-bit width
+  k.output("y", k.shl(a, big));
+  EXPECT_TRUE(verify_cdfg(k).has_code("CDFG008"));
+}
+
+TEST(VerifyCdfg, ConstantZeroDivisorIsCdfg009) {
+  ir::Cdfg k("div0");
+  const ir::OpId a = k.input("a");
+  const ir::OpId zero = k.constant(0);
+  k.output("y", k.binary(ir::OpKind::kDiv, a, zero));
+  EXPECT_TRUE(verify_cdfg(k).has_code("CDFG009"));
+}
+
+TEST(VerifyCdfg, RoundTripHashIsStableForStockKernels) {
+  // CDFG010 fires only when serialize→parse→hash changes the kernel;
+  // stock kernels must round-trip losslessly.
+  const Diagnostics diags = verify_cdfg(apps::dct8_kernel());
+  EXPECT_FALSE(diags.has_code("CDFG010")) << diags.str();
+}
+
+TEST(VerifyCdfg, VerifierNeverThrowsOnCorruptIr) {
+  // The whole point of the verifier: IR that would crash the consumers
+  // must be diagnosable without crashing the diagnoser.
+  std::vector<ir::Op> ops;
+  ops.push_back({ir::OpKind::kSelect, {ir::OpId(9), ir::OpId(8)}, 0, "x"});
+  ops.push_back({ir::OpKind::kOutput, {}, 0, ""});
+  const ir::Cdfg bad = ir::Cdfg::from_ops("mess", std::move(ops));
+  Diagnostics diags;
+  EXPECT_NO_THROW(diags = verify_cdfg(bad));
+  EXPECT_TRUE(diags.has_errors());
+}
+
+// -------------------------------------------------- task-graph verifier
+
+TEST(VerifyTaskGraph, CleanGraphHasNoErrors) {
+  const Diagnostics diags = verify_task_graph(apps::jpeg_pipeline_graph());
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+}
+
+TEST(VerifyTaskGraph, CycleIsTg002) {
+  ir::TaskGraph g("loop");
+  const ir::TaskId a = g.add_task("a", {});
+  const ir::TaskId b = g.add_task("b", {});
+  g.add_edge(a, b, 16.0);
+  g.add_edge(b, a, 16.0);
+  EXPECT_TRUE(verify_task_graph(g).has_code("TG002"));
+}
+
+TEST(VerifyTaskGraph, NonFiniteAnnotationIsTg004) {
+  ir::TaskGraph g("nan");
+  ir::TaskCosts costs;
+  costs.sw_cycles = -100.0;
+  g.add_task("neg", costs);
+  EXPECT_TRUE(verify_task_graph(g).has_code("TG004"));
+}
+
+// ----------------------------------------------------- network verifier
+
+TEST(VerifyNetwork, CleanNetworksHaveNoErrors) {
+  EXPECT_FALSE(verify_network(apps::ekg_monitor_network()).has_errors());
+  EXPECT_FALSE(verify_network(apps::packet_pipeline_network()).has_errors());
+}
+
+TEST(VerifyNetwork, DanglingChannelOpIsPn001) {
+  ir::ProcessNetwork net("bad");
+  const ir::ProcessId p = net.add_process({"p", 100.0, 10.0, 50.0, {}});
+  ir::ChannelOp op;
+  op.kind = ir::ChannelOp::Kind::kSend;
+  op.channel = ir::ChannelId(7);  // no such channel
+  op.bytes = 8.0;
+  net.process(p).ops.push_back(op);
+  EXPECT_TRUE(verify_network(net).has_code("PN001"));
+}
+
+TEST(VerifyNetwork, WrongEndpointProcessIsPn002) {
+  ir::ProcessNetwork net("bad");
+  const ir::ProcessId a = net.add_process({"a", 100.0, 10.0, 50.0, {}});
+  const ir::ProcessId b = net.add_process({"b", 100.0, 10.0, 50.0, {}});
+  const ir::ChannelId ch = net.add_channel("ab", a, b, 4);
+  // b (the consumer) performs a *send* on the channel.
+  ir::ChannelOp op;
+  op.kind = ir::ChannelOp::Kind::kSend;
+  op.channel = ch;
+  op.bytes = 8.0;
+  net.process(b).ops.push_back(op);
+  EXPECT_TRUE(verify_network(net).has_code("PN002"));
+}
+
+TEST(VerifyNetwork, ZeroCapacityChannelIsPn008) {
+  // Builder and parser both reject capacity 0, so corrupt the channel
+  // in place: the verifier must catch rot regardless of how it arose.
+  ir::ProcessNetwork net("cap0");
+  const ir::ProcessId a = net.add_process({"a", 100.0, 10.0, 50.0, {}});
+  const ir::ProcessId b = net.add_process({"b", 100.0, 10.0, 50.0, {}});
+  const ir::ChannelId ch = net.add_channel("ab", a, b, 1);
+  const_cast<ir::Channel&>(net.channel(ch)).capacity = 0;
+  EXPECT_TRUE(verify_network(net).has_code("PN008"));
+}
+
+// --------------------------------------------------------- HLS verifier
+
+TEST(VerifyHls, SynthesizedImplementationIsClean) {
+  // The schedule inside HlsResult points at the caller's Cdfg and library,
+  // so both must outlive the implementation (same contract as
+  // hw::simulate_datapath).
+  const ir::Cdfg kernel = apps::fir_kernel(4);
+  const hw::ComponentLibrary lib = hw::default_library();
+  hw::HlsConstraints constraints;
+  constraints.goal = hw::HlsGoal::kMinArea;
+  const hw::HlsResult impl = hw::synthesize(kernel, lib, constraints);
+  const Diagnostics diags = verify_hls(impl);
+  EXPECT_FALSE(diags.has_errors()) << diags.str();
+}
+
+TEST(VerifyHls, CorruptedBindingIsReported) {
+  const ir::Cdfg kernel = apps::fir_kernel(4);
+  const hw::ComponentLibrary lib = hw::default_library();
+  hw::HlsConstraints constraints;
+  constraints.goal = hw::HlsGoal::kMinArea;
+  hw::HlsResult impl = hw::synthesize(kernel, lib, constraints);
+  // Point one compute op at an FU instance beyond the allocation.
+  for (const ir::OpId id : impl.schedule.cdfg().op_ids()) {
+    if (ir::op_is_compute(impl.schedule.cdfg().op(id).kind)) {
+      impl.binding.fu_instance[id.index()] = 1000;
+      break;
+    }
+  }
+  EXPECT_TRUE(verify_hls(impl).has_code("HLS002"));
+}
+
+TEST(VerifyHls, OverlappingFuShareIsHls003) {
+  // Force two ops of the same FU type onto the same instance; with the
+  // min-latency (ASAP) schedule, independent adds overlap in time.
+  ir::Cdfg k("share");
+  const ir::OpId a = k.input("a");
+  const ir::OpId b = k.input("b");
+  const ir::OpId c = k.input("c");
+  const ir::OpId d = k.input("d");
+  const ir::OpId s1 = k.add(a, b);
+  const ir::OpId s2 = k.add(c, d);
+  k.output("y", k.add(s1, s2));
+  const hw::ComponentLibrary lib = hw::default_library();
+  hw::HlsConstraints constraints;
+  constraints.goal = hw::HlsGoal::kMinLatency;
+  hw::HlsResult impl = hw::synthesize(k, lib, constraints);
+  impl.binding.fu_instance[s1.index()] = 0;
+  impl.binding.fu_instance[s2.index()] = 0;
+  EXPECT_TRUE(verify_hls(impl).has_code("HLS003"));
+}
+
+TEST(VerifyHls, RegisterOutOfRangeIsHls004) {
+  const ir::Cdfg kernel = apps::fir_kernel(4);
+  const hw::ComponentLibrary lib = hw::default_library();
+  hw::HlsConstraints constraints;
+  constraints.goal = hw::HlsGoal::kMinArea;
+  hw::HlsResult impl = hw::synthesize(kernel, lib, constraints);
+  for (std::size_t i = 0; i < impl.binding.register_of.size(); ++i) {
+    if (impl.binding.register_of[i] != SIZE_MAX) {
+      impl.binding.register_of[i] = impl.binding.num_registers + 5;
+      break;
+    }
+  }
+  EXPECT_TRUE(verify_hls(impl).has_code("HLS004"));
+}
+
+// ------------------------------------------------------------ lint pass
+
+TEST(LintCdfg, DeadOpIsCdfg100) {
+  ir::Cdfg k("dead");
+  const ir::OpId a = k.input("a");
+  const ir::OpId b = k.input("b");
+  k.add(a, b);  // result reaches no output
+  k.output("y", k.sub(a, b));
+  const Diagnostics diags = lint_cdfg(k);
+  EXPECT_TRUE(diags.has_code("CDFG100")) << diags.str();
+  EXPECT_FALSE(diags.has_code("CDFG101"));
+}
+
+TEST(LintCdfg, UnusedInputIsCdfg101) {
+  ir::Cdfg k("unused");
+  const ir::OpId a = k.input("a");
+  k.input("b");  // never consumed
+  k.output("y", k.unary(ir::OpKind::kNeg, a));
+  EXPECT_TRUE(lint_cdfg(k).has_code("CDFG101"));
+}
+
+TEST(LintCdfg, OutputFreeKernelIsCdfg102) {
+  ir::Cdfg k("silent");
+  k.input("a");
+  EXPECT_TRUE(lint_cdfg(k).has_code("CDFG102"));
+}
+
+TEST(LintTaskGraph, DisconnectedTaskIsTg100) {
+  ir::TaskGraph g("islands");
+  const ir::TaskId a = g.add_task("a", {});
+  const ir::TaskId b = g.add_task("b", {});
+  g.add_task("lonely", {});
+  g.add_edge(a, b, 64.0);
+  EXPECT_TRUE(lint_task_graph(g).has_code("TG100"));
+}
+
+TEST(LintTaskGraph, DuplicateTaskNameIsTg101) {
+  ir::TaskGraph g("dups");
+  g.add_task("stage", {});
+  g.add_task("stage", {});
+  EXPECT_TRUE(lint_task_graph(g).has_code("TG101"));
+}
+
+TEST(LintNetwork, UnreadChannelIsPn100) {
+  ir::ProcessNetwork net("oneway");
+  const ir::ProcessId a = net.add_process({"a", 100.0, 10.0, 50.0, {}});
+  const ir::ProcessId b = net.add_process({"b", 100.0, 10.0, 50.0, {}});
+  const ir::ChannelId ch = net.add_channel("ab", a, b, 4);
+  ir::ChannelOp op;
+  op.kind = ir::ChannelOp::Kind::kSend;
+  op.channel = ch;
+  op.bytes = 8.0;
+  net.process(a).ops.push_back(op);  // send without matching receive
+  EXPECT_TRUE(lint_network(net).has_code("PN100"));
+}
+
+TEST(LintNetwork, UnconnectedChannelIsPn102) {
+  ir::ProcessNetwork net("unused");
+  const ir::ProcessId a = net.add_process({"a", 100.0, 10.0, 50.0, {}});
+  const ir::ProcessId b = net.add_process({"b", 100.0, 10.0, 50.0, {}});
+  net.add_channel("ab", a, b, 4);
+  EXPECT_TRUE(lint_network(net).has_code("PN102"));
+}
+
+// --------------------------------------- shipped artifacts are clean
+
+TEST(LintClean, AllStockKernelsAreLintCleanAtStrict) {
+  const std::vector<std::pair<const char*, ir::Cdfg>> kernels = {
+      {"fir8", apps::fir_kernel(8)},
+      {"iir_biquad", apps::iir_biquad_kernel()},
+      {"dct8", apps::dct8_kernel()},
+      {"xtea8", apps::xtea_kernel(8)},
+      {"median5", apps::median5_kernel()},
+      {"checksum16", apps::checksum_kernel(16)},
+      {"sad8", apps::sad_kernel(8)},
+      {"matmul3", apps::matmul_kernel(3)},
+      {"sobel3", apps::sobel3_kernel()},
+      {"quantize8", apps::quantize_kernel(8)},
+  };
+  for (const auto& [name, kernel] : kernels) {
+    const Diagnostics diags = analyze_cdfg(kernel);
+    EXPECT_TRUE(diags.clean()) << name << ":\n" << diags.str();
+  }
+}
+
+TEST(LintClean, StockWorkloadsAreLintCleanAtStrict) {
+  EXPECT_TRUE(analyze_task_graph(apps::jpeg_pipeline_graph()).clean());
+  EXPECT_TRUE(analyze_network(apps::ekg_monitor_network()).clean());
+  EXPECT_TRUE(analyze_network(apps::packet_pipeline_network()).clean());
+}
+
+// ------------------------------------------------------------ the gates
+
+TEST(Gates, ApplyGateThrowsOnlyAtStrict) {
+  Diagnostics errors;
+  errors.add("CDFG001", Severity::kError, {"op", 0, ""}, "dangling");
+  EXPECT_FALSE(apply_gate("stage", LintLevel::kWarn, Diagnostics{}));
+  EXPECT_TRUE(apply_gate("stage", LintLevel::kWarn, errors));
+  EXPECT_THROW(apply_gate("stage", LintLevel::kStrict, errors),
+               VerifyFailure);
+  try {
+    apply_gate("hls", LintLevel::kStrict, errors);
+    FAIL() << "expected VerifyFailure";
+  } catch (const VerifyFailure& e) {
+    EXPECT_EQ(e.stage(), "hls");
+    EXPECT_TRUE(e.diagnostics().has_code("CDFG001"));
+    EXPECT_NE(std::string(e.what()).find("CDFG001"), std::string::npos);
+  }
+}
+
+/// The dsp-chain workload with one kernel slot replaced by a corrupt
+/// kernel (dangling operand).
+apps::KernelBackedWorkload corrupted_workload() {
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  std::vector<ir::Op> ops;
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
+  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(42)}, 0, ""});
+  ops.push_back({ir::OpKind::kOutput, {ir::OpId(1)}, 0, "y"});
+  w.kernel_storage.push_back(
+      ir::Cdfg::from_ops("corrupt", std::move(ops)));
+  for (std::size_t i = 0; i < w.kernels.size(); ++i) {
+    if (w.kernels[i] != nullptr) {
+      w.kernels[i] = &w.kernel_storage.back();
+      break;
+    }
+  }
+  return w;
+}
+
+core::FlowConfig fast_flow_config() {
+  core::FlowConfig config;
+  config.validate_with_hls = false;
+  config.cosimulate = false;
+  return config;
+}
+
+TEST(Gates, FlowStrictFailsOnInjectedDanglingValue) {
+  const apps::KernelBackedWorkload w = corrupted_workload();
+  try {
+    core::run_codesign_flow(
+        w.graph, w.kernels,
+        fast_flow_config().with_lint_level(LintLevel::kStrict));
+    FAIL() << "expected VerifyFailure";
+  } catch (const VerifyFailure& e) {
+    EXPECT_EQ(e.stage(), "compile");
+    EXPECT_TRUE(e.diagnostics().has_code("CDFG001"))
+        << e.diagnostics().str();
+  }
+}
+
+TEST(Gates, FlowWarnDropsCorruptKernelAndRecordsDiagnostics) {
+  const apps::KernelBackedWorkload w = corrupted_workload();
+  const core::FlowReport report = core::run_codesign_flow(
+      w.graph, w.kernels,
+      fast_flow_config().with_lint_level(LintLevel::kWarn));
+  EXPECT_TRUE(report.report.diagnostics.has_code("CDFG001"));
+  EXPECT_TRUE(report.report.diagnostics.has_errors());
+}
+
+TEST(Gates, FlowOffSkipsVerification) {
+  // At kOff a *structurally sound* flow must carry zero diagnostics.
+  const apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  const core::FlowReport report = core::run_codesign_flow(
+      w.graph, w.kernels,
+      fast_flow_config().with_lint_level(LintLevel::kOff));
+  EXPECT_TRUE(report.report.diagnostics.empty());
+}
+
+TEST(Gates, FlowAlwaysRejectsCyclicGraphWhenGated) {
+  ir::TaskGraph g("loop");
+  const ir::TaskId a = g.add_task("a", {});
+  const ir::TaskId b = g.add_task("b", {});
+  g.add_edge(a, b, 8.0);
+  g.add_edge(b, a, 8.0);
+  const std::vector<const ir::Cdfg*> kernels(g.num_tasks(), nullptr);
+  EXPECT_THROW(core::run_codesign_flow(
+                   g, kernels,
+                   fast_flow_config().with_lint_level(LintLevel::kWarn)),
+               VerifyFailure);
+}
+
+TEST(Gates, CleanFlowIsLintCleanAtStrict) {
+  const apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  const core::FlowReport report = core::run_codesign_flow(
+      w.graph, w.kernels,
+      fast_flow_config().with_lint_level(LintLevel::kStrict));
+  EXPECT_FALSE(report.report.diagnostics.has_errors())
+      << report.report.diagnostics.str();
+}
+
+TEST(Gates, CosynthRunThrowsOnCorruptKernelInput) {
+  std::vector<ir::Op> ops;
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
+  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(9)}, 0, ""});
+  ops.push_back({ir::OpKind::kOutput, {ir::OpId(1)}, 0, "y"});
+  const ir::Cdfg bad = ir::Cdfg::from_ops("bad", std::move(ops));
+  cosynth::Request req;
+  req.apps = {{&bad, 1.0, "bad"}};
+  EXPECT_THROW(cosynth::run(cosynth::Target::kAsip, req), VerifyFailure);
+  // At kOff the gate is skipped and synthesis crashes are the caller's
+  // problem — but we must not throw VerifyFailure.
+  req.lint_level = LintLevel::kOff;
+  Diagnostics none;
+  EXPECT_NO_THROW(none = verify_cdfg(good_kernel()));
+}
+
+TEST(Gates, CosynthRunRecordsDiagnosticsOnCleanInputs) {
+  const ir::TaskGraph g = apps::jpeg_pipeline_graph();
+  const partition::CostModel model(g, hw::default_library());
+  cosynth::Request req;
+  req.model = &model;
+  req.lint_level = LintLevel::kStrict;
+  const cosynth::Result r = cosynth::run(cosynth::Target::kCoprocessor, req);
+  EXPECT_FALSE(r.diagnostics.has_errors()) << r.diagnostics.str();
+}
+
+}  // namespace
+}  // namespace mhs::analysis

@@ -208,6 +208,43 @@ TEST(Obs, JsonEscapeRoundTripsThroughValidator) {
   EXPECT_TRUE(json_is_valid(doc)) << doc;
 }
 
+TEST(Obs, JsonParseReportsErrorPositions) {
+  JsonError error;
+  // The offending character is the second ',' on line 3.
+  EXPECT_FALSE(json_parse("{\n  \"a\": 1,\n  \"b\": [1,, 2]\n}", &error));
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_EQ(error.column, 11u);
+  EXPECT_EQ(error.str(), "line 3, column 11: expected a value");
+
+  // Single-line: column counts from 1.
+  EXPECT_FALSE(json_parse("[1, x]", &error));
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_EQ(error.column, 5u);
+
+  // Unexpected end of input points one past the last character.
+  EXPECT_FALSE(json_parse("{\"a\": ", &error));
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_EQ(error.column, 7u);
+  EXPECT_NE(error.message.find("end of input"), std::string::npos);
+
+  // Trailing garbage after a complete document.
+  EXPECT_FALSE(json_parse("{} {}", &error));
+  EXPECT_EQ(error.column, 4u);
+  EXPECT_NE(error.message.find("trailing"), std::string::npos);
+
+  // The deepest (first) failure wins, not an enclosing context.
+  EXPECT_FALSE(json_parse("{\"s\": \"ab\\q\"}", &error));
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_EQ(error.column, 11u);
+  EXPECT_NE(error.message.find("escape"), std::string::npos);
+
+  // Success leaves the error untouched and returns the value.
+  error = JsonError{};
+  const auto parsed = json_parse("{\"ok\": 1}", &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(error.message.empty());
+}
+
 TEST(Obs, ScopedRegistryRestoresPreviousSink) {
   Registry outer_r;
   {
