@@ -244,6 +244,9 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
         sim::CosimConfig cosim_cfg;
         cosim_cfg.level = config.cosim_level;
         cosim_cfg.cpu = config.cpu;
+        cosim_cfg.fault_plan = config.fault_plan;
+        cosim_cfg.fault_seed = config.fault_seed;
+        cosim_cfg.resilience = config.resilience;
         report.cosim = sim::run_cosim(impl, cosim_cfg, samples);
       }
     }
@@ -279,7 +282,12 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
   // The unified envelope.
   report.report.title = "co-design flow: " + graph.name();
   report.report.add_design("coprocessor", report.design);
-  if (report.cosim) report.report.profiles.push_back(report.cosim->profile);
+  if (report.cosim) {
+    report.report.profiles.push_back(report.cosim->profile);
+    if (!report.cosim->resilience.empty()) {
+      report.report.resilience.push_back(report.cosim->resilience);
+    }
+  }
   // One clock read closes the flow: the report's wall time and the root
   // "flow" span are both derived from it, so they can never disagree.
   const double flow_us = flow_watch.elapsed_us();

@@ -99,6 +99,13 @@ struct FlowConfig {
   sim::InterfaceLevel cosim_level = sim::InterfaceLevel::kRegister;
   std::size_t cosim_samples = 8;
   std::uint64_t cosim_seed = 7;
+  /// Fault-injection campaign for the co-simulation step. An empty (or
+  /// zero-rate) plan leaves the co-simulator on its fault-free paths.
+  fault::FaultPlan fault_plan;
+  /// Fault-schedule seed (MHS_FAULT_SEED overrides at run time).
+  std::uint64_t fault_seed = 42;
+  /// Driver timeout/retry/degradation policy for fault-injection runs.
+  sim::ResiliencePolicy resilience;
   /// Analysis gates: the flow runs analysis::verify() on its IR hand-offs
   /// (after compile/ingest, after partition, after HLS) and records the
   /// findings in FlowReport::report.diagnostics.
@@ -176,6 +183,21 @@ struct FlowConfig {
   FlowConfig with_lint_level(analysis::LintLevel level) const {
     FlowConfig c = *this;
     c.lint_level = level;
+    return c;
+  }
+  FlowConfig with_fault_plan(const fault::FaultPlan& plan) const {
+    FlowConfig c = *this;
+    c.fault_plan = plan;
+    return c;
+  }
+  FlowConfig with_fault_seed(std::uint64_t seed) const {
+    FlowConfig c = *this;
+    c.fault_seed = seed;
+    return c;
+  }
+  FlowConfig with_resilience(const sim::ResiliencePolicy& policy) const {
+    FlowConfig c = *this;
+    c.resilience = policy;
     return c;
   }
 };

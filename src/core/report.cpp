@@ -22,6 +22,9 @@ std::string Report::str() const {
   }
   os << "wall: " << fmt(wall_ms, 1) << " ms\n";
   if (!diagnostics.empty()) os << diagnostics.str();
+  for (const fault::ResilienceReport& r : resilience) {
+    if (!r.empty()) os << r.summary();
+  }
   for (const obs::Profile& p : profiles) {
     if (!p.empty()) os << p.table();
   }

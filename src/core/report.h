@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/diag.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace mhs::core {
@@ -41,6 +42,9 @@ struct Report {
   /// performed (filled registry or not; rendered as self-normalizing
   /// tables by str()).
   std::vector<obs::Profile> profiles;
+  /// Fault-injection scoreboards from any co-simulations that ran with
+  /// an enabled FaultPlan (empty on fault-free runs).
+  std::vector<fault::ResilienceReport> resilience;
   /// Findings of the analysis gates the run passed through (empty when
   /// FlowConfig.lint_level / Request.lint_level is kOff). At kStrict a
   /// gate throws analysis::VerifyFailure instead of returning a Report

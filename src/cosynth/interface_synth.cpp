@@ -59,6 +59,9 @@ InterfaceDesign synthesize_interface(
     cfg.level = reqs.eval_level;
     cfg.use_irq = use_irq;
     cfg.background_unroll = use_irq ? reqs.background_unroll : 0;
+    cfg.fault_plan = reqs.fault_plan;
+    cfg.fault_seed = reqs.fault_seed;
+    cfg.resilience = reqs.resilience;
     DriverCandidate cand;
     cand.use_irq = use_irq;
     cand.report = sim::run_cosim(impl, cfg, eval_set);

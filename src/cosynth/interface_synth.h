@@ -27,6 +27,12 @@ struct InterfaceRequirements {
   std::size_t background_unroll = 4;
   /// Co-simulation abstraction level used for evaluation.
   sim::InterfaceLevel eval_level = sim::InterfaceLevel::kRegister;
+  /// Fault campaign applied to both evaluation co-simulations (empty =
+  /// fault-free): drivers are then scored under the same misbehaviour
+  /// they would face in the field.
+  fault::FaultPlan fault_plan;
+  std::uint64_t fault_seed = 42;
+  sim::ResiliencePolicy resilience;
 };
 
 /// One scored driver alternative.

@@ -1,6 +1,7 @@
 #include "ir/cdfg.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace mhs::ir {
 
@@ -58,12 +59,21 @@ std::int64_t apply_op(OpKind kind, std::span<const std::int64_t> args) {
     MHS_CHECK(s >= 0 && s < 64, "shift amount " << s << " out of [0,64)");
     return static_cast<int>(s);
   };
+  // Arithmetic is 64-bit two's-complement with wraparound, like the
+  // datapaths it models: fault injection can drive any bit pattern into
+  // an operand, so signed overflow must be well-defined, not UB.
+  const auto u = [](std::int64_t v) { return static_cast<std::uint64_t>(v); };
+  const auto wrap = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
   switch (kind) {
-    case OpKind::kAdd: return args[0] + args[1];
-    case OpKind::kSub: return args[0] - args[1];
-    case OpKind::kMul: return args[0] * args[1];
+    case OpKind::kAdd: return wrap(u(args[0]) + u(args[1]));
+    case OpKind::kSub: return wrap(u(args[0]) - u(args[1]));
+    case OpKind::kMul: return wrap(u(args[0]) * u(args[1]));
     case OpKind::kDiv:
       MHS_CHECK(args[1] != 0, "CDFG divide by zero");
+      if (args[0] == std::numeric_limits<std::int64_t>::min() &&
+          args[1] == -1) {
+        return args[0];  // the one quotient that overflows; wraps to itself
+      }
       return args[0] / args[1];
     case OpKind::kShl:
       return static_cast<std::int64_t>(static_cast<std::uint64_t>(args[0])
@@ -72,8 +82,8 @@ std::int64_t apply_op(OpKind kind, std::span<const std::int64_t> args) {
     case OpKind::kAnd: return args[0] & args[1];
     case OpKind::kOr:  return args[0] | args[1];
     case OpKind::kXor: return args[0] ^ args[1];
-    case OpKind::kNeg: return -args[0];
-    case OpKind::kAbs: return args[0] < 0 ? -args[0] : args[0];
+    case OpKind::kNeg: return wrap(0 - u(args[0]));
+    case OpKind::kAbs: return args[0] < 0 ? wrap(0 - u(args[0])) : args[0];
     case OpKind::kMin: return std::min(args[0], args[1]);
     case OpKind::kMax: return std::max(args[0], args[1]);
     case OpKind::kCmpLt: return args[0] < args[1] ? 1 : 0;

@@ -120,6 +120,7 @@ const char* Profile::category_name(Category c) {
     case kBus:            return "bus transfer";
     case kDma:            return "dma";
     case kPeripheralWait: return "peripheral wait";
+    case kFaultRecovery:  return "fault recovery";
     case kIdle:           return "idle";
     case kNumCategories:  break;
   }

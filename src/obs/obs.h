@@ -199,6 +199,7 @@ class Profile {
     kBus,              ///< bus transfers (MMIO, blocks, messages)
     kDma,              ///< DMA bursts moving data without the CPU
     kPeripheralWait,   ///< waiting on accelerator computation
+    kFaultRecovery,    ///< watchdog windows, retries, SW fallback runs
     kIdle,             ///< cycles claimed by no attributed activity
     kNumCategories,
   };

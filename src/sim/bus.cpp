@@ -84,8 +84,9 @@ Time BusModel::access(std::uint64_t addr, bool is_write) {
   total_bytes_ += config_.width_bytes;
   const Time t0 = sim_->now();
   // Multi-master arbitration: wait for any in-flight reservation (e.g. a
-  // DMA burst) to release the bus before this access starts.
-  const Time start = std::max(t0, free_at_);
+  // DMA burst) — or an injected phantom master — to release the bus
+  // before this access starts.
+  const Time start = std::max(t0, free_at_) + starvation_delay();
   const Time wait = start - t0;
   record_grant_wait(wait);
   Time cost = 0;
@@ -115,7 +116,7 @@ BusModel::Reservation BusModel::reserve(Time earliest, std::size_t bytes) {
   MHS_CHECK(bytes > 0, "zero-byte bus reservation");
   ++total_accesses_;
   total_bytes_ += bytes;
-  const Time granted = std::max(earliest, free_at_);
+  const Time granted = std::max(earliest, free_at_) + starvation_delay();
   record_grant_wait(granted - earliest);
   const Time cost = block_cost(bytes);
   free_at_ = granted + cost;
@@ -129,7 +130,7 @@ Time BusModel::block_transfer(std::uint64_t addr, std::size_t bytes,
   ++total_accesses_;
   total_bytes_ += bytes;
   const Time t0 = sim_->now();
-  const Time start = std::max(t0, free_at_);
+  const Time start = std::max(t0, free_at_) + starvation_delay();
   const Time wait = start - t0;
   record_grant_wait(wait);
   const Time cost = block_cost(bytes);
@@ -169,7 +170,7 @@ Time BusModel::message(std::size_t bytes) {
   ++total_accesses_;
   total_bytes_ += bytes;
   const Time t0 = sim_->now();
-  const Time start = std::max(t0, free_at_);
+  const Time start = std::max(t0, free_at_) + starvation_delay();
   const Time cost = config_.message_overhead_cycles;
   sim_->schedule(start - t0 + cost, [] {});
   busy_cycles_ += cost;

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "fault/fault.h"
 #include "sim/interface_level.h"
 #include "sim/kernel.h"
 #include "sim/signal.h"
@@ -67,6 +68,15 @@ class BusModel {
   /// Time at which the bus becomes free (end of the latest reservation).
   Time free_at() const { return free_at_; }
 
+  /// Attaches a fault injector (nullptr detaches). Grant-starvation
+  /// faults then lengthen the arbitration wait of every access, block
+  /// transfer, message, and DMA reservation — a phantom master holding
+  /// the bus. Detached (the default), every path is byte-identical to
+  /// the fault-free model.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
   std::uint64_t total_accesses() const { return total_accesses_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
   /// Cycles during which the bus was occupied (utilization numerator).
@@ -90,9 +100,18 @@ class BusModel {
     if (grant_wait_hist_ != nullptr) grant_wait_hist_->record(wait);
   }
 
+  /// Extra arbitration delay from an injected grant-starvation fault
+  /// (0 when no injector is attached or nothing fires).
+  Time starvation_delay() {
+    return fault_ == nullptr ? 0
+                             : static_cast<Time>(
+                                   fault_->grant_starvation_cycles());
+  }
+
   Simulator* sim_;
   BusConfig config_;
   InterfaceLevel level_;
+  fault::FaultInjector* fault_ = nullptr;
   /// "bus.grant_wait_cycles" histogram; non-null iff a registry was
   /// installed when the bus was constructed.
   obs::Histogram* grant_wait_hist_ = nullptr;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.h"
 #include "hw/hls.h"
 #include "obs/obs.h"
 #include "sim/bus.h"
@@ -43,6 +44,17 @@ struct CosimConfig {
   Time driver_call_sw_cycles = 15;
   /// Safety limit on ISS execution.
   std::uint64_t max_sw_cycles = 200'000'000;
+  /// Fault injection: the scheduled fault plan. An empty (or zero-rate)
+  /// plan disables injection entirely — every code path is then
+  /// bit-identical to the fault-free co-simulator.
+  fault::FaultPlan fault_plan;
+  /// PRNG seed making the fault schedule reproducible: the same
+  /// (seed, plan, workload) always yields the same injections, results,
+  /// and ResilienceReport. Overridable at run time via MHS_FAULT_SEED.
+  std::uint64_t fault_seed = 42;
+  /// Driver timeout/retry/degradation policy, engaged only when the
+  /// fault plan is enabled.
+  ResiliencePolicy resilience;
 };
 
 /// What one co-simulation run produced and what it cost to simulate.
@@ -69,6 +81,8 @@ struct CosimReport {
   /// peripheral wait, idle). Always filled, registry or not; embedded in
   /// core::Report when the flow co-simulates.
   obs::Profile profile;
+  /// Fault-injection scoreboard (all-zero when injection was disabled).
+  fault::ResilienceReport resilience;
 };
 
 /// Streams `sample_inputs` through the accelerator `impl` under `config`.

@@ -16,6 +16,20 @@ DmaEngine::DmaEngine(Simulator& sim, BusModel& bus, DmaMemoryPort memory,
   MHS_CHECK(memory_.read && memory_.write, "DMA memory port incomplete");
 }
 
+DmaEngine::~DmaEngine() {
+  // Disarm any still-queued burst events; they keep the epoch counter
+  // alive through their shared_ptr and bail out on the mismatch instead
+  // of dereferencing the destroyed engine.
+  ++*epoch_;
+}
+
+void DmaEngine::cancel() {
+  if (!busy_) return;
+  busy_ = false;
+  remaining_ = 0;
+  ++*epoch_;
+}
+
 void DmaEngine::start(DmaDirection direction, std::uint64_t mem_addr,
                       std::uint64_t dev_offset, std::size_t bytes) {
   MHS_CHECK(!busy_, "DMA started while busy");
@@ -51,15 +65,36 @@ void DmaEngine::issue_next_burst() {
   }
   const std::size_t chunk = std::min(remaining_, burst_bytes_);
   ++bursts_;
-  const BusModel::Reservation slot = bus_->reserve(sim_->now(), chunk);
+  const bool drop = fault_ != nullptr && fault_->drop_dma_burst();
+  const bool dup = !drop && fault_ != nullptr && fault_->duplicate_dma_burst();
+  BusModel::Reservation slot = bus_->reserve(sim_->now(), chunk);
+  if (dup) {
+    // Duplicated burst: the same data crosses the bus twice; it lands
+    // (idempotently) when the replay completes.
+    ++bursts_;
+    slot = bus_->reserve(slot.completed, chunk);
+  }
   const std::uint64_t mem_addr = mem_addr_;
   const std::uint64_t dev_offset = dev_offset_;
   mem_addr_ += chunk;
   dev_offset_ += chunk;
   remaining_ -= chunk;
+  if (drop) {
+    // Dropped burst: it occupied the bus, but its data is lost and the
+    // transfer dies with it — no completion callback will ever fire.
+    remaining_ = 0;
+    sim_->schedule_at(slot.completed, [this, tok = epoch_, exp = *epoch_] {
+      if (*tok != exp) return;  // cancelled or engine destroyed
+      busy_ = false;
+      ++dropped_;
+    });
+    return;
+  }
   // Data lands (and the next burst arbitration starts) when the
   // reservation completes.
-  sim_->schedule_at(slot.completed, [this, mem_addr, dev_offset, chunk] {
+  sim_->schedule_at(slot.completed, [this, tok = epoch_, exp = *epoch_,
+                                     mem_addr, dev_offset, chunk] {
+    if (*tok != exp) return;  // cancelled or engine destroyed
     move_words(mem_addr, dev_offset, chunk);
     issue_next_burst();
   });

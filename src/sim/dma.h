@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
+#include "fault/fault.h"
 #include "sim/bus.h"
 #include "sim/peripheral.h"
 
@@ -35,6 +37,7 @@ class DmaEngine {
   /// interleave more fairly with CPU traffic, larger bursts are cheaper.
   DmaEngine(Simulator& sim, BusModel& bus, DmaMemoryPort memory,
             StreamPeripheral& device, std::size_t burst_bytes = 32);
+  ~DmaEngine();
 
   /// Starts a transfer of `bytes` (must be a multiple of 8).
   ///   kMemToDevice: mem[mem_addr..] -> device inputs [dev_offset..]
@@ -48,8 +51,25 @@ class DmaEngine {
     on_complete_ = std::move(fn);
   }
 
+  /// Cancels the in-flight transfer (no-op when idle): the engine
+  /// returns to idle and every already-scheduled burst event is
+  /// disarmed. Disarmed events may still pop from the simulator queue,
+  /// but they touch nothing — not even after the engine itself has been
+  /// destroyed (the epoch token they hold outlives the engine), so a
+  /// mid-flight cancellation can never corrupt a torn-down simulation.
+  void cancel();
+
+  /// Attaches a fault injector (nullptr detaches). Injected faults can
+  /// drop a burst (the transfer dies without ever completing — a
+  /// watchdog's job to notice) or duplicate one (the burst replays,
+  /// occupying the bus twice).
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
   bool busy() const { return busy_; }
   std::uint64_t transfers_completed() const { return transfers_; }
+  std::uint64_t transfers_dropped() const { return dropped_; }
   std::uint64_t bursts_issued() const { return bursts_; }
 
  private:
@@ -62,6 +82,13 @@ class DmaEngine {
   DmaMemoryPort memory_;
   StreamPeripheral* device_;
   std::size_t burst_bytes_;
+  fault::FaultInjector* fault_ = nullptr;
+  /// Cancellation epoch. Scheduled burst events capture the shared
+  /// counter plus its value at scheduling time; cancel() and the
+  /// destructor bump it, so stale events observe the mismatch and
+  /// return without touching the (possibly destroyed) engine.
+  std::shared_ptr<std::uint64_t> epoch_ =
+      std::make_shared<std::uint64_t>(0);
 
   bool busy_ = false;
   DmaDirection direction_ = DmaDirection::kMemToDevice;
@@ -69,6 +96,7 @@ class DmaEngine {
   std::uint64_t dev_offset_ = 0;
   std::size_t remaining_ = 0;
   std::uint64_t transfers_ = 0;
+  std::uint64_t dropped_ = 0;
   std::uint64_t bursts_ = 0;
   std::function<void()> on_complete_;
 };

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "sim/kernel.h"
 #include "sw/codegen.h"
 #include "sw/isa.h"
 
@@ -19,6 +20,51 @@ namespace mhs::sim {
 
 /// Default MMIO base of the accelerator.
 inline constexpr std::uint64_t kPeripheralBase = 0x10000;
+
+/// Default base of the resilience monitor port: a zero-bus-cost debug
+/// window resilient drivers write recovery-protocol events to (watchdog
+/// timeout, retry, recovery, degradation). The co-simulation harness
+/// maps it to the fault scoreboard; it models the trace/debug port real
+/// SoCs expose off the main interconnect.
+inline constexpr std::uint64_t kMonitorBase = 0x30000;
+
+/// Monitor register offsets (byte offsets from the monitor base).
+struct MonitorLayout {
+  static constexpr std::uint64_t kTimeout = 0x00;  ///< watchdog expired
+  static constexpr std::uint64_t kRetry = 0x08;    ///< HW retry issued
+  static constexpr std::uint64_t kRecover = 0x10;  ///< sample completed
+  static constexpr std::uint64_t kDegrade = 0x18;  ///< SW fallback ran
+  static constexpr std::uint64_t kSize = 0x20;
+};
+
+/// Timeout / retry / degradation parameters of resilient drivers.
+/// Shared by the generated ISA driver (kPin/kRegister) and the analytic
+/// driver models (kDriver/kMessage).
+struct ResiliencePolicy {
+  /// Wait-loop iterations before the watchdog declares a timeout
+  /// (generated ISA drivers). 0 = auto: 4 * latency + 64, far above any
+  /// fault-free completion, so the watchdog never fires spuriously.
+  std::size_t timeout_polls = 0;
+  /// Watchdog window in cycles (analytic kDriver/kMessage models).
+  /// 0 = auto: 2 * latency + 64.
+  Time timeout_cycles = 0;
+  /// Hardware re-activations attempted after the first failure before
+  /// giving up on the sample.
+  std::size_t max_retries = 3;
+  /// Exponential backoff cap: the timeout window doubles per retry but
+  /// never exceeds backoff_cap * the initial window.
+  std::size_t backoff_cap = 8;
+  /// Failed HW invocations (samples whose retries were exhausted) before
+  /// the driver degrades permanently to the software fallback for all
+  /// remaining samples. 0 = degrade only per-sample, never stick.
+  std::size_t degrade_after = 4;
+  /// Read back the input registers after writing them and retry on a
+  /// mismatch (analytic kDriver model; catches bus data corruption).
+  bool verify_writes = false;
+  /// Cycle cost of one software-fallback kernel execution (analytic
+  /// models). 0 = auto: 8 * latency.
+  Time sw_fallback_cycles = 0;
+};
 
 /// Parameters of a generated driver program.
 struct DriverSpec {
@@ -38,6 +84,28 @@ struct DriverSpec {
   /// Units of background work attempted per wait-loop iteration (the CPU
   /// cycles freed by interrupt-driven I/O show up as completed units).
   std::size_t background_unroll = 0;
+
+  // --- resilient mode (fault-injection runs) -----------------------------
+
+  /// Generate the resilient driver: bounded watchdog wait loops, device
+  /// reset + exponential-backoff retry on expiry, and degradation to an
+  /// inlined software fallback once retries are exhausted. When false
+  /// (the default) the generated code is the classic driver, unchanged.
+  bool resilient = false;
+  ResiliencePolicy resilience;
+  /// Accelerator latency in cycles (derives the auto watchdog window).
+  Time periph_latency = 0;
+  /// The software fallback: a compiled, branch-free kernel body (trailing
+  /// kHalt stripped) inlined on the degradation path, plus the memory
+  /// addresses it reads inputs from / writes outputs to, in kernel port
+  /// order. The body must stay clear of the driver's buffers.
+  std::vector<sw::Instr> fallback_body;
+  std::vector<std::uint64_t> fallback_in_addr;
+  std::vector<std::uint64_t> fallback_out_addr;
+  /// Monitor (debug) port base the recovery protocol is reported to.
+  std::uint64_t monitor_base = kMonitorBase;
+  /// Save area for driver registers live across the inlined fallback.
+  std::uint64_t save_area = 0x5000;
 };
 
 /// A generated driver.

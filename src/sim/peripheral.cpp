@@ -42,7 +42,22 @@ std::int64_t StreamPeripheral::reg_read(std::uint64_t offset) {
 void StreamPeripheral::reg_write(std::uint64_t offset, std::int64_t value) {
   if (offset == PeripheralLayout::kCtrl) {
     irq_enabled_ = (value & 2) != 0;
-    if ((value & 1) != 0) start();
+    if ((value & 4) != 0) {
+      // RESET: abort the in-flight activation (the generation bump
+      // discards its pending completion event) and return to idle.
+      busy_ = false;
+      done_ = false;
+      busy_until_ = 0;
+      ++generation_;
+      return;
+    }
+    if ((value & 1) != 0) {
+      // Under fault injection a GO while busy is silently ignored (the
+      // control latch only accepts a start when idle) — a fault-confused
+      // driver must not tear the model down.
+      if (busy_ && fault_ != nullptr) return;
+      start();
+    }
     return;
   }
   if (offset == PeripheralLayout::kStatus) {
@@ -52,6 +67,7 @@ void StreamPeripheral::reg_write(std::uint64_t offset, std::int64_t value) {
   }
   if (offset >= PeripheralLayout::kInputBase &&
       offset < PeripheralLayout::kInputBase + 8 * input_regs_.size()) {
+    if (busy_ && fault_ != nullptr) return;  // input latch closed while busy
     MHS_CHECK(!busy_, "peripheral input written while busy");
     input_regs_[(offset - PeripheralLayout::kInputBase) / 8] = value;
     return;
@@ -76,18 +92,33 @@ void StreamPeripheral::start() {
 
   const Time latency = impl_->latency;
   if (level_ == InterfaceLevel::kPin) {
-    // Pin/RTL-accurate mode: one event per controller state transition.
+    // Pin/RTL-accurate mode: one event per controller state transition
+    // (the synthesized schedule's states; an injected stall lengthens
+    // only the completion hand-off, not the FSM walk).
     for (Time s = 1; s < latency; ++s) {
       sim_->schedule(s, [] { /* FSM state advance */ });
     }
   }
-  sim_->schedule(latency, [this, gen, out = std::move(out)] {
+  const std::uint64_t stall =
+      fault_ == nullptr ? 0 : fault_->peripheral_stall_cycles();
+  if (stall == fault::FaultSpec::kHang) {
+    // Dropped hand-off: the completion never arrives. BUSY stays up
+    // until a RESET; only a driver watchdog can notice.
+    busy_until_ = kNever;
+    return;
+  }
+  const Time total = latency + static_cast<Time>(stall);
+  busy_until_ = sim_->now() + total;
+  sim_->schedule(total, [this, gen, out = std::move(out)] {
     if (gen != generation_) return;  // superseded by a reset/restart
     for (std::size_t j = 0; j < output_names_.size(); ++j) {
-      output_regs_[j] = out.at(output_names_[j]);
+      std::int64_t v = out.at(output_names_[j]);
+      if (fault_ != nullptr) v = fault_->corrupt_kernel_result(v);
+      output_regs_[j] = v;
     }
     busy_ = false;
     done_ = true;
+    busy_until_ = 0;
     if (irq_enabled_ && irq_) irq_();
   });
 }

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault/fault.h"
 #include "hw/hls.h"
 #include "sim/interface_level.h"
 #include "sim/kernel.h"
@@ -20,7 +21,10 @@ namespace mhs::sim {
 
 /// Register map (byte offsets from the peripheral base address).
 struct PeripheralLayout {
-  static constexpr std::uint64_t kCtrl = 0x00;    ///< bit0 GO, bit1 IRQ_EN
+  /// bit0 GO, bit1 IRQ_EN, bit2 RESET (aborts in-flight work, clears
+  /// BUSY/DONE — the recovery handle resilient drivers pull after a
+  /// watchdog timeout).
+  static constexpr std::uint64_t kCtrl = 0x00;
   static constexpr std::uint64_t kStatus = 0x08;  ///< bit0 DONE, bit1 BUSY
   static constexpr std::uint64_t kInputBase = 0x40;   ///< input i at +8*i
   static constexpr std::uint64_t kOutputBase = 0x200; ///< output j at +8*j
@@ -47,6 +51,22 @@ class StreamPeripheral {
   bool done() const { return done_; }
   std::uint64_t activations() const { return activations_; }
 
+  /// busy_until() when the current activation's completion will never
+  /// arrive (an injected hang; only a RESET revives the device).
+  static constexpr Time kNever = ~Time{0};
+  /// Absolute completion time of the in-flight activation: 0 when idle,
+  /// kNever when hung. Analytic driver models use this for exact waits.
+  Time busy_until() const { return busy_until_; }
+
+  /// Attaches a fault injector (nullptr detaches). Injected faults can
+  /// stall or hang completions and corrupt result values; in addition
+  /// the device degrades gracefully instead of asserting on protocol
+  /// violations a fault can induce (input writes and GO while busy are
+  /// silently ignored, as real hardware latches would).
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
   /// Latency of one activation in cycles.
   Time latency() const { return impl_->latency; }
 
@@ -59,6 +79,8 @@ class StreamPeripheral {
   Simulator* sim_;
   const hw::HlsResult* impl_;
   InterfaceLevel level_;
+  fault::FaultInjector* fault_ = nullptr;
+  Time busy_until_ = 0;
   std::vector<std::string> input_names_;
   std::vector<std::string> output_names_;
   std::vector<std::int64_t> input_regs_;
