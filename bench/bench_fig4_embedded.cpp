@@ -13,7 +13,7 @@
 
 #include "apps/kernels.h"
 #include "bench_util.h"
-#include "cosynth/interface_synth.h"
+#include "cosynth/run.h"
 #include "sim/cosim.h"
 
 namespace mhs {
@@ -66,8 +66,13 @@ void run() {
     reqs.background_unroll = 6;
     reqs.eval_samples = samples.size();
     cosynth::AddressMapAllocator alloc;
+    cosynth::Request request;
+    request.impl = &impl;
+    request.interface_reqs = reqs;
+    request.samples = &samples;
+    request.allocator = &alloc;
     const cosynth::InterfaceDesign d =
-        cosynth::synthesize_interface(impl, reqs, samples, alloc);
+        *cosynth::run(cosynth::Target::kInterface, request).iface;
     const cosynth::DriverCandidate& sel = d.candidates[d.selected];
     drivers.add_row(
         {latency_weight == 1.0 ? "latency-critical" : "throughput-first",

@@ -62,8 +62,12 @@ void run() {
   std::cout << table;
 
   // Hot-spot matching: the media set's first purchase is the multiplier.
+  cosynth::Request small_request;
+  small_request.apps = media;
+  small_request.cpu = base;
+  small_request.area_budget = 950.0;
   const cosynth::AsipDesign media_small =
-      cosynth::synthesize_asip(media, base, 950.0);
+      *cosynth::run(cosynth::Target::kAsip, small_request).asip;
   const bool mul_first =
       !media_small.features.empty() &&
       media_small.features[0] == cosynth::IsaFeature::kFastMul;

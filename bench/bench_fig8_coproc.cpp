@@ -15,7 +15,7 @@
 
 #include "apps/workloads.h"
 #include "bench_util.h"
-#include "cosynth/coproc.h"
+#include "cosynth/run.h"
 #include "ir/task_graph_gen.h"
 
 namespace mhs {
@@ -47,8 +47,12 @@ void run() {
     obj.latency_target = g->total_sw_cycles() * 0.45;
     obj.area_weight = 0.02;
     for (const cosynth::CoprocStrategy s : strategies) {
+      cosynth::Request request;
+      request.model = &model;
+      request.objective = obj;
+      request.strategy = s;
       const cosynth::CoprocDesign d =
-          cosynth::synthesize_coprocessor(model, obj, s);
+          *cosynth::run(cosynth::Target::kCoprocessor, request).coprocessor;
       const auto& m = d.partition.metrics;
       table.add_row({g->name(), cosynth::coproc_strategy_name(s),
                      fmt(m.tasks_in_hw), fmt(m.latency_cycles, 0),
@@ -74,7 +78,8 @@ void run() {
   const partition::CostModel jpeg_model(jpeg, hw::default_library());
   partition::Objective ref_obj;
   const double all_hw_area =
-      partition::partition_all_hw(jpeg_model, ref_obj).metrics.hw_area;
+      partition::run(partition::Strategy::kAllHw, jpeg_model, ref_obj)
+          .metrics.hw_area;
   std::cout << "all-HW area reference (jpeg): " << fmt(all_hw_area, 0)
             << "\n";
 

@@ -18,7 +18,7 @@
 #include "apps/workloads.h"
 #include "bench_util.h"
 #include "core/flow.h"
-#include "cosynth/mixed.h"
+#include "cosynth/run.h"
 
 namespace mhs {
 namespace {
@@ -59,8 +59,14 @@ void run() {
         annotated, w.kernels, base, lib, budget);
     const cosynth::MixedDesign pure2 = cosynth::synthesize_pure_type2(
         annotated, w.kernels, base, lib, budget);
-    const cosynth::MixedDesign mixed = cosynth::synthesize_mixed(
-        annotated, w.kernels, base, lib, budget);
+    cosynth::Request request;
+    request.graph = &annotated;
+    request.kernels = &w.kernels;
+    request.cpu = base;
+    request.library = lib;
+    request.area_budget = budget;
+    const cosynth::MixedDesign mixed =
+        *cosynth::run(cosynth::Target::kMixed, request).mixed;
 
     auto emit = [&](const char* name, const cosynth::MixedDesign& d) {
       std::size_t offloaded = 0;

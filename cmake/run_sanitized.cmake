@@ -19,12 +19,14 @@ file(MAKE_DIRECTORY "${build_dir}")
 # The suites that exercise the memory-heavy subsystems: containers and
 # threading (base), the IR and its serializers, the JSON parser (obs),
 # the new verifier/lints (analysis + lint CLI), the multi-threaded
-# explorer, and the fault injector (unit suite plus the 500-plan fuzz
+# explorer, the fault injector (unit suite plus the 500-plan fuzz
 # harness, whose adversarial inputs are exactly what sanitizers are
-# for). A full-tree sanitized build would take far longer on the
-# single-core CI box for little extra coverage.
+# for), and the service daemon (sockets, the worker pool, and request
+# coalescing — the tree's most concurrency-dense code). A full-tree
+# sanitized build would take far longer on the single-core CI box for
+# little extra coverage.
 set(suites test_base test_ir test_obs test_analysis test_lint_cli
-           test_explorer test_fault fault_fuzz)
+           test_explorer test_fault fault_fuzz test_serve)
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -S "${SOURCE_DIR}" -B "${build_dir}"

@@ -20,7 +20,7 @@
 #include "base/table.h"
 #include "core/advisor.h"
 #include "core/flow.h"
-#include "cosynth/mixed.h"
+#include "cosynth/run.h"
 #include "ir/serialize.h"
 
 int main() {
@@ -52,9 +52,12 @@ int main() {
       core::annotate_costs(w.graph, w.kernels, flow_cfg);
 
   const double budget = 4100.0;
-  const cosynth::MixedDesign mixed = cosynth::synthesize_mixed(
-      annotated, w.kernels, sw::reference_cpu(), hw::default_library(),
-      budget);
+  cosynth::Request mixed_request;
+  mixed_request.graph = &annotated;
+  mixed_request.kernels = &w.kernels;
+  mixed_request.area_budget = budget;
+  const cosynth::MixedDesign mixed =
+      *cosynth::run(cosynth::Target::kMixed, mixed_request).mixed;
 
   TextTable design({"decision", "value"});
   std::string features;

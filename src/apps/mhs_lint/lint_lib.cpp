@@ -1,14 +1,14 @@
 #include "apps/mhs_lint/lint_lib.h"
 
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 
 #include "analysis/lint.h"
-#include "analysis/verify.h"
-#include "base/error.h"
-#include "ir/serialize.h"
 #include "obs/json.h"
+#include "svc/api.h"
+#include "svc/artifact.h"
 
 namespace mhs::apps {
 
@@ -17,6 +17,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: mhs_lint [--json] [--strict] <file>...\n"
     "       mhs_lint --check-json <file>...\n"
+    "       mhs_lint --server-json [--strict] <file>... | -\n"
     "\n"
     "Verifies and lints serialized IR artifacts (taskgraph, network, or\n"
     "cdfg text format). Exit 0 when no errors, 1 when any error\n"
@@ -26,7 +27,11 @@ constexpr const char* kUsage =
     "  --json        print findings as a JSON array instead of text\n"
     "  --strict      treat warnings as failures\n"
     "  --check-json  instead of IR, check each file is well-formed JSON\n"
-    "                (reports line and column of the first syntax error)\n";
+    "                (reports line and column of the first syntax error)\n"
+    "  --server-json speak the service schema: wrap the files into the\n"
+    "                same request POST /v1/lint accepts (or, with '-',\n"
+    "                read a complete request JSON from stdin) and print\n"
+    "                the full response JSON; exit codes are unchanged\n";
 
 bool read_file(const std::string& path, std::string* text, std::ostream& err) {
   std::ifstream in(path, std::ios::binary);
@@ -40,34 +45,15 @@ bool read_file(const std::string& path, std::string* text, std::ostream& err) {
   return true;
 }
 
-/// Loads one artifact structurally and analyzes it. Returns false (with
-/// a message on `err`) when the text does not even tokenize.
+/// Loads one artifact structurally and analyzes it through the shared
+/// svc::artifact plumbing (the same code path POST /v1/lint runs, which
+/// is what keeps the CLI and the endpoint byte-identical). Returns false
+/// (with a message on `err`) when the text does not even tokenize.
 bool analyze_file(const std::string& path, const std::string& text,
                   analysis::Diagnostics* diags, std::ostream& err) {
-  const ArtifactKind kind = sniff_artifact(text);
-  try {
-    switch (kind) {
-      case ArtifactKind::kTaskGraph:
-        diags->merge(analysis::analyze_task_graph(
-            ir::task_graph_from_text(text, /*validate=*/false)));
-        return true;
-      case ArtifactKind::kNetwork:
-        diags->merge(analysis::analyze_network(
-            ir::process_network_from_text(text, /*validate=*/false)));
-        return true;
-      case ArtifactKind::kCdfg:
-        diags->merge(analysis::analyze_cdfg(ir::cdfg_from_text(text)));
-        return true;
-      case ArtifactKind::kUnknown:
-        err << "mhs_lint: " << path
-            << ": unrecognized artifact (expected a file starting with "
-               "'taskgraph', 'network', or 'cdfg')\n";
-        return false;
-    }
-  } catch (const Error& e) {
-    err << "mhs_lint: " << path << ": " << e.what() << "\n";
-    return false;
-  }
+  std::string reason;
+  if (svc::analyze_artifact(text, diags, &reason)) return true;
+  err << "mhs_lint: " << path << ": " << reason << "\n";
   return false;
 }
 
@@ -95,20 +81,64 @@ int check_json_files(const std::vector<std::string>& files, std::ostream& out,
   return exit_code;
 }
 
+/// The --server-json mode: build (or read) a /v1/lint request, run it
+/// through the same svc::run seam the daemon uses, print the response
+/// JSON, and map the outcome back onto mhs_lint's exit codes.
+int serve_json(const std::vector<std::string>& files, bool strict,
+               std::ostream& out, std::ostream& err) {
+  svc::Request request;
+  request.endpoint = svc::Endpoint::kLint;
+  request.lint.strict = strict;
+  if (files.size() == 1 && files[0] == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    std::string reason;
+    std::optional<svc::Request> parsed =
+        svc::Request::from_json(buffer.str(), &reason);
+    if (!parsed) {
+      err << "mhs_lint: " << reason << "\n";
+      return 2;
+    }
+    if (parsed->endpoint != svc::Endpoint::kLint) {
+      err << "mhs_lint: request endpoint must be \"lint\"\n";
+      return 2;
+    }
+    request = std::move(*parsed);
+  } else {
+    if (files.empty()) {
+      err << kUsage;
+      return 2;
+    }
+    for (const std::string& path : files) {
+      std::string text;
+      if (!read_file(path, &text, err)) return 2;
+      request.lint.artifacts.push_back(std::move(text));
+    }
+  }
+
+  const svc::Response response = svc::run(request);
+  out << response.json() << "\n";
+  if (!response.ok()) {
+    err << "mhs_lint: " << response.error << "\n";
+    return 2;
+  }
+  const std::optional<obs::JsonValue> result =
+      obs::json_parse(response.result_json);
+  const obs::JsonValue* exit_code =
+      result.has_value() ? result->find("exit_code") : nullptr;
+  return exit_code != nullptr && exit_code->is_number()
+             ? static_cast<int>(exit_code->as_number())
+             : 0;
+}
+
 }  // namespace
 
 ArtifactKind sniff_artifact(const std::string& text) {
-  std::istringstream in(text);
-  std::string keyword;
-  // Skip comment and blank lines; the first real token decides.
-  std::string line;
-  while (std::getline(in, line)) {
-    std::istringstream tokens(line);
-    if (!(tokens >> keyword) || keyword[0] == '#') continue;
-    if (keyword == "taskgraph") return ArtifactKind::kTaskGraph;
-    if (keyword == "network") return ArtifactKind::kNetwork;
-    if (keyword == "cdfg") return ArtifactKind::kCdfg;
-    return ArtifactKind::kUnknown;
+  switch (svc::sniff_artifact(text)) {
+    case svc::ArtifactKind::kTaskGraph: return ArtifactKind::kTaskGraph;
+    case svc::ArtifactKind::kNetwork:   return ArtifactKind::kNetwork;
+    case svc::ArtifactKind::kCdfg:      return ArtifactKind::kCdfg;
+    case svc::ArtifactKind::kUnknown:   break;
   }
   return ArtifactKind::kUnknown;
 }
@@ -118,6 +148,7 @@ int run_lint(const std::vector<std::string>& args, std::ostream& out,
   bool json = false;
   bool strict = false;
   bool check_json = false;
+  bool server_json = false;
   std::vector<std::string> files;
   for (const std::string& arg : args) {
     if (arg == "--json") {
@@ -126,9 +157,13 @@ int run_lint(const std::vector<std::string>& args, std::ostream& out,
       strict = true;
     } else if (arg == "--check-json") {
       check_json = true;
+    } else if (arg == "--server-json") {
+      server_json = true;
     } else if (arg == "--help" || arg == "-h") {
       out << kUsage;
       return 0;
+    } else if (arg == "-" && server_json) {
+      files.push_back(arg);  // stdin sentinel, only meaningful here
     } else if (!arg.empty() && arg[0] == '-') {
       err << "mhs_lint: unknown option " << arg << "\n" << kUsage;
       return 2;
@@ -139,6 +174,9 @@ int run_lint(const std::vector<std::string>& args, std::ostream& out,
 
   if (check_json) {
     return check_json_files(files, out, err);
+  }
+  if (server_json) {
+    return serve_json(files, strict, out, err);
   }
   if (files.empty()) {
     err << kUsage;

@@ -6,6 +6,7 @@
 #include "analysis/lint.h"
 #include "analysis/verify.h"
 #include "base/rng.h"
+#include "cosynth/run.h"
 #include "base/table.h"
 #include "ir/optimize.h"
 #include "obs/obs.h"
@@ -173,8 +174,16 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
                                    config.comm);
   {
     obs::Span phase("partition", "flow");
-    report.design = cosynth::synthesize_coprocessor(model, config.objective,
-                                                    config.strategy);
+    cosynth::Request request;
+    request.model = &model;
+    request.objective = config.objective;
+    request.strategy = config.strategy;
+    // The flow runs its own gates (gate 1 above, gate 2 below) with
+    // skip-and-continue semantics; cosynth::run's all-or-nothing gate
+    // would fire twice on the same graph, so it stays off here.
+    request.lint_level = analysis::LintLevel::kOff;
+    report.design =
+        *cosynth::run(cosynth::Target::kCoprocessor, request).coprocessor;
   }
 
   // Gate 2 — after partition: the annotated graph the partitioner worked

@@ -68,7 +68,7 @@ const std::vector<ApproachProfile>& surveyed_approaches() {
                  {kCoSimulation, kCoSynthesis},
                  sim::InterfaceLevel::kDriver,
                  {},
-                 "cosynth::synthesize_interface",
+                 "cosynth::run(Target::kInterface)",
                  "Fig. 4"});
     v.push_back({"Prakash/Parker SOS (ILP)", "[12]",
                  SystemType::kTypeI,
@@ -96,7 +96,7 @@ const std::vector<ApproachProfile>& surveyed_approaches() {
                  {kCoSynthesis, kPartitioning},
                  std::nullopt,
                  {kPerformance, kImplementationCost, kModifiability},
-                 "cosynth::synthesize_asip",
+                 "cosynth::run(Target::kAsip)",
                  "Fig. 6"});
     v.push_back({"PRISM instruction-set metamorphosis", "[15]",
                  SystemType::kTypeI,
@@ -110,21 +110,21 @@ const std::vector<ApproachProfile>& surveyed_approaches() {
                  {kCoSynthesis, kPartitioning},
                  std::nullopt,
                  {kPerformance, kImplementationCost},
-                 "cosynth::synthesize_coprocessor(kUnload)",
+                 "cosynth::run(Target::kCoprocessor, kUnload)",
                  "Fig. 8"});
     v.push_back({"Henkel/Ernst adaptive partitioning", "[17]",
                  SystemType::kTypeII,
                  {kCoSynthesis, kPartitioning},
                  std::nullopt,
                  {kPerformance, kImplementationCost},
-                 "cosynth::synthesize_coprocessor(kHotSpot)",
+                 "cosynth::run(Target::kCoprocessor, kHotSpot)",
                  "Fig. 8"});
     v.push_back({"Vahid/Gajski spec refinement", "[16][18]",
                  SystemType::kTypeII,
                  {kCoSynthesis, kPartitioning},
                  std::nullopt,
                  {kPerformance, kImplementationCost, kConcurrency},
-                 "hw::IncrementalAreaEstimator + partition::partition_kl",
+                 "hw::IncrementalAreaEstimator + partition::run(kKl)",
                  "Fig. 8"});
     v.push_back({"Adams/Thomas multiple-process synthesis", "[10]",
                  SystemType::kTypeII,
@@ -139,7 +139,7 @@ const std::vector<ApproachProfile>& surveyed_approaches() {
                  {kCoSimulation, kCoSynthesis, kPartitioning},
                  sim::InterfaceLevel::kRegister,
                  {kPerformance, kImplementationCost, kCommunication},
-                 "partition::partition_gclp",
+                 "partition::run(Strategy::kGclp)",
                  "Fig. 8"});
     return v;
   }();

@@ -80,6 +80,7 @@ struct AsipDesign {
 
 /// Picks the feature subset maximizing weighted cycle savings under
 /// `area_budget` (exact knapsack over the candidate features).
+[[deprecated("use cosynth::run(Target::kAsip, ...)")]]
 AsipDesign synthesize_asip(const std::vector<WeightedKernel>& apps,
                            const sw::CpuModel& base, double area_budget);
 

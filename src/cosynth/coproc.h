@@ -44,6 +44,7 @@ struct CoprocDesign {
 };
 
 /// Runs the chosen strategy over `model` / `objective`.
+[[deprecated("use cosynth::run(Target::kCoprocessor, ...)")]]
 CoprocDesign synthesize_coprocessor(const partition::CostModel& model,
                                     const partition::Objective& objective,
                                     CoprocStrategy strategy);

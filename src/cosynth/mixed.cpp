@@ -47,10 +47,10 @@ partition::PartitionResult partition_under_budget(
   objective.area_weight = 1e-6;  // tie-break toward smaller hardware
   objective.area_budget = std::max(coproc_budget, 1e-9);
   objective.area_penalty_weight = 1e4;
-  partition::PartitionResult result =
-      coproc_budget <= 0.0
-          ? partition::partition_all_sw(model, objective)
-          : partition::partition_kl(model, objective);
+  partition::PartitionResult result = partition::run(
+      coproc_budget <= 0.0 ? partition::Strategy::kAllSw
+                           : partition::Strategy::kKl,
+      model, objective);
 
   // Enforce the budget strictly: evict the HW task with the smallest
   // latency damage until the shared-area estimate fits.

@@ -54,6 +54,7 @@ struct MixedDesign {
 ///
 /// `kernels[i]` is task i's behavioural kernel (nullptr = the task's
 /// existing sw_cycles annotation is feature-independent).
+[[deprecated("use cosynth::run(Target::kMixed, ...)")]]
 MixedDesign synthesize_mixed(const ir::TaskGraph& graph,
                              const std::vector<const ir::Cdfg*>& kernels,
                              const sw::CpuModel& base_cpu,

@@ -1,9 +1,11 @@
 #include "obs/json.h"
 
 #include <cctype>
-#include <sstream>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <iomanip>
+#include <sstream>
 
 namespace mhs::obs {
 
@@ -42,7 +44,7 @@ namespace {
 
 /// Recursive-descent parser. Grammar is strict RFC-8259: no NaN/Infinity,
 /// no comments, no trailing commas, no leading zeros, nesting capped at
-/// 256 levels.
+/// kJsonMaxDepth levels (stack-overflow guard for untrusted input).
 class JsonParser {
  public:
   JsonParser(std::string_view text, JsonError* error)
@@ -81,7 +83,10 @@ class JsonParser {
   }
 
   std::optional<JsonValue> value() {
-    if (depth_ > 256) return fail("nesting deeper than 256 levels");
+    if (depth_ > kJsonMaxDepth) {
+      return fail("nesting deeper than " + std::to_string(kJsonMaxDepth) +
+                  " levels");
+    }
     if (pos_ >= text_.size()) return fail("unexpected end of input");
     const char c = text_[pos_];
     if (c == '{') return object();
@@ -283,6 +288,71 @@ std::optional<JsonValue> json_parse(std::string_view text, JsonError* error) {
 
 bool json_is_valid(std::string_view text) {
   return json_parse(text).has_value();
+}
+
+namespace {
+
+/// JSON number: integral values print without a decimal point (an int64
+/// survives render→parse→render unchanged up to 2^53); everything else
+/// at round-trip precision. Non-finite values cannot appear — the
+/// parser never produces them and JsonValue offers no other ingress for
+/// doubles in this codebase's usage, but degrade to 0 defensively.
+void render_number(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << '0';
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    os << static_cast<long long>(v);
+    return;
+  }
+  os << std::setprecision(17) << v;
+}
+
+void render_value(std::ostringstream& os, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      os << "null";
+      return;
+    case JsonValue::Kind::kBool:
+      os << (value.as_bool() ? "true" : "false");
+      return;
+    case JsonValue::Kind::kNumber:
+      render_number(os, value.as_number());
+      return;
+    case JsonValue::Kind::kString:
+      os << '"' << json_escape(value.as_string()) << '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      const JsonValue::Array& items = value.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) os << ',';
+        render_value(os, items[i]);
+      }
+      os << ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      const JsonValue::Object& members = value.as_object();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i != 0) os << ',';
+        os << '"' << json_escape(members[i].first) << "\":";
+        render_value(os, members[i].second);
+      }
+      os << '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_render(const JsonValue& value) {
+  std::ostringstream os;
+  render_value(os, value);
+  return os.str();
 }
 
 }  // namespace mhs::obs

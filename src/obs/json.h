@@ -7,10 +7,20 @@
 //   * json_parse()    — a strict recursive-descent parser producing a
 //                       JsonValue tree (rejects NaN/Infinity, trailing
 //                       garbage, raw control characters, bad escapes,
-//                       leading zeros, and nesting deeper than 256);
+//                       leading zeros, and nesting deeper than
+//                       kJsonMaxDepth);
+//   * json_render()   — renders a JsonValue back to compact canonical
+//                       text (the inverse of json_parse, used to
+//                       normalize network payloads);
 //   * json_is_valid() — well-formedness check, defined as "json_parse
 //                       succeeds", so the validator and the parser can
 //                       never disagree about what is legal.
+//
+// The parser is the trust boundary for every byte that reaches the
+// process from outside (bench documents, traces, and — since mhs_serve —
+// network request bodies), so resource limits are part of the contract:
+// recursion is capped at kJsonMaxDepth so a deeply nested body fails
+// with a JsonError instead of overflowing the stack.
 #pragma once
 
 #include <optional>
@@ -21,6 +31,11 @@
 #include <vector>
 
 namespace mhs::obs {
+
+/// Deepest container nesting json_parse accepts. Exceeding it is a
+/// JsonError ("nesting deeper than ..."), not a stack overflow — the
+/// guard that makes the parser safe on hostile network input.
+inline constexpr int kJsonMaxDepth = 256;
 
 /// One parsed JSON value. Objects preserve source key order; duplicate
 /// keys are kept as-is (find() returns the first).
@@ -100,5 +115,13 @@ bool json_is_valid(std::string_view text);
 
 /// Escapes a string for embedding inside a JSON string literal.
 std::string json_escape(std::string_view text);
+
+/// Renders a JsonValue as compact JSON text (no whitespace, object keys
+/// in stored order, integral numbers without a decimal point, other
+/// numbers at round-trip precision). json_parse(json_render(v)) yields
+/// `v` back, so render-after-parse is a canonical form: two documents
+/// that parse to the same tree render to the same bytes — what the
+/// service layer uses to normalize request/response payloads.
+std::string json_render(const JsonValue& value);
 
 }  // namespace mhs::obs

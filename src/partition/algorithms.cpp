@@ -38,7 +38,7 @@ static PartitionResult all_hw_impl(const CostModel& model,
 static PartitionResult hot_spot_impl(const CostModel& model,
                                      const Objective& objective) {
   MHS_CHECK(objective.latency_target > 0.0,
-            "partition_hot_spot needs a latency target");
+            "hot_spot partitioning needs a latency target");
   const std::size_t n = model.graph().num_tasks();
   Mapping mapping(n, false);
   std::size_t evals = 0;
@@ -75,7 +75,7 @@ static PartitionResult hot_spot_impl(const CostModel& model,
 static PartitionResult unload_impl(const CostModel& model,
                                    const Objective& objective) {
   MHS_CHECK(objective.latency_target > 0.0,
-            "partition_unload needs a latency target");
+            "unload partitioning needs a latency target");
   const std::size_t n = model.graph().num_tasks();
   Mapping mapping(n, true);
   std::size_t evals = 0;

@@ -83,36 +83,47 @@ PartitionResult run(Strategy strategy, const CostModel& model,
                     const Objective& objective,
                     const PartitionOptions& options = {});
 
+// The per-strategy free functions below predate run() and survive only
+// as thin wrappers for source compatibility. New code goes through
+// run(Strategy, ...) — one entry point per subsystem (see DESIGN.md).
+
 /// Trivial baselines.
+[[deprecated("use partition::run(Strategy::kAllSw, ...)")]]
 PartitionResult partition_all_sw(const CostModel& model,
                                  const Objective& objective);
+[[deprecated("use partition::run(Strategy::kAllHw, ...)")]]
 PartitionResult partition_all_hw(const CostModel& model,
                                  const Objective& objective);
 
 /// Henkel/Ernst style: all-SW start; repeatedly move the SW task with the
 /// best latency-gain-per-area ratio into HW until the latency target is
 /// met (or no move helps). Requires objective.latency_target > 0.
+[[deprecated("use partition::run(Strategy::kHotSpot, ...)")]]
 PartitionResult partition_hot_spot(const CostModel& model,
                                    const Objective& objective);
 
 /// Gupta & De Micheli style: all-HW start; repeatedly move to SW the task
 /// whose eviction saves the most area while the latency target still
 /// holds. Requires objective.latency_target > 0.
+[[deprecated("use partition::run(Strategy::kUnload, ...)")]]
 PartitionResult partition_unload(const CostModel& model,
                                  const Objective& objective);
 
 /// Pass-based single-task-move improvement (KL/FM flavor) from a given
 /// starting mapping (defaults to all-SW when `start` is empty).
+[[deprecated("use partition::run(Strategy::kKl, ...) with options.start")]]
 PartitionResult partition_kl(const CostModel& model,
                              const Objective& objective,
                              Mapping start = {});
 
 /// Simulated annealing over random flips.
+[[deprecated("use partition::run(Strategy::kAnnealed, ...) with options.anneal")]]
 PartitionResult partition_annealed(const CostModel& model,
                                    const Objective& objective,
                                    const opt::AnnealConfig& anneal = {});
 
 /// GCLP-style constructive mapping in topological order.
+[[deprecated("use partition::run(Strategy::kGclp, ...)")]]
 PartitionResult partition_gclp(const CostModel& model,
                                const Objective& objective);
 

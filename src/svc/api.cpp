@@ -1,0 +1,497 @@
+#include "svc/api.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace mhs::svc {
+
+namespace {
+
+/// JSON number at round-trip precision (integral values without a
+/// decimal point, matching obs::json_render's canonical form).
+std::string num(double v) {
+  obs::JsonValue value(v);
+  return obs::json_render(value);
+}
+
+std::string num_u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string quoted(const std::string& s) {
+  return "\"" + obs::json_escape(s) + "\"";
+}
+
+void render_string_array(std::ostringstream& os,
+                         const std::vector<std::string>& items) {
+  os << '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) os << ',';
+    os << quoted(items[i]);
+  }
+  os << ']';
+}
+
+void render_number_array(std::ostringstream& os,
+                         const std::vector<double>& items) {
+  os << '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) os << ',';
+    os << num(items[i]);
+  }
+  os << ']';
+}
+
+const char* boolean(bool b) { return b ? "true" : "false"; }
+
+// ------------------------------------------------------- strict readers
+//
+// Each reader validates the member's kind and records the first
+// violation; `Fields` additionally rejects unknown keys, so a typo'd
+// request fails loudly (the 400 path) instead of silently running with
+// defaults.
+
+class Fields {
+ public:
+  Fields(const obs::JsonValue& object, std::string context,
+         std::string* error)
+      : object_(object), context_(std::move(context)), error_(error) {}
+
+  bool string(const char* key, std::string* out) {
+    return read(key, [&](const obs::JsonValue& v) {
+      if (!v.is_string()) return false;
+      *out = v.as_string();
+      return true;
+    }, "a string");
+  }
+
+  bool number(const char* key, double* out) {
+    return read(key, [&](const obs::JsonValue& v) {
+      if (!v.is_number()) return false;
+      *out = v.as_number();
+      return true;
+    }, "a number");
+  }
+
+  bool u64(const char* key, std::uint64_t* out) {
+    return read(key, [&](const obs::JsonValue& v) {
+      if (!v.is_number() || v.as_number() < 0) return false;
+      // JSON numbers travel as doubles, which cannot represent every
+      // uint64: anything at or above 2^64 (notably a rendered
+      // UINT64_MAX, e.g. the FaultSpecParams::max_count default) clamps
+      // back to UINT64_MAX instead of hitting an out-of-range cast.
+      constexpr double kMax = 18446744073709551616.0;  // 2^64
+      *out = v.as_number() >= kMax
+                 ? UINT64_MAX
+                 : static_cast<std::uint64_t>(v.as_number());
+      return true;
+    }, "a non-negative number");
+  }
+
+  bool flag(const char* key, bool* out) {
+    return read(key, [&](const obs::JsonValue& v) {
+      if (!v.is_bool()) return false;
+      *out = v.as_bool();
+      return true;
+    }, "a boolean");
+  }
+
+  bool string_array(const char* key, std::vector<std::string>* out) {
+    return read(key, [&](const obs::JsonValue& v) {
+      if (!v.is_array()) return false;
+      out->clear();
+      for (const obs::JsonValue& item : v.as_array()) {
+        if (!item.is_string()) return false;
+        out->push_back(item.as_string());
+      }
+      return true;
+    }, "an array of strings");
+  }
+
+  bool number_array(const char* key, std::vector<double>* out) {
+    return read(key, [&](const obs::JsonValue& v) {
+      if (!v.is_array()) return false;
+      out->clear();
+      for (const obs::JsonValue& item : v.as_array()) {
+        if (!item.is_number()) return false;
+        out->push_back(item.as_number());
+      }
+      return true;
+    }, "an array of numbers");
+  }
+
+  /// Marks a key as consumed by caller-side parsing (so reject_unknown
+  /// accepts it).
+  void handled(const char* key) { seen_.push_back(key); }
+
+  /// Fails on any key not consumed by a reader above.
+  bool reject_unknown() {
+    if (failed_) return false;
+    for (const auto& [key, value] : object_.as_object()) {
+      bool known = false;
+      for (const std::string& seen : seen_) {
+        if (seen == key) { known = true; break; }
+      }
+      if (!known) {
+        fail("unknown field \"" + key + "\" in " + context_);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool failed() const { return failed_; }
+
+ private:
+  template <typename Extract>
+  bool read(const char* key, Extract&& extract, const char* expected) {
+    if (failed_) return false;
+    seen_.push_back(key);
+    const obs::JsonValue* member = object_.find(key);
+    if (member == nullptr) return true;  // absent: keep the default
+    if (!extract(*member)) {
+      fail(context_ + "." + key + " must be " + expected);
+      return false;
+    }
+    return true;
+  }
+
+  void fail(std::string message) {
+    failed_ = true;
+    if (error_ != nullptr && error_->empty()) *error_ = std::move(message);
+  }
+
+  const obs::JsonValue& object_;
+  std::string context_;
+  std::string* error_;
+  std::vector<std::string> seen_;
+  bool failed_ = false;
+};
+
+bool parse_flow(const obs::JsonValue& params, FlowParams* out,
+                std::string* error) {
+  Fields f(params, "params", error);
+  f.string("workload", &out->workload);
+  f.string("graph", &out->graph);
+  f.string_array("kernels", &out->kernels);
+  f.string("strategy", &out->strategy);
+  f.number("latency_target", &out->latency_target);
+  f.number("area_weight", &out->area_weight);
+  f.string("lint_level", &out->lint_level);
+  f.flag("optimize_kernels", &out->optimize_kernels);
+  f.flag("validate_with_hls", &out->validate_with_hls);
+  f.flag("cosimulate", &out->cosimulate);
+  f.string("cosim_level", &out->cosim_level);
+  f.u64("cosim_samples", &out->cosim_samples);
+  f.u64("cosim_seed", &out->cosim_seed);
+  return f.reject_unknown();
+}
+
+bool parse_explore(const obs::JsonValue& params, ExploreParams* out,
+                   std::string* error) {
+  Fields f(params, "params", error);
+  f.string("workload", &out->workload);
+  f.string("graph", &out->graph);
+  f.string_array("kernels", &out->kernels);
+  f.string_array("strategies", &out->strategies);
+  f.number_array("latency_targets", &out->latency_targets);
+  f.number("area_weight", &out->area_weight);
+  f.u64("threads", &out->threads);
+  return f.reject_unknown();
+}
+
+bool parse_cosim(const obs::JsonValue& params, CosimParams* out,
+                 std::string* error) {
+  Fields f(params, "params", error);
+  f.string("kernel", &out->kernel);
+  f.string("kernel_text", &out->kernel_text);
+  f.string("level", &out->level);
+  f.u64("samples", &out->samples);
+  f.u64("seed", &out->seed);
+  f.flag("use_irq", &out->use_irq);
+  f.u64("fault_seed", &out->fault_seed);
+  f.handled("faults");
+  if (const obs::JsonValue* faults = params.find("faults")) {
+    if (!faults->is_array()) {
+      if (error->empty()) *error = "params.faults must be an array";
+      return false;
+    }
+    out->faults.clear();
+    for (const obs::JsonValue& item : faults->as_array()) {
+      if (!item.is_object()) {
+        if (error->empty()) *error = "params.faults entries must be objects";
+        return false;
+      }
+      FaultSpecParams spec;
+      Fields sf(item, "params.faults[]", error);
+      sf.string("kind", &spec.kind);
+      sf.number("rate", &spec.rate);
+      sf.u64("param", &spec.param);
+      sf.u64("max_count", &spec.max_count);
+      if (!sf.reject_unknown()) return false;
+      out->faults.push_back(std::move(spec));
+    }
+  }
+  return f.reject_unknown();
+}
+
+bool parse_lint(const obs::JsonValue& params, LintParams* out,
+                std::string* error) {
+  Fields f(params, "params", error);
+  f.string_array("artifacts", &out->artifacts);
+  f.flag("strict", &out->strict);
+  return f.reject_unknown();
+}
+
+}  // namespace
+
+const char* endpoint_name(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kFlow:          return "flow";
+    case Endpoint::kExplore:       return "explore";
+    case Endpoint::kCosim:         return "cosim";
+    case Endpoint::kLint:          return "lint";
+    case Endpoint::kFaultCampaign: return "fault-campaign";
+    case Endpoint::kHealth:        return "health";
+    case Endpoint::kMetrics:       return "metrics";
+  }
+  return "?";
+}
+
+const char* endpoint_path(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kFlow:          return "/v1/flow";
+    case Endpoint::kExplore:       return "/v1/explore";
+    case Endpoint::kCosim:         return "/v1/cosim";
+    case Endpoint::kLint:          return "/v1/lint";
+    case Endpoint::kFaultCampaign: return "/v1/fault-campaign";
+    case Endpoint::kHealth:        return "/v1/health";
+    case Endpoint::kMetrics:       return "/v1/metrics";
+  }
+  return "/";
+}
+
+const char* endpoint_method(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kHealth:
+    case Endpoint::kMetrics:
+      return "GET";
+    default:
+      return "POST";
+  }
+}
+
+std::optional<Endpoint> endpoint_from_name(std::string_view name) {
+  for (const Endpoint endpoint : kAllEndpoints) {
+    if (name == endpoint_name(endpoint)) return endpoint;
+  }
+  return std::nullopt;
+}
+
+std::optional<Endpoint> endpoint_from_path(std::string_view path) {
+  for (const Endpoint endpoint : kAllEndpoints) {
+    if (path == endpoint_path(endpoint)) return endpoint;
+  }
+  return std::nullopt;
+}
+
+std::string Request::json() const {
+  std::ostringstream os;
+  os << "{\"schema_version\":1,\"endpoint\":" << quoted(endpoint_name(endpoint))
+     << ",\"params\":{";
+  switch (endpoint) {
+    case Endpoint::kFlow:
+      os << "\"workload\":" << quoted(flow.workload)
+         << ",\"graph\":" << quoted(flow.graph) << ",\"kernels\":";
+      render_string_array(os, flow.kernels);
+      os << ",\"strategy\":" << quoted(flow.strategy)
+         << ",\"latency_target\":" << num(flow.latency_target)
+         << ",\"area_weight\":" << num(flow.area_weight)
+         << ",\"lint_level\":" << quoted(flow.lint_level)
+         << ",\"optimize_kernels\":" << boolean(flow.optimize_kernels)
+         << ",\"validate_with_hls\":" << boolean(flow.validate_with_hls)
+         << ",\"cosimulate\":" << boolean(flow.cosimulate)
+         << ",\"cosim_level\":" << quoted(flow.cosim_level)
+         << ",\"cosim_samples\":" << num_u64(flow.cosim_samples)
+         << ",\"cosim_seed\":" << num_u64(flow.cosim_seed);
+      break;
+    case Endpoint::kExplore:
+      os << "\"workload\":" << quoted(explore.workload)
+         << ",\"graph\":" << quoted(explore.graph) << ",\"kernels\":";
+      render_string_array(os, explore.kernels);
+      os << ",\"strategies\":";
+      render_string_array(os, explore.strategies);
+      os << ",\"latency_targets\":";
+      render_number_array(os, explore.latency_targets);
+      os << ",\"area_weight\":" << num(explore.area_weight)
+         << ",\"threads\":" << num_u64(explore.threads);
+      break;
+    case Endpoint::kCosim:
+    case Endpoint::kFaultCampaign:
+      os << "\"kernel\":" << quoted(cosim.kernel)
+         << ",\"kernel_text\":" << quoted(cosim.kernel_text)
+         << ",\"level\":" << quoted(cosim.level)
+         << ",\"samples\":" << num_u64(cosim.samples)
+         << ",\"seed\":" << num_u64(cosim.seed)
+         << ",\"use_irq\":" << boolean(cosim.use_irq)
+         << ",\"fault_seed\":" << num_u64(cosim.fault_seed) << ",\"faults\":[";
+      for (std::size_t i = 0; i < cosim.faults.size(); ++i) {
+        const FaultSpecParams& spec = cosim.faults[i];
+        if (i != 0) os << ',';
+        os << "{\"kind\":" << quoted(spec.kind) << ",\"rate\":"
+           << num(spec.rate) << ",\"param\":" << num_u64(spec.param)
+           << ",\"max_count\":" << num_u64(spec.max_count) << "}";
+      }
+      os << ']';
+      break;
+    case Endpoint::kLint:
+      os << "\"artifacts\":";
+      render_string_array(os, lint.artifacts);
+      os << ",\"strict\":" << boolean(lint.strict);
+      break;
+    case Endpoint::kHealth:
+    case Endpoint::kMetrics:
+      break;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::optional<Request> Request::from_json(std::string_view text,
+                                          std::string* error) {
+  std::string local_error;
+  if (error == nullptr) error = &local_error;
+  error->clear();
+
+  obs::JsonError parse_error;
+  const std::optional<obs::JsonValue> doc = obs::json_parse(text, &parse_error);
+  if (!doc) {
+    *error = "invalid JSON: " + parse_error.str();
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    *error = "request must be a JSON object";
+    return std::nullopt;
+  }
+
+  const obs::JsonValue* version = doc->find("schema_version");
+  if (version != nullptr &&
+      (!version->is_number() || version->as_number() != 1.0)) {
+    *error = "unsupported schema_version (expected 1)";
+    return std::nullopt;
+  }
+
+  const obs::JsonValue* name = doc->find("endpoint");
+  if (name == nullptr || !name->is_string()) {
+    *error = "request needs a string \"endpoint\" field";
+    return std::nullopt;
+  }
+  const std::optional<Endpoint> endpoint = endpoint_from_name(name->as_string());
+  if (!endpoint) {
+    *error = "unknown endpoint \"" + name->as_string() + "\"";
+    return std::nullopt;
+  }
+
+  for (const auto& [key, value] : doc->as_object()) {
+    (void)value;
+    if (key != "schema_version" && key != "endpoint" && key != "params") {
+      *error = "unknown field \"" + key + "\" in request";
+      return std::nullopt;
+    }
+  }
+
+  Request request;
+  request.endpoint = *endpoint;
+
+  const obs::JsonValue* params = doc->find("params");
+  static const obs::JsonValue kEmptyObject{obs::JsonValue::Object{}};
+  if (params == nullptr) params = &kEmptyObject;
+  if (!params->is_object()) {
+    *error = "\"params\" must be an object";
+    return std::nullopt;
+  }
+
+  bool ok = true;
+  switch (request.endpoint) {
+    case Endpoint::kFlow:
+      ok = parse_flow(*params, &request.flow, error);
+      break;
+    case Endpoint::kExplore:
+      ok = parse_explore(*params, &request.explore, error);
+      break;
+    case Endpoint::kCosim:
+    case Endpoint::kFaultCampaign:
+      ok = parse_cosim(*params, &request.cosim, error);
+      break;
+    case Endpoint::kLint:
+      ok = parse_lint(*params, &request.lint, error);
+      break;
+    case Endpoint::kHealth:
+    case Endpoint::kMetrics:
+      if (!params->as_object().empty()) {
+        *error = std::string(endpoint_name(request.endpoint)) +
+                 " takes no params";
+        ok = false;
+      }
+      break;
+  }
+  if (!ok) {
+    if (error->empty()) *error = "malformed params";
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::string Response::json() const {
+  std::ostringstream os;
+  os << "{\"schema_version\":1,\"endpoint\":" << quoted(endpoint)
+     << ",\"status\":" << status << ",\"error\":" << quoted(error)
+     << ",\"result\":" << (result_json.empty() ? "null" : result_json) << "}";
+  return os.str();
+}
+
+std::optional<Response> Response::from_json(std::string_view text,
+                                            std::string* error) {
+  std::string local_error;
+  if (error == nullptr) error = &local_error;
+  error->clear();
+
+  obs::JsonError parse_error;
+  const std::optional<obs::JsonValue> doc = obs::json_parse(text, &parse_error);
+  if (!doc) {
+    *error = "invalid JSON: " + parse_error.str();
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    *error = "response must be a JSON object";
+    return std::nullopt;
+  }
+  const obs::JsonValue* status = doc->find("status");
+  const obs::JsonValue* endpoint = doc->find("endpoint");
+  const obs::JsonValue* message = doc->find("error");
+  const obs::JsonValue* result = doc->find("result");
+  if (status == nullptr || !status->is_number() || endpoint == nullptr ||
+      !endpoint->is_string() || message == nullptr || !message->is_string()) {
+    *error = "response needs numeric \"status\" and string "
+             "\"endpoint\"/\"error\" fields";
+    return std::nullopt;
+  }
+  Response response;
+  response.status = static_cast<int>(status->as_number());
+  response.endpoint = endpoint->as_string();
+  response.error = message->as_string();
+  if (result != nullptr && !result->is_null()) {
+    response.result_json = obs::json_render(*result);
+  }
+  return response;
+}
+
+Response Response::failure(int status, std::string endpoint,
+                           std::string message) {
+  Response response;
+  response.status = status;
+  response.endpoint = std::move(endpoint);
+  response.error = std::move(message);
+  return response;
+}
+
+}  // namespace mhs::svc

@@ -1,0 +1,59 @@
+#include "svc/artifact.h"
+
+#include <sstream>
+
+#include "analysis/lint.h"
+#include "analysis/verify.h"
+#include "base/error.h"
+#include "ir/serialize.h"
+
+namespace mhs::svc {
+
+ArtifactKind sniff_artifact(const std::string& text) {
+  std::istringstream in(text);
+  std::string keyword;
+  // Skip comment and blank lines; the first real token decides.
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    if (!(tokens >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "taskgraph") return ArtifactKind::kTaskGraph;
+    if (keyword == "network") return ArtifactKind::kNetwork;
+    if (keyword == "cdfg") return ArtifactKind::kCdfg;
+    return ArtifactKind::kUnknown;
+  }
+  return ArtifactKind::kUnknown;
+}
+
+bool analyze_artifact(const std::string& text, analysis::Diagnostics* diags,
+                      std::string* error) {
+  const ArtifactKind kind = sniff_artifact(text);
+  try {
+    switch (kind) {
+      case ArtifactKind::kTaskGraph:
+        diags->merge(analysis::analyze_task_graph(
+            ir::task_graph_from_text(text, /*validate=*/false)));
+        return true;
+      case ArtifactKind::kNetwork:
+        diags->merge(analysis::analyze_network(
+            ir::process_network_from_text(text, /*validate=*/false)));
+        return true;
+      case ArtifactKind::kCdfg:
+        diags->merge(analysis::analyze_cdfg(ir::cdfg_from_text(text)));
+        return true;
+      case ArtifactKind::kUnknown:
+        if (error != nullptr) {
+          *error =
+              "unrecognized artifact (expected a file starting with "
+              "'taskgraph', 'network', or 'cdfg')";
+        }
+        return false;
+    }
+  } catch (const Error& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  return false;
+}
+
+}  // namespace mhs::svc

@@ -1,0 +1,177 @@
+#include "svc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace mhs::svc {
+namespace {
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool HttpClient::connect(std::string* error) {
+  if (fd_ >= 0) return true;
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return set_error(error, std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    close();
+    return set_error(error, "bad host " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    close();
+    return set_error(error, "connect: " + reason);
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool HttpClient::request(std::string_view method, std::string_view target,
+                         std::string_view body, HttpResult* result,
+                         std::string* error) {
+  if (!connect(error)) return false;
+
+  std::ostringstream os;
+  os << method << " " << target << " HTTP/1.1\r\n"
+     << "Host: " << host_ << "\r\n"
+     << "Content-Type: application/json\r\n"
+     << "Content-Length: " << body.size() << "\r\n\r\n"
+     << body;
+  const std::string message = os.str();
+  std::size_t sent = 0;
+  while (sent < message.size()) {
+    const ssize_t n = send(fd_, message.data() + sent, message.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return set_error(error, "send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  // Read the response: head, then Content-Length body bytes.
+  std::string buffer;
+  std::size_t head_end = std::string::npos;
+  char chunk[4096];
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return set_error(error, "connection closed before response head");
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > 64 * 1024) {
+      close();
+      return set_error(error, "response head too large");
+    }
+  }
+
+  const std::string head = buffer.substr(0, head_end);
+  std::istringstream head_in(head);
+  std::string version;
+  int status = 0;
+  head_in >> version >> status;
+  if (version.rfind("HTTP/", 0) != 0 || status < 100) {
+    close();
+    return set_error(error, "malformed status line");
+  }
+  std::size_t content_length = 0;
+  bool keep_alive = true;
+  std::string line;
+  std::getline(head_in, line);  // rest of the status line
+  while (std::getline(head_in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string name = lower(line.substr(0, colon));
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.erase(value.begin());
+    }
+    if (name == "content-length") {
+      content_length = static_cast<std::size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
+    } else if (name == "connection") {
+      keep_alive = lower(value) != "close";
+    }
+  }
+
+  std::string payload = buffer.substr(head_end + 4);
+  while (payload.size() < content_length) {
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return set_error(error, "connection closed mid-body");
+    }
+    payload.append(chunk, static_cast<std::size_t>(n));
+  }
+  payload.resize(content_length);
+
+  if (result != nullptr) {
+    result->status = status;
+    result->body = std::move(payload);
+    result->keep_alive = keep_alive;
+  }
+  if (!keep_alive) close();
+  return true;
+}
+
+std::optional<HttpResult> http_post(const std::string& host,
+                                    std::uint16_t port,
+                                    std::string_view target,
+                                    std::string_view body,
+                                    std::string* error) {
+  HttpClient client(host, port);
+  HttpResult result;
+  if (!client.request("POST", target, body, &result, error)) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+std::optional<HttpResult> http_get(const std::string& host, std::uint16_t port,
+                                   std::string_view target,
+                                   std::string* error) {
+  HttpClient client(host, port);
+  HttpResult result;
+  if (!client.request("GET", target, "", &result, error)) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+}  // namespace mhs::svc

@@ -1,0 +1,57 @@
+// A small blocking HTTP/1.1 client for loopback use: the test suite and
+// the bench_serve load generator talk to mhs_serve through it. Keep-alive
+// round trips over one connection, Content-Length bodies only — the
+// mirror image of the server's subset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mhs::svc {
+
+/// One HTTP exchange's outcome.
+struct HttpResult {
+  int status = 0;
+  std::string body;
+  bool keep_alive = true;  ///< what the server's Connection header said
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Opens the connection. False with the reason in *error.
+  bool connect(std::string* error);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One blocking round trip (connects lazily if needed). False on any
+  /// transport or parse failure, with the reason in *error; the
+  /// connection is closed on failure and when the server says close.
+  bool request(std::string_view method, std::string_view target,
+               std::string_view body, HttpResult* result, std::string* error);
+
+ private:
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int fd_ = -1;
+};
+
+/// One-shot helpers (connect, exchange, close).
+std::optional<HttpResult> http_post(const std::string& host,
+                                    std::uint16_t port,
+                                    std::string_view target,
+                                    std::string_view body,
+                                    std::string* error = nullptr);
+std::optional<HttpResult> http_get(const std::string& host, std::uint16_t port,
+                                   std::string_view target,
+                                   std::string* error = nullptr);
+
+}  // namespace mhs::svc

@@ -1,0 +1,833 @@
+#include "svc/dispatch.h"
+
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "analysis/lint.h"
+#include "apps/kernels.h"
+#include "apps/workloads.h"
+#include "base/error.h"
+#include "base/rng.h"
+#include "core/explorer.h"
+#include "core/flow.h"
+#include "fault/fault.h"
+#include "hw/hls.h"
+#include "ir/cdfg.h"
+#include "ir/serialize.h"
+#include "obs/obs.h"
+#include "partition/algorithms.h"
+#include "sim/cosim.h"
+#include "svc/artifact.h"
+
+namespace mhs::svc {
+namespace {
+
+// ------------------------------------------------------------ name lookups
+// Reverse lookups over the library's stable name tables. The forward
+// tables (strategy_name, interface_level_name, ...) are the single source
+// of the spellings, so a new enumerator is automatically addressable.
+
+std::optional<partition::Strategy> strategy_from_name(const std::string& name) {
+  for (const partition::Strategy s : partition::kAllStrategies) {
+    if (name == partition::strategy_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::InterfaceLevel> level_from_name(const std::string& name) {
+  for (const sim::InterfaceLevel l : sim::kAllInterfaceLevels) {
+    if (name == sim::interface_level_name(l)) return l;
+  }
+  return std::nullopt;
+}
+
+std::optional<analysis::LintLevel> lint_level_from_name(
+    const std::string& name) {
+  for (const analysis::LintLevel l :
+       {analysis::LintLevel::kOff, analysis::LintLevel::kWarn,
+        analysis::LintLevel::kStrict}) {
+    if (name == analysis::lint_level_name(l)) return l;
+  }
+  return std::nullopt;
+}
+
+std::optional<fault::FaultKind> fault_kind_from_name(const std::string& name) {
+  for (const fault::FaultKind k : fault::kAllFaultKinds) {
+    if (name == fault::fault_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+/// The named in-tree kernels a request may reference without shipping
+/// serialized text (the same builders the examples and benches use).
+std::optional<ir::Cdfg> named_kernel(const std::string& name) {
+  if (name == "fir8") return apps::fir_kernel(8);
+  if (name == "fir16") return apps::fir_kernel(16);
+  if (name == "dct8") return apps::dct8_kernel();
+  if (name == "iir_biquad") return apps::iir_biquad_kernel();
+  if (name == "xtea4") return apps::xtea_kernel(4);
+  if (name == "median5") return apps::median5_kernel();
+  if (name == "checksum8") return apps::checksum_kernel(8);
+  if (name == "sad8") return apps::sad_kernel(8);
+  if (name == "matmul3") return apps::matmul_kernel(3);
+  if (name == "sobel3") return apps::sobel3_kernel();
+  if (name == "quantize8") return apps::quantize_kernel(8);
+  return std::nullopt;
+}
+
+// ----------------------------------------------------------- key hashing
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::string_view text, std::uint64_t h = kFnvOffset) {
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Accumulates the coalescing key: IR content hashes plus a textual
+/// signature of every configuration field. Two requests collide exactly
+/// when they would run identical library work.
+struct KeyBuilder {
+  std::string sig;
+  void text(std::string_view piece) {
+    sig.append(piece);
+    sig.push_back('\x1f');
+  }
+  void hash(std::uint64_t h) { text(std::to_string(h)); }
+  void number(double v) { text(std::to_string(v)); }
+  std::uint64_t finish() const { return fnv1a(sig); }
+};
+
+// ------------------------------------------------------------ JSON pieces
+
+std::string num(double v) { return obs::json_render(obs::JsonValue(v)); }
+std::string num(std::uint64_t v) { return std::to_string(v); }
+std::string num(std::int64_t v) { return std::to_string(v); }
+std::string str(std::string_view s) {
+  return "\"" + obs::json_escape(s) + "\"";
+}
+const char* flag(bool b) { return b ? "true" : "false"; }
+
+std::string diagnostics_json(const analysis::Diagnostics& diags) {
+  std::ostringstream os;
+  os << "{\"errors\":" << num(diags.error_count())
+     << ",\"warnings\":" << num(diags.warn_count())
+     << ",\"notes\":" << num(diags.note_count())
+     << ",\"clean\":" << flag(diags.clean()) << ",\"findings\":" << diags.json()
+     << "}";
+  return os.str();
+}
+
+std::string profile_json(const obs::Profile& profile) {
+  std::ostringstream os;
+  os << "{\"total\":" << num(profile.total())
+     << ",\"sw_execute\":" << num(profile.cycles(obs::Profile::kSwExecute))
+     << ",\"bus\":" << num(profile.cycles(obs::Profile::kBus))
+     << ",\"dma\":" << num(profile.cycles(obs::Profile::kDma))
+     << ",\"peripheral_wait\":"
+     << num(profile.cycles(obs::Profile::kPeripheralWait))
+     << ",\"fault_recovery\":"
+     << num(profile.cycles(obs::Profile::kFaultRecovery))
+     << ",\"idle\":" << num(profile.cycles(obs::Profile::kIdle)) << "}";
+  return os.str();
+}
+
+std::string resilience_json(const fault::ResilienceReport& r) {
+  std::ostringstream os;
+  os << "{\"injected\":" << num(r.injected) << ",\"detected\":" << num(r.detected)
+     << ",\"recovered\":" << num(r.recovered) << ",\"retries\":" << num(r.retries)
+     << ",\"degradations\":" << num(r.degradations)
+     << ",\"recovery_cycles\":" << num(r.recovery_cycles) << ",\"by_kind\":{";
+  for (std::size_t i = 0; i < fault::kNumFaultKinds; ++i) {
+    if (i != 0) os << ",";
+    os << str(fault::fault_kind_name(fault::kAllFaultKinds[i])) << ":"
+       << num(r.injected_by_kind[i]);
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string cosim_json(const sim::CosimReport& r, std::size_t samples) {
+  std::ostringstream os;
+  os << "{\"level\":" << str(sim::interface_level_name(r.level))
+     << ",\"samples\":" << num(samples)
+     << ",\"total_cycles\":" << num(r.total_cycles)
+     << ",\"sim_events\":" << num(r.sim_events)
+     << ",\"sw_instructions\":" << num(r.sw_instructions)
+     << ",\"bus_accesses\":" << num(r.bus_accesses)
+     << ",\"bus_busy_cycles\":" << num(static_cast<std::uint64_t>(r.bus_busy_cycles))
+     << ",\"signal_transitions\":" << num(r.signal_transitions)
+     << ",\"checksum\":" << num(r.checksum)
+     << ",\"hw_activations\":" << num(r.hw_activations)
+     << ",\"profile\":" << profile_json(r.profile)
+     << ",\"resilience\":" << resilience_json(r.resilience) << "}";
+  return os.str();
+}
+
+std::string mapping_json(const partition::Mapping& mapping) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    if (i != 0) os << ",";
+    os << (mapping[i] ? "1" : "0");
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Prepared
+
+/// Everything prepare() derives from a request before evaluation: parsed
+/// IR, resolved enums, the library-level configuration, and the
+/// coalescing key. Building it is cheap relative to evaluation, so it
+/// happens outside the coalescing machinery — malformed requests 400
+/// without ever touching the caches.
+struct Dispatcher::Prepared {
+  Endpoint endpoint = Endpoint::kHealth;
+  std::uint64_t key = 0;
+
+  // flow / explore specification
+  ir::TaskGraph graph;
+  std::vector<ir::Cdfg> kernel_storage;
+  std::vector<const ir::Cdfg*> kernels;
+
+  // flow
+  core::FlowConfig config;
+
+  // explore
+  std::vector<partition::Strategy> strategies;
+  std::vector<partition::Objective> objectives;
+  std::size_t threads = 1;
+
+  // cosim / fault-campaign
+  ir::Cdfg kernel;
+  sim::CosimConfig cosim;
+  std::size_t samples = 8;
+  std::uint64_t sample_seed = 7;
+
+  // lint
+  LintParams lint;
+};
+
+namespace {
+
+/// Resolves a flow/explore specification (named workload or inline
+/// serialized graph + kernels) into `prep`, mixing IR content hashes
+/// into `key`. False + *error on any unresolvable piece.
+bool prepare_spec(const std::string& workload, const std::string& graph_text,
+                  const std::vector<std::string>& kernel_texts,
+                  Dispatcher::Prepared* prep, KeyBuilder* key,
+                  std::string* error) {
+  if (!workload.empty() && !graph_text.empty()) {
+    *error = "set either workload or graph, not both";
+    return false;
+  }
+  if (workload.empty() && graph_text.empty()) {
+    *error = "missing specification: set workload or graph";
+    return false;
+  }
+  if (!workload.empty()) {
+    if (!kernel_texts.empty()) {
+      *error = "kernels cannot be combined with a named workload";
+      return false;
+    }
+    if (workload == "dsp_chain") {
+      apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+      prep->graph = std::move(w.graph);
+      // Vector moves keep element addresses, so w.kernels stays valid.
+      prep->kernel_storage = std::move(w.kernel_storage);
+      prep->kernels = std::move(w.kernels);
+    } else if (workload == "jpeg_pipeline") {
+      prep->graph = apps::jpeg_pipeline_graph();
+      prep->kernels.assign(prep->graph.num_tasks(), nullptr);
+    } else {
+      *error = "unknown workload '" + workload +
+               "' (expected \"dsp_chain\" or \"jpeg_pipeline\")";
+      return false;
+    }
+    key->text("workload");
+    key->text(workload);
+  } else {
+    try {
+      prep->graph = ir::task_graph_from_text(graph_text);
+    } catch (const Error& e) {
+      *error = std::string("graph: ") + e.what();
+      return false;
+    }
+    if (kernel_texts.size() > prep->graph.num_tasks()) {
+      *error = "more kernels (" + std::to_string(kernel_texts.size()) +
+               ") than tasks (" + std::to_string(prep->graph.num_tasks()) + ")";
+      return false;
+    }
+    prep->kernel_storage.reserve(kernel_texts.size());
+    std::vector<std::size_t> slots(prep->graph.num_tasks(), SIZE_MAX);
+    for (std::size_t i = 0; i < kernel_texts.size(); ++i) {
+      const std::string& text = kernel_texts[i];
+      if (text.empty()) continue;
+      if (std::optional<ir::Cdfg> named = named_kernel(text)) {
+        prep->kernel_storage.push_back(std::move(*named));
+      } else {
+        try {
+          prep->kernel_storage.push_back(ir::cdfg_from_text(text));
+        } catch (const Error& e) {
+          *error = "kernels[" + std::to_string(i) + "]: " + e.what();
+          return false;
+        }
+      }
+      slots[i] = prep->kernel_storage.size() - 1;
+    }
+    prep->kernels.assign(prep->graph.num_tasks(), nullptr);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i] != SIZE_MAX) prep->kernels[i] = &prep->kernel_storage[slots[i]];
+    }
+    // Content-keyed: textual differences that parse to the same IR
+    // (comments, whitespace, reordering-free edits) coalesce.
+    key->text("graph");
+    key->hash(fnv1a(ir::to_text(prep->graph)));
+    for (std::size_t i = 0; i < prep->kernels.size(); ++i) {
+      key->hash(prep->kernels[i] == nullptr
+                    ? 0
+                    : ir::content_hash(*prep->kernels[i]));
+    }
+  }
+  return true;
+}
+
+bool prepare_flow(const FlowParams& p, Dispatcher::Prepared* prep,
+                  std::uint64_t max_samples, std::string* error) {
+  KeyBuilder key;
+  key.text("flow");
+  if (!prepare_spec(p.workload, p.graph, p.kernels, prep, &key, error)) {
+    return false;
+  }
+  const std::optional<partition::Strategy> strategy =
+      strategy_from_name(p.strategy);
+  if (!strategy) {
+    *error = "unknown strategy '" + p.strategy + "'";
+    return false;
+  }
+  const std::optional<analysis::LintLevel> lint =
+      lint_level_from_name(p.lint_level);
+  if (!lint) {
+    *error = "unknown lint_level '" + p.lint_level +
+             "' (expected off, warn, or strict)";
+    return false;
+  }
+  const std::optional<sim::InterfaceLevel> level =
+      level_from_name(p.cosim_level);
+  if (!level) {
+    *error = "unknown cosim_level '" + p.cosim_level + "'";
+    return false;
+  }
+  if (p.cosim_samples > max_samples) {
+    *error = "cosim_samples exceeds the per-request limit of " +
+             std::to_string(max_samples);
+    return false;
+  }
+  prep->config = core::FlowConfig::defaults()
+                     .with_strategy(*strategy)
+                     .with_latency_target(p.latency_target)
+                     .with_area_weight(p.area_weight)
+                     .with_lint_level(*lint);
+  prep->config.optimize_kernels = p.optimize_kernels;
+  prep->config.validate_with_hls = p.validate_with_hls;
+  prep->config.cosimulate = p.cosimulate;
+  prep->config.cosim_level = *level;
+  prep->config.cosim_samples = static_cast<std::size_t>(p.cosim_samples);
+  prep->config.cosim_seed = p.cosim_seed;
+  key.text(p.strategy);
+  key.number(p.latency_target);
+  key.number(p.area_weight);
+  key.text(p.lint_level);
+  key.text(p.optimize_kernels ? "opt" : "noopt");
+  key.text(p.validate_with_hls ? "hls" : "nohls");
+  key.text(p.cosimulate ? p.cosim_level : "nocosim");
+  key.hash(p.cosim_samples);
+  key.hash(p.cosim_seed);
+  prep->key = key.finish();
+  return true;
+}
+
+bool prepare_explore(const ExploreParams& p, Dispatcher::Prepared* prep,
+                     std::string* error) {
+  KeyBuilder key;
+  key.text("explore");
+  if (!prepare_spec(p.workload, p.graph, p.kernels, prep, &key, error)) {
+    return false;
+  }
+  if (p.strategies.empty()) {
+    prep->strategies.assign(std::begin(partition::kSearchStrategies),
+                            std::end(partition::kSearchStrategies));
+    key.text("search");
+  } else {
+    for (const std::string& name : p.strategies) {
+      const std::optional<partition::Strategy> s = strategy_from_name(name);
+      if (!s) {
+        *error = "unknown strategy '" + name + "'";
+        return false;
+      }
+      prep->strategies.push_back(*s);
+      key.text(name);
+    }
+  }
+  if (p.latency_targets.empty()) {
+    *error = "latency_targets must not be empty";
+    return false;
+  }
+  if (p.latency_targets.size() > 64) {
+    *error = "latency_targets exceeds the per-request limit of 64";
+    return false;
+  }
+  for (const double target : p.latency_targets) {
+    partition::Objective objective;
+    objective.latency_target = target;
+    objective.area_weight = p.area_weight;
+    prep->objectives.push_back(objective);
+    key.number(target);
+  }
+  key.number(p.area_weight);
+  prep->threads = static_cast<std::size_t>(p.threads);
+  // Deliberately NOT keyed: results are bit-identical at any thread
+  // count, so requests differing only in threads coalesce.
+  prep->key = key.finish();
+  return true;
+}
+
+bool prepare_cosim(const CosimParams& p, bool campaign,
+                   Dispatcher::Prepared* prep, std::uint64_t max_samples,
+                   std::string* error) {
+  KeyBuilder key;
+  key.text(campaign ? "fault-campaign" : "cosim");
+  if (p.kernel.empty() == p.kernel_text.empty()) {
+    *error = "set exactly one of kernel (a named kernel) or kernel_text";
+    return false;
+  }
+  if (!p.kernel.empty()) {
+    std::optional<ir::Cdfg> named = named_kernel(p.kernel);
+    if (!named) {
+      *error = "unknown kernel '" + p.kernel + "'";
+      return false;
+    }
+    prep->kernel = std::move(*named);
+  } else {
+    try {
+      prep->kernel = ir::cdfg_from_text(p.kernel_text);
+    } catch (const Error& e) {
+      *error = std::string("kernel_text: ") + e.what();
+      return false;
+    }
+  }
+  key.hash(ir::content_hash(prep->kernel));
+  const std::optional<sim::InterfaceLevel> level = level_from_name(p.level);
+  if (!level) {
+    *error = "unknown level '" + p.level + "'";
+    return false;
+  }
+  if (p.samples == 0 || p.samples > max_samples) {
+    *error = "samples must be in 1.." + std::to_string(max_samples);
+    return false;
+  }
+  prep->cosim.level = *level;
+  prep->cosim.use_irq = p.use_irq;
+  prep->samples = static_cast<std::size_t>(p.samples);
+  prep->sample_seed = p.seed;
+  key.text(p.level);
+  key.hash(p.samples);
+  key.hash(p.seed);
+  key.text(p.use_irq ? "irq" : "poll");
+  if (campaign) {
+    if (p.faults.empty()) {
+      *error = "fault-campaign requires at least one fault spec";
+      return false;
+    }
+    for (const FaultSpecParams& spec : p.faults) {
+      const std::optional<fault::FaultKind> kind =
+          fault_kind_from_name(spec.kind);
+      if (!kind) {
+        *error = "unknown fault kind '" + spec.kind + "'";
+        return false;
+      }
+      if (spec.rate < 0.0 || spec.rate > 1.0) {
+        *error = "fault rate must be in [0, 1]";
+        return false;
+      }
+      fault::FaultSpec fs;
+      fs.kind = *kind;
+      fs.rate = spec.rate;
+      fs.param = spec.param;
+      fs.max_count = spec.max_count;
+      prep->cosim.fault_plan.add(fs);
+      key.text(spec.kind);
+      key.number(spec.rate);
+      key.hash(spec.param);
+      key.hash(spec.max_count);
+    }
+    prep->cosim.fault_seed = p.fault_seed;
+    key.hash(p.fault_seed);
+  } else if (!p.faults.empty()) {
+    *error = "faults are only accepted by /v1/fault-campaign";
+    return false;
+  }
+  prep->key = key.finish();
+  return true;
+}
+
+bool prepare_lint(const LintParams& p, Dispatcher::Prepared* prep,
+                  std::string* error) {
+  if (p.artifacts.empty()) {
+    *error = "artifacts must not be empty";
+    return false;
+  }
+  if (p.artifacts.size() > 256) {
+    *error = "artifacts exceeds the per-request limit of 256";
+    return false;
+  }
+  KeyBuilder key;
+  key.text("lint");
+  key.text(p.strict ? "strict" : "lenient");
+  for (const std::string& text : p.artifacts) key.hash(fnv1a(text));
+  prep->lint = p;
+  prep->key = key.finish();
+  return true;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- Dispatcher
+
+Dispatcher::Dispatcher(Options options)
+    : options_(options), results_(options.cache_shards) {}
+
+DispatchStats Dispatcher::stats() const {
+  DispatchStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.evaluations = evaluations_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string Dispatcher::metrics_json() const {
+  const DispatchStats s = stats();
+  std::ostringstream os;
+  os << "{\"svc\":{\"requests\":" << num(s.requests)
+     << ",\"evaluations\":" << num(s.evaluations)
+     << ",\"coalesced\":" << num(s.coalesced)
+     << ",\"cache_hits\":" << num(s.cache_hits)
+     << ",\"errors\":" << num(s.errors)
+     << ",\"result_cache_size\":" << num(results_.size()) << "}";
+  os << ",\"counters\":[";
+  obs::Summary summary;
+  if (obs::Registry* r = obs::registry()) summary = r->summary();
+  for (std::size_t i = 0; i < summary.counters.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "{\"name\":" << str(summary.counters[i].name)
+       << ",\"value\":" << num(summary.counters[i].value) << "}";
+  }
+  os << "],\"histograms\":[";
+  for (std::size_t i = 0; i < summary.hists.size(); ++i) {
+    const obs::HistStat& h = summary.hists[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":" << str(h.name) << ",\"count\":" << num(h.count)
+       << ",\"sum\":" << num(h.sum) << ",\"min\":" << num(h.min)
+       << ",\"max\":" << num(h.max) << ",\"p50\":" << num(h.p50)
+       << ",\"p90\":" << num(h.p90) << ",\"p99\":" << num(h.p99) << "}";
+  }
+  os << "],\"gauges\":[";
+  for (std::size_t i = 0; i < summary.gauges.size(); ++i) {
+    const obs::GaugeStat& g = summary.gauges[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":" << str(g.name) << ",\"value\":" << num(g.value)
+       << ",\"min\":" << num(g.min) << ",\"max\":" << num(g.max)
+       << ",\"updates\":" << num(g.updates) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Response Dispatcher::evaluate(const Prepared& prep) {
+  Response resp;
+  resp.endpoint = endpoint_name(prep.endpoint);
+  try {
+    switch (prep.endpoint) {
+      case Endpoint::kFlow: {
+        const core::FlowReport report =
+            core::run_codesign_flow(prep.graph, prep.kernels, prep.config);
+        const partition::PartitionResult& part = report.design.partition;
+        std::ostringstream os;
+        os << "{\"strategy\":" << str(part.algorithm)
+           << ",\"tasks\":" << num(report.annotated.num_tasks())
+           << ",\"tasks_in_hw\":" << num(part.metrics.tasks_in_hw)
+           << ",\"mapping\":" << mapping_json(part.mapping)
+           << ",\"latency_cycles\":" << num(part.metrics.latency_cycles)
+           << ",\"hw_area\":" << num(part.metrics.hw_area)
+           << ",\"sw_code_bytes\":" << num(part.metrics.sw_code_bytes)
+           << ",\"cross_comm_cycles\":" << num(part.metrics.cross_comm_cycles)
+           << ",\"energy\":" << num(part.metrics.energy)
+           << ",\"evaluations\":" << num(part.evaluations)
+           << ",\"all_sw_latency\":" << num(report.design.all_sw_latency)
+           << ",\"speedup\":" << num(report.design.speedup())
+           << ",\"validated_hw_area\":" << num(report.validated_hw_area)
+           << ",\"area_estimate_ratio\":" << num(report.area_estimate_ratio)
+           << ",\"diagnostics\":"
+           << diagnostics_json(report.report.diagnostics) << ",\"cosim\":";
+        if (report.cosim.has_value()) {
+          os << cosim_json(*report.cosim, prep.config.cosim_samples);
+        } else {
+          os << "null";
+        }
+        os << "}";
+        resp.result_json = os.str();
+        return resp;
+      }
+      case Endpoint::kExplore: {
+        core::Explorer::Options options;
+        options.num_threads = prep.threads;
+        core::Explorer explorer(prep.graph, prep.kernels, options);
+        const core::ExploreReport report = explorer.sweep(
+            {core::FlowConfig::defaults().without_cosim()}, prep.strategies,
+            prep.objectives);
+        std::ostringstream os;
+        os << "{\"points\":[";
+        for (std::size_t i = 0; i < report.points.size(); ++i) {
+          const core::PointResult& point = report.points[i];
+          // cross_product order is objective-major over strategies.
+          const std::size_t objective_index =
+              (point.index / prep.strategies.size()) % prep.objectives.size();
+          if (i != 0) os << ",";
+          os << "{\"index\":" << num(point.index) << ",\"strategy\":"
+             << str(partition::strategy_name(point.strategy))
+             << ",\"latency_target\":"
+             << num(prep.objectives[objective_index].latency_target);
+          if (!point.error.empty()) {
+            os << ",\"error\":" << str(point.error) << "}";
+            continue;
+          }
+          os << ",\"error\":\"\""
+             << ",\"latency_cycles\":" << num(point.partition.metrics.latency_cycles)
+             << ",\"hw_area\":" << num(point.partition.metrics.hw_area)
+             << ",\"tasks_in_hw\":" << num(point.partition.metrics.tasks_in_hw)
+             << ",\"evaluations\":" << num(point.partition.evaluations)
+             << ",\"all_sw_latency\":" << num(point.all_sw_latency)
+             << ",\"speedup\":" << num(point.speedup)
+             << ",\"on_frontier\":" << flag(point.on_frontier) << "}";
+        }
+        os << "],\"frontier\":[";
+        for (std::size_t i = 0; i < report.frontier.size(); ++i) {
+          if (i != 0) os << ",";
+          os << num(report.frontier[i]);
+        }
+        os << "]}";
+        resp.result_json = os.str();
+        return resp;
+      }
+      case Endpoint::kCosim:
+      case Endpoint::kFaultCampaign: {
+        // Gate before HLS: a structurally broken kernel must be a 400,
+        // not a synthesizer crash.
+        const analysis::Diagnostics diags = analysis::analyze_cdfg(prep.kernel);
+        if (diags.has_errors()) {
+          Response failure = Response::failure(
+              400, resp.endpoint, "kernel failed verification: " + diags.str());
+          return failure;
+        }
+        hw::HlsConstraints constraints;
+        constraints.goal = hw::HlsGoal::kMinArea;
+        // The result's Schedule keeps a pointer to the library, so it
+        // must outlive the co-simulation below — never a temporary.
+        const hw::ComponentLibrary library = hw::default_library();
+        const hw::HlsResult impl =
+            hw::synthesize(prep.kernel, library, constraints);
+        // The same sample recipe as core::flow's cosim phase, so a
+        // service run reproduces a library run exactly.
+        Rng rng(prep.sample_seed);
+        std::vector<std::vector<std::int64_t>> samples;
+        samples.reserve(prep.samples);
+        for (std::size_t s = 0; s < prep.samples; ++s) {
+          std::vector<std::int64_t> in;
+          for (std::size_t k = 0; k < prep.kernel.inputs().size(); ++k) {
+            in.push_back(rng.uniform_int(-128, 127));
+          }
+          samples.push_back(std::move(in));
+        }
+        const sim::CosimReport report =
+            sim::run_cosim(impl, prep.cosim, samples);
+        resp.result_json = cosim_json(report, prep.samples);
+        return resp;
+      }
+      case Endpoint::kLint: {
+        analysis::Diagnostics diags;
+        for (std::size_t i = 0; i < prep.lint.artifacts.size(); ++i) {
+          std::string artifact_error;
+          if (!analyze_artifact(prep.lint.artifacts[i], &diags,
+                                &artifact_error)) {
+            return Response::failure(
+                400, resp.endpoint,
+                "artifacts[" + std::to_string(i) + "]: " + artifact_error);
+          }
+        }
+        // The exit-code policy of mhs_lint: errors always fail; in
+        // strict mode warnings fail too.
+        int exit_code = 0;
+        if (diags.has_errors()) {
+          exit_code = 1;
+        } else if (prep.lint.strict && !diags.clean()) {
+          exit_code = 1;
+        }
+        std::ostringstream os;
+        os << "{\"artifacts\":" << num(prep.lint.artifacts.size())
+           << ",\"strict\":" << flag(prep.lint.strict)
+           << ",\"exit_code\":" << exit_code
+           << ",\"errors\":" << num(diags.error_count())
+           << ",\"warnings\":" << num(diags.warn_count())
+           << ",\"notes\":" << num(diags.note_count())
+           << ",\"clean\":" << flag(diags.clean())
+           << ",\"findings\":" << diags.json() << "}";
+        resp.result_json = os.str();
+        return resp;
+      }
+      case Endpoint::kHealth: {
+        std::ostringstream os;
+        os << "{\"status\":\"ok\",\"service\":\"mhs_serve\",\"schema_version\""
+              ":1,\"endpoints\":[";
+        bool first = true;
+        for (const Endpoint e : kAllEndpoints) {
+          if (!first) os << ",";
+          first = false;
+          os << str(endpoint_path(e));
+        }
+        os << "]}";
+        resp.result_json = os.str();
+        return resp;
+      }
+      case Endpoint::kMetrics:
+        resp.result_json = metrics_json();
+        return resp;
+    }
+    return Response::failure(500, resp.endpoint, "unhandled endpoint");
+  } catch (const analysis::VerifyFailure& e) {
+    return Response::failure(400, resp.endpoint, e.what());
+  } catch (const Error& e) {
+    return Response::failure(400, resp.endpoint, e.what());
+  } catch (const std::exception& e) {
+    return Response::failure(500, resp.endpoint, e.what());
+  }
+}
+
+Response Dispatcher::handle(const Request& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("svc.requests");
+
+  // kHealth and kMetrics bypass the caches: they are cheap and their
+  // answers change between calls.
+  if (request.endpoint == Endpoint::kHealth ||
+      request.endpoint == Endpoint::kMetrics) {
+    Prepared prep;
+    prep.endpoint = request.endpoint;
+    return evaluate(prep);
+  }
+
+  Prepared prep;
+  prep.endpoint = request.endpoint;
+  std::string error;
+  bool prepared = false;
+  switch (request.endpoint) {
+    case Endpoint::kFlow:
+      prepared = prepare_flow(request.flow, &prep, options_.max_samples, &error);
+      break;
+    case Endpoint::kExplore:
+      prepared = prepare_explore(request.explore, &prep, &error);
+      break;
+    case Endpoint::kCosim:
+      prepared = prepare_cosim(request.cosim, /*campaign=*/false, &prep,
+                               options_.max_samples, &error);
+      break;
+    case Endpoint::kFaultCampaign:
+      prepared = prepare_cosim(request.cosim, /*campaign=*/true, &prep,
+                               options_.max_samples, &error);
+      break;
+    case Endpoint::kLint:
+      prepared = prepare_lint(request.lint, &prep, &error);
+      break;
+    case Endpoint::kHealth:
+    case Endpoint::kMetrics:
+      break;
+  }
+  if (!prepared) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.errors");
+    return Response::failure(400, endpoint_name(request.endpoint),
+                             std::move(error));
+  }
+
+  std::shared_ptr<const Response> cached;
+  if (options_.result_cache && results_.lookup(prep.key, &cached)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.cache.hits");
+    return *cached;
+  }
+
+  // Coalesce: the first arrival of a key evaluates; concurrent
+  // duplicates wait on the leader's InFlight and share its result.
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto [it, inserted] =
+        in_flight_.try_emplace(prep.key, std::make_shared<InFlight>());
+    flight = it->second;
+    leader = inserted;
+  }
+  if (!leader) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.coalesced");
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    flight->cv.wait(lock, [&flight] { return flight->done; });
+    if (!flight->result->ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *flight->result;
+  }
+
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("svc.evaluations");
+  auto shared = std::make_shared<const Response>(evaluate(prep));
+  // Only successes are cached: a failed evaluation should be retryable.
+  if (shared->ok() && options_.result_cache) {
+    results_.get_or_compute(prep.key, [&shared] { return shared; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    flight->result = shared;
+    flight->done = true;
+    in_flight_.erase(prep.key);
+  }
+  flight->cv.notify_all();
+  if (!shared->ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("svc.errors");
+  }
+  return *shared;
+}
+
+Dispatcher& default_dispatcher() {
+  static Dispatcher dispatcher;
+  return dispatcher;
+}
+
+Response run(const Request& request) {
+  return default_dispatcher().handle(request);
+}
+
+}  // namespace mhs::svc

@@ -1,0 +1,101 @@
+// The service dispatcher: one object that maps every svc::Request onto
+// the library entry points (core::run_codesign_flow, core::Explorer,
+// sim::run_cosim, mhs::analysis, mhs::fault) and owns the service-side
+// memoization:
+//
+//   * a result cache (ConcurrentCache — the same machinery as the
+//     partition EvalCache) keyed by ir::content_hash of the request's IR
+//     inputs combined with a signature of its configuration, so a
+//     repeated request is answered without re-evaluating;
+//   * in-flight coalescing on the same key: when N identical requests
+//     arrive concurrently, one evaluates and the other N-1 wait for the
+//     shared result — the stats prove it (evaluations counts unique
+//     work, coalesced counts the riders).
+//
+// Responses are deterministic (no wall times), so a cached or coalesced
+// response is byte-identical to a fresh evaluation. handle() is
+// thread-safe and never throws: library failures surface as status
+// 400/500 responses.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "base/concurrent_cache.h"
+#include "svc/api.h"
+
+namespace mhs::svc {
+
+/// Counters of one Dispatcher's lifetime (monotonic; also mirrored to
+/// the installed obs registry as svc.* counters).
+struct DispatchStats {
+  std::uint64_t requests = 0;     ///< handle() calls
+  std::uint64_t evaluations = 0;  ///< requests that ran the library
+  std::uint64_t coalesced = 0;    ///< requests that rode an in-flight twin
+  std::uint64_t cache_hits = 0;   ///< requests answered from the result cache
+  std::uint64_t errors = 0;       ///< non-200 responses
+};
+
+class Dispatcher {
+ public:
+  struct Options {
+    /// Shards of the result cache.
+    std::size_t cache_shards = 16;
+    /// Cache successful responses across requests (in-flight coalescing
+    /// happens regardless). Off only for cache-measurement tests.
+    bool result_cache = true;
+    /// Upper bound on per-request co-simulation samples (request cost
+    /// guard; larger asks are a 400).
+    std::uint64_t max_samples = 4096;
+  };
+
+  Dispatcher() : Dispatcher(Options{}) {}
+  explicit Dispatcher(Options options);
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Serves one request. Thread-safe; never throws.
+  Response handle(const Request& request);
+
+  DispatchStats stats() const;
+
+  /// A request resolved to library-level inputs plus its coalescing key
+  /// (defined in dispatch.cpp; public so the free prepare_* helpers can
+  /// build it).
+  struct Prepared;
+
+  /// The /v1/metrics result object: dispatcher stats plus the installed
+  /// obs registry's counters/histograms/gauges (empty arrays when
+  /// tracing is disabled).
+  std::string metrics_json() const;
+
+ private:
+  struct InFlight {
+    bool done = false;
+    std::shared_ptr<const Response> result;
+    std::condition_variable cv;
+  };
+
+  Response evaluate(const Prepared& prepared);
+
+  Options options_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> evaluations_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  ConcurrentCache<std::uint64_t, std::shared_ptr<const Response>> results_;
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> in_flight_;
+};
+
+/// The process-wide dispatcher behind svc::run().
+Dispatcher& default_dispatcher();
+
+}  // namespace mhs::svc

@@ -1,0 +1,188 @@
+#include "svc/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace mhs::svc {
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool is_token(std::string_view text) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (c <= ' ' || c >= 127) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string* connection = header("connection");
+  const std::string token = connection ? to_lower(*connection) : "";
+  if (version == "HTTP/1.1") return token != "close";
+  return token == "keep-alive";
+}
+
+bool HttpParser::fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  return false;
+}
+
+bool HttpParser::parse_head(std::size_t head_end) {
+  std::string_view head(buffer_.data(), head_end);
+  const std::size_t line_end = head.find("\r\n");
+  std::string_view request_line = head.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return fail(400, "malformed request line");
+  }
+  request_.method = std::string(request_line.substr(0, sp1));
+  request_.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.version = std::string(request_line.substr(sp2 + 1));
+  if (!is_token(request_.method) || !is_token(request_.target)) {
+    return fail(400, "malformed request line");
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    return fail(400, "unsupported HTTP version");
+  }
+
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(400, "malformed header line");
+    }
+    const std::string name = to_lower(trim(line.substr(0, colon)));
+    if (!is_token(name)) return fail(400, "malformed header name");
+    request_.headers.emplace_back(name,
+                                  std::string(trim(line.substr(colon + 1))));
+  }
+
+  if (request_.header("transfer-encoding") != nullptr) {
+    return fail(501, "chunked transfer encoding not supported");
+  }
+  body_needed_ = 0;
+  if (const std::string* length = request_.header("content-length")) {
+    if (length->empty() ||
+        !std::all_of(length->begin(), length->end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        }) ||
+        length->size() > 12) {
+      return fail(400, "malformed content-length");
+    }
+    body_needed_ = static_cast<std::size_t>(std::stoull(*length));
+    if (body_needed_ > limits_.max_body_bytes) {
+      return fail(413, "body exceeds the size limit");
+    }
+  }
+
+  // Drop the head; what remains in the buffer is body (and pipelined
+  // follow-on bytes).
+  buffer_.erase(0, head_end + 4);
+  state_ = State::kBody;
+  return true;
+}
+
+bool HttpParser::step() {
+  if (state_ == State::kError) return false;
+  if (state_ == State::kHead) {
+    const std::size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return fail(413, "request head exceeds the size limit");
+      }
+      return true;  // need more bytes
+    }
+    if (head_end > limits_.max_head_bytes) {
+      return fail(413, "request head exceeds the size limit");
+    }
+    if (!parse_head(head_end)) return false;
+  }
+  if (state_ == State::kBody) {
+    if (buffer_.size() < body_needed_) return true;  // need more bytes
+    request_.body = buffer_.substr(0, body_needed_);
+    buffer_.erase(0, body_needed_);
+    state_ = State::kDone;
+  }
+  return true;
+}
+
+bool HttpParser::consume(std::string_view data) {
+  if (state_ == State::kError) return false;
+  buffer_.append(data);
+  if (state_ == State::kDone) return true;  // pipelined bytes buffered
+  return step();
+}
+
+void HttpParser::reset() {
+  request_ = HttpRequest{};
+  body_needed_ = 0;
+  state_ = State::kHead;
+  error_status_ = 0;
+  error_reason_.clear();
+  step();
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+std::string http_response(int status, std::string_view body, bool keep_alive,
+                          std::string_view content_type) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << " " << http_status_reason(status) << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n"
+     << "\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace mhs::svc

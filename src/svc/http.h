@@ -1,0 +1,92 @@
+// A minimal HTTP/1.1 message layer for the mhs_serve daemon and its
+// loopback clients: an incremental request parser fed by the event loop
+// (bytes in, complete requests out, hard head/body limits as the outer
+// trust boundary in front of the JSON parser), and a response formatter.
+//
+// Deliberately small: Content-Length bodies only (chunked transfer is a
+// 501), no multipart, no compression — the service speaks JSON documents
+// over keep-alive connections and nothing else.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mhs::svc {
+
+/// One parsed request.
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ...
+  std::string target;   ///< request path, e.g. "/v1/flow"
+  std::string version;  ///< "HTTP/1.1"
+  /// Headers in arrival order, names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of a header (lowercase name), or nullptr.
+  const std::string* header(std::string_view name) const;
+  /// HTTP/1.1 keep-alive semantics: persistent unless
+  /// "connection: close" (HTTP/1.0 clients are always closed).
+  bool keep_alive() const;
+};
+
+/// Incremental request parser. Feed arbitrary byte chunks with
+/// consume(); when done() turns true, request() holds one complete
+/// message and reset() re-arms the parser for the next request on the
+/// same connection. A malformed or over-limit message parks the parser
+/// in the error state with the HTTP status to answer (400 bad syntax,
+/// 413 over a size limit, 501 chunked encoding).
+class HttpParser {
+ public:
+  struct Limits {
+    std::size_t max_head_bytes = 16 * 1024;
+    std::size_t max_body_bytes = 8 * 1024 * 1024;
+  };
+
+  HttpParser() = default;
+  explicit HttpParser(Limits limits) : limits_(limits) {}
+
+  /// Feeds bytes. Returns false iff the parser entered the error state
+  /// (error_status()/error_reason() describe the failure). Bytes beyond
+  /// one complete message are retained for the next request.
+  bool consume(std::string_view data);
+
+  bool done() const { return state_ == State::kDone; }
+  bool failed() const { return state_ == State::kError; }
+  /// The HTTP status to answer a failed parse with.
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// The parsed message (valid while done()).
+  const HttpRequest& request() const { return request_; }
+
+  /// Re-arms for the next message on a keep-alive connection, consuming
+  /// any already-buffered pipelined bytes.
+  void reset();
+
+ private:
+  enum class State { kHead, kBody, kDone, kError };
+
+  bool fail(int status, std::string reason);
+  bool parse_head(std::size_t head_end);
+  bool step();  ///< advances on the current buffer; false in error state
+
+  Limits limits_;
+  State state_ = State::kHead;
+  std::string buffer_;
+  std::size_t body_needed_ = 0;
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+/// Standard reason phrase ("OK", "Bad Request", ...).
+const char* http_status_reason(int status);
+
+/// Formats one response with a Content-Length body.
+std::string http_response(int status, std::string_view body, bool keep_alive,
+                          std::string_view content_type = "application/json");
+
+}  // namespace mhs::svc

@@ -1,0 +1,397 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mhs::svc {
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Best-effort blocking send of a whole buffer (used only for the tiny
+/// 503 answer to an over-limit connection).
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_read_ >= 0) ::close(wake_read_);
+    if (wake_write_ >= 0) ::close(wake_write_);
+    listen_fd_ = wake_read_ = wake_write_ = -1;
+    return false;
+  };
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + config_.host + ")");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (listen(listen_fd_, 64) != 0) return fail("listen");
+  if (!set_nonblocking(listen_fd_)) return fail("fcntl(listen)");
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) return fail("pipe");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  set_nonblocking(wake_read_);
+  set_nonblocking(wake_write_);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker(); });
+  }
+  loop_thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.clear();
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  for (auto& [fd, session] : sessions_) ::close(fd);
+  sessions_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+  listen_fd_ = wake_read_ = wake_write_ = -1;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.conn_rejected = conn_rejected_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.overloaded = overloaded_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::wake() {
+  if (wake_write_ < 0) return;
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n =
+      write(wake_write_, &byte, 1);  // EAGAIN is fine: a wakeup is pending
+}
+
+void Server::worker() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const Response response = handler_(job.request);
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      completions_.push_back({job.fd, job.generation, response.status,
+                              response.json(), job.keep_alive});
+    }
+    wake();
+  }
+}
+
+void Server::respond(int fd, Session& session, int status,
+                     const std::string& body, bool keep_alive) {
+  (void)fd;
+  session.outbox += http_response(status, body, keep_alive);
+  session.close_after = session.close_after || !keep_alive;
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::route(int fd, Session& session) {
+  // Serve one request per connection at a time; further pipelined
+  // requests stay buffered until the response is out.
+  while (!session.busy && session.parser.done()) {
+    const HttpRequest& http = session.parser.request();
+    const bool keep_alive = http.keep_alive();
+
+    const std::optional<Endpoint> endpoint = endpoint_from_path(http.target);
+    if (!endpoint) {
+      respond(fd, session, 404,
+              Response::failure(404, "", "unknown path " + http.target).json(),
+              keep_alive);
+      session.parser.reset();
+      continue;
+    }
+    if (http.method != endpoint_method(*endpoint)) {
+      respond(fd, session, 405,
+              Response::failure(405, endpoint_name(*endpoint),
+                                std::string("use ") +
+                                    endpoint_method(*endpoint) + " " +
+                                    endpoint_path(*endpoint))
+                  .json(),
+              keep_alive);
+      session.parser.reset();
+      continue;
+    }
+
+    Request request;
+    if (http.method == "GET") {
+      request.endpoint = *endpoint;
+    } else {
+      std::string parse_error;
+      std::optional<Request> parsed =
+          Request::from_json(http.body, &parse_error);
+      if (!parsed) {
+        respond(fd, session, 400,
+                Response::failure(400, endpoint_name(*endpoint), parse_error)
+                    .json(),
+                keep_alive);
+        session.parser.reset();
+        continue;
+      }
+      if (parsed->endpoint != *endpoint) {
+        respond(fd, session, 400,
+                Response::failure(
+                    400, endpoint_name(*endpoint),
+                    std::string("body endpoint '") +
+                        endpoint_name(parsed->endpoint) +
+                        "' does not match " + http.target)
+                    .json(),
+                keep_alive);
+        session.parser.reset();
+        continue;
+      }
+      request = std::move(*parsed);
+    }
+    session.parser.reset();
+
+    if (replay()) {
+      const Response response = handler_(request);
+      respond(fd, session, response.status, response.json(), keep_alive);
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.size() >= config_.max_queue) {
+        overloaded_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, session, 503,
+                Response::failure(503, endpoint_name(*endpoint),
+                                  "server overloaded (queue full)")
+                    .json(),
+                keep_alive);
+        continue;
+      }
+      queue_.push_back({fd, session.generation, std::move(request), keep_alive});
+    }
+    session.busy = true;
+    queue_cv_.notify_one();
+  }
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: try again on poll
+    if (sessions_.size() >= config_.max_connections) {
+      conn_rejected_.fetch_add(1, std::memory_order_relaxed);
+      send_all(fd, http_response(
+                       503,
+                       Response::failure(503, "",
+                                         "connection limit reached")
+                           .json(),
+                       /*keep_alive=*/false));
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session = std::make_unique<Session>();
+    session->parser = HttpParser(config_.limits);
+    session->generation = next_generation_++;
+    sessions_.emplace(fd, std::move(session));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::read_ready(int fd, Session& session, std::vector<int>& dead) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!session.parser.consume(std::string_view(buf, static_cast<std::size_t>(n)))) {
+        parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(fd, session, session.parser.error_status(),
+                Response::failure(session.parser.error_status(), "",
+                                  session.parser.error_reason())
+                    .json(),
+                /*keep_alive=*/false);
+        flush(fd, session, dead);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      if (session.outbox.size() == session.out_pos && !session.busy) {
+        dead.push_back(fd);
+      } else {
+        session.close_after = true;
+      }
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    dead.push_back(fd);
+    return;
+  }
+  route(fd, session);
+  flush(fd, session, dead);
+}
+
+void Server::flush(int fd, Session& session, std::vector<int>& dead) {
+  while (session.out_pos < session.outbox.size()) {
+    const ssize_t n = send(fd, session.outbox.data() + session.out_pos,
+                           session.outbox.size() - session.out_pos,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      session.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    dead.push_back(fd);
+    return;
+  }
+  session.outbox.clear();
+  session.out_pos = 0;
+  if (session.close_after && !session.busy) dead.push_back(fd);
+}
+
+void Server::write_ready(int fd, Session& session, std::vector<int>& dead) {
+  flush(fd, session, dead);
+}
+
+void Server::drain_completions(std::vector<int>& dead) {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    done.swap(completions_);
+  }
+  for (Completion& c : done) {
+    const auto it = sessions_.find(c.fd);
+    if (it == sessions_.end() || it->second->generation != c.generation) {
+      continue;  // the connection died while the request was in flight
+    }
+    Session& session = *it->second;
+    session.busy = false;
+    respond(c.fd, session, c.status, c.body, c.keep_alive);
+    // The response frees the session for the next pipelined request.
+    route(c.fd, session);
+    flush(c.fd, session, dead);
+  }
+}
+
+void Server::loop() {
+  std::vector<pollfd> fds;
+  std::vector<int> dead;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_read_, POLLIN, 0});
+    for (const auto& [fd, session] : sessions_) {
+      short events = 0;
+      // While busy, stop reading: TCP backpressure is the flow control.
+      if (!session->busy) events |= POLLIN;
+      if (session->out_pos < session->outbox.size()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+    }
+    if (poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      char buf[64];
+      while (read(wake_read_, buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    dead.clear();
+    drain_completions(dead);
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      const auto it = sessions_.find(fd);
+      if (it == sessions_.end()) continue;
+      Session& session = *it->second;
+      if ((fds[i].revents & (POLLERR | POLLNVAL)) != 0) {
+        dead.push_back(fd);
+        continue;
+      }
+      if ((fds[i].revents & POLLOUT) != 0) write_ready(fd, session, dead);
+      if ((fds[i].revents & (POLLIN | POLLHUP)) != 0) {
+        read_ready(fd, session, dead);
+      }
+    }
+    if ((fds[0].revents & POLLIN) != 0) accept_ready();
+
+    for (const int fd : dead) {
+      const auto it = sessions_.find(fd);
+      if (it == sessions_.end()) continue;
+      sessions_.erase(it);
+      ::close(fd);
+    }
+  }
+}
+
+}  // namespace mhs::svc

@@ -1,0 +1,159 @@
+// The mhs_serve event loop: a poll()-based HTTP/1.1 server that speaks
+// the svc::Request/Response schema.
+//
+// Architecture (one of the classic event-driven service shapes): a
+// single event-loop thread owns every socket and all session state; a
+// small worker pool evaluates requests (the expensive part — flows,
+// sweeps, co-simulations) off the loop; finished responses come back
+// through a completion queue and a self-pipe wakeup. Admission control
+// is explicit and layered:
+//
+//   * connection limit — an accept beyond max_connections is answered
+//     503 and closed immediately;
+//   * bounded work queue — a request arriving while max_queue requests
+//     await a worker is answered 503 without being queued;
+//   * per-session serialization — one request in flight per connection
+//     (HTTP/1.1 semantics); pipelined requests are buffered and served
+//     in order.
+//
+// Replay mode (workers = 0) evaluates every request inline on the loop
+// thread in arrival order — fully deterministic, the configuration the
+// parity and replay tests use.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/api.h"
+#include "svc/http.h"
+
+namespace mhs::svc {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (the bound port is reported by port()).
+  std::uint16_t port = 0;
+  /// Concurrent connections admitted; the next accept is a 503.
+  std::size_t max_connections = 64;
+  /// Requests allowed to wait for a worker; beyond this, 503.
+  std::size_t max_queue = 128;
+  /// Worker threads. 0 = deterministic replay mode: requests are
+  /// evaluated inline on the event loop in arrival order.
+  std::size_t workers = 4;
+  HttpParser::Limits limits;
+};
+
+/// Monotonic counters of one server's lifetime.
+struct ServerStats {
+  std::uint64_t accepted = 0;        ///< connections admitted
+  std::uint64_t conn_rejected = 0;   ///< connections 503'd at the limit
+  std::uint64_t served = 0;          ///< responses written (any status)
+  std::uint64_t overloaded = 0;      ///< requests 503'd at the queue bound
+  std::uint64_t parse_errors = 0;    ///< HTTP-level 400/413/501 answers
+};
+
+class Server {
+ public:
+  /// What evaluates a routed request — normally Dispatcher::handle
+  /// bound to a dispatcher, but any callable (tests install blocking
+  /// handlers to pin the queue full).
+  using Handler = std::function<Response(const Request&)>;
+
+  Server(ServerConfig config, Handler handler);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the loop (and workers). False with the
+  /// reason in *error when the socket setup fails.
+  bool start(std::string* error);
+
+  /// Stops the loop and workers and closes every connection. Safe to
+  /// call twice; also called by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (after start(); resolves port 0 to the real one).
+  std::uint16_t port() const { return port_; }
+  const ServerConfig& config() const { return config_; }
+  bool replay() const { return config_.workers == 0; }
+
+  ServerStats stats() const;
+
+ private:
+  struct Session {
+    HttpParser parser;
+    std::uint64_t generation = 0;
+    std::string outbox;       ///< unwritten response bytes
+    std::size_t out_pos = 0;  ///< written prefix of outbox
+    bool busy = false;        ///< a request from this session is in flight
+    bool close_after = false; ///< close once the outbox drains
+  };
+  struct Job {
+    int fd = -1;
+    std::uint64_t generation = 0;
+    Request request;
+    bool keep_alive = true;
+  };
+  struct Completion {
+    int fd = -1;
+    std::uint64_t generation = 0;
+    int status = 200;
+    std::string body;
+    bool keep_alive = true;
+  };
+
+  void loop();
+  void worker();
+  void wake();
+  void accept_ready();
+  void read_ready(int fd, Session& session, std::vector<int>& dead);
+  void write_ready(int fd, Session& session, std::vector<int>& dead);
+  /// Routes the session's parsed request: immediate error responses are
+  /// queued on the outbox; work is dispatched inline (replay) or to the
+  /// worker pool.
+  void route(int fd, Session& session);
+  void respond(int fd, Session& session, int status, const std::string& body,
+               bool keep_alive);
+  void drain_completions(std::vector<int>& dead);
+  void flush(int fd, Session& session, std::vector<int>& dead);
+
+  ServerConfig config_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  std::unordered_map<int, std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_generation_ = 1;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+
+  std::mutex completion_mutex_;
+  std::vector<Completion> completions_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> conn_rejected_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+};
+
+}  // namespace mhs::svc

@@ -157,8 +157,12 @@ TEST(PartitionRun, DispatcherMatchesWrappers) {
 
   const partition::PartitionResult via_run =
       partition::run(partition::Strategy::kHotSpot, model, obj);
+  // Parity coverage of the deprecated wrapper spelling on purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const partition::PartitionResult via_wrapper =
       partition::partition_hot_spot(model, obj);
+#pragma GCC diagnostic pop
   EXPECT_EQ(via_run.algorithm, "hot_spot");
   EXPECT_EQ(via_run.mapping, via_wrapper.mapping);
   EXPECT_EQ(via_run.metrics.energy, via_wrapper.metrics.energy);

@@ -5,7 +5,7 @@
 #include "apps/workloads.h"
 #include "core/advisor.h"
 #include "core/flow.h"
-#include "cosynth/mixed.h"
+#include "cosynth/run.h"
 
 namespace mhs {
 namespace {
@@ -21,11 +21,21 @@ struct MixedFixture : public ::testing::Test {
   ir::TaskGraph annotated;
   sw::CpuModel base = sw::reference_cpu();
   hw::ComponentLibrary lib = hw::default_library();
+
+  /// Joint synthesis through the one sanctioned entry point.
+  cosynth::MixedDesign mixed_at(double budget) const {
+    cosynth::Request request;
+    request.graph = &annotated;
+    request.kernels = &workload.kernels;
+    request.cpu = base;
+    request.library = lib;
+    request.area_budget = budget;
+    return *cosynth::run(cosynth::Target::kMixed, request).mixed;
+  }
 };
 
 TEST_F(MixedFixture, ZeroBudgetIsAllSoftwareBaseCpu) {
-  const cosynth::MixedDesign d = cosynth::synthesize_mixed(
-      annotated, workload.kernels, base, lib, 0.0);
+  const cosynth::MixedDesign d = mixed_at(0.0);
   EXPECT_TRUE(d.features.empty());
   for (const bool b : d.mapping) EXPECT_FALSE(b);
   EXPECT_DOUBLE_EQ(d.total_area(), 0.0);
@@ -34,8 +44,7 @@ TEST_F(MixedFixture, ZeroBudgetIsAllSoftwareBaseCpu) {
 
 TEST_F(MixedFixture, RespectsSiliconBudget) {
   for (const double budget : {500.0, 1500.0, 4000.0, 9000.0}) {
-    const cosynth::MixedDesign d = cosynth::synthesize_mixed(
-        annotated, workload.kernels, base, lib, budget);
+    const cosynth::MixedDesign d = mixed_at(budget);
     EXPECT_LE(d.total_area(), budget + 1e-6) << "budget " << budget;
   }
 }
@@ -43,8 +52,7 @@ TEST_F(MixedFixture, RespectsSiliconBudget) {
 TEST_F(MixedFixture, LatencyMonotoneInBudget) {
   double prev = 1e18;
   for (const double budget : {0.0, 1000.0, 2500.0, 4000.0, 8000.0}) {
-    const cosynth::MixedDesign d = cosynth::synthesize_mixed(
-        annotated, workload.kernels, base, lib, budget);
+    const cosynth::MixedDesign d = mixed_at(budget);
     EXPECT_LE(d.latency(), prev + 1e-6) << "budget " << budget;
     prev = d.latency();
   }
@@ -52,8 +60,7 @@ TEST_F(MixedFixture, LatencyMonotoneInBudget) {
 
 TEST_F(MixedFixture, JointNeverWorseThanPureStrategies) {
   for (const double budget : {600.0, 2500.0, 4100.0, 8000.0}) {
-    const cosynth::MixedDesign mixed = cosynth::synthesize_mixed(
-        annotated, workload.kernels, base, lib, budget);
+    const cosynth::MixedDesign mixed = mixed_at(budget);
     const cosynth::MixedDesign p1 = cosynth::synthesize_pure_type1(
         annotated, workload.kernels, base, lib, budget);
     const cosynth::MixedDesign p2 = cosynth::synthesize_pure_type2(
@@ -67,8 +74,7 @@ TEST_F(MixedFixture, SynergyExistsAtIntermediateBudget) {
   // At ~4100 area units the joint design buys ISA features AND offloads,
   // beating both pure strategies strictly (the E13 crossover).
   const double budget = 4100.0;
-  const cosynth::MixedDesign mixed = cosynth::synthesize_mixed(
-      annotated, workload.kernels, base, lib, budget);
+  const cosynth::MixedDesign mixed = mixed_at(budget);
   const cosynth::MixedDesign p1 = cosynth::synthesize_pure_type1(
       annotated, workload.kernels, base, lib, budget);
   const cosynth::MixedDesign p2 = cosynth::synthesize_pure_type2(

@@ -17,7 +17,7 @@
 #include "base/thread_pool.h"
 #include "core/explorer.h"
 #include "core/flow.h"
-#include "cosynth/interface_synth.h"
+#include "cosynth/run.h"
 #include "fault/fault.h"
 #include "sim/cosim.h"
 #include "sim/dma.h"
@@ -969,8 +969,13 @@ TEST(FaultFlow, InterfaceSynthesisScoresDriversUnderInjection) {
   reqs.fault_plan.add(fault::FaultSpec::peripheral_stall(0.4, 60));
   reqs.fault_seed = 21;
   cosynth::AddressMapAllocator allocator;
+  cosynth::Request request;
+  request.impl = &impl;
+  request.interface_reqs = reqs;
+  request.samples = &samples;
+  request.allocator = &allocator;
   const cosynth::InterfaceDesign design =
-      cosynth::synthesize_interface(impl, reqs, samples, allocator);
+      *cosynth::run(cosynth::Target::kInterface, request).iface;
   ASSERT_EQ(design.candidates.size(), 2u);
   for (const cosynth::DriverCandidate& cand : design.candidates) {
     EXPECT_GT(cand.report.resilience.injected, 0u);

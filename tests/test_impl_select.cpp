@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/kernels.h"
-#include "cosynth/impl_select.h"
+#include "cosynth/run.h"
 
 namespace mhs::cosynth {
 namespace {
@@ -20,16 +20,26 @@ ImplMenu toy_menu(const char* name, double weight,
   return menu;
 }
 
+/// Selection through the one sanctioned entry point (menus carry no IR,
+/// so run() adds nothing beyond the dispatch).
+ImplSelection run_select(const std::vector<ImplMenu>& menus,
+                         double area_budget) {
+  Request request;
+  request.menus = menus;
+  request.area_budget = area_budget;
+  return *run(Target::kImplSelect, request).impl_select;
+}
+
 TEST(ImplSelect, PicksFastestWithinBudget) {
   // One task, three variants: (area, cycles) = (10,100),(50,40),(200,10).
   const std::vector<ImplMenu> menus = {
       toy_menu("t", 1.0, {{10, 100}, {50, 40}, {200, 10}})};
-  const ImplSelection loose = select_implementations(menus, 1000.0);
+  const ImplSelection loose = run_select(menus, 1000.0);
   ASSERT_TRUE(loose.feasible);
   EXPECT_DOUBLE_EQ(loose.total_weighted_cycles, 10.0);
-  const ImplSelection mid = select_implementations(menus, 60.0);
+  const ImplSelection mid = run_select(menus, 60.0);
   EXPECT_DOUBLE_EQ(mid.total_weighted_cycles, 40.0);
-  const ImplSelection tight = select_implementations(menus, 15.0);
+  const ImplSelection tight = run_select(menus, 15.0);
   EXPECT_DOUBLE_EQ(tight.total_weighted_cycles, 100.0);
 }
 
@@ -37,8 +47,8 @@ TEST(ImplSelect, InfeasibleWhenNothingFits) {
   const std::vector<ImplMenu> menus = {
       toy_menu("t", 1.0, {{10, 100}}),
       toy_menu("u", 1.0, {{10, 100}})};
-  EXPECT_FALSE(select_implementations(menus, 15.0).feasible);
-  EXPECT_TRUE(select_implementations(menus, 20.0).feasible);
+  EXPECT_FALSE(run_select(menus, 15.0).feasible);
+  EXPECT_TRUE(run_select(menus, 20.0).feasible);
 }
 
 TEST(ImplSelect, ExactOverInteractingBudget) {
@@ -47,7 +57,7 @@ TEST(ImplSelect, ExactOverInteractingBudget) {
   const std::vector<ImplMenu> menus = {
       toy_menu("a", 1.0, {{10, 100}, {55, 50}, {100, 45}}),
       toy_menu("b", 1.0, {{10, 100}, {55, 50}, {100, 45}})};
-  const ImplSelection s = select_implementations(menus, 110.0);
+  const ImplSelection s = run_select(menus, 110.0);
   ASSERT_TRUE(s.feasible);
   // Greedy fast-first would take (100,45) + forced (10,100) = 145.
   // Optimal: (55,50) + (55,50) = 100.
@@ -61,7 +71,7 @@ TEST(ImplSelect, WeightsSteerTheBudget) {
   const std::vector<ImplMenu> menus = {
       toy_menu("hot", 100.0, {{10, 100}, {200, 10}}),
       toy_menu("cold", 1.0, {{10, 100}, {200, 10}})};
-  const ImplSelection s = select_implementations(menus, 250.0);
+  const ImplSelection s = run_select(menus, 250.0);
   ASSERT_TRUE(s.feasible);
   EXPECT_EQ(menus[0].variants[s.chosen[0]].area, 200.0);
   EXPECT_EQ(menus[1].variants[s.chosen[1]].area, 10.0);
@@ -100,7 +110,7 @@ TEST(ImplSelect, EndToEndBudgetSweepMonotone) {
   menus.push_back(build_impl_menu(apps::checksum_kernel(4), lib, 32, 1.0));
   double prev = 1e300;
   for (const double budget : {2000.0, 5000.0, 12000.0, 40000.0}) {
-    const ImplSelection s = select_implementations(menus, budget);
+    const ImplSelection s = run_select(menus, budget);
     ASSERT_TRUE(s.feasible) << budget;
     EXPECT_LE(s.total_area, budget + 1e-9);
     EXPECT_LE(s.total_weighted_cycles, prev + 1e-9) << budget;

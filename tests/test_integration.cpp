@@ -8,9 +8,9 @@
 #include "base/rng.h"
 #include "base/stats.h"
 #include "core/flow.h"
-#include "cosynth/interface_synth.h"
 #include "cosynth/mtcoproc.h"
 #include "cosynth/multiproc.h"
+#include "cosynth/run.h"
 #include "ir/task_graph_gen.h"
 #include "opt/pareto.h"
 #include "partition/algorithms.h"
@@ -74,9 +74,12 @@ TEST(Integration, EmbeddedStackRunsSynthesizedDriverAtPinLevel) {
   }
 
   cosynth::AddressMapAllocator alloc;
-  cosynth::InterfaceRequirements reqs;
+  cosynth::Request ireq;
+  ireq.impl = &impl;
+  ireq.samples = &samples;
+  ireq.allocator = &alloc;
   const cosynth::InterfaceDesign iface =
-      cosynth::synthesize_interface(impl, reqs, samples, alloc);
+      *cosynth::run(cosynth::Target::kInterface, ireq).iface;
   EXPECT_EQ(iface.candidates.size(), 2u);
 
   // Cross-check the selected configuration at the pin level too.
@@ -217,9 +220,10 @@ TEST(Integration, TypeIiTradeoffSpaceRicherThanTypeI) {
     budgeted.area_budget = budget;
     budgeted.area_weight = 0.01;
     budgeted.latency_target = all_sw_latency * 0.3;
-    const partition::PartitionResult r =
-        budget == 0.0 ? partition::partition_all_sw(model, budgeted)
-                      : partition::partition_kl(model, budgeted);
+    const partition::PartitionResult r = partition::run(
+        budget == 0.0 ? partition::Strategy::kAllSw
+                      : partition::Strategy::kKl,
+        model, budgeted);
     type2.push_back(
         {ref_cost + r.metrics.hw_area, r.metrics.latency_cycles,
          type2.size()});

@@ -582,6 +582,42 @@ TEST(ObsJson, EscapesAndNestedArrays) {
   EXPECT_EQ(k->as_array()[2].as_string(), "s");
 }
 
+TEST(ObsJson, DepthGuardRejectsRunawayNesting) {
+  // The parser serves untrusted request bodies (svc::Request wire JSON),
+  // so recursion is capped at kJsonMaxDepth: anything deeper is a parse
+  // error naming the limit, not a stack overflow.
+  const auto nested = [](int depth, char open, char close) {
+    std::string s(static_cast<std::size_t>(depth), open);
+    s += "1";
+    s.append(static_cast<std::size_t>(depth), close);
+    return s;
+  };
+
+  EXPECT_TRUE(json_is_valid(nested(kJsonMaxDepth - 1, '[', ']')));
+  EXPECT_TRUE(json_is_valid(nested(kJsonMaxDepth, '[', ']')));
+
+  JsonError error;
+  EXPECT_FALSE(json_parse(nested(kJsonMaxDepth + 1, '[', ']'), &error));
+  EXPECT_NE(error.message.find("nesting"), std::string::npos);
+  EXPECT_NE(error.message.find(std::to_string(kJsonMaxDepth)),
+            std::string::npos);
+
+  // Objects burn the same depth budget as arrays.
+  std::string object = "1";
+  for (int i = 0; i < kJsonMaxDepth + 1; ++i) {
+    object = "{\"k\":" + object + "}";
+  }
+  error = JsonError{};
+  EXPECT_FALSE(json_parse(object, &error));
+  EXPECT_NE(error.message.find("nesting"), std::string::npos);
+
+  // Well under the limit, mixed nesting parses and renders back.
+  const std::string mixed = nested(200, '[', ']');
+  const std::optional<JsonValue> v = json_parse(mixed);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(json_render(*v), mixed);
+}
+
 // -- Cycle-attribution profiles.
 
 TEST(ObsProfile, FinalizeDerivesIdleAndHoldsExactSum) {

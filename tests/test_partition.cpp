@@ -115,8 +115,8 @@ TEST(Algorithms, BaselinesAreExtremes) {
   const ir::TaskGraph g = apps::jpeg_pipeline_graph();
   const CostModel model = make_model(g);
   Objective obj;
-  const PartitionResult sw = partition_all_sw(model, obj);
-  const PartitionResult hw = partition_all_hw(model, obj);
+  const PartitionResult sw = run(Strategy::kAllSw, model, obj);
+  const PartitionResult hw = run(Strategy::kAllHw, model, obj);
   EXPECT_EQ(sw.metrics.tasks_in_hw, 0u);
   EXPECT_EQ(hw.metrics.tasks_in_hw, g.num_tasks());
   EXPECT_LT(hw.metrics.latency_cycles, sw.metrics.latency_cycles);
@@ -128,9 +128,9 @@ TEST(Algorithms, HotSpotMeetsTargetWithPartialHw) {
   const CostModel model = make_model(g);
   Objective obj;
   const double all_sw =
-      partition_all_sw(model, obj).metrics.latency_cycles;
+      run(Strategy::kAllSw, model, obj).metrics.latency_cycles;
   obj.latency_target = all_sw * 0.5;
-  const PartitionResult r = partition_hot_spot(model, obj);
+  const PartitionResult r = run(Strategy::kHotSpot, model, obj);
   EXPECT_LE(r.metrics.latency_cycles, obj.latency_target);
   EXPECT_GT(r.metrics.tasks_in_hw, 0u);
   EXPECT_LT(r.metrics.tasks_in_hw, g.num_tasks());
@@ -141,10 +141,10 @@ TEST(Algorithms, UnloadKeepsTargetWhileCuttingArea) {
   const CostModel model = make_model(g);
   Objective obj;
   const double all_sw =
-      partition_all_sw(model, obj).metrics.latency_cycles;
+      run(Strategy::kAllSw, model, obj).metrics.latency_cycles;
   obj.latency_target = all_sw * 0.5;
-  const PartitionResult all_hw = partition_all_hw(model, obj);
-  const PartitionResult r = partition_unload(model, obj);
+  const PartitionResult all_hw = run(Strategy::kAllHw, model, obj);
+  const PartitionResult r = run(Strategy::kUnload, model, obj);
   EXPECT_LE(r.metrics.latency_cycles, obj.latency_target);
   EXPECT_LT(r.metrics.hw_area, all_hw.metrics.hw_area);
 }
@@ -153,8 +153,8 @@ TEST(Algorithms, HotSpotRequiresTarget) {
   const ir::TaskGraph g = apps::jpeg_pipeline_graph();
   const CostModel model = make_model(g);
   Objective no_target;
-  EXPECT_THROW(partition_hot_spot(model, no_target), PreconditionError);
-  EXPECT_THROW(partition_unload(model, no_target), PreconditionError);
+  EXPECT_THROW(run(Strategy::kHotSpot, model, no_target), PreconditionError);
+  EXPECT_THROW(run(Strategy::kUnload, model, no_target), PreconditionError);
 }
 
 TEST(Algorithms, KlImprovesOnAllSwEnergy) {
@@ -162,8 +162,8 @@ TEST(Algorithms, KlImprovesOnAllSwEnergy) {
   const CostModel model = make_model(g);
   Objective obj;
   obj.area_weight = 0.02;
-  const double sw_energy = partition_all_sw(model, obj).metrics.energy;
-  const PartitionResult r = partition_kl(model, obj);
+  const double sw_energy = run(Strategy::kAllSw, model, obj).metrics.energy;
+  const PartitionResult r = run(Strategy::kKl, model, obj);
   EXPECT_LE(r.metrics.energy, sw_energy);
   EXPECT_GT(r.evaluations, g.num_tasks());
 }
@@ -179,9 +179,12 @@ TEST(Algorithms, AnnealedFindsLowEnergyPartition) {
   opt::AnnealConfig anneal_cfg;
   anneal_cfg.rounds = 60;
   anneal_cfg.moves_per_round = 48;
-  const PartitionResult sa = partition_annealed(model, obj, anneal_cfg);
-  const double sw_energy = partition_all_sw(model, obj).metrics.energy;
-  const double hw_energy = partition_all_hw(model, obj).metrics.energy;
+  PartitionOptions sa_options;
+  sa_options.anneal = anneal_cfg;
+  const PartitionResult sa =
+      run(Strategy::kAnnealed, model, obj, sa_options);
+  const double sw_energy = run(Strategy::kAllSw, model, obj).metrics.energy;
+  const double hw_energy = run(Strategy::kAllHw, model, obj).metrics.energy;
   EXPECT_LE(sa.metrics.energy, std::min(sw_energy, hw_energy) + 1e-9);
 }
 
@@ -192,8 +195,8 @@ TEST(Algorithms, GclpRespondsToTargetPressure) {
   loose.latency_target = g.total_sw_cycles() * 2.0;  // easily met
   Objective tight;
   tight.latency_target = g.total_sw_cycles() * 0.25;
-  const PartitionResult relaxed = partition_gclp(model, loose);
-  const PartitionResult pressed = partition_gclp(model, tight);
+  const PartitionResult relaxed = run(Strategy::kGclp, model, loose);
+  const PartitionResult pressed = run(Strategy::kGclp, model, tight);
   EXPECT_GE(pressed.metrics.tasks_in_hw, relaxed.metrics.tasks_in_hw);
   EXPECT_LE(pressed.metrics.latency_cycles,
             relaxed.metrics.latency_cycles);
@@ -208,9 +211,9 @@ TEST(Algorithms, MappingSizesAlwaysMatchGraph) {
   Objective obj;
   obj.latency_target = g.total_sw_cycles() * 0.6;
   for (const PartitionResult& r :
-       {partition_all_sw(model, obj), partition_all_hw(model, obj),
-        partition_hot_spot(model, obj), partition_unload(model, obj),
-        partition_kl(model, obj), partition_gclp(model, obj)}) {
+       {run(Strategy::kAllSw, model, obj), run(Strategy::kAllHw, model, obj),
+        run(Strategy::kHotSpot, model, obj), run(Strategy::kUnload, model, obj),
+        run(Strategy::kKl, model, obj), run(Strategy::kGclp, model, obj)}) {
     EXPECT_EQ(r.mapping.size(), g.num_tasks()) << r.algorithm;
     // Metrics were computed from the returned mapping.
     EXPECT_EQ(model.evaluate(r.mapping, obj).energy, r.metrics.energy)
@@ -234,8 +237,8 @@ TEST(Ablation, CommBlindObjectiveYieldsWorseTrueLatency) {
   Objective blind = full;
   blind.consider_communication = false;
 
-  const PartitionResult with_comm = partition_kl(model, full);
-  const PartitionResult no_comm = partition_kl(model, blind);
+  const PartitionResult with_comm = run(Strategy::kKl, model, full);
+  const PartitionResult no_comm = run(Strategy::kKl, model, blind);
   // Score both under the FULL model.
   const Metrics m_with = model.evaluate(with_comm.mapping, full);
   const Metrics m_blind = model.evaluate(no_comm.mapping, full);

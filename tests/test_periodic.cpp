@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "base/rng.h"
-#include "cosynth/periodic.h"
+#include "cosynth/run.h"
 #include "ir/task_graph_gen.h"
 
 namespace mhs::cosynth {
@@ -72,10 +72,22 @@ ir::TaskGraph periodic_graph(std::uint64_t seed, std::size_t n) {
   return g;
 }
 
+/// Synthesis through the one sanctioned entry point. The gate stays off:
+/// these tests exercise the synthesizer's own preconditions (e.g. the
+/// missing-period throw below), not the request gate.
+MpDesign run_periodic(const ir::TaskGraph& g,
+                      const std::vector<PeType>& catalog) {
+  Request request;
+  request.graph = &g;
+  request.catalog = catalog;
+  request.lint_level = analysis::LintLevel::kOff;
+  return *run(Target::kMultiprocPeriodic, request).multiproc;
+}
+
 TEST(Periodic, SynthesisProducesRmSchedulableDesign) {
   const ir::TaskGraph g = periodic_graph(3, 10);
   const auto catalog = default_pe_catalog();
-  const MpDesign design = synthesize_periodic(g, catalog);
+  const MpDesign design = run_periodic(g, catalog);
   ASSERT_TRUE(design.feasible);
   const PeriodicAnalysis analysis = analyze_periodic(g, catalog, design);
   EXPECT_TRUE(analysis.rm_schedulable);
@@ -96,8 +108,8 @@ TEST(Periodic, HigherLoadBuysMoreOrFasterPes) {
   for (const ir::TaskId t : heavy.task_ids()) {
     heavy.task(t).period = light.task(t).period / 4.0;  // 4x the load
   }
-  const MpDesign d_light = synthesize_periodic(light, catalog);
-  const MpDesign d_heavy = synthesize_periodic(heavy, catalog);
+  const MpDesign d_light = run_periodic(light, catalog);
+  const MpDesign d_heavy = run_periodic(heavy, catalog);
   ASSERT_TRUE(d_light.feasible);
   ASSERT_TRUE(d_heavy.feasible);
   EXPECT_GT(d_heavy.cost, d_light.cost);
@@ -108,8 +120,7 @@ TEST(Periodic, SynthesisRequiresPeriods) {
   ir::TaskGraphGenConfig cfg;
   cfg.num_tasks = 4;
   const ir::TaskGraph g = ir::generate_task_graph(cfg, rng);  // no periods
-  EXPECT_THROW(synthesize_periodic(g, default_pe_catalog()),
-               PreconditionError);
+  EXPECT_THROW(run_periodic(g, default_pe_catalog()), PreconditionError);
 }
 
 }  // namespace

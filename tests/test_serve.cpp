@@ -1,0 +1,632 @@
+// Tests for mhs::svc — the unified service request API behind mhs_serve:
+// wire-schema round trips, endpoint-vs-library bit-identical parity,
+// request coalescing and result caching (proven via dispatcher
+// counters), admission control (connection limit and queue bound 503s),
+// and malformed-request 400s, over real loopback sockets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/kernels.h"
+#include "apps/workloads.h"
+#include "base/rng.h"
+#include "core/flow.h"
+#include "hw/hls.h"
+#include "obs/json.h"
+#include "sim/cosim.h"
+#include "svc/api.h"
+#include "svc/client.h"
+#include "svc/dispatch.h"
+#include "svc/server.h"
+
+namespace mhs::svc {
+namespace {
+
+std::string fixture(const std::string& name) {
+  std::ifstream in(std::string(MHS_FIXTURE_DIR) + "/" + name,
+                   std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// The number `path` resolves to inside a result_json document
+/// ("a.b.c" descends objects).
+double result_number(const Response& response, const std::string& path) {
+  const std::optional<obs::JsonValue> doc =
+      obs::json_parse(response.result_json);
+  EXPECT_TRUE(doc.has_value()) << response.result_json;
+  const obs::JsonValue* v = &*doc;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t dot = path.find('.', start);
+    const std::string key = path.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    v = v->find(key);
+    EXPECT_NE(v, nullptr) << path;
+    if (v == nullptr) return 0.0;
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  EXPECT_TRUE(v->is_number()) << path;
+  return v->as_number();
+}
+
+// ------------------------------------------------------------ wire schema
+
+TEST(ServeApi, EndpointTablesAreConsistent) {
+  for (const Endpoint e : kAllEndpoints) {
+    EXPECT_EQ(endpoint_from_name(endpoint_name(e)), e);
+    EXPECT_EQ(endpoint_from_path(endpoint_path(e)), e);
+    const std::string method = endpoint_method(e);
+    if (e == Endpoint::kHealth || e == Endpoint::kMetrics) {
+      EXPECT_EQ(method, "GET");
+    } else {
+      EXPECT_EQ(method, "POST");
+    }
+  }
+  EXPECT_FALSE(endpoint_from_name("teapot").has_value());
+  EXPECT_FALSE(endpoint_from_path("/v1/teapot").has_value());
+}
+
+TEST(ServeApi, RequestJsonRoundTripsByteIdentical) {
+  std::vector<Request> requests;
+
+  Request flow;
+  flow.endpoint = Endpoint::kFlow;
+  flow.flow.workload = "dsp_chain";
+  flow.flow.strategy = "annealed";
+  flow.flow.latency_target = 1234.5;
+  flow.flow.lint_level = "strict";
+  flow.flow.cosimulate = true;
+  flow.flow.cosim_samples = 4;
+  requests.push_back(flow);
+
+  Request explore;
+  explore.endpoint = Endpoint::kExplore;
+  explore.explore.workload = "jpeg_pipeline";
+  explore.explore.strategies = {"kl", "gclp"};
+  explore.explore.latency_targets = {0.0, 5000.0};
+  explore.explore.threads = 3;
+  requests.push_back(explore);
+
+  Request cosim;
+  cosim.endpoint = Endpoint::kCosim;
+  cosim.cosim.kernel = "fir8";
+  cosim.cosim.level = "pin";
+  cosim.cosim.samples = 3;
+  cosim.cosim.use_irq = true;
+  requests.push_back(cosim);
+
+  Request lint;
+  lint.endpoint = Endpoint::kLint;
+  lint.lint.artifacts = {"cdfg \"x\"\n", "taskgraph \"y\"\n"};
+  lint.lint.strict = true;
+  requests.push_back(lint);
+
+  Request campaign;
+  campaign.endpoint = Endpoint::kFaultCampaign;
+  campaign.cosim.kernel = "dct8";
+  campaign.cosim.faults.push_back({"bus_bit_flip", 0.25, 5, 100});
+  campaign.cosim.faults.push_back({"dma_drop", 0.1, 0, UINT64_MAX});
+  campaign.cosim.fault_seed = 99;
+  requests.push_back(campaign);
+
+  Request health;
+  health.endpoint = Endpoint::kHealth;
+  requests.push_back(health);
+
+  for (const Request& request : requests) {
+    const std::string wire = request.json();
+    EXPECT_TRUE(obs::json_is_valid(wire)) << wire;
+    std::string error;
+    const std::optional<Request> parsed = Request::from_json(wire, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->json(), wire);  // byte-identical round trip
+  }
+}
+
+TEST(ServeApi, ResponseJsonRoundTripsByteIdentical) {
+  Response ok;
+  ok.status = 200;
+  ok.endpoint = "cosim";
+  ok.result_json = "{\"checksum\":-12,\"total_cycles\":466,\"x\":1.5}";
+  const Response bad = Response::failure(400, "flow", "graph: truncated");
+
+  for (const Response& response : {ok, bad}) {
+    const std::string wire = response.json();
+    EXPECT_TRUE(obs::json_is_valid(wire)) << wire;
+    std::string error;
+    const std::optional<Response> parsed = Response::from_json(wire, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->json(), wire);
+    EXPECT_EQ(parsed->status, response.status);
+    EXPECT_EQ(parsed->error, response.error);
+  }
+}
+
+TEST(ServeApi, MalformedRequestBodiesAreRejected) {
+  std::string error;
+  EXPECT_FALSE(Request::from_json("not json", &error).has_value());
+  EXPECT_NE(error.find("invalid JSON"), std::string::npos);
+
+  EXPECT_FALSE(
+      Request::from_json(
+          "{\"schema_version\":1,\"endpoint\":\"teapot\",\"params\":{}}",
+          &error)
+          .has_value());
+  EXPECT_NE(error.find("endpoint"), std::string::npos);
+
+  // Unknown params keys are errors, not silently dropped.
+  EXPECT_FALSE(
+      Request::from_json("{\"schema_version\":1,\"endpoint\":\"lint\","
+                         "\"params\":{\"artifcats\":[]}}",
+                         &error)
+          .has_value());
+
+  // Ill-typed fields are errors.
+  EXPECT_FALSE(
+      Request::from_json("{\"schema_version\":1,\"endpoint\":\"cosim\","
+                         "\"params\":{\"samples\":\"eight\"}}",
+                         &error)
+          .has_value());
+}
+
+// ------------------------------------------- dispatcher: library parity
+
+TEST(ServeDispatch, CosimMatchesDirectLibraryCall) {
+  Request request;
+  request.endpoint = Endpoint::kCosim;
+  request.cosim.kernel = "fir8";
+  request.cosim.samples = 6;
+  request.cosim.seed = 11;
+
+  Dispatcher dispatcher;
+  const Response response = dispatcher.handle(request);
+  ASSERT_TRUE(response.ok()) << response.error;
+
+  // The same recipe the service runs (and core::flow's cosim phase).
+  const ir::Cdfg kernel = apps::fir_kernel(8);
+  hw::HlsConstraints constraints;
+  constraints.goal = hw::HlsGoal::kMinArea;
+  // impl's Schedule points into the library; keep it alive past run_cosim.
+  const hw::ComponentLibrary library = hw::default_library();
+  const hw::HlsResult impl = hw::synthesize(kernel, library, constraints);
+  Rng rng(11);
+  std::vector<std::vector<std::int64_t>> samples;
+  for (std::size_t s = 0; s < 6; ++s) {
+    std::vector<std::int64_t> in;
+    for (std::size_t k = 0; k < kernel.inputs().size(); ++k) {
+      in.push_back(rng.uniform_int(-128, 127));
+    }
+    samples.push_back(std::move(in));
+  }
+  sim::CosimConfig cfg;
+  cfg.level = sim::InterfaceLevel::kRegister;
+  const sim::CosimReport report = sim::run_cosim(impl, cfg, samples);
+
+  EXPECT_EQ(result_number(response, "checksum"),
+            static_cast<double>(report.checksum));
+  EXPECT_EQ(result_number(response, "total_cycles"), report.total_cycles);
+  EXPECT_EQ(result_number(response, "bus_accesses"),
+            static_cast<double>(report.bus_accesses));
+  EXPECT_EQ(result_number(response, "samples"), 6.0);
+}
+
+TEST(ServeDispatch, FlowMatchesDirectLibraryCall) {
+  Request request;
+  request.endpoint = Endpoint::kFlow;
+  request.flow.workload = "dsp_chain";
+
+  Dispatcher dispatcher;
+  const Response response = dispatcher.handle(request);
+  ASSERT_TRUE(response.ok()) << response.error;
+
+  // The defaults FlowParams documents, applied exactly the way
+  // prepare_flow applies them.
+  apps::KernelBackedWorkload w = apps::dsp_chain_workload();
+  core::FlowConfig config =
+      core::FlowConfig::defaults()
+          .with_strategy(partition::Strategy::kKl)
+          .with_latency_target(0.0)
+          .with_area_weight(0.05)
+          .with_lint_level(analysis::LintLevel::kWarn);
+  config.optimize_kernels = true;
+  config.validate_with_hls = true;
+  config.cosimulate = false;
+  config.cosim_level = sim::InterfaceLevel::kRegister;
+  config.cosim_samples = 8;
+  config.cosim_seed = 7;
+  const core::FlowReport report =
+      core::run_codesign_flow(w.graph, w.kernels, config);
+
+  EXPECT_EQ(result_number(response, "latency_cycles"),
+            report.design.partition.metrics.latency_cycles);
+  EXPECT_EQ(result_number(response, "hw_area"),
+            report.design.partition.metrics.hw_area);
+  EXPECT_EQ(result_number(response, "tasks_in_hw"),
+            static_cast<double>(report.design.partition.metrics.tasks_in_hw));
+  EXPECT_EQ(result_number(response, "evaluations"),
+            static_cast<double>(report.design.partition.evaluations));
+  EXPECT_EQ(result_number(response, "speedup"), report.design.speedup());
+}
+
+TEST(ServeDispatch, LintMatchesCliSemantics) {
+  Dispatcher dispatcher;
+
+  Request clean;
+  clean.endpoint = Endpoint::kLint;
+  clean.lint.artifacts = {fixture("valid_small.cdfg")};
+  const Response ok = dispatcher.handle(clean);
+  ASSERT_TRUE(ok.ok()) << ok.error;
+  EXPECT_EQ(result_number(ok, "exit_code"), 0.0);
+  EXPECT_EQ(result_number(ok, "errors"), 0.0);
+
+  Request broken;
+  broken.endpoint = Endpoint::kLint;
+  broken.lint.artifacts = {fixture("dangling_value.cdfg")};
+  const Response fail = dispatcher.handle(broken);
+  ASSERT_TRUE(fail.ok()) << fail.error;  // lint findings are a 200
+  EXPECT_EQ(result_number(fail, "exit_code"), 1.0);
+  EXPECT_GE(result_number(fail, "errors"), 1.0);
+}
+
+// ------------------------------------- dispatcher: caching + coalescing
+
+TEST(ServeDispatch, RepeatedRequestIsCachedAndByteIdentical) {
+  Request request;
+  request.endpoint = Endpoint::kCosim;
+  request.cosim.kernel = "checksum8";
+  request.cosim.samples = 4;
+
+  Dispatcher dispatcher;
+  const Response first = dispatcher.handle(request);
+  const Response second = dispatcher.handle(request);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_EQ(first.json(), second.json());  // cached == fresh, byte for byte
+
+  const DispatchStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.evaluations, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServeDispatch, ConcurrentIdenticalRequestsCoalesceToOneEvaluation) {
+  // Result caching is off, so a request arriving after the leader
+  // finished would evaluate again — evaluations == 1 can only mean the
+  // riders genuinely coalesced onto the in-flight evaluation.
+  Dispatcher::Options options;
+  options.result_cache = false;
+  Dispatcher dispatcher(options);
+
+  Request request;
+  request.endpoint = Endpoint::kFlow;
+  request.flow.workload = "dsp_chain";
+  // Co-simulation keeps the leader's evaluation in flight long enough
+  // that the barrier-released riders reliably land on it.
+  request.flow.cosimulate = true;
+
+  constexpr std::size_t kClients = 6;
+  std::vector<Response> responses(kClients);
+  std::vector<std::thread> threads;
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  std::size_t arrived = 0;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        ++arrived;
+        gate_cv.notify_all();
+        gate_cv.wait(lock, [&] { return arrived == kClients; });
+      }
+      responses[i] = dispatcher.handle(request);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const Response& response : responses) {
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(response.json(), responses[0].json());
+  }
+  const DispatchStats stats = dispatcher.stats();
+  EXPECT_EQ(stats.requests, kClients);
+  EXPECT_EQ(stats.evaluations, 1u);
+  EXPECT_EQ(stats.coalesced, kClients - 1);
+  EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+// -------------------------------------------- dispatcher: error mapping
+
+TEST(ServeDispatch, CorruptedFixturesAreA400NotACrash) {
+  Dispatcher dispatcher;
+
+  // A structurally broken kernel fails the pre-HLS gate.
+  Request cosim;
+  cosim.endpoint = Endpoint::kCosim;
+  cosim.cosim.kernel_text = fixture("dangling_value.cdfg");
+  const Response kernel_bad = dispatcher.handle(cosim);
+  EXPECT_EQ(kernel_bad.status, 400);
+  EXPECT_NE(kernel_bad.error.find("verification"), std::string::npos);
+
+  // A cyclic task graph dies in the flow's verify gate.
+  Request flow;
+  flow.endpoint = Endpoint::kFlow;
+  flow.flow.graph = fixture("cyclic.tg");
+  const Response graph_bad = dispatcher.handle(flow);
+  EXPECT_EQ(graph_bad.status, 400);
+
+  // An untokenizable lint artifact is named by index.
+  Request lint;
+  lint.endpoint = Endpoint::kLint;
+  lint.lint.artifacts = {fixture("valid_small.cdfg"), "%% garbage %%"};
+  const Response artifact_bad = dispatcher.handle(lint);
+  EXPECT_EQ(artifact_bad.status, 400);
+  EXPECT_NE(artifact_bad.error.find("artifacts[1]"), std::string::npos);
+
+  // Unknown named inputs are 400s too.
+  Request unknown;
+  unknown.endpoint = Endpoint::kCosim;
+  unknown.cosim.kernel = "fir1024";
+  EXPECT_EQ(dispatcher.handle(unknown).status, 400);
+
+  EXPECT_EQ(dispatcher.stats().errors, 4u);
+}
+
+// --------------------------------------------- server over real sockets
+
+struct LoopbackServer {
+  explicit LoopbackServer(ServerConfig config, Server::Handler handler)
+      : server(std::move(config), std::move(handler)) {
+    std::string error;
+    started = server.start(&error);
+    EXPECT_TRUE(started) << error;
+  }
+  Server server;
+  bool started = false;
+};
+
+TEST(ServeServer, EndpointsOverSocketsMatchDirectDispatch) {
+  Dispatcher dispatcher;
+  ServerConfig config;
+  config.workers = 0;  // deterministic replay mode
+  LoopbackServer loopback(config, [&](const Request& request) {
+    return dispatcher.handle(request);
+  });
+  ASSERT_TRUE(loopback.started);
+  const std::uint16_t port = loopback.server.port();
+
+  // A reference dispatcher evaluates the same requests directly;
+  // deterministic responses make socket vs library byte-comparable.
+  Dispatcher reference;
+
+  std::vector<Request> requests;
+  Request cosim;
+  cosim.endpoint = Endpoint::kCosim;
+  cosim.cosim.kernel = "fir8";
+  cosim.cosim.samples = 4;
+  requests.push_back(cosim);
+
+  Request campaign;
+  campaign.endpoint = Endpoint::kFaultCampaign;
+  campaign.cosim.kernel = "checksum8";
+  campaign.cosim.samples = 4;
+  campaign.cosim.faults.push_back({"bus_bit_flip", 0.2, 0, UINT64_MAX});
+  requests.push_back(campaign);
+
+  Request lint;
+  lint.endpoint = Endpoint::kLint;
+  lint.lint.artifacts = {fixture("valid_small.cdfg"),
+                         fixture("bad_arity.cdfg")};
+  requests.push_back(lint);
+
+  Request explore;
+  explore.endpoint = Endpoint::kExplore;
+  explore.explore.workload = "jpeg_pipeline";
+  explore.explore.strategies = {"kl", "all_hw"};
+  requests.push_back(explore);
+
+  Request flow;
+  flow.endpoint = Endpoint::kFlow;
+  flow.flow.workload = "dsp_chain";
+  requests.push_back(flow);
+
+  HttpClient client("127.0.0.1", port);
+  for (const Request& request : requests) {
+    const char* path = endpoint_path(request.endpoint);
+    HttpResult result;
+    std::string error;
+    ASSERT_TRUE(client.request("POST", path, request.json(), &result, &error))
+        << path << ": " << error;
+    EXPECT_EQ(result.status, 200) << path << ": " << result.body;
+    // Bit-identical to the equivalent direct library dispatch.
+    EXPECT_EQ(result.body, reference.handle(request).json()) << path;
+  }
+
+  // GET endpoints: health is deterministic; metrics must parse.
+  HttpResult health;
+  std::string error;
+  ASSERT_TRUE(client.request("GET", "/v1/health", "", &health, &error));
+  Request health_request;
+  health_request.endpoint = Endpoint::kHealth;
+  EXPECT_EQ(health.body, reference.handle(health_request).json());
+
+  HttpResult metrics;
+  ASSERT_TRUE(client.request("GET", "/v1/metrics", "", &metrics, &error));
+  EXPECT_EQ(metrics.status, 200);
+  const std::optional<obs::JsonValue> doc = obs::json_parse(metrics.body);
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* result_obj = doc->find("result");
+  ASSERT_NE(result_obj, nullptr);
+  EXPECT_NE(result_obj->find("svc"), nullptr);
+
+  const ServerStats stats = loopback.server.stats();
+  EXPECT_EQ(stats.served, requests.size() + 2);
+  EXPECT_EQ(stats.overloaded, 0u);
+  EXPECT_EQ(stats.conn_rejected, 0u);
+}
+
+TEST(ServeServer, RoutingAndParseErrorsOverSockets) {
+  Dispatcher dispatcher;
+  ServerConfig config;
+  config.workers = 0;
+  LoopbackServer loopback(config, [&](const Request& request) {
+    return dispatcher.handle(request);
+  });
+  ASSERT_TRUE(loopback.started);
+  const std::uint16_t port = loopback.server.port();
+  HttpClient client("127.0.0.1", port);
+
+  HttpResult result;
+  std::string error;
+
+  // Unknown path.
+  ASSERT_TRUE(client.request("GET", "/v1/teapot", "", &result, &error));
+  EXPECT_EQ(result.status, 404);
+
+  // Method mismatch: the flow endpoint is POST-only.
+  ASSERT_TRUE(client.request("GET", "/v1/flow", "", &result, &error));
+  EXPECT_EQ(result.status, 405);
+
+  // Unparseable body.
+  ASSERT_TRUE(client.request("POST", "/v1/lint", "][", &result, &error));
+  EXPECT_EQ(result.status, 400);
+
+  // Body endpoint disagreeing with the path.
+  Request cosim;
+  cosim.endpoint = Endpoint::kCosim;
+  cosim.cosim.kernel = "fir8";
+  ASSERT_TRUE(
+      client.request("POST", "/v1/lint", cosim.json(), &result, &error));
+  EXPECT_EQ(result.status, 400);
+
+  // Every error above came back as a well-formed Response document.
+  const std::optional<Response> parsed = Response::from_json(result.body,
+                                                             &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->status, 400);
+}
+
+TEST(ServeServer, QueueBoundAnswers503WithoutQueueing) {
+  // A handler that blocks until released pins the single worker; with
+  // max_queue=1 the third concurrent request must be turned away.
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<int> entered{0};
+
+  ServerConfig config;
+  config.workers = 1;
+  config.max_queue = 1;
+  LoopbackServer loopback(config, [&](const Request&) {
+    entered.fetch_add(1);
+    released.wait();
+    Response response;
+    response.endpoint = "lint";
+    response.result_json = "{\"exit_code\":0}";
+    return response;
+  });
+  ASSERT_TRUE(loopback.started);
+  const std::uint16_t port = loopback.server.port();
+
+  Request lint;
+  lint.endpoint = Endpoint::kLint;
+  lint.lint.artifacts = {fixture("valid_small.cdfg")};
+  const std::string body = lint.json();
+
+  const auto post = [&](HttpResult* out) {
+    std::string error;
+    const std::optional<HttpResult> r =
+        http_post("127.0.0.1", port, "/v1/lint", body, &error);
+    ASSERT_TRUE(r.has_value()) << error;
+    *out = *r;
+  };
+
+  HttpResult first, second, third;
+  std::thread a([&] { post(&first); });
+  // The worker has claimed the first request (the queue is empty again)
+  // before the next two go out concurrently: one of them takes the
+  // queue's single slot, the other must be 503'd — whichever order the
+  // loop thread sees them in.
+  while (entered.load() < 1) std::this_thread::yield();
+  std::thread b([&] { post(&second); });
+  std::thread c([&] { post(&third); });
+
+  // The rejection happens without waiting on the worker: observable
+  // while the first request is still blocked inside the handler.
+  for (int i = 0; i < 2000 && loopback.server.stats().overloaded == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(loopback.server.stats().overloaded, 1u);
+  EXPECT_EQ(entered.load(), 1);
+
+  release.set_value();
+  a.join();
+  b.join();
+  c.join();
+  EXPECT_EQ(first.status, 200);
+  // Exactly one of the two contenders was queued and served; the other
+  // was turned away with the overload document.
+  const HttpResult& ok = second.status == 200 ? second : third;
+  const HttpResult& rejected = second.status == 200 ? third : second;
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_NE(rejected.body.find("overloaded"), std::string::npos);
+  EXPECT_EQ(loopback.server.stats().overloaded, 1u);
+}
+
+TEST(ServeServer, ConnectionLimitAnswers503AtAccept) {
+  Dispatcher dispatcher;
+  ServerConfig config;
+  config.workers = 0;
+  config.max_connections = 1;
+  LoopbackServer loopback(config, [&](const Request& request) {
+    return dispatcher.handle(request);
+  });
+  ASSERT_TRUE(loopback.started);
+  const std::uint16_t port = loopback.server.port();
+
+  // The first connection is admitted and stays open (keep-alive).
+  HttpClient occupant("127.0.0.1", port);
+  HttpResult result;
+  std::string error;
+  ASSERT_TRUE(occupant.request("GET", "/v1/health", "", &result, &error))
+      << error;
+  EXPECT_EQ(result.status, 200);
+
+  // The second is 503'd at accept time.
+  HttpResult rejected;
+  const std::optional<HttpResult> r =
+      http_get("127.0.0.1", port, "/v1/health", &error);
+  ASSERT_TRUE(r.has_value()) << error;
+  rejected = *r;
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_FALSE(rejected.keep_alive);
+
+  // Once the occupant leaves, the next connection is admitted again.
+  occupant.close();
+  for (int i = 0; i < 200; ++i) {
+    const std::optional<HttpResult> retry =
+        http_get("127.0.0.1", port, "/v1/health", &error);
+    ASSERT_TRUE(retry.has_value()) << error;
+    if (retry->status == 200) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_LT(i, 199) << "connection slot never freed";
+  }
+
+  const ServerStats stats = loopback.server.stats();
+  EXPECT_GE(stats.conn_rejected, 1u);
+}
+
+}  // namespace
+}  // namespace mhs::svc
