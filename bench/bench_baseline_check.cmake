@@ -1,0 +1,32 @@
+# Tier-2 gate: a bench run must emit a schema-valid BENCH_<name>.json
+# AND hold its committed throughput baseline — `bench_report --baseline
+# --check` exits non-zero when any directional metric regresses past the
+# threshold.
+#
+# Inputs (via -D):
+#   BENCH_BIN   - bench executable to run
+#   REPORT_BIN  - bench_report executable
+#   OUT_DIR     - scratch directory for the JSON output
+#   BASELINE    - committed baseline document to compare against
+#   THRESHOLD   - regression threshold in percent
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "MHS_BENCH_OUT=${OUT_DIR}"
+          "MHS_GIT_REV=ctest" "${BENCH_BIN}"
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${bench_rc}")
+endif()
+
+execute_process(
+  COMMAND "${REPORT_BIN}" --check --baseline "${BASELINE}"
+          --threshold "${THRESHOLD}" "${OUT_DIR}"
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_report --baseline --check exited with ${check_rc}: "
+          "engine throughput regressed below the committed floor")
+endif()

@@ -28,9 +28,22 @@
 #include "base/table.h"
 #include "bench_util.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
 
 namespace mhs {
 namespace {
+
+/// Drives the accelerator co-simulation through the sim::run seam.
+sim::CosimReport accel_cosim(
+    const hw::HlsResult& impl, const sim::CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  sim::SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return sim::run(sreq).cosim.value();
+}
+
 
 /// Best-of-reps mean wall seconds for one run_cosim call.
 double time_runs(const hw::HlsResult& impl, const sim::CosimConfig& cfg,
@@ -40,7 +53,7 @@ double time_runs(const hw::HlsResult& impl, const sim::CosimConfig& cfg,
   for (int r = 0; r < reps; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < runs_per_rep; ++i) {
-      (void)sim::run_cosim(impl, cfg, samples);
+      (void)accel_cosim(impl, cfg, samples);
     }
     const auto t1 = std::chrono::steady_clock::now();
     best = std::min(
@@ -79,8 +92,8 @@ void run() {
     sim::CosimConfig quiet = off;
     quiet.fault_plan.add(fault::FaultSpec::bus_bit_flip(1e-12));
 
-    const sim::CosimReport r_off = sim::run_cosim(impl, off, samples);
-    const sim::CosimReport r_zero = sim::run_cosim(impl, zero, samples);
+    const sim::CosimReport r_off = accel_cosim(impl, off, samples);
+    const sim::CosimReport r_zero = accel_cosim(impl, zero, samples);
     identical = identical && r_off.checksum == r_zero.checksum &&
                 r_off.total_cycles == r_zero.total_cycles &&
                 r_off.sim_events == r_zero.sim_events &&
@@ -124,7 +137,7 @@ void run() {
         .add(fault::FaultSpec::bus_bit_flip(0.01));
     cfg.fault_seed = 7;
     const obs::Stopwatch sw;
-    const sim::CosimReport report = sim::run_cosim(impl, cfg, samples);
+    const sim::CosimReport report = accel_cosim(impl, cfg, samples);
     campaign_us += sw.elapsed_us();
     invariants = invariants && report.resilience.invariants_hold();
     // A failing sample must end somewhere: a successful retry or a

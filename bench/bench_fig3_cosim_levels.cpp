@@ -11,9 +11,22 @@
 #include "base/stats.h"
 #include "bench_util.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
 
 namespace mhs {
 namespace {
+
+/// Drives the accelerator co-simulation through the sim::run seam.
+sim::CosimReport accel_cosim(
+    const hw::HlsResult& impl, const sim::CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  sim::SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return sim::run(sreq).cosim.value();
+}
+
 
 void run() {
   bench::Reporter rep("bench_fig3_cosim_levels",
@@ -39,7 +52,7 @@ void run() {
     sim::CosimConfig cfg;
     cfg.level = level;
     const obs::Stopwatch sw;
-    const sim::CosimReport report = sim::run_cosim(impl, cfg, samples);
+    const sim::CosimReport report = accel_cosim(impl, cfg, samples);
     rows.push_back(Row{level, report, sw.elapsed_us()});
   }
   const double truth = rows[0].report.total_cycles;  // pin level

@@ -15,9 +15,22 @@
 #include "bench_util.h"
 #include "cosynth/run.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
 
 namespace mhs {
 namespace {
+
+/// Drives the accelerator co-simulation through the sim::run seam.
+sim::CosimReport accel_cosim(
+    const hw::HlsResult& impl, const sim::CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  sim::SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return sim::run(sreq).cosim.value();
+}
+
 
 void run() {
   bench::Reporter rep("bench_fig4_embedded",
@@ -39,7 +52,7 @@ void run() {
        {sim::InterfaceLevel::kPin, sim::InterfaceLevel::kRegister}) {
     sim::CosimConfig cfg;
     cfg.level = level;
-    const sim::CosimReport r = sim::run_cosim(impl, cfg, samples);
+    const sim::CosimReport r = accel_cosim(impl, cfg, samples);
     if (level == sim::InterfaceLevel::kPin) {
       pin_events = r.sim_events;
       std::cout << r.profile.table();  // pin-level cycle attribution

@@ -21,6 +21,7 @@
 #include "bench_util.h"
 #include "ir/task_graph_gen.h"
 #include "sim/system_cosim.h"
+#include "sim/run.h"
 
 namespace mhs {
 namespace {
@@ -75,7 +76,13 @@ void run() {
         m[i] = rng.bernoulli(0.5);
       }
       const double analytic = model.schedule_latency(m, true, true);
-      const sim::SystemCosimResult r = sim::run_system_cosim(g, m);
+      const sim::SystemCosimResult r = [&] {
+        sim::SimRequest sreq;
+        sreq.level = sim::Level::kSystem;
+        sreq.graph = &g;
+        sreq.mapping = &m;
+        return sim::run(sreq).system.value();
+      }();
       predicted.push_back(analytic);
       simulated.push_back(r.makespan);
       const double e = relative_error(analytic, r.makespan);

@@ -15,7 +15,24 @@
 #include "hw/rtl_emit.h"
 #include "sim/bus.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
 #include "sim/vcd.h"
+
+
+namespace {
+
+/// Drives the accelerator co-simulation through the sim::run seam.
+mhs::sim::CosimReport accel_cosim(
+    const mhs::hw::HlsResult& impl, const mhs::sim::CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  mhs::sim::SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return mhs::sim::run(sreq).cosim.value();
+}
+
+}  // namespace
 
 int main() {
   using namespace mhs;
@@ -70,7 +87,7 @@ int main() {
   // Validate the full stack at the most detailed abstraction level.
   sim::CosimConfig pin;
   pin.level = sim::InterfaceLevel::kPin;
-  const sim::CosimReport report = sim::run_cosim(impl, pin, samples);
+  const sim::CosimReport report = accel_cosim(impl, pin, samples);
   std::cout << "pin-level validation: " << report.sw_instructions
             << " instructions retired, " << report.sim_events
             << " simulation events, " << report.signal_transitions

@@ -24,6 +24,23 @@
 #include "base/table.h"
 #include "hw/hls.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
+
+
+namespace {
+
+/// Drives the accelerator co-simulation through the sim::run seam.
+mhs::sim::CosimReport accel_cosim(
+    const mhs::hw::HlsResult& impl, const mhs::sim::CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  mhs::sim::SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return mhs::sim::run(sreq).cosim.value();
+}
+
+}  // namespace
 
 int main() {
   using namespace mhs;
@@ -65,7 +82,7 @@ int main() {
     cfg.level = sim::InterfaceLevel::kRegister;
     if (plan != nullptr) cfg.fault_plan = *plan;
     cfg.fault_seed = 2026;
-    const sim::CosimReport report = sim::run_cosim(impl, cfg, samples);
+    const sim::CosimReport report = accel_cosim(impl, cfg, samples);
     if (plan == nullptr) golden = report.checksum;
     const fault::ResilienceReport& r = report.resilience;
     table.add_row({name, fmt(report.total_cycles, 0),

@@ -1,6 +1,7 @@
 #include "core/flow.h"
 
 #include <algorithm>
+#include <utility>
 #include <sstream>
 
 #include "analysis/lint.h"
@@ -10,6 +11,7 @@
 #include "base/table.h"
 #include "ir/optimize.h"
 #include "obs/obs.h"
+#include "sim/run.h"
 #include "sw/estimate.h"
 
 namespace mhs::core {
@@ -256,7 +258,11 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
         cosim_cfg.fault_plan = config.fault_plan;
         cosim_cfg.fault_seed = config.fault_seed;
         cosim_cfg.resilience = config.resilience;
-        report.cosim = sim::run_cosim(impl, cosim_cfg, samples);
+        sim::SimRequest sreq;
+        sreq.impl = &impl;
+        sreq.samples = &samples;
+        sreq.cosim = cosim_cfg;
+        report.cosim = std::move(sim::run(sreq).cosim).value();
       }
     }
   }

@@ -47,21 +47,21 @@ const std::vector<ApproachProfile>& surveyed_approaches() {
                  {kCoSimulation},
                  sim::InterfaceLevel::kPin,
                  {},
-                 "sim::run_cosim(kPin)",
+                 "sim::run(kAccelerator, kPin)",
                  "Fig. 4"});
     v.push_back({"Thomas/Adams/Schmit methodology", "[2]",
                  SystemType::kTypeII,
                  {kCoSimulation},
                  sim::InterfaceLevel::kMessage,
                  {},
-                 "sim::run_message_cosim",
+                 "sim::run(kProcess)",
                  "Fig. 9"});
     v.push_back({"Coumeri/Thomas simulation environment", "[3]",
                  SystemType::kTypeII,
                  {kCoSimulation},
                  sim::InterfaceLevel::kMessage,
                  {},
-                 "sim::run_message_cosim",
+                 "sim::run(kProcess)",
                  "Fig. 9"});
     v.push_back({"Chinook", "[11]",
                  SystemType::kTypeI,

@@ -1,9 +1,11 @@
 #include "cosynth/interface_synth.h"
 
 #include <sstream>
+#include <utility>
 
 #include "base/table.h"
 #include "sim/peripheral.h"
+#include "sim/run.h"
 
 namespace mhs::cosynth {
 
@@ -64,7 +66,11 @@ InterfaceDesign synthesize_interface(
     cfg.resilience = reqs.resilience;
     DriverCandidate cand;
     cand.use_irq = use_irq;
-    cand.report = sim::run_cosim(impl, cfg, eval_set);
+    sim::SimRequest sreq;
+    sreq.impl = &impl;
+    sreq.samples = &eval_set;
+    sreq.cosim = cfg;
+    cand.report = std::move(sim::run(sreq).cosim).value();
     cand.cycles_per_sample =
         cand.report.total_cycles / static_cast<double>(eval_set.size());
     cand.background_per_sample =

@@ -2,10 +2,28 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "base/table.h"
+#include "sim/run.h"
 
 namespace mhs::cosynth {
+
+namespace {
+
+/// One message-level co-simulation through the sim::run seam.
+sim::OsCosimResult os_cosim(const ir::ProcessNetwork& net,
+                            const std::vector<bool>& in_hw,
+                            const sim::OsCosimConfig& config) {
+  sim::SimRequest req;
+  req.level = sim::Level::kProcess;
+  req.network = &net;
+  req.in_hw = &in_hw;
+  req.os = config;
+  return std::move(sim::run(req).os).value();
+}
+
+}  // namespace
 
 std::string MtCoprocDesign::summary() const {
   std::ostringstream os;
@@ -49,7 +67,7 @@ MtCoprocDesign mt_partition_latency_greedy(const ir::ProcessNetwork& net,
     }
   }
   design.hw_area = area;
-  design.evaluation = sim::run_message_cosim(net, design.in_hw, eval);
+  design.evaluation = os_cosim(net, design.in_hw, eval);
   design.effort = 1;
   return design;
 }
@@ -75,7 +93,7 @@ MtCoprocDesign mt_partition_concurrency_aware(
 
   auto energy_of = [&](const std::vector<bool>& m) {
     ++effort;
-    const sim::OsCosimResult r = sim::run_message_cosim(net, m, opt_eval);
+    const sim::OsCosimResult r = os_cosim(net, m, opt_eval);
     double energy = r.makespan;
     const double area = mt_hw_area(net, m);
     if (area > area_budget) {
@@ -124,7 +142,7 @@ MtCoprocDesign mt_partition_concurrency_aware(
   MtCoprocDesign design;
   design.in_hw = best;
   design.hw_area = mt_hw_area(net, best);
-  design.evaluation = sim::run_message_cosim(net, best, eval);
+  design.evaluation = os_cosim(net, best, eval);
   design.effort = effort;
   return design;
 }
@@ -141,7 +159,7 @@ MtCoprocDesign mt_partition_exhaustive(const ir::ProcessNetwork& net,
 
   std::vector<bool> best(n, false);
   double best_makespan =
-      sim::run_message_cosim(net, best, opt_eval).makespan;
+      os_cosim(net, best, opt_eval).makespan;
   std::size_t effort = 1;
 
   std::vector<bool> mapping(n);
@@ -152,7 +170,7 @@ MtCoprocDesign mt_partition_exhaustive(const ir::ProcessNetwork& net,
     if (mt_hw_area(net, mapping) > area_budget) continue;
     ++effort;
     const sim::OsCosimResult r =
-        sim::run_message_cosim(net, mapping, opt_eval);
+        os_cosim(net, mapping, opt_eval);
     if (!r.deadlocked && r.makespan < best_makespan) {
       best_makespan = r.makespan;
       best = mapping;
@@ -162,7 +180,7 @@ MtCoprocDesign mt_partition_exhaustive(const ir::ProcessNetwork& net,
   MtCoprocDesign design;
   design.in_hw = best;
   design.hw_area = mt_hw_area(net, best);
-  design.evaluation = sim::run_message_cosim(net, best, eval);
+  design.evaluation = os_cosim(net, best, eval);
   design.effort = effort;
   return design;
 }

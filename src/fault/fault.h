@@ -262,7 +262,7 @@ class FaultInjector {
   bool stuck_value_ = false;
 };
 
-/// The seed run_cosim should use: `config_seed`, unless the
+/// The seed the co-simulation should use: `config_seed`, unless the
 /// MHS_FAULT_SEED environment variable is set (a decimal override that
 /// lets a whole campaign be re-seeded without recompiling).
 std::uint64_t effective_seed(std::uint64_t config_seed);

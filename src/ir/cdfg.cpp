@@ -232,6 +232,89 @@ std::map<std::string, std::int64_t> Cdfg::evaluate(
   return out;
 }
 
+CompiledEval::CompiledEval(const Cdfg& cdfg) {
+  const std::size_t n = cdfg.num_ops();
+  initial_.assign(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Op& op = cdfg.op(OpId(i));
+    switch (op.kind) {
+      case OpKind::kConst:
+        initial_[i] = op.value;
+        break;
+      case OpKind::kInput:
+        input_slots_.push_back(i);
+        input_names_.push_back(op.name);
+        break;
+      case OpKind::kOutput:
+        output_slots_.push_back(op.operands[0].index());
+        output_names_.push_back(op.name);
+        break;
+      default: {
+        Step step{op.kind, i, {0, 0, 0}};
+        MHS_CHECK(op.operands.size() <= 3,
+                  "op " << op_name(op.kind) << " arity > 3");
+        for (std::size_t k = 0; k < op.operands.size(); ++k) {
+          step.arg[k] = op.operands[k].index();
+        }
+        steps_.push_back(step);
+        break;
+      }
+    }
+  }
+}
+
+void CompiledEval::run(std::span<const std::int64_t> in,
+                       std::span<std::int64_t> out) const {
+  MHS_CHECK(in.size() == input_slots_.size(),
+            "CompiledEval: " << in.size() << " inputs, kernel expects "
+                             << input_slots_.size());
+  MHS_CHECK(out.size() == output_slots_.size(),
+            "CompiledEval: " << out.size() << " output slots, kernel has "
+                             << output_slots_.size());
+  // Value array on the stack for typical kernel sizes; no per-call heap
+  // traffic in the co-simulation inner loop.
+  constexpr std::size_t kStackSlots = 256;
+  std::int64_t stack_values[kStackSlots];
+  std::vector<std::int64_t> heap_values;
+  std::int64_t* value = stack_values;
+  if (initial_.size() > kStackSlots) {
+    heap_values.resize(initial_.size());
+    value = heap_values.data();
+  }
+  std::copy(initial_.begin(), initial_.end(), value);
+  for (std::size_t k = 0; k < input_slots_.size(); ++k) {
+    value[input_slots_[k]] = in[k];
+  }
+  for (const Step& step : steps_) {
+    const std::int64_t args[3] = {value[step.arg[0]], value[step.arg[1]],
+                                  value[step.arg[2]]};
+    value[step.dst] = apply_op(
+        step.kind,
+        std::span<const std::int64_t>(
+            args, static_cast<std::size_t>(op_arity(step.kind))));
+  }
+  for (std::size_t m = 0; m < output_slots_.size(); ++m) {
+    out[m] = value[output_slots_[m]];
+  }
+}
+
+std::map<std::string, std::int64_t> CompiledEval::evaluate(
+    const std::map<std::string, std::int64_t>& in) const {
+  std::vector<std::int64_t> args(input_names_.size(), 0);
+  for (std::size_t k = 0; k < input_names_.size(); ++k) {
+    const auto it = in.find(input_names_[k]);
+    MHS_CHECK(it != in.end(), "missing input '" << input_names_[k] << "'");
+    args[k] = it->second;
+  }
+  std::vector<std::int64_t> results(output_names_.size(), 0);
+  run(args, results);
+  std::map<std::string, std::int64_t> out;
+  for (std::size_t m = 0; m < output_names_.size(); ++m) {
+    out[output_names_[m]] = results[m];
+  }
+  return out;
+}
+
 std::size_t Cdfg::depth() const {
   std::vector<std::size_t> d(ops_.size(), 0);
   std::size_t best = 0;

@@ -131,6 +131,56 @@ class Cdfg {
 /// evaluator, the ISS reference checker, and the datapath simulator).
 std::int64_t apply_op(OpKind kind, std::span<const std::int64_t> args);
 
+/// A kernel precompiled for repeated evaluation.
+///
+/// Cdfg::evaluate (and hw::simulate_datapath) rebuild name maps and
+/// per-op argument vectors on every call — fine for one-shot functional
+/// checks, ruinous in the co-simulation inner loop where the same kernel
+/// runs per sample. CompiledEval flattens the DAG once into fixed-slot
+/// steps (insertion order is topological, and a pure DAG evaluates to
+/// the same values in any topological order), then run() is a tight
+/// array walk delegating each step to apply_op — results bit-identical
+/// to evaluate(), including its divide-by-zero and shift-range traps.
+///
+/// Instances are cheap to move and safe to share across threads for
+/// run()/evaluate(), which touch only caller-provided and local state.
+class CompiledEval {
+ public:
+  CompiledEval() = default;
+  /// Precondition: `cdfg` passes analysis::verify (builders guarantee it).
+  explicit CompiledEval(const Cdfg& cdfg);
+
+  std::size_t num_inputs() const { return input_names_.size(); }
+  std::size_t num_outputs() const { return output_names_.size(); }
+  /// Port names in Cdfg insertion order (= Cdfg::inputs()/outputs()).
+  const std::vector<std::string>& input_names() const { return input_names_; }
+  const std::vector<std::string>& output_names() const {
+    return output_names_;
+  }
+
+  /// Evaluates on positional inputs (input_names() order) and writes
+  /// num_outputs() values to `out` (output_names() order).
+  void run(std::span<const std::int64_t> in,
+           std::span<std::int64_t> out) const;
+
+  /// Map-based convenience, bit-identical to Cdfg::evaluate.
+  std::map<std::string, std::int64_t> evaluate(
+      const std::map<std::string, std::int64_t>& in) const;
+
+ private:
+  struct Step {
+    OpKind kind;
+    std::uint32_t dst;
+    std::uint32_t arg[3];  ///< operand value slots (unused trail = 0)
+  };
+  std::vector<Step> steps_;             ///< compute ops, insertion order
+  std::vector<std::int64_t> initial_;   ///< value array with consts filled
+  std::vector<std::uint32_t> input_slots_;
+  std::vector<std::uint32_t> output_slots_;  ///< source slot per output
+  std::vector<std::string> input_names_;
+  std::vector<std::string> output_names_;
+};
+
 /// Stable content hash of a kernel: op kinds, operand wiring, constant
 /// values, and port names (the graph's display name is excluded). Equal
 /// content hashes equal across runs and processes (FNV-1a, no std::hash),

@@ -3,7 +3,7 @@
 // registry that aggregates them.
 //
 // Every hot layer of the co-design flow (core::Flow phases, the
-// Explorer's design points, partition::run strategies, sim::run_cosim)
+// Explorer's design points, partition::run strategies, sim::run)
 // is instrumented with RAII Spans, Counters, and Histograms that report
 // to a single process-wide Registry. The registry exports two views:
 //

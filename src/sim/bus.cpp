@@ -67,10 +67,10 @@ void BusModel::emit_pin_handshake(std::uint64_t addr, bool is_write,
   t += config_.arbitration_cycles;
   sim_->schedule(t, [this] { strobe_.write(true); });
   t += config_.address_phase_cycles;
-  for (Time w = 0; w < config_.data_wait_states; ++w) {
-    sim_->schedule(t, [] { /* slave not ready: wait state */ });
-    t += 1;
-  }
+  // Wait states are pure filler (the slave is simply not ready): null
+  // events keep the per-bus-cycle event count without closure cost.
+  sim_->schedule_null_batch(t, 1, config_.data_wait_states);
+  t += config_.data_wait_states;
   sim_->schedule(t, [this] { ack_.write(true); });
   t += 1;
   sim_->schedule(t, [this] {
@@ -97,13 +97,13 @@ Time BusModel::access(std::uint64_t addr, bool is_write) {
       break;
     case InterfaceLevel::kRegister:
       cost = word_cost();
-      sim_->schedule(wait + cost, [] { /* transaction-level access */ });
+      sim_->schedule_null(wait + cost);  // transaction-level access
       break;
     case InterfaceLevel::kDriver:
     case InterfaceLevel::kMessage:
       // Single accesses at these levels cost one abstract interaction.
       cost = block_cost(config_.width_bytes);
-      sim_->schedule(wait + cost, [] {});
+      sim_->schedule_null(wait + cost);
       break;
   }
   busy_cycles_ += cost;
@@ -145,19 +145,17 @@ Time BusModel::block_transfer(std::uint64_t addr, std::size_t bytes,
     }
     case InterfaceLevel::kRegister: {
       const std::size_t words = words_for(bytes);
-      // One event per word at the transaction level.
+      // One event per word at the transaction level — the whole burst
+      // enqueues as one null batch.
       const Time per_word =
           config_.address_phase_cycles + config_.data_wait_states + 1;
-      for (std::size_t w = 0; w < words; ++w) {
-        sim_->schedule(wait + config_.arbitration_cycles +
-                           static_cast<Time>(w + 1) * per_word,
-                       [] {});
-      }
+      sim_->schedule_null_batch(wait + config_.arbitration_cycles + per_word,
+                                per_word, words);
       break;
     }
     case InterfaceLevel::kDriver:
     case InterfaceLevel::kMessage:
-      sim_->schedule(wait + cost, [] {});
+      sim_->schedule_null(wait + cost);
       break;
   }
   busy_cycles_ += cost;
@@ -172,7 +170,7 @@ Time BusModel::message(std::size_t bytes) {
   const Time t0 = sim_->now();
   const Time start = std::max(t0, free_at_) + starvation_delay();
   const Time cost = config_.message_overhead_cycles;
-  sim_->schedule(start - t0 + cost, [] {});
+  sim_->schedule_null(start - t0 + cost);
   busy_cycles_ += cost;
   free_at_ = start + cost;
   sim_->advance_to(start + cost);

@@ -138,17 +138,25 @@ CosimReport run_iss_levels(const hw::HlsResult& impl,
   if (driver.isr_entry) iss.set_isr(*driver.isr_entry);
   periph.set_irq_callback([&iss] { iss.raise_irq(); });
 
+  // Software time the lock-step loop has accounted for but not yet
+  // committed to the simulator clock (see the lazy advance below). Any
+  // hook that reads sim.now() or schedules events must sync first so it
+  // observes exactly the eagerly-advanced clock.
+  Time deferred = 0;
+
   // MMIO window: every CPU access to the peripheral crosses the bus —
   // where injected data faults (bit flips, stuck-at lines) strike.
   iss.add_mmio(
       spec.periph_base, spec.periph_base + PeripheralLayout::kSize - 1,
       [&, fi](std::uint64_t addr) {
+        if (deferred > sim.now()) sim.advance_to(deferred);
         bus.access(addr, /*is_write=*/false);
         std::int64_t value = periph.reg_read(addr - spec.periph_base);
         if (fi != nullptr) value = fi->corrupt_bus_word(value);
         return value;
       },
       [&, fi](std::uint64_t addr, std::int64_t value) {
+        if (deferred > sim.now()) sim.advance_to(deferred);
         bus.access(addr, /*is_write=*/true);
         if (fi != nullptr) value = fi->corrupt_bus_word(value);
         periph.reg_write(addr - spec.periph_base, value);
@@ -163,7 +171,9 @@ CosimReport run_iss_levels(const hw::HlsResult& impl,
     iss.add_mmio(
         mon_base, mon_base + MonitorLayout::kSize - 1,
         [](std::uint64_t) { return std::int64_t{0}; },
-        [&sim, &window, fi, mon_base](std::uint64_t addr, std::int64_t) {
+        [&sim, &window, &deferred, fi, mon_base](std::uint64_t addr,
+                                                 std::int64_t) {
+          if (deferred > sim.now()) sim.advance_to(deferred);
           switch (addr - mon_base) {
             case MonitorLayout::kTimeout:
               window.detect(*fi, sim.now());
@@ -205,11 +215,21 @@ CosimReport run_iss_levels(const hw::HlsResult& impl,
     sw_time += static_cast<double>(instr_cycles) * config.cpu.clock_scale +
                static_cast<double>(stall);
     const Time target = static_cast<Time>(std::llround(sw_time));
-    if (target > sim.now()) sim.advance_to(target);
+    if (target > sim.now()) {
+      // Lazy advance: only commit the clock when an event is actually
+      // due by the target; otherwise just remember it. Events never fire
+      // late — an advance happens the moment one falls inside the
+      // window — and the MMIO hooks above re-sync before any code that
+      // reads the clock or schedules work, so the observable schedule is
+      // identical to advancing after every instruction.
+      deferred = target;
+      if (sim.next_event_time() <= target) sim.advance_to(target);
+    }
     MHS_CHECK(sw_time < static_cast<double>(config.max_sw_cycles),
               "co-simulation exceeded " << config.max_sw_cycles
                                         << " cycles — driver livelock?");
   }
+  if (deferred > sim.now()) sim.advance_to(deferred);
 
   CosimReport report;
   report.level = config.level;
@@ -284,8 +304,10 @@ CosimReport run_driver_level(const hw::HlsResult& impl,
     // driver degrades permanently.
     bus.set_fault_injector(fi);
     periph.set_fault_injector(fi);
-    const ir::Cdfg& cdfg = impl.schedule.cdfg();
-    const auto in_names = kernel_input_names(impl);
+    // Software fallback path, precompiled: positional inputs/outputs are
+    // in cdfg.inputs()/outputs() order, the same order the samples and
+    // checksum folds use.
+    const ir::CompiledEval eval(impl.schedule.cdfg());
     const auto out_names = kernel_output_names(impl);
     const ResiliencePolicy& pol = config.resilience;
     const Time window0 = pol.timeout_cycles != 0
@@ -302,17 +324,14 @@ CosimReport run_driver_level(const hw::HlsResult& impl,
     bool degraded_sticky = false;
     RecoveryWindow window;
 
+    std::vector<std::int64_t> fallback_out(out_names.size(), 0);
     const auto run_fallback = [&](const std::vector<std::int64_t>& sample) {
       sim.advance_to(sim.now() + fallback_cycles);
       fault_wait += fallback_cycles;
       window.degrade(*fi, sim.now());
-      std::map<std::string, std::int64_t> in;
-      for (std::size_t k = 0; k < in_names.size(); ++k) {
-        in[in_names[k]] = sample[k];
-      }
-      const auto out = cdfg.evaluate(in);
-      for (const auto& name : out_names) {
-        fold_checksum(report.checksum, out.at(name));
+      eval.run(sample, fallback_out);
+      for (const std::int64_t value : fallback_out) {
+        fold_checksum(report.checksum, value);
       }
     };
 
@@ -458,9 +477,14 @@ CosimReport run_message_level(const hw::HlsResult& impl,
                                   samples, fault::FaultInjector* fi) {
   Simulator sim;
   BusModel bus(sim, config.bus, config.level);
-  const ir::Cdfg& cdfg = impl.schedule.cdfg();
+  // Kernel evaluation, precompiled: positional slots are in
+  // cdfg.inputs()/outputs() order, matching the samples and the
+  // checksum-fold order below.
+  const ir::CompiledEval eval(impl.schedule.cdfg());
   const auto in_names = kernel_input_names(impl);
   const auto out_names = kernel_output_names(impl);
+  std::vector<std::int64_t> eval_in(in_names.size(), 0);
+  std::vector<std::int64_t> eval_out(out_names.size(), 0);
 
   CosimReport report;
   report.level = config.level;
@@ -491,15 +515,13 @@ CosimReport run_message_level(const hw::HlsResult& impl,
 
     const auto evaluate_sample =
         [&](const std::vector<std::int64_t>& sample, bool remote) {
-          std::map<std::string, std::int64_t> in;
           for (std::size_t k = 0; k < in_names.size(); ++k) {
             // Remote evaluation: the marshalled inputs crossed the bus.
-            in[in_names[k]] =
+            eval_in[k] =
                 remote ? fi->corrupt_bus_word(sample[k]) : sample[k];
           }
-          const auto out = cdfg.evaluate(in);
-          for (const auto& name : out_names) {
-            std::int64_t value = out.at(name);
+          eval.run(eval_in, eval_out);
+          for (std::int64_t value : eval_out) {
             if (remote) {
               value = fi->corrupt_bus_word(
                   fi->corrupt_kernel_result(value));
@@ -581,13 +603,9 @@ CosimReport run_message_level(const hw::HlsResult& impl,
     // separately simulated device activation.
     sim.advance_to(sim.now() + impl.latency);
     bus.message(8 * out_names.size());  // receive
-    std::map<std::string, std::int64_t> in;
-    for (std::size_t k = 0; k < in_names.size(); ++k) {
-      in[in_names[k]] = sample[k];
-    }
-    const auto out = cdfg.evaluate(in);
-    for (const auto& name : out_names) {
-      fold_checksum(report.checksum, out.at(name));
+    eval.run(sample, eval_out);
+    for (const std::int64_t value : eval_out) {
+      fold_checksum(report.checksum, value);
     }
     ++activations;
   }

@@ -87,6 +87,7 @@ struct CosimReport {
 
 /// Streams `sample_inputs` through the accelerator `impl` under `config`.
 /// sample_inputs[i] holds sample i's kernel inputs in cdfg-input order.
+[[deprecated("use sim::run({.level = Level::kAccelerator, ...})")]]
 CosimReport run_cosim(const hw::HlsResult& impl, const CosimConfig& config,
                       const std::vector<std::vector<std::int64_t>>&
                           sample_inputs);

@@ -4,16 +4,13 @@ namespace mhs::sim {
 
 StreamPeripheral::StreamPeripheral(Simulator& sim, const hw::HlsResult& impl,
                                    InterfaceLevel level)
-    : sim_(&sim), impl_(&impl), level_(level) {
-  const ir::Cdfg& cdfg = impl.schedule.cdfg();
-  for (const ir::OpId id : cdfg.inputs()) {
-    input_names_.push_back(cdfg.op(id).name);
-  }
-  for (const ir::OpId id : cdfg.outputs()) {
-    output_names_.push_back(cdfg.op(id).name);
-  }
+    : sim_(&sim), impl_(&impl), level_(level),
+      eval_(impl.schedule.cdfg()) {
+  input_names_ = eval_.input_names();
+  output_names_ = eval_.output_names();
   input_regs_.assign(input_names_.size(), 0);
   output_regs_.assign(output_names_.size(), 0);
+  pending_out_.assign(output_names_.size(), 0);
 }
 
 std::int64_t StreamPeripheral::reg_read(std::uint64_t offset) {
@@ -83,21 +80,17 @@ void StreamPeripheral::start() {
   ++activations_;
   const std::uint64_t gen = ++generation_;
 
-  // Compute the functional result from the synthesized datapath.
-  std::map<std::string, std::int64_t> in;
-  for (std::size_t i = 0; i < input_names_.size(); ++i) {
-    in[input_names_[i]] = input_regs_[i];
-  }
-  auto out = hw::simulate_datapath(*impl_, in);
+  // Compute the functional result from the precompiled datapath
+  // (bit-identical to hw::simulate_datapath over the same schedule).
+  eval_.run(input_regs_, pending_out_);
 
   const Time latency = impl_->latency;
   if (level_ == InterfaceLevel::kPin) {
     // Pin/RTL-accurate mode: one event per controller state transition
     // (the synthesized schedule's states; an injected stall lengthens
-    // only the completion hand-off, not the FSM walk).
-    for (Time s = 1; s < latency; ++s) {
-      sim_->schedule(s, [] { /* FSM state advance */ });
-    }
+    // only the completion hand-off, not the FSM walk). The walk itself
+    // is pure filler — one null batch.
+    if (latency > 1) sim_->schedule_null_batch(1, 1, latency - 1);
   }
   const std::uint64_t stall =
       fault_ == nullptr ? 0 : fault_->peripheral_stall_cycles();
@@ -109,10 +102,10 @@ void StreamPeripheral::start() {
   }
   const Time total = latency + static_cast<Time>(stall);
   busy_until_ = sim_->now() + total;
-  sim_->schedule(total, [this, gen, out = std::move(out)] {
+  sim_->schedule(total, [this, gen] {
     if (gen != generation_) return;  // superseded by a reset/restart
-    for (std::size_t j = 0; j < output_names_.size(); ++j) {
-      std::int64_t v = out.at(output_names_[j]);
+    for (std::size_t j = 0; j < output_regs_.size(); ++j) {
+      std::int64_t v = pending_out_[j];
       if (fault_ != nullptr) v = fault_->corrupt_kernel_result(v);
       output_regs_[j] = v;
     }

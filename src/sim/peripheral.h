@@ -81,10 +81,16 @@ class StreamPeripheral {
   InterfaceLevel level_;
   fault::FaultInjector* fault_ = nullptr;
   Time busy_until_ = 0;
+  /// The synthesized kernel precompiled once; each activation is then a
+  /// flat array walk instead of a per-call sort + name-map evaluation.
+  ir::CompiledEval eval_;
   std::vector<std::string> input_names_;
   std::vector<std::string> output_names_;
   std::vector<std::int64_t> input_regs_;
   std::vector<std::int64_t> output_regs_;
+  /// Results of the in-flight activation, committed to output_regs_ by
+  /// the completion event (which captures only {this, generation}).
+  std::vector<std::int64_t> pending_out_;
   bool irq_enabled_ = false;
   bool busy_ = false;
   bool done_ = false;

@@ -33,9 +33,9 @@ namespace mhs::svc {
 enum class Endpoint {
   kFlow,           ///< POST /v1/flow           — core::run_codesign_flow
   kExplore,        ///< POST /v1/explore        — core::Explorer sweep
-  kCosim,          ///< POST /v1/cosim          — sim::run_cosim (fault-free)
+  kCosim,          ///< POST /v1/cosim          — sim::run (fault-free)
   kLint,           ///< POST /v1/lint           — analysis verifier + lints
-  kFaultCampaign,  ///< POST /v1/fault-campaign — sim::run_cosim + FaultPlan
+  kFaultCampaign,  ///< POST /v1/fault-campaign — sim::run + FaultPlan
   kHealth,         ///< GET  /v1/health
   kMetrics,        ///< GET  /v1/metrics        — obs registry + svc stats
 };
@@ -187,7 +187,7 @@ struct Response {
 };
 
 /// The one uniform entry point: dispatches `request` onto the library
-/// (core::run_codesign_flow / core::Explorer / sim::run_cosim /
+/// (core::run_codesign_flow / core::Explorer / sim::run /
 /// mhs::analysis / mhs::fault) through a process-wide Dispatcher, with
 /// result caching and in-flight coalescing of identical requests. Never
 /// throws: failures come back as status 400/500 responses.

@@ -19,6 +19,7 @@
 #include "ir/cdfg.h"
 #include "ir/serialize.h"
 #include "obs/obs.h"
+#include "sim/run.h"
 #include "partition/algorithms.h"
 #include "sim/cosim.h"
 #include "svc/artifact.h"
@@ -661,8 +662,11 @@ Response Dispatcher::evaluate(const Prepared& prep) {
           }
           samples.push_back(std::move(in));
         }
-        const sim::CosimReport report =
-            sim::run_cosim(impl, prep.cosim, samples);
+        sim::SimRequest sreq;
+        sreq.impl = &impl;
+        sreq.samples = &samples;
+        sreq.cosim = prep.cosim;
+        const sim::CosimReport report = std::move(sim::run(sreq).cosim).value();
         resp.result_json = cosim_json(report, prep.samples);
         return resp;
       }

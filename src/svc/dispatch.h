@@ -1,6 +1,6 @@
 // The service dispatcher: one object that maps every svc::Request onto
 // the library entry points (core::run_codesign_flow, core::Explorer,
-// sim::run_cosim, mhs::analysis, mhs::fault) and owns the service-side
+// sim::run, mhs::analysis, mhs::fault) and owns the service-side
 // memoization:
 //
 //   * a result cache (ConcurrentCache — the same machinery as the

@@ -23,13 +23,36 @@ void Iss::reset() {
   std::fill(histogram_.begin(), histogram_.end(), 0);
 }
 
+std::int64_t Iss::mem_load(std::uint64_t word_index) const {
+  const std::uint64_t page = word_index >> kPageShift;
+  if (page < pages_.size() && pages_[page] != nullptr) {
+    return pages_[page][word_index & (kPageWords - 1)];
+  }
+  if (page < kMaxDirectPages) return 0;  // never-written direct page
+  const auto it = far_memory_.find(word_index);
+  return it == far_memory_.end() ? 0 : it->second;
+}
+
+void Iss::mem_store(std::uint64_t word_index, std::int64_t value) {
+  const std::uint64_t page = word_index >> kPageShift;
+  if (page < kMaxDirectPages) {
+    if (page >= pages_.size()) pages_.resize(page + 1);
+    if (pages_[page] == nullptr) {
+      pages_[page] = std::make_unique<std::int64_t[]>(kPageWords);
+    }
+    pages_[page][word_index & (kPageWords - 1)] = value;
+  } else {
+    far_memory_[word_index] = value;
+  }
+}
+
 void Iss::write_word(std::uint64_t addr, std::int64_t value) {
   MHS_CHECK(addr % 8 == 0, "unaligned word write at 0x" << std::hex << addr);
   if (const MmioRange* range = find_mmio(addr)) {
     range->write(addr, value);
     return;
   }
-  memory_[addr >> 3] = value;
+  mem_store(addr >> 3, value);
 }
 
 std::int64_t Iss::read_word(std::uint64_t addr) {
@@ -37,8 +60,7 @@ std::int64_t Iss::read_word(std::uint64_t addr) {
   if (const MmioRange* range = find_mmio(addr)) {
     return range->read(addr);
   }
-  const auto it = memory_.find(addr >> 3);
-  return it == memory_.end() ? 0 : it->second;
+  return mem_load(addr >> 3);
 }
 
 void Iss::add_mmio(std::uint64_t lo, std::uint64_t hi,
@@ -70,6 +92,133 @@ void Iss::set_reg(std::size_t r, std::int64_t value) {
   if (r != kZeroReg) regs_[r] = value;
 }
 
+// Table-threaded interpreter: one handler per opcode, dispatched through
+// a function-pointer table instead of a switch. Each handler owns its
+// complete semantics (result, next pc, cycle accounting) and matches the
+// previous switch-based interpreter exactly, including the divide-by-zero
+// and iret-outside-handler checks.
+struct Iss::Ops {
+  static std::int64_t rs1(const Iss& s, const Instr& i) { return s.reg(i.rs1); }
+  static std::int64_t rs2(const Iss& s, const Instr& i) { return s.reg(i.rs2); }
+
+  /// Common epilogue: commit next_pc and charge the model's cycle cost.
+  static std::uint64_t finish(Iss& s, const Instr& i, std::size_t next_pc,
+                              bool taken) {
+    s.pc_ = next_pc;
+    const std::uint64_t cycles = s.model_.cycles_for(i, taken);
+    s.total_cycles_ += cycles;
+    return cycles;
+  }
+
+  static std::uint64_t nop(Iss& s, const Instr& i) {
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t halt(Iss& s, const Instr& i) {
+    s.halted_ = true;
+    return finish(s, i, s.pc_, false);
+  }
+  static std::uint64_t li(Iss& s, const Instr& i) {
+    s.set_reg(i.rd, i.imm);
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t add(Iss& s, const Instr& i) {
+    s.set_reg(i.rd, rs1(s, i) + rs2(s, i));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t sub(Iss& s, const Instr& i) {
+    s.set_reg(i.rd, rs1(s, i) - rs2(s, i));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t mul(Iss& s, const Instr& i) {
+    s.set_reg(i.rd, rs1(s, i) * rs2(s, i));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t div(Iss& s, const Instr& i) {
+    MHS_CHECK(rs2(s, i) != 0, "ISS divide by zero at pc " << s.pc_);
+    s.set_reg(i.rd, rs1(s, i) / rs2(s, i));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t shl(Iss& s, const Instr& i) {
+    s.set_reg(i.rd, static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(rs1(s, i))
+                        << (static_cast<std::uint64_t>(rs2(s, i)) & 63)));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t shr(Iss& s, const Instr& i) {
+    s.set_reg(i.rd,
+              rs1(s, i) >> (static_cast<std::uint64_t>(rs2(s, i)) & 63));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t band(Iss& s, const Instr& i) {
+    s.set_reg(i.rd, rs1(s, i) & rs2(s, i));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t bor(Iss& s, const Instr& i) {
+    s.set_reg(i.rd, rs1(s, i) | rs2(s, i));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t bxor(Iss& s, const Instr& i) {
+    s.set_reg(i.rd, rs1(s, i) ^ rs2(s, i));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t slt(Iss& s, const Instr& i) {
+    s.set_reg(i.rd, rs1(s, i) < rs2(s, i) ? 1 : 0);
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t seq(Iss& s, const Instr& i) {
+    s.set_reg(i.rd, rs1(s, i) == rs2(s, i) ? 1 : 0);
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t addi(Iss& s, const Instr& i) {
+    s.set_reg(i.rd, rs1(s, i) + i.imm);
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t cmovnz(Iss& s, const Instr& i) {
+    if (rs1(s, i) != 0) s.set_reg(i.rd, rs2(s, i));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t ld(Iss& s, const Instr& i) {
+    s.set_reg(i.rd,
+              s.read_word(static_cast<std::uint64_t>(rs1(s, i) + i.imm)));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t st(Iss& s, const Instr& i) {
+    s.write_word(static_cast<std::uint64_t>(rs1(s, i) + i.imm), rs2(s, i));
+    return finish(s, i, s.pc_ + 1, false);
+  }
+  static std::uint64_t beq(Iss& s, const Instr& i) {
+    const bool taken = rs1(s, i) == rs2(s, i);
+    return finish(s, i,
+                  taken ? static_cast<std::size_t>(i.imm) : s.pc_ + 1, taken);
+  }
+  static std::uint64_t bne(Iss& s, const Instr& i) {
+    const bool taken = rs1(s, i) != rs2(s, i);
+    return finish(s, i,
+                  taken ? static_cast<std::size_t>(i.imm) : s.pc_ + 1, taken);
+  }
+  static std::uint64_t jmp(Iss& s, const Instr& i) {
+    return finish(s, i, static_cast<std::size_t>(i.imm), true);
+  }
+  static std::uint64_t iret(Iss& s, const Instr& i) {
+    (void)i;
+    MHS_CHECK(s.in_isr_, "iret outside interrupt handler at pc " << s.pc_);
+    s.in_isr_ = false;
+    s.pc_ = s.saved_pc_;
+    s.total_cycles_ += kIretCycles;
+    return kIretCycles;
+  }
+
+  using Handler = std::uint64_t (*)(Iss&, const Instr&);
+  static constexpr Handler kTable[] = {
+      /*kNop=*/nop,     /*kHalt=*/halt,  /*kLi=*/li,       /*kAdd=*/add,
+      /*kSub=*/sub,     /*kMul=*/mul,    /*kDiv=*/div,     /*kShl=*/shl,
+      /*kShr=*/shr,     /*kAnd=*/band,   /*kOr=*/bor,      /*kXor=*/bxor,
+      /*kSlt=*/slt,     /*kSeq=*/seq,    /*kAddi=*/addi,
+      /*kCmovnz=*/cmovnz, /*kLd=*/ld,    /*kSt=*/st,       /*kBeq=*/beq,
+      /*kBne=*/bne,     /*kJmp=*/jmp,    /*kIret=*/iret,
+  };
+};
+
 std::uint64_t Iss::step() {
   if (halted_) return 0;
 
@@ -89,77 +238,7 @@ std::uint64_t Iss::step() {
   const Instr& i = code_[pc_];
   ++histogram_[static_cast<std::size_t>(i.op)];
   ++total_instructions_;
-  bool taken = false;
-  std::size_t next_pc = pc_ + 1;
-
-  auto rs1 = [&] { return reg(i.rs1); };
-  auto rs2 = [&] { return reg(i.rs2); };
-
-  switch (i.op) {
-    case Opcode::kNop:
-      break;
-    case Opcode::kHalt:
-      halted_ = true;
-      next_pc = pc_;
-      break;
-    case Opcode::kLi:
-      set_reg(i.rd, i.imm);
-      break;
-    case Opcode::kAdd: set_reg(i.rd, rs1() + rs2()); break;
-    case Opcode::kSub: set_reg(i.rd, rs1() - rs2()); break;
-    case Opcode::kMul: set_reg(i.rd, rs1() * rs2()); break;
-    case Opcode::kDiv:
-      MHS_CHECK(rs2() != 0, "ISS divide by zero at pc " << pc_);
-      set_reg(i.rd, rs1() / rs2());
-      break;
-    case Opcode::kShl:
-      set_reg(i.rd, static_cast<std::int64_t>(
-                        static_cast<std::uint64_t>(rs1())
-                        << (static_cast<std::uint64_t>(rs2()) & 63)));
-      break;
-    case Opcode::kShr:
-      set_reg(i.rd, rs1() >> (static_cast<std::uint64_t>(rs2()) & 63));
-      break;
-    case Opcode::kAnd: set_reg(i.rd, rs1() & rs2()); break;
-    case Opcode::kOr:  set_reg(i.rd, rs1() | rs2()); break;
-    case Opcode::kXor: set_reg(i.rd, rs1() ^ rs2()); break;
-    case Opcode::kSlt: set_reg(i.rd, rs1() < rs2() ? 1 : 0); break;
-    case Opcode::kSeq: set_reg(i.rd, rs1() == rs2() ? 1 : 0); break;
-    case Opcode::kAddi: set_reg(i.rd, rs1() + i.imm); break;
-    case Opcode::kCmovnz:
-      if (rs1() != 0) set_reg(i.rd, rs2());
-      break;
-    case Opcode::kLd:
-      set_reg(i.rd, read_word(static_cast<std::uint64_t>(rs1() + i.imm)));
-      break;
-    case Opcode::kSt:
-      write_word(static_cast<std::uint64_t>(rs1() + i.imm), rs2());
-      break;
-    case Opcode::kBeq:
-      taken = rs1() == rs2();
-      if (taken) next_pc = static_cast<std::size_t>(i.imm);
-      break;
-    case Opcode::kBne:
-      taken = rs1() != rs2();
-      if (taken) next_pc = static_cast<std::size_t>(i.imm);
-      break;
-    case Opcode::kJmp:
-      taken = true;
-      next_pc = static_cast<std::size_t>(i.imm);
-      break;
-    case Opcode::kIret:
-      MHS_CHECK(in_isr_, "iret outside interrupt handler at pc " << pc_);
-      in_isr_ = false;
-      next_pc = saved_pc_;
-      pc_ = next_pc;
-      total_cycles_ += kIretCycles;
-      return kIretCycles;
-  }
-
-  pc_ = next_pc;
-  const std::uint64_t cycles = model_.cycles_for(i, taken);
-  total_cycles_ += cycles;
-  return cycles;
+  return Ops::kTable[static_cast<std::size_t>(i.op)](*this, i);
 }
 
 RunResult Iss::run(std::uint64_t max_cycles) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -90,9 +91,27 @@ class Iss {
   };
   const MmioRange* find_mmio(std::uint64_t addr) const;
 
+  /// Opcode handlers for the table-threaded interpreter (iss.cpp).
+  struct Ops;
+  friend struct Ops;
+
+  /// Word-granular backing store: zero-initialized direct-mapped pages
+  /// for the low address space the compiler conventions actually use
+  /// (driver buffers, monitor port, relocated fallback), with a hash-map
+  /// spillover for pathological far addresses (fault-corrupted
+  /// pointers). Reads of never-written words are 0, exactly like the
+  /// hash-map-only store this replaces — without hashing on every
+  /// ld/st in the co-simulation inner loop.
+  static constexpr std::uint64_t kPageShift = 12;
+  static constexpr std::uint64_t kPageWords = std::uint64_t{1} << kPageShift;
+  static constexpr std::uint64_t kMaxDirectPages = std::uint64_t{1} << 13;
+  std::int64_t mem_load(std::uint64_t word_index) const;
+  void mem_store(std::uint64_t word_index, std::int64_t value);
+
   CpuModel model_;
   std::vector<Instr> code_;
-  std::unordered_map<std::uint64_t, std::int64_t> memory_;
+  std::vector<std::unique_ptr<std::int64_t[]>> pages_;
+  std::unordered_map<std::uint64_t, std::int64_t> far_memory_;
   std::vector<MmioRange> mmio_;
   std::int64_t regs_[kNumRegisters] = {};
   std::size_t pc_ = 0;

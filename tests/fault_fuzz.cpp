@@ -33,9 +33,22 @@
 #include "fault/fault.h"
 #include "hw/hls.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
 
 namespace mhs {
 namespace {
+
+/// Drives the accelerator co-simulation through the sim::run seam.
+sim::CosimReport accel_cosim(
+    const hw::HlsResult& impl, const sim::CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  sim::SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return sim::run(sreq).cosim.value();
+}
+
 
 std::size_t fuzz_iters() {
   const char* env = std::getenv("MHS_FUZZ_ITERS");
@@ -146,13 +159,13 @@ TEST(FaultFuzz, RandomPlansNeverCrashAndKeepInvariants) {
       }
       samples.push_back(std::move(in));
     }
-    const sim::CosimReport report = sim::run_cosim(impl, cfg, samples);
+    const sim::CosimReport report = accel_cosim(impl, cfg, samples);
     check_report(report, iter);
     faulty_runs += report.resilience.injected > 0 ? 1 : 0;
     if (iter % 10 == 0) {
       // Determinism probe: the same (seed, plan, workload) must
       // reproduce the run bit-exactly.
-      const sim::CosimReport again = sim::run_cosim(impl, cfg, samples);
+      const sim::CosimReport again = accel_cosim(impl, cfg, samples);
       EXPECT_EQ(again.resilience, report.resilience) << "iter " << iter;
       EXPECT_EQ(again.checksum, report.checksum) << "iter " << iter;
       EXPECT_EQ(again.total_cycles, report.total_cycles) << "iter " << iter;

@@ -9,10 +9,23 @@
 #include "hw/fsm.h"
 #include "opt/anneal.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
 #include "sw/estimate.h"
 
 namespace mhs {
 namespace {
+
+/// Drives the accelerator co-simulation through the sim::run seam.
+sim::CosimReport accel_cosim(
+    const hw::HlsResult& impl, const sim::CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  sim::SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return sim::run(sreq).cosim.value();
+}
+
 
 TEST(SwEstimateExtras, TakenFractionInterpolatesBranchCost) {
   const std::vector<sw::Instr> code = {
@@ -92,8 +105,8 @@ TEST(CosimExtras, IrqDriverWorksAtPinLevel) {
   sim::CosimConfig irq = polling;
   irq.use_irq = true;
   irq.background_unroll = 2;
-  const sim::CosimReport a = sim::run_cosim(impl, polling, samples);
-  const sim::CosimReport b = sim::run_cosim(impl, irq, samples);
+  const sim::CosimReport a = accel_cosim(impl, polling, samples);
+  const sim::CosimReport b = accel_cosim(impl, irq, samples);
   EXPECT_EQ(a.checksum, b.checksum);
   EXPECT_GT(b.background_units, 0);
   EXPECT_GT(a.signal_transitions, 0u);

@@ -20,6 +20,7 @@
 #include "cosynth/run.h"
 #include "fault/fault.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
 #include "sim/dma.h"
 #include "sim/peripheral.h"
 
@@ -329,6 +330,17 @@ TEST(EffectiveSeed, EnvOverrideWinsWhenParseable) {
 namespace mhs::sim {
 namespace {
 
+/// Drives the accelerator co-simulation through the sim::run seam.
+CosimReport accel_cosim(
+    const hw::HlsResult& impl, const CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return run(sreq).cosim.value();
+}
+
 hw::HlsResult make_impl(const ir::Cdfg& kernel) {
   static hw::ComponentLibrary lib = hw::default_library();
   hw::HlsConstraints constraints;
@@ -593,7 +605,7 @@ TEST(FaultCosim, FaultFreeRunsMatchPrePrBaseline) {
     // A plan object with only zero-rate specs is as good as no plan.
     cfg.fault_plan.add(fault::FaultSpec::bus_bit_flip(0.0))
         .add(fault::FaultSpec::dma_drop(0.0));
-    const CosimReport report = run_cosim(impl, cfg, samples);
+    const CosimReport report = accel_cosim(impl, cfg, samples);
     const std::string what = std::string(interface_level_name(g.level)) +
                              (g.use_irq ? "+irq" : "");
     EXPECT_EQ(report.total_cycles, g.cycles) << what;
@@ -624,8 +636,8 @@ TEST(FaultCosim, SameSeedAndPlanReproduceBitExactlyAtEveryLevel) {
     cfg.level = level;
     cfg.fault_plan = mixed_plan();
     cfg.fault_seed = 77;
-    const CosimReport a = run_cosim(impl, cfg, samples);
-    const CosimReport b = run_cosim(impl, cfg, samples);
+    const CosimReport a = accel_cosim(impl, cfg, samples);
+    const CosimReport b = accel_cosim(impl, cfg, samples);
     EXPECT_EQ(a.checksum, b.checksum) << interface_level_name(level);
     EXPECT_EQ(a.total_cycles, b.total_cycles) << interface_level_name(level);
     EXPECT_EQ(a.sim_events, b.sim_events) << interface_level_name(level);
@@ -644,9 +656,9 @@ TEST(FaultCosim, DifferentSeedsScheduleDifferentFaults) {
   cfg.level = InterfaceLevel::kRegister;
   cfg.fault_plan = mixed_plan();
   cfg.fault_seed = 1;
-  const CosimReport a = run_cosim(impl, cfg, samples);
+  const CosimReport a = accel_cosim(impl, cfg, samples);
   cfg.fault_seed = 2;
-  const CosimReport b = run_cosim(impl, cfg, samples);
+  const CosimReport b = accel_cosim(impl, cfg, samples);
   EXPECT_FALSE(a.resilience == b.resilience &&
                a.checksum == b.checksum &&
                a.total_cycles == b.total_cycles);
@@ -663,10 +675,10 @@ TEST(FaultCosim, MhsFaultSeedEnvOverridesConfigSeed) {
   const CosimReport direct = [&] {
     CosimConfig c = cfg;
     c.fault_seed = 31337;
-    return run_cosim(impl, c, samples);
+    return accel_cosim(impl, c, samples);
   }();
   ASSERT_EQ(setenv("MHS_FAULT_SEED", "31337", 1), 0);
-  const CosimReport via_env = run_cosim(impl, cfg, samples);
+  const CosimReport via_env = accel_cosim(impl, cfg, samples);
   ASSERT_EQ(unsetenv("MHS_FAULT_SEED"), 0);
   EXPECT_EQ(via_env.resilience, direct.resilience);
   EXPECT_EQ(via_env.checksum, direct.checksum);
@@ -683,7 +695,7 @@ TEST(FaultRecovery, SingleHangIsDetectedAndRetriedAtDriverLevel) {
   fault::FaultSpec hang = fault::FaultSpec::peripheral_hang(1.0);
   hang.max_count = 1;
   cfg.fault_plan.add(hang);
-  const CosimReport report = run_cosim(impl, cfg, samples);
+  const CosimReport report = accel_cosim(impl, cfg, samples);
   EXPECT_EQ(report.checksum, reference_checksum(kernel, samples));
   EXPECT_EQ(report.resilience.injected, 1u);
   EXPECT_EQ(report.resilience.detected, 1u);
@@ -705,7 +717,7 @@ TEST(FaultRecovery, SingleHangIsRecoveredAtIssLevels) {
     fault::FaultSpec hang = fault::FaultSpec::peripheral_hang(1.0);
     hang.max_count = 1;
     cfg.fault_plan.add(hang);
-    const CosimReport report = run_cosim(impl, cfg, samples);
+    const CosimReport report = accel_cosim(impl, cfg, samples);
     EXPECT_EQ(report.checksum, reference_checksum(kernel, samples))
         << interface_level_name(level);
     EXPECT_EQ(report.resilience.recovered, 1u)
@@ -725,7 +737,7 @@ TEST(FaultRecovery, SingleHangIsRecoveredAtMessageLevel) {
   fault::FaultSpec hang = fault::FaultSpec::peripheral_hang(1.0);
   hang.max_count = 1;
   cfg.fault_plan.add(hang);
-  const CosimReport report = run_cosim(impl, cfg, samples);
+  const CosimReport report = accel_cosim(impl, cfg, samples);
   EXPECT_EQ(report.checksum, reference_checksum(kernel, samples));
   EXPECT_EQ(report.resilience.recovered, 1u);
   EXPECT_EQ(report.resilience.degradations, 0u);
@@ -743,7 +755,7 @@ TEST(FaultRecovery, BackoffDoublesTheWindowUpToTheCap) {
   cfg.resilience.timeout_cycles = 100;
   cfg.resilience.backoff_cap = 2;  // windows: 100, 200, 200
   cfg.resilience.max_retries = 3;
-  const CosimReport report = run_cosim(impl, cfg, samples);
+  const CosimReport report = accel_cosim(impl, cfg, samples);
   EXPECT_EQ(report.checksum, reference_checksum(kernel, samples));
   EXPECT_EQ(report.resilience.detected, 3u);
   EXPECT_EQ(report.resilience.recovered, 1u);
@@ -761,7 +773,7 @@ TEST(FaultRecovery, DegradationFallsBackToSoftwareAfterRetriesExhaust) {
   cfg.fault_plan.add(fault::FaultSpec::peripheral_hang(1.0));
   cfg.resilience.max_retries = 1;
   cfg.resilience.degrade_after = 2;  // sticky after two failed samples
-  const CosimReport report = run_cosim(impl, cfg, samples);
+  const CosimReport report = accel_cosim(impl, cfg, samples);
   // Every sample still computes the right answer — in software.
   EXPECT_EQ(report.checksum, reference_checksum(kernel, samples));
   EXPECT_EQ(report.resilience.degradations, samples.size());
@@ -789,7 +801,7 @@ TEST(FaultRecovery, ResilientIsaDriverDegradesAndStaysCorrect) {
     cfg.fault_plan.add(fault::FaultSpec::peripheral_hang(1.0));
     cfg.resilience.max_retries = 1;
     cfg.resilience.degrade_after = 1;
-    const CosimReport report = run_cosim(impl, cfg, samples);
+    const CosimReport report = accel_cosim(impl, cfg, samples);
     EXPECT_EQ(report.checksum, reference_checksum(kernel, samples))
         << (use_irq ? "irq" : "polling");
     EXPECT_EQ(report.resilience.degradations, samples.size())
@@ -808,7 +820,7 @@ TEST(FaultRecovery, MessageLevelDegradationStaysCorrect) {
   cfg.fault_plan.add(fault::FaultSpec::peripheral_hang(1.0));
   cfg.resilience.max_retries = 2;
   cfg.resilience.degrade_after = 1;
-  const CosimReport report = run_cosim(impl, cfg, samples);
+  const CosimReport report = accel_cosim(impl, cfg, samples);
   EXPECT_EQ(report.checksum, reference_checksum(kernel, samples));
   EXPECT_EQ(report.resilience.degradations, samples.size());
   EXPECT_EQ(report.hw_activations, 0u);
@@ -822,7 +834,7 @@ TEST(FaultRecovery, VerifyWritesCatchesBusCorruptionAtDriverLevel) {
   cfg.level = InterfaceLevel::kDriver;
   cfg.fault_plan.add(fault::FaultSpec::bus_bit_flip(0.1, 13));
   cfg.resilience.verify_writes = true;
-  const CosimReport report = run_cosim(impl, cfg, samples);
+  const CosimReport report = accel_cosim(impl, cfg, samples);
   EXPECT_GT(report.resilience.injected, 0u);
   EXPECT_GT(report.resilience.detected, 0u);
   EXPECT_TRUE(report.resilience.invariants_hold());
@@ -836,7 +848,7 @@ TEST(FaultRecovery, ProfileBucketsSumToTotalUnderInjection) {
     CosimConfig cfg;
     cfg.level = level;
     cfg.fault_plan = mixed_plan();
-    const CosimReport report = run_cosim(impl, cfg, samples);
+    const CosimReport report = accel_cosim(impl, cfg, samples);
     std::uint64_t sum = 0;
     for (std::size_t c = 0; c < obs::Profile::kNumCategories; ++c) {
       sum += report.profile.cycles(static_cast<obs::Profile::Category>(c));
@@ -860,7 +872,7 @@ TEST(FaultObs, CountersAndRecoveryHistogramReachTheRegistry) {
     fault::FaultSpec hang = fault::FaultSpec::peripheral_hang(1.0);
     hang.max_count = 1;
     cfg.fault_plan.add(hang);
-    (void)run_cosim(impl, cfg, samples);
+    (void)accel_cosim(impl, cfg, samples);
   }
   EXPECT_EQ(registry.counter("fault.injected"), 1u);
   EXPECT_EQ(registry.counter("fault.detected"), 1u);
@@ -935,7 +947,11 @@ TEST(FaultFlow, ThreadCountDoesNotChangeResilienceResults) {
       cfg.fault_plan.add(fault::FaultSpec::peripheral_stall(0.4, 60))
           .add(fault::FaultSpec::bus_bit_flip(0.02));
       cfg.fault_seed = 100 + i;
-      out[i] = sim::run_cosim(impl, cfg, samples);
+      sim::SimRequest sreq;
+      sreq.impl = &impl;
+      sreq.samples = &samples;
+      sreq.cosim = cfg;
+      out[i] = sim::run(sreq).cosim.value();
     });
     return out;
   };

@@ -15,10 +15,23 @@
 #include "opt/pareto.h"
 #include "partition/algorithms.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
 #include "sw/iss.h"
 
 namespace mhs {
 namespace {
+
+/// Drives the accelerator co-simulation through the sim::run seam.
+sim::CosimReport accel_cosim(
+    const hw::HlsResult& impl, const sim::CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  sim::SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return sim::run(sreq).cosim.value();
+}
+
 
 // ---------------------------------------------------------------------
 // The §3.2 story: one specification, three executable implementations
@@ -86,7 +99,7 @@ TEST(Integration, EmbeddedStackRunsSynthesizedDriverAtPinLevel) {
   sim::CosimConfig pin_cfg;
   pin_cfg.level = sim::InterfaceLevel::kPin;
   pin_cfg.use_irq = iface.candidates[iface.selected].use_irq;
-  const sim::CosimReport pin = sim::run_cosim(impl, pin_cfg, samples);
+  const sim::CosimReport pin = accel_cosim(impl, pin_cfg, samples);
   EXPECT_EQ(pin.checksum, iface.candidates[iface.selected].report.checksum);
   EXPECT_GT(pin.signal_transitions, 0u);
 }
@@ -158,7 +171,14 @@ TEST(Integration, MtCoprocPartitionImprovesOverAllSoftware) {
   eval.iterations = 32;
   const std::vector<bool> all_sw(net.num_processes(), false);
   const sim::OsCosimResult sw_run =
-      sim::run_message_cosim(net, all_sw, eval);
+      [&] {
+        sim::SimRequest sreq;
+        sreq.level = sim::Level::kProcess;
+        sreq.network = &net;
+        sreq.in_hw = &all_sw;
+        sreq.os = eval;
+        return sim::run(sreq).os.value();
+      }();
 
   opt::AnnealConfig anneal_cfg;
   anneal_cfg.rounds = 20;

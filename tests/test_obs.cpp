@@ -16,9 +16,22 @@
 #include "core/report.h"
 #include "obs/obs.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
 
 namespace mhs::obs {
 namespace {
+
+/// Drives the accelerator co-simulation through the sim::run seam.
+sim::CosimReport accel_cosim(
+    const hw::HlsResult& impl, const sim::CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  sim::SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return sim::run(sreq).cosim.value();
+}
+
 
 TEST(Obs, DisabledByDefaultAndSpansInert) {
   ASSERT_EQ(registry(), nullptr);
@@ -681,7 +694,7 @@ TEST(ObsProfile, PinLevelCosimAttributionSumsToTotalCycles) {
         sim::InterfaceLevel::kDriver}) {
     sim::CosimConfig cfg;
     cfg.level = level;
-    const sim::CosimReport r = sim::run_cosim(impl, cfg, samples);
+    const sim::CosimReport r = accel_cosim(impl, cfg, samples);
     ASSERT_GT(r.total_cycles, 0.0);
     EXPECT_EQ(r.profile.total(),
               static_cast<std::uint64_t>(r.total_cycles))
@@ -729,7 +742,7 @@ TEST(ObsProfile, IssOpcodeCountersSumToRetiredInstructions) {
   sim::CosimReport report;
   {
     ScopedRegistry scope(r);
-    report = sim::run_cosim(impl, cfg, samples);
+    report = accel_cosim(impl, cfg, samples);
   }
   ASSERT_GT(report.sw_instructions, 0u);
   std::uint64_t op_total = 0;

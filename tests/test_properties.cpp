@@ -16,6 +16,7 @@
 #include "opt/pareto.h"
 #include "partition/algorithms.h"
 #include "sim/os_cosim.h"
+#include "sim/run.h"
 #include "sw/iss.h"
 
 namespace mhs {
@@ -223,7 +224,14 @@ TEST_P(Seeded, OsCosimTokenConservation) {
   }
   sim::OsCosimConfig cfg;
   cfg.iterations = 7;
-  const sim::OsCosimResult r = sim::run_message_cosim(net, mapping, cfg);
+  const sim::OsCosimResult r = [&] {
+    sim::SimRequest sreq;
+    sreq.level = sim::Level::kProcess;
+    sreq.network = &net;
+    sreq.in_hw = &mapping;
+    sreq.os = cfg;
+    return sim::run(sreq).os.value();
+  }();
   EXPECT_FALSE(r.deadlocked);
   for (const std::uint64_t m : r.channel_messages) {
     EXPECT_EQ(m, 7u);

@@ -23,6 +23,7 @@
 #include "hw/hls.h"
 #include "obs/json.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
 #include "svc/api.h"
 #include "svc/client.h"
 #include "svc/dispatch.h"
@@ -30,6 +31,18 @@
 
 namespace mhs::svc {
 namespace {
+
+/// Drives the accelerator co-simulation through the sim::run seam.
+sim::CosimReport accel_cosim(
+    const hw::HlsResult& impl, const sim::CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  sim::SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return sim::run(sreq).cosim.value();
+}
+
 
 std::string fixture(const std::string& name) {
   std::ifstream in(std::string(MHS_FIXTURE_DIR) + "/" + name,
@@ -213,7 +226,7 @@ TEST(ServeDispatch, CosimMatchesDirectLibraryCall) {
   }
   sim::CosimConfig cfg;
   cfg.level = sim::InterfaceLevel::kRegister;
-  const sim::CosimReport report = sim::run_cosim(impl, cfg, samples);
+  const sim::CosimReport report = accel_cosim(impl, cfg, samples);
 
   EXPECT_EQ(result_number(response, "checksum"),
             static_cast<double>(report.checksum));
@@ -382,6 +395,30 @@ TEST(ServeDispatch, CorruptedFixturesAreA400NotACrash) {
   EXPECT_EQ(dispatcher.handle(unknown).status, 400);
 
   EXPECT_EQ(dispatcher.stats().errors, 4u);
+}
+
+TEST(ServeDispatch, UnknownCosimLevelIsA400) {
+  // /v1/cosim level strings resolve against the canonical
+  // interface_level_name table before reaching the sim::run seam; any
+  // other spelling is a client error, not a fallback to some default.
+  Dispatcher dispatcher;
+  Request request;
+  request.endpoint = Endpoint::kCosim;
+  request.cosim.kernel = "fir8";
+  request.cosim.level = "waveform";
+  const Response response = dispatcher.handle(request);
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.error.find("unknown level 'waveform'"),
+            std::string::npos);
+
+  for (const sim::InterfaceLevel level : sim::kAllInterfaceLevels) {
+    Request ok;
+    ok.endpoint = Endpoint::kCosim;
+    ok.cosim.kernel = "fir8";
+    ok.cosim.level = sim::interface_level_name(level);
+    ok.cosim.samples = 2;
+    EXPECT_EQ(dispatcher.handle(ok).status, 200) << ok.cosim.level;
+  }
 }
 
 // --------------------------------------------- server over real sockets

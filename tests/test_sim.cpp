@@ -9,6 +9,7 @@
 #include "base/stats.h"
 #include "sim/bus.h"
 #include "sim/cosim.h"
+#include "sim/run.h"
 #include "sim/driver.h"
 #include "sim/kernel.h"
 #include "sim/os_cosim.h"
@@ -17,6 +18,29 @@
 
 namespace mhs::sim {
 namespace {
+/// Drives the accelerator co-simulation through the sim::run seam.
+CosimReport accel_cosim(
+    const hw::HlsResult& impl, const CosimConfig& config,
+    const std::vector<std::vector<std::int64_t>>& samples) {
+  SimRequest sreq;
+  sreq.impl = &impl;
+  sreq.samples = &samples;
+  sreq.cosim = config;
+  return run(sreq).cosim.value();
+}
+
+/// Drives the message-level co-simulation through the sim::run seam.
+OsCosimResult process_cosim(const ir::ProcessNetwork& net,
+                    const std::vector<bool>& in_hw,
+                    const OsCosimConfig& config) {
+  SimRequest sreq;
+  sreq.level = Level::kProcess;
+  sreq.network = &net;
+  sreq.in_hw = &in_hw;
+  sreq.os = config;
+  return run(sreq).os.value();
+}
+
 
 TEST(Kernel, EventsRunInTimeThenInsertionOrder) {
   Simulator sim;
@@ -255,7 +279,7 @@ TEST_P(CosimLevels, FunctionalChecksumMatchesReference) {
   const auto samples = random_samples(kernel, 8, 21);
   CosimConfig cfg;
   cfg.level = GetParam();
-  const CosimReport report = run_cosim(impl, cfg, samples);
+  const CosimReport report = accel_cosim(impl, cfg, samples);
   EXPECT_EQ(report.checksum, reference_checksum(kernel, samples))
       << interface_level_name(GetParam());
   EXPECT_GT(report.total_cycles, 0.0);
@@ -277,7 +301,7 @@ TEST(Cosim, AbstractionLadderEventsDecreaseAccuracyDegrades) {
   for (const InterfaceLevel level : kAllInterfaceLevels) {
     CosimConfig cfg;
     cfg.level = level;
-    reports[level] = run_cosim(impl, cfg, samples);
+    reports[level] = accel_cosim(impl, cfg, samples);
   }
 
   // Simulation cost: strictly decreasing event counts down the ladder.
@@ -312,13 +336,13 @@ TEST(Cosim, IrqDriverEnablesBackgroundWork) {
   CosimConfig polling;
   polling.level = InterfaceLevel::kRegister;
   polling.use_irq = false;
-  const CosimReport poll_report = run_cosim(impl, polling, samples);
+  const CosimReport poll_report = accel_cosim(impl, polling, samples);
 
   CosimConfig irq;
   irq.level = InterfaceLevel::kRegister;
   irq.use_irq = true;
   irq.background_unroll = 4;
-  const CosimReport irq_report = run_cosim(impl, irq, samples);
+  const CosimReport irq_report = accel_cosim(impl, irq, samples);
 
   // Functionality identical.
   EXPECT_EQ(poll_report.checksum, irq_report.checksum);
@@ -334,7 +358,7 @@ TEST(OsCosim, ProducerConsumerCompletesAndCountsMessages) {
   OsCosimConfig cfg;
   cfg.iterations = 10;
   const std::vector<bool> all_sw(net.num_processes(), false);
-  const OsCosimResult r = run_message_cosim(net, all_sw, cfg);
+  const OsCosimResult r = process_cosim(net, all_sw, cfg);
   EXPECT_FALSE(r.deadlocked);
   EXPECT_GT(r.makespan, 0.0);
   for (const std::uint64_t m : r.channel_messages) {
@@ -355,8 +379,8 @@ TEST(OsCosim, HardwareMappingExploitsConcurrency) {
       workers_hw[p.index()] = true;
     }
   }
-  const OsCosimResult sw = run_message_cosim(net, all_sw, cfg);
-  const OsCosimResult hw = run_message_cosim(net, workers_hw, cfg);
+  const OsCosimResult sw = process_cosim(net, all_sw, cfg);
+  const OsCosimResult hw = process_cosim(net, workers_hw, cfg);
   EXPECT_FALSE(sw.deadlocked);
   EXPECT_FALSE(hw.deadlocked);
   // Hardware workers run concurrently and each is 10x faster.
@@ -372,7 +396,7 @@ TEST(OsCosim, CrossBoundaryTrafficIsPricier) {
   // Mapping that splits the heavy rx->checksum edge across the boundary.
   std::vector<bool> split(net.num_processes(), false);
   split[1] = true;  // checksum in HW
-  const OsCosimResult r = run_message_cosim(net, split, cfg);
+  const OsCosimResult r = process_cosim(net, split, cfg);
   EXPECT_GT(r.cross_comm_cycles, 0.0);
   EXPECT_LE(r.cross_comm_cycles, r.comm_cycles);
 }
@@ -380,7 +404,7 @@ TEST(OsCosim, CrossBoundaryTrafficIsPricier) {
 TEST(OsCosim, MappingSizeValidated) {
   const ir::ProcessNetwork net = apps::ekg_monitor_network();
   OsCosimConfig cfg;
-  EXPECT_THROW(run_message_cosim(net, std::vector<bool>(2, false), cfg),
+  EXPECT_THROW(process_cosim(net, std::vector<bool>(2, false), cfg),
                PreconditionError);
 }
 

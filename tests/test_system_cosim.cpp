@@ -6,15 +6,29 @@
 #include "base/rng.h"
 #include "base/stats.h"
 #include "ir/task_graph_gen.h"
+#include "sim/run.h"
 #include "sim/system_cosim.h"
 
 namespace mhs::sim {
 namespace {
 
+/// Drives the system co-simulation through the sim::run seam.
+SystemCosimResult system_cosim(const ir::TaskGraph& graph,
+                               const partition::Mapping& mapping,
+                               const SystemCosimConfig& config = {}) {
+  SimRequest sreq;
+  sreq.level = Level::kSystem;
+  sreq.graph = &graph;
+  sreq.mapping = &mapping;
+  sreq.system = config;
+  return run(sreq).system.value();
+}
+
+
 TEST(SystemCosim, AllSwIsSerialSum) {
   const ir::TaskGraph g = apps::jpeg_pipeline_graph();
   const partition::Mapping all_sw(g.num_tasks(), false);
-  const SystemCosimResult r = run_system_cosim(g, all_sw);
+  const SystemCosimResult r = system_cosim(g, all_sw);
   EXPECT_NEAR(r.makespan, g.total_sw_cycles(), 2.0);
   EXPECT_NEAR(r.cpu_busy, g.total_sw_cycles(), 1e-9);
   EXPECT_DOUBLE_EQ(r.bus_busy, 0.0);
@@ -27,7 +41,7 @@ TEST(SystemCosim, HardwareTasksOverlap) {
   g.add_task("b", {1000, 300, 100, 0, 0, 0});
   g.add_task("c", {1000, 500, 100, 0, 0, 0});
   const partition::Mapping all_hw(3, true);
-  const SystemCosimResult r = run_system_cosim(g, all_hw);
+  const SystemCosimResult r = system_cosim(g, all_hw);
   EXPECT_NEAR(r.makespan, 500.0, 1.0);
 }
 
@@ -37,7 +51,7 @@ TEST(SystemCosim, CrossEdgesPayBusCost) {
   const ir::TaskId b = g.add_task("b", {100, 10, 100, 0, 0, 0});
   g.add_edge(a, b, 400);
   const partition::Mapping split = {false, true};
-  const SystemCosimResult r = run_system_cosim(g, split);
+  const SystemCosimResult r = system_cosim(g, split);
   // SW a (100) + cross transfer (24 + 400/4 = 124) + HW b (10).
   EXPECT_NEAR(r.makespan, 234.0, 2.0);
   EXPECT_NEAR(r.bus_busy, 124.0, 1e-9);
@@ -53,7 +67,7 @@ TEST(SystemCosim, BusContentionSerializesTransfers) {
   g.add_edge(p1, c, 400);
   g.add_edge(p2, c, 400);
   const partition::Mapping m = {true, true, false};
-  const SystemCosimResult r = run_system_cosim(g, m);
+  const SystemCosimResult r = system_cosim(g, m);
   // Transfers cost 124 each; they serialize: second arrives at 100+248.
   EXPECT_GT(r.bus_wait, 0.0);
   EXPECT_NEAR(r.makespan, 100.0 + 2 * 124.0 + 50.0, 2.0);
@@ -72,7 +86,7 @@ TEST(SystemCosim, MatchesStaticModelWithoutContention) {
     partition::Mapping m(g.num_tasks());
     for (std::size_t i = 0; i < m.size(); ++i) m[i] = rng.bernoulli(0.5);
     const double predicted = model.schedule_latency(m, true, true);
-    const SystemCosimResult r = run_system_cosim(g, m);
+    const SystemCosimResult r = system_cosim(g, m);
     EXPECT_NEAR(r.makespan, predicted, predicted * 0.01 + 3.0);
   }
 }
@@ -88,7 +102,7 @@ TEST(SystemCosim, NeverFasterThanCriticalPathAndTracksModel) {
     partition::Mapping m(g.num_tasks());
     for (std::size_t i = 0; i < m.size(); ++i) m[i] = rng.bernoulli(0.5);
     const double predicted = model.schedule_latency(m, true, true);
-    const SystemCosimResult r = run_system_cosim(g, m);
+    const SystemCosimResult r = system_cosim(g, m);
     rel_err.add(relative_error(r.makespan, predicted));
   }
   // The static model is a faithful guide: mean deviation small.
@@ -98,7 +112,7 @@ TEST(SystemCosim, NeverFasterThanCriticalPathAndTracksModel) {
 TEST(SystemCosim, RejectsBadMapping) {
   const ir::TaskGraph g = apps::jpeg_pipeline_graph();
   EXPECT_THROW(
-      run_system_cosim(g, partition::Mapping(2, false)),
+      system_cosim(g, partition::Mapping(2, false)),
       PreconditionError);
 }
 
