@@ -15,6 +15,7 @@
 // served each phase. The expected shape: the cached phase is far
 // cheaper per request than the unique phase — the memoization seam is
 // what makes an interactive co-design service viable.
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -31,12 +32,14 @@ namespace {
 constexpr std::size_t kClients = 4;
 constexpr std::size_t kUniquePerClient = 24;
 constexpr std::size_t kCachedPerClient = 150;
+constexpr std::size_t kOverheadWarmupPerClient = 3;
+constexpr std::size_t kOverheadPerClient = 16;
 
-svc::Request cosim_request(std::uint64_t seed) {
+svc::Request cosim_request(std::uint64_t seed, std::uint64_t samples = 8) {
   svc::Request request;
   request.endpoint = svc::Endpoint::kCosim;
   request.cosim.kernel = "fir8";
-  request.cosim.samples = 8;
+  request.cosim.samples = samples;
   request.cosim.seed = seed;
   return request;
 }
@@ -74,6 +77,72 @@ double run_phase(std::uint16_t port, const char* hist, std::size_t per_client,
   for (std::thread& t : threads) t.join();
   for (const std::size_t n : ok_counts) *ok += n;
   return kClients * per_client / (phase_watch.elapsed_us() / 1e6);
+}
+
+/// One single-client closed-loop unique-request phase, recording every
+/// request's wall latency exactly (sorted vector, not histogram buckets
+/// — the recorder overhead claim needs sub-bucket resolution). One
+/// client against one worker keeps the measurement serialization-free,
+/// which matters on a single-core box where extra concurrency turns the
+/// latency distribution into scheduler noise. Returns the sorted
+/// latencies; `ok` accumulates the 200s.
+std::vector<double> run_exact_phase(std::uint16_t port,
+                                    std::size_t requests,
+                                    std::uint64_t seed_base,
+                                    std::size_t* ok) {
+  std::vector<double> latencies;
+  svc::HttpClient client("127.0.0.1", port);
+  std::string error;
+  if (!client.connect(&error)) return latencies;
+  for (std::size_t i = 0; i < requests; ++i) {
+    // 256 samples per request: enough co-simulation work that the
+    // request is evaluation-dominated, the regime the 5% overhead
+    // claim is about.
+    const svc::Request request = cosim_request(seed_base + i, 256);
+    svc::HttpResult result;
+    obs::Stopwatch watch;
+    if (!client.request("POST", "/v1/cosim", request.json(), &result,
+                        &error)) {
+      return latencies;
+    }
+    latencies.push_back(watch.elapsed_us());
+    if (result.status == 200) ++*ok;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  return latencies;
+}
+
+double exact_p50(const std::vector<double>& sorted) {
+  return sorted.empty() ? 0.0 : sorted[sorted.size() / 2];
+}
+
+/// Boots a traced one-worker server with request tracing on or off,
+/// plays an evaluation-dominated unique workload at it, and reports the
+/// exact p50. False when the phase failed (start error or non-200
+/// answers).
+bool recorder_phase(const svc::ServerConfig& base, bool tracing,
+                    std::uint64_t seed_base, double* p50) {
+  svc::Dispatcher dispatcher;
+  svc::ServerConfig config = base;
+  config.workers = 1;
+  config.request_tracing = tracing;
+  svc::Server server(config,
+                     [&dispatcher](const svc::Request& request,
+                                   const obs::TraceContext& trace,
+                                   svc::RequestOutcome* outcome) {
+                       return dispatcher.handle(request, trace, outcome);
+                     });
+  std::string error;
+  if (!server.start(&error)) return false;
+  std::size_t ok = 0;
+  // Warm the evaluation path (component library, allocator) untimed.
+  run_exact_phase(server.port(), kOverheadWarmupPerClient, seed_base + 5000,
+                  &ok);
+  const std::vector<double> latencies =
+      run_exact_phase(server.port(), kOverheadPerClient, seed_base, &ok);
+  server.stop();
+  *p50 = exact_p50(latencies);
+  return ok == kOverheadWarmupPerClient + kOverheadPerClient;
 }
 
 double hist_p50(const obs::Registry& registry, const std::string& name) {
@@ -151,6 +220,51 @@ void run() {
       "(cached p50 below unique p50)",
       cached_p50 > 0.0 && cached_p50 < unique_p50);
   server.stop();
+
+  // ------------- recorder overhead: per-request tracing on vs off
+  // Same evaluation-dominated unique workload against servers that
+  // differ only in request_tracing (per-request registries, Chrome
+  // trace rendering, flight-recorder publication). Exact p50s from the
+  // sorted latency vectors; the phases alternate and the best of each
+  // wins, so a transient load spike on the shared box cannot charge one
+  // configuration and not the other.
+  constexpr std::size_t kOverheadReps = 8;
+  double off_p50 = 0.0;
+  double on_p50 = 0.0;
+  bool off_ok = true;
+  bool on_ok = true;
+  for (std::size_t rep = 0; rep < kOverheadReps; ++rep) {
+    const std::uint64_t seeds = 100000 + rep * 20000;  // unique per phase
+    double off = 0.0;
+    double on = 0.0;
+    off_ok = recorder_phase(config, /*tracing=*/false, seeds, &off) && off_ok;
+    on_ok = recorder_phase(config, /*tracing=*/true, seeds + 10000, &on) &&
+            on_ok;
+    if (rep == 0 || (off > 0.0 && off < off_p50)) off_p50 = off;
+    if (rep == 0 || (on > 0.0 && on < on_p50)) on_p50 = on;
+  }
+  obs::gauge("serve.recorder_off_p50_us", off_p50);
+  obs::gauge("serve.recorder_on_p50_us", on_p50);
+
+  TextTable overhead({"recorder", "req/rep", "reps", "best p50 us"});
+  overhead.add_row({"off", fmt(kOverheadPerClient), fmt(kOverheadReps),
+                    fmt(off_p50, 0)});
+  overhead.add_row({"on", fmt(kOverheadPerClient), fmt(kOverheadReps),
+                    fmt(on_p50, 0)});
+  std::cout << overhead;
+
+  rep.metric("latency_p50_recorder_off", off_p50, "us",
+             bench::Direction::kLowerIsBetter);
+  rep.metric("latency_p50_recorder_on", on_p50, "us",
+             bench::Direction::kLowerIsBetter);
+  // 75 us absolute floor: at sub-millisecond p50s a single timeslice of
+  // scheduler jitter would otherwise swamp a 5% margin.
+  rep.claim(
+      "request-scoped tracing + flight recorder cost at most 5% of p50 "
+      "latency on an evaluation-dominated workload (best-of-reps, "
+      "alternating phases)",
+      off_ok && on_ok && off_p50 > 0.0 &&
+          on_p50 <= off_p50 * 1.05 + 75.0);
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ file(MAKE_DIRECTORY "${build_dir}")
 # sanitized build would take far longer on the single-core CI box for
 # little extra coverage.
 set(suites test_base test_ir test_obs test_analysis test_lint_cli
-           test_explorer test_fault fault_fuzz test_serve)
+           test_explorer test_fault fault_fuzz test_serve serve_traffic)
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -S "${SOURCE_DIR}" -B "${build_dir}"

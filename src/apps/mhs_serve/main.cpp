@@ -8,9 +8,13 @@
 //   POST /v1/lint            verifier + lint over serialized IR
 //   POST /v1/fault-campaign  co-simulation under a fault plan
 //   GET  /v1/health          liveness + endpoint listing
-//   GET  /v1/metrics         dispatcher stats + obs registry dump
+//   GET  /v1/metrics         dispatcher stats + obs registry summary
+//                            (?format=prometheus for text exposition)
+//   GET  /v1/requests        flight recorder: last N completed requests
+//   GET  /v1/trace/<id>      per-request Chrome trace (Perfetto-loadable)
 //
-// See README.md ("Running the service") for curl examples.
+// See README.md ("Running the service" / "Observability") for curl
+// examples.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +40,14 @@ constexpr const char kUsage[] =
     "  --max-connections <n> concurrent connections before 503 (default 64)\n"
     "  --max-queue <n>       queued requests before 503 (default 128)\n"
     "  --replay              shorthand for --workers 0\n"
+    "  --recorder-entries <n> flight-recorder ring size for /v1/requests\n"
+    "                        (default 256)\n"
+    "  --trace-entries <n>   Chrome traces kept for /v1/trace/<id>\n"
+    "                        (default 64)\n"
+    "  --slow-trace-us <n>   pin traces of requests at or above this\n"
+    "                        end-to-end latency (default 100000; 0 = off)\n"
+    "  --no-tracing          disable per-request registries (requests\n"
+    "                        record into the global registry only)\n"
     "  --help                this text\n";
 
 volatile std::sig_atomic_t g_stop = 0;
@@ -55,6 +67,7 @@ bool parse_number(const char* text, long* out) {
 int main(int argc, char** argv) {
   mhs::svc::ServerConfig config;
   config.port = 8080;
+  config.slow_trace_us = 100000;  // pin traces of requests over 100 ms
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,6 +103,17 @@ int main(int argc, char** argv) {
       config.max_queue = static_cast<std::size_t>(value);
     } else if (arg == "--replay") {
       config.workers = 0;
+    } else if (arg == "--recorder-entries") {
+      if (!number_arg(&value) || value == 0) return 2;
+      config.recorder_entries = static_cast<std::size_t>(value);
+    } else if (arg == "--trace-entries") {
+      if (!number_arg(&value) || value == 0) return 2;
+      config.trace_entries = static_cast<std::size_t>(value);
+    } else if (arg == "--slow-trace-us") {
+      if (!number_arg(&value)) return 2;
+      config.slow_trace_us = static_cast<std::uint64_t>(value);
+    } else if (arg == "--no-tracing") {
+      config.request_tracing = false;
     } else {
       std::fprintf(stderr, "mhs_serve: unknown option %s\n%s", arg.c_str(),
                    kUsage);
@@ -102,9 +126,15 @@ int main(int argc, char** argv) {
   mhs::obs::ScopedRegistry scoped(registry);
 
   mhs::svc::Dispatcher dispatcher;
+  config.metrics_text = [&dispatcher] {
+    return dispatcher.metrics_prometheus();
+  };
   mhs::svc::Server server(
-      config, [&dispatcher](const mhs::svc::Request& request) {
-        return dispatcher.handle(request);
+      config,
+      [&dispatcher](const mhs::svc::Request& request,
+                    const mhs::obs::TraceContext& trace,
+                    mhs::svc::RequestOutcome* outcome) {
+        return dispatcher.handle(request, trace, outcome);
       });
   std::string error;
   if (!server.start(&error)) {

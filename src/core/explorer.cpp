@@ -53,9 +53,11 @@ Explorer::Context& Explorer::context(
     std::vector<std::unique_ptr<Context>>& contexts) {
   Context& ctx = *contexts[config_index];
   std::call_once(ctx.once, [&] {
+    obs::Registry* const sink = obs::resolve(options_.trace_sink);
     obs::Span span;
-    if (obs::enabled()) {
-      span = obs::Span("annotate[" + std::to_string(config_index) + "]",
+    if (sink != nullptr) {
+      span = obs::Span(sink,
+                       "annotate[" + std::to_string(config_index) + "]",
                        "explorer");
     }
     std::vector<const ir::Cdfg*> kernels = kernels_;
@@ -99,9 +101,11 @@ PointResult Explorer::evaluate_point(
   // Per-point span, tagged with the batch index (the thread tag is
   // stamped by the registry). Name and args are only built when a sink
   // is installed, so disabled runs pay one branch.
+  obs::Registry* const sink = obs::resolve(options_.trace_sink);
   obs::Span span;
-  if (obs::enabled()) {
-    span = obs::Span("point[" + std::to_string(index) + "]", "explorer");
+  if (sink != nullptr) {
+    span = obs::Span(sink, "point[" + std::to_string(index) + "]",
+                     "explorer");
     span.arg("batch_index", std::to_string(index));
     span.arg("strategy", partition::strategy_name(point.strategy));
     span.arg("config", std::to_string(point.config_index));
@@ -115,9 +119,13 @@ PointResult Explorer::evaluate_point(
                                                 << " configs were given");
     Context& ctx =
         context(configs[point.config_index], point.config_index, contexts);
+    partition::PartitionOptions part_options = point.options;
+    if (part_options.trace_sink == nullptr) {
+      part_options.trace_sink = options_.trace_sink;
+    }
     result.partition =
         partition::run(point.strategy, *ctx.model, point.objective,
-                       point.options);
+                       part_options);
     const partition::Mapping all_sw(ctx.annotated.num_tasks(), false);
     result.all_sw_latency = ctx.model->schedule_latency(
         all_sw, point.objective.consider_concurrency,
@@ -133,7 +141,7 @@ PointResult Explorer::evaluate_point(
   // eval-latency histogram.
   const double elapsed_us = watch.elapsed_us();
   result.wall_ms = elapsed_us / 1000.0;
-  obs::observe("explorer.point_us",
+  obs::observe(sink, "explorer.point_us",
                static_cast<std::uint64_t>(std::llround(elapsed_us)));
   return result;
 }
@@ -194,13 +202,14 @@ ExploreReport Explorer::explore(const std::vector<FlowConfig>& configs,
   // span, so the two can never disagree.
   const double batch_us = watch.elapsed_us();
   report.wall_ms = batch_us / 1000.0;
-  if (obs::Registry* r = obs::registry()) {
+  obs::Registry* const sink = obs::resolve(options_.trace_sink);
+  if (sink != nullptr) {
     obs::SpanEvent batch_span;
     batch_span.name = "explore";
     batch_span.category = "explorer";
-    batch_span.start_us = watch.start_us() - r->epoch_us();
+    batch_span.start_us = watch.start_us() - sink->epoch_us();
     batch_span.dur_us = batch_us;
-    r->record(std::move(batch_span));
+    sink->record(std::move(batch_span));
   }
 
   for (const std::unique_ptr<Context>& ctx : contexts) {
@@ -221,13 +230,14 @@ ExploreReport Explorer::explore(const std::vector<FlowConfig>& configs,
   report.estimate_cache_misses = estimate_cache_.misses();
 
   // Surface the cache reuse as obs counters (no-ops when disabled).
-  obs::gauge("explorer.cost_cache.hit_rate", report.cost_cache_hit_rate);
-  obs::count("explorer.points", points.size());
-  obs::count("explorer.eval_cache.hits", report.cost_cache_hits);
-  obs::count("explorer.eval_cache.misses", report.cost_cache_misses);
-  obs::count("explorer.estimate_cache.hits",
+  obs::gauge(sink, "explorer.cost_cache.hit_rate",
+             report.cost_cache_hit_rate);
+  obs::count(sink, "explorer.points", points.size());
+  obs::count(sink, "explorer.eval_cache.hits", report.cost_cache_hits);
+  obs::count(sink, "explorer.eval_cache.misses", report.cost_cache_misses);
+  obs::count(sink, "explorer.estimate_cache.hits",
              report.estimate_cache_hits - estimate_hits_before);
-  obs::count("explorer.estimate_cache.misses",
+  obs::count(sink, "explorer.estimate_cache.misses",
              report.estimate_cache_misses - estimate_misses_before);
 
   // Summary.
@@ -277,7 +287,7 @@ ExploreReport Explorer::explore(const std::vector<FlowConfig>& configs,
     report.report.designs.push_back(std::move(d));
   }
   report.report.wall_ms = report.wall_ms;
-  report.report.capture_obs();
+  report.report.capture_obs(sink);
   return report;
 }
 

@@ -118,6 +118,10 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
                              const FlowConfig& config) {
   FlowReport report;
   const obs::Stopwatch flow_watch;
+  // Request-scoped tracing: resolve the sink once and pass it down
+  // explicitly (config field, not a thread-local) — concurrent flows on
+  // a shared worker pool each record into their own registry.
+  obs::Registry* const sink = obs::resolve(config.trace_sink);
   const bool gates_on = config.lint_level != analysis::LintLevel::kOff;
   analysis::Diagnostics& diagnostics = report.report.diagnostics;
 
@@ -128,7 +132,7 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
   // before the optimizer or the estimators can trip over it.
   std::vector<const ir::Cdfg*> kernels = raw_kernels;
   if (gates_on) {
-    obs::Span gate("verify.compile", "analysis");
+    obs::Span gate(sink, "verify.compile", "analysis");
     const analysis::Diagnostics graph_diags = analysis::verify(graph);
     diagnostics.merge(graph_diags);
     if (graph_diags.has_errors()) {
@@ -148,7 +152,7 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
   // downstream steps (estimation, partitioning inputs, HLS validation,
   // co-simulation) then see the optimized form.
   {
-    obs::Span phase("specify", "flow");
+    obs::Span phase(sink, "specify", "flow");
     if (config.optimize_kernels) {
       // Iterates the post-gate kernel list: a kernel the compile gate
       // dropped must not reach the optimizer either.
@@ -167,7 +171,7 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
 
   // Phase 2 — estimate.
   {
-    obs::Span phase("estimate", "flow");
+    obs::Span phase(sink, "estimate", "flow");
     report.annotated = annotate_costs(graph, kernels, config);
   }
 
@@ -175,7 +179,7 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
   const partition::CostModel model(report.annotated, config.library,
                                    config.comm);
   {
-    obs::Span phase("partition", "flow");
+    obs::Span phase(sink, "partition", "flow");
     cosynth::Request request;
     request.model = &model;
     request.objective = config.objective;
@@ -184,6 +188,7 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
     // skip-and-continue semantics; cosynth::run's all-or-nothing gate
     // would fire twice on the same graph, so it stays off here.
     request.lint_level = analysis::LintLevel::kOff;
+    request.trace_sink = sink;
     report.design =
         *cosynth::run(cosynth::Target::kCoprocessor, request).coprocessor;
   }
@@ -193,7 +198,7 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
   // structure was verified at gate 1; this re-lints the estimator-derived
   // annotations (an estimator emitting NaN costs surfaces here).
   if (gates_on) {
-    obs::Span gate("verify.partition", "analysis");
+    obs::Span gate(sink, "verify.partition", "analysis");
     const analysis::Diagnostics partition_diags =
         analysis::verify(report.annotated);
     diagnostics.merge(partition_diags);
@@ -202,7 +207,7 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
 
   // Phase 4 — co-synthesize: HLS of every HW-mapped kernel.
   {
-    obs::Span phase("cosynth", "flow");
+    obs::Span phase(sink, "cosynth", "flow");
     if (config.validate_with_hls) {
       report.validated_hw_area = cosynth::validate_hw_area(
           model, report.design.partition.mapping, kernels);
@@ -216,7 +221,7 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
   // Phase 5 — co-simulate the largest hardware kernel behind its
   // register interface.
   {
-    obs::Span phase("cosim", "flow");
+    obs::Span phase(sink, "cosim", "flow");
     if (config.cosimulate) {
       const ir::Cdfg* largest = nullptr;
       double largest_cycles = -1.0;
@@ -238,7 +243,7 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
         // to drive the cycle-accurate co-simulation; a value read before
         // its producing cycle or an over-committed FU would corrupt it.
         if (gates_on) {
-          obs::Span gate("verify.hls", "analysis");
+          obs::Span gate(sink, "verify.hls", "analysis");
           const analysis::Diagnostics hls_diags = analysis::verify(impl);
           diagnostics.merge(hls_diags);
           analysis::apply_gate("hls", config.lint_level, hls_diags);
@@ -258,6 +263,7 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
         cosim_cfg.fault_plan = config.fault_plan;
         cosim_cfg.fault_seed = config.fault_seed;
         cosim_cfg.resilience = config.resilience;
+        cosim_cfg.trace_sink = sink;
         sim::SimRequest sreq;
         sreq.impl = &impl;
         sreq.samples = &samples;
@@ -307,15 +313,15 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
   // "flow" span are both derived from it, so they can never disagree.
   const double flow_us = flow_watch.elapsed_us();
   report.report.wall_ms = flow_us / 1000.0;
-  if (obs::Registry* r = obs::registry()) {
+  if (sink != nullptr) {
     obs::SpanEvent root;
     root.name = "flow";
     root.category = "flow";
-    root.start_us = flow_watch.start_us() - r->epoch_us();
+    root.start_us = flow_watch.start_us() - sink->epoch_us();
     root.dur_us = flow_us;
-    r->record(std::move(root));
+    sink->record(std::move(root));
   }
-  report.report.capture_obs();
+  report.report.capture_obs(sink);
   return report;
 }
 

@@ -63,6 +63,9 @@ struct Report {
   /// Snapshots the installed registry's aggregates into `obs` (no-op
   /// when tracing is disabled).
   void capture_obs();
+  /// Snapshots an explicit (request-scoped) registry instead (no-op when
+  /// `sink` is null).
+  void capture_obs(const obs::Registry* sink);
 
   /// Renders the whole report: banner, designs table, obs tables.
   std::string str() const;

@@ -111,11 +111,12 @@ std::string Result::summary() const {
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 Result run(Target target, const Request& request) {
-  obs::Span span(target_name(target), "cosynth");
+  obs::Registry* const sink = obs::resolve(request.trace_sink);
+  obs::Span span(sink, target_name(target), "cosynth");
   Result result;
   result.target = target;
   if (request.lint_level != analysis::LintLevel::kOff) {
-    obs::Span gate("verify.request", "analysis");
+    obs::Span gate(sink, "verify.request", "analysis");
     result.diagnostics = gate_request(target, request);
   }
   switch (target) {

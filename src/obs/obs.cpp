@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <limits>
 #include <sstream>
 
@@ -97,6 +98,25 @@ double Histogram::percentile(double q) const {
     }
   }
   return 0.0;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const std::uint64_t other_min = other.min_.load(std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (other_min < seen && !min_.compare_exchange_weak(
+                                 seen, other_min, std::memory_order_relaxed)) {
+  }
+  const std::uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen && !max_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
 }
 
 HistStat Histogram::stat(std::string name) const {
@@ -217,6 +237,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 void Registry::gauge(std::string_view name, double value) {
+  const double stamp = obs::now_us();
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) {
@@ -225,12 +246,14 @@ void Registry::gauge(std::string_view name, double value) {
     g.min = std::min(g.min, value);
     g.max = std::max(g.max, value);
     ++g.updates;
+    g.last_us = stamp;
     return;
   }
   GaugeStat g;
   g.name = std::string(name);
   g.value = g.min = g.max = value;
   g.updates = 1;
+  g.last_us = stamp;
   gauges_.emplace(g.name, g);
 }
 
@@ -262,21 +285,10 @@ std::vector<SpanEvent> Registry::events() const {
 
 Summary Registry::summary() const {
   Summary summary;
-  std::map<std::pair<std::string, std::string>, SpanStat> groups;
+  std::vector<SpanEvent> events;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const SpanEvent& e : events_) {
-      SpanStat& stat = groups[{e.category, e.name}];
-      if (stat.count == 0) {
-        stat.category = e.category;
-        stat.name = e.name;
-        stat.min_us = std::numeric_limits<double>::infinity();
-      }
-      ++stat.count;
-      stat.total_us += e.dur_us;
-      stat.min_us = std::min(stat.min_us, e.dur_us);
-      stat.max_us = std::max(stat.max_us, e.dur_us);
-    }
+    events = events_;
     for (const auto& [name, value] : counters_) {
       summary.counters.push_back({name, value});
     }
@@ -287,11 +299,96 @@ Summary Registry::summary() const {
       summary.gauges.push_back(gauge);
     }
   }
+  // Accumulate in a canonical event order (not insertion order), so the
+  // floating-point total of a group is a pure function of the recorded
+  // multiset — summaries of merged registries are byte-identical
+  // regardless of merge order, and summaries of one registry are stable
+  // across thread interleavings.
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.category != b.category) return a.category < b.category;
+              if (a.name != b.name) return a.name < b.name;
+              if (a.dur_us != b.dur_us) return a.dur_us < b.dur_us;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.tid < b.tid;
+            });
+  std::map<std::pair<std::string, std::string>, SpanStat> groups;
+  for (const SpanEvent& e : events) {
+    SpanStat& stat = groups[{e.category, e.name}];
+    if (stat.count == 0) {
+      stat.category = e.category;
+      stat.name = e.name;
+      stat.min_us = std::numeric_limits<double>::infinity();
+    }
+    ++stat.count;
+    stat.total_us += e.dur_us;
+    stat.min_us = std::min(stat.min_us, e.dur_us);
+    stat.max_us = std::max(stat.max_us, e.dur_us);
+  }
   for (auto& [key, stat] : groups) {
     if (stat.count == 0) stat.min_us = 0.0;
     summary.spans.push_back(std::move(stat));
   }
   return summary;
+}
+
+void Registry::merge_from(const Registry& other) {
+  MHS_CHECK(&other != this, "a registry cannot merge into itself");
+  // Snapshot the source under its own lock. Histogram contents are read
+  // through stable pointers afterwards (the caller guarantees no
+  // concurrent writers on `other` during the merge).
+  std::vector<SpanEvent> events;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, const Histogram*>> hists;
+  std::vector<GaugeStat> gauges;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    events = other.events_;
+    counters.assign(other.counters_.begin(), other.counters_.end());
+    for (const auto& [name, hist] : other.hists_) {
+      hists.emplace_back(name, hist.get());
+    }
+    for (const auto& [name, gauge] : other.gauges_) gauges.push_back(gauge);
+  }
+  const double rebase = other.epoch_us_ - epoch_us_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.reserve(events_.size() + events.size());
+    for (SpanEvent& e : events) {
+      e.start_us += rebase;
+      events_.push_back(std::move(e));
+    }
+    for (const auto& [name, value] : counters) {
+      const auto it = counters_.find(name);
+      if (it != counters_.end()) {
+        it->second += value;
+      } else {
+        counters_.emplace(name, value);
+      }
+    }
+    for (const GaugeStat& g : gauges) {
+      const auto it = gauges_.find(g.name);
+      if (it == gauges_.end()) {
+        gauges_.emplace(g.name, g);
+        continue;
+      }
+      GaugeStat& mine = it->second;
+      mine.min = std::min(mine.min, g.min);
+      mine.max = std::max(mine.max, g.max);
+      mine.updates += g.updates;
+      // Last write wins across registries, ordered by the absolute
+      // obs-clock stamp (value breaks exact ties) — a total order, so
+      // the merge is commutative and associative.
+      if (g.last_us > mine.last_us ||
+          (g.last_us == mine.last_us && g.value > mine.value)) {
+        mine.value = g.value;
+        mine.last_us = g.last_us;
+      }
+    }
+  }
+  for (const auto& [name, hist] : hists) {
+    histogram(name).merge_from(*hist);
+  }
 }
 
 std::string Summary::table() const {
@@ -408,6 +505,22 @@ Span::Span(std::string name, const char* category) : registry_(registry()) {
   event_.start_us = registry_->now_us();
 }
 
+Span::Span(Registry* sink, const char* name, const char* category)
+    : registry_(sink) {
+  if (registry_ == nullptr) return;
+  event_.name = name;
+  event_.category = category;
+  event_.start_us = registry_->now_us();
+}
+
+Span::Span(Registry* sink, std::string name, const char* category)
+    : registry_(sink) {
+  if (registry_ == nullptr) return;
+  event_.name = std::move(name);
+  event_.category = category;
+  event_.start_us = registry_->now_us();
+}
+
 Span::Span(Span&& other) noexcept
     : registry_(other.registry_), event_(std::move(other.event_)) {
   other.registry_ = nullptr;
@@ -436,5 +549,115 @@ void Span::finish() {
 }
 
 Span::~Span() { finish(); }
+
+// -------------------------------------------------------------- exposition
+
+namespace {
+
+/// JSON-safe number: fixed 3-decimal rendering (matching
+/// chrome_trace_json), with non-finite values clamped to 0 so the output
+/// always parses.
+std::string json_num(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << v;
+  return os.str();
+}
+
+/// Prometheus sample value: plain shortest-round-trip double; Prometheus
+/// accepts NaN/Inf spellings but we clamp for symmetry with the JSON.
+std::string prom_num(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "mhs_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string summary_json(const Summary& summary) {
+  std::ostringstream os;
+  os << "{\"spans\":[";
+  for (std::size_t i = 0; i < summary.spans.size(); ++i) {
+    const SpanStat& s = summary.spans[i];
+    if (i > 0) os << ",";
+    os << "{\"category\":\"" << json_escape(s.category) << "\",\"name\":\""
+       << json_escape(s.name) << "\",\"count\":" << s.count
+       << ",\"total_us\":" << json_num(s.total_us)
+       << ",\"min_us\":" << json_num(s.min_us)
+       << ",\"max_us\":" << json_num(s.max_us) << "}";
+  }
+  os << "],\"counters\":[";
+  for (std::size_t i = 0; i < summary.counters.size(); ++i) {
+    const CounterStat& c = summary.counters[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << json_escape(c.name) << "\",\"value\":" << c.value
+       << "}";
+  }
+  os << "],\"histograms\":[";
+  for (std::size_t i = 0; i < summary.hists.size(); ++i) {
+    const HistStat& h = summary.hists[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << json_escape(h.name) << "\",\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":" << h.max
+       << ",\"p50\":" << json_num(h.p50) << ",\"p90\":" << json_num(h.p90)
+       << ",\"p99\":" << json_num(h.p99) << "}";
+  }
+  os << "],\"gauges\":[";
+  for (std::size_t i = 0; i < summary.gauges.size(); ++i) {
+    const GaugeStat& g = summary.gauges[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << json_escape(g.name)
+       << "\",\"value\":" << json_num(g.value)
+       << ",\"min\":" << json_num(g.min) << ",\"max\":" << json_num(g.max)
+       << ",\"updates\":" << g.updates << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string summary_prometheus(const Summary& summary) {
+  std::ostringstream os;
+  for (const CounterStat& c : summary.counters) {
+    const std::string name = prometheus_name(c.name);
+    os << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+  }
+  for (const HistStat& h : summary.hists) {
+    const std::string name = prometheus_name(h.name);
+    os << "# TYPE " << name << " summary\n"
+       << name << "{quantile=\"0.5\"} " << prom_num(h.p50) << "\n"
+       << name << "{quantile=\"0.9\"} " << prom_num(h.p90) << "\n"
+       << name << "{quantile=\"0.99\"} " << prom_num(h.p99) << "\n"
+       << name << "_sum " << h.sum << "\n"
+       << name << "_count " << h.count << "\n";
+  }
+  for (const GaugeStat& g : summary.gauges) {
+    const std::string name = prometheus_name(g.name);
+    os << "# TYPE " << name << " gauge\n"
+       << name << " " << prom_num(g.value) << "\n";
+  }
+  for (const SpanStat& s : summary.spans) {
+    const std::string name =
+        prometheus_name("span." + s.category + "." + s.name);
+    os << "# TYPE " << name << "_count counter\n"
+       << name << "_count " << s.count << "\n"
+       << "# TYPE " << name << "_total_us counter\n"
+       << name << "_total_us " << prom_num(s.total_us) << "\n";
+  }
+  return os.str();
+}
 
 }  // namespace mhs::obs

@@ -117,6 +117,11 @@ struct GaugeStat {
   double min = 0.0;
   double max = 0.0;
   std::uint64_t updates = 0;
+  /// Absolute obs-clock time of the last write. Never rendered; it is
+  /// the ordering key that makes Registry::merge_from commutative ("last
+  /// write wins" stays well defined when gauges from several registries
+  /// meet).
+  double last_us = 0.0;
 };
 
 /// The deterministic aggregate view of a registry: span groups sorted by
@@ -135,6 +140,26 @@ struct Summary {
   /// gauges, in that order).
   std::string table() const;
 };
+
+/// The summary as one JSON object — {"spans":[...],"counters":[...],
+/// "histograms":[...],"gauges":[...]} — with deterministic field order
+/// (the Summary's own sorted order). This is the one serialization path
+/// for registry aggregates: /v1/metrics and the bench reports both
+/// render through it, so they can never drift apart field-by-field.
+std::string summary_json(const Summary& summary);
+
+/// The summary in Prometheus text exposition format (version 0.0.4):
+/// counters as `counter`, histograms as `summary` (quantile series plus
+/// _sum/_count), gauges as `gauge`, span groups as two counters
+/// (`..._count`, `..._total_us`). Metric names are prefixed `mhs_` and
+/// sanitized to [a-zA-Z0-9_:]; emission order is deterministic
+/// (counters, histograms, gauges, spans, each in the Summary's sorted
+/// order).
+std::string summary_prometheus(const Summary& summary);
+
+/// Prometheus-legal metric name: `mhs_` + `name` with every character
+/// outside [a-zA-Z0-9_:] replaced by '_'.
+std::string prometheus_name(std::string_view name);
 
 // -------------------------------------------------------------- histogram
 
@@ -169,6 +194,11 @@ class Histogram {
 
   /// Snapshot of every aggregate, named `name`.
   HistStat stat(std::string name) const;
+
+  /// Adds every sample of `other` to this histogram (bucket-exact: the
+  /// merged percentiles equal those of recording both multisets into one
+  /// histogram). `other` must not be concurrently written.
+  void merge_from(const Histogram& other);
 
   /// Bucket index of a value (its bit width).
   static std::size_t bucket_index(std::uint64_t value);
@@ -272,6 +302,16 @@ class Registry {
 
   Summary summary() const;
 
+  /// Folds everything `other` recorded into this registry: span events
+  /// are appended with start_us rebased onto this registry's epoch (tids
+  /// kept as recorded — merged traces may interleave thread lanes),
+  /// counters and histograms are summed exactly, and gauges merge
+  /// commutatively (value from the latest write by obs-clock stamp,
+  /// range and update counts combined). Merging K registries yields a
+  /// byte-identical summary() regardless of merge order. `other` must
+  /// not be concurrently written during the merge.
+  void merge_from(const Registry& other);
+
   /// Chrome trace_event JSON: spans as "ph":"X" complete events,
   /// counters, histogram percentiles, and gauges as trailing "ph":"C"
   /// counter events. Load the string (saved to a .json file) in
@@ -299,6 +339,27 @@ void set_registry(Registry* registry);
 Registry* registry();
 /// True iff a sink is installed (one relaxed atomic load).
 inline bool enabled() { return registry() != nullptr; }
+
+/// Resolves an explicit sink: `sink` itself when given, otherwise the
+/// installed process-wide registry (which may be null = disabled). The
+/// propagation rule for request-scoped tracing: layers accept a
+/// `Registry* trace_sink` config field, resolve it once at entry, and
+/// pass the resolved pointer down explicitly — never through
+/// thread-locals, which would smear concurrent requests that share a
+/// worker pool.
+inline Registry* resolve(Registry* sink) { return sink ? sink : registry(); }
+
+/// Per-request trace context: the identity and sink of one request's
+/// observability. Created by the serving layer (one per request, with a
+/// fresh Registry), passed down by pointer; everything recorded into
+/// `sink` belongs to exactly this request and is merged into the
+/// process-wide registry when the request completes.
+struct TraceContext {
+  std::string trace_id;     ///< stable id, e.g. "r42"
+  Registry* sink = nullptr; ///< per-request sink (null = use the global)
+  double start_us = 0.0;    ///< obs-clock time the request was admitted
+  double deadline_us = 0.0; ///< obs-clock deadline (0 = none)
+};
 
 /// RAII installation of a registry (restores the previous sink, so
 /// scopes nest).
@@ -328,6 +389,10 @@ class Span {
   /// Dynamic-name span; build the string behind an enabled() check so
   /// disabled runs never pay for the formatting.
   Span(std::string name, const char* category);
+  /// Sink-explicit spans for request-scoped tracing: record into `sink`
+  /// instead of the installed global (inert when `sink` is null).
+  Span(Registry* sink, const char* name, const char* category);
+  Span(Registry* sink, std::string name, const char* category);
   ~Span();
 
   Span(Span&& other) noexcept;
@@ -363,6 +428,24 @@ inline void observe(std::string_view name, std::uint64_t value) {
 /// Sets the named gauge on the installed sink (no-op when disabled).
 inline void gauge(std::string_view name, double value) {
   if (Registry* r = registry()) r->gauge(name, value);
+}
+
+// Sink-explicit counterparts for request-scoped tracing: record into a
+// resolved sink (no-op when it is null). Callers resolve() a config's
+// trace_sink once at entry and use these throughout.
+
+inline void count(Registry* sink, std::string_view name,
+                  std::uint64_t delta = 1) {
+  if (sink != nullptr) sink->count(name, delta);
+}
+
+inline void observe(Registry* sink, std::string_view name,
+                    std::uint64_t value) {
+  if (sink != nullptr) sink->histogram(name).record(value);
+}
+
+inline void gauge(Registry* sink, std::string_view name, double value) {
+  if (sink != nullptr) sink->gauge(name, value);
 }
 
 }  // namespace mhs::obs

@@ -27,6 +27,9 @@ void fold_checksum(std::int64_t& checksum, std::int64_t value) {
 struct RecoveryWindow {
   bool open = false;
   Time start = 0;
+  /// Request-scoped sink for the recovery-latency histogram (null =
+  /// tracing disabled for this run).
+  obs::Registry* sink = nullptr;
 
   void detect(fault::FaultInjector& fi, Time now) {
     fi.note_detected();
@@ -39,14 +42,14 @@ struct RecoveryWindow {
     if (!open) return;  // nothing was wrong with this sample
     const Time span = now - start;
     fi.note_recovered(span);
-    obs::observe("fault.recovery_cycles", span);
+    obs::observe(sink, "fault.recovery_cycles", span);
     open = false;
   }
   void degrade(fault::FaultInjector& fi, Time now) {
     Time span = 0;
     if (open) {
       span = now - start;
-      obs::observe("fault.recovery_cycles", span);
+      obs::observe(sink, "fault.recovery_cycles", span);
       open = false;
     }
     fi.note_degraded(span);
@@ -108,8 +111,9 @@ CosimReport run_iss_levels(const hw::HlsResult& impl,
                            const CosimConfig& config,
                            const std::vector<std::vector<std::int64_t>>&
                                samples, fault::FaultInjector* fi) {
-  Simulator sim;
-  BusModel bus(sim, config.bus, config.level);
+  obs::Registry* const sink = obs::resolve(config.trace_sink);
+  Simulator sim(sink);
+  BusModel bus(sim, config.bus, config.level, sink);
   StreamPeripheral periph(sim, impl, config.level);
   if (fi != nullptr) {
     bus.set_fault_injector(fi);
@@ -166,6 +170,7 @@ CosimReport run_iss_levels(const hw::HlsResult& impl,
   // protocol here at zero bus cost; the harness folds the events into
   // the fault scoreboard.
   RecoveryWindow window;
+  window.sink = sink;
   if (fi != nullptr) {
     const std::uint64_t mon_base = spec.monitor_base;
     iss.add_mmio(
@@ -266,11 +271,12 @@ CosimReport run_iss_levels(const hw::HlsResult& impl,
 
   // Instruction mix: surface the ISS's per-opcode retirement histogram
   // as counters so the mix appears in Report summaries.
-  if (obs::enabled()) {
+  if (sink != nullptr) {
     const std::vector<std::uint64_t>& mix = iss.opcode_histogram();
     for (std::size_t op = 0; op < mix.size(); ++op) {
       if (mix[op] == 0) continue;
-      obs::count(std::string("iss.op.") +
+      obs::count(sink,
+                 std::string("iss.op.") +
                      sw::opcode_name(static_cast<sw::Opcode>(op)),
                  mix[op]);
     }
@@ -283,8 +289,9 @@ CosimReport run_driver_level(const hw::HlsResult& impl,
                              const CosimConfig& config,
                              const std::vector<std::vector<std::int64_t>>&
                                  samples, fault::FaultInjector* fi) {
-  Simulator sim;
-  BusModel bus(sim, config.bus, config.level);
+  obs::Registry* const sink = obs::resolve(config.trace_sink);
+  Simulator sim(sink);
+  BusModel bus(sim, config.bus, config.level, sink);
   StreamPeripheral periph(sim, impl, config.level);
   const std::size_t num_inputs = periph.num_inputs();
   const std::size_t num_outputs = periph.num_outputs();
@@ -323,6 +330,7 @@ CosimReport run_driver_level(const hw::HlsResult& impl,
     std::size_t failed_invocations = 0;
     bool degraded_sticky = false;
     RecoveryWindow window;
+    window.sink = sink;
 
     std::vector<std::int64_t> fallback_out(out_names.size(), 0);
     const auto run_fallback = [&](const std::vector<std::int64_t>& sample) {
@@ -475,8 +483,9 @@ CosimReport run_message_level(const hw::HlsResult& impl,
                               const CosimConfig& config,
                               const std::vector<std::vector<std::int64_t>>&
                                   samples, fault::FaultInjector* fi) {
-  Simulator sim;
-  BusModel bus(sim, config.bus, config.level);
+  obs::Registry* const sink = obs::resolve(config.trace_sink);
+  Simulator sim(sink);
+  BusModel bus(sim, config.bus, config.level, sink);
   // Kernel evaluation, precompiled: positional slots are in
   // cdfg.inputs()/outputs() order, matching the samples and the
   // checksum-fold order below.
@@ -512,6 +521,7 @@ CosimReport run_message_level(const hw::HlsResult& impl,
     std::size_t failed_invocations = 0;
     bool degraded_sticky = false;
     RecoveryWindow window;
+    window.sink = sink;
 
     const auto evaluate_sample =
         [&](const std::vector<std::int64_t>& sample, bool remote) {
@@ -649,7 +659,8 @@ CosimReport run_cosim(const hw::HlsResult& impl, const CosimConfig& config,
                       const std::vector<std::vector<std::int64_t>>&
                           sample_inputs) {
   MHS_CHECK(!sample_inputs.empty(), "co-simulation needs at least 1 sample");
-  obs::Span span(interface_level_name(config.level), "cosim");
+  obs::Registry* const sink = obs::resolve(config.trace_sink);
+  obs::Span span(sink, interface_level_name(config.level), "cosim");
   const obs::Stopwatch watch;
   // A disabled plan hands nullptr to every hook — the entire simulation
   // then takes exactly the fault-free code paths (bit-identical results
@@ -659,25 +670,25 @@ CosimReport run_cosim(const hw::HlsResult& impl, const CosimConfig& config,
   fault::FaultInjector* fi = injector.enabled() ? &injector : nullptr;
   CosimReport report = dispatch_cosim(impl, config, sample_inputs, fi);
   report.resilience = injector.report();
-  if (fi != nullptr && obs::enabled()) {
+  if (fi != nullptr && sink != nullptr) {
     const fault::ResilienceReport& res = report.resilience;
-    obs::count("fault.injected", res.injected);
-    obs::count("fault.detected", res.detected);
-    obs::count("fault.recovered", res.recovered);
-    obs::count("fault.retries", res.retries);
-    obs::count("fault.degradations", res.degradations);
+    obs::count(sink, "fault.injected", res.injected);
+    obs::count(sink, "fault.detected", res.detected);
+    obs::count(sink, "fault.recovered", res.recovered);
+    obs::count(sink, "fault.retries", res.retries);
+    obs::count(sink, "fault.degradations", res.degradations);
   }
-  if (obs::enabled()) {
-    obs::count("cosim.runs", 1);
-    obs::count("cosim.events", report.sim_events);
-    obs::count("cosim.bus_accesses", report.bus_accesses);
-    obs::count("cosim.samples", sample_inputs.size());
+  if (sink != nullptr) {
+    obs::count(sink, "cosim.runs", 1);
+    obs::count(sink, "cosim.events", report.sim_events);
+    obs::count(sink, "cosim.bus_accesses", report.bus_accesses);
+    obs::count(sink, "cosim.samples", sample_inputs.size());
     // Simulation throughput: simulated cycles per wall-clock second.
     const double wall_s = watch.elapsed_us() / 1e6;
     if (wall_s > 0.0) {
       const double throughput = report.total_cycles / wall_s;
       span.arg("sim_cycles_per_wall_s", fmt(throughput, 0));
-      obs::gauge("cosim.cycles_per_wall_s", throughput);
+      obs::gauge(sink, "cosim.cycles_per_wall_s", throughput);
     }
     span.arg("level", interface_level_name(config.level));
   }

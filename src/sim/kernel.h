@@ -145,6 +145,9 @@ class Simulator {
   /// "sim.event_wait_cycles" histogram. With no registry installed the
   /// per-event cost is a single null check.
   Simulator();
+  /// Same, but recording into an explicit request-scoped sink instead of
+  /// the installed global registry (null = tracing disabled).
+  explicit Simulator(obs::Registry* sink);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

@@ -294,6 +294,21 @@ std::optional<Endpoint> endpoint_from_path(std::string_view path) {
   return std::nullopt;
 }
 
+std::string_view path_without_query(std::string_view target) {
+  const std::size_t query = target.find('?');
+  return query == std::string_view::npos ? target : target.substr(0, query);
+}
+
+std::optional<std::string_view> parse_trace_path(std::string_view path) {
+  constexpr std::string_view kPrefix = "/v1/trace/";
+  if (path.size() <= kPrefix.size() || path.substr(0, kPrefix.size()) != kPrefix) {
+    return std::nullopt;
+  }
+  const std::string_view id = path.substr(kPrefix.size());
+  if (id.find('/') != std::string_view::npos) return std::nullopt;
+  return id;
+}
+
 std::string Request::json() const {
   std::ostringstream os;
   os << "{\"schema_version\":1,\"endpoint\":" << quoted(endpoint_name(endpoint))

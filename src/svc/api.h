@@ -57,6 +57,29 @@ const char* endpoint_method(Endpoint endpoint);
 std::optional<Endpoint> endpoint_from_name(std::string_view name);
 std::optional<Endpoint> endpoint_from_path(std::string_view path);
 
+/// Strips a query string ("/v1/metrics?format=prometheus" →
+/// "/v1/metrics") so routing sees only the path.
+std::string_view path_without_query(std::string_view target);
+/// Extracts the trace id from a "/v1/trace/<id>" target (query already
+/// stripped); nullopt when the target is not a trace path or the id is
+/// empty.
+std::optional<std::string_view> parse_trace_path(std::string_view path);
+
+/// Per-request facts the dispatcher reports back to the serving layer
+/// for the flight recorder (how the request was satisfied, and the
+/// simulated work it represents).
+struct RequestOutcome {
+  bool cache_hit = false;   ///< answered from the result cache
+  bool coalesced = false;   ///< piggybacked on an identical in-flight run
+  /// Total simulated cycles of the request's co-simulation (0 for
+  /// endpoints that run none).
+  std::uint64_t total_cycles = 0;
+  /// Cycle attribution of those cycles (obs::Profile bucket order:
+  /// sw_execute, bus, dma, peripheral_wait, fault_recovery, idle).
+  /// Sums exactly to total_cycles.
+  std::uint64_t profile[6] = {0, 0, 0, 0, 0, 0};
+};
+
 // ---------------------------------------------------------------- params
 
 /// One fault class of a /v1/fault-campaign plan (wire mirror of

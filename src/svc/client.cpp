@@ -29,6 +29,13 @@ std::string lower(std::string s) {
 
 }  // namespace
 
+const std::string* HttpResult::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
 HttpClient::~HttpClient() { close(); }
 
 void HttpClient::close() {
@@ -110,6 +117,7 @@ bool HttpClient::request(std::string_view method, std::string_view target,
   }
   std::size_t content_length = 0;
   bool keep_alive = true;
+  std::vector<std::pair<std::string, std::string>> headers;
   std::string line;
   std::getline(head_in, line);  // rest of the status line
   while (std::getline(head_in, line)) {
@@ -121,6 +129,7 @@ bool HttpClient::request(std::string_view method, std::string_view target,
     while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
       value.erase(value.begin());
     }
+    headers.emplace_back(name, value);
     if (name == "content-length") {
       content_length = static_cast<std::size_t>(std::strtoull(
           value.c_str(), nullptr, 10));
@@ -145,6 +154,7 @@ bool HttpClient::request(std::string_view method, std::string_view target,
     result->status = status;
     result->body = std::move(payload);
     result->keep_alive = keep_alive;
+    result->headers = std::move(headers);
   }
   if (!keep_alive) close();
   return true;

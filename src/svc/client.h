@@ -8,6 +8,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace mhs::svc {
 
@@ -16,6 +18,11 @@ struct HttpResult {
   int status = 0;
   std::string body;
   bool keep_alive = true;  ///< what the server's Connection header said
+  /// Response headers in arrival order, names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First value of a response header (lowercase name), or nullptr.
+  const std::string* header(std::string_view name) const;
 };
 
 class HttpClient {

@@ -1,8 +1,10 @@
 #include "svc/dispatch.h"
 
+#include <algorithm>
 #include <exception>
 #include <optional>
 #include <sstream>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "hw/hls.h"
 #include "ir/cdfg.h"
 #include "ir/serialize.h"
+#include "obs/json.h"
 #include "obs/obs.h"
 #include "sim/run.h"
 #include "partition/algorithms.h"
@@ -182,6 +185,36 @@ std::string mapping_json(const partition::Mapping& mapping) {
   }
   os << "]";
   return os.str();
+}
+
+/// Extracts the flight-recorder facts (simulated cycles + profile
+/// buckets) from a response's result JSON — one uniform path whether
+/// the response was freshly evaluated, cached, or coalesced (responses
+/// are deterministic, so the facts survive any of the three).
+void fill_outcome(const Response& resp, RequestOutcome* outcome) {
+  if (outcome == nullptr || resp.result_json.empty()) return;
+  const std::optional<obs::JsonValue> doc = obs::json_parse(resp.result_json);
+  if (!doc || !doc->is_object()) return;
+  const obs::JsonValue* report = &*doc;
+  if (const obs::JsonValue* cosim = doc->find("cosim")) {
+    if (!cosim->is_object()) return;  // flow that ran no co-simulation
+    report = cosim;
+  }
+  const obs::JsonValue* total = report->find("total_cycles");
+  const obs::JsonValue* profile = report->find("profile");
+  if (total == nullptr || !total->is_number() || profile == nullptr ||
+      !profile->is_object()) {
+    return;
+  }
+  outcome->total_cycles = static_cast<std::uint64_t>(total->as_number());
+  static constexpr const char* kBuckets[6] = {
+      "sw_execute", "bus", "dma", "peripheral_wait", "fault_recovery", "idle"};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const obs::JsonValue* v = profile->find(kBuckets[i]);
+    if (v != nullptr && v->is_number()) {
+      outcome->profile[i] = static_cast<std::uint64_t>(v->as_number());
+    }
+  }
 }
 
 }  // namespace
@@ -528,43 +561,75 @@ std::string Dispatcher::metrics_json() const {
      << ",\"cache_hits\":" << num(s.cache_hits)
      << ",\"errors\":" << num(s.errors)
      << ",\"result_cache_size\":" << num(results_.size()) << "}";
-  os << ",\"counters\":[";
+  // The obs half rides the one serialization path the obs layer owns
+  // (summary_json), so /v1/metrics never drifts from the library's own
+  // rendering of the same aggregates.
   obs::Summary summary;
   if (obs::Registry* r = obs::registry()) summary = r->summary();
-  for (std::size_t i = 0; i < summary.counters.size(); ++i) {
-    if (i != 0) os << ",";
-    os << "{\"name\":" << str(summary.counters[i].name)
-       << ",\"value\":" << num(summary.counters[i].value) << "}";
-  }
-  os << "],\"histograms\":[";
-  for (std::size_t i = 0; i < summary.hists.size(); ++i) {
-    const obs::HistStat& h = summary.hists[i];
-    if (i != 0) os << ",";
-    os << "{\"name\":" << str(h.name) << ",\"count\":" << num(h.count)
-       << ",\"sum\":" << num(h.sum) << ",\"min\":" << num(h.min)
-       << ",\"max\":" << num(h.max) << ",\"p50\":" << num(h.p50)
-       << ",\"p90\":" << num(h.p90) << ",\"p99\":" << num(h.p99) << "}";
-  }
-  os << "],\"gauges\":[";
-  for (std::size_t i = 0; i < summary.gauges.size(); ++i) {
-    const obs::GaugeStat& g = summary.gauges[i];
-    if (i != 0) os << ",";
-    os << "{\"name\":" << str(g.name) << ",\"value\":" << num(g.value)
-       << ",\"min\":" << num(g.min) << ",\"max\":" << num(g.max)
-       << ",\"updates\":" << num(g.updates) << "}";
-  }
-  os << "]}";
+  os << ",\"obs\":" << obs::summary_json(summary) << "}";
   return os.str();
 }
 
-Response Dispatcher::evaluate(const Prepared& prep) {
+std::string Dispatcher::metrics_prometheus() const {
+  const DispatchStats s = stats();
+  std::ostringstream os;
+  std::unordered_set<std::string> emitted;
+  const auto counter = [&os, &emitted](const char* name,
+                                       std::uint64_t value) {
+    os << "# TYPE " << name << " counter\n" << name << ' ' << value << '\n';
+    emitted.insert(name);
+  };
+  counter("mhs_svc_requests", s.requests);
+  counter("mhs_svc_evaluations", s.evaluations);
+  counter("mhs_svc_coalesced", s.coalesced);
+  counter("mhs_svc_cache_hits", s.cache_hits);
+  counter("mhs_svc_errors", s.errors);
+  os << "# TYPE mhs_svc_result_cache_size gauge\n"
+     << "mhs_svc_result_cache_size " << results_.size() << '\n';
+  emitted.insert("mhs_svc_result_cache_size");
+  obs::Summary summary;
+  if (obs::Registry* r = obs::registry()) summary = r->summary();
+  // The registry records svc.* counters at the same sites DispatchStats
+  // counts, so their Prometheus names collide with the block above —
+  // and duplicate sample names are invalid exposition format. The
+  // dispatcher's own atomics win; the obs twins are dropped.
+  const auto collides = [&emitted](const std::string& name) {
+    return emitted.count(obs::prometheus_name(name)) != 0;
+  };
+  summary.counters.erase(
+      std::remove_if(summary.counters.begin(), summary.counters.end(),
+                     [&](const obs::CounterStat& c) {
+                       return collides(c.name);
+                     }),
+      summary.counters.end());
+  summary.gauges.erase(
+      std::remove_if(summary.gauges.begin(), summary.gauges.end(),
+                     [&](const obs::GaugeStat& g) {
+                       return collides(g.name);
+                     }),
+      summary.gauges.end());
+  os << obs::summary_prometheus(summary);
+  return os.str();
+}
+
+Response Dispatcher::evaluate(const Prepared& prep,
+                              const obs::TraceContext* trace) {
   Response resp;
   resp.endpoint = endpoint_name(prep.endpoint);
+  // TraceContext propagation rule: the per-request sink (may be null =
+  // untraced) is resolved here once and handed down through config
+  // fields; the library layers fall back to the global registry when it
+  // is null, so library users see no behavior change. The root "svc"
+  // span lives in handle(), which covers cache hits and coalesced
+  // followers too.
+  obs::Registry* const sink = trace != nullptr ? trace->sink : nullptr;
   try {
     switch (prep.endpoint) {
       case Endpoint::kFlow: {
+        core::FlowConfig config = prep.config;
+        config.trace_sink = sink;
         const core::FlowReport report =
-            core::run_codesign_flow(prep.graph, prep.kernels, prep.config);
+            core::run_codesign_flow(prep.graph, prep.kernels, config);
         const partition::PartitionResult& part = report.design.partition;
         std::ostringstream os;
         os << "{\"strategy\":" << str(part.algorithm)
@@ -595,6 +660,7 @@ Response Dispatcher::evaluate(const Prepared& prep) {
       case Endpoint::kExplore: {
         core::Explorer::Options options;
         options.num_threads = prep.threads;
+        options.trace_sink = sink;
         core::Explorer explorer(prep.graph, prep.kernels, options);
         const core::ExploreReport report = explorer.sweep(
             {core::FlowConfig::defaults().without_cosim()}, prep.strategies,
@@ -666,6 +732,7 @@ Response Dispatcher::evaluate(const Prepared& prep) {
         sreq.impl = &impl;
         sreq.samples = &samples;
         sreq.cosim = prep.cosim;
+        sreq.cosim.trace_sink = sink;
         const sim::CosimReport report = std::move(sim::run(sreq).cosim).value();
         resp.result_json = cosim_json(report, prep.samples);
         return resp;
@@ -730,8 +797,22 @@ Response Dispatcher::evaluate(const Prepared& prep) {
 }
 
 Response Dispatcher::handle(const Request& request) {
+  return handle(request, obs::TraceContext{}, nullptr);
+}
+
+Response Dispatcher::handle(const Request& request,
+                            const obs::TraceContext& trace,
+                            RequestOutcome* outcome) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   obs::count("svc.requests");
+
+  // Every traced request gets the root "svc" span — cache hits and
+  // coalesced followers included, so their traces show the (short)
+  // lookup instead of coming back empty.
+  obs::Span root;
+  if (trace.sink != nullptr) {
+    root = obs::Span(trace.sink, endpoint_name(request.endpoint), "svc");
+  }
 
   // kHealth and kMetrics bypass the caches: they are cheap and their
   // answers change between calls.
@@ -739,7 +820,7 @@ Response Dispatcher::handle(const Request& request) {
       request.endpoint == Endpoint::kMetrics) {
     Prepared prep;
     prep.endpoint = request.endpoint;
-    return evaluate(prep);
+    return evaluate(prep, &trace);
   }
 
   Prepared prep;
@@ -779,6 +860,11 @@ Response Dispatcher::handle(const Request& request) {
   if (options_.result_cache && results_.lookup(prep.key, &cached)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.cache.hits");
+    root.arg("cache_hit", "true");
+    if (outcome != nullptr) {
+      outcome->cache_hit = true;
+      fill_outcome(*cached, outcome);
+    }
     return *cached;
   }
 
@@ -796,17 +882,22 @@ Response Dispatcher::handle(const Request& request) {
   if (!leader) {
     coalesced_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.coalesced");
+    root.arg("coalesced", "true");
     std::unique_lock<std::mutex> lock(inflight_mutex_);
     flight->cv.wait(lock, [&flight] { return flight->done; });
     if (!flight->result->ok()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (outcome != nullptr) {
+      outcome->coalesced = true;
+      fill_outcome(*flight->result, outcome);
     }
     return *flight->result;
   }
 
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   obs::count("svc.evaluations");
-  auto shared = std::make_shared<const Response>(evaluate(prep));
+  auto shared = std::make_shared<const Response>(evaluate(prep, &trace));
   // Only successes are cached: a failed evaluation should be retryable.
   if (shared->ok() && options_.result_cache) {
     results_.get_or_compute(prep.key, [&shared] { return shared; });
@@ -822,6 +913,7 @@ Response Dispatcher::handle(const Request& request) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     obs::count("svc.errors");
   }
+  fill_outcome(*shared, outcome);
   return *shared;
 }
 

@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "base/concurrent_cache.h"
+#include "obs/obs.h"
 #include "svc/api.h"
 
 namespace mhs::svc {
@@ -63,6 +64,17 @@ class Dispatcher {
   /// Serves one request. Thread-safe; never throws.
   Response handle(const Request& request);
 
+  /// Serves one request under a trace context. When `trace.sink` is
+  /// non-null the library layers record their spans/counters into that
+  /// per-request registry instead of the global one (TraceContext
+  /// propagation rule: resolve once at the entry point, pass the
+  /// resolved pointer down explicitly — no thread-locals). `outcome`,
+  /// when non-null, receives the flight-recorder facts (cache hit /
+  /// coalesced, simulated cycles, profile buckets) regardless of how
+  /// the request was satisfied.
+  Response handle(const Request& request, const obs::TraceContext& trace,
+                  RequestOutcome* outcome = nullptr);
+
   DispatchStats stats() const;
 
   /// A request resolved to library-level inputs plus its coalescing key
@@ -70,10 +82,17 @@ class Dispatcher {
   /// build it).
   struct Prepared;
 
-  /// The /v1/metrics result object: dispatcher stats plus the installed
-  /// obs registry's counters/histograms/gauges (empty arrays when
-  /// tracing is disabled).
+  /// The /v1/metrics result object: `{"svc":{...},"obs":<summary>}`
+  /// where the summary is obs::summary_json of the installed registry —
+  /// the one serialization path shared with the obs layer (empty arrays
+  /// when tracing is disabled).
   std::string metrics_json() const;
+
+  /// The same metrics in Prometheus text exposition format: mhs_svc_*
+  /// counters followed by obs::summary_prometheus, with obs samples
+  /// whose names collide with the mhs_svc_* block dropped (duplicate
+  /// sample names are invalid exposition format).
+  std::string metrics_prometheus() const;
 
  private:
   struct InFlight {
@@ -82,7 +101,7 @@ class Dispatcher {
     std::condition_variable cv;
   };
 
-  Response evaluate(const Prepared& prepared);
+  Response evaluate(const Prepared& prepared, const obs::TraceContext* trace);
 
   Options options_;
   std::atomic<std::uint64_t> requests_{0};

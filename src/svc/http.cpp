@@ -173,15 +173,19 @@ const char* http_status_reason(int status) {
   }
 }
 
-std::string http_response(int status, std::string_view body, bool keep_alive,
-                          std::string_view content_type) {
+std::string http_response(
+    int status, std::string_view body, bool keep_alive,
+    std::string_view content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::ostringstream os;
   os << "HTTP/1.1 " << status << " " << http_status_reason(status) << "\r\n"
      << "Content-Type: " << content_type << "\r\n"
      << "Content-Length: " << body.size() << "\r\n"
-     << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n"
-     << "\r\n"
-     << body;
+     << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    os << name << ": " << value << "\r\n";
+  }
+  os << "\r\n" << body;
   return os.str();
 }
 

@@ -85,8 +85,12 @@ class HttpParser {
 /// Standard reason phrase ("OK", "Bad Request", ...).
 const char* http_status_reason(int status);
 
-/// Formats one response with a Content-Length body.
-std::string http_response(int status, std::string_view body, bool keep_alive,
-                          std::string_view content_type = "application/json");
+/// Formats one response with a Content-Length body. `extra_headers` are
+/// emitted verbatim after the standard headers (e.g. the X-Mhs-Trace
+/// request id the server stamps on every traced response).
+std::string http_response(
+    int status, std::string_view body, bool keep_alive,
+    std::string_view content_type = "application/json",
+    const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
 
 }  // namespace mhs::svc

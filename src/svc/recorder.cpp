@@ -1,0 +1,159 @@
+#include "svc/recorder.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace mhs::svc {
+namespace {
+
+void copy_bounded(char* dst, std::size_t dst_size, const std::string& src) {
+  const std::size_t n = std::min(src.size(), dst_size - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t entries)
+    : slots_(entries == 0 ? 1 : entries) {}
+
+std::uint64_t FlightRecorder::record(const RecordedRequest& request) {
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % slots_.size()];
+
+  // Seqlock publish: odd version while the payload is inconsistent.
+  const std::uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+
+  slot.seq = seq;
+  copy_bounded(slot.trace_id, sizeof(slot.trace_id), request.trace_id);
+  copy_bounded(slot.endpoint, sizeof(slot.endpoint), request.endpoint);
+  slot.status = request.status;
+  slot.parse_us = request.parse_us;
+  slot.queue_us = request.queue_us;
+  slot.dispatch_us = request.dispatch_us;
+  slot.respond_us = request.respond_us;
+  slot.total_us = request.total_us;
+  slot.cache_hit = request.cache_hit;
+  slot.coalesced = request.coalesced;
+  slot.total_cycles = request.total_cycles;
+  for (std::size_t i = 0; i < 6; ++i) slot.profile[i] = request.profile[i];
+
+  slot.version.store(v + 2, std::memory_order_release);
+  return seq;
+}
+
+std::vector<RecordedRequest> FlightRecorder::snapshot() const {
+  std::vector<RecordedRequest> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+    if (v1 == 0 || (v1 & 1) != 0) continue;  // empty or mid-write
+
+    RecordedRequest r;
+    r.seq = slot.seq;
+    r.trace_id = slot.trace_id;
+    r.endpoint = slot.endpoint;
+    r.status = slot.status;
+    r.parse_us = slot.parse_us;
+    r.queue_us = slot.queue_us;
+    r.dispatch_us = slot.dispatch_us;
+    r.respond_us = slot.respond_us;
+    r.total_us = slot.total_us;
+    r.cache_hit = slot.cache_hit;
+    r.coalesced = slot.coalesced;
+    r.total_cycles = slot.total_cycles;
+    for (std::size_t i = 0; i < 6; ++i) r.profile[i] = slot.profile[i];
+
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t v2 = slot.version.load(std::memory_order_relaxed);
+    if (v1 != v2) continue;  // torn: overwritten while copying
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RecordedRequest& a, const RecordedRequest& b) {
+              return a.seq > b.seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::json() const {
+  const std::vector<RecordedRequest> entries = snapshot();
+  std::ostringstream os;
+  os << "{\"capacity\":" << slots_.size() << ",\"recorded\":" << recorded()
+     << ",\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const RecordedRequest& r = entries[i];
+    if (i != 0) os << ',';
+    os << "{\"seq\":" << r.seq << ",\"trace_id\":\""
+       << obs::json_escape(r.trace_id) << "\",\"endpoint\":\""
+       << obs::json_escape(r.endpoint) << "\",\"status\":" << r.status
+       << ",\"parse_us\":" << r.parse_us << ",\"queue_us\":" << r.queue_us
+       << ",\"dispatch_us\":" << r.dispatch_us
+       << ",\"respond_us\":" << r.respond_us << ",\"total_us\":" << r.total_us
+       << ",\"cache_hit\":" << (r.cache_hit ? "true" : "false")
+       << ",\"coalesced\":" << (r.coalesced ? "true" : "false")
+       << ",\"total_cycles\":" << r.total_cycles
+       << ",\"profile\":{\"sw_execute\":" << r.profile[0]
+       << ",\"bus\":" << r.profile[1] << ",\"dma\":" << r.profile[2]
+       << ",\"peripheral_wait\":" << r.profile[3]
+       << ",\"fault_recovery\":" << r.profile[4]
+       << ",\"idle\":" << r.profile[5] << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+// ------------------------------------------------------------- TraceStore
+
+TraceStore::TraceStore(std::size_t recent_capacity,
+                       std::size_t pinned_capacity, std::uint64_t slow_us)
+    : recent_capacity_(recent_capacity == 0 ? 1 : recent_capacity),
+      pinned_capacity_(pinned_capacity),
+      slow_us_(slow_us) {}
+
+void TraceStore::store(const std::string& id, std::string chrome_json,
+                       std::uint64_t total_us) {
+  if (slow_us_ != 0 && pinned_capacity_ != 0 && total_us >= slow_us_) {
+    if (pinned_.size() < pinned_capacity_) {
+      pinned_[id] = std::move(chrome_json);
+      pinned_order_.push_back({id, total_us});
+      return;
+    }
+    // Full: the new trace takes the seat of the fastest pinned trace iff
+    // it is strictly slower; otherwise it falls through to the FIFO.
+    auto fastest = std::min_element(
+        pinned_order_.begin(), pinned_order_.end(),
+        [](const PinnedInfo& a, const PinnedInfo& b) {
+          return a.total_us < b.total_us;
+        });
+    if (total_us > fastest->total_us) {
+      pinned_.erase(fastest->id);
+      pinned_[id] = std::move(chrome_json);
+      *fastest = {id, total_us};
+      return;
+    }
+  }
+  recent_order_.push_back(id);
+  recent_[id] = std::move(chrome_json);
+  while (recent_.size() > recent_capacity_) {
+    recent_.erase(recent_order_.front());
+    recent_order_.pop_front();
+  }
+}
+
+const std::string* TraceStore::find(const std::string& id) const {
+  if (const auto it = pinned_.find(id); it != pinned_.end()) {
+    return &it->second;
+  }
+  if (const auto it = recent_.find(id); it != recent_.end()) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace mhs::svc

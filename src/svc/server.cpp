@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
@@ -18,6 +19,19 @@ namespace {
 bool set_nonblocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Non-negative microsecond delta on the obs clock.
+std::uint64_t us_since(double start_us) {
+  const double delta = obs::now_us() - start_us;
+  return delta <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(delta));
+}
+
+/// The wire envelope of the server-owned endpoints (/v1/requests and
+/// /v1/trace/<id>), mirroring Response::json() field order.
+std::string envelope(const char* endpoint, const std::string& result) {
+  return std::string("{\"schema_version\":1,\"endpoint\":\"") + endpoint +
+         "\",\"status\":200,\"error\":\"\",\"result\":" + result + "}";
 }
 
 /// Best-effort blocking send of a whole buffer (used only for the tiny
@@ -35,7 +49,24 @@ void send_all(int fd, std::string_view data) {
 }  // namespace
 
 Server::Server(ServerConfig config, Handler handler)
-    : config_(std::move(config)), handler_(std::move(handler)) {}
+    : config_(std::move(config)),
+      handler_(std::move(handler)),
+      recorder_(config_.recorder_entries),
+      traces_(config_.trace_entries, config_.pinned_traces,
+              config_.slow_trace_us) {}
+
+Server::Server(ServerConfig config, TracedHandler handler)
+    : config_(std::move(config)),
+      traced_(std::move(handler)),
+      recorder_(config_.recorder_entries),
+      traces_(config_.trace_entries, config_.pinned_traces,
+              config_.slow_trace_us) {}
+
+Response Server::invoke(const Request& request, const obs::TraceContext& trace,
+                        RequestOutcome* outcome) {
+  if (traced_ != nullptr) return traced_(request, trace, outcome);
+  return handler_(request);
+}
 
 Server::~Server() { stop(); }
 
@@ -139,11 +170,37 @@ void Server::worker() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    const Response response = handler_(job.request);
+    Completion c;
+    c.fd = job.fd;
+    c.generation = job.generation;
+    c.keep_alive = job.keep_alive;
+    c.trace_id = std::move(job.trace_id);
+    c.parse_us = job.parse_us;
+    c.queue_us = us_since(job.admitted_us);
+
+    obs::TraceContext trace;
+    trace.trace_id = c.trace_id;
+    trace.sink = job.trace_registry.get();
+    trace.start_us = job.admitted_us;
+    const double dispatch_start = obs::now_us();
+    const Response response = invoke(job.request, trace, &c.outcome);
+    c.dispatch_us = us_since(dispatch_start);
+    c.status = response.status;
+    c.endpoint = response.endpoint;
+    c.body = response.json();
+    if (job.trace_registry != nullptr) {
+      // Render the trace and fold the per-request registry into the
+      // global one here, on the worker: both are linear in the event
+      // count, and doing them on the loop thread would serialize every
+      // connection behind each completion's bookkeeping.
+      c.chrome_json = job.trace_registry->chrome_trace_json();
+      if (obs::Registry* global = obs::registry()) {
+        global->merge_from(*job.trace_registry);
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(completion_mutex_);
-      completions_.push_back({job.fd, job.generation, response.status,
-                              response.json(), job.keep_alive});
+      completions_.push_back(std::move(c));
     }
     wake();
   }
@@ -157,17 +214,118 @@ void Server::respond(int fd, Session& session, int status,
   served_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Server::finish(Session& session, Completion& c) {
+  const double respond_start = obs::now_us();
+  std::vector<std::pair<std::string, std::string>> extra;
+  if (!c.trace_id.empty()) extra.emplace_back("X-Mhs-Trace", c.trace_id);
+  session.outbox +=
+      http_response(c.status, c.body, c.keep_alive, c.content_type, extra);
+  session.close_after = session.close_after || !c.keep_alive;
+  served_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t respond_us = us_since(respond_start);
+
+  obs::observe("serve.parse_us", c.parse_us);
+  obs::observe("serve.queue_wait_us", c.queue_us);
+  obs::observe("serve.dispatch_us", c.dispatch_us);
+
+  if (!c.trace_id.empty()) {
+    RecordedRequest rec;
+    rec.trace_id = c.trace_id;
+    rec.endpoint = c.endpoint;
+    rec.status = c.status;
+    rec.parse_us = c.parse_us;
+    rec.queue_us = c.queue_us;
+    rec.dispatch_us = c.dispatch_us;
+    rec.respond_us = respond_us;
+    // Stored as the exact bucket sum so the breakdown reconciles with
+    // the end-to-end figure by construction.
+    rec.total_us = rec.parse_us + rec.queue_us + rec.dispatch_us +
+                   rec.respond_us;
+    rec.cache_hit = c.outcome.cache_hit;
+    rec.coalesced = c.outcome.coalesced;
+    rec.total_cycles = c.outcome.total_cycles;
+    for (std::size_t i = 0; i < 6; ++i) rec.profile[i] = c.outcome.profile[i];
+    recorder_.record(rec);
+
+    if (!c.chrome_json.empty()) {
+      traces_.store(c.trace_id, std::move(c.chrome_json), rec.total_us);
+    }
+  }
+}
+
 void Server::route(int fd, Session& session) {
   // Serve one request per connection at a time; further pipelined
   // requests stay buffered until the response is out.
   while (!session.busy && session.parser.done()) {
     const HttpRequest& http = session.parser.request();
     const bool keep_alive = http.keep_alive();
+    const double admitted_us = obs::now_us();
+    const std::uint64_t parse_us =
+        session.first_byte_us > 0.0 ? us_since(session.first_byte_us) : 0;
+    session.first_byte_us = 0.0;
+    const std::string target = http.target;
+    const std::string path(path_without_query(target));
 
-    const std::optional<Endpoint> endpoint = endpoint_from_path(http.target);
+    // ---- server-owned observability endpoints. These live outside the
+    // Endpoint enum — they answer about this server instance (its
+    // flight recorder and trace store), not about the request schema.
+    const std::optional<std::string_view> trace_ref = parse_trace_path(path);
+    if (path == "/v1/requests" || trace_ref.has_value()) {
+      const char* owned = trace_ref.has_value() ? "trace" : "requests";
+      if (http.method != "GET") {
+        respond(fd, session, 405,
+                Response::failure(405, owned, "use GET " + path).json(),
+                keep_alive);
+        session.parser.reset();
+        continue;
+      }
+      Completion c;
+      c.keep_alive = keep_alive;
+      c.trace_id = "r" + std::to_string(next_trace_++);
+      c.endpoint = owned;
+      c.parse_us = parse_us;
+      const double dispatch_start = obs::now_us();
+      if (!trace_ref.has_value()) {
+        c.body = envelope("requests", recorder_.json());
+      } else if (const std::string* trace = traces_.find(std::string(*trace_ref))) {
+        c.body = envelope("trace", *trace);
+      } else {
+        c.status = 404;
+        c.body = Response::failure(404, "trace",
+                                   "unknown trace id '" +
+                                       std::string(*trace_ref) + "'")
+                     .json();
+      }
+      c.dispatch_us = us_since(dispatch_start);
+      session.parser.reset();
+      finish(session, c);
+      continue;
+    }
+
+    // ---- the Prometheus form of /v1/metrics, rendered synchronously by
+    // the config callback (unset: the query falls through to the JSON
+    // form).
+    if (path == "/v1/metrics" && http.method == "GET" &&
+        config_.metrics_text != nullptr &&
+        target.find("format=prometheus") != std::string::npos) {
+      Completion c;
+      c.keep_alive = keep_alive;
+      c.trace_id = "r" + std::to_string(next_trace_++);
+      c.endpoint = "metrics";
+      c.parse_us = parse_us;
+      c.content_type = "text/plain; version=0.0.4";
+      const double dispatch_start = obs::now_us();
+      c.body = config_.metrics_text();
+      c.dispatch_us = us_since(dispatch_start);
+      session.parser.reset();
+      finish(session, c);
+      continue;
+    }
+
+    const std::optional<Endpoint> endpoint = endpoint_from_path(path);
     if (!endpoint) {
       respond(fd, session, 404,
-              Response::failure(404, "", "unknown path " + http.target).json(),
+              Response::failure(404, "", "unknown path " + target).json(),
               keep_alive);
       session.parser.reset();
       continue;
@@ -205,7 +363,7 @@ void Server::route(int fd, Session& session) {
                     400, endpoint_name(*endpoint),
                     std::string("body endpoint '") +
                         endpoint_name(parsed->endpoint) +
-                        "' does not match " + http.target)
+                        "' does not match " + target)
                     .json(),
                 keep_alive);
         session.parser.reset();
@@ -215,9 +373,34 @@ void Server::route(int fd, Session& session) {
     }
     session.parser.reset();
 
+    std::string trace_id = "r" + std::to_string(next_trace_++);
+    std::unique_ptr<obs::Registry> trace_registry;
+    if (traced_ != nullptr && config_.request_tracing) {
+      trace_registry = std::make_unique<obs::Registry>();
+    }
+
     if (replay()) {
-      const Response response = handler_(request);
-      respond(fd, session, response.status, response.json(), keep_alive);
+      Completion c;
+      c.keep_alive = keep_alive;
+      c.trace_id = std::move(trace_id);
+      c.parse_us = parse_us;
+      obs::TraceContext trace;
+      trace.trace_id = c.trace_id;
+      trace.sink = trace_registry.get();
+      trace.start_us = admitted_us;
+      const double dispatch_start = obs::now_us();
+      const Response response = invoke(request, trace, &c.outcome);
+      c.dispatch_us = us_since(dispatch_start);
+      c.status = response.status;
+      c.endpoint = response.endpoint;
+      c.body = response.json();
+      if (trace_registry != nullptr) {
+        c.chrome_json = trace_registry->chrome_trace_json();
+        if (obs::Registry* global = obs::registry()) {
+          global->merge_from(*trace_registry);
+        }
+      }
+      finish(session, c);
       continue;
     }
 
@@ -232,7 +415,16 @@ void Server::route(int fd, Session& session) {
                 keep_alive);
         continue;
       }
-      queue_.push_back({fd, session.generation, std::move(request), keep_alive});
+      Job job;
+      job.fd = fd;
+      job.generation = session.generation;
+      job.request = std::move(request);
+      job.keep_alive = keep_alive;
+      job.trace_id = std::move(trace_id);
+      job.parse_us = parse_us;
+      job.admitted_us = admitted_us;
+      job.trace_registry = std::move(trace_registry);
+      queue_.push_back(std::move(job));
     }
     session.busy = true;
     queue_cv_.notify_one();
@@ -262,6 +454,9 @@ void Server::accept_ready() {
     session->generation = next_generation_++;
     sessions_.emplace(fd, std::move(session));
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    // How long the accept sat behind the poll() return — the loop's
+    // accept latency under load.
+    obs::observe("serve.accept_wait_us", us_since(poll_return_us_));
   }
 }
 
@@ -270,6 +465,7 @@ void Server::read_ready(int fd, Session& session, std::vector<int>& dead) {
   for (;;) {
     const ssize_t n = recv(fd, buf, sizeof(buf), 0);
     if (n > 0) {
+      if (session.first_byte_us == 0.0) session.first_byte_us = obs::now_us();
       if (!session.parser.consume(std::string_view(buf, static_cast<std::size_t>(n)))) {
         parse_errors_.fetch_add(1, std::memory_order_relaxed);
         respond(fd, session, session.parser.error_status(),
@@ -331,11 +527,14 @@ void Server::drain_completions(std::vector<int>& dead) {
   for (Completion& c : done) {
     const auto it = sessions_.find(c.fd);
     if (it == sessions_.end() || it->second->generation != c.generation) {
-      continue;  // the connection died while the request was in flight
+      // The connection died while the request was in flight. The work
+      // still happened — its aggregate metrics were already merged into
+      // the global registry by the producer; only the response drops.
+      continue;
     }
     Session& session = *it->second;
     session.busy = false;
-    respond(c.fd, session, c.status, c.body, c.keep_alive);
+    finish(session, c);
     // The response frees the session for the next pipelined request.
     route(c.fd, session);
     flush(c.fd, session, dead);
@@ -360,6 +559,7 @@ void Server::loop() {
       if (errno == EINTR) continue;
       break;
     }
+    poll_return_us_ = obs::now_us();
 
     if ((fds[1].revents & POLLIN) != 0) {
       char buf[64];

@@ -33,8 +33,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "svc/api.h"
 #include "svc/http.h"
+#include "svc/recorder.h"
 
 namespace mhs::svc {
 
@@ -50,6 +52,25 @@ struct ServerConfig {
   /// evaluated inline on the event loop in arrival order.
   std::size_t workers = 4;
   HttpParser::Limits limits;
+
+  // ------------------------------------------------- observability knobs
+  /// Flight-recorder ring size: the last N completed requests kept for
+  /// GET /v1/requests.
+  std::size_t recorder_entries = 256;
+  /// Chrome traces kept FIFO for GET /v1/trace/<id>.
+  std::size_t trace_entries = 64;
+  /// Slowest traces pinned past FIFO eviction.
+  std::size_t pinned_traces = 16;
+  /// Requests at or above this end-to-end latency compete for a pinned
+  /// trace seat (0 = no pinning).
+  std::uint64_t slow_trace_us = 0;
+  /// Give each request its own obs::Registry (requires the traced
+  /// handler; the per-request registry is merged into the global one
+  /// after the response is queued, so aggregate metrics are unchanged).
+  bool request_tracing = true;
+  /// Renders GET /v1/metrics?format=prometheus (text exposition format);
+  /// unset = that query answers with the JSON form.
+  std::function<std::string()> metrics_text;
 };
 
 /// Monotonic counters of one server's lifetime.
@@ -67,8 +88,14 @@ class Server {
   /// bound to a dispatcher, but any callable (tests install blocking
   /// handlers to pin the queue full).
   using Handler = std::function<Response(const Request&)>;
+  /// The trace-aware handler shape: the server mints a TraceContext per
+  /// request (trace id + per-request registry when request_tracing is
+  /// on) and collects the RequestOutcome for the flight recorder.
+  using TracedHandler = std::function<Response(
+      const Request&, const obs::TraceContext&, RequestOutcome*)>;
 
   Server(ServerConfig config, Handler handler);
+  Server(ServerConfig config, TracedHandler handler);
   ~Server();
 
   Server(const Server&) = delete;
@@ -90,6 +117,10 @@ class Server {
 
   ServerStats stats() const;
 
+  /// The flight recorder (also behind GET /v1/requests). Safe to read
+  /// from any thread while the server runs.
+  const FlightRecorder& recorder() const { return recorder_; }
+
  private:
   struct Session {
     HttpParser parser;
@@ -98,19 +129,43 @@ class Server {
     std::size_t out_pos = 0;  ///< written prefix of outbox
     bool busy = false;        ///< a request from this session is in flight
     bool close_after = false; ///< close once the outbox drains
+    /// obs-clock stamp of the first byte of the message being parsed
+    /// (0 = none seen yet); the parse_us recorder bucket.
+    double first_byte_us = 0.0;
   };
   struct Job {
     int fd = -1;
     std::uint64_t generation = 0;
     Request request;
     bool keep_alive = true;
+    std::string trace_id;
+    std::uint64_t parse_us = 0;
+    double admitted_us = 0.0;  ///< obs-clock time route() admitted it
+    /// Per-request registry (null = untraced); travels to the worker and
+    /// back so the loop thread can render/merge it after completion.
+    std::unique_ptr<obs::Registry> trace_registry;
   };
+  /// One finished request on its way back to the loop thread — also the
+  /// uniform argument of finish() for inline (replay / server-owned /
+  /// error) responses.
   struct Completion {
     int fd = -1;
     std::uint64_t generation = 0;
     int status = 200;
     std::string body;
     bool keep_alive = true;
+    std::string content_type = "application/json";
+    std::string trace_id;   ///< "" = no X-Mhs-Trace header, not recorded
+    std::string endpoint;
+    std::uint64_t parse_us = 0;
+    std::uint64_t queue_us = 0;
+    std::uint64_t dispatch_us = 0;
+    RequestOutcome outcome;
+    /// The request's rendered Chrome trace ("" = untraced). Rendered —
+    /// and the per-request registry merged into the global one — by the
+    /// completion's producer (worker thread), so the loop thread never
+    /// pays for trace serialization.
+    std::string chrome_json;
   };
 
   void loop();
@@ -125,11 +180,18 @@ class Server {
   void route(int fd, Session& session);
   void respond(int fd, Session& session, int status, const std::string& body,
                bool keep_alive);
+  /// Queues the response on the session outbox (X-Mhs-Trace stamped when
+  /// the request was traced), publishes the flight-recorder entry, and
+  /// stores the pre-rendered Chrome trace. Loop thread only.
+  void finish(Session& session, Completion& c);
+  Response invoke(const Request& request, const obs::TraceContext& trace,
+                  RequestOutcome* outcome);
   void drain_completions(std::vector<int>& dead);
   void flush(int fd, Session& session, std::vector<int>& dead);
 
   ServerConfig config_;
   Handler handler_;
+  TracedHandler traced_;
   int listen_fd_ = -1;
   int wake_read_ = -1;
   int wake_write_ = -1;
@@ -141,6 +203,11 @@ class Server {
 
   std::unordered_map<int, std::unique_ptr<Session>> sessions_;
   std::uint64_t next_generation_ = 1;
+
+  FlightRecorder recorder_;
+  TraceStore traces_;              ///< loop thread only
+  std::uint64_t next_trace_ = 1;   ///< loop thread only
+  double poll_return_us_ = 0.0;    ///< loop thread only (accept_wait_us)
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "core/explorer.h"
 #include "core/flow.h"
 #include "core/report.h"
+#include "obs/json.h"
 #include "obs/obs.h"
 #include "sim/cosim.h"
 #include "sim/run.h"
@@ -832,6 +835,178 @@ TEST(ObsReport, AddDesignCapturesCommonShape) {
   const std::string text = report.str();
   EXPECT_NE(text.find("unit"), std::string::npos);
   EXPECT_NE(text.find("fake"), std::string::npos);
+}
+
+// ------------------------------------------------ request-registry merging
+
+/// Builds one deterministic "per-request" registry: `threads` concurrent
+/// recorders each add spans, counters, histogram samples, and gauges.
+/// The same (salt, threads) always produces the same aggregate content,
+/// so merge-order experiments compare apples to apples.
+std::unique_ptr<Registry> make_request_registry(std::uint32_t salt,
+                                                std::size_t threads) {
+  auto r = std::make_unique<Registry>();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&r, salt] {
+      for (std::uint32_t i = 0; i < 8; ++i) {
+        SpanEvent e;
+        e.name = "work" + std::to_string(i % 3);
+        e.category = "req";
+        e.start_us = static_cast<double>(salt * 100 + i);
+        e.dur_us = 1.0 + (salt % 5) + i;
+        r->record(std::move(e));
+        r->count("req.ops", salt + i);
+        r->histogram("req.latency_us").record(10 * (i + 1) + salt);
+        r->gauge("req.depth", static_cast<double>(salt));
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  return r;
+}
+
+TEST(ObsMerge, MergeOrderIsByteIdenticalAcrossRecordingThreadCounts) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    constexpr std::size_t kRequests = 5;
+    std::vector<std::unique_ptr<Registry>> sources;
+    for (std::size_t k = 0; k < kRequests; ++k) {
+      sources.push_back(
+          make_request_registry(static_cast<std::uint32_t>(k + 1), threads));
+    }
+
+    const std::vector<std::vector<std::size_t>> orders = {
+        {0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}, {1, 4, 0, 3, 2}};
+    std::string first_json;
+    std::string first_table;
+    for (const std::vector<std::size_t>& order : orders) {
+      Registry target;
+      for (const std::size_t idx : order) target.merge_from(*sources[idx]);
+      const Summary s = target.summary();
+      const std::string json = summary_json(s);
+      const std::string table = s.table();
+      if (first_json.empty()) {
+        first_json = json;
+        first_table = table;
+      }
+      EXPECT_EQ(json, first_json) << "threads=" << threads;
+      EXPECT_EQ(table, first_table) << "threads=" << threads;
+    }
+
+    // A pairwise merge tree folds to the same bytes as the flat fold.
+    Registry left;
+    left.merge_from(*sources[0]);
+    left.merge_from(*sources[1]);
+    Registry right;
+    right.merge_from(*sources[2]);
+    right.merge_from(*sources[3]);
+    right.merge_from(*sources[4]);
+    Registry tree;
+    tree.merge_from(left);
+    tree.merge_from(right);
+    EXPECT_EQ(summary_json(tree.summary()), first_json)
+        << "threads=" << threads;
+
+    // Counters sum exactly: each source adds threads * (8*salt + 28).
+    std::uint64_t expected_ops = 0;
+    for (std::uint64_t salt = 1; salt <= kRequests; ++salt) {
+      expected_ops += threads * (8 * salt + 28);
+    }
+    EXPECT_EQ(tree.counter("req.ops"), expected_ops);
+  }
+}
+
+// ------------------------------------------------------- hostile name JSON
+
+TEST(ObsJson, ChromeTraceAndSummarySurviveHostileNames) {
+  Registry r;
+  const std::string hostile[] = {
+      "quote\"name",       "back\\slash",  "ctrl\x01\x02char",
+      "new\nline\ttab",    "</script>",    "utf8 µs \xE2\x86\x92 done",
+      "nul-adjacent \x1f", "{\"fake\":1}",
+  };
+  double i = 0.0;
+  for (const std::string& name : hostile) {
+    SpanEvent e;
+    e.name = name;
+    e.category = "cat\"\\\n";
+    e.start_us = i;
+    e.dur_us = 1.0 + i;
+    e.args = {{"arg\"key\n", "val\\ue\x02"}};
+    r.record(std::move(e));
+    r.count(name, 1);
+    r.histogram(name).record(static_cast<std::uint64_t>(i) + 1);
+    r.gauge(name, i * 1.5);
+    i += 1.0;
+  }
+
+  // The Chrome trace must be strict JSON despite every name needing
+  // escaping — json_parse is the oracle.
+  const std::string trace = r.chrome_trace_json();
+  JsonError err;
+  const std::optional<JsonValue> doc = json_parse(trace, &err);
+  ASSERT_TRUE(doc.has_value()) << err.str();
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GE(events->as_array().size(), std::size(hostile));
+
+  // Escaping must round-trip: every hostile name comes back verbatim
+  // through the parser (as a span name and as a counter event).
+  for (const std::string& name : hostile) {
+    bool span_found = false;
+    bool counter_found = false;
+    for (const JsonValue& event : events->as_array()) {
+      const JsonValue* n = event.find("name");
+      const JsonValue* ph = event.find("ph");
+      if (n == nullptr || ph == nullptr || !n->is_string()) continue;
+      if (ph->string_or("") == "X" && n->as_string() == name) {
+        span_found = true;
+      }
+      // Counter events carry decorated names ("counter <name>", ...):
+      // containment is the round-trip check.
+      if (ph->string_or("") == "C" &&
+          n->as_string().find(name) != std::string::npos) {
+        counter_found = true;
+      }
+    }
+    EXPECT_TRUE(span_found) << "span name lost: " << name;
+    EXPECT_TRUE(counter_found) << "counter name lost: " << name;
+  }
+
+  // The summary JSON form survives the same names.
+  const std::string summary = summary_json(r.summary());
+  EXPECT_TRUE(json_parse(summary, &err).has_value()) << err.str();
+}
+
+// ----------------------------------------------------- sink-explicit APIs
+
+TEST(Obs, SinkExplicitHelpersTargetGivenRegistry) {
+  ASSERT_EQ(registry(), nullptr);  // no global sink installed
+  Registry r;
+  {
+    Span span(&r, "explicit", "test");
+    EXPECT_TRUE(span.active());
+    count(&r, "explicit.count", 2);
+    observe(&r, "explicit.us", 7);
+    gauge(&r, "explicit.gauge", 1.0);
+  }
+  EXPECT_EQ(r.num_events(), 1u);
+  EXPECT_EQ(r.counter("explicit.count"), 2u);
+  const Summary s = r.summary();
+  ASSERT_EQ(s.hists.size(), 1u);
+  EXPECT_EQ(s.hists[0].count, 1u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+
+  // A null sink with no global registry: everything is inert.
+  Span inert(static_cast<Registry*>(nullptr), "inert", "test");
+  EXPECT_FALSE(inert.active());
+  count(static_cast<Registry*>(nullptr), "inert.count", 1);
+  observe(static_cast<Registry*>(nullptr), "inert.us", 1);
+  gauge(static_cast<Registry*>(nullptr), "inert.gauge", 1.0);
+  EXPECT_EQ(r.num_events(), 1u);
 }
 
 }  // namespace

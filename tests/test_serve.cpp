@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <fstream>
 #include <future>
 #include <mutex>
@@ -663,6 +665,312 @@ TEST(ServeServer, ConnectionLimitAnswers503AtAccept) {
 
   const ServerStats stats = loopback.server.stats();
   EXPECT_GE(stats.conn_rejected, 1u);
+}
+
+// ---------------------------------------------------------- observability
+
+/// LoopbackServer's trace-aware twin: wires Dispatcher::handle through
+/// the TracedHandler shape the daemon uses.
+struct TracedLoopback {
+  explicit TracedLoopback(ServerConfig config, Dispatcher& dispatcher)
+      : server(std::move(config),
+               [&dispatcher](const Request& request,
+                             const obs::TraceContext& trace,
+                             RequestOutcome* outcome) {
+                 return dispatcher.handle(request, trace, outcome);
+               }) {
+    std::string error;
+    started = server.start(&error);
+    EXPECT_TRUE(started) << error;
+  }
+  Server server;
+  bool started = false;
+};
+
+/// GETs `target` and parses the response body; nullopt (with a failed
+/// expectation) on transport or parse trouble.
+std::optional<obs::JsonValue> get_parsed(std::uint16_t port,
+                                         const std::string& target,
+                                         int expect_status = 200) {
+  std::string error;
+  const std::optional<HttpResult> r =
+      http_get("127.0.0.1", port, target, &error);
+  EXPECT_TRUE(r.has_value()) << error;
+  if (!r.has_value()) return std::nullopt;
+  EXPECT_EQ(r->status, expect_status) << target << ": " << r->body;
+  std::optional<obs::JsonValue> doc = obs::json_parse(r->body);
+  EXPECT_TRUE(doc.has_value()) << r->body;
+  return doc;
+}
+
+/// The value of the named Chrome counter event ("ph":"C") in a trace
+/// document, or -1 when absent.
+double chrome_counter(const obs::JsonValue& trace, const std::string& name) {
+  const obs::JsonValue* events = trace.find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (events == nullptr || !events->is_array()) return -1.0;
+  for (const obs::JsonValue& event : events->as_array()) {
+    const obs::JsonValue* n = event.find("name");
+    const obs::JsonValue* ph = event.find("ph");
+    if (n == nullptr || ph == nullptr) continue;
+    if (ph->string_or("") != "C" || n->string_or("") != name) continue;
+    const obs::JsonValue* args = event.find("args");
+    if (args == nullptr) continue;
+    const obs::JsonValue* value = args->find("value");
+    if (value != nullptr && value->is_number()) return value->as_number();
+  }
+  return -1.0;
+}
+
+/// How many span events ("ph":"X") in `trace` carry category `cat`.
+std::size_t chrome_span_count(const obs::JsonValue& trace,
+                              const std::string& cat) {
+  const obs::JsonValue* events = trace.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return 0;
+  std::size_t n = 0;
+  for (const obs::JsonValue& event : events->as_array()) {
+    const obs::JsonValue* ph = event.find("ph");
+    const obs::JsonValue* c = event.find("cat");
+    if (ph != nullptr && c != nullptr && ph->string_or("") == "X" &&
+        c->string_or("") == cat) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(ServeObservability, ConcurrentCosimTracesAreDisjoint) {
+  Dispatcher dispatcher;
+  ServerConfig config;
+  config.workers = 2;  // both requests genuinely evaluate concurrently
+  TracedLoopback loopback(config, dispatcher);
+  ASSERT_TRUE(loopback.started);
+  const std::uint16_t port = loopback.server.port();
+
+  // Different sample counts -> different request keys, so the two
+  // requests cannot coalesce; each gets its own evaluation and trace.
+  auto post_cosim = [port](std::uint64_t samples, HttpResult* out) {
+    Request request;
+    request.endpoint = Endpoint::kCosim;
+    request.cosim.kernel = "fir8";
+    request.cosim.samples = samples;
+    std::string error;
+    const std::optional<HttpResult> r =
+        http_post("127.0.0.1", port, "/v1/cosim", request.json(), &error);
+    EXPECT_TRUE(r.has_value()) << error;
+    if (r.has_value()) *out = *r;
+  };
+  HttpResult a;
+  HttpResult b;
+  std::thread ta([&] { post_cosim(3, &a); });
+  std::thread tb([&] { post_cosim(5, &b); });
+  ta.join();
+  tb.join();
+  ASSERT_EQ(a.status, 200) << a.body;
+  ASSERT_EQ(b.status, 200) << b.body;
+
+  const std::string* id_a = a.header("x-mhs-trace");
+  const std::string* id_b = b.header("x-mhs-trace");
+  ASSERT_NE(id_a, nullptr);
+  ASSERT_NE(id_b, nullptr);
+  EXPECT_NE(*id_a, *id_b);
+
+  // Per-request profile buckets sum exactly to the simulated cycles.
+  const char* buckets[] = {"sw_execute",      "bus",
+                           "dma",             "peripheral_wait",
+                           "fault_recovery",  "idle"};
+  std::uint64_t cycles_a = 0;
+  std::uint64_t cycles_b = 0;
+  for (const HttpResult* r : {&a, &b}) {
+    std::string error;
+    const std::optional<Response> resp = Response::from_json(r->body, &error);
+    ASSERT_TRUE(resp.has_value()) << error;
+    const double total = result_number(*resp, "total_cycles");
+    double sum = 0.0;
+    for (const char* bucket : buckets) {
+      sum += result_number(*resp, std::string("profile.") + bucket);
+    }
+    EXPECT_EQ(sum, total) << r->body;
+    (r == &a ? cycles_a : cycles_b) =
+        static_cast<std::uint64_t>(total);
+  }
+
+  // Each Chrome trace carries exactly its own request's work: the svc
+  // root span, and a cosim.samples counter equal to its own sample
+  // count (not the other request's, not the sum).
+  const std::optional<obs::JsonValue> trace_a =
+      get_parsed(port, "/v1/trace/" + *id_a);
+  const std::optional<obs::JsonValue> trace_b =
+      get_parsed(port, "/v1/trace/" + *id_b);
+  ASSERT_TRUE(trace_a.has_value());
+  ASSERT_TRUE(trace_b.has_value());
+  const obs::JsonValue* chrome_a = trace_a->find("result");
+  const obs::JsonValue* chrome_b = trace_b->find("result");
+  ASSERT_NE(chrome_a, nullptr);
+  ASSERT_NE(chrome_b, nullptr);
+  EXPECT_EQ(chrome_counter(*chrome_a, "cosim.samples"), 3.0);
+  EXPECT_EQ(chrome_counter(*chrome_b, "cosim.samples"), 5.0);
+  EXPECT_EQ(chrome_counter(*chrome_a, "cosim.runs"), 1.0);
+  EXPECT_EQ(chrome_counter(*chrome_b, "cosim.runs"), 1.0);
+  EXPECT_EQ(chrome_span_count(*chrome_a, "svc"), 1u);
+  EXPECT_EQ(chrome_span_count(*chrome_b, "svc"), 1u);
+
+  // The flight recorder saw both requests; each entry's latency buckets
+  // sum exactly to its end-to-end latency, and the recorded cycle
+  // totals match the responses.
+  const std::optional<obs::JsonValue> requests =
+      get_parsed(port, "/v1/requests");
+  ASSERT_TRUE(requests.has_value());
+  const obs::JsonValue* result = requests->find("result");
+  ASSERT_NE(result, nullptr);
+  const obs::JsonValue* entries = result->find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_TRUE(entries->is_array());
+  bool saw_a = false;
+  bool saw_b = false;
+  for (const obs::JsonValue& entry : entries->as_array()) {
+    const std::string id = entry.find("trace_id")->string_or("");
+    const double total_us = entry.find("total_us")->number_or(-1.0);
+    const double bucket_sum = entry.find("parse_us")->number_or(0.0) +
+                              entry.find("queue_us")->number_or(0.0) +
+                              entry.find("dispatch_us")->number_or(0.0) +
+                              entry.find("respond_us")->number_or(0.0);
+    EXPECT_EQ(bucket_sum, total_us) << id;
+    if (id == *id_a) {
+      saw_a = true;
+      EXPECT_EQ(entry.find("endpoint")->string_or(""), "cosim");
+      EXPECT_EQ(entry.find("total_cycles")->number_or(0.0),
+                static_cast<double>(cycles_a));
+    }
+    if (id == *id_b) {
+      saw_b = true;
+      EXPECT_EQ(entry.find("total_cycles")->number_or(0.0),
+                static_cast<double>(cycles_b));
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+
+  // A repeat of request A is a cache hit — visible in its recorder
+  // entry, with the same cycle accounting.
+  HttpResult repeat;
+  post_cosim(3, &repeat);
+  ASSERT_EQ(repeat.status, 200);
+  const std::string* id_repeat = repeat.header("x-mhs-trace");
+  ASSERT_NE(id_repeat, nullptr);
+  const std::optional<obs::JsonValue> again =
+      get_parsed(port, "/v1/requests");
+  ASSERT_TRUE(again.has_value());
+  bool saw_repeat = false;
+  for (const obs::JsonValue& entry :
+       again->find("result")->find("entries")->as_array()) {
+    if (entry.find("trace_id")->string_or("") != *id_repeat) continue;
+    saw_repeat = true;
+    EXPECT_EQ(entry.find("cache_hit")->kind(), obs::JsonValue::Kind::kBool);
+    EXPECT_TRUE(entry.find("cache_hit")->as_bool());
+    EXPECT_EQ(entry.find("total_cycles")->number_or(0.0),
+              static_cast<double>(cycles_a));
+  }
+  EXPECT_TRUE(saw_repeat);
+}
+
+TEST(ServeObservability, TraceEndpointErrorsAndUnknownIds) {
+  Dispatcher dispatcher;
+  ServerConfig config;
+  config.workers = 0;
+  TracedLoopback loopback(config, dispatcher);
+  ASSERT_TRUE(loopback.started);
+  const std::uint16_t port = loopback.server.port();
+
+  std::string error;
+  const std::optional<HttpResult> missing =
+      http_get("127.0.0.1", port, "/v1/trace/nope", &error);
+  ASSERT_TRUE(missing.has_value()) << error;
+  EXPECT_EQ(missing->status, 404);
+
+  const std::optional<HttpResult> wrong_method =
+      http_post("127.0.0.1", port, "/v1/requests", "{}", &error);
+  ASSERT_TRUE(wrong_method.has_value()) << error;
+  EXPECT_EQ(wrong_method->status, 405);
+}
+
+TEST(ServeObservability, MetricsServeJsonAndPrometheusForms) {
+  obs::Registry registry;
+  obs::ScopedRegistry scoped(registry);  // serve.* histograms land here
+  Dispatcher dispatcher;
+  ServerConfig config;
+  config.workers = 0;
+  config.metrics_text = [&dispatcher] {
+    return dispatcher.metrics_prometheus();
+  };
+  TracedLoopback loopback(config, dispatcher);
+  ASSERT_TRUE(loopback.started);
+  const std::uint16_t port = loopback.server.port();
+
+  // Drive one evaluation so the counters are non-trivial.
+  Request request;
+  request.endpoint = Endpoint::kCosim;
+  request.cosim.kernel = "fir8";
+  request.cosim.samples = 2;
+  std::string error;
+  const std::optional<HttpResult> posted =
+      http_post("127.0.0.1", port, "/v1/cosim", request.json(), &error);
+  ASSERT_TRUE(posted.has_value()) << error;
+  ASSERT_EQ(posted->status, 200) << posted->body;
+
+  // JSON form: {"svc": {...}, "obs": <summary>} under result.
+  const std::optional<obs::JsonValue> metrics =
+      get_parsed(port, "/v1/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  const obs::JsonValue* result = metrics->find("result");
+  ASSERT_NE(result, nullptr);
+  const obs::JsonValue* svc = result->find("svc");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_TRUE(svc->is_object());
+  EXPECT_GE(svc->find("requests")->number_or(0.0), 1.0);
+  const obs::JsonValue* obs_part = result->find("obs");
+  ASSERT_NE(obs_part, nullptr);
+  ASSERT_TRUE(obs_part->is_object());
+  EXPECT_NE(obs_part->find("counters"), nullptr);
+  EXPECT_NE(obs_part->find("histograms"), nullptr);
+
+  // Prometheus form: text exposition, every line a comment or a
+  // "name[{labels}] value" sample with a parseable value.
+  const std::optional<HttpResult> prom = http_get(
+      "127.0.0.1", port, "/v1/metrics?format=prometheus", &error);
+  ASSERT_TRUE(prom.has_value()) << error;
+  EXPECT_EQ(prom->status, 200);
+  const std::string* content_type = prom->header("content-type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_EQ(content_type->rfind("text/plain", 0), 0u) << *content_type;
+
+  std::istringstream lines(prom->body);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# TYPE ", 0) == 0 ||
+                  line.rfind("# HELP ", 0) == 0)
+          << line;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(name.empty()) << line;
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(name[0])) ||
+                name[0] == '_')
+        << line;
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << line;
+    ++samples;
+  }
+  EXPECT_GE(samples, 1u);
+  EXPECT_NE(prom->body.find("mhs_svc_requests"), std::string::npos)
+      << prom->body;
 }
 
 }  // namespace
