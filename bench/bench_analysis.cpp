@@ -1,0 +1,122 @@
+// Abstract-interpretation bench: throughput of analysis::absint_cdfg
+// (ops analyzed per wall second) over kernels spanning the size axis,
+// and the narrowing yield its proven widths buy under the per-bit HLS
+// area model (area reduction on the example kernels with 8-bit input
+// ranges, plus the mean proven width).
+//
+// The tier-2 `bench_analysis_json_check` ctest runs this binary and
+// validates its BENCH_bench_analysis.json with bench_report --check, so
+// the claims below are enforced mechanically.
+#include <iostream>
+
+#include "analysis/absint.h"
+#include "apps/kernels.h"
+#include "base/table.h"
+#include "bench_util.h"
+#include "hw/hls.h"
+#include "ir/cdfg.h"
+
+namespace mhs {
+namespace {
+
+void run() {
+  bench::Reporter rep("bench_analysis",
+                      "value-range analysis throughput and narrowing yield");
+
+  // --- throughput: ops analyzed per wall second, best-of-N -------------
+  struct Workload {
+    const char* name;
+    ir::Cdfg kernel;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"fir8", apps::fir_kernel(8)});
+  workloads.push_back({"dct8", apps::dct8_kernel()});
+  workloads.push_back({"matmul4", apps::matmul_kernel(4)});
+  workloads.push_back({"xtea16", apps::xtea_kernel(16)});
+
+  constexpr int kReps = 5;
+  constexpr int kBatch = 200;  // analyses per timed rep (sheds timer noise)
+  TextTable tput({"kernel", "ops", "best wall us / run", "ops analyzed/s"});
+  double min_ops_per_s = 0.0;
+  for (const Workload& w : workloads) {
+    const ir::Cdfg annotated = ir::with_input_ranges(w.kernel, {-128, 127});
+    double best_us = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      const obs::Stopwatch sw;
+      for (int b = 0; b < kBatch; ++b) {
+        const analysis::AbsintResult result = analysis::absint_cdfg(annotated);
+        // Keep the optimizer honest: consume one element.
+        if (result.width.empty()) std::abort();
+      }
+      const double us = sw.elapsed_us() / kBatch;
+      if (r == 0 || us < best_us) best_us = us;
+    }
+    const double ops_per_s =
+        static_cast<double>(annotated.num_ops()) / (best_us / 1e6);
+    if (min_ops_per_s == 0.0 || ops_per_s < min_ops_per_s) {
+      min_ops_per_s = ops_per_s;
+    }
+    tput.add_row({w.name, fmt(annotated.num_ops()), fmt(best_us, 2),
+                  fmt(ops_per_s, 0)});
+    rep.metric(std::string("absint.ops_per_s.") + w.name, ops_per_s, "ops/s",
+               bench::Direction::kHigherIsBetter);
+  }
+  std::cout << tput;
+
+  // --- narrowing yield under the per-bit area model --------------------
+  const hw::ComponentLibrary lib = hw::default_library();
+  TextTable yield({"kernel", "area 64-bit", "area narrowed", "reduction",
+                   "mean width (bits)"});
+  bool all_reduced = true;
+  double worst_reduction = 1.0;
+  for (const Workload& w : workloads) {
+    const ir::Cdfg annotated = ir::with_input_ranges(w.kernel, {-128, 127});
+    hw::HlsConstraints wide_c;
+    wide_c.goal = hw::HlsGoal::kMinArea;
+    const hw::HlsResult wide = hw::synthesize(w.kernel, lib, wide_c);
+    hw::HlsConstraints narrow_c = wide_c;
+    const analysis::AbsintResult result = analysis::absint_cdfg(annotated);
+    narrow_c.op_width = result.width;
+    const hw::HlsResult narrow = hw::synthesize(annotated, lib, narrow_c);
+
+    double width_sum = 0.0;
+    for (const std::size_t width : result.width) {
+      width_sum += static_cast<double>(width);
+    }
+    const double mean_width =
+        width_sum / static_cast<double>(result.width.size());
+    const double reduction =
+        1.0 - narrow.area.total() / wide.area.total();
+    all_reduced = all_reduced && narrow.area.total() < wide.area.total();
+    if (reduction < worst_reduction) worst_reduction = reduction;
+    yield.add_row({w.name, fmt(wide.area.total(), 1),
+                   fmt(narrow.area.total(), 1),
+                   fmt(reduction * 100.0, 1) + "%", fmt(mean_width, 1)});
+    rep.metric(std::string("absint.area_reduction.") + w.name, reduction,
+               "fraction", bench::Direction::kHigherIsBetter);
+    rep.metric(std::string("absint.mean_width.") + w.name, mean_width,
+               "bits", bench::Direction::kLowerIsBetter);
+  }
+  std::cout << yield;
+
+  rep.metric("absint.min_ops_per_s", min_ops_per_s, "ops/s",
+             bench::Direction::kHigherIsBetter);
+  rep.metric("absint.worst_area_reduction", worst_reduction, "fraction",
+             bench::Direction::kHigherIsBetter);
+
+  rep.claim(
+      "absint analyzes >= 1M ops per wall second on every example kernel",
+      min_ops_per_s >= 1e6);
+  rep.claim(
+      "proven 8-bit input ranges shrink post-HLS area on every example "
+      "kernel under the per-bit model",
+      all_reduced);
+}
+
+}  // namespace
+}  // namespace mhs
+
+int main() {
+  mhs::run();
+  return 0;
+}

@@ -21,12 +21,15 @@ file(MAKE_DIRECTORY "${build_dir}")
 # the new verifier/lints (analysis + lint CLI), the multi-threaded
 # explorer, the fault injector (unit suite plus the 500-plan fuzz
 # harness, whose adversarial inputs are exactly what sanitizers are
-# for), and the service daemon (sockets, the worker pool, and request
-# coalescing — the tree's most concurrency-dense code). A full-tree
-# sanitized build would take far longer on the single-core CI box for
-# little extra coverage.
-set(suites test_base test_ir test_obs test_analysis test_lint_cli
-           test_explorer test_fault fault_fuzz test_serve serve_traffic)
+# for), the value-range abstract interpreter (unit suite plus the
+# 10k-kernel soundness fuzzer, whose random arithmetic probes the i64
+# corner cases UBSan exists to catch), and the service daemon (sockets,
+# the worker pool, and request coalescing — the tree's most
+# concurrency-dense code). A full-tree sanitized build would take far
+# longer on the single-core CI box for little extra coverage.
+set(suites test_base test_ir test_obs test_analysis test_absint
+           absint_fuzz test_lint_cli test_explorer test_fault fault_fuzz
+           test_serve serve_traffic)
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -S "${SOURCE_DIR}" -B "${build_dir}"

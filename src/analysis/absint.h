@@ -1,0 +1,152 @@
+// Value-range & bitwidth abstract interpretation over the CDFG.
+//
+// A single forward pass (insertion order is topological) computes, per
+// op, a product abstract value:
+//   * a signed interval [lo, hi] — inclusive, no wraparound inside the
+//     interval itself; full i64 is "top" (no information), and
+//   * known-bits masks — bits proven 0 and bits proven 1 across every
+//     concrete execution.
+// Seeds come from ir::ValueRange annotations on kernel inputs (an
+// unannotated input promises nothing and starts at top).
+//
+// Soundness contract, enforced by the tier-2 absint_fuzz harness: for
+// every input assignment inside the declared ranges on which the kernel
+// does not trap, the concrete value ir::apply_op computes for an op lies
+// inside that op's interval AND matches its known-bits masks.
+//
+// Three consumers:
+//   * lint_ranges — the CDFG2xx diagnostic family (see codes below),
+//     reachable via analyze_cdfg(cdfg, /*with_ranges=*/true), the flow
+//     gates, and `mhs_lint --ranges`;
+//   * AbsintResult::width / op_widths — proven-safe per-op bitwidths for
+//     hw:: datapath narrowing under the per-bit area model;
+//   * AbsintResult::interval_facts — proven intervals for the
+//     range-aware ir::optimize overload.
+//
+// Codes emitted by lint_ranges:
+//
+//   CDFG200  error  division whose divisor is provably always zero
+//   CDFG201  error  shift whose amount is provably outside [0,63]
+//   CDFG202  note   arithmetic result may exceed the signed 64-bit
+//                   range (wraps around, two's-complement)
+//   CDFG203  warn   output is provably a single constant value
+//   CDFG204  warn   kSelect arm that can never be taken
+//
+// (Constant-operand divide/shift violations stay the structural
+// verifier's CDFG008/CDFG009; lint_ranges only reports the cases that
+// need dataflow reasoning, so one defect never gets two codes.)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "ir/cdfg.h"
+
+namespace mhs::analysis {
+
+/// Inclusive signed interval. The default is top (full i64); there is no
+/// bottom — an op proven unreachable (e.g. past a guaranteed trap) just
+/// stays at top.
+struct Interval {
+  std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+
+  static Interval top() { return {}; }
+  static Interval constant(std::int64_t v) { return {v, v}; }
+
+  bool operator==(const Interval&) const = default;
+  bool is_top() const { return *this == top(); }
+  bool is_constant() const { return lo == hi; }
+  bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  /// True when 0 is provably not in the interval.
+  bool excludes_zero() const { return lo > 0 || hi < 0; }
+};
+
+/// Known-bits masks: `zeros` has a 1 wherever the bit is proven 0,
+/// `ones` wherever it is proven 1. The masks are disjoint; both empty is
+/// top (nothing known), both covering all 64 bits pins a constant.
+struct KnownBits {
+  std::uint64_t zeros = 0;
+  std::uint64_t ones = 0;
+
+  static KnownBits top() { return {}; }
+  static KnownBits constant(std::int64_t v) {
+    const auto u = static_cast<std::uint64_t>(v);
+    return {~u, u};
+  }
+
+  bool operator==(const KnownBits&) const = default;
+  bool is_constant() const { return (zeros | ones) == ~std::uint64_t{0}; }
+  bool contains(std::int64_t v) const {
+    const auto u = static_cast<std::uint64_t>(v);
+    return (u & zeros) == 0 && (~u & ones) == 0;
+  }
+};
+
+/// Product abstract value for one op.
+struct AbsValue {
+  Interval range;
+  KnownBits bits;
+  /// True when the op that produced this value may wrap the signed
+  /// 64-bit range on some in-range execution (the exact mathematical
+  /// result of an add/sub/mul/shl exceeds i64, or div/neg/abs hits the
+  /// INT64_MIN corner). Feeds CDFG202.
+  bool may_overflow = false;
+
+  static AbsValue top() { return {}; }
+  static AbsValue constant(std::int64_t v) {
+    return {Interval::constant(v), KnownBits::constant(v), false};
+  }
+
+  /// Concrete-membership check (the fuzzer's escape predicate).
+  bool contains(std::int64_t v) const {
+    return range.contains(v) && bits.contains(v);
+  }
+};
+
+/// Smallest signed bitwidth w in [1,64] such that every value of `iv`
+/// fits in [-2^(w-1), 2^(w-1)-1].
+std::size_t needed_bits(Interval iv);
+
+/// Result of one forward pass over a kernel.
+struct AbsintResult {
+  /// Abstract value per op, indexed by OpId.
+  std::vector<AbsValue> values;
+  /// Proven-safe signed bitwidth per op, indexed by OpId, in [1,64]: the
+  /// width at which an FU can compute the op (covers its result AND its
+  /// operands) and a register can store its result, with outputs
+  /// bit-identical to the 64-bit datapath for all in-range inputs.
+  std::vector<std::size_t> width;
+
+  const AbsValue& value(ir::OpId id) const { return values[id.index()]; }
+  std::size_t width_of(ir::OpId id) const { return width[id.index()]; }
+
+  /// Proven intervals in the shape the range-aware ir::optimize overload
+  /// consumes (one ValueRange per op, same indexing).
+  std::vector<ir::ValueRange> interval_facts() const;
+};
+
+/// Runs the forward abstract interpretation.
+/// Precondition: verify_cdfg reported no errors.
+AbsintResult absint_cdfg(const ir::Cdfg& cdfg);
+
+/// Trap proofs shared between the structural verifier (constant
+/// operands, CDFG008/CDFG009) and lint_ranges (dataflow intervals,
+/// CDFG200/CDFG201), so the two layers can never disagree on what is in
+/// range.
+bool proves_divide_trap(Interval divisor);  ///< divisor pinned to [0,0]
+bool proves_shift_trap(Interval amount);    ///< amount disjoint from [0,63]
+
+/// Range lints (CDFG200..CDFG204) over a precomputed result, or with the
+/// analysis run internally. Precondition: verify_cdfg reported no errors.
+Diagnostics lint_ranges(const ir::Cdfg& cdfg, const AbsintResult& result);
+Diagnostics lint_ranges(const ir::Cdfg& cdfg);
+
+/// Ranges-enabled analysis bundle: verify, then (if structurally sound)
+/// the dataflow lints plus the range lints. `analyze_cdfg(cdfg, false)`
+/// is exactly the classic analyze_cdfg(cdfg).
+Diagnostics analyze_cdfg(const ir::Cdfg& cdfg, bool with_ranges);
+
+}  // namespace mhs::analysis

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/absint.h"
 #include "ir/serialize.h"
 
 namespace mhs::analysis {
@@ -93,7 +94,9 @@ Diagnostics verify_cdfg(const ir::Cdfg& cdfg, bool check_roundtrip) {
 
     // Fixed-point width discipline: a constant shift amount must name a
     // bit position of the 64-bit word (the evaluator, the ISS, and the
-    // barrel shifter all trap or mis-behave outside [0,63]).
+    // barrel shifter all trap or mis-behave outside [0,63]). In-range is
+    // decided by the same trap predicates absint's CDFG200/201 lints
+    // use, so the structural and dataflow layers can never disagree.
     const auto const_operand = [&](std::size_t k) -> const ir::Op* {
       if (k >= op.operands.size()) return nullptr;
       const ir::OpId o = op.operands[k];
@@ -103,7 +106,8 @@ Diagnostics verify_cdfg(const ir::Cdfg& cdfg, bool check_roundtrip) {
     };
     if (op.kind == ir::OpKind::kShl || op.kind == ir::OpKind::kShr) {
       if (const ir::Op* amount = const_operand(1);
-          amount != nullptr && (amount->value < 0 || amount->value > 63)) {
+          amount != nullptr &&
+          proves_shift_trap(Interval::constant(amount->value))) {
         std::ostringstream os;
         os << "constant shift amount " << amount->value
            << " outside [0,63] for 64-bit values";
@@ -112,10 +116,22 @@ Diagnostics verify_cdfg(const ir::Cdfg& cdfg, bool check_roundtrip) {
     }
     if (op.kind == ir::OpKind::kDiv) {
       if (const ir::Op* divisor = const_operand(1);
-          divisor != nullptr && divisor->value == 0) {
+          divisor != nullptr &&
+          proves_divide_trap(Interval::constant(divisor->value))) {
         diags.add("CDFG009", Severity::kError, op_loc(i),
                   "constant divisor is zero");
       }
+    }
+
+    // Range annotations must be non-empty intervals; the parser loads an
+    // inverted range verbatim so it can be reported here instead of
+    // aborting the load.
+    if (op.kind == ir::OpKind::kInput && op.range &&
+        op.range->lo > op.range->hi) {
+      std::ostringstream os;
+      os << "input range [" << op.range->lo << "," << op.range->hi
+         << "] is empty (lo > hi)";
+      diags.add("CDFG011", Severity::kError, op_loc(i), fmt_msg(os));
     }
   }
 

@@ -21,6 +21,7 @@
 //   CDFG008  constant shift amount outside [0,63] (fixed-point width)
 //   CDFG009  constant divisor of zero
 //   CDFG010  serialize→deserialize round trip changes ir::content_hash
+//   CDFG011  input range annotation is empty (lo > hi)
 //
 //   TG001    edge endpoint references a task that does not exist
 //   TG002    task graph contains a dependency cycle
@@ -50,7 +51,7 @@
 namespace mhs::analysis {
 
 /// Verifies the structural invariants of one behavioural kernel
-/// (CDFG001..CDFG009). With `check_roundtrip` (the default) and an
+/// (CDFG001..CDFG011). With `check_roundtrip` (the default) and an
 /// otherwise error-free kernel, additionally serializes, re-parses, and
 /// re-hashes the kernel and reports CDFG010 when ir::content_hash is not
 /// stable across the round trip.

@@ -15,9 +15,9 @@ namespace mhs::apps {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: mhs_lint [--json] [--strict] <file>...\n"
+    "usage: mhs_lint [--json] [--strict] [--ranges] <file>...\n"
     "       mhs_lint --check-json <file>...\n"
-    "       mhs_lint --server-json [--strict] <file>... | -\n"
+    "       mhs_lint --server-json [--strict] [--ranges] <file>... | -\n"
     "\n"
     "Verifies and lints serialized IR artifacts (taskgraph, network, or\n"
     "cdfg text format). Exit 0 when no errors, 1 when any error\n"
@@ -26,6 +26,8 @@ constexpr const char* kUsage =
     "\n"
     "  --json        print findings as a JSON array instead of text\n"
     "  --strict      treat warnings as failures\n"
+    "  --ranges      also run the CDFG2xx value-range lints (abstract\n"
+    "                interpretation over declared input ranges)\n"
     "  --check-json  instead of IR, check each file is well-formed JSON\n"
     "                (reports line and column of the first syntax error)\n"
     "  --server-json speak the service schema: wrap the files into the\n"
@@ -50,9 +52,10 @@ bool read_file(const std::string& path, std::string* text, std::ostream& err) {
 /// is what keeps the CLI and the endpoint byte-identical). Returns false
 /// (with a message on `err`) when the text does not even tokenize.
 bool analyze_file(const std::string& path, const std::string& text,
-                  analysis::Diagnostics* diags, std::ostream& err) {
+                  analysis::Diagnostics* diags, bool ranges,
+                  std::ostream& err) {
   std::string reason;
-  if (svc::analyze_artifact(text, diags, &reason)) return true;
+  if (svc::analyze_artifact(text, diags, &reason, ranges)) return true;
   err << "mhs_lint: " << path << ": " << reason << "\n";
   return false;
 }
@@ -85,10 +88,11 @@ int check_json_files(const std::vector<std::string>& files, std::ostream& out,
 /// through the same svc::run seam the daemon uses, print the response
 /// JSON, and map the outcome back onto mhs_lint's exit codes.
 int serve_json(const std::vector<std::string>& files, bool strict,
-               std::ostream& out, std::ostream& err) {
+               bool ranges, std::ostream& out, std::ostream& err) {
   svc::Request request;
   request.endpoint = svc::Endpoint::kLint;
   request.lint.strict = strict;
+  request.lint.ranges = ranges;
   if (files.size() == 1 && files[0] == "-") {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
@@ -147,6 +151,7 @@ int run_lint(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
   bool json = false;
   bool strict = false;
+  bool ranges = false;
   bool check_json = false;
   bool server_json = false;
   std::vector<std::string> files;
@@ -155,6 +160,8 @@ int run_lint(const std::vector<std::string>& args, std::ostream& out,
       json = true;
     } else if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--ranges") {
+      ranges = true;
     } else if (arg == "--check-json") {
       check_json = true;
     } else if (arg == "--server-json") {
@@ -176,7 +183,7 @@ int run_lint(const std::vector<std::string>& args, std::ostream& out,
     return check_json_files(files, out, err);
   }
   if (server_json) {
-    return serve_json(files, strict, out, err);
+    return serve_json(files, strict, ranges, out, err);
   }
   if (files.empty()) {
     err << kUsage;
@@ -187,7 +194,7 @@ int run_lint(const std::vector<std::string>& args, std::ostream& out,
   for (const std::string& path : files) {
     std::string text;
     if (!read_file(path, &text, err)) return 2;
-    if (!analyze_file(path, text, &diags, err)) return 2;
+    if (!analyze_file(path, text, &diags, ranges, err)) return 2;
   }
 
   if (json) {

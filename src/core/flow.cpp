@@ -1,9 +1,12 @@
 #include "core/flow.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 #include <sstream>
 
+#include "analysis/absint.h"
+#include "hw/hls.h"
 #include "analysis/lint.h"
 #include "analysis/verify.h"
 #include "base/rng.h"
@@ -140,7 +143,11 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
     }
     for (std::size_t i = 0; i < kernels.size(); ++i) {
       if (kernels[i] == nullptr) continue;
-      const analysis::Diagnostics kernel_diags = analysis::verify(*kernels[i]);
+      // Ranged analysis: the structural checks plus the dataflow lints
+      // plus the CDFG2xx value-range family (a proven divide-by-zero or
+      // shift-out-of-range is an error at this gate like any other).
+      const analysis::Diagnostics kernel_diags =
+          analysis::analyze_cdfg(*kernels[i], /*with_ranges=*/true);
       diagnostics.merge(kernel_diags);
       if (analysis::apply_gate("compile", config.lint_level, kernel_diags)) {
         kernels[i] = nullptr;  // warn level: unusable kernel, skip it
@@ -155,11 +162,27 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
     obs::Span phase(sink, "specify", "flow");
     if (config.optimize_kernels) {
       // Iterates the post-gate kernel list: a kernel the compile gate
-      // dropped must not reach the optimizer either.
+      // dropped must not reach the optimizer either. Each kernel is
+      // optimized with the interval facts absint proves for it (a no-op
+      // for unannotated kernels, whose facts are all top); the per-kernel
+      // stats sum into the report.
       report.optimized_kernels.reserve(kernels.size());
+      ir::OptimizeStats& total = report.report.optimize_stats;
       for (const ir::Cdfg* kernel : kernels) {
-        report.optimized_kernels.push_back(
-            kernel == nullptr ? ir::Cdfg() : optimize(*kernel));
+        if (kernel == nullptr) {
+          report.optimized_kernels.emplace_back();
+          continue;
+        }
+        ir::OptimizeStats stats;
+        const auto facts = analysis::absint_cdfg(*kernel).interval_facts();
+        report.optimized_kernels.push_back(optimize(*kernel, facts, &stats));
+        total.constants_folded += stats.constants_folded;
+        total.identities_applied += stats.identities_applied;
+        total.subexpressions_merged += stats.subexpressions_merged;
+        total.dead_ops_removed += stats.dead_ops_removed;
+        total.range_rewrites += stats.range_rewrites;
+        total.ops_before += stats.ops_before;
+        total.ops_after += stats.ops_after;
       }
       for (std::size_t i = 0; i < kernels.size(); ++i) {
         if (kernels[i] != nullptr) {
@@ -237,8 +260,20 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
       if (largest != nullptr) {
         hw::HlsConstraints constraints;
         constraints.goal = hw::HlsGoal::kMinArea;
+        // Narrowing: annotate the kernel's inputs with the range the
+        // cosim sampler below actually draws from, let absint prove the
+        // per-op widths that range implies, and synthesize the narrowed
+        // datapath. The annotated copy must outlive `impl` and the
+        // sim::run call — the schedule holds a pointer to its CDFG.
+        std::optional<ir::Cdfg> narrowed_kernel;
+        if (config.narrow_datapaths) {
+          narrowed_kernel = ir::with_input_ranges(*largest, {-128, 127});
+          constraints.op_width = analysis::absint_cdfg(*narrowed_kernel).width;
+        }
+        const ir::Cdfg& cosim_kernel =
+            narrowed_kernel ? *narrowed_kernel : *largest;
         const hw::HlsResult impl =
-            hw::synthesize(*largest, config.library, constraints);
+            hw::synthesize(cosim_kernel, config.library, constraints);
         // Gate 3 — after HLS: the synthesized schedule/binding is about
         // to drive the cycle-accurate co-simulation; a value read before
         // its producing cycle or an over-committed FU would corrupt it.
@@ -256,6 +291,28 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
             in.push_back(rng.uniform_int(-128, 127));
           }
           samples.push_back(std::move(in));
+        }
+        if (config.narrow_datapaths) {
+          // Soundness check before the narrowed datapath is trusted with
+          // the co-simulation: on every sample it must produce the exact
+          // bits of the unnarrowed (word-wide) implementation. The RTL
+          // reference evaluates at full 64-bit precision either way, so
+          // any disagreement means absint proved an unsound width.
+          hw::HlsConstraints wide_constraints;
+          wide_constraints.goal = hw::HlsGoal::kMinArea;
+          const hw::HlsResult wide =
+              hw::synthesize(*largest, config.library, wide_constraints);
+          for (const std::vector<std::int64_t>& in : samples) {
+            std::map<std::string, std::int64_t> named;
+            const auto& inputs = largest->inputs();
+            for (std::size_t k = 0; k < inputs.size(); ++k) {
+              named[largest->op(inputs[k]).name] = in[k];
+            }
+            MHS_CHECK(hw::simulate_datapath(impl, named) ==
+                          hw::simulate_datapath(wide, named),
+                      "narrowed datapath diverged from word-wide datapath on "
+                      "a cosim sample");
+          }
         }
         sim::CosimConfig cosim_cfg;
         cosim_cfg.level = config.cosim_level;

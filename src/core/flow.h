@@ -93,6 +93,12 @@ struct FlowConfig {
   partition::CommModel comm;
   /// Push every HW kernel through HLS and cross-check the estimate.
   bool validate_with_hls = true;
+  /// Narrow the co-simulated kernel's datapath to the proven-safe widths
+  /// analysis::absint infers from the cosim sample range: the flow
+  /// annotates the kernel's inputs with that range, synthesizes the
+  /// narrowed datapath, asserts it is bit-identical to the word-wide one
+  /// on every sample, then co-simulates the narrowed implementation.
+  bool narrow_datapaths = false;
   /// Co-simulate the largest HW kernel at this level (disabled if the
   /// partition puts nothing in hardware).
   bool cosimulate = true;
@@ -179,6 +185,11 @@ struct FlowConfig {
   FlowConfig without_cosim() const {
     FlowConfig c = *this;
     c.cosimulate = false;
+    return c;
+  }
+  FlowConfig with_narrowing() const {
+    FlowConfig c = *this;
+    c.narrow_datapaths = true;
     return c;
   }
   FlowConfig with_cosim_level(sim::InterfaceLevel level) const {

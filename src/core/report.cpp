@@ -23,6 +23,15 @@ std::string Report::str() const {
     os << table.str();
   }
   os << "wall: " << fmt(wall_ms, 1) << " ms\n";
+  if (optimize_stats.ops_before > 0) {
+    os << "optimize: " << optimize_stats.ops_before << " -> "
+       << optimize_stats.ops_after << " ops ("
+       << optimize_stats.constants_folded << " folded, "
+       << optimize_stats.identities_applied << " identities, "
+       << optimize_stats.subexpressions_merged << " cse, "
+       << optimize_stats.range_rewrites << " range rewrites, "
+       << optimize_stats.dead_ops_removed << " dead)\n";
+  }
   if (!diagnostics.empty()) os << diagnostics.str();
   for (const fault::ResilienceReport& r : resilience) {
     if (!r.empty()) os << r.summary();

@@ -19,6 +19,7 @@
 
 #include "analysis/diag.h"
 #include "fault/fault.h"
+#include "ir/optimize.h"
 #include "obs/obs.h"
 
 namespace mhs::core {
@@ -50,6 +51,10 @@ struct Report {
   /// gate throws analysis::VerifyFailure instead of returning a Report
   /// with error diagnostics.
   analysis::Diagnostics diagnostics;
+  /// What the kernel optimizer did, summed across every kernel the run
+  /// optimized (all-zero when optimization was disabled or the run had
+  /// no kernels).
+  ir::OptimizeStats optimize_stats;
   double wall_ms = 0.0;
 
   /// Adds any design exposing the common latency()/area()/summary()

@@ -136,6 +136,30 @@ Binding bind(const Schedule& schedule) {
     }
   }
 
+  // --- Datapath widths: roll per-op widths up to shared resources ---------
+  // An FU instance (or register) shared by several ops must be as wide as
+  // the widest op it serves; with no width annotations everything is
+  // implicitly 64-bit and the vectors stay empty.
+  if (schedule.has_op_widths()) {
+    for (std::size_t ti = 0; ti < kNumFuTypes; ++ti) {
+      b.fu_width[ti].assign(b.fu_counts[all_fu_types()[ti]], 1);
+    }
+    b.register_width.assign(b.num_registers, 1);
+    for (const ir::OpId id : cdfg.op_ids()) {
+      const ir::Op& op = cdfg.op(id);
+      const std::size_t w = schedule.width_of(id);
+      if (ir::op_is_compute(op.kind)) {
+        auto& widths =
+            b.fu_width[static_cast<std::size_t>(fu_for_op(op.kind))];
+        std::size_t& slot = widths[b.fu_instance[id.index()]];
+        slot = std::max(slot, w);
+      }
+      if (const std::size_t reg = b.register_of[id.index()]; reg != kNone) {
+        b.register_width[reg] = std::max(b.register_width[reg], w);
+      }
+    }
+  }
+
   verify_binding(schedule, b);
   return b;
 }

@@ -8,6 +8,7 @@
 // intervals.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -33,6 +34,14 @@ struct Binding {
   /// Source count for each FU input port fed by more than one producer
   /// (one entry per muxed port); drives controller select-bit cost.
   std::vector<std::size_t> mux_port_sources;
+  /// Per FU type, the proven-safe datapath width of each allocated
+  /// instance: the max schedule width over the ops bound to it. Empty
+  /// when the schedule carries no width annotations (implicitly 64-bit),
+  /// which keeps the legacy word-wide area model bit-exact.
+  std::array<std::vector<std::size_t>, kNumFuTypes> fu_width;
+  /// Width each allocated register must hold (max over the values stored
+  /// in it); empty when unnarrowed.
+  std::vector<std::size_t> register_width;
 };
 
 /// Binds a scheduled CDFG. The binding never uses more FUs of a type than

@@ -27,7 +27,17 @@ double shared_area(const ComponentLibrary& lib, const FuCounts& max_fu,
 HwProfile profile_from_hls(const HlsResult& impl) {
   HwProfile p;
   p.fu = impl.binding.fu_counts;
-  p.registers = impl.binding.num_registers;
+  if (impl.binding.register_width.empty()) {
+    p.registers = impl.binding.num_registers;
+  } else {
+    // Narrowed datapath: count word-equivalent registers (total proven
+    // bits rounded up to 64-bit words) so the sharing estimator keeps
+    // its word-granular units. Uniform 64-bit widths reduce exactly to
+    // num_registers.
+    std::size_t bits = 0;
+    for (const std::size_t w : impl.binding.register_width) bits += w;
+    p.registers = (bits + 63) / 64;
+  }
   p.states = impl.controller.num_states();
   p.wiring = impl.area.muxes;  // steering logic is function-specific
   return p;

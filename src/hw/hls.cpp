@@ -42,9 +42,31 @@ AreaReport compute_area(const Schedule& schedule, const Binding& binding,
                         const Controller& controller) {
   const ComponentLibrary& lib = schedule.library();
   AreaReport area;
-  area.fu = binding.fu_counts.area(lib);
-  area.registers =
-      lib.register_area * static_cast<double>(binding.num_registers);
+  // With proven per-instance widths the word-wide FU/register costs
+  // scale by width/64 (the library areas characterize 64-bit units and
+  // FU/register area is dominated by the per-bit slice). Without widths
+  // the legacy formulas run verbatim so historic area numbers stay
+  // bit-exact. Muxes keep the word-wide model either way: steering cost
+  // is already a small term and its width is set by the widest value
+  // routed through the port, which the binding does not track per port.
+  const bool narrowed = schedule.has_op_widths();
+  if (narrowed) {
+    area.fu = 0.0;
+    for (std::size_t ti = 0; ti < kNumFuTypes; ++ti) {
+      const FuType type = all_fu_types()[ti];
+      for (const std::size_t w : binding.fu_width[ti]) {
+        area.fu += lib.spec(type).area * static_cast<double>(w) / 64.0;
+      }
+    }
+    area.registers = 0.0;
+    for (const std::size_t w : binding.register_width) {
+      area.registers += lib.register_area * static_cast<double>(w) / 64.0;
+    }
+  } else {
+    area.fu = binding.fu_counts.area(lib);
+    area.registers =
+        lib.register_area * static_cast<double>(binding.num_registers);
+  }
   // An n-input mux costs n-1 2:1 legs.
   double legs = 0.0;
   for (const std::size_t sources : binding.mux_port_sources) {
@@ -58,6 +80,9 @@ AreaReport compute_area(const Schedule& schedule, const Binding& binding,
 HlsResult synthesize(const ir::Cdfg& cdfg, const ComponentLibrary& lib,
                      const HlsConstraints& constraints) {
   Schedule schedule = make_schedule(cdfg, lib, constraints);
+  if (!constraints.op_width.empty()) {
+    schedule.set_op_widths(constraints.op_width);
+  }
   Binding binding = bind(schedule);
   Controller controller(schedule, binding);
   AreaReport area = compute_area(schedule, binding, controller);

@@ -31,6 +31,14 @@ struct HlsConstraints {
   std::size_t latency_bound = 0;
   /// For kResourceConstrained: available FU instances.
   FuCounts resources;
+  /// Proven-safe per-op signed bitwidths (one entry per op of the kernel,
+  /// typically analysis::AbsintResult::width). When non-empty, binding
+  /// and area estimation narrow FU datapaths and registers under the
+  /// per-bit cost model; empty keeps the legacy word-wide (64-bit)
+  /// model. Functional behaviour never changes: the widths are proven
+  /// sufficient, so the narrowed datapath is bit-identical on every
+  /// in-range input.
+  std::vector<std::size_t> op_width;
 };
 
 /// Area breakdown of a synthesized implementation.

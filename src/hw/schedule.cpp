@@ -69,6 +69,14 @@ std::size_t Schedule::end_of(ir::OpId op) const {
   return start_of(op) + op_lat(*cdfg_, *lib_, op);
 }
 
+void Schedule::set_op_widths(std::vector<std::size_t> width) {
+  MHS_CHECK(width.size() == cdfg_->num_ops(),
+            "op widths cover " << width.size() << " entries for "
+                               << cdfg_->num_ops() << " ops");
+  for (std::size_t& w : width) w = std::min<std::size_t>(std::max<std::size_t>(w, 1), 64);
+  width_ = std::move(width);
+}
+
 std::size_t Schedule::fu_usage(FuType type, std::size_t step) const {
   std::size_t used = 0;
   for (const ir::OpId id : cdfg_->op_ids()) {

@@ -57,6 +57,18 @@ class Schedule {
   /// Throws InternalError if precedence or latency is violated.
   void verify() const;
 
+  /// Attaches proven-safe per-op signed bitwidths (one entry per op,
+  /// each clamped to [1,64]) — typically analysis::AbsintResult::width.
+  /// Binding and area estimation consume these to narrow FU datapaths
+  /// and registers under the per-bit cost model; scheduling itself is
+  /// width-agnostic.
+  void set_op_widths(std::vector<std::size_t> width);
+  /// Width of one op's datapath; 64 when no widths were attached.
+  std::size_t width_of(ir::OpId op) const {
+    return width_.empty() ? 64 : width_.at(op.index());
+  }
+  bool has_op_widths() const { return !width_.empty(); }
+
   const ir::Cdfg& cdfg() const { return *cdfg_; }
   const ComponentLibrary& library() const { return *lib_; }
 
@@ -64,6 +76,7 @@ class Schedule {
   const ir::Cdfg* cdfg_;
   const ComponentLibrary* lib_;
   std::vector<std::size_t> start_;
+  std::vector<std::size_t> width_;
   std::size_t num_steps_ = 0;
 };
 

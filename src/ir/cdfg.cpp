@@ -126,6 +126,15 @@ OpId Cdfg::input(std::string name) {
   return push(std::move(op));
 }
 
+OpId Cdfg::input(std::string name, ValueRange range) {
+  MHS_CHECK(range.lo <= range.hi,
+            "input '" << name << "': empty range [" << range.lo << ","
+                      << range.hi << "]");
+  const OpId id = input(std::move(name));
+  if (!range.is_full()) ops_[id.index()].range = range;
+  return id;
+}
+
 OpId Cdfg::unary(OpKind kind, OpId a) {
   MHS_CHECK(op_arity(kind) == 1 && op_is_compute(kind),
             "unary() with non-unary kind " << op_name(kind));
@@ -363,8 +372,35 @@ std::uint64_t content_hash(const Cdfg& cdfg) {
     if (op.kind == OpKind::kInput || op.kind == OpKind::kOutput) {
       mix_str(op.name);
     }
+    // Range annotations participate in the identity (they change analysis
+    // results, narrowing, and optimization), but only when present so every
+    // pre-annotation kernel keeps its historical hash.
+    if (op.range && !op.range->is_full()) {
+      mix_byte(0xABu);
+      mix_u64(static_cast<std::uint64_t>(op.range->lo));
+      mix_u64(static_cast<std::uint64_t>(op.range->hi));
+    }
   }
   return h;
+}
+
+Cdfg with_input_ranges(const Cdfg& cdfg, ValueRange range) {
+  MHS_CHECK(range.lo <= range.hi, "with_input_ranges: empty range ["
+                                      << range.lo << "," << range.hi << "]");
+  std::vector<Op> ops;
+  ops.reserve(cdfg.num_ops());
+  for (const OpId id : cdfg.op_ids()) {
+    Op op = cdfg.op(id);
+    if (op.kind == OpKind::kInput) {
+      if (range.is_full()) {
+        op.range.reset();
+      } else {
+        op.range = range;
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  return Cdfg::from_ops(cdfg.name(), std::move(ops));
 }
 
 }  // namespace mhs::ir

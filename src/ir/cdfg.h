@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -54,6 +56,24 @@ const char* op_name(OpKind kind);
 /// True for kAdd..kSelect (has a result consumed by other ops).
 bool op_is_compute(OpKind kind);
 
+/// Declared value range of a kernel input, inclusive on both ends.
+/// The contract: every input assignment the kernel is evaluated on keeps
+/// the named input inside [lo, hi]. Static analyses (analysis::absint)
+/// may assume it; the default covers all of i64, so an unannotated input
+/// promises nothing.
+struct ValueRange {
+  std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+
+  bool operator==(const ValueRange&) const = default;
+  /// True when the range is the full i64 domain (the no-information
+  /// default — serialization and hashing omit it).
+  bool is_full() const {
+    return lo == std::numeric_limits<std::int64_t>::min() &&
+           hi == std::numeric_limits<std::int64_t>::max();
+  }
+};
+
 /// One operation node.
 struct Op {
   OpKind kind = OpKind::kConst;
@@ -62,6 +82,9 @@ struct Op {
   std::int64_t value = 0;
   /// Port name for kInput / kOutput; empty otherwise.
   std::string name;
+  /// Declared range for kInput ops; meaningless on other kinds. Absent
+  /// (or full) = no promise.
+  std::optional<ValueRange> range;
 };
 
 /// A dataflow kernel. Append-only; OpIds are dense.
@@ -83,6 +106,8 @@ class Cdfg {
   /// Builders. Each returns the id of the value produced.
   OpId constant(std::int64_t value);
   OpId input(std::string name);
+  /// Input with a declared value range (lo <= hi required).
+  OpId input(std::string name, ValueRange range);
   OpId unary(OpKind kind, OpId a);
   OpId binary(OpKind kind, OpId a, OpId b);
   OpId select(OpId cond, OpId a, OpId b);
@@ -187,5 +212,10 @@ class CompiledEval {
 /// so the value is a sound cache identity — unlike the object's address,
 /// which changes between runs and dangles if the kernel is freed.
 std::uint64_t content_hash(const Cdfg& cdfg);
+
+/// Returns a copy of `cdfg` with every input's range annotation replaced
+/// by `range` — the one-liner for "this kernel only ever sees samples in
+/// [lo, hi]", which is what unlocks proven-safe datapath narrowing.
+Cdfg with_input_ranges(const Cdfg& cdfg, ValueRange range);
 
 }  // namespace mhs::ir

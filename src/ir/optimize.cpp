@@ -16,6 +16,8 @@ struct Rebuild {
   const Cdfg& in;
   Cdfg out;
   OptimizeStats stats;
+  /// Proven value intervals indexed by `in`'s OpIds (empty = no facts).
+  std::span<const ValueRange> facts;
   /// Mapping old OpId -> new OpId (invalid for dead ops).
   std::vector<OpId> remap;
   /// Whether the mapped new value is a known constant, and its value.
@@ -24,6 +26,11 @@ struct Rebuild {
 
   explicit Rebuild(const Cdfg& kernel)
       : in(kernel), out(kernel.name()), remap(kernel.num_ops()) {}
+
+  const ValueRange* fact(OpId old_id) const {
+    if (old_id.index() >= facts.size()) return nullptr;
+    return &facts[old_id.index()];
+  }
 
   bool is_const(OpId new_id, std::int64_t* value) const {
     const auto it = const_value.find(new_id.value());
@@ -151,7 +158,8 @@ struct Rebuild {
           if (it != cse.end()) {
             remap[id.index()] = it->second;
           } else {
-            const OpId new_id = out.input(op.name);
+            const OpId new_id = op.range ? out.input(op.name, *op.range)
+                                         : out.input(op.name);
             cse.emplace(key, new_id);
             remap[id.index()] = new_id;
           }
@@ -161,10 +169,45 @@ struct Rebuild {
           out.output(op.name, remap[op.operands[0].index()]);
           break;
         default: {
+          OpKind kind = op.kind;
           std::vector<OpId> args;
           args.reserve(op.operands.size());
           for (const OpId operand : op.operands) {
             args.push_back(remap[operand.index()]);
+          }
+
+          // Range-aware strengthening. Facts are indexed by the input
+          // kernel's OpIds, so this only fires in the round they were
+          // computed for (later fixpoint rounds run fact-free).
+          if (!facts.empty()) {
+            if (kind == OpKind::kSelect) {
+              if (const ValueRange* cond = fact(op.operands[0])) {
+                if (cond->lo > 0 || cond->hi < 0) {
+                  remap[id.index()] = args[1];
+                  ++stats.range_rewrites;
+                  break;
+                }
+                if (cond->lo == 0 && cond->hi == 0) {
+                  remap[id.index()] = args[2];
+                  ++stats.range_rewrites;
+                  break;
+                }
+              }
+            } else if (kind == OpKind::kDiv || kind == OpKind::kMul) {
+              // x / 2^k == x >> k and x * 2^k == x << k when x is proven
+              // nonnegative (trunc division rounds toward zero; the
+              // arithmetic shift rounds toward -inf — equal only at x>=0).
+              std::int64_t divisor = 0;
+              const ValueRange* a = fact(op.operands[0]);
+              if (a != nullptr && a->lo >= 0 && is_const(args[1], &divisor) &&
+                  divisor > 1 && (divisor & (divisor - 1)) == 0) {
+                int shift = 0;
+                while ((std::int64_t{1} << shift) < divisor) ++shift;
+                kind = kind == OpKind::kDiv ? OpKind::kShr : OpKind::kShl;
+                args[1] = make_const(shift);
+                ++stats.range_rewrites;
+              }
+            }
           }
 
           // Constant folding — but never fold a division by a constant
@@ -175,14 +218,14 @@ struct Rebuild {
             all_const = all_const && is_const(args[i], &values[i]);
           }
           const bool div_by_zero =
-              op.kind == OpKind::kDiv && all_const && values[1] == 0;
+              kind == OpKind::kDiv && all_const && values[1] == 0;
           if (all_const && !div_by_zero) {
-            remap[id.index()] = make_const(apply_op(op.kind, values));
+            remap[id.index()] = make_const(apply_op(kind, values));
             ++stats.constants_folded;
             break;
           }
 
-          if (const OpId replacement = try_identity(op.kind, args);
+          if (const OpId replacement = try_identity(kind, args);
               replacement.valid()) {
             remap[id.index()] = replacement;
             ++stats.identities_applied;
@@ -192,7 +235,7 @@ struct Rebuild {
           // CSE over structurally identical ops.
           std::vector<std::uint32_t> arg_values;
           for (const OpId a : args) arg_values.push_back(a.value());
-          const CseKey key{op.kind, arg_values, 0, ""};
+          const CseKey key{kind, arg_values, 0, ""};
           if (const auto it = cse.find(key); it != cse.end()) {
             remap[id.index()] = it->second;
             ++stats.subexpressions_merged;
@@ -200,9 +243,9 @@ struct Rebuild {
           }
           OpId new_id;
           if (args.size() == 1) {
-            new_id = out.unary(op.kind, args[0]);
+            new_id = out.unary(kind, args[0]);
           } else if (args.size() == 2) {
-            new_id = out.binary(op.kind, args[0], args[1]);
+            new_id = out.binary(kind, args[0], args[1]);
           } else {
             new_id = out.select(args[0], args[1], args[2]);
           }
@@ -219,23 +262,36 @@ struct Rebuild {
 }  // namespace
 
 Cdfg optimize(const Cdfg& kernel, OptimizeStats* stats) {
+  return optimize(kernel, std::span<const ValueRange>{}, stats);
+}
+
+Cdfg optimize(const Cdfg& kernel, std::span<const ValueRange> facts,
+              OptimizeStats* stats) {
+  MHS_CHECK(facts.empty() || facts.size() == kernel.num_ops(),
+            "optimize facts must be empty or one interval per op ("
+                << facts.size() << " facts, " << kernel.num_ops() << " ops)");
   // Iterate to a fixpoint: folding one op can strand its producers, which
   // the next round's liveness pass then removes. Converges in a few
   // rounds; 8 is a safe bound (each round strictly shrinks or stops).
+  // Facts are only valid against the original kernel's OpIds, so only the
+  // first round sees them.
   OptimizeStats total;
   total.ops_before = kernel.num_ops();
   Cdfg current = kernel;
   for (int round = 0; round < 8; ++round) {
     Rebuild rebuild(current);
+    if (round == 0) rebuild.facts = facts;
     rebuild.run();
     total.constants_folded += rebuild.stats.constants_folded;
     total.identities_applied += rebuild.stats.identities_applied;
     total.subexpressions_merged += rebuild.stats.subexpressions_merged;
     total.dead_ops_removed += rebuild.stats.dead_ops_removed;
+    total.range_rewrites += rebuild.stats.range_rewrites;
     const bool changed = rebuild.stats.ops_after != current.num_ops() ||
                          rebuild.stats.constants_folded != 0 ||
                          rebuild.stats.identities_applied != 0 ||
-                         rebuild.stats.subexpressions_merged != 0;
+                         rebuild.stats.subexpressions_merged != 0 ||
+                         rebuild.stats.range_rewrites != 0;
     current = std::move(rebuild.out);
     if (!changed) break;
   }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "ir/cdfg.h"
 
@@ -24,6 +25,10 @@ struct OptimizeStats {
   std::size_t identities_applied = 0;
   std::size_t subexpressions_merged = 0;
   std::size_t dead_ops_removed = 0;
+  /// Rewrites justified by value-range facts (dead select arms removed,
+  /// div/mul strength-reduced to shifts). Zero unless the facts overload
+  /// is used.
+  std::size_t range_rewrites = 0;
   std::size_t ops_before = 0;
   std::size_t ops_after = 0;
 };
@@ -34,5 +39,19 @@ struct OptimizeStats {
 /// trapping op that becomes unreachable from the outputs is removed, as
 /// in any conventional optimizing compiler.
 Cdfg optimize(const Cdfg& kernel, OptimizeStats* stats = nullptr);
+
+/// Range-aware overload: `facts` carries one proven value interval per op
+/// of `kernel`, indexed by OpId (analysis::absint produces exactly this;
+/// empty means "no facts" and degrades to plain optimize). Unlocks
+/// rewrites that are only sound under the proven intervals:
+///   * kSelect whose condition interval excludes zero keeps only the taken
+///     arm; a condition pinned to [0,0] keeps only the else arm;
+///   * div/mul by a positive power-of-2 constant becomes shr/shl when the
+///     other operand is proven nonnegative (trunc division == arithmetic
+///     shift only holds there).
+/// Equivalence contract is unchanged *for inputs satisfying the declared
+/// ranges the facts were computed from*.
+Cdfg optimize(const Cdfg& kernel, std::span<const ValueRange> facts,
+              OptimizeStats* stats = nullptr);
 
 }  // namespace mhs::ir

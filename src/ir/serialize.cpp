@@ -270,9 +270,39 @@ std::string to_text(const Cdfg& cdfg) {
     for (const OpId operand : op.operands) os << ' ' << operand.value();
     os << "\n";
   }
+  // Range annotations ride after the op list so the op block stays
+  // byte-identical for unannotated kernels.
+  for (const OpId id : cdfg.inputs()) {
+    const Op& op = cdfg.op(id);
+    if (op.range && !op.range->is_full()) {
+      os << "range " << op.name << ' ' << op.range->lo << ' ' << op.range->hi
+         << "\n";
+    }
+  }
   os << "end\n";
   return os.str();
 }
+
+namespace {
+
+std::int64_t parse_i64(const Line& line, const std::string& token,
+                       const char* what) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(token, &used);
+    if (used != token.size()) {
+      fail(line.number, std::string("bad ") + what + " '" + token + "'");
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line.number, std::string("bad ") + what + " '" + token + "'");
+  } catch (const std::out_of_range&) {
+    fail(line.number,
+         std::string(what) + " out of range '" + token + "'");
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -323,6 +353,32 @@ Cdfg cdfg_from_text(const std::string& text) {
     if (ended) fail(line.number, "content after 'end'");
     if (line.keyword == "end") {
       ended = true;
+      continue;
+    }
+    if (line.keyword == "range") {
+      // `range <input-name> <lo> <hi>` — attaches to an already-defined
+      // input. An inverted (lo > hi) range parses fine and is reported by
+      // the verifier as CDFG011, matching the load-then-diagnose contract
+      // of Cdfg::from_ops.
+      expect_consumed(line);
+      if (line.positional.size() != 3) {
+        fail(line.number, "range needs <input> <lo> <hi>");
+      }
+      Op* target = nullptr;
+      for (Op& op : ops) {
+        if (op.kind == OpKind::kInput && op.name == line.positional[0]) {
+          target = &op;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        fail(line.number,
+             "range references undefined input '" + line.positional[0] + "'");
+      }
+      ValueRange range;
+      range.lo = parse_i64(line, line.positional[1], "range bound");
+      range.hi = parse_i64(line, line.positional[2], "range bound");
+      if (!range.is_full()) target->range = range;
       continue;
     }
     if (line.keyword != "op") {

@@ -239,6 +239,7 @@ bool parse_lint(const obs::JsonValue& params, LintParams* out,
   Fields f(params, "params", error);
   f.string_array("artifacts", &out->artifacts);
   f.flag("strict", &out->strict);
+  f.flag("ranges", &out->ranges);
   return f.reject_unknown();
 }
 
@@ -361,7 +362,8 @@ std::string Request::json() const {
     case Endpoint::kLint:
       os << "\"artifacts\":";
       render_string_array(os, lint.artifacts);
-      os << ",\"strict\":" << boolean(lint.strict);
+      os << ",\"strict\":" << boolean(lint.strict)
+         << ",\"ranges\":" << boolean(lint.ranges);
       break;
     case Endpoint::kHealth:
     case Endpoint::kMetrics:

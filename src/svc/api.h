@@ -154,6 +154,9 @@ struct LintParams {
   /// Serialized artifact texts (taskgraph / network / cdfg format).
   std::vector<std::string> artifacts;
   bool strict = false;
+  /// Also run the CDFG2xx value-range lints (abstract interpretation
+  /// over each CDFG artifact's declared input ranges).
+  bool ranges = false;
 };
 
 // --------------------------------------------------------------- request

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/absint.h"
 #include "analysis/lint.h"
 #include "analysis/verify.h"
 #include "base/error.h"
@@ -26,7 +27,7 @@ ArtifactKind sniff_artifact(const std::string& text) {
 }
 
 bool analyze_artifact(const std::string& text, analysis::Diagnostics* diags,
-                      std::string* error) {
+                      std::string* error, bool ranges) {
   const ArtifactKind kind = sniff_artifact(text);
   try {
     switch (kind) {
@@ -39,7 +40,8 @@ bool analyze_artifact(const std::string& text, analysis::Diagnostics* diags,
             ir::process_network_from_text(text, /*validate=*/false)));
         return true;
       case ArtifactKind::kCdfg:
-        diags->merge(analysis::analyze_cdfg(ir::cdfg_from_text(text)));
+        diags->merge(
+            analysis::analyze_cdfg(ir::cdfg_from_text(text), ranges));
         return true;
       case ArtifactKind::kUnknown:
         if (error != nullptr) {

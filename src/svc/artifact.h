@@ -24,7 +24,10 @@ ArtifactKind sniff_artifact(const std::string& text);
 /// `*diags`. Returns false when the text does not even tokenize (an
 /// unrecognized keyword or a parse abort), with the reason in `*error` —
 /// the caller decides how to surface it (mhs_lint exit 2, service 400).
+/// With `ranges` set, CDFG artifacts additionally get the CDFG2xx
+/// value-range lints (abstract interpretation over their declared input
+/// ranges); the flag is ignored for task graphs and networks.
 bool analyze_artifact(const std::string& text, analysis::Diagnostics* diags,
-                      std::string* error);
+                      std::string* error, bool ranges = false);
 
 }  // namespace mhs::svc

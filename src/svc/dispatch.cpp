@@ -529,6 +529,7 @@ bool prepare_lint(const LintParams& p, Dispatcher::Prepared* prep,
   KeyBuilder key;
   key.text("lint");
   key.text(p.strict ? "strict" : "lenient");
+  key.text(p.ranges ? "ranges" : "noranges");
   for (const std::string& text : p.artifacts) key.hash(fnv1a(text));
   prep->lint = p;
   prep->key = key.finish();
@@ -646,6 +647,19 @@ Response Dispatcher::evaluate(const Prepared& prep,
            << ",\"speedup\":" << num(report.design.speedup())
            << ",\"validated_hw_area\":" << num(report.validated_hw_area)
            << ",\"area_estimate_ratio\":" << num(report.area_estimate_ratio)
+           << ",\"optimize\":{\"ops_before\":"
+           << num(report.report.optimize_stats.ops_before)
+           << ",\"ops_after\":" << num(report.report.optimize_stats.ops_after)
+           << ",\"constants_folded\":"
+           << num(report.report.optimize_stats.constants_folded)
+           << ",\"identities_applied\":"
+           << num(report.report.optimize_stats.identities_applied)
+           << ",\"subexpressions_merged\":"
+           << num(report.report.optimize_stats.subexpressions_merged)
+           << ",\"range_rewrites\":"
+           << num(report.report.optimize_stats.range_rewrites)
+           << ",\"dead_ops_removed\":"
+           << num(report.report.optimize_stats.dead_ops_removed) << "}"
            << ",\"diagnostics\":"
            << diagnostics_json(report.report.diagnostics) << ",\"cosim\":";
         if (report.cosim.has_value()) {
@@ -742,7 +756,7 @@ Response Dispatcher::evaluate(const Prepared& prep,
         for (std::size_t i = 0; i < prep.lint.artifacts.size(); ++i) {
           std::string artifact_error;
           if (!analyze_artifact(prep.lint.artifacts[i], &diags,
-                                &artifact_error)) {
+                                &artifact_error, prep.lint.ranges)) {
             return Response::failure(
                 400, resp.endpoint,
                 "artifacts[" + std::to_string(i) + "]: " + artifact_error);
@@ -759,6 +773,7 @@ Response Dispatcher::evaluate(const Prepared& prep,
         std::ostringstream os;
         os << "{\"artifacts\":" << num(prep.lint.artifacts.size())
            << ",\"strict\":" << flag(prep.lint.strict)
+           << ",\"ranges\":" << flag(prep.lint.ranges)
            << ",\"exit_code\":" << exit_code
            << ",\"errors\":" << num(diags.error_count())
            << ",\"warnings\":" << num(diags.warn_count())

@@ -112,10 +112,10 @@ TEST(VerifyCdfg, CleanKernelHasNoFindings) {
 
 TEST(VerifyCdfg, DanglingOperandIsCdfg001) {
   std::vector<ir::Op> ops;
-  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a", {}});
   ops.push_back(
-      {ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(17)}, 0, ""});
-  ops.push_back({ir::OpKind::kOutput, {ir::OpId(1)}, 0, "y"});
+      {ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(17)}, 0, "", {}});
+  ops.push_back({ir::OpKind::kOutput, {ir::OpId(1)}, 0, "y", {}});
   const ir::Cdfg bad = ir::Cdfg::from_ops("bad", std::move(ops));
   const Diagnostics diags = verify_cdfg(bad);
   EXPECT_TRUE(diags.has_code("CDFG001")) << diags.str();
@@ -124,44 +124,44 @@ TEST(VerifyCdfg, DanglingOperandIsCdfg001) {
 
 TEST(VerifyCdfg, ForwardReferenceIsCdfg002) {
   std::vector<ir::Op> ops;
-  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a", {}});
   // Op 1 consumes op 2's value, defined after it.
-  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(2)}, 0, ""});
-  ops.push_back({ir::OpKind::kConst, {}, 3, ""});
+  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(2)}, 0, "", {}});
+  ops.push_back({ir::OpKind::kConst, {}, 3, "", {}});
   const ir::Cdfg bad = ir::Cdfg::from_ops("fwd", std::move(ops));
   EXPECT_TRUE(verify_cdfg(bad).has_code("CDFG002"));
 }
 
 TEST(VerifyCdfg, WrongArityIsCdfg003) {
   std::vector<ir::Op> ops;
-  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
-  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0)}, 0, ""});  // add wants 2
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a", {}});
+  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0)}, 0, "", {}});  // add wants 2
   const ir::Cdfg bad = ir::Cdfg::from_ops("arity", std::move(ops));
   EXPECT_TRUE(verify_cdfg(bad).has_code("CDFG003"));
 }
 
 TEST(VerifyCdfg, MissingPortNameIsCdfg004) {
   std::vector<ir::Op> ops;
-  ops.push_back({ir::OpKind::kInput, {}, 0, ""});  // unnamed input
+  ops.push_back({ir::OpKind::kInput, {}, 0, "", {}});  // unnamed input
   const ir::Cdfg bad = ir::Cdfg::from_ops("noname", std::move(ops));
   EXPECT_TRUE(verify_cdfg(bad).has_code("CDFG004"));
 }
 
 TEST(VerifyCdfg, DuplicatePortNameIsCdfg005) {
   std::vector<ir::Op> ops;
-  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
-  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a", {}});
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a", {}});
   const ir::Cdfg bad = ir::Cdfg::from_ops("dup", std::move(ops));
   EXPECT_TRUE(verify_cdfg(bad).has_code("CDFG005"));
 }
 
 TEST(VerifyCdfg, OperandReferencingOutputIsCdfg006) {
   std::vector<ir::Op> ops;
-  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
-  ops.push_back({ir::OpKind::kOutput, {ir::OpId(0)}, 0, "y"});
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a", {}});
+  ops.push_back({ir::OpKind::kOutput, {ir::OpId(0)}, 0, "y", {}});
   // Op 2 consumes the *output* op's "value" — outputs produce none.
-  ops.push_back({ir::OpKind::kNeg, {ir::OpId(1)}, 0, ""});
-  ops.push_back({ir::OpKind::kOutput, {ir::OpId(2)}, 0, "z"});
+  ops.push_back({ir::OpKind::kNeg, {ir::OpId(1)}, 0, "", {}});
+  ops.push_back({ir::OpKind::kOutput, {ir::OpId(2)}, 0, "z", {}});
   const ir::Cdfg bad = ir::Cdfg::from_ops("useout", std::move(ops));
   EXPECT_TRUE(verify_cdfg(bad).has_code("CDFG006"));
 }
@@ -193,8 +193,8 @@ TEST(VerifyCdfg, VerifierNeverThrowsOnCorruptIr) {
   // The whole point of the verifier: IR that would crash the consumers
   // must be diagnosable without crashing the diagnoser.
   std::vector<ir::Op> ops;
-  ops.push_back({ir::OpKind::kSelect, {ir::OpId(9), ir::OpId(8)}, 0, "x"});
-  ops.push_back({ir::OpKind::kOutput, {}, 0, ""});
+  ops.push_back({ir::OpKind::kSelect, {ir::OpId(9), ir::OpId(8)}, 0, "x", {}});
+  ops.push_back({ir::OpKind::kOutput, {}, 0, "", {}});
   const ir::Cdfg bad = ir::Cdfg::from_ops("mess", std::move(ops));
   Diagnostics diags;
   EXPECT_NO_THROW(diags = verify_cdfg(bad));
@@ -449,9 +449,9 @@ TEST(Gates, ApplyGateThrowsOnlyAtStrict) {
 apps::KernelBackedWorkload corrupted_workload() {
   apps::KernelBackedWorkload w = apps::dsp_chain_workload();
   std::vector<ir::Op> ops;
-  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
-  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(42)}, 0, ""});
-  ops.push_back({ir::OpKind::kOutput, {ir::OpId(1)}, 0, "y"});
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a", {}});
+  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(42)}, 0, "", {}});
+  ops.push_back({ir::OpKind::kOutput, {ir::OpId(1)}, 0, "y", {}});
   w.kernel_storage.push_back(
       ir::Cdfg::from_ops("corrupt", std::move(ops)));
   for (std::size_t i = 0; i < w.kernels.size(); ++i) {
@@ -526,9 +526,9 @@ TEST(Gates, CleanFlowIsLintCleanAtStrict) {
 
 TEST(Gates, CosynthRunThrowsOnCorruptKernelInput) {
   std::vector<ir::Op> ops;
-  ops.push_back({ir::OpKind::kInput, {}, 0, "a"});
-  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(9)}, 0, ""});
-  ops.push_back({ir::OpKind::kOutput, {ir::OpId(1)}, 0, "y"});
+  ops.push_back({ir::OpKind::kInput, {}, 0, "a", {}});
+  ops.push_back({ir::OpKind::kAdd, {ir::OpId(0), ir::OpId(9)}, 0, "", {}});
+  ops.push_back({ir::OpKind::kOutput, {ir::OpId(1)}, 0, "y", {}});
   const ir::Cdfg bad = ir::Cdfg::from_ops("bad", std::move(ops));
   cosynth::Request req;
   req.apps = {{&bad, 1.0, "bad"}};

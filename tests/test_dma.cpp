@@ -12,7 +12,7 @@ namespace {
 struct DmaFixture : public ::testing::Test {
   DmaFixture()
       : impl(hw::synthesize(kernel, lib,
-                            hw::HlsConstraints{hw::HlsGoal::kMinArea, 0, {}})),
+                            hw::HlsConstraints{hw::HlsGoal::kMinArea, 0, {}, {}})),
         bus(sim, BusConfig{}, InterfaceLevel::kRegister),
         device(sim, impl, InterfaceLevel::kRegister) {}
 

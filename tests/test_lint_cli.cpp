@@ -61,6 +61,82 @@ TEST(LintCli, EveryCorruptedFixtureFailsWithItsStableCode) {
   }
 }
 
+TEST(LintCli, RangeLintFixturesFireOnlyUnderRanges) {
+  // Each CDFG2xx fixture is structurally clean — without --ranges it
+  // exits 0 and the code never appears. With --ranges the code fires
+  // with the fixture's designed severity/exit code.
+  struct Case {
+    const char* file;
+    const char* code;
+    int ranges_exit;
+  };
+  const std::vector<Case> cases = {
+      {"range_div_zero.cdfg", "CDFG200", 1},      // error
+      {"range_shift_oob.cdfg", "CDFG201", 1},     // error
+      {"range_overflow.cdfg", "CDFG202", 0},      // note
+      {"range_const_output.cdfg", "CDFG203", 0},  // warn
+      {"range_dead_select.cdfg", "CDFG204", 0},   // warn
+  };
+  for (const Case& c : cases) {
+    const LintOutcome off = lint({fixture(c.file)});
+    EXPECT_EQ(off.exit_code, 0) << c.file << "\n" << off.out << off.err;
+    EXPECT_EQ(off.out.find(c.code), std::string::npos) << c.file;
+
+    const LintOutcome on = lint({"--ranges", fixture(c.file)});
+    EXPECT_EQ(on.exit_code, c.ranges_exit) << c.file << "\n" << on.out;
+    EXPECT_NE(on.out.find(c.code), std::string::npos)
+        << c.file << " should report " << c.code << ":\n"
+        << on.out;
+  }
+}
+
+TEST(LintCli, RangeLintWarningsGateUnderStrict) {
+  // CDFG203/204 are warnings: strict turns them into failures.
+  for (const char* file : {"range_const_output.cdfg",
+                           "range_dead_select.cdfg"}) {
+    const LintOutcome strict = lint({"--ranges", "--strict", fixture(file)});
+    EXPECT_EQ(strict.exit_code, 1) << file << "\n" << strict.out;
+  }
+  // CDFG202 is a note: it never gates, even under strict.
+  const LintOutcome note =
+      lint({"--ranges", "--strict", fixture("range_overflow.cdfg")});
+  EXPECT_EQ(note.exit_code, 0) << note.out;
+}
+
+TEST(LintCli, RangeLintJsonCarriesCodeAndLocation) {
+  const LintOutcome r =
+      lint({"--ranges", "--json", fixture("range_div_zero.cdfg")});
+  EXPECT_EQ(r.exit_code, 1);
+  const auto parsed = obs::json_parse(r.out);
+  ASSERT_TRUE(parsed.has_value()) << r.out;
+  ASSERT_TRUE(parsed->is_array());
+  bool found = false;
+  for (const obs::JsonValue& item : parsed->as_array()) {
+    const obs::JsonValue* code = item.find("code");
+    if (code == nullptr || !code->is_string() ||
+        code->as_string() != "CDFG200") {
+      continue;
+    }
+    found = true;
+    // The diagnostic must point at the div op (index 2 in the fixture).
+    const obs::JsonValue* id = item.find("id");
+    ASSERT_NE(id, nullptr) << r.out;
+    EXPECT_EQ(id->as_number(), 2.0) << r.out;
+    const obs::JsonValue* kind = item.find("kind");
+    ASSERT_NE(kind, nullptr) << r.out;
+    EXPECT_EQ(kind->as_string(), "op") << r.out;
+  }
+  EXPECT_TRUE(found) << r.out;
+}
+
+TEST(LintCli, ServerJsonModeForwardsRangesFlag) {
+  const LintOutcome r = lint(
+      {"--server-json", "--ranges", fixture("range_div_zero.cdfg")});
+  EXPECT_EQ(r.exit_code, 1) << r.out << r.err;
+  EXPECT_NE(r.out.find("\"ranges\":true"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("CDFG200"), std::string::npos) << r.out;
+}
+
 TEST(LintCli, ValidArtifactExitsZero) {
   const LintOutcome r = lint({fixture("valid_small.cdfg")});
   EXPECT_EQ(r.exit_code, 0) << r.out << r.err;

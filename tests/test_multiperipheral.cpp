@@ -31,10 +31,10 @@ struct TwoDeviceSystem : public ::testing::Test {
         med_kernel(apps::median5_kernel()),
         fir_impl(hw::synthesize(
             fir_kernel, lib,
-            hw::HlsConstraints{hw::HlsGoal::kMinArea, 0, {}})),
+            hw::HlsConstraints{hw::HlsGoal::kMinArea, 0, {}, {}})),
         med_impl(hw::synthesize(
             med_kernel, lib,
-            hw::HlsConstraints{hw::HlsGoal::kMinArea, 0, {}})),
+            hw::HlsConstraints{hw::HlsGoal::kMinArea, 0, {}, {}})),
         bus(sim, sim::BusConfig{}, sim::InterfaceLevel::kRegister),
         fir_dev(sim, fir_impl, sim::InterfaceLevel::kRegister),
         med_dev(sim, med_impl, sim::InterfaceLevel::kRegister) {
