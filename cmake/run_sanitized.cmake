@@ -23,13 +23,17 @@ file(MAKE_DIRECTORY "${build_dir}")
 # harness, whose adversarial inputs are exactly what sanitizers are
 # for), the value-range abstract interpreter (unit suite plus the
 # 10k-kernel soundness fuzzer, whose random arithmetic probes the i64
-# corner cases UBSan exists to catch), and the service daemon (sockets,
+# corner cases UBSan exists to catch), the service daemon (sockets,
 # the worker pool, and request coalescing — the tree's most
-# concurrency-dense code). A full-tree sanitized build would take far
-# longer on the single-core CI box for little extra coverage.
+# concurrency-dense code), and the RtlSim differential equivalence
+# layer (unit suite, committed reproducer corpus, and the equiv_fuzz
+# harness at reduced iteration count — random hardware being stepped
+# cycle by cycle is dense in the shifts and wraps UBSan watches). A
+# full-tree sanitized build would take far longer on the single-core
+# CI box for little extra coverage.
 set(suites test_base test_ir test_obs test_analysis test_absint
            absint_fuzz test_lint_cli test_explorer test_fault fault_fuzz
-           test_serve serve_traffic)
+           test_serve serve_traffic test_equivalence test_corpus)
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -S "${SOURCE_DIR}" -B "${build_dir}"
@@ -42,7 +46,7 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build "${build_dir}"
-          --target ${suites} bench_fig2_tasks bench_report
+          --target ${suites} equiv_fuzz bench_fig2_tasks bench_report
   RESULT_VARIABLE build_rc)
 if(NOT build_rc EQUAL 0)
   message(FATAL_ERROR "sanitized build failed with ${build_rc}")
@@ -56,6 +60,19 @@ foreach(suite IN LISTS suites)
     message(FATAL_ERROR "${suite} failed under ASan/UBSan (rc=${suite_rc})")
   endif()
 endforeach()
+
+# equiv_fuzz runs at a reduced iteration count under the sanitizers:
+# each case synthesizes a kernel and steps the RtlSim cycle by cycle,
+# so the full 2500-kernel campaign would dominate the gate's runtime.
+# 300 instrumented kernels still sweep every op kind and both shrink
+# stages' code paths.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "MHS_FUZZ_ITERS=300"
+          "${build_dir}/tests/equiv_fuzz"
+  RESULT_VARIABLE equiv_rc)
+if(NOT equiv_rc EQUAL 0)
+  message(FATAL_ERROR "equiv_fuzz failed under ASan/UBSan (rc=${equiv_rc})")
+endif()
 
 # One real bench run plus the report checker, sanitized end to end: the
 # Reporter -> JSON file -> bench_report parse/validate round trip.

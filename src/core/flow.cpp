@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "analysis/absint.h"
+#include "hw/equivalence.h"
 #include "hw/hls.h"
 #include "analysis/lint.h"
 #include "analysis/verify.h"
@@ -283,6 +284,19 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
           diagnostics.merge(hls_diags);
           analysis::apply_gate("hls", config.lint_level, hls_diags);
         }
+        // Differential equivalence gate — the synthesized FSM + datapath
+        // + binding, executed cycle-by-cycle by hw::RtlSim, must match
+        // the compiled software reference bit-for-bit on seeded vectors
+        // before the implementation is trusted with the co-simulation.
+        if (config.verify_hls > 0) {
+          obs::Span gate(sink, "verify.equiv", "analysis");
+          const hw::EquivCampaign campaign = hw::verify_synthesis(
+              impl, config.verify_hls, config.cosim_seed ^ 0xe901f0ull);
+          MHS_CHECK(campaign.all_equivalent,
+                    "post-synthesis equivalence gate failed: "
+                        << campaign.first_failure);
+          report.hls_verified_vectors = campaign.vectors;
+        }
         Rng rng(config.cosim_seed);
         std::vector<std::vector<std::int64_t>> samples;
         for (std::size_t s = 0; s < config.cosim_samples; ++s) {
@@ -348,6 +362,9 @@ FlowReport run_codesign_flow(const ir::TaskGraph& graph,
   }
   table.add_row({"cross comm (cyc)", fmt(m.cross_comm_cycles, 1)});
   table.add_row({"SW code (bytes)", fmt(m.sw_code_bytes, 0)});
+  if (report.hls_verified_vectors > 0) {
+    table.add_row({"HLS equiv vectors", fmt(report.hls_verified_vectors)});
+  }
   if (report.cosim) {
     table.add_row({"cosim level",
                    sim::interface_level_name(report.cosim->level)});

@@ -99,6 +99,12 @@ struct FlowConfig {
   /// narrowed datapath, asserts it is bit-identical to the word-wide one
   /// on every sample, then co-simulates the narrowed implementation.
   bool narrow_datapaths = false;
+  /// Post-synthesis differential verification: run this many seeded
+  /// input vectors through hw::check_equivalence (RtlSim vs. the
+  /// compiled software reference) on the co-simulated kernel and throw
+  /// PreconditionError on any mismatch. 0 disables the gate. Vectors
+  /// draw from cosim_seed, so the gate is deterministic per config.
+  std::size_t verify_hls = 4;
   /// Co-simulate the largest HW kernel at this level (disabled if the
   /// partition puts nothing in hardware).
   bool cosimulate = true;
@@ -192,6 +198,12 @@ struct FlowConfig {
     c.narrow_datapaths = true;
     return c;
   }
+  /// Sets the number of post-synthesis differential vectors (0 = off).
+  FlowConfig with_hls_verification(std::size_t vectors) const {
+    FlowConfig c = *this;
+    c.verify_hls = vectors;
+    return c;
+  }
   FlowConfig with_cosim_level(sim::InterfaceLevel level) const {
     FlowConfig c = *this;
     c.cosimulate = true;
@@ -241,6 +253,10 @@ struct FlowReport {
   double area_estimate_ratio = 1.0;
   /// Co-simulation of the largest HW kernel (if any and enabled).
   std::optional<sim::CosimReport> cosim;
+  /// Differential vectors the post-synthesis equivalence gate compared
+  /// (RtlSim vs. compiled reference; 0 when the gate was off or nothing
+  /// went to hardware). Trapping vectors are drawn but not counted.
+  std::size_t hls_verified_vectors = 0;
   /// Human-readable multi-line summary.
   std::string summary;
   /// The unified report envelope: the synthesized design in the common

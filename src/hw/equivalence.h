@@ -1,0 +1,83 @@
+// Differential HW/SW co-verification of synthesized implementations.
+//
+// The paper's validation story is co-simulation: the hardware half of a
+// partition must compute exactly what the software specification
+// computes. check_equivalence makes that check mechanical for one
+// synthesized kernel and one input vector — the RTL-level interpreter
+// (hw::RtlSim) executes the FSM + datapath + register binding while
+// ir::CompiledEval executes the behavioural reference, and every output
+// bit, the cycle count vs. the schedule's promised latency, and the
+// final register-file contents must agree. verify_synthesis lifts that
+// to a seeded campaign over many vectors, which is what the flow's
+// post-synthesis gate (FlowConfig::verify_hls), the tier-2 equiv_fuzz
+// campaign, and bench_equiv all run.
+//
+// Equivalence is claimed only for vectors on which the reference does
+// not trap (divide-by-zero, shift amount outside [0,64)): a trapping
+// vector is outside both implementations' contract and is reported as
+// `trapped`, not compared.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "hw/rtl_sim.h"
+#include "ir/cdfg.h"
+
+namespace mhs::hw {
+
+/// Knobs for one differential check.
+struct EquivOptions {
+  /// Compare RtlSim's cycle count against the schedule's latency.
+  bool check_latency = true;
+  /// Compare the final register file against reference-derived contents.
+  bool check_registers = true;
+  /// Additionally compile the kernel to the RISC ISA and run it on the
+  /// ISS as a second software reference (slower; the default reference
+  /// is ir::CompiledEval either way).
+  bool check_iss = false;
+  /// Reuse a prebuilt reference evaluator for the kernel (must match
+  /// impl's CDFG); null compiles one per call.
+  const ir::CompiledEval* reference = nullptr;
+};
+
+/// Outcome of one vector.
+struct EquivResult {
+  /// True when every enabled comparison agreed (vacuously true for a
+  /// trapped vector).
+  bool equivalent = true;
+  /// The reference trapped on this vector; nothing was compared.
+  bool trapped = false;
+  /// First disagreement, human-readable; empty when equivalent.
+  std::string detail;
+  /// RtlSim cycles (0 when trapped).
+  std::size_t cycles = 0;
+  std::map<std::string, std::int64_t> rtl_outputs;
+  std::map<std::string, std::int64_t> ref_outputs;
+};
+
+/// Runs `inputs` through RtlSim and the software reference and compares.
+/// Throws only on caller errors (missing input names); synthesis bugs
+/// come back as equivalent == false with a populated detail.
+EquivResult check_equivalence(const HlsResult& impl,
+                              const std::map<std::string, std::int64_t>& inputs,
+                              const EquivOptions& options = {});
+
+/// A seeded multi-vector campaign over one already-synthesized kernel.
+struct EquivCampaign {
+  std::size_t vectors = 0;    ///< vectors compared (traps excluded)
+  std::size_t trapped = 0;    ///< vectors skipped as trapping
+  bool all_equivalent = true;
+  /// First failing vector's detail + reproducer inputs; empty when clean.
+  std::string first_failure;
+};
+
+/// Draws `vectors` input vectors (uniform inside each input's declared
+/// ir::ValueRange; full-width when unannotated) deterministically from
+/// `seed` and checks each. Stops at the first failure.
+EquivCampaign verify_synthesis(const HlsResult& impl, std::size_t vectors,
+                               std::uint64_t seed,
+                               const EquivOptions& options = {});
+
+}  // namespace mhs::hw

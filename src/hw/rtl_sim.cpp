@@ -1,0 +1,246 @@
+#include "hw/rtl_sim.h"
+
+#include <array>
+#include <limits>
+
+namespace mhs::hw {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// One tagged storage element: which op's value it holds, if any.
+struct Cell {
+  std::size_t op = kNone;
+  std::int64_t value = 0;
+};
+
+}  // namespace
+
+std::int64_t wrap_to_width(std::int64_t v, std::size_t width) {
+  if (width >= 64) return v;
+  const unsigned shift = static_cast<unsigned>(64 - width);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(v) << shift) >>
+         shift;
+}
+
+RtlSim::RtlSim(const HlsResult& impl) : impl_(&impl) {
+  const Schedule& schedule = impl.schedule;
+  const ir::Cdfg& cdfg = schedule.cdfg();
+  const ComponentLibrary& lib = schedule.library();
+  const std::size_t steps = schedule.num_steps();
+  issue_at_.assign(steps, {});
+  output_at_.assign(steps, {});
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    if (ir::op_is_compute(op.kind)) {
+      // The commit model assumes results appear strictly after issue.
+      MHS_CHECK(lib.op_latency(op.kind) >= 1,
+                "RtlSim requires latency >= 1 for " << ir::op_name(op.kind));
+      issue_at_.at(schedule.start_of(id)).push_back(id);
+      ++compute_ops_;
+    } else if (op.kind == ir::OpKind::kOutput) {
+      const std::size_t s = schedule.start_of(id);
+      if (s < steps) {
+        output_at_[s].push_back(id);
+      } else {
+        epilogue_outputs_.push_back(id);
+      }
+    }
+  }
+  check_controller();
+}
+
+std::size_t RtlSim::num_states() const { return impl_->schedule.num_steps(); }
+
+std::size_t RtlSim::num_fu_instances() const {
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+    total += impl_->binding.fu_counts.count[t];
+  }
+  return total;
+}
+
+std::size_t RtlSim::num_registers() const {
+  return impl_->binding.num_registers;
+}
+
+void RtlSim::check_controller() const {
+  const Schedule& schedule = impl_->schedule;
+  const Binding& binding = impl_->binding;
+  const Controller& ctl = impl_->controller;
+  const ir::Cdfg& cdfg = schedule.cdfg();
+  const ComponentLibrary& lib = schedule.library();
+  const std::size_t steps = schedule.num_steps();
+  MHS_ASSERT(ctl.num_states() == steps,
+             "controller has " << ctl.num_states() << " states for "
+                               << steps << " control steps");
+
+  // Expected occupancy per (step, FU enable bit) and the register-load
+  // state of every registered value, straight from schedule + binding.
+  std::vector<std::vector<bool>> fu_active(
+      steps, std::vector<bool>(ctl.num_control_bits(), false));
+  std::vector<std::vector<bool>> reg_loads(
+      steps, std::vector<bool>(ctl.num_control_bits(), false));
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    if (ir::op_is_compute(op.kind)) {
+      const std::size_t enable = ctl.fu_enable_bit(
+          fu_for_op(op.kind), binding.fu_instance[id.index()]);
+      const std::size_t start = schedule.start_of(id);
+      const std::size_t lat = lib.op_latency(op.kind);
+      for (std::size_t s = start; s < start + lat && s < steps; ++s) {
+        fu_active[s][enable] = true;
+      }
+    }
+    const std::size_t reg = binding.register_of[id.index()];
+    if (reg != kNone) {
+      const std::size_t latch =
+          std::min(schedule.end_of(id), steps == 0 ? 0 : steps - 1);
+      reg_loads[latch][ctl.register_load_bit(reg)] = true;
+    }
+  }
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+      const FuType type = all_fu_types()[t];
+      for (std::size_t i = 0; i < binding.fu_counts.count[t]; ++i) {
+        const std::size_t bit = ctl.fu_enable_bit(type, i);
+        MHS_ASSERT(ctl.asserted(s, bit) == fu_active[s][bit],
+                   "controller state " << s << ": " << fu_name(type) << "["
+                                       << i << "] enable bit disagrees with "
+                                          "the schedule");
+      }
+    }
+    for (std::size_t r = 0; r < binding.num_registers; ++r) {
+      const std::size_t bit = ctl.register_load_bit(r);
+      MHS_ASSERT(ctl.asserted(s, bit) == reg_loads[s][bit],
+                 "controller state " << s << ": register " << r
+                                     << " load bit disagrees with the "
+                                        "binding's latch step");
+    }
+  }
+}
+
+RtlTrace RtlSim::run(const std::map<std::string, std::int64_t>& inputs) const {
+  const Schedule& schedule = impl_->schedule;
+  const Binding& binding = impl_->binding;
+  const ir::Cdfg& cdfg = schedule.cdfg();
+  const std::size_t steps = schedule.num_steps();
+
+  // Input/const ports: latched once, wrapped to the port's proven width
+  // (identity when unnarrowed or when the input honors its declared
+  // range — the narrowing soundness contract).
+  std::vector<std::int64_t> port(cdfg.num_ops(), 0);
+  std::vector<bool> is_port(cdfg.num_ops(), false);
+  for (const ir::OpId id : cdfg.op_ids()) {
+    const ir::Op& op = cdfg.op(id);
+    if (op.kind == ir::OpKind::kConst) {
+      port[id.index()] = wrap_to_width(op.value, schedule.width_of(id));
+      is_port[id.index()] = true;
+    } else if (op.kind == ir::OpKind::kInput) {
+      const auto it = inputs.find(op.name);
+      MHS_CHECK(it != inputs.end(),
+                "RtlSim: missing input '" << op.name << "'");
+      port[id.index()] = wrap_to_width(it->second, schedule.width_of(id));
+      is_port[id.index()] = true;
+    }
+  }
+
+  // The bound storage: one output latch per FU instance, one cell per
+  // register. Every value a consumer reads must be reachable through one
+  // of these — that is the structural claim under test.
+  std::array<std::vector<Cell>, kNumFuTypes> fu_latch;
+  for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+    fu_latch[t].assign(binding.fu_counts.count[t], Cell{});
+  }
+  std::vector<Cell> reg_file(binding.num_registers, Cell{});
+
+  // In-flight results: computed at issue, committed to their FU latch
+  // (and register, if allocated) when their latency elapses.
+  struct Pending {
+    ir::OpId op;
+    std::size_t ready;  // step at whose clock edge the value commits
+    std::int64_t value;
+  };
+  std::vector<Pending> pending;
+
+  RtlTrace trace;
+  trace.register_file.assign(binding.num_registers, 0);
+
+  const auto commit_ready = [&](std::size_t step) {
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i].ready != step) {
+        ++i;
+        continue;
+      }
+      const ir::OpId id = pending[i].op;
+      const auto type = static_cast<std::size_t>(fu_for_op(cdfg.op(id).kind));
+      fu_latch[type][binding.fu_instance[id.index()]] =
+          Cell{id.index(), pending[i].value};
+      if (const std::size_t r = binding.register_of[id.index()]; r != kNone) {
+        reg_file[r] = Cell{id.index(), pending[i].value};
+        ++trace.register_writes;
+      }
+      pending[i] = pending.back();
+      pending.pop_back();
+    }
+  };
+
+  // Reads an operand at step `s` through a bound resource only.
+  const auto read = [&](ir::OpId o, std::size_t s) -> std::int64_t {
+    if (is_port[o.index()]) return port[o.index()];
+    if (const std::size_t r = binding.register_of[o.index()];
+        r != kNone && reg_file[r].op == o.index()) {
+      return reg_file[r].value;
+    }
+    const ir::Op& op = cdfg.op(o);
+    MHS_ASSERT(ir::op_is_compute(op.kind),
+               "RtlSim: operand " << o << " is not a port or compute value");
+    const auto type = static_cast<std::size_t>(fu_for_op(op.kind));
+    const Cell& latch = fu_latch[type][binding.fu_instance[o.index()]];
+    MHS_ASSERT(latch.op == o.index(),
+               "RtlSim: value of op " << o << " unreachable at step " << s
+                                      << " — its FU latch was recycled and "
+                                         "no register holds it");
+    return latch.value;
+  };
+
+  std::vector<std::int64_t> args;
+  const auto latch_output = [&](ir::OpId id, std::size_t s) {
+    trace.outputs[cdfg.op(id).name] = read(cdfg.op(id).operands[0], s);
+  };
+
+  for (std::size_t s = 0; s < steps; ++s) {
+    commit_ready(s);                          // clock edge entering step s
+    for (const ir::OpId id : output_at_[s]) {  // output ports latch
+      latch_output(id, s);
+    }
+    for (const ir::OpId id : issue_at_[s]) {  // FUs start their ops
+      const ir::Op& op = cdfg.op(id);
+      args.clear();
+      for (const ir::OpId operand : op.operands) {
+        args.push_back(read(operand, s));
+      }
+      const std::int64_t result = wrap_to_width(ir::apply_op(op.kind, args),
+                                                schedule.width_of(id));
+      pending.push_back(Pending{id, schedule.end_of(id), result});
+      ++trace.fu_fires;
+    }
+    ++trace.cycles;
+  }
+  // Values completing at the makespan commit on the final edge; outputs
+  // scheduled there latch from them.
+  commit_ready(steps);
+  for (const ir::OpId id : epilogue_outputs_) {
+    latch_output(id, steps);
+  }
+  MHS_ASSERT(pending.empty(), "RtlSim: " << pending.size()
+                                         << " results never committed");
+
+  for (std::size_t r = 0; r < binding.num_registers; ++r) {
+    trace.register_file[r] = reg_file[r].value;
+  }
+  return trace;
+}
+
+}  // namespace mhs::hw

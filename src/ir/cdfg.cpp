@@ -403,4 +403,40 @@ Cdfg with_input_ranges(const Cdfg& cdfg, ValueRange range) {
   return Cdfg::from_ops(cdfg.name(), std::move(ops));
 }
 
+Cdfg extract_cone(const Cdfg& cdfg, OpId target) {
+  MHS_CHECK(target.index() < cdfg.num_ops(),
+            "extract_cone: op " << target << " out of range");
+  std::vector<bool> in_cone(cdfg.num_ops(), false);
+  in_cone[target.index()] = true;
+  // Ids are topological, so one reverse sweep closes the cone.
+  const std::vector<OpId> ids = cdfg.op_ids();
+  for (std::size_t i = ids.size(); i-- > 0;) {
+    if (!in_cone[ids[i].index()]) continue;
+    for (const OpId operand : cdfg.op(ids[i]).operands) {
+      in_cone[operand.index()] = true;
+    }
+  }
+  std::vector<Op> ops;
+  std::vector<OpId> remap(cdfg.num_ops());
+  bool has_output = false;
+  for (const OpId id : ids) {
+    if (!in_cone[id.index()]) continue;
+    Op op = cdfg.op(id);
+    for (OpId& operand : op.operands) {
+      operand = remap[operand.index()];
+    }
+    has_output = has_output || op.kind == OpKind::kOutput;
+    remap[id.index()] = OpId(static_cast<std::uint32_t>(ops.size()));
+    ops.push_back(std::move(op));
+  }
+  if (!has_output) {
+    Op out;
+    out.kind = OpKind::kOutput;
+    out.name = "y";
+    out.operands = {remap[target.index()]};
+    ops.push_back(std::move(out));
+  }
+  return Cdfg::from_ops(cdfg.name() + "_cone", std::move(ops));
+}
+
 }  // namespace mhs::ir

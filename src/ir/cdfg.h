@@ -218,4 +218,13 @@ std::uint64_t content_hash(const Cdfg& cdfg);
 /// [lo, hi]", which is what unlocks proven-safe datapath narrowing.
 Cdfg with_input_ranges(const Cdfg& cdfg, ValueRange range);
 
+/// Rebuilds the transitive operand cone of `target` as a self-contained
+/// kernel named "<name>_cone": only `target`, its operands, and their
+/// operands (recursively) survive; inputs keep their declared ranges. If
+/// no output op lands in the cone, `target`'s value is exposed as output
+/// "y" so the result is always evaluable. This is the fuzzers' shrinking
+/// primitive — the smallest op chain that still reproduces a failure at
+/// `target` — and is deterministic (ids renumber in topological order).
+Cdfg extract_cone(const Cdfg& cdfg, OpId target);
+
 }  // namespace mhs::ir

@@ -8,18 +8,18 @@
 // op must lie inside the interval AND match the known-bits masks
 // absint_cdfg derived for that op — and fit in the proven bitwidth.
 //
-// Kernels are seeded deterministically (kernel i uses seed kSeedBase+i),
-// so any escape reproduces from the printed seed alone. On an escape the
-// harness shrinks to the smallest offending op chain (the transitive
-// operand cone of the first escaping op), re-checks the cone on the same
-// inputs, and prints it in serialized form.
+// Kernels are seeded deterministically (kernel i uses seed base+i, base
+// overridable via MHS_ABSINT_SEED; see tests/fuzz_env.h), so any escape
+// reproduces from the printed seed alone. On an escape the harness
+// shrinks to the smallest offending op chain (the transitive operand
+// cone of the first escaping op, via ir::extract_cone), re-checks the
+// cone on the same inputs, and prints it in serialized form.
 //
 // Iteration counts honor MHS_FUZZ_ITERS; the default is 10000 kernels
 // (ISSUE acceptance floor), each evaluated on several input samples.
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <cstdlib>
 #include <limits>
 #include <string>
 #include <vector>
@@ -27,133 +27,20 @@
 #include "analysis/absint.h"
 #include "analysis/verify.h"
 #include "base/rng.h"
+#include "fuzz_env.h"
+#include "fuzz_kernels.h"
 #include "ir/cdfg.h"
 #include "ir/serialize.h"
 
 namespace mhs::analysis {
 namespace {
 
+using fuzz::draw_in_range;
+using fuzz::random_kernel;
+
 constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
 constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
 constexpr std::uint64_t kSeedBase = 0xab51'f022ull;
-
-/// A full 64-bit draw composed from two half-width uniform_int calls
-/// (Rng::uniform_int over the whole i64 span would compute hi - lo in
-/// signed arithmetic — UB the sanitize gate's UBSan build rejects).
-std::uint64_t raw_u64(Rng& rng) {
-  constexpr std::int64_t kHalf = (std::int64_t{1} << 32) - 1;
-  const auto low = static_cast<std::uint64_t>(rng.uniform_int(0, kHalf));
-  const auto high = static_cast<std::uint64_t>(rng.uniform_int(0, kHalf));
-  return (high << 32) | low;
-}
-
-/// Uniform-ish draw in [lo, hi] inclusive, safe for arbitrary i64 spans.
-/// (Modulo bias is irrelevant at fuzzing scale.)
-std::int64_t draw_in_range(Rng& rng, std::int64_t lo, std::int64_t hi) {
-  const std::uint64_t width =
-      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
-  if (width == ~std::uint64_t{0}) {
-    return static_cast<std::int64_t>(raw_u64(rng));
-  }
-  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
-                                   raw_u64(rng) % (width + 1));
-}
-
-std::size_t fuzz_iters() {
-  const char* env = std::getenv("MHS_FUZZ_ITERS");
-  if (env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != nullptr && *end == '\0' && v > 0) {
-      return static_cast<std::size_t>(v);
-    }
-  }
-  return 10000;
-}
-
-/// A random input range biased toward the shapes that stress the
-/// domains: unannotated (full), small ranges near zero, single points,
-/// sign-crossing spans, and the i64 corners.
-ir::ValueRange random_range(Rng& rng) {
-  switch (rng.uniform_int(0, 5)) {
-    case 0:
-      return {kI64Min, kI64Max};  // unannotated
-    case 1: {                     // small, near zero
-      const std::int64_t lo = rng.uniform_int(-300, 300);
-      return {lo, lo + rng.uniform_int(0, 64)};
-    }
-    case 2: {  // single point (often a hazardous one)
-      const std::int64_t v =
-          rng.bernoulli(0.3) ? rng.uniform_int(-2, 2)
-                             : rng.uniform_int(-100000, 100000);
-      return {v, v};
-    }
-    case 3: {  // top corner
-      const std::int64_t lo = kI64Max - rng.uniform_int(0, 1000);
-      return {lo, kI64Max};
-    }
-    case 4: {  // bottom corner
-      const std::int64_t hi = kI64Min + rng.uniform_int(0, 1000);
-      return {kI64Min, hi};
-    }
-    default: {  // wide, sign-crossing
-      const std::int64_t lo = rng.uniform_int(-1'000'000'000, 0);
-      return {lo, rng.uniform_int(0, 1'000'000'000)};
-    }
-  }
-}
-
-std::int64_t random_constant(Rng& rng) {
-  switch (rng.uniform_int(0, 4)) {
-    case 0:  return rng.uniform_int(-4, 4);           // small (0, ±1, ±2...)
-    case 1:  return std::int64_t{1} << rng.uniform_int(0, 62);  // pow2
-    case 2:  return rng.uniform_int(0, 70);           // shift-amount-ish
-    case 3:  return rng.bernoulli(0.5) ? kI64Min : kI64Max;     // corners
-    default: return rng.uniform_int(-100000, 100000);
-  }
-}
-
-/// One random kernel: a few ranged inputs and constants, then a chain of
-/// random compute ops over random existing operands, then one output.
-ir::Cdfg random_kernel(std::uint64_t seed) {
-  Rng rng(seed);
-  ir::Cdfg k("fuzz" + std::to_string(seed));
-  std::vector<ir::OpId> pool;
-  const std::int64_t num_inputs = rng.uniform_int(1, 4);
-  for (std::int64_t i = 0; i < num_inputs; ++i) {
-    const ir::ValueRange r = random_range(rng);
-    pool.push_back(k.input("x" + std::to_string(i), r));
-  }
-  const std::int64_t num_consts = rng.uniform_int(0, 3);
-  for (std::int64_t i = 0; i < num_consts; ++i) {
-    pool.push_back(k.constant(random_constant(rng)));
-  }
-  static const std::vector<ir::OpKind> kComputeKinds = {
-      ir::OpKind::kAdd, ir::OpKind::kSub,   ir::OpKind::kMul,
-      ir::OpKind::kDiv, ir::OpKind::kShl,   ir::OpKind::kShr,
-      ir::OpKind::kAnd, ir::OpKind::kOr,    ir::OpKind::kXor,
-      ir::OpKind::kNeg, ir::OpKind::kAbs,   ir::OpKind::kMin,
-      ir::OpKind::kMax, ir::OpKind::kCmpLt, ir::OpKind::kCmpEq,
-      ir::OpKind::kSelect};
-  const std::int64_t num_ops = rng.uniform_int(1, 12);
-  for (std::int64_t i = 0; i < num_ops; ++i) {
-    const ir::OpKind kind = rng.pick(kComputeKinds);
-    const auto operand = [&] { return rng.pick(pool); };
-    switch (ir::op_arity(kind)) {
-      case 1:
-        pool.push_back(k.unary(kind, operand()));
-        break;
-      case 2:
-        pool.push_back(k.binary(kind, operand(), operand()));
-        break;
-      default:
-        pool.push_back(k.select(operand(), operand(), operand()));
-        break;
-    }
-  }
-  k.output("y", pool.back());
-  return k;
-}
 
 /// Concrete reference evaluation mirroring ir::apply_op's trap rules.
 /// Returns false (trap: the sample is outside the soundness contract)
@@ -203,57 +90,6 @@ bool fits_width(std::int64_t v, std::size_t w) {
   return lo <= v && v <= hi;
 }
 
-/// The transitive operand cone of `target`, rebuilt as a self-contained
-/// kernel (the shrunk reproducer). Input ops keep their declared ranges.
-ir::Cdfg extract_cone(const ir::Cdfg& k, ir::OpId target) {
-  std::vector<bool> in_cone(k.num_ops(), false);
-  in_cone[target.index()] = true;
-  // Ids are topological, so one reverse sweep closes the cone.
-  const std::vector<ir::OpId> ids = k.op_ids();
-  for (std::size_t i = ids.size(); i-- > 0;) {
-    if (!in_cone[ids[i].index()]) continue;
-    for (const ir::OpId operand : k.op(ids[i]).operands) {
-      in_cone[operand.index()] = true;
-    }
-  }
-  ir::Cdfg cone(k.name() + "_cone");
-  std::vector<ir::OpId> remap(k.num_ops());
-  for (const ir::OpId id : ids) {
-    if (!in_cone[id.index()]) continue;
-    const ir::Op& op = k.op(id);
-    std::vector<ir::OpId> operands;
-    for (const ir::OpId operand : op.operands) {
-      operands.push_back(remap[operand.index()]);
-    }
-    switch (op.kind) {
-      case ir::OpKind::kInput:
-        remap[id.index()] = op.range ? cone.input(op.name, *op.range)
-                                     : cone.input(op.name);
-        break;
-      case ir::OpKind::kConst:
-        remap[id.index()] = cone.constant(op.value);
-        break;
-      case ir::OpKind::kOutput:
-        remap[id.index()] = cone.output(op.name, operands[0]);
-        break;
-      case ir::OpKind::kSelect:
-        remap[id.index()] =
-            cone.select(operands[0], operands[1], operands[2]);
-        break;
-      default:
-        remap[id.index()] =
-            ir::op_arity(op.kind) == 1
-                ? cone.unary(op.kind, operands[0])
-                : cone.binary(op.kind, operands[0], operands[1]);
-        break;
-    }
-  }
-  if (cone.outputs().empty()) {
-    cone.output("y", remap[target.index()]);
-  }
-  return cone;
-}
-
 /// Checks one kernel/sample pair; on the first escaping op, shrinks to
 /// its cone and reports both forms. Returns false on escape.
 bool check_sample(const ir::Cdfg& k, const AbsintResult& result,
@@ -269,7 +105,7 @@ bool check_sample(const ir::Cdfg& k, const AbsintResult& result,
     const bool in_width = fits_width(v, result.width_of(id));
     if (in_interval && in_bits && in_width) continue;
     // Escape: shrink to the offending op chain and report.
-    const ir::Cdfg cone = extract_cone(k, id);
+    const ir::Cdfg cone = ir::extract_cone(k, id);
     std::string inputs_text;
     for (std::size_t i = 0; i < input_values.size(); ++i) {
       inputs_text += (i == 0 ? "" : ", ") + std::to_string(input_values[i]);
@@ -293,7 +129,8 @@ bool check_sample(const ir::Cdfg& k, const AbsintResult& result,
 }
 
 TEST(AbsintFuzz, NoIntervalOrKnownBitsEscapes) {
-  const std::size_t kernels = fuzz_iters();
+  const std::size_t kernels = fuzz::fuzz_iters(10000);
+  const std::uint64_t base = fuzz::fuzz_seed_base("MHS_ABSINT_SEED", kSeedBase);
   constexpr std::size_t kSamplesPerKernel = 6;
   std::size_t checked_samples = 0;
   std::size_t trapped_samples = 0;
@@ -305,7 +142,7 @@ TEST(AbsintFuzz, NoIntervalOrKnownBitsEscapes) {
   // a generator regression starving the loop.
   for (std::uint64_t i = 0; analyzed < kernels; ++i) {
     ASSERT_LT(i, kernels * 8) << "generator yields too few valid kernels";
-    const std::uint64_t seed = kSeedBase + i;
+    const std::uint64_t seed = base + i;
     const ir::Cdfg k = random_kernel(seed);
     if (verify_cdfg(k).has_errors()) continue;
     ++analyzed;

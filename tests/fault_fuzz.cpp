@@ -17,7 +17,8 @@
 //      2 usage/IO), never a crash or hang.
 //
 // Iteration counts honor MHS_FUZZ_ITERS so the sanitize gate can dial
-// the budget; the default is 500 plans.
+// the budget; the default is 500 plans. The plan-seed base is
+// overridable via MHS_FAULT_SEED (see tests/fuzz_env.h).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -31,12 +32,16 @@
 #include "apps/kernels.h"
 #include "apps/mhs_lint/lint_lib.h"
 #include "fault/fault.h"
+#include "fuzz_env.h"
 #include "hw/hls.h"
 #include "sim/cosim.h"
 #include "sim/run.h"
 
 namespace mhs {
 namespace {
+
+constexpr std::uint64_t kPlanSeedBase = 0x5eed0000ull;
+constexpr std::uint64_t kMutateSeedBase = 0xc0de0000ull;
 
 /// Drives the accelerator co-simulation through the sim::run seam.
 sim::CosimReport accel_cosim(
@@ -49,18 +54,6 @@ sim::CosimReport accel_cosim(
   return sim::run(sreq).cosim.value();
 }
 
-
-std::size_t fuzz_iters() {
-  const char* env = std::getenv("MHS_FUZZ_ITERS");
-  if (env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != nullptr && *end == '\0' && v > 0) {
-      return static_cast<std::size_t>(v);
-    }
-  }
-  return 500;
-}
 
 hw::HlsResult make_impl(const ir::Cdfg& kernel) {
   static hw::ComponentLibrary lib = hw::default_library();
@@ -145,10 +138,12 @@ void check_report(const sim::CosimReport& report, std::uint64_t iter) {
 TEST(FaultFuzz, RandomPlansNeverCrashAndKeepInvariants) {
   const ir::Cdfg kernel = apps::fir_kernel(4);
   const hw::HlsResult impl = make_impl(kernel);
-  const std::size_t iters = fuzz_iters();
+  const std::size_t iters = fuzz::fuzz_iters(500);
   std::size_t faulty_runs = 0;
   for (std::size_t iter = 0; iter < iters; ++iter) {
-    fault::SplitMix64 rng(0x5eed0000 + iter);
+    fault::SplitMix64 rng(fuzz::fuzz_seed_base("MHS_FAULT_SEED",
+                                              kPlanSeedBase) +
+                           iter);
     const sim::CosimConfig cfg = random_config(rng, 1000 + iter);
     std::vector<std::vector<std::int64_t>> samples;
     const std::size_t n = 1 + rng.next() % 3;
@@ -233,9 +228,11 @@ TEST(FaultFuzz, LintSurvivesMutatedArtifacts) {
   const fs::path dir = fs::temp_directory_path() / "mhs_fault_fuzz";
   fs::create_directories(dir);
   const fs::path file = dir / "mutant.txt";
-  const std::size_t iters = fuzz_iters();
+  const std::size_t iters = fuzz::fuzz_iters(500);
   for (std::size_t iter = 0; iter < iters; ++iter) {
-    fault::SplitMix64 rng(0xc0de0000 + iter);
+    fault::SplitMix64 rng(fuzz::fuzz_seed_base("MHS_FAULT_SEED",
+                                              kMutateSeedBase) +
+                           iter);
     const std::string text =
         mutate(kSeedArtifacts[iter % 3], rng);
     {

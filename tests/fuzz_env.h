@@ -1,0 +1,77 @@
+// The fuzz-campaign environment contract, shared by every fuzzer in
+// tests/ (absint_fuzz, fault_fuzz, equiv_fuzz):
+//
+//   * MHS_FUZZ_ITERS         — iteration count for ALL fuzzers (each has
+//                              its own default scale; the sanitize gate
+//                              dials this down, soak runs dial it up);
+//   * MHS_<FUZZER>_SEED      — per-fuzzer base-seed override (e.g.
+//                              MHS_EQUIV_SEED, MHS_ABSINT_SEED), so one
+//                              campaign can be replayed or re-pointed at
+//                              a different region of seed space without
+//                              recompiling. Case i of a campaign always
+//                              uses seed base + i, so any failure
+//                              reproduces from the printed seed alone.
+//
+// Also hosts the UB-safe full-range draw helpers every fuzzer needs
+// (Rng::uniform_int over the whole i64 span would compute hi - lo in
+// signed arithmetic — UB the sanitize gate's UBSan build rejects).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "base/rng.h"
+
+namespace mhs::fuzz {
+
+/// Campaign size: MHS_FUZZ_ITERS when set to a positive integer, else
+/// `default_iters` (each fuzzer's own scale).
+inline std::size_t fuzz_iters(std::size_t default_iters) {
+  const char* env = std::getenv("MHS_FUZZ_ITERS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return default_iters;
+}
+
+/// Base seed: the named env var when set to a valid u64, else
+/// `default_base`. Pass the fuzzer's own variable name (e.g.
+/// "MHS_EQUIV_SEED") so campaigns stay independently steerable.
+inline std::uint64_t fuzz_seed_base(const char* env_name,
+                                    std::uint64_t default_base) {
+  const char* env = std::getenv(env_name);
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      return static_cast<std::uint64_t>(v);
+    }
+  }
+  return default_base;
+}
+
+/// A full 64-bit draw composed from two half-width uniform_int calls.
+inline std::uint64_t raw_u64(Rng& rng) {
+  constexpr std::int64_t kHalf = (std::int64_t{1} << 32) - 1;
+  const auto low = static_cast<std::uint64_t>(rng.uniform_int(0, kHalf));
+  const auto high = static_cast<std::uint64_t>(rng.uniform_int(0, kHalf));
+  return (high << 32) | low;
+}
+
+/// Uniform-ish draw in [lo, hi] inclusive, safe for arbitrary i64 spans.
+/// (Modulo bias is irrelevant at fuzzing scale.)
+inline std::int64_t draw_in_range(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  if (width == ~std::uint64_t{0}) {
+    return static_cast<std::int64_t>(raw_u64(rng));
+  }
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   raw_u64(rng) % (width + 1));
+}
+
+}  // namespace mhs::fuzz

@@ -106,6 +106,58 @@ TEST(Pipeline, MissingResourceClassIsInfeasible) {
   EXPECT_THROW(min_initiation_interval(c, lib, res), InfeasibleError);
 }
 
+TEST(Pipeline, InitiationIntervalIsPreservedAndInvertsThroughput) {
+  // The II handed to the scheduler is a contract, not a hint: the
+  // schedule must report exactly that interval, steady-state throughput
+  // must be its exact inverse, and the marginal cost of one more sample
+  // must be exactly II cycles.
+  const ir::Cdfg c = apps::fir_kernel(8);
+  const ComponentLibrary lib = default_library();
+  for (const std::size_t ii : {1u, 2u, 3u, 7u, 16u}) {
+    const ModuloSchedule s = modulo_schedule(c, lib, ii);
+    EXPECT_EQ(s.initiation_interval(), ii);
+    EXPECT_DOUBLE_EQ(s.throughput() * static_cast<double>(ii), 1.0);
+    EXPECT_EQ(s.cycles_for(5) - s.cycles_for(4), ii);
+    s.verify();
+  }
+}
+
+TEST(Pipeline, MinIiIsTightAgainstTheResourceBound) {
+  // min_initiation_interval must return the smallest feasible II: the
+  // schedule at that II fits the resources, and II-1 (when >= 1) must
+  // violate the per-type ceil(opcycles / II) resource bound for at
+  // least one type — otherwise the search stopped early.
+  const ir::Cdfg c = apps::dct8_kernel();
+  const ComponentLibrary lib = default_library();
+  FuCounts res;
+  res[FuType::kAlu] = 8;
+  res[FuType::kMul] = 8;
+  res[FuType::kShift] = 4;
+  res[FuType::kDiv] = 1;
+  const std::size_t ii = min_initiation_interval(c, lib, res);
+  const ModuloSchedule s = modulo_schedule(c, lib, ii);
+  for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+    EXPECT_LE(s.fu_requirement().count[t], res.count[t]);
+  }
+  if (ii > 1) {
+    bool tighter_ii_violates = false;
+    for (std::size_t t = 0; t < kNumFuTypes; ++t) {
+      std::size_t opcycles = 0;
+      for (const ir::OpId id : c.op_ids()) {
+        if (ir::op_is_compute(c.op(id).kind) &&
+            fu_for_op(c.op(id).kind) == all_fu_types()[t]) {
+          opcycles += lib.op_latency(c.op(id).kind);
+        }
+      }
+      const std::size_t needed = (opcycles + ii - 2) / (ii - 1);
+      tighter_ii_violates =
+          tighter_ii_violates || needed > res.count[t];
+    }
+    EXPECT_TRUE(tighter_ii_violates)
+        << "II " << ii << " is not minimal: II-1 also fits the bound";
+  }
+}
+
 class PipelineIiSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(PipelineIiSweep, SchedulesVerifyAcrossKernelsAndIis) {
